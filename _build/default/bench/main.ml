@@ -1,0 +1,494 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 9).
+
+     Table 3      the benchmark programs
+     Table 4      dynamic instruction/branch changes per heuristic set
+     Table 5      (0,2) 2048-entry branch prediction measurements
+     Table 6      predictor sweep ((0,1),(0,2) x 32..2048 entries)
+     Table 7      execution time (cycle model) + Bechamel wall-clock
+     Table 8      static measurements
+     Figures 11-13  sequence length distributions per heuristic set
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --fast       # smaller inputs
+     dune exec bench/main.exe -- table4 figs  # selected sections
+     dune exec bench/main.exe -- ablations    # design-choice ablations
+
+   Shapes, not absolute numbers, are the reproduction target; see
+   EXPERIMENTS.md for the paper-vs-measured discussion. *)
+
+let fast = ref false
+let sections = ref []
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    if i + n > h then false
+    else if String.sub haystack i n = needle then true
+    else go (i + 1)
+  in
+  n = 0 || go 0
+
+let want name =
+  !sections = [] || List.mem name !sections
+
+(* ------------------------------------------------------------------ *)
+(* Running the pipeline over the workload matrix                       *)
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  workload : Workloads.Spec.t;
+  result : Driver.Pipeline.result;
+}
+
+let truncate_input s = if !fast then String.sub s 0 (min 6000 (String.length s)) else s
+
+let run_workload config (w : Workloads.Spec.t) =
+  let result =
+    Driver.Pipeline.run ~config ~name:w.Workloads.Spec.name
+      ~source:w.Workloads.Spec.source
+      ~training_input:(truncate_input (Lazy.force w.Workloads.Spec.training_input))
+      ~test_input:(truncate_input (Lazy.force w.Workloads.Spec.test_input))
+      ()
+  in
+  { workload = w; result }
+
+let matrix = Hashtbl.create 4
+
+let rows_for hs =
+  match Hashtbl.find_opt matrix hs.Mopt.Switch_lower.hs_name with
+  | Some rows -> rows
+  | None ->
+    let config = { Driver.Config.default with Driver.Config.heuristic = hs } in
+    print_string ""; flush stdout; Printf.eprintf "[bench] running the 17 workloads under heuristic set %s...\n%!"
+      hs.Mopt.Switch_lower.hs_name;
+    let rows = List.map (run_workload config) Workloads.Registry.all in
+    Hashtbl.replace matrix hs.Mopt.Switch_lower.hs_name rows;
+    rows
+
+let counters_of (v : Driver.Pipeline.version) = v.Driver.Pipeline.v_counters
+let orig r = r.result.Driver.Pipeline.r_original
+let reord r = r.result.Driver.Pipeline.r_reordered
+let pct = Driver.Pipeline.pct
+
+let line width = print_endline (String.make width '-')
+
+let section title =
+  Printf.printf "\n\n===== %s =====\n\n" title
+
+let average xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* ------------------------------------------------------------------ *)
+(* Table 3                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  section "Table 3: Test Programs";
+  Printf.printf "%-8s %s\n" "Program" "Description";
+  line 60;
+  List.iter
+    (fun (w : Workloads.Spec.t) ->
+      Printf.printf "%-8s %s\n" w.Workloads.Spec.name w.Workloads.Spec.description)
+    Workloads.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Table 4                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  section "Table 4: Dynamic Frequency Measurements";
+  List.iter
+    (fun hs ->
+      let rows = rows_for hs in
+      Printf.printf "\n--- heuristic set %s ---\n" hs.Mopt.Switch_lower.hs_name;
+      Printf.printf "%-8s %12s %10s %10s\n" "Program" "Orig Insts"
+        "Insts" "Branches";
+      line 46;
+      let d_insts = ref [] and d_branches = ref [] and o_insts = ref [] in
+      List.iter
+        (fun r ->
+          let o = counters_of (orig r) and n = counters_of (reord r) in
+          let di = pct o.Sim.Counters.insns n.Sim.Counters.insns in
+          let db = pct o.Sim.Counters.cond_branches n.Sim.Counters.cond_branches in
+          d_insts := di :: !d_insts;
+          d_branches := db :: !d_branches;
+          o_insts := float_of_int o.Sim.Counters.insns :: !o_insts;
+          Printf.printf "%-8s %12d %+9.2f%% %+9.2f%%\n" r.workload.Workloads.Spec.name
+            o.Sim.Counters.insns di db)
+        rows;
+      line 46;
+      Printf.printf "%-8s %12.0f %+9.2f%% %+9.2f%%\n" "average"
+        (average !o_insts) (average !d_insts) (average !d_branches))
+    Mopt.Switch_lower.all_sets
+
+(* ------------------------------------------------------------------ *)
+(* Tables 5 and 6: branch prediction                                   *)
+(* ------------------------------------------------------------------ *)
+
+let mispred_of v key = List.assoc key v.Driver.Pipeline.v_mispredicts
+
+(* instructions-saved to mispredictions-added ratio, N/A when
+   mispredictions decreased (paper Table 5's last column) *)
+let ratio r key =
+  let o = orig r and n = reord r in
+  let dm = mispred_of n key - mispred_of o key in
+  if dm <= 0 then None
+  else
+    Some
+      (float_of_int
+         ((counters_of o).Sim.Counters.insns - (counters_of n).Sim.Counters.insns)
+      /. float_of_int dm)
+
+let table5 () =
+  section "Table 5: Branch Prediction Measurements ((0,2), 2048 entries, set I)";
+  let key = (0, 2, 2048) in
+  let rows = rows_for Mopt.Switch_lower.set_i in
+  Printf.printf "%-8s %12s %12s %12s\n" "Program" "Orig Mispred" "Change"
+    "Inst Ratio";
+  line 50;
+  let deltas = ref [] and ratios = ref [] in
+  List.iter
+    (fun r ->
+      let o = mispred_of (orig r) key in
+      let d = pct o (mispred_of (reord r) key) in
+      deltas := d :: !deltas;
+      let ratio_str =
+        match ratio r key with
+        | Some x ->
+          ratios := x :: !ratios;
+          Printf.sprintf "%.2f" x
+        | None -> "N/A"
+      in
+      Printf.printf "%-8s %12d %+11.2f%% %12s\n" r.workload.Workloads.Spec.name o d
+        ratio_str)
+    rows;
+  line 50;
+  Printf.printf "%-8s %12s %+11.2f%% %12.2f\n" "average" "" (average !deltas)
+    (average !ratios)
+
+let table6 () =
+  section "Table 6: Branch Prediction Across Predictors (set I)";
+  Printf.printf "%8s | %21s | %21s\n" "" "(0,1) predictor" "(0,2) predictor";
+  Printf.printf "%8s | %10s %10s | %10s %10s\n" "Entries" "Mispred"
+    "Inst Ratio" "Mispred" "Inst Ratio";
+  line 58;
+  let rows = rows_for Mopt.Switch_lower.set_i in
+  let summarize key =
+    let deltas =
+      List.map (fun r -> pct (mispred_of (orig r) key) (mispred_of (reord r) key)) rows
+    in
+    let ratios = List.filter_map (fun r -> ratio r key) rows in
+    (average deltas, average ratios)
+  in
+  let avg1 = ref [] and avg2 = ref [] in
+  List.iter
+    (fun entries ->
+      let d1, r1 = summarize (0, 1, entries) in
+      let d2, r2 = summarize (0, 2, entries) in
+      avg1 := (d1, r1) :: !avg1;
+      avg2 := (d2, r2) :: !avg2;
+      Printf.printf "%8d | %+9.2f%% %10.2f | %+9.2f%% %10.2f\n" entries d1 r1 d2 r2)
+    [ 32; 64; 128; 256; 512; 1024; 2048 ];
+  line 58;
+  let avg l f = average (List.map f l) in
+  Printf.printf "%8s | %+9.2f%% %10.2f | %+9.2f%% %10.2f\n" "average"
+    (avg !avg1 fst) (avg !avg1 snd) (avg !avg2 fst) (avg !avg2 snd)
+
+(* ------------------------------------------------------------------ *)
+(* Table 7: execution time                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table7 () =
+  section "Table 7: Execution Time (simulated cycles)";
+  (* the paper pairs machines with translation heuristics: the IPC and
+     the SPARC 20 used set I, the Ultra 1 used set II *)
+  let pairs =
+    [ (Sim.Cycle_model.sparc_ipc, Mopt.Switch_lower.set_i);
+      (Sim.Cycle_model.sparc_20, Mopt.Switch_lower.set_i);
+      (Sim.Cycle_model.sparc_ultra1, Mopt.Switch_lower.set_ii) ]
+  in
+  Printf.printf "%-8s" "Program";
+  List.iter
+    (fun ((m : Sim.Cycle_model.params), hs) ->
+      Printf.printf " %19s" (Printf.sprintf "%s (set %s)" m.Sim.Cycle_model.model_name
+                               hs.Mopt.Switch_lower.hs_name))
+    pairs;
+  print_newline ();
+  line 70;
+  let averages = Array.make (List.length pairs) [] in
+  List.iter
+    (fun (w : Workloads.Spec.t) ->
+      Printf.printf "%-8s" w.Workloads.Spec.name;
+      List.iteri
+        (fun i ((m : Sim.Cycle_model.params), hs) ->
+          let rows = rows_for hs in
+          let r =
+            List.find
+              (fun row ->
+                String.equal row.workload.Workloads.Spec.name w.Workloads.Spec.name)
+              rows
+          in
+          let model = m.Sim.Cycle_model.model_name in
+          let oc = List.assoc model (orig r).Driver.Pipeline.v_cycles in
+          let nc = List.assoc model (reord r).Driver.Pipeline.v_cycles in
+          let d = pct oc nc in
+          averages.(i) <- d :: averages.(i);
+          Printf.printf " %+18.2f%%" d)
+        pairs;
+      print_newline ())
+    Workloads.Registry.all;
+  line 70;
+  Printf.printf "%-8s" "average";
+  Array.iter (fun ds -> Printf.printf " %+18.2f%%" (average ds)) averages;
+  print_newline ()
+
+(* Bechamel wall-clock companion to Table 7: the simulator's real run
+   time is proportional to the dynamic instruction count, so timing the
+   simulation of the original vs the reordered binary is this
+   reproduction's analogue of the paper's `times()' measurements. *)
+let bechamel_table7 () =
+  section "Table 7 (companion): Bechamel wall-clock of simulated runs (set I)";
+  let rows = rows_for Mopt.Switch_lower.set_i in
+  let chosen = [ "wc"; "grep"; "sort"; "lex" ] in
+  let tests =
+    List.concat_map
+      (fun r ->
+        if not (List.mem r.workload.Workloads.Spec.name chosen) then []
+        else begin
+          let input =
+            truncate_input (Lazy.force r.workload.Workloads.Spec.test_input)
+          in
+          let make label prog =
+            Bechamel.Test.make
+              ~name:(r.workload.Workloads.Spec.name ^ "/" ^ label)
+              (Bechamel.Staged.stage (fun () ->
+                   ignore (Sim.Machine.run prog ~input)))
+          in
+          [ make "original" (orig r).Driver.Pipeline.v_program;
+            make "reordered" (reord r).Driver.Pipeline.v_program ]
+        end)
+      rows
+  in
+  let cfg =
+    Bechamel.Benchmark.cfg ~limit:50
+      ~quota:(Bechamel.Time.second (if !fast then 0.2 else 0.5))
+      ~kde:None ()
+  in
+  let raw =
+    Bechamel.Benchmark.all cfg
+      [ Bechamel.Toolkit.Instance.monotonic_clock ]
+      (Bechamel.Test.make_grouped ~name:"table7" tests)
+  in
+  let ols =
+    Bechamel.Analyze.all
+      (Bechamel.Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
+      Bechamel.Toolkit.Instance.monotonic_clock raw
+  in
+  let time_of name =
+    Hashtbl.fold
+      (fun key v acc ->
+        if contains key name then
+          match Bechamel.Analyze.OLS.estimates v with
+          | Some (t :: _) -> Some t
+          | _ -> acc
+        else acc)
+      ols None
+  in
+  Printf.printf "%-8s %15s %15s %10s\n" "Program" "original (ms)"
+    "reordered (ms)" "change";
+  line 52;
+  List.iter
+    (fun name ->
+      match
+        ( time_of (name ^ "/original"),
+          time_of (name ^ "/reordered") )
+      with
+      | Some o, Some n ->
+        Printf.printf "%-8s %15.3f %15.3f %+9.2f%%\n" name (o /. 1e6) (n /. 1e6)
+          (100.0 *. (n -. o) /. o)
+      | _ -> Printf.printf "%-8s (no estimate)\n" name)
+    chosen
+
+(* ------------------------------------------------------------------ *)
+(* Table 8: static measurements                                        *)
+(* ------------------------------------------------------------------ *)
+
+let table8 () =
+  section "Table 8: Static Measurements";
+  List.iter
+    (fun hs ->
+      let rows = rows_for hs in
+      Printf.printf "\n--- heuristic set %s ---\n" hs.Mopt.Switch_lower.hs_name;
+      Printf.printf "%-8s %8s %10s %10s %10s %10s\n" "Program" "Insts"
+        "Total Seqs" "Reordered" "Avg Before" "Avg After";
+      line 62;
+      let all_stats = ref None in
+      let d_static = ref [] in
+      List.iter
+        (fun r ->
+          let s = r.result.Driver.Pipeline.r_stats in
+          let ds =
+            pct (orig r).Driver.Pipeline.v_static_insns
+              (reord r).Driver.Pipeline.v_static_insns
+          in
+          d_static := ds :: !d_static;
+          all_stats :=
+            Some
+              (match !all_stats with
+              | None -> s
+              | Some acc -> Reorder.Stats.merge acc s);
+          Printf.printf "%-8s %+7.2f%% %10d %9.2f%% %10.2f %10.2f\n"
+            r.workload.Workloads.Spec.name ds s.Reorder.Stats.total_seqs
+            (if s.Reorder.Stats.total_seqs = 0 then 0.0
+             else
+               100.0
+               *. float_of_int s.Reorder.Stats.reordered_seqs
+               /. float_of_int s.Reorder.Stats.total_seqs)
+            s.Reorder.Stats.avg_len_before s.Reorder.Stats.avg_len_after)
+        rows;
+      line 62;
+      match !all_stats with
+      | Some s ->
+        Printf.printf "%-8s %+7.2f%% %10d %9.2f%% %10.2f %10.2f\n" "total"
+          (average !d_static) s.Reorder.Stats.total_seqs
+          (100.0
+          *. float_of_int s.Reorder.Stats.reordered_seqs
+          /. float_of_int (max 1 s.Reorder.Stats.total_seqs))
+          s.Reorder.Stats.avg_len_before s.Reorder.Stats.avg_len_after
+      | None -> ())
+    Mopt.Switch_lower.all_sets
+
+(* ------------------------------------------------------------------ *)
+(* Figures 11-13                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let histogram title lengths =
+  Printf.printf "%s (avg %.2f)\n" title
+    (if lengths = [] then 0.0
+     else
+       float_of_int (List.fold_left ( + ) 0 lengths)
+       /. float_of_int (List.length lengths));
+  let h = Reorder.Stats.histogram lengths in
+  let maxc = List.fold_left (fun m (_, c) -> max m c) 1 h in
+  List.iter
+    (fun (len, count) ->
+      let bar = String.make (max 1 (count * 40 / maxc)) '#' in
+      Printf.printf "  %3d | %-40s %d\n" len bar count)
+    h
+
+let figures () =
+  List.iter2
+    (fun hs fig ->
+      section
+        (Printf.sprintf "Figure %d: Sequence Lengths for Heuristic Set %s" fig
+           hs.Mopt.Switch_lower.hs_name);
+      let rows = rows_for hs in
+      let stats =
+        List.fold_left
+          (fun acc r -> Reorder.Stats.merge acc r.result.Driver.Pipeline.r_stats)
+          (Reorder.Stats.of_report { Reorder.Pass.seq_reports = [] })
+          rows
+      in
+      histogram "Original sequence length (branches)"
+        stats.Reorder.Stats.orig_branch_lengths;
+      print_newline ();
+      histogram "Reordered sequence length (branches)"
+        stats.Reorder.Stats.final_branch_lengths)
+    Mopt.Switch_lower.all_sets [ 11; 12; 13 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  section "Ablations (set I): design choices from DESIGN.md";
+  let variants =
+    [
+      ("full transformation", Driver.Config.default);
+      ( "no redundant-cmp elimination",
+        {
+          Driver.Config.default with
+          Driver.Config.apply_options =
+            { Reorder.Apply.default_options with Reorder.Apply.improve_cmp = false };
+        } );
+      ( "no Form-4 bound ordering",
+        {
+          Driver.Config.default with
+          Driver.Config.apply_options =
+            { Reorder.Apply.default_options with Reorder.Apply.improve_form4 = false };
+        } );
+      ( "no tail duplication",
+        {
+          Driver.Config.default with
+          Driver.Config.apply_options =
+            { Reorder.Apply.default_options with Reorder.Apply.tail_dup_limit = 0 };
+        } );
+      ( "keep original default target",
+        { Driver.Config.default with Driver.Config.keep_original_default = true } );
+      ( "exhaustive selection",
+        { Driver.Config.default with Driver.Config.selector = `Exhaustive } );
+      ( "with common-successor runs (Sec. 10)",
+        { Driver.Config.default with Driver.Config.common_succ = true } );
+      ( "reorder-vs-indirect decision (IPC)",
+        {
+          Driver.Config.default with
+          Driver.Config.coalesce_machine = Some Sim.Cycle_model.sparc_ipc;
+        } );
+      ( "no fill-from-successor delay slots",
+        { Driver.Config.default with Driver.Config.delay_fill_from_target = false } );
+      ( "with profile-guided layout",
+        { Driver.Config.default with Driver.Config.profile_layout = true } );
+      ( "reorder-vs-indirect decision (Ultra 1)",
+        {
+          Driver.Config.default with
+          Driver.Config.coalesce_machine = Some Sim.Cycle_model.sparc_ultra1;
+        } );
+    ]
+  in
+  let chosen = [ "wc"; "sort"; "lex"; "cpp"; "grep" ] in
+  Printf.printf "%-38s" "Variant";
+  List.iter (Printf.printf " %9s") chosen;
+  print_newline ();
+  line 88;
+  List.iter
+    (fun (label, config) ->
+      Printf.printf "%-38s" label;
+      List.iter
+        (fun name ->
+          let w = Workloads.Registry.find name in
+          let r = run_workload config w in
+          let d =
+            pct (counters_of (orig r)).Sim.Counters.insns
+              (counters_of (reord r)).Sim.Counters.insns
+          in
+          Printf.printf " %+8.2f%%" d)
+        chosen;
+      print_newline ())
+    variants
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--fast" -> fast := true
+        | s -> sections := s :: !sections)
+    Sys.argv;
+  let t0 = Unix.gettimeofday () in
+  if want "table3" then table3 ();
+  if want "table4" then table4 ();
+  if want "table5" then table5 ();
+  if want "table6" then table6 ();
+  if want "table7" then table7 ();
+  if want "bechamel" || want "table7" then bechamel_table7 ();
+  if want "table8" then table8 ();
+  if want "figs" || want "figures" then figures ();
+  (* ablations are opt-in: they re-run the pipeline many times *)
+  if List.mem "ablations" !sections then ablations ();
+  Printf.printf "\n[bench] done in %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,284 @@
+(* bromc: the branch-reordering MiniC compiler driver.
+
+   Subcommands:
+     compile   parse, optimize and dump MIR
+     run       compile and execute on an input, printing counters
+     reorder   the full two-pass pipeline with before/after measurements
+     workloads list the built-in benchmark programs *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let heuristic_of_string = function
+  | "I" | "i" | "1" -> Ok Mopt.Switch_lower.set_i
+  | "II" | "ii" | "2" -> Ok Mopt.Switch_lower.set_ii
+  | "III" | "iii" | "3" -> Ok Mopt.Switch_lower.set_iii
+  | s -> Error (`Msg (Printf.sprintf "unknown heuristic set %S (use I, II or III)" s))
+
+let heuristic_conv =
+  Arg.conv
+    ( heuristic_of_string,
+      fun ppf hs -> Format.pp_print_string ppf hs.Mopt.Switch_lower.hs_name )
+
+let heuristic_arg =
+  Arg.(
+    value
+    & opt heuristic_conv Mopt.Switch_lower.set_i
+    & info [ "h-set"; "heuristic" ] ~docv:"SET"
+        ~doc:"Switch translation heuristic set: I, II or III (paper Table 2).")
+
+let source_arg kind =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SOURCE"
+        ~doc:
+          (Printf.sprintf
+             "MiniC source file to %s, or a built-in workload name prefixed \
+              with '@' (e.g. @wc)."
+             kind))
+
+let load_source path =
+  if String.length path > 1 && path.[0] = '@' then
+    let name = String.sub path 1 (String.length path - 1) in
+    (Workloads.Registry.find name).Workloads.Spec.source
+  else read_file path
+
+let is_mir_file path =
+  String.length path > 4 && String.sub path (String.length path - 4) 4 = ".mir"
+
+(* a source path is either MiniC (compiled) or textual MIR (parsed) *)
+let load_program path hs =
+  if is_mir_file path then begin
+    let prog = Mir.Parse.program (read_file path) in
+    Mir.Validate.check prog;
+    prog
+  end
+  else begin
+    let prog = Minic.Lower.compile (load_source path) in
+    Mopt.Switch_lower.lower_program hs prog;
+    ignore (Mopt.Cleanup.finalize prog);
+    Mir.Validate.check prog;
+    prog
+  end
+
+let handle_errors f =
+  try f () with
+  | Minic.Srcloc.Error (loc, msg) ->
+    Printf.eprintf "error: %s\n" (Minic.Srcloc.error_to_string loc msg);
+    exit 1
+  | Sim.Machine.Trap msg ->
+    Printf.eprintf "runtime trap: %s\n" msg;
+    exit 1
+  | Mir.Parse.Error (line, msg) ->
+    Printf.eprintf "error: line %d: %s\n" line msg;
+    exit 1
+  | Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | Not_found ->
+    Printf.eprintf "error: no such file or workload\n";
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let run source hs raw dot =
+    handle_errors (fun () ->
+        let prog =
+          if is_mir_file source then Mir.Parse.program (read_file source)
+          else begin
+            let prog = Minic.Lower.compile (load_source source) in
+            if not raw then begin
+              Mopt.Switch_lower.lower_program hs prog;
+              ignore (Mopt.Cleanup.finalize prog);
+              Mir.Validate.check prog
+            end;
+            prog
+          end
+        in
+        if dot then Format.printf "%a" Mir.Dot.program prog
+        else begin
+          print_string (Mir.Program.to_string prog);
+          Printf.printf "\n; static instructions: %d\n"
+            (Mir.Program.static_insn_count prog)
+        end)
+  in
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ] ~doc:"Emit Graphviz CFGs instead of textual MIR.")
+  in
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "raw" ] ~doc:"Dump the front end's output without optimization.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile MiniC and dump the optimized MIR.")
+    Term.(const run $ source_arg "compile" $ heuristic_arg $ raw $ dot)
+
+let input_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "input"; "i" ] ~docv:"FILE"
+        ~doc:"Input file fed to the simulated program (default: empty).")
+
+let run_cmd =
+  let run source hs input trace =
+    handle_errors (fun () ->
+        let prog = load_program source hs in
+        let input = match input with Some f -> read_file f | None -> "" in
+        let on_block =
+          if trace then
+            Some (fun ~func ~label -> Printf.eprintf "[trace] %s:%s\n" func label)
+          else None
+        in
+        let result = Sim.Machine.run ?on_block prog ~input in
+        print_string result.Sim.Machine.output;
+        Printf.eprintf "exit code: %d\n" result.Sim.Machine.exit_code;
+        Format.eprintf "%a@." Sim.Counters.pp result.Sim.Machine.counters)
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Print every basic block executed to stderr (control-flow trace).")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a MiniC program on the simulator.")
+    Term.(const run $ source_arg "run" $ heuristic_arg $ input_arg $ trace)
+
+let reorder_cmd =
+  let run source hs train test exhaustive common_succ coalesce profile_layout =
+    handle_errors (fun () ->
+        let name = source in
+        let src = load_source source in
+        let training_input, test_input =
+          match source.[0], train, test with
+          | '@', None, None ->
+            let w =
+              Workloads.Registry.find (String.sub source 1 (String.length source - 1))
+            in
+            ( Lazy.force w.Workloads.Spec.training_input,
+              Lazy.force w.Workloads.Spec.test_input )
+          | _, train, test ->
+            ( (match train with Some f -> read_file f | None -> ""),
+              match test with Some f -> read_file f | None -> "" )
+        in
+        let config =
+          {
+            Driver.Config.default with
+            Driver.Config.heuristic = hs;
+            selector = (if exhaustive then `Exhaustive else `Greedy);
+            common_succ;
+            profile_layout;
+            coalesce_machine =
+              (match coalesce with
+              | Some "ipc" -> Some Sim.Cycle_model.sparc_ipc
+              | Some "ss20" -> Some Sim.Cycle_model.sparc_20
+              | Some "ultra" -> Some Sim.Cycle_model.sparc_ultra1
+              | Some other ->
+                failwith
+                  (Printf.sprintf "unknown machine %S (use ipc, ss20 or ultra)"
+                     other)
+              | None -> None);
+          }
+        in
+        let r =
+          Driver.Pipeline.run ~config ~name ~source:src ~training_input
+            ~test_input ()
+        in
+        let o = r.Driver.Pipeline.r_original.Driver.Pipeline.v_counters in
+        let n = r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters in
+        print_string
+          (Format.asprintf "%a" Reorder.Pass.pp_report r.Driver.Pipeline.r_report);
+        print_string
+          (Format.asprintf "%a\n" Reorder.Stats.pp r.Driver.Pipeline.r_stats);
+        Printf.printf "instructions: %d -> %d (%+.2f%%)\n"
+          o.Sim.Counters.insns n.Sim.Counters.insns
+          (Driver.Pipeline.pct o.Sim.Counters.insns n.Sim.Counters.insns);
+        Printf.printf "branches:     %d -> %d (%+.2f%%)\n"
+          o.Sim.Counters.cond_branches n.Sim.Counters.cond_branches
+          (Driver.Pipeline.pct o.Sim.Counters.cond_branches
+             n.Sim.Counters.cond_branches);
+        Printf.printf "static insns: %d -> %d (%+.2f%%)\n"
+          r.Driver.Pipeline.r_original.Driver.Pipeline.v_static_insns
+          r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_static_insns
+          (Driver.Pipeline.pct
+             r.Driver.Pipeline.r_original.Driver.Pipeline.v_static_insns
+             r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_static_insns))
+  in
+  let train =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "train" ] ~docv:"FILE" ~doc:"Training input (profiling run).")
+  in
+  let test =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "test" ] ~docv:"FILE" ~doc:"Test input (measurement runs).")
+  in
+  let exhaustive =
+    Arg.(
+      value & flag
+      & info [ "exhaustive" ]
+          ~doc:"Use the exhaustive ordering search instead of Figure 8's greedy.")
+  in
+  let common_succ =
+    Arg.(
+      value & flag
+      & info [ "common-succ" ]
+          ~doc:"Also reorder common-successor branch runs (paper Section 10).")
+  in
+  let coalesce =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "coalesce" ] ~docv:"MACHINE"
+          ~doc:
+            "Let the profile choose between reordering and an indirect jump \
+             under this machine's cost model (ipc, ss20 or ultra).")
+  in
+  let profile_layout =
+    Arg.(
+      value & flag
+      & info [ "profile-layout" ]
+          ~doc:"Also lay blocks out with training-run branch frequencies.")
+  in
+  Cmd.v
+    (Cmd.info "reorder"
+       ~doc:"Run the full profile-guided reordering pipeline and report.")
+    Term.(
+      const run $ source_arg "reorder" $ heuristic_arg $ train $ test
+      $ exhaustive $ common_succ $ coalesce $ profile_layout)
+
+let workloads_cmd =
+  let run () =
+    List.iter
+      (fun (w : Workloads.Spec.t) ->
+        Printf.printf "%-8s %s\n" w.Workloads.Spec.name
+          w.Workloads.Spec.description)
+      Workloads.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "workloads" ~doc:"List the built-in Table 3 benchmark programs.")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "bromc" ~version:"1.0.0"
+       ~doc:
+         "Branch-reordering MiniC compiler (PLDI 1998 reproduction: Yang, Uh \
+          & Whalley).")
+    [ compile_cmd; run_cmd; reorder_cmd; workloads_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/common_successor.ml: Array Driver Format List Printf Reorder Sim String Workloads

@@ -1,0 +1,1 @@
+examples/cost_model.ml: List Printf Reorder String

@@ -1,0 +1,1 @@
+examples/figure5_detection.ml: Array Driver Format List Mir Mopt Option Printf Reorder Sim String

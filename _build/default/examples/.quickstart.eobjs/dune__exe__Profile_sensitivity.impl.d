@@ -1,0 +1,1 @@
+examples/profile_sensitivity.ml: Char Driver List Printf Sim String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Driver Format List Mir Printf Reorder Sim

@@ -1,0 +1,1 @@
+examples/switch_heuristics.ml: Driver List Mir Mopt Printf Reorder Sim Workloads

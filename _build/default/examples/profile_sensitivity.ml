@@ -1,0 +1,96 @@
+(* Profile sensitivity: what happens when training and test inputs
+   disagree.
+
+   The paper's only regression was hyphen (+3.4% instructions), which it
+   attributes to "different test input data ... as compared to the
+   training input data" — reordering optimises for the trained
+   distribution, and an adversarial test distribution can invert the
+   ranking.  This example makes that effect concrete: one classifier
+   loop, three training regimes (matching, mismatched, and mixed),
+   measured on the same two test inputs.
+
+   Run with:  dune exec examples/profile_sensitivity.exe *)
+
+let source =
+  {|
+int letters;
+int digits;
+int blanks;
+int others;
+
+int main() {
+  int c;
+  while ((c = getchar()) != EOF) {
+    if (c >= 'a' && c <= 'z')
+      letters++;
+    else if (c >= '0' && c <= '9')
+      digits++;
+    else if (c == ' ')
+      blanks++;
+    else
+      others++;
+  }
+  print_int(letters);
+  putchar(' ');
+  print_int(digits);
+  putchar(' ');
+  print_int(blanks);
+  putchar(' ');
+  print_int(others);
+  putchar('\n');
+  return 0;
+}
+|}
+
+(* inputs with opposite character distributions *)
+let letters_input =
+  String.concat " "
+    (List.init 300 (fun i ->
+         String.init (3 + (i mod 6)) (fun j ->
+             Char.chr (Char.code 'a' + ((i + (j * 7)) mod 26)))))
+
+let digits_input =
+  String.concat " "
+    (List.init 300 (fun i -> string_of_int (((i * 7919) mod 99991) + 10000)))
+
+let mixed_input =
+  String.concat ""
+    (List.init 200 (fun i ->
+         if i mod 2 = 0 then String.init 8 (fun j -> Char.chr (97 + ((i + j) mod 26)))
+         else string_of_int (i * 12345)))
+
+let measure ~train ~test =
+  let r =
+    Driver.Pipeline.run ~name:"sensitivity" ~source ~training_input:train
+      ~test_input:test ()
+  in
+  let o =
+    r.Driver.Pipeline.r_original.Driver.Pipeline.v_counters.Sim.Counters.insns
+  in
+  let n =
+    r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters.Sim.Counters.insns
+  in
+  Driver.Pipeline.pct o n
+
+let () =
+  Printf.printf
+    "Instruction change when the sequence is trained on one distribution\n\
+     and measured on another (cf. the paper's hyphen discussion):\n\n";
+  Printf.printf "%-22s %18s %18s\n" "trained on \\ tested on" "letters text"
+    "digit text";
+  print_endline (String.make 60 '-');
+  List.iter
+    (fun (label, train) ->
+      Printf.printf "%-22s %+17.2f%% %+17.2f%%\n" label
+        (measure ~train ~test:letters_input)
+        (measure ~train ~test:digits_input))
+    [
+      ("letters text", letters_input);
+      ("digit text", digits_input);
+      ("mixed text", mixed_input);
+    ];
+  Printf.printf
+    "\nMatching train/test pairs sit on the diagonal; off-diagonal entries\n\
+     show the win shrinking (or flipping, as for the paper's hyphen) when\n\
+     the profile lies about the test distribution, while mixed training\n\
+     hedges both.\n"

@@ -1,0 +1,1 @@
+lib/core/apply.ml: Array Detect List Mir Option Printf Range Range_cond Select

@@ -1,0 +1,1 @@
+lib/core/coalesce.ml: Array Detect List Mir Range Sim

@@ -1,0 +1,1 @@
+lib/core/common_succ.ml: Array Format Hashtbl List Mir Sim String

@@ -1,0 +1,1 @@
+lib/core/common_succ.mli: Format Mir Sim

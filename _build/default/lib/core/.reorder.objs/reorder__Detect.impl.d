@@ -1,0 +1,1 @@
+lib/core/detect.ml: Format Hashtbl List Mir Option Printf Range String

@@ -1,0 +1,1 @@
+lib/core/pass.ml: Apply Array Coalesce Detect Format Int List Mir Printf Profiles Select String

@@ -1,0 +1,1 @@
+lib/core/pass.mli: Apply Coalesce Detect Format Mir Select Sim

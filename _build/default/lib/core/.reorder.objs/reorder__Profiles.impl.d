@@ -1,0 +1,1 @@
+lib/core/profiles.ml: Array Detect List Mir Printf Range Range_cond Select Sim

@@ -1,0 +1,1 @@
+lib/core/profiles.mli: Detect Mir Range Select Sim

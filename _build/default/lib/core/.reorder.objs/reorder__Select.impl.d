@@ -1,0 +1,1 @@
+lib/core/select.ml: Array Cost Int List Range String

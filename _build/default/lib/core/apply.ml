@@ -1,0 +1,318 @@
+type options = {
+  tail_dup_limit : int;
+  improve_cmp : bool;
+  improve_form4 : bool;
+}
+
+let default_options = { tail_dup_limit = 8; improve_cmp = true; improve_form4 = true }
+
+type applied = {
+  replica_entry : string;
+  new_block_count : int;
+  final_branches : int;
+  final_items : int;
+  cmps_eliminated : int;
+}
+
+type outcome =
+  | Applied of applied
+  | Skipped of string
+
+(* ------------------------------------------------------------------ *)
+(* Edge requirements                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let has_cmp (b : Mir.Block.t) =
+  List.exists (function Mir.Insn.Cmp _ -> true | _ -> false) b.Mir.Block.insns
+
+(* does the block at [label] consume the condition codes set by its
+   predecessor? *)
+let cc_needing fn label =
+  match Mir.Func.find_block_opt fn label with
+  | Some b -> (
+    match b.Mir.Block.term.kind with
+    | Mir.Block.Br _ -> not (has_cmp b)
+    | Mir.Block.Jmp _ | Mir.Block.Switch _ | Mir.Block.Jtab _ | Mir.Block.Ret _
+      ->
+      false)
+  | None -> false
+
+(* side effects executed on an exit through the item at 0-based original
+   position [pos]: the leading instructions of items 1..pos *)
+let prefix_insns items_arr pos =
+  let out = ref [] in
+  for i = 1 to pos do
+    out := !out @ items_arr.(i).Detect.sides
+  done;
+  !out
+
+(* what a selected range's exit edge must provide *)
+type edge_req = {
+  e_target : string;
+  e_pre : Mir.Insn.t list;  (* duplicated side effects *)
+  e_cc : int option;        (* compare constant live on the original edge *)
+}
+
+let edge_req (seq : Detect.t) items_arr n (it : Select.input_item) =
+  if it.Select.in_payload < n then begin
+    let item = items_arr.(it.Select.in_payload) in
+    {
+      e_target = item.Detect.target;
+      e_pre = prefix_insns items_arr it.Select.in_payload;
+      e_cc = Some item.Detect.exit_cc_const;
+    }
+  end
+  else
+    {
+      e_target = seq.Detect.default_target;
+      e_pre = prefix_insns items_arr (n - 1);
+      e_cc = seq.Detect.default_cc_const;
+    }
+
+let same_insns a b = List.equal Mir.Insn.equal a b
+
+let compatible_for fn (seq : Detect.t) eliminated =
+  let items_arr = Array.of_list seq.Detect.items in
+  let n = Array.length items_arr in
+  match List.map (edge_req seq items_arr n) eliminated with
+  | [] -> true
+  | first :: rest ->
+    let pre_ok = List.for_all (fun r -> same_insns r.e_pre first.e_pre) rest in
+    let cc_ok =
+      (not (cc_needing fn first.e_target))
+      || (first.e_cc <> None
+          && List.for_all (fun r -> r.e_cc = first.e_cc) rest)
+    in
+    pre_ok && cc_ok
+
+(* ------------------------------------------------------------------ *)
+(* Building edges                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* duplicate the target block's code into the edge when small and
+   terminated by an unconditional transfer (Figure 10's duplication of
+   the default target) *)
+let tail_dup_of fn target limit =
+  if limit <= 0 then None
+  else
+    match Mir.Func.find_block_opt fn target with
+    | Some b when List.length b.Mir.Block.insns <= limit -> (
+      match b.Mir.Block.term.kind with
+      | (Mir.Block.Jmp _ | Mir.Block.Ret _) as kind
+        when b.Mir.Block.term.delay = None
+             && not (List.exists Mir.Insn.is_profile b.Mir.Block.insns) ->
+        Some (b.Mir.Block.insns, kind)
+      | _ -> None)
+    | Some _ | None -> None
+
+(* returns the label to branch to, plus any new block *)
+let make_edge fn (seq : Detect.t) opts req =
+  let needs_cc = cc_needing fn req.e_target in
+  let cc_fix =
+    if needs_cc then
+      match req.e_cc with
+      | Some c ->
+        [ Mir.Insn.Cmp (Mir.Operand.Reg seq.Detect.var, Mir.Operand.Imm c) ]
+      | None -> assert false (* feasibility was checked by the caller *)
+    else []
+  in
+  let dup = if needs_cc then None else tail_dup_of fn req.e_target opts.tail_dup_limit in
+  match req.e_pre, cc_fix, dup with
+  | [], [], None -> (req.e_target, [])
+  | pre, fix, None ->
+    let label = Mir.Func.fresh_label fn in
+    ( label,
+      [ Mir.Block.make ~label (pre @ fix) (Mir.Block.Jmp req.e_target) ] )
+  | pre, fix, Some (body, kind) ->
+    let label = Mir.Func.fresh_label fn in
+    (label, [ Mir.Block.make ~label (pre @ fix @ body) kind ])
+
+(* ------------------------------------------------------------------ *)
+(* Form 4 bound ordering (Section 7)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* among the ranges still possible when this condition executes, is the
+   mass below the range larger than the mass above it? *)
+let lower_first_for opts remaining range =
+  if not opts.improve_form4 then true
+  else begin
+    let c1 = Range.lo range and c2 = Range.hi range in
+    let below, above =
+      List.fold_left
+        (fun (below, above) (it : Select.input_item) ->
+          if Range.hi it.Select.in_range < c1 then
+            (below + it.Select.in_count, above)
+          else if Range.lo it.Select.in_range > c2 then
+            (below, above + it.Select.in_count)
+          else (below, above))
+        (0, 0) remaining
+    in
+    below >= above
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Redundant comparison elimination (Figure 9)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* (cond, c') is equivalent to (cond', c) for integer comparisons *)
+let renorm cond c' c =
+  if c' = c + 1 then
+    match cond with
+    | Mir.Cond.Ge -> Some Mir.Cond.Gt
+    | Mir.Cond.Lt -> Some Mir.Cond.Le
+    | _ -> None
+  else if c' = c - 1 then
+    match cond with
+    | Mir.Cond.Le -> Some Mir.Cond.Lt
+    | Mir.Cond.Gt -> Some Mir.Cond.Ge
+    | _ -> None
+  else None
+
+let block_cmp_const (b : Mir.Block.t) =
+  match List.rev b.Mir.Block.insns with
+  | Mir.Insn.Cmp (_, Mir.Operand.Imm c) :: _ -> Some c
+  | _ -> None
+
+let drop_cmp (b : Mir.Block.t) =
+  b.Mir.Block.insns <-
+    List.filter (function Mir.Insn.Cmp _ -> false | _ -> true) b.Mir.Block.insns
+
+let set_cmp_const (b : Mir.Block.t) c =
+  b.Mir.Block.insns <-
+    List.map
+      (function
+        | Mir.Insn.Cmp (a, Mir.Operand.Imm _) -> Mir.Insn.Cmp (a, Mir.Operand.Imm c)
+        | i -> i)
+      b.Mir.Block.insns
+
+let set_br_cond (b : Mir.Block.t) cond =
+  match b.Mir.Block.term.kind with
+  | Mir.Block.Br (_, taken, fall) ->
+    b.Mir.Block.term <-
+      { b.Mir.Block.term with kind = Mir.Block.Br (cond, taken, fall) }
+  | _ -> assert false
+
+let br_cond (b : Mir.Block.t) =
+  match b.Mir.Block.term.kind with
+  | Mir.Block.Br (cond, _, _) -> Some cond
+  | _ -> None
+
+(* walk the replica chain; each block initially holds exactly one compare
+   of the common variable against a constant *)
+let eliminate_redundant_cmps chain =
+  let eliminated = ref 0 in
+  let holder = ref None in
+  (* holder: (block, const, consumers since the holder's compare) *)
+  List.iter
+    (fun (b : Mir.Block.t) ->
+      match block_cmp_const b with
+      | None -> () (* already compare-less; keeps relying on the holder *)
+      | Some c -> (
+        match !holder with
+        | Some (_, c', consumers) when c' = c ->
+          drop_cmp b;
+          incr eliminated;
+          holder :=
+            (match !holder with
+            | Some (hb, hc, _) -> Some (hb, hc, consumers + 1)
+            | None -> None)
+        | Some (hb, c', 0) -> (
+          (* try renormalising the holder's compare to this constant *)
+          match br_cond hb with
+          | Some hcond -> (
+            match renorm hcond c' c with
+            | Some hcond' ->
+              set_cmp_const hb c;
+              set_br_cond hb hcond';
+              drop_cmp b;
+              incr eliminated;
+              holder := Some (hb, c, 1)
+            | None -> holder := Some (b, c, 0))
+          | None -> holder := Some (b, c, 0))
+        | Some _ | None -> holder := Some (b, c, 0)))
+    chain;
+  !eliminated
+
+(* ------------------------------------------------------------------ *)
+(* The transformation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let strip_trailing_cmp (b : Mir.Block.t) =
+  match List.rev b.Mir.Block.insns with
+  | Mir.Insn.Cmp _ :: rev_rest ->
+    b.Mir.Block.insns <- List.rev rev_rest;
+    true
+  | _ -> false
+
+let apply_seq fn (seq : Detect.t) (choice : Select.choice) opts =
+  let items_arr = Array.of_list seq.Detect.items in
+  let n = Array.length items_arr in
+  let reqs_ordered = List.map (edge_req seq items_arr n) choice.Select.ordered in
+  (* feasibility: every edge whose target consumes condition codes must
+     know which constant to reestablish *)
+  let default_req =
+    match List.map (edge_req seq items_arr n) choice.Select.eliminated with
+    | [] -> None
+    | first :: _ -> Some { first with e_target = choice.Select.default_target }
+  in
+  let infeasible =
+    List.exists
+      (fun r -> cc_needing fn r.e_target && r.e_cc = None)
+      (reqs_ordered @ Option.to_list default_req)
+  in
+  if infeasible then Skipped "exit edge needs condition codes of unknown constant"
+  else if not (compatible_for fn seq choice.Select.eliminated) then
+    Skipped "eliminated ranges disagree on side effects or condition codes"
+  else if default_req = None then Skipped "empty elimination set"
+  else begin
+    let default_req = Option.get default_req in
+    let new_blocks = ref [] in
+    let default_label, default_blocks = make_edge fn seq opts default_req in
+    new_blocks := default_blocks;
+    (* emit conditions back to front so each falls through to the next *)
+    let ordered_arr = Array.of_list choice.Select.ordered in
+    let chain = ref [] in
+    let fall = ref default_label in
+    for i = Array.length ordered_arr - 1 downto 0 do
+      let sel = ordered_arr.(i) in
+      let req = List.nth reqs_ordered i in
+      let exit_label, edge_blocks = make_edge fn seq opts req in
+      new_blocks := !new_blocks @ edge_blocks;
+      let remaining =
+        Array.to_list (Array.sub ordered_arr (i + 1) (Array.length ordered_arr - i - 1))
+        @ choice.Select.eliminated
+      in
+      let emitted =
+        Range_cond.emit fn ~var:seq.Detect.var ~range:sel.Select.in_range
+          ~exit_to:exit_label ~fall_to:!fall
+          ~lower_first:(lower_first_for opts remaining sel.Select.in_range)
+      in
+      chain := emitted.Range_cond.blocks @ !chain;
+      fall := emitted.Range_cond.entry_label
+    done;
+    let cmps_eliminated =
+      if opts.improve_cmp then eliminate_redundant_cmps !chain else 0
+    in
+    (* head surgery: keep the leading instructions, jump to the replica *)
+    let head = Mir.Func.find_block fn seq.Detect.head in
+    if not (strip_trailing_cmp head) then
+      Skipped (Printf.sprintf "head %s lost its compare" seq.Detect.head)
+    else begin
+      let replica_entry = !fall in
+      head.Mir.Block.term <- Mir.Block.term (Mir.Block.Jmp replica_entry);
+      let blocks = !chain @ !new_blocks in
+      Mir.Func.insert_blocks_after fn seq.Detect.head blocks;
+      Applied
+        {
+          replica_entry;
+          new_block_count = List.length blocks;
+          final_branches =
+            List.fold_left
+              (fun acc (it : Select.input_item) ->
+                acc + Range_cond.branch_count it.Select.in_range)
+              0 choice.Select.ordered;
+          final_items = List.length choice.Select.ordered;
+          cmps_eliminated;
+        }
+    end
+  end

@@ -1,0 +1,96 @@
+type plan = {
+  table_lo : int;
+  table_hi : int;
+  targets : string array;
+}
+
+let has_cmp (b : Mir.Block.t) =
+  List.exists (function Mir.Insn.Cmp _ -> true | _ -> false) b.Mir.Block.insns
+
+let cc_needing fn label =
+  match Mir.Func.find_block_opt fn label with
+  | Some b -> (
+    match b.Mir.Block.term.Mir.Block.kind with
+    | Mir.Block.Br _ -> not (has_cmp b)
+    | _ -> false)
+  | None -> false
+
+let coalescible fn (seq : Detect.t) ~max_span =
+  let items = seq.Detect.items in
+  let pure = List.for_all (fun (it : Detect.item) -> it.Detect.sides = []) items in
+  let bounded =
+    List.for_all
+      (fun (it : Detect.item) ->
+        Range.lo it.Detect.range > Range.min_value
+        && Range.hi it.Detect.range < Range.max_value)
+      items
+  in
+  let targets_ok =
+    List.for_all
+      (fun (it : Detect.item) -> not (cc_needing fn it.Detect.target))
+      items
+    && not (cc_needing fn seq.Detect.default_target)
+  in
+  if not (pure && bounded && targets_ok && items <> []) then None
+  else begin
+    let lo =
+      List.fold_left
+        (fun acc (it : Detect.item) -> min acc (Range.lo it.Detect.range))
+        max_int items
+    in
+    let hi =
+      List.fold_left
+        (fun acc (it : Detect.item) -> max acc (Range.hi it.Detect.range))
+        min_int items
+    in
+    let span = hi - lo + 1 in
+    if span > max_span then None
+    else begin
+      let targets =
+        Array.init span (fun i ->
+            let v = lo + i in
+            match
+              List.find_opt
+                (fun (it : Detect.item) -> Range.mem v it.Detect.range)
+                items
+            with
+            | Some it -> it.Detect.target
+            | None -> seq.Detect.default_target)
+      in
+      Some { table_lo = lo; table_hi = hi; targets }
+    end
+  end
+
+let indirect_cost_per_execution (m : Sim.Cycle_model.params) =
+  6 + m.Sim.Cycle_model.indirect_penalty
+
+let decide ~machine ~total ~reorder_cost plan =
+  ignore plan;
+  total * indirect_cost_per_execution machine < reorder_cost
+
+let strip_trailing_cmp (b : Mir.Block.t) =
+  match List.rev b.Mir.Block.insns with
+  | Mir.Insn.Cmp _ :: rev_rest -> b.Mir.Block.insns <- List.rev rev_rest
+  | _ -> ()
+
+let apply fn (seq : Detect.t) plan =
+  let head = Mir.Func.find_block fn seq.Detect.head in
+  strip_trailing_cmp head;
+  let var = Mir.Operand.Reg seq.Detect.var in
+  let tid = Mir.Func.add_jtable fn plan.targets in
+  let idx = Mir.Func.fresh_reg fn in
+  let hi_label = Mir.Func.fresh_label fn in
+  let jump_label = Mir.Func.fresh_label fn in
+  head.Mir.Block.insns <-
+    head.Mir.Block.insns @ [ Mir.Insn.Cmp (var, Mir.Operand.Imm plan.table_lo) ];
+  head.Mir.Block.term <-
+    Mir.Block.term (Mir.Block.Br (Mir.Cond.Lt, seq.Detect.default_target, hi_label));
+  Mir.Func.insert_blocks_after fn seq.Detect.head
+    [
+      Mir.Block.make ~label:hi_label
+        [ Mir.Insn.Cmp (var, Mir.Operand.Imm plan.table_hi) ]
+        (Mir.Block.Br (Mir.Cond.Gt, seq.Detect.default_target, jump_label));
+      Mir.Block.make ~label:jump_label
+        [ Mir.Insn.Binop (Mir.Insn.Sub, idx, var, Mir.Operand.Imm plan.table_lo) ]
+        (Mir.Block.Jtab (idx, tid));
+    ]

@@ -1,0 +1,48 @@
+(** Coalescing a sequence of range conditions into an indirect jump
+    (Uh & Whalley, SAS 1997 — the companion transformation the paper
+    compares against, and its conclusion's suggestion: "profile
+    information should be used to decide if an indirect jump should be
+    generated or branch reordering should instead be applied").
+
+    A detected sequence whose explicit ranges are all bounded, with no
+    intervening side effects and no condition-code-consuming targets,
+    can be replaced wholesale by two bounds checks, an index subtraction
+    and a jump through a dense table mapping every value in
+    [min lo .. max hi] to its target (default-target entries fill the
+    holes; both out-of-bounds sides go to the sequence's default).
+
+    The estimated per-execution cost is a constant
+    [6 + indirect_penalty] instructions-equivalent, independent of the
+    profile; {!decide} compares it against the reordered sequence's
+    Equation 2 estimate under a given machine model, reproducing the
+    paper's Section 9 observation that the decision flips as indirect
+    jumps get more expensive (SPARC IPC vs Ultra 1). *)
+
+type plan = {
+  table_lo : int;
+  table_hi : int;
+  targets : string array;  (** [table_hi - table_lo + 1] entries *)
+}
+
+val coalescible :
+  Mir.Func.t -> Detect.t -> max_span:int -> plan option
+(** [None] when a range is unbounded, side effects intervene, a target
+    consumes condition codes, or the dense span exceeds [max_span]. *)
+
+val indirect_cost_per_execution : Sim.Cycle_model.params -> int
+(** 2 compares + 2 branches + subtract + indirect jump, plus the
+    machine's indirect-jump penalty. *)
+
+val decide :
+  machine:Sim.Cycle_model.params ->
+  total:int ->
+  reorder_cost:int ->
+  plan ->
+  bool
+(** True when the coalesced form's scaled cost beats [reorder_cost]
+    (a {!Select.choice}'s [est_cost], already scaled by [total]). *)
+
+val apply : Mir.Func.t -> Detect.t -> plan -> unit
+(** Rewrites the sequence head into the bounds-checked indirect jump.
+    The original condition blocks die by unreachability as in the
+    reordering transformation. *)

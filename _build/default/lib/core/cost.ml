@@ -1,0 +1,22 @@
+let explicit_cost items =
+  let _, total =
+    List.fold_left
+      (fun (prefix, acc) (count, cost) ->
+        let prefix = prefix + cost in
+        (prefix, acc + (count * prefix)))
+      (0, 0) items
+  in
+  total
+
+let sequence_cost ~total ~explicit =
+  let counted = List.fold_left (fun acc (count, _) -> acc + count) 0 explicit in
+  let all_costs = List.fold_left (fun acc (_, cost) -> acc + cost) 0 explicit in
+  explicit_cost explicit + ((total - counted) * all_costs)
+
+let eliminate_delta ~items ~tcost ~tprob ~elim_cost i =
+  let count_i, cost_i = items.(i) in
+  (count_i * (tcost.(i) - elim_cost)) - (cost_i * tprob.(i))
+
+let compare_ratio (count_a, cost_a) (count_b, cost_b) =
+  (* a/ca >= b/cb  <=>  a*cb >= b*ca (costs are positive) *)
+  Int.compare (count_b * cost_a) (count_a * cost_b)

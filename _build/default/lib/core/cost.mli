@@ -1,0 +1,31 @@
+(** The paper's cost model (Section 6, Equations 1, 2 and 4).
+
+    Probabilities are represented by raw profile counts; all costs are in
+    integer units of "instructions x executions" (multiplying Equation 1
+    through by the total execution count), which keeps the arithmetic
+    exact and the comparisons deterministic. *)
+
+val explicit_cost : (int * int) list -> int
+(** [explicit_cost [(count_1, c_1); ...]] is Equation 1 scaled by the
+    total count: [sum_i count_i * (c_1 + ... + c_i)]. *)
+
+val sequence_cost :
+  total:int -> explicit:(int * int) list -> int
+(** Equation 2 scaled by the total count: the explicit cost plus
+    [(total - sum_i count_i) * (c_1 + ... + c_n)] for the executions that
+    exit through the untested default ranges. *)
+
+val eliminate_delta :
+  items:(int * int) array -> tcost:int array -> tprob:int array ->
+  elim_cost:int -> int -> int
+(** The Equation 4 increment used by the Figure 8 algorithm:
+    [eliminate_delta ~items ~tcost ~tprob ~elim_cost i] is the change in
+    sequence cost from additionally not testing item [i], where
+    [tcost.(i) = c_(i+1) + ... + c_n], [tprob.(i) = count_i + ... +
+    count_n], and [elim_cost] is the summed cost of items of the same
+    target already eliminated at positions after [i]. *)
+
+val compare_ratio : (int * int) -> (int * int) -> int
+(** [compare_ratio (count_a, cost_a) (count_b, cost_b)] orders by
+    descending probability/cost ratio (Theorem 3) without division:
+    negative when [a] must come first. *)

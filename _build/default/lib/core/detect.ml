@@ -1,0 +1,338 @@
+type item = {
+  range : Range.t;
+  target : string;
+  orig_pos : int;
+  item_blocks : string list;
+  sides : Mir.Insn.t list;
+  exit_cc_const : int;
+  had_own_cmp : bool;
+}
+
+type t = {
+  seq_id : int;
+  func_name : string;
+  var : Mir.Reg.t;
+  head : string;
+  items : item list;
+  default_target : string;
+  default_cc_const : int option;
+}
+
+let items_count seq = List.length seq.items
+
+let branches seq =
+  List.fold_left (fun acc it -> acc + List.length it.item_blocks) 0 seq.items
+
+let explicit_ranges seq = List.map (fun it -> it.range) seq.items
+let default_ranges seq = Range.complement_cover (explicit_ranges seq)
+
+let pp ppf seq =
+  Format.fprintf ppf "seq #%d in %s on %a, head %s:@\n" seq.seq_id
+    seq.func_name Mir.Reg.pp seq.var seq.head;
+  List.iter
+    (fun it ->
+      Format.fprintf ppf "  %d: %a -> %s%s@\n" it.orig_pos Range.pp it.range
+        it.target
+        (if it.sides = [] then ""
+         else Printf.sprintf " (%d side-effect insns)" (List.length it.sides)))
+    seq.items;
+  Format.fprintf ppf "  default -> %s@\n" seq.default_target
+
+(* ------------------------------------------------------------------ *)
+(* Parsing one block as a range condition                              *)
+(* ------------------------------------------------------------------ *)
+
+(* a candidate interpretation of the condition starting at some block *)
+type cand = {
+  c_range : Range.t;
+  c_exit : string;        (* target when the value is in the range *)
+  c_next : string;        (* where the sequence continues *)
+  c_exit_cc : int;        (* cmp constant live on the exit edge *)
+  c_next_cc : int option; (* cmp constant live on the continue edge *)
+  c_blocks : string list;
+  c_sides : Mir.Insn.t list;
+  c_own_cmp : bool;
+}
+
+let in_bounds c = c > Range.min_value && c < Range.max_value
+
+(* the block's test: variable, constant, leading side effects, whether the
+   compare is the block's own *)
+type test = {
+  t_var : Mir.Reg.t;
+  t_const : int;
+  t_sides : Mir.Insn.t list;
+  t_own : bool;
+}
+
+let split_last_cmp insns =
+  match List.rev insns with
+  | Mir.Insn.Cmp (a, b) :: rev_rest -> Some (List.rev rev_rest, a, b)
+  | _ -> None
+
+let block_test ~var ~cc (b : Mir.Block.t) =
+  match b.Mir.Block.term.kind with
+  | Mir.Block.Br _ -> (
+    match split_last_cmp b.Mir.Block.insns with
+    | Some (sides, a, cb) -> (
+      let normalized =
+        match a, cb with
+        | Mir.Operand.Reg r, Mir.Operand.Imm c -> Some (r, c, false)
+        | Mir.Operand.Imm c, Mir.Operand.Reg r -> Some (r, c, true)
+        | _ -> None
+      in
+      match normalized with
+      | Some (r, c, swapped) ->
+        let var_ok = match var with None -> true | Some v -> Mir.Reg.equal v r in
+        if var_ok && in_bounds c then
+          Some ({ t_var = r; t_const = c; t_sides = sides; t_own = true }, swapped)
+        else None
+      | None -> None)
+    | None -> (
+      (* no compare anywhere in the body: the branch consumes the
+         condition codes of the path's previous compare *)
+      let has_cmp =
+        List.exists (function Mir.Insn.Cmp _ -> true | _ -> false)
+          b.Mir.Block.insns
+      in
+      match var, cc, has_cmp with
+      | Some v, Some c, false ->
+        Some
+          ( { t_var = v; t_const = c; t_sides = b.Mir.Block.insns; t_own = false },
+            false )
+      | _ -> None))
+  | Mir.Block.Jmp _ | Mir.Block.Switch _ | Mir.Block.Jtab _ | Mir.Block.Ret _ ->
+    None
+
+let br_edges (b : Mir.Block.t) =
+  match b.Mir.Block.term.kind with
+  | Mir.Block.Br (cond, taken, fall) -> Some (cond, taken, fall)
+  | _ -> None
+
+(* interval of values for which [cond] against [c] holds; None when the
+   set is not an interval (Ne) or is empty *)
+(* [in_bounds c] holds for every compare constant that reaches here, so
+   c-1 / c+1 stay within [min_value, max_value] *)
+let cond_interval cond c =
+  match cond with
+  | Mir.Cond.Eq -> Some (c, c)
+  | Mir.Cond.Ne -> None
+  | Mir.Cond.Lt -> Some (Range.min_value, c - 1)
+  | Mir.Cond.Le -> Some (Range.min_value, c)
+  | Mir.Cond.Gt -> Some (c + 1, Range.max_value)
+  | Mir.Cond.Ge -> Some (c, Range.max_value)
+
+let intersect (a_lo, a_hi) (b_lo, b_hi) =
+  let lo = max a_lo b_lo and hi = min a_hi b_hi in
+  if lo <= hi then Some (lo, hi) else None
+
+(* Form 4: this block's relational branch combined with a successor block
+   holding the matching opposite bound, sharing a common "out" successor
+   (Figure 4's bounded-range case). *)
+let pair_cands fn ~marked (b : Mir.Block.t) (test : test) cond taken fall =
+  if not test.t_own then []
+  else
+    let try_edge my_cond my_target other_target =
+      match cond_interval my_cond test.t_const with
+      | None -> []
+      | Some my_iv -> (
+        match Mir.Func.find_block_opt fn my_target with
+        | None -> []
+        | Some s ->
+          if
+            Hashtbl.mem marked s.Mir.Block.label
+            || String.equal s.Mir.Block.label b.Mir.Block.label
+          then []
+          else
+            (* s must be exactly one compare of the same variable *)
+            (match s.Mir.Block.insns, br_edges s with
+            | [ Mir.Insn.Cmp (Mir.Operand.Reg r2, Mir.Operand.Imm c2) ],
+              Some (cond2, taken2, fall2)
+              when Mir.Reg.equal r2 test.t_var && in_bounds c2 ->
+              let consider s_cond s_exit s_out =
+                if not (String.equal s_out other_target) then []
+                else
+                  match cond_interval s_cond c2 with
+                  | None -> []
+                  | Some s_iv -> (
+                    match intersect my_iv s_iv with
+                    | Some (lo, hi)
+                      when lo > Range.min_value && hi < Range.max_value ->
+                      [
+                        {
+                          c_range = Range.make lo hi;
+                          c_exit = s_exit;
+                          c_next = other_target;
+                          c_exit_cc = c2;
+                          c_next_cc = None;
+                          c_blocks = [ b.Mir.Block.label; s.Mir.Block.label ];
+                          c_sides = test.t_sides;
+                          c_own_cmp = true;
+                        };
+                      ]
+                    | Some _ | None -> [])
+              in
+              consider cond2 taken2 fall2 @ consider (Mir.Cond.negate cond2) fall2 taken2
+            | _ -> []))
+    in
+    (* my in-range edge can be either the taken or the fall-through edge *)
+    try_edge cond taken fall @ try_edge (Mir.Cond.negate cond) fall taken
+
+(* All interpretations of the condition at block [b], in the paper's
+   preference order: equality forms, bounded pairs, then the two readings
+   of a relational branch. *)
+let candidates fn ~marked ~var ~cc (b : Mir.Block.t) =
+  match block_test ~var ~cc b with
+  | None -> []
+  | Some (test, swapped) -> (
+    match br_edges b with
+    | None -> []
+    | Some (cond0, taken, fall) ->
+      let cond = if swapped then Mir.Cond.swap cond0 else cond0 in
+      let c = test.t_const in
+      let mk range exit next next_cc =
+        {
+          c_range = range;
+          c_exit = exit;
+          c_next = next;
+          c_exit_cc = c;
+          c_next_cc = next_cc;
+          c_blocks = [ b.Mir.Block.label ];
+          c_sides = test.t_sides;
+          c_own_cmp = test.t_own;
+        }
+      in
+      let relational lo_r hi_r =
+        (* taken-side range R first, fall-side range I second *)
+        [ mk lo_r taken fall (Some c); mk hi_r fall taken (Some c) ]
+      in
+      (match cond with
+      | Mir.Cond.Eq -> [ mk (Range.single c) taken fall (Some c) ]
+      | Mir.Cond.Ne -> [ mk (Range.single c) fall taken (Some c) ]
+      | Mir.Cond.Lt ->
+        pair_cands fn ~marked b test cond taken fall
+        @ relational (Range.below (c - 1)) (Range.above c)
+      | Mir.Cond.Le ->
+        pair_cands fn ~marked b test cond taken fall
+        @ relational (Range.below c) (Range.above (c + 1))
+      | Mir.Cond.Gt ->
+        pair_cands fn ~marked b test cond taken fall
+        @ relational (Range.above (c + 1)) (Range.below c)
+      | Mir.Cond.Ge ->
+        pair_cands fn ~marked b test cond taken fall
+        @ relational (Range.above c) (Range.below (c - 1))))
+
+(* ------------------------------------------------------------------ *)
+(* Walking a path of range conditions                                  *)
+(* ------------------------------------------------------------------ *)
+
+let defines_var var insn = List.exists (Mir.Reg.equal var) (Mir.Insn.defs insn)
+
+(* side effects must be duplicable: they may not redefine the branch
+   variable (Theorem 2) and profiling pseudos must not be duplicated *)
+let sides_ok var sides =
+  List.for_all
+    (fun i -> (not (defines_var var i)) && not (Mir.Insn.is_profile i))
+    sides
+
+let find_from fn ~marked ~min_len head =
+  let rec walk ~var ~cc ~ranges ~acc ~path block =
+    let stop () = (List.rev acc, block.Mir.Block.label, cc) in
+    if Hashtbl.mem marked block.Mir.Block.label then stop ()
+    else if List.mem block.Mir.Block.label path then stop ()
+    else
+      let cands = candidates fn ~marked ~var ~cc block in
+      let viable =
+        List.find_opt
+          (fun cand ->
+            Range.nonoverlapping cand.c_range ranges
+            && (acc = [] || sides_ok (Option.get var) cand.c_sides))
+          cands
+      in
+      match viable with
+      | None -> stop ()
+      | Some cand ->
+        let var_reg =
+          match var with
+          | Some v -> v
+          | None -> (
+            (* first condition fixes the variable *)
+            match block_test ~var:None ~cc block with
+            | Some (test, _) -> test.t_var
+            | None -> assert false)
+        in
+        let item =
+          {
+            range = cand.c_range;
+            target = cand.c_exit;
+            orig_pos = List.length acc + 1;
+            item_blocks = cand.c_blocks;
+            sides = (if acc = [] then [] else cand.c_sides);
+            exit_cc_const = cand.c_exit_cc;
+            had_own_cmp = cand.c_own_cmp;
+          }
+        in
+        (* the head's leading instructions stay in place, so they are not
+           side effects of the sequence; later blocks' leading
+           instructions are recorded on their item *)
+        (match Mir.Func.find_block_opt fn cand.c_next with
+        | Some next_block ->
+          walk ~var:(Some var_reg) ~cc:cand.c_next_cc
+            ~ranges:(cand.c_range :: ranges) ~acc:(item :: acc)
+            ~path:(block.Mir.Block.label :: path) next_block
+        | None -> (List.rev (item :: acc), cand.c_next, cand.c_next_cc))
+  in
+  let items, default_target, default_cc =
+    walk ~var:None ~cc:None ~ranges:[] ~acc:[] ~path:[] head
+  in
+  if List.length items >= min_len then
+    Some (items, default_target, default_cc)
+  else None
+
+let find_func ?(min_len = 2) ~next_id (fn : Mir.Func.t) =
+  let marked = Hashtbl.create 64 in
+  let reachable = Mir.Func.reachable fn in
+  let seqs = ref [] in
+  List.iter
+    (fun (b : Mir.Block.t) ->
+      if
+        (not (Hashtbl.mem marked b.Mir.Block.label))
+        && Hashtbl.mem reachable b.Mir.Block.label
+        (* a head must carry its own compare *)
+        && (match split_last_cmp b.Mir.Block.insns with
+           | Some (_, Mir.Operand.Reg _, Mir.Operand.Imm _)
+           | Some (_, Mir.Operand.Imm _, Mir.Operand.Reg _) ->
+             true
+           | Some _ | None -> false)
+      then
+        match find_from fn ~marked ~min_len b with
+        | Some (items, default_target, default_cc) ->
+          let var =
+            match block_test ~var:None ~cc:None b with
+            | Some (test, _) -> test.t_var
+            | None -> assert false
+          in
+          let seq =
+            {
+              seq_id = !next_id;
+              func_name = fn.Mir.Func.name;
+              var;
+              head = b.Mir.Block.label;
+              items;
+              default_target;
+              default_cc_const = default_cc;
+            }
+          in
+          incr next_id;
+          List.iter
+            (fun it ->
+              List.iter (fun l -> Hashtbl.replace marked l ()) it.item_blocks)
+            items;
+          seqs := seq :: !seqs
+        | None -> ())
+    fn.Mir.Func.blocks;
+  List.rev !seqs
+
+let find_program ?min_len (p : Mir.Program.t) =
+  let next_id = ref 0 in
+  List.concat_map (fun fn -> find_func ?min_len ~next_id fn) p.Mir.Program.funcs

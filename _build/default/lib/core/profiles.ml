@@ -1,0 +1,116 @@
+type counts_view = {
+  item_counts : int array;
+  default_counts : (Range.t * int) list;
+  total : int;
+}
+
+(* the profile table's rows: every range of the sequence sorted by lo,
+   remembering where each came from *)
+type row = {
+  row_range : Range.t;
+  row_origin : [ `Item of int | `Default of int ];
+}
+
+let rows (seq : Detect.t) =
+  let explicit =
+    List.mapi
+      (fun i (it : Detect.item) -> { row_range = it.Detect.range; row_origin = `Item i })
+      seq.Detect.items
+  in
+  let defaults =
+    List.mapi
+      (fun j r -> { row_range = r; row_origin = `Default j })
+      (Detect.default_ranges seq)
+  in
+  List.sort
+    (fun a b -> Range.compare a.row_range b.row_range)
+    (explicit @ defaults)
+
+let insert_profile_insn fn (seq : Detect.t) =
+  let head = Mir.Func.find_block fn seq.Detect.head in
+  let rec splice = function
+    | [ (Mir.Insn.Cmp _ as cmp) ] ->
+      [ Mir.Insn.Profile_range (seq.Detect.seq_id, seq.Detect.var); cmp ]
+    | i :: rest -> i :: splice rest
+    | [] ->
+      invalid_arg
+        (Printf.sprintf "Profiles.instrument: head %s has no compare"
+           seq.Detect.head)
+  in
+  head.Mir.Block.insns <- splice head.Mir.Block.insns
+
+let instrument (p : Mir.Program.t) (seqs : Detect.t list) =
+  let table = Sim.Profile.make () in
+  List.iter
+    (fun (seq : Detect.t) ->
+      let rs = rows seq in
+      let bounds =
+        Array.of_list
+          (List.map (fun r -> (Range.lo r.row_range, Range.hi r.row_range)) rs)
+      in
+      ignore (Sim.Profile.register_range_seq table seq.Detect.seq_id bounds);
+      let fn = Mir.Program.find_func p seq.Detect.func_name in
+      insert_profile_insn fn seq)
+    seqs;
+  table
+
+let counts table (seq : Detect.t) =
+  match Sim.Profile.find_range_seq table seq.Detect.seq_id with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Profiles.counts: sequence %d not registered"
+         seq.Detect.seq_id)
+  | Some prof ->
+    let rs = rows seq in
+    let item_counts = Array.make (List.length seq.Detect.items) 0 in
+    let defaults = ref [] in
+    List.iteri
+      (fun idx row ->
+        let count = prof.Sim.Profile.counts.(idx) in
+        match row.row_origin with
+        | `Item i -> item_counts.(i) <- count
+        | `Default _ -> defaults := (row.row_range, count) :: !defaults)
+      rs;
+    {
+      item_counts;
+      default_counts = List.rev !defaults;
+      total = prof.Sim.Profile.executions;
+    }
+
+let strip (p : Mir.Program.t) =
+  List.iter
+    (fun (fn : Mir.Func.t) ->
+      List.iter
+        (fun (b : Mir.Block.t) ->
+          b.Mir.Block.insns <-
+            List.filter (fun i -> not (Mir.Insn.is_profile i)) b.Mir.Block.insns)
+        fn.Mir.Func.blocks)
+    p.Mir.Program.funcs
+
+let select_input (seq : Detect.t) view =
+  let n = List.length seq.Detect.items in
+  let explicit =
+    List.mapi
+      (fun i (it : Detect.item) ->
+        {
+          Select.in_range = it.Detect.range;
+          in_target = it.Detect.target;
+          in_cost = Range_cond.cost it.Detect.range;
+          in_count = view.item_counts.(i);
+          in_payload = i;
+        })
+      seq.Detect.items
+  in
+  let defaults =
+    List.mapi
+      (fun j (r, count) ->
+        {
+          Select.in_range = r;
+          in_target = seq.Detect.default_target;
+          in_cost = Range_cond.cost r;
+          in_count = count;
+          in_payload = n + j;
+        })
+      view.default_counts
+  in
+  explicit @ defaults

@@ -1,0 +1,30 @@
+(** Profiling support for reorderable sequences (Section 5).
+
+    All instrumentation for a sequence lives at its head: one
+    {!Mir.Insn.Profile_range} pseudo instruction placed just before the
+    head's compare records which range — explicit or default — the branch
+    variable falls in each time the sequence is entered from the top.
+    The pseudo instruction is free in the simulator and removed by
+    {!strip} before any measurement run. *)
+
+type counts_view = {
+  item_counts : int array;          (** per explicit item, original order *)
+  default_counts : (Range.t * int) list;  (** per default range, by lo *)
+  total : int;                      (** executions of the sequence head *)
+}
+
+val instrument : Mir.Program.t -> Detect.t list -> Sim.Profile.t
+(** Registers every sequence's range table and inserts the profiling
+    pseudo instruction at each head.  The program is modified in place. *)
+
+val counts : Sim.Profile.t -> Detect.t -> counts_view
+(** Read back training counts after a profiling run. *)
+
+val strip : Mir.Program.t -> unit
+(** Remove all profiling pseudo instructions. *)
+
+val select_input : Detect.t -> counts_view -> Select.input_item list
+(** Assemble the selection problem: explicit items carry payloads
+    [0 .. n-1] (their original 0-based position); default ranges carry
+    payloads [n, n+1, ...] and target the sequence's default label.
+    Costs come from {!Range_cond.cost}. *)

@@ -1,0 +1,62 @@
+type t = {
+  lo : int;
+  hi : int;
+}
+
+let min_value = -0x4000_0000
+let max_value = 0x3FFF_FFFF
+
+let make lo hi =
+  if lo < min_value || hi > max_value || lo > hi then
+    invalid_arg (Printf.sprintf "Range.make %d %d" lo hi);
+  { lo; hi }
+
+let single c = make c c
+let below c = make min_value c
+let above c = make c max_value
+let full = { lo = min_value; hi = max_value }
+
+let lo r = r.lo
+let hi r = r.hi
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let compare a b =
+  match Int.compare a.lo b.lo with 0 -> Int.compare a.hi b.hi | c -> c
+
+let pp ppf r =
+  let bound ppf v =
+    if v = min_value then Format.fprintf ppf "MIN"
+    else if v = max_value then Format.fprintf ppf "MAX"
+    else Format.fprintf ppf "%d" v
+  in
+  if r.lo = r.hi then Format.fprintf ppf "[%a]" bound r.lo
+  else Format.fprintf ppf "[%a..%a]" bound r.lo bound r.hi
+
+let show r = Format.asprintf "%a" pp r
+let mem v r = r.lo <= v && v <= r.hi
+let size r = r.hi - r.lo + 1
+let is_single r = r.lo = r.hi
+let is_bounded r = r.lo > min_value && r.hi < max_value && r.lo < r.hi
+let overlaps a b = a.lo <= b.hi && b.lo <= a.hi
+let nonoverlapping r rs = not (List.exists (overlaps r) rs)
+let sort_by_lo rs = List.sort compare rs
+
+let complement_cover rs =
+  let sorted = sort_by_lo rs in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      if overlaps a b then
+        invalid_arg "Range.complement_cover: overlapping input";
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  let gaps = ref [] in
+  let cursor = ref min_value in
+  List.iter
+    (fun r ->
+      if r.lo > !cursor then gaps := make !cursor (r.lo - 1) :: !gaps;
+      cursor := r.hi + 1)
+    sorted;
+  if !cursor <= max_value then gaps := make !cursor max_value :: !gaps;
+  List.rev !gaps

@@ -1,0 +1,55 @@
+(** Ranges of contiguous integer values (paper Definition 1).
+
+    Bounds are inclusive.  [min_value] and [max_value] play the paper's
+    MIN/MAX roles; they are chosen well inside the OCaml integer range so
+    that [c - 1] / [c + 1] arithmetic on range endpoints cannot overflow.
+    Programs whose compared constants leave this interval are rejected by
+    sequence detection. *)
+
+type t = private {
+  lo : int;
+  hi : int;
+}
+
+val min_value : int
+val max_value : int
+
+val make : int -> int -> t
+(** Raises [Invalid_argument] unless [min_value <= lo <= hi <= max_value]. *)
+
+val single : int -> t
+
+val below : int -> t
+(** [below c] is [MIN .. c]. *)
+
+val above : int -> t
+(** [above c] is [c .. MAX]. *)
+
+val full : t
+val lo : t -> int
+val hi : t -> int
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Orders by [lo], then [hi]. *)
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val mem : int -> t -> bool
+val size : t -> int
+val is_single : t -> bool
+val is_bounded : t -> bool
+(** Bounded on both sides and spanning more than one value: the Form 4
+    shape that needs two conditional branches (Table 1). *)
+
+val overlaps : t -> t -> bool
+val nonoverlapping : t -> t list -> bool
+(** Definition 5 lifted to a set. *)
+
+val complement_cover : t list -> t list
+(** Given nonoverlapping ranges, the minimal set of ranges covering all
+    remaining values (the paper's default ranges, Section 5), sorted by
+    [lo].  Raises [Invalid_argument] if inputs overlap. *)
+
+val sort_by_lo : t list -> t list

@@ -1,0 +1,72 @@
+type form =
+  | Form_single of int
+  | Form_below of int
+  | Form_above of int
+  | Form_bounded of int * int
+
+let form r =
+  let lo = Range.lo r and hi = Range.hi r in
+  if lo = hi then Form_single lo
+  else if lo = Range.min_value && hi = Range.max_value then
+    invalid_arg "Range_cond.form: full range is not a testable condition"
+  else if lo = Range.min_value then Form_below hi
+  else if hi = Range.max_value then Form_above lo
+  else Form_bounded (lo, hi)
+
+let cost r =
+  match form r with
+  | Form_single _ | Form_below _ | Form_above _ -> 2
+  | Form_bounded _ -> 4
+
+let branch_count r =
+  match form r with
+  | Form_single _ | Form_below _ | Form_above _ -> 1
+  | Form_bounded _ -> 2
+
+type emitted = {
+  entry_label : string;
+  blocks : Mir.Block.t list;
+}
+
+let rop r = Mir.Operand.Reg r
+let imm n = Mir.Operand.Imm n
+
+let one_block fn ~var ~const ~cond ~exit_to ~fall_to =
+  let label = Mir.Func.fresh_label fn in
+  let block =
+    Mir.Block.make ~label
+      [ Mir.Insn.Cmp (rop var, imm const) ]
+      (Mir.Block.Br (cond, exit_to, fall_to))
+  in
+  { entry_label = label; blocks = [ block ] }
+
+let emit fn ~var ~range ~exit_to ~fall_to ~lower_first =
+  match form range with
+  | Form_single c ->
+    one_block fn ~var ~const:c ~cond:Mir.Cond.Eq ~exit_to ~fall_to
+  | Form_below c ->
+    one_block fn ~var ~const:c ~cond:Mir.Cond.Le ~exit_to ~fall_to
+  | Form_above c ->
+    one_block fn ~var ~const:c ~cond:Mir.Cond.Ge ~exit_to ~fall_to
+  | Form_bounded (c1, c2) ->
+    let l1 = Mir.Func.fresh_label fn in
+    let l2 = Mir.Func.fresh_label fn in
+    let b1, b2 =
+      if lower_first then
+        (* test v < c1 (out of range) first, then v <= c2 *)
+        ( Mir.Block.make ~label:l1
+            [ Mir.Insn.Cmp (rop var, imm c1) ]
+            (Mir.Block.Br (Mir.Cond.Lt, fall_to, l2)),
+          Mir.Block.make ~label:l2
+            [ Mir.Insn.Cmp (rop var, imm c2) ]
+            (Mir.Block.Br (Mir.Cond.Le, exit_to, fall_to)) )
+      else
+        (* test v > c2 first, then v >= c1 *)
+        ( Mir.Block.make ~label:l1
+            [ Mir.Insn.Cmp (rop var, imm c2) ]
+            (Mir.Block.Br (Mir.Cond.Gt, fall_to, l2)),
+          Mir.Block.make ~label:l2
+            [ Mir.Insn.Cmp (rop var, imm c1) ]
+            (Mir.Block.Br (Mir.Cond.Ge, exit_to, fall_to)) )
+    in
+    { entry_label = l1; blocks = [ b1; b2 ] }

@@ -1,0 +1,43 @@
+(** Range conditions (paper Definition 2 and Table 1).
+
+    A range condition tests whether the branch variable lies in a range:
+
+    - Form 1, [v = c]: one branch ([cmp v,c; be]);
+    - Form 2, [v <= c] (range [MIN..c]): one branch;
+    - Form 3, [v >= c] (range [c..MAX]): one branch;
+    - Form 4, [c1 <= v <= c2]: two compare/branch pairs.
+
+    [emit] produces the replica blocks used by the transformation
+    (Section 8); for Form 4 the caller chooses which bound is tested first
+    (the Section 7 improvement). *)
+
+type form =
+  | Form_single of int       (** [v = c] *)
+  | Form_below of int        (** [v <= c] *)
+  | Form_above of int        (** [v >= c] *)
+  | Form_bounded of int * int
+
+val form : Range.t -> form
+
+val cost : Range.t -> int
+(** Estimated instructions to test the range: comparisons plus branches
+    (Definition 10; 2 for single-branch forms, 4 for Form 4). *)
+
+val branch_count : Range.t -> int
+
+type emitted = {
+  entry_label : string;     (** label of the first block of the test *)
+  blocks : Mir.Block.t list;
+}
+
+val emit :
+  Mir.Func.t ->
+  var:Mir.Reg.t ->
+  range:Range.t ->
+  exit_to:string ->
+  fall_to:string ->
+  lower_first:bool ->
+  emitted
+(** Fresh blocks implementing "if [var] in [range] goto [exit_to] else
+    goto [fall_to]".  [lower_first] selects the bound tested first for
+    Form 4 (ignored otherwise). *)

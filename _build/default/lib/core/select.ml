@@ -1,0 +1,183 @@
+type input_item = {
+  in_range : Range.t;
+  in_target : string;
+  in_cost : int;
+  in_count : int;
+  in_payload : int;
+}
+
+type choice = {
+  ordered : input_item list;
+  eliminated : input_item list;
+  default_target : string;
+  est_cost : int;
+}
+
+(* descending p/c, deterministic tie-break on payload (original order) *)
+let sort_by_ratio items =
+  List.stable_sort
+    (fun a b ->
+      match Cost.compare_ratio (a.in_count, a.in_cost) (b.in_count, b.in_cost) with
+      | 0 -> Int.compare a.in_payload b.in_payload
+      | c -> c)
+    items
+
+let choice_cost ~total ordered eliminated =
+  let explicit = List.map (fun it -> (it.in_count, it.in_cost)) ordered in
+  ignore eliminated;
+  Cost.sequence_cost ~total ~explicit
+
+let unique_targets items =
+  List.fold_left
+    (fun acc it ->
+      if List.exists (String.equal it.in_target) acc then acc
+      else acc @ [ it.in_target ])
+    [] items
+
+let payload_mem it set = List.exists (fun e -> e.in_payload = it.in_payload) set
+
+let make_choice ~total sorted eliminated target =
+  let ordered = List.filter (fun it -> not (payload_mem it eliminated)) sorted in
+  {
+    ordered;
+    eliminated;
+    default_target = target;
+    est_cost = choice_cost ~total ordered eliminated;
+  }
+
+let best_of candidates =
+  List.fold_left
+    (fun best c ->
+      match best with
+      | None -> Some c
+      | Some b -> if c.est_cost < b.est_cost then Some c else Some b)
+    None candidates
+
+(* The Figure 8 algorithm.  For fidelity we also compute the incremental
+   Equation 4 cost and assert it against the direct evaluation. *)
+let greedy ?(compatible = fun _ -> true) ~total items =
+  match items with
+  | [] -> None
+  | _ ->
+    let sorted = sort_by_ratio items in
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    let counts_costs = Array.map (fun it -> (it.in_count, it.in_cost)) arr in
+    let explicit_all =
+      Cost.explicit_cost (Array.to_list counts_costs)
+    in
+    (* tcost.(i) = c_(i+1) + ... + c_n ; tprob.(i) = p_i + ... + p_n *)
+    let tcost = Array.make n 0 and tprob = Array.make n 0 in
+    for i = n - 2 downto 0 do
+      tcost.(i) <- snd counts_costs.(i + 1) + tcost.(i + 1)
+    done;
+    tprob.(n - 1) <- fst counts_costs.(n - 1);
+    for i = n - 2 downto 0 do
+      tprob.(i) <- fst counts_costs.(i) + tprob.(i + 1)
+    done;
+    (* Equation 4 assumes every execution is covered by some item
+       (sum of counts = total); when tests feed synthetic counts the
+       uncovered mass also saves the eliminated test's cost *)
+    let uncounted =
+      total - Array.fold_left (fun acc (c, _) -> acc + c) 0 counts_costs
+    in
+    let explicit_all =
+      explicit_all
+      + (uncounted * Array.fold_left (fun acc (_, c) -> acc + c) 0 counts_costs)
+    in
+    let candidates = ref [] in
+    List.iter
+      (fun target ->
+        (* this target's items, from lowest to highest p/c, i.e. walking
+           the sorted order backwards *)
+        let positions = ref [] in
+        Array.iteri
+          (fun i it -> if String.equal it.in_target target then
+              positions := i :: !positions)
+          arr;
+        let cost = ref explicit_all in
+        let elim_cost = ref 0 in
+        let elim_set = ref [] in
+        List.iter
+          (fun i ->
+            cost :=
+              !cost
+              + Cost.eliminate_delta ~items:counts_costs ~tcost ~tprob
+                  ~elim_cost:!elim_cost i
+              - (snd counts_costs.(i) * uncounted);
+            elim_cost := !elim_cost + snd counts_costs.(i);
+            elim_set := arr.(i) :: !elim_set;
+            if compatible !elim_set then begin
+              let c = make_choice ~total sorted !elim_set target in
+              (* cross-check Equation 4 against the direct evaluation *)
+              assert (c.est_cost = !cost);
+              candidates := c :: !candidates
+            end)
+          !positions)
+      (unique_targets sorted);
+    best_of (List.rev !candidates)
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let subs = subsets rest in
+    subs @ List.map (fun s -> x :: s) subs
+
+let exhaustive ?(compatible = fun _ -> true) ?(max_items = 16) ~total items =
+  if List.length items > max_items then
+    invalid_arg "Select.exhaustive: too many items";
+  match items with
+  | [] -> None
+  | _ ->
+    let sorted = sort_by_ratio items in
+    let candidates = ref [] in
+    List.iter
+      (fun target ->
+        let mine = List.filter (fun it -> String.equal it.in_target target) sorted in
+        List.iter
+          (fun subset ->
+            if subset <> [] && compatible subset then
+              candidates := make_choice ~total sorted subset target :: !candidates)
+          (subsets mine))
+      (unique_targets sorted);
+    best_of (List.rev !candidates)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | items ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y.in_payload <> x.in_payload) items in
+        List.map (fun p -> x :: p) (permutations rest))
+      items
+
+let brute_force ?(compatible = fun _ -> true) ?(max_items = 7) ~total items =
+  if List.length items > max_items then
+    invalid_arg "Select.brute_force: too many items";
+  match items with
+  | [] -> None
+  | _ ->
+    let candidates = ref [] in
+    List.iter
+      (fun target ->
+        let mine = List.filter (fun it -> String.equal it.in_target target) items in
+        List.iter
+          (fun subset ->
+            if subset <> [] && compatible subset then
+              let rest =
+                List.filter (fun it -> not (payload_mem it subset)) items
+              in
+              List.iter
+                (fun perm ->
+                  candidates :=
+                    {
+                      ordered = perm;
+                      eliminated = subset;
+                      default_target = target;
+                      est_cost = choice_cost ~total perm subset;
+                    }
+                    :: !candidates)
+                (permutations rest))
+          (subsets mine))
+      (unique_targets items);
+    best_of (List.rev !candidates)

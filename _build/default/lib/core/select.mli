@@ -1,0 +1,61 @@
+(** Choosing the best ordering of a sequence (Section 6, Figure 8).
+
+    The input is the full set of ranges associated with a sequence —
+    every explicit range condition plus every computed default range,
+    each with its exit target, estimated cost and training count.  The
+    output is an ordered list of ranges to test explicitly, sorted by
+    descending probability/cost (optimal by Theorem 3), plus a nonempty
+    set of ranges of one target left untested, whose target becomes the
+    reordered sequence's default.
+
+    [greedy] follows Figure 8: for each candidate default target it
+    considers only the elimination prefixes in ascending p/c order
+    (m combinations instead of 2^m - 1).  [exhaustive] tries every
+    nonempty subset of every target (still ordering the remaining tests
+    by p/c, which is optimal for a fixed eliminated set).  [brute_force]
+    additionally tries every permutation and is only for validating
+    Theorem 3 in tests. *)
+
+type input_item = {
+  in_range : Range.t;
+  in_target : string;
+  in_cost : int;   (** estimated instructions (Definition 10) *)
+  in_count : int;  (** training executions exiting through this range *)
+  in_payload : int; (** caller's index, carried through *)
+}
+
+type choice = {
+  ordered : input_item list;     (** explicit tests, in execution order *)
+  eliminated : input_item list;  (** untested ranges (all share a target) *)
+  default_target : string;
+  est_cost : int;                (** scaled Equation 2 cost of the choice *)
+}
+
+val choice_cost : total:int -> input_item list -> input_item list -> int
+(** [choice_cost ~total ordered eliminated] evaluates a configuration
+    directly (used to cross-check the incremental Equation 4 path). *)
+
+val greedy :
+  ?compatible:(input_item list -> bool) ->
+  total:int ->
+  input_item list ->
+  choice option
+(** [None] when no candidate elimination set satisfies [compatible]
+    (which restricts eliminations when intervening side effects make
+    mixed original positions unsound to merge on one default edge). *)
+
+val exhaustive :
+  ?compatible:(input_item list -> bool) ->
+  ?max_items:int ->
+  total:int ->
+  input_item list ->
+  choice option
+(** Raises [Invalid_argument] beyond [max_items] (default 16) items. *)
+
+val brute_force :
+  ?compatible:(input_item list -> bool) ->
+  ?max_items:int ->
+  total:int ->
+  input_item list ->
+  choice option
+(** All permutations times all eliminations; [max_items] defaults to 7. *)

@@ -1,0 +1,56 @@
+type t = {
+  total_seqs : int;
+  reordered_seqs : int;
+  orig_branch_lengths : int list;
+  final_branch_lengths : int list;
+  avg_len_before : float;
+  avg_len_after : float;
+}
+
+let average = function
+  | [] -> 0.0
+  | xs -> float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int (List.length xs)
+
+let of_lengths ~total_seqs ~orig ~final =
+  {
+    total_seqs;
+    reordered_seqs = List.length orig;
+    orig_branch_lengths = orig;
+    final_branch_lengths = final;
+    avg_len_before = average orig;
+    avg_len_after = average final;
+  }
+
+let of_report (r : Pass.report) =
+  let reordered =
+    List.filter
+      (fun sr ->
+        match sr.Pass.sr_outcome with
+        | Pass.Reordered _ -> true
+        | Pass.Coalesced _ | Pass.Unchanged _ -> false)
+      r.Pass.seq_reports
+  in
+  of_lengths
+    ~total_seqs:(List.length r.Pass.seq_reports)
+    ~orig:(List.map (fun sr -> sr.Pass.sr_orig_branches) reordered)
+    ~final:(List.map (fun sr -> sr.Pass.sr_final_branches) reordered)
+
+let merge a b =
+  of_lengths
+    ~total_seqs:(a.total_seqs + b.total_seqs)
+    ~orig:(a.orig_branch_lengths @ b.orig_branch_lengths)
+    ~final:(a.final_branch_lengths @ b.final_branch_lengths)
+
+let histogram lengths =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace table l (1 + Option.value ~default:0 (Hashtbl.find_opt table l)))
+    lengths;
+  Hashtbl.fold (fun len count acc -> (len, count) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "sequences: %d detected, %d reordered; avg length %.2f -> %.2f"
+    t.total_seqs t.reordered_seqs t.avg_len_before t.avg_len_after

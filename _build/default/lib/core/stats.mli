@@ -1,0 +1,22 @@
+(** Static measurements over a reordering run (paper Table 8 and
+    Figures 11-13). *)
+
+type t = {
+  total_seqs : int;
+  reordered_seqs : int;
+  orig_branch_lengths : int list;
+      (** branches per reordered sequence, before (Figures 11-13, left) *)
+  final_branch_lengths : int list;
+      (** branches per reordered sequence, after (Figures 11-13, right) *)
+  avg_len_before : float;  (** over reordered sequences only, as in Table 8 *)
+  avg_len_after : float;
+}
+
+val of_report : Pass.report -> t
+
+val merge : t -> t -> t
+
+val histogram : int list -> (int * int) list
+(** [(length, occurrences)] sorted by length. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/driver/config.ml: List Mopt Reorder Sim

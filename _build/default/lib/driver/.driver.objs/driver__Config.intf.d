@@ -1,0 +1,1 @@
+lib/driver/config.mli: Mopt Reorder Sim

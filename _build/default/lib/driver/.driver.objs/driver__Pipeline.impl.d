@@ -1,0 +1,1 @@
+lib/driver/pipeline.ml: Array Config Hashtbl List Minic Mir Mopt Printf Reorder Sim String

@@ -1,0 +1,1 @@
+lib/driver/pipeline.mli: Config Mir Reorder Sim

@@ -1,0 +1,35 @@
+type t = {
+  heuristic : Mopt.Switch_lower.heuristic_set;
+  selector : [ `Greedy | `Exhaustive ];
+  apply_options : Reorder.Apply.options;
+  reorder_enabled : bool;
+  common_succ : bool;
+  keep_original_default : bool;
+  coalesce_machine : Sim.Cycle_model.params option;
+  delay_fill_from_target : bool;
+  profile_layout : bool;
+  predictors : (int * int * int) list;
+  validate : bool;
+  fuel : int;
+}
+
+let paper_predictors =
+  List.concat_map
+    (fun entries -> [ (0, 1, entries); (0, 2, entries) ])
+    [ 32; 64; 128; 256; 512; 1024; 2048 ]
+
+let default =
+  {
+    heuristic = Mopt.Switch_lower.set_i;
+    selector = `Greedy;
+    apply_options = Reorder.Apply.default_options;
+    reorder_enabled = true;
+    common_succ = false;
+    keep_original_default = false;
+    coalesce_machine = None;
+    delay_fill_from_target = true;
+    profile_layout = false;
+    predictors = paper_predictors;
+    validate = true;
+    fuel = 500_000_000;
+  }

@@ -1,0 +1,34 @@
+(** Pipeline configuration. *)
+
+type t = {
+  heuristic : Mopt.Switch_lower.heuristic_set;
+      (** switch translation heuristic set (paper Table 2) *)
+  selector : [ `Greedy | `Exhaustive ];
+      (** ordering selection algorithm (Figure 8 vs full subset search) *)
+  apply_options : Reorder.Apply.options;
+  reorder_enabled : bool;   (** false = measure the original only *)
+  common_succ : bool;       (** also reorder common-successor runs (Sec. 10) *)
+  keep_original_default : bool;
+      (** ablation: restrict the default target to the original one *)
+  coalesce_machine : Sim.Cycle_model.params option;
+      (** when set, each sequence may instead be coalesced into an
+          indirect jump if that is cheaper under this machine's cost
+          model (the paper's Section 9 suggestion, via [UhW97]) *)
+  delay_fill_from_target : bool;
+      (** fill remaining delay slots from the taken successor with the
+          annul bit (vpo's strategy; ablation toggle) *)
+  profile_layout : bool;
+      (** lay out both versions with training-run branch frequencies
+          (Calder-Grunwald-style placement; an ablation, not part of the
+          paper's baseline) *)
+  predictors : (int * int * int) list;
+      (** (history bits, counter bits, entries) simulated on every run *)
+  validate : bool;          (** run the MIR validator after every stage *)
+  fuel : int;               (** simulator instruction budget per run *)
+}
+
+val default : t
+
+val paper_predictors : (int * int * int) list
+(** The (0,1) and (0,2) predictors with 32..2048 entries of Table 6
+    (which includes Table 5's (0,2)x2048). *)

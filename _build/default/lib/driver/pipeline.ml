@@ -1,0 +1,211 @@
+type version = {
+  v_program : Mir.Program.t;
+  v_static_insns : int;
+  v_counters : Sim.Counters.t;
+  v_output : string;
+  v_exit_code : int;
+  v_mispredicts : ((int * int * int) * int) list;
+  v_cycles : (string * int) list;
+}
+
+type result = {
+  r_name : string;
+  r_config : Config.t;
+  r_seqs : Reorder.Detect.t list;
+  r_report : Reorder.Pass.report;
+  r_comb : (Reorder.Common_succ.run * Reorder.Common_succ.outcome) list;
+  r_pairs : (Reorder.Common_succ.pair * Reorder.Common_succ.outcome) list;
+  r_stats : Reorder.Stats.t;
+  r_original : version;
+  r_reordered : version;
+}
+
+let pct original changed =
+  if original = 0 then 0.0
+  else 100.0 *. float_of_int (changed - original) /. float_of_int original
+
+let compile_base (config : Config.t) source =
+  let prog = Minic.Lower.compile source in
+  Mopt.Switch_lower.lower_program config.Config.heuristic prog;
+  Mopt.Cleanup.run prog;
+  if config.Config.validate then Mir.Validate.check prog;
+  prog
+
+let sim_config (config : Config.t) =
+  { Sim.Machine.default_config with Sim.Machine.fuel = config.Config.fuel }
+
+(* profile-guided layout: run the training input once more against this
+   very binary (layouts need edge frequencies of the final CFG, which
+   the instrumentation run's clone cannot provide), then place hot arms
+   on the fall-through path *)
+let apply_profile_layout (config : Config.t) prog ~training_input =
+  Mopt.Delay_slot.strip prog;
+  let site_names = Sim.Machine.sites prog in
+  let tables : (string, Mopt.Profile_layout.counts) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let on_branch ~site ~taken =
+    let func, label = site_names.(site) in
+    let counts =
+      match Hashtbl.find_opt tables func with
+      | Some c -> c
+      | None ->
+        let c = Hashtbl.create 16 in
+        Hashtbl.replace tables func c;
+        c
+    in
+    let t, nt =
+      match Hashtbl.find_opt counts label with Some x -> x | None -> (0, 0)
+    in
+    Hashtbl.replace counts label
+      (if taken then (t + 1, nt) else (t, nt + 1))
+  in
+  let _ =
+    Sim.Machine.run ~config:(sim_config config) ~on_branch prog
+      ~input:training_input
+  in
+  ignore (Mopt.Profile_layout.run prog tables)
+
+(* measure a finalized program on the test input with all predictors *)
+let measure (config : Config.t) prog ~input =
+  let predictors =
+    List.map
+      (fun (h, c, e) ->
+        ((h, c, e), Sim.Predictor.make ~history_bits:h ~counter_bits:c ~entries:e))
+      config.Config.predictors
+  in
+  let on_branch ~site ~taken =
+    List.iter (fun (_, p) -> Sim.Predictor.access p ~site ~taken) predictors
+  in
+  let result =
+    Sim.Machine.run ~config:(sim_config config) ~on_branch prog ~input
+  in
+  let mispredicts =
+    List.map (fun (key, p) -> (key, Sim.Predictor.mispredicts p)) predictors
+  in
+  let cycles =
+    List.map
+      (fun (m : Sim.Cycle_model.params) ->
+        let penalized =
+          match m.Sim.Cycle_model.predictor with
+          | Some key -> (
+            match List.assoc_opt key mispredicts with
+            | Some n -> n
+            | None ->
+              (* the model's predictor was not simulated; fall back to
+                 taken branches like the predictor-less machines *)
+              result.Sim.Machine.counters.Sim.Counters.taken_branches)
+          | None -> result.Sim.Machine.counters.Sim.Counters.taken_branches
+        in
+        ( m.Sim.Cycle_model.model_name,
+          Sim.Cycle_model.cycles m result.Sim.Machine.counters
+            ~mispredicts:penalized ))
+      Sim.Cycle_model.all_machines
+  in
+  {
+    v_program = prog;
+    v_static_insns = Mir.Program.static_insn_count prog;
+    v_counters = result.Sim.Machine.counters;
+    v_output = result.Sim.Machine.output;
+    v_exit_code = result.Sim.Machine.exit_code;
+    v_mispredicts = mispredicts;
+    v_cycles = cycles;
+  }
+
+let run ?(config = Config.default) ~name ~source ~training_input ~test_input () =
+  let base = compile_base config source in
+
+  (* detection on the optimized base *)
+  let seqs =
+    if config.Config.reorder_enabled then Reorder.Detect.find_program base
+    else []
+  in
+  let seq_blocks = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Reorder.Detect.t) ->
+      Hashtbl.replace seq_blocks s.Reorder.Detect.head ();
+      List.iter
+        (fun (it : Reorder.Detect.item) ->
+          List.iter (fun l -> Hashtbl.replace seq_blocks l ()) it.Reorder.Detect.item_blocks)
+        s.Reorder.Detect.items)
+    seqs;
+  let combs =
+    if config.Config.reorder_enabled && config.Config.common_succ then
+      Reorder.Common_succ.find_program
+        ~exclude:(Hashtbl.mem seq_blocks)
+        ~first_id:1_000_000 base
+    else []
+  in
+  let pairs = Reorder.Common_succ.find_pairs base combs ~first_id:2_000_000 in
+
+  (* pass 1: instrument a clone and train *)
+  let train_prog = Mir.Clone.program base in
+  let table = Reorder.Profiles.instrument train_prog seqs in
+  Reorder.Common_succ.instrument train_prog combs table;
+  Reorder.Common_succ.instrument_pairs train_prog pairs table;
+  if config.Config.validate then Mir.Validate.check train_prog;
+  let _ =
+    Sim.Machine.run ~config:(sim_config config) ~profile:table train_prog
+      ~input:training_input
+  in
+
+  (* finalization: with profile layout enabled the frequency-driven
+     placement must come after all cleanup (the static repositioner
+     would override it), followed only by delay-slot filling *)
+  let finalize prog =
+    if config.Config.profile_layout then begin
+      Mopt.Cleanup.run prog;
+      Reorder.Profiles.strip prog;
+      apply_profile_layout config prog ~training_input;
+      ignore
+        (Mopt.Delay_slot.run ~steal:config.Config.delay_fill_from_target prog)
+    end
+    else
+      ignore
+        (Mopt.Cleanup.finalize
+           ~steal_delay_slots:config.Config.delay_fill_from_target prog)
+  in
+
+  (* original version: finalize the base as-is *)
+  let orig = Mir.Clone.program base in
+  finalize orig;
+  if config.Config.validate then Mir.Validate.check orig;
+
+  (* pass 2: reorder, clean up, finalize *)
+  let reord = Mir.Clone.program base in
+  let report =
+    Reorder.Pass.run ~options:config.Config.apply_options
+      ~selector:config.Config.selector
+      ~keep_original_default:config.Config.keep_original_default
+      ?coalesce_machine:config.Config.coalesce_machine reord seqs table
+  in
+  (* within-run permutations first (they re-emit each run's edges from
+     the run record), then super-branch pair swaps, which relink those
+     edges between the groups *)
+  let comb_outcomes =
+    List.map (fun r -> (r, Reorder.Common_succ.apply reord table r)) combs
+  in
+  let pair_outcomes =
+    List.map (fun pr -> (pr, Reorder.Common_succ.apply_pair reord table pr)) pairs
+  in
+  finalize reord;
+  if config.Config.validate then Mir.Validate.check reord;
+
+  let original = measure config orig ~input:test_input in
+  let reordered = measure config reord ~input:test_input in
+  if not (String.equal original.v_output reordered.v_output) then
+    failwith
+      (Printf.sprintf "%s: reordered output differs from original" name);
+  if original.v_exit_code <> reordered.v_exit_code then
+    failwith (Printf.sprintf "%s: reordered exit code differs" name);
+  {
+    r_name = name;
+    r_config = config;
+    r_seqs = seqs;
+    r_report = report;
+    r_comb = comb_outcomes;
+    r_pairs = pair_outcomes;
+    r_stats = Reorder.Stats.of_report report;
+    r_original = original;
+    r_reordered = reordered;
+  }

@@ -1,0 +1,52 @@
+(** The two-compilation-pass process of the paper's Figure 2.
+
+    Pass 1: front end, switch lowering under the configured heuristic
+    set, conventional optimizations, sequence detection, profiling
+    instrumentation, and a training run.  Pass 2: reordering driven by
+    the profile, cleanup reinvocation, delay-slot filling.  The original
+    (non-reordered) version is finalized from the same optimized base and
+    both are measured on the test input, with every configured branch
+    predictor attached.
+
+    The outputs of the two versions are compared; a mismatch raises
+    [Failure] (it would mean the transformation changed semantics). *)
+
+type version = {
+  v_program : Mir.Program.t;
+  v_static_insns : int;
+  v_counters : Sim.Counters.t;
+  v_output : string;
+  v_exit_code : int;
+  v_mispredicts : ((int * int * int) * int) list;
+      (** per predictor configuration *)
+  v_cycles : (string * int) list;  (** per cycle-model machine *)
+}
+
+type result = {
+  r_name : string;
+  r_config : Config.t;
+  r_seqs : Reorder.Detect.t list;
+  r_report : Reorder.Pass.report;
+  r_comb : (Reorder.Common_succ.run * Reorder.Common_succ.outcome) list;
+  r_pairs : (Reorder.Common_succ.pair * Reorder.Common_succ.outcome) list;
+      (** Figure 14(d)-(e) super-branch pairs, when [common_succ] is on *)
+  r_stats : Reorder.Stats.t;
+  r_original : version;
+  r_reordered : version;
+}
+
+val compile_base : Config.t -> string -> Mir.Program.t
+(** Front end + switch lowering + conventional optimizations (no
+    reordering, no delay slots). *)
+
+val run :
+  ?config:Config.t ->
+  name:string ->
+  source:string ->
+  training_input:string ->
+  test_input:string ->
+  unit ->
+  result
+
+val pct : int -> int -> float
+(** [pct original changed] is the percentage change, e.g. [-7.91]. *)

@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Array Ast List Mir Option Parser Sema Srcloc String

@@ -1,0 +1,1 @@
+lib/frontend/sema.ml: Array Ast Char Hashtbl List Option Srcloc String

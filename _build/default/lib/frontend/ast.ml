@@ -1,0 +1,204 @@
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | BAnd | BOr | BXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | LAnd | LOr
+
+type unop = Neg | LNot | BNot
+
+type lvalue =
+  | Lvar of string
+  | Lindex of string * expr
+
+and expr = {
+  desc : expr_desc;
+  eloc : Srcloc.t;
+}
+
+and expr_desc =
+  | Num of int
+  | Str of string
+  | Var of string
+  | Index of string * expr
+  | Call of string * expr list
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Assign of lvalue * expr
+  | Op_assign of binop * lvalue * expr
+  | Incr of { pre : bool; up : bool; lv : lvalue }
+  | Ternary of expr * expr * expr
+
+type stmt = {
+  sdesc : stmt_desc;
+  sloc : Srcloc.t;
+}
+
+and stmt_desc =
+  | Sexpr of expr
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of expr option * expr option * expr option * stmt
+  | Sswitch of expr * switch_group list
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+  | Sblock of block_item list
+
+and switch_group = {
+  labels : case_label list;
+  body : stmt list;
+}
+
+and case_label =
+  | Case of expr
+  | Default
+
+and block_item =
+  | Local of local_decl
+  | Stmt of stmt
+
+and local_decl = {
+  lname : string;
+  linit : expr option;
+  lloc : Srcloc.t;
+}
+
+type func_decl = {
+  fname : string;
+  fparams : string list;
+  fret_void : bool;
+  fbody : block_item list;
+  floc : Srcloc.t;
+}
+
+type global_init =
+  | Gscalar of expr
+  | Gstring of string
+  | Glist of expr list
+
+type global_decl = {
+  gname : string;
+  garray : expr option option;
+  ginit : global_init option;
+  gloc : Srcloc.t;
+}
+
+type decl =
+  | Func of func_decl
+  | Global of global_decl
+
+type program = decl list
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | BAnd -> "&" | BOr -> "|" | BXor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | LAnd -> "&&" | LOr -> "||"
+
+let unop_name = function Neg -> "-" | LNot -> "!" | BNot -> "~"
+
+let pp_binop ppf op = Format.pp_print_string ppf (binop_name op)
+
+let rec pp_lvalue ppf = function
+  | Lvar v -> Format.pp_print_string ppf v
+  | Lindex (a, e) -> Format.fprintf ppf "%s[%a]" a pp_expr e
+
+and pp_expr ppf e =
+  match e.desc with
+  | Num n -> Format.fprintf ppf "%d" n
+  | Str s -> Format.fprintf ppf "%S" s
+  | Var v -> Format.pp_print_string ppf v
+  | Index (a, i) -> Format.fprintf ppf "%s[%a]" a pp_expr i
+  | Call (f, args) ->
+    Format.fprintf ppf "%s(%a)" f
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_expr)
+      args
+  | Unary (op, e) -> Format.fprintf ppf "%s(%a)" (unop_name op) pp_expr e
+  | Binary (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Assign (lv, e) -> Format.fprintf ppf "%a = %a" pp_lvalue lv pp_expr e
+  | Op_assign (op, lv, e) ->
+    Format.fprintf ppf "%a %s= %a" pp_lvalue lv (binop_name op) pp_expr e
+  | Incr { pre; up; lv } ->
+    let op = if up then "++" else "--" in
+    if pre then Format.fprintf ppf "%s%a" op pp_lvalue lv
+    else Format.fprintf ppf "%a%s" pp_lvalue lv op
+  | Ternary (c, t, f) ->
+    Format.fprintf ppf "(%a ? %a : %a)" pp_expr c pp_expr t pp_expr f
+
+let rec pp_stmt ppf s =
+  match s.sdesc with
+  | Sexpr e -> Format.fprintf ppf "%a;" pp_expr e
+  | Sif (c, t, None) -> Format.fprintf ppf "if (%a) %a" pp_expr c pp_stmt t
+  | Sif (c, t, Some f) ->
+    Format.fprintf ppf "if (%a) %a else %a" pp_expr c pp_stmt t pp_stmt f
+  | Swhile (c, b) -> Format.fprintf ppf "while (%a) %a" pp_expr c pp_stmt b
+  | Sdo (b, c) -> Format.fprintf ppf "do %a while (%a);" pp_stmt b pp_expr c
+  | Sfor (init, cond, step, b) ->
+    let pp_opt ppf = function
+      | None -> ()
+      | Some e -> pp_expr ppf e
+    in
+    Format.fprintf ppf "for (%a; %a; %a) %a" pp_opt init pp_opt cond pp_opt
+      step pp_stmt b
+  | Sswitch (e, groups) ->
+    Format.fprintf ppf "switch (%a) {@\n" pp_expr e;
+    List.iter
+      (fun g ->
+        List.iter
+          (function
+            | Case c -> Format.fprintf ppf "case %a:@\n" pp_expr c
+            | Default -> Format.fprintf ppf "default:@\n")
+          g.labels;
+        List.iter (fun s -> Format.fprintf ppf "  %a@\n" pp_stmt s) g.body)
+      groups;
+    Format.fprintf ppf "}"
+  | Sbreak -> Format.fprintf ppf "break;"
+  | Scontinue -> Format.fprintf ppf "continue;"
+  | Sreturn None -> Format.fprintf ppf "return;"
+  | Sreturn (Some e) -> Format.fprintf ppf "return %a;" pp_expr e
+  | Sblock items ->
+    Format.fprintf ppf "{@\n";
+    List.iter (fun item -> Format.fprintf ppf "  %a@\n" pp_block_item item) items;
+    Format.fprintf ppf "}"
+
+and pp_block_item ppf = function
+  | Local { lname; linit = None; _ } -> Format.fprintf ppf "int %s;" lname
+  | Local { lname; linit = Some e; _ } ->
+    Format.fprintf ppf "int %s = %a;" lname pp_expr e
+  | Stmt s -> pp_stmt ppf s
+
+let pp_decl ppf = function
+  | Func f ->
+    Format.fprintf ppf "%s %s(%s) %a"
+      (if f.fret_void then "void" else "int")
+      f.fname
+      (String.concat ", " (List.map (fun p -> "int " ^ p) f.fparams))
+      pp_stmt
+      { sdesc = Sblock f.fbody; sloc = f.floc }
+  | Global g ->
+    let array =
+      match g.garray with
+      | None -> ""
+      | Some None -> "[]"
+      | Some (Some e) -> Format.asprintf "[%a]" pp_expr e
+    in
+    let init =
+      match g.ginit with
+      | None -> ""
+      | Some (Gscalar e) -> Format.asprintf " = %a" pp_expr e
+      | Some (Gstring s) -> Format.asprintf " = %S" s
+      | Some (Glist es) ->
+        Format.asprintf " = {%a}"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+             pp_expr)
+          es
+    in
+    Format.fprintf ppf "int %s%s%s;" g.gname array init
+
+let pp_program ppf p =
+  List.iter (fun d -> Format.fprintf ppf "%a@\n@\n" pp_decl d) p

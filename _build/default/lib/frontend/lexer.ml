@@ -1,0 +1,218 @@
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the beginning of the current line *)
+}
+
+let loc st = { Srcloc.line = st.line; col = st.pos - st.bol + 1 }
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.pos + 1
+  | Some _ | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let keyword = function
+  | "int" | "char" -> Some Token.KW_INT
+  | "void" -> Some Token.KW_VOID
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "while" -> Some Token.KW_WHILE
+  | "do" -> Some Token.KW_DO
+  | "for" -> Some Token.KW_FOR
+  | "switch" -> Some Token.KW_SWITCH
+  | "case" -> Some Token.KW_CASE
+  | "default" -> Some Token.KW_DEFAULT
+  | "break" -> Some Token.KW_BREAK
+  | "continue" -> Some Token.KW_CONTINUE
+  | "return" -> Some Token.KW_RETURN
+  | _ -> None
+
+let lex_escape st =
+  match peek st with
+  | None -> Srcloc.error (loc st) "unterminated escape sequence"
+  | Some c ->
+    advance st;
+    (match c with
+    | 'n' -> '\n'
+    | 't' -> '\t'
+    | 'r' -> '\r'
+    | '0' -> '\000'
+    | '\\' -> '\\'
+    | '\'' -> '\''
+    | '"' -> '"'
+    | c -> Srcloc.error (loc st) "unknown escape '\\%c'" c)
+
+let lex_char_literal st start =
+  (* opening quote already consumed *)
+  let c =
+    match peek st with
+    | None -> Srcloc.error start "unterminated character literal"
+    | Some '\\' ->
+      advance st;
+      lex_escape st
+    | Some c ->
+      advance st;
+      c
+  in
+  (match peek st with
+  | Some '\'' -> advance st
+  | Some _ | None -> Srcloc.error start "unterminated character literal");
+  Token.INT (Char.code c)
+
+let lex_string st start =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> Srcloc.error start "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      Buffer.add_char buf (lex_escape st);
+      go ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Token.STRING (Buffer.contents buf)
+
+let lex_number st =
+  let start = st.pos in
+  let hex =
+    peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X')
+  in
+  if hex then begin
+    advance st;
+    advance st;
+    while (match peek st with Some c -> is_hex c | None -> false) do
+      advance st
+    done;
+    Token.INT (int_of_string (String.sub st.src start (st.pos - start)))
+  end
+  else begin
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    Token.INT (int_of_string (String.sub st.src start (st.pos - start)))
+  end
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match keyword s with Some kw -> kw | None -> Token.IDENT s
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do
+      advance st
+    done;
+    skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+    let start = loc st in
+    advance st;
+    advance st;
+    let rec close () =
+      match peek st, peek2 st with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | Some _, _ ->
+        advance st;
+        close ()
+      | None, _ -> Srcloc.error start "unterminated comment"
+    in
+    close ();
+    skip_ws_and_comments st
+  | Some _ | None -> ()
+
+let two st tok = advance st; advance st; tok
+let one st tok = advance st; tok
+
+let next_token st =
+  skip_ws_and_comments st;
+  let l = loc st in
+  let tok =
+    match peek st with
+    | None -> Token.EOF_TOK
+    | Some c -> (
+      match c, peek2 st with
+      | '\'', _ ->
+        advance st;
+        lex_char_literal st l
+      | '"', _ ->
+        advance st;
+        lex_string st l
+      | c, _ when is_digit c -> lex_number st
+      | c, _ when is_ident_start c -> lex_ident st
+      | '+', Some '+' -> two st Token.PLUSPLUS
+      | '+', Some '=' -> two st Token.PLUS_ASSIGN
+      | '+', _ -> one st Token.PLUS
+      | '-', Some '-' -> two st Token.MINUSMINUS
+      | '-', Some '=' -> two st Token.MINUS_ASSIGN
+      | '-', _ -> one st Token.MINUS
+      | '*', Some '=' -> two st Token.STAR_ASSIGN
+      | '*', _ -> one st Token.STAR
+      | '/', Some '=' -> two st Token.SLASH_ASSIGN
+      | '/', _ -> one st Token.SLASH
+      | '%', Some '=' -> two st Token.PERCENT_ASSIGN
+      | '%', _ -> one st Token.PERCENT
+      | '=', Some '=' -> two st Token.EQ
+      | '=', _ -> one st Token.ASSIGN
+      | '!', Some '=' -> two st Token.NE
+      | '!', _ -> one st Token.BANG
+      | '<', Some '=' -> two st Token.LE
+      | '<', Some '<' -> two st Token.SHL
+      | '<', _ -> one st Token.LT
+      | '>', Some '=' -> two st Token.GE
+      | '>', Some '>' -> two st Token.SHR
+      | '>', _ -> one st Token.GT
+      | '&', Some '&' -> two st Token.AMPAMP
+      | '&', _ -> one st Token.AMP
+      | '|', Some '|' -> two st Token.BARBAR
+      | '|', _ -> one st Token.BAR
+      | '^', _ -> one st Token.CARET
+      | '~', _ -> one st Token.TILDE
+      | '(', _ -> one st Token.LPAREN
+      | ')', _ -> one st Token.RPAREN
+      | '{', _ -> one st Token.LBRACE
+      | '}', _ -> one st Token.RBRACE
+      | '[', _ -> one st Token.LBRACKET
+      | ']', _ -> one st Token.RBRACKET
+      | ';', _ -> one st Token.SEMI
+      | ',', _ -> one st Token.COMMA
+      | ':', _ -> one st Token.COLON
+      | '?', _ -> one st Token.QUESTION
+      | c, _ -> Srcloc.error l "unexpected character '%c'" c)
+  in
+  (tok, l)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let rec go acc =
+    let (tok, _) as entry = next_token st in
+    match tok with
+    | Token.EOF_TOK -> List.rev (entry :: acc)
+    | _ -> go (entry :: acc)
+  in
+  go []

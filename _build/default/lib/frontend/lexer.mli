@@ -1,0 +1,9 @@
+(** Hand-written MiniC lexer.
+
+    Supports decimal and hexadecimal integer literals, character literals
+    (as integers), string literals with the usual C escapes, [//] and
+    [/* */] comments.  [char] lexes as the keyword [int]. *)
+
+val tokenize : string -> (Token.t * Srcloc.t) list
+(** The result always ends with an [EOF_TOK] entry.
+    Raises {!Srcloc.Error} on invalid input. *)

@@ -1,0 +1,520 @@
+module B = Mir.Builder
+
+type loop_ctx = {
+  break_to : string option;
+  continue_to : string option;
+}
+
+type env = {
+  prog : Mir.Program.t;
+  info : Sema.info;
+  b : B.t;
+  mutable vars : (string * Mir.Reg.t) list list;  (** scope stack *)
+  mutable loops : loop_ctx list;
+}
+
+let lookup_var env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with
+      | Some r -> Some r
+      | None -> go rest)
+  in
+  go env.vars
+
+let declare_var env name =
+  let r = B.fresh_reg env.b in
+  (match env.vars with
+  | scope :: rest -> env.vars <- ((name, r) :: scope) :: rest
+  | [] -> env.vars <- [ [ (name, r) ] ]);
+  r
+
+let is_global_scalar env name =
+  match lookup_var env name with
+  | Some _ -> false
+  | None -> List.mem_assoc name env.info.Sema.globals
+
+let ast_binop_to_mir : Ast.binop -> Mir.Insn.binop option = function
+  | Ast.Add -> Some Mir.Insn.Add
+  | Ast.Sub -> Some Mir.Insn.Sub
+  | Ast.Mul -> Some Mir.Insn.Mul
+  | Ast.Div -> Some Mir.Insn.Div
+  | Ast.Rem -> Some Mir.Insn.Rem
+  | Ast.BAnd -> Some Mir.Insn.And
+  | Ast.BOr -> Some Mir.Insn.Or
+  | Ast.BXor -> Some Mir.Insn.Xor
+  | Ast.Shl -> Some Mir.Insn.Shl
+  | Ast.Shr -> Some Mir.Insn.Shr
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.LAnd | Ast.LOr ->
+    None
+
+let comparison_cond : Ast.binop -> Mir.Cond.t option = function
+  | Ast.Eq -> Some Mir.Cond.Eq
+  | Ast.Ne -> Some Mir.Cond.Ne
+  | Ast.Lt -> Some Mir.Cond.Lt
+  | Ast.Le -> Some Mir.Cond.Le
+  | Ast.Gt -> Some Mir.Cond.Gt
+  | Ast.Ge -> Some Mir.Cond.Ge
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_expr env (e : Ast.expr) : Mir.Operand.t =
+  match e.desc with
+  | Ast.Num n -> Mir.Operand.Imm n
+  | Ast.Var "EOF" -> Mir.Operand.Imm (-1)
+  | Ast.Var name -> (
+    match lookup_var env name with
+    | Some r -> Mir.Operand.Reg r
+    | None ->
+      (* global scalar *)
+      let r = B.fresh_reg env.b in
+      B.insn env.b (Mir.Insn.Load (r, name, Mir.Operand.Imm 0));
+      Mir.Operand.Reg r)
+  | Ast.Index (name, idx) ->
+    let idx_op = lower_expr env idx in
+    let r = B.fresh_reg env.b in
+    B.insn env.b (Mir.Insn.Load (r, name, idx_op));
+    Mir.Operand.Reg r
+  | Ast.Str _ ->
+    (* sema restricts string literals to puts/print_str arguments *)
+    assert false
+  | Ast.Call (name, args) -> lower_call env ~want_value:true name args
+  | Ast.Unary (Ast.Neg, inner) -> (
+    match lower_expr env inner with
+    | Mir.Operand.Imm n -> Mir.Operand.Imm (-n)
+    | op ->
+      let r = B.fresh_reg env.b in
+      B.insn env.b (Mir.Insn.Unop (Mir.Insn.Neg, r, op));
+      Mir.Operand.Reg r)
+  | Ast.Unary (Ast.BNot, inner) -> (
+    match lower_expr env inner with
+    | Mir.Operand.Imm n -> Mir.Operand.Imm (lnot n)
+    | op ->
+      let r = B.fresh_reg env.b in
+      B.insn env.b
+        (Mir.Insn.Binop (Mir.Insn.Xor, r, op, Mir.Operand.Imm (-1)));
+      Mir.Operand.Reg r)
+  | Ast.Unary (Ast.LNot, _) | Ast.Binary ((Ast.LAnd | Ast.LOr), _, _) ->
+    materialize_bool env e
+  | Ast.Binary (op, a, b) -> (
+    match comparison_cond op with
+    | Some _ -> materialize_bool env e
+    | None -> (
+      let mir_op = Option.get (ast_binop_to_mir op) in
+      let va = lower_expr env a in
+      let vb = lower_expr env b in
+      match va, vb, mir_op with
+      | Mir.Operand.Imm _, Mir.Operand.Imm y, (Mir.Insn.Div | Mir.Insn.Rem)
+        when y = 0 ->
+        (* keep the trap at run time *)
+        let r = B.fresh_reg env.b in
+        B.insn env.b (Mir.Insn.Binop (mir_op, r, va, vb));
+        Mir.Operand.Reg r
+      | Mir.Operand.Imm x, Mir.Operand.Imm y, _ ->
+        Mir.Operand.Imm (Mir.Insn.eval_binop mir_op x y)
+      | _ ->
+        let r = B.fresh_reg env.b in
+        B.insn env.b (Mir.Insn.Binop (mir_op, r, va, vb));
+        Mir.Operand.Reg r))
+  | Ast.Assign (lv, rhs) -> (
+    let v = lower_expr env rhs in
+    store_lvalue env lv v;
+    (* read the value back through the lvalue's register where possible,
+       so every later comparison of the variable uses one register (the
+       sequence detector unifies conditions by register) *)
+    match lv with
+    | Ast.Lvar name -> (
+      match lookup_var env name with
+      | Some r -> Mir.Operand.Reg r
+      | None -> v)
+    | Ast.Lindex _ -> v)
+  | Ast.Op_assign (op, lv, rhs) -> (
+    let mir_op = Option.get (ast_binop_to_mir op) in
+    let rhs_v = lower_expr env rhs in
+    let old_v = load_lvalue env lv in
+    match lv with
+    | Ast.Lvar name when lookup_var env name <> None ->
+      let r = Option.get (lookup_var env name) in
+      B.insn env.b (Mir.Insn.Binop (mir_op, r, old_v, rhs_v));
+      Mir.Operand.Reg r
+    | Ast.Lvar _ | Ast.Lindex _ ->
+      let r = B.fresh_reg env.b in
+      B.insn env.b (Mir.Insn.Binop (mir_op, r, old_v, rhs_v));
+      store_lvalue env lv (Mir.Operand.Reg r);
+      Mir.Operand.Reg r)
+  | Ast.Incr { pre; up; lv } -> (
+    let op = if up then Mir.Insn.Add else Mir.Insn.Sub in
+    match lv with
+    | Ast.Lvar name when lookup_var env name <> None ->
+      let r = Option.get (lookup_var env name) in
+      if pre then begin
+        B.insn env.b
+          (Mir.Insn.Binop (op, r, Mir.Operand.Reg r, Mir.Operand.Imm 1));
+        Mir.Operand.Reg r
+      end
+      else begin
+        let keep = B.fresh_reg env.b in
+        B.insn env.b (Mir.Insn.Mov (keep, Mir.Operand.Reg r));
+        B.insn env.b
+          (Mir.Insn.Binop (op, r, Mir.Operand.Reg r, Mir.Operand.Imm 1));
+        Mir.Operand.Reg keep
+      end
+    | Ast.Lvar _ | Ast.Lindex _ ->
+      let old_v = load_lvalue env lv in
+      let r = B.fresh_reg env.b in
+      B.insn env.b (Mir.Insn.Binop (op, r, old_v, Mir.Operand.Imm 1));
+      let result =
+        if pre then Mir.Operand.Reg r
+        else
+          match old_v with
+          | Mir.Operand.Imm _ -> old_v
+          | Mir.Operand.Reg old_r ->
+            let keep = B.fresh_reg env.b in
+            B.insn env.b (Mir.Insn.Mov (keep, Mir.Operand.Reg old_r));
+            Mir.Operand.Reg keep
+      in
+      store_lvalue env lv (Mir.Operand.Reg r);
+      result)
+  | Ast.Ternary (c, t, f) ->
+    let result = B.fresh_reg env.b in
+    let l_true = B.new_label env.b in
+    let l_false = B.new_label env.b in
+    let l_join = B.new_label env.b in
+    lower_cond env c ~ltrue:l_true ~lfalse:l_false;
+    B.set_label env.b l_true;
+    let tv = lower_expr env t in
+    B.insn env.b (Mir.Insn.Mov (result, tv));
+    B.jmp env.b l_join;
+    B.set_label env.b l_false;
+    let fv = lower_expr env f in
+    B.insn env.b (Mir.Insn.Mov (result, fv));
+    B.set_label env.b l_join;
+    Mir.Operand.Reg result
+
+and materialize_bool env e =
+  let result = B.fresh_reg env.b in
+  let l_true = B.new_label env.b in
+  let l_false = B.new_label env.b in
+  let l_join = B.new_label env.b in
+  lower_cond env e ~ltrue:l_true ~lfalse:l_false;
+  B.set_label env.b l_true;
+  B.insn env.b (Mir.Insn.Mov (result, Mir.Operand.Imm 1));
+  B.jmp env.b l_join;
+  B.set_label env.b l_false;
+  B.insn env.b (Mir.Insn.Mov (result, Mir.Operand.Imm 0));
+  B.set_label env.b l_join;
+  Mir.Operand.Reg result
+
+and load_lvalue env = function
+  | Ast.Lvar name -> lower_expr env { Ast.desc = Ast.Var name; eloc = Srcloc.dummy }
+  | Ast.Lindex (name, idx) ->
+    lower_expr env { Ast.desc = Ast.Index (name, idx); eloc = Srcloc.dummy }
+
+and store_lvalue env lv v =
+  match lv with
+  | Ast.Lvar name -> (
+    match lookup_var env name with
+    | Some r -> B.insn env.b (Mir.Insn.Mov (r, v))
+    | None ->
+      assert (is_global_scalar env name);
+      B.insn env.b (Mir.Insn.Store (name, Mir.Operand.Imm 0, v)))
+  | Ast.Lindex (name, idx) ->
+    let idx_op = lower_expr env idx in
+    B.insn env.b (Mir.Insn.Store (name, idx_op, v))
+
+and lower_call env ~want_value name args =
+  match name, args with
+  | ("puts" | "print_str"), [ arg ] ->
+    let sym =
+      match arg.Ast.desc with
+      | Ast.Str s -> Mir.Program.intern_string env.prog s
+      | Ast.Var a -> a
+      | _ -> assert false
+    in
+    emit_string_output env sym ~newline:(String.equal name "puts");
+    Mir.Operand.Imm 0
+  | _ ->
+    let arg_ops = List.map (lower_expr env) args in
+    let fi = List.assoc name env.info.Sema.funcs in
+    let dst =
+      if fi.Sema.fi_returns_value || want_value then Some (B.fresh_reg env.b)
+      else None
+    in
+    B.insn env.b (Mir.Insn.Call (dst, name, arg_ops));
+    (match dst with
+    | Some r -> Mir.Operand.Reg r
+    | None -> Mir.Operand.Imm 0)
+
+(* evaluate a value-returning call's arguments without emitting the call
+   itself, so the caller can direct the result register *)
+and lower_call_args env (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Call (fname, args)
+    when not (String.equal fname "puts" || String.equal fname "print_str") ->
+    let fi = List.assoc fname env.info.Sema.funcs in
+    if fi.Sema.fi_returns_value then
+      Some (fname, List.map (lower_expr env) args)
+    else None
+  | _ -> None
+
+and emit_string_output env sym ~newline =
+  (* idx = 0; while ((c = sym[idx]) != 0) { putchar(c); idx++; } *)
+  let idx = B.fresh_reg env.b in
+  let c = B.fresh_reg env.b in
+  let l_head = B.new_label env.b in
+  let l_body = B.new_label env.b in
+  let l_done = B.new_label env.b in
+  B.insn env.b (Mir.Insn.Mov (idx, Mir.Operand.Imm 0));
+  B.set_label env.b l_head;
+  B.insn env.b (Mir.Insn.Load (c, sym, Mir.Operand.Reg idx));
+  B.insn env.b (Mir.Insn.Cmp (Mir.Operand.Reg c, Mir.Operand.Imm 0));
+  B.branch_to env.b Mir.Cond.Eq ~taken:l_done ~not_taken:l_body;
+  B.set_label env.b l_body;
+  B.insn env.b (Mir.Insn.Call (None, "putchar", [ Mir.Operand.Reg c ]));
+  B.insn env.b
+    (Mir.Insn.Binop (Mir.Insn.Add, idx, Mir.Operand.Reg idx, Mir.Operand.Imm 1));
+  B.jmp env.b l_head;
+  B.set_label env.b l_done;
+  if newline then
+    B.insn env.b (Mir.Insn.Call (None, "putchar", [ Mir.Operand.Imm 10 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Conditions (branch context)                                         *)
+(* ------------------------------------------------------------------ *)
+
+and lower_cond env (e : Ast.expr) ~ltrue ~lfalse =
+  match e.desc with
+  | Ast.Num n -> B.jmp env.b (if n <> 0 then ltrue else lfalse)
+  | Ast.Var "EOF" -> B.jmp env.b ltrue (* EOF = -1, always truthy *)
+  | Ast.Unary (Ast.LNot, inner) -> lower_cond env inner ~ltrue:lfalse ~lfalse:ltrue
+  | Ast.Binary (Ast.LAnd, a, b) ->
+    let l_mid = B.new_label env.b in
+    lower_cond env a ~ltrue:l_mid ~lfalse;
+    B.set_label env.b l_mid;
+    lower_cond env b ~ltrue ~lfalse
+  | Ast.Binary (Ast.LOr, a, b) ->
+    let l_mid = B.new_label env.b in
+    lower_cond env a ~ltrue ~lfalse:l_mid;
+    B.set_label env.b l_mid;
+    lower_cond env b ~ltrue ~lfalse
+  | Ast.Binary (op, a, b) when comparison_cond op <> None ->
+    let cond = Option.get (comparison_cond op) in
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    (* keep the variable on the left so detection sees cmp reg, imm *)
+    let va, vb, cond =
+      match va, vb with
+      | Mir.Operand.Imm _, Mir.Operand.Reg _ -> vb, va, Mir.Cond.swap cond
+      | _ -> va, vb, cond
+    in
+    B.insn env.b (Mir.Insn.Cmp (va, vb));
+    B.branch_to env.b cond ~taken:ltrue ~not_taken:lfalse
+  | _ ->
+    let v = lower_expr env e in
+    B.insn env.b (Mir.Insn.Cmp (v, Mir.Operand.Imm 0));
+    B.branch_to env.b Mir.Cond.Ne ~taken:ltrue ~not_taken:lfalse
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_stmt env (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Sexpr { Ast.desc = Ast.Call (name, args); _ } ->
+    ignore (lower_call env ~want_value:false name args)
+  | Ast.Sexpr e -> ignore (lower_expr env e)
+  | Ast.Sif (c, then_s, else_s) -> (
+    let l_then = B.new_label env.b in
+    let l_join = B.new_label env.b in
+    match else_s with
+    | None ->
+      lower_cond env c ~ltrue:l_then ~lfalse:l_join;
+      B.set_label env.b l_then;
+      lower_stmt env then_s;
+      B.set_label env.b l_join
+    | Some else_s ->
+      let l_else = B.new_label env.b in
+      lower_cond env c ~ltrue:l_then ~lfalse:l_else;
+      B.set_label env.b l_then;
+      lower_stmt env then_s;
+      B.jmp env.b l_join;
+      B.set_label env.b l_else;
+      lower_stmt env else_s;
+      B.set_label env.b l_join)
+  | Ast.Swhile (c, body) ->
+    let l_head = B.new_label env.b in
+    let l_body = B.new_label env.b in
+    let l_exit = B.new_label env.b in
+    B.set_label env.b l_head;
+    lower_cond env c ~ltrue:l_body ~lfalse:l_exit;
+    B.set_label env.b l_body;
+    env.loops <-
+      { break_to = Some l_exit; continue_to = Some l_head } :: env.loops;
+    lower_stmt env body;
+    env.loops <- List.tl env.loops;
+    B.jmp env.b l_head;
+    B.set_label env.b l_exit
+  | Ast.Sdo (body, c) ->
+    let l_body = B.new_label env.b in
+    let l_cond = B.new_label env.b in
+    let l_exit = B.new_label env.b in
+    B.set_label env.b l_body;
+    env.loops <-
+      { break_to = Some l_exit; continue_to = Some l_cond } :: env.loops;
+    lower_stmt env body;
+    env.loops <- List.tl env.loops;
+    B.set_label env.b l_cond;
+    lower_cond env c ~ltrue:l_body ~lfalse:l_exit;
+    B.set_label env.b l_exit
+  | Ast.Sfor (init, cond, step, body) ->
+    let l_head = B.new_label env.b in
+    let l_body = B.new_label env.b in
+    let l_step = B.new_label env.b in
+    let l_exit = B.new_label env.b in
+    Option.iter (fun e -> ignore (lower_expr env e)) init;
+    B.set_label env.b l_head;
+    (match cond with
+    | Some c -> lower_cond env c ~ltrue:l_body ~lfalse:l_exit
+    | None -> B.jmp env.b l_body);
+    B.set_label env.b l_body;
+    env.loops <-
+      { break_to = Some l_exit; continue_to = Some l_step } :: env.loops;
+    lower_stmt env body;
+    env.loops <- List.tl env.loops;
+    B.set_label env.b l_step;
+    Option.iter (fun e -> ignore (lower_expr env e)) step;
+    B.jmp env.b l_head;
+    B.set_label env.b l_exit
+  | Ast.Sswitch (scrutinee, groups) ->
+    let v = lower_expr env scrutinee in
+    let scrutinee_reg =
+      match v with
+      | Mir.Operand.Reg r -> r
+      | Mir.Operand.Imm n ->
+        let r = B.fresh_reg env.b in
+        B.insn env.b (Mir.Insn.Mov (r, Mir.Operand.Imm n));
+        r
+    in
+    let l_exit = B.new_label env.b in
+    let group_labels = List.map (fun _ -> B.new_label env.b) groups in
+    let cases = ref [] in
+    let default = ref l_exit in
+    List.iter2
+      (fun (g : Ast.switch_group) glabel ->
+        List.iter
+          (function
+            | Ast.Case e -> cases := (Sema.const_eval e, glabel) :: !cases
+            | Ast.Default -> default := glabel)
+          g.labels)
+      groups group_labels;
+    B.switch env.b scrutinee_reg (List.rev !cases) ~default:!default;
+    env.loops <- { break_to = Some l_exit; continue_to = None } :: env.loops;
+    List.iter2
+      (fun (g : Ast.switch_group) glabel ->
+        B.set_label env.b glabel;
+        List.iter (lower_stmt env) g.body)
+      groups group_labels;
+    env.loops <- List.tl env.loops;
+    B.set_label env.b l_exit
+  | Ast.Sbreak -> (
+    match env.loops with
+    | { break_to = Some l; _ } :: _ -> B.jmp env.b l
+    | _ ->
+      (* a switch provides break but not continue; search outward *)
+      let rec find = function
+        | { break_to = Some l; _ } :: _ -> B.jmp env.b l
+        | _ :: rest -> find rest
+        | [] -> assert false (* sema rejected *)
+      in
+      find env.loops)
+  | Ast.Scontinue ->
+    let rec find = function
+      | { continue_to = Some l; _ } :: _ -> B.jmp env.b l
+      | _ :: rest -> find rest
+      | [] -> assert false (* sema rejected *)
+    in
+    find env.loops
+  | Ast.Sreturn None -> B.ret env.b None
+  | Ast.Sreturn (Some e) ->
+    let v = lower_expr env e in
+    B.ret env.b (Some v)
+  | Ast.Sblock items -> lower_block env items
+
+and lower_block env items =
+  env.vars <- [] :: env.vars;
+  List.iter
+    (function
+      | Ast.Local { Ast.lname; linit; _ } -> (
+        (* evaluate the initialiser before the name enters scope (C scoping
+           of "int x = x;" is undefined; we give the outer x), and produce
+           the value directly in the variable's register where possible so
+           that no copy separates the variable from later comparisons *)
+        match linit with
+        | Some { Ast.desc = Ast.Index (name, idx); _ } ->
+          let idx_op = lower_expr env idx in
+          let r = declare_var env lname in
+          B.insn env.b (Mir.Insn.Load (r, name, idx_op))
+        | Some ({ Ast.desc = Ast.Call (fname, _); _ } as e)
+          when not (String.equal fname "puts" || String.equal fname "print_str")
+          -> (
+          match lower_call_args env e with
+          | Some (fname, arg_ops) ->
+            let r = declare_var env lname in
+            B.insn env.b (Mir.Insn.Call (Some r, fname, arg_ops))
+          | None ->
+            let v = lower_expr env e in
+            let r = declare_var env lname in
+            B.insn env.b (Mir.Insn.Mov (r, v)))
+        | Some e ->
+          let v = lower_expr env e in
+          let r = declare_var env lname in
+          B.insn env.b (Mir.Insn.Mov (r, v))
+        | None ->
+          let r = declare_var env lname in
+          B.insn env.b (Mir.Insn.Mov (r, Mir.Operand.Imm 0)))
+      | Ast.Stmt s -> lower_stmt env s)
+    items;
+  env.vars <- List.tl env.vars
+
+let lower_func prog info (f : Ast.func_decl) =
+  let params = List.mapi (fun i _ -> Mir.Reg.of_int i) f.fparams in
+  let b = B.create ~name:f.fname ~params in
+  let env =
+    { prog; info; b; vars = [ List.combine f.fparams params ]; loops = [] }
+  in
+  (* every function body starts with an explicit entry block *)
+  B.set_label b (f.fname ^ ".entry");
+  lower_block env f.fbody;
+  (* fall off the end: return 0 for value functions, plain return otherwise *)
+  let fi = List.assoc f.fname info.Sema.funcs in
+  if fi.Sema.fi_returns_value then B.ret b (Some (Mir.Operand.Imm 0))
+  else B.ret b None;
+  B.finish b
+
+let lower_program (program : Ast.program) (info : Sema.info) =
+  let prog = Mir.Program.make () in
+  List.iter
+    (fun (name, g) ->
+      Mir.Program.add_global prog
+        {
+          Mir.Program.gname = name;
+          size = g.Sema.g_size;
+          init = (if Array.for_all (( = ) 0) g.Sema.g_words then None
+                  else Some g.Sema.g_words);
+        })
+    info.Sema.globals;
+  List.iter
+    (function
+      | Ast.Global _ -> ()
+      | Ast.Func f -> Mir.Program.add_func prog (lower_func prog info f))
+    program;
+  prog
+
+let compile src =
+  let ast = Parser.parse src in
+  let info = Sema.analyze ast in
+  lower_program ast info

@@ -1,0 +1,18 @@
+(** Lowering MiniC to MIR.
+
+    Scalars (parameters and locals) become virtual registers; globals
+    become named word arrays.  Boolean contexts lower to compare-and-branch
+    control flow (short-circuit [&&]/[||] produce branch sequences, which
+    is where the paper's reorderable sequences come from).  [switch]
+    lowers to the {!Mir.Block.Switch} pseudo terminator, expanded later by
+    the optimizer according to the selected heuristic set (Table 2).
+
+    [puts]/[print_str] of an array or string literal are expanded into an
+    inline character loop over the global, so their instructions count as
+    user code, mirroring the paper's exclusion of C library internals. *)
+
+val lower_program : Ast.program -> Sema.info -> Mir.Program.t
+
+val compile : string -> Mir.Program.t
+(** [parse] + [analyze] + [lower_program].
+    Raises {!Srcloc.Error} on any front-end error. *)

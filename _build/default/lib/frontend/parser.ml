@@ -1,0 +1,426 @@
+type state = {
+  toks : (Token.t * Srcloc.t) array;
+  mutable pos : int;
+}
+
+let peek st = fst st.toks.(st.pos)
+let peek_loc st = snd st.toks.(st.pos)
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1)
+  else Token.EOF_TOK
+
+let advance st = if st.pos + 1 < Array.length st.toks then st.pos <- st.pos + 1
+
+let expect st tok =
+  if Token.equal (peek st) tok then advance st
+  else
+    Srcloc.error (peek_loc st) "expected %s but found %s" (Token.describe tok)
+      (Token.describe (peek st))
+
+let accept st tok =
+  if Token.equal (peek st) tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT name ->
+    advance st;
+    name
+  | t -> Srcloc.error (peek_loc st) "expected identifier but found %s" (Token.describe t)
+
+let mk loc desc = { Ast.desc; eloc = loc }
+let mks loc sdesc = { Ast.sdesc; sloc = loc }
+
+let lvalue_of_expr (e : Ast.expr) =
+  match e.desc with
+  | Ast.Var v -> Ast.Lvar v
+  | Ast.Index (a, i) -> Ast.Lindex (a, i)
+  | _ -> Srcloc.error e.eloc "expression is not assignable"
+
+(* one precedence level of left-associative binary operators *)
+let binary_level st next ops =
+  let rec go lhs =
+    let loc = peek_loc st in
+    match List.assoc_opt (peek st) ops with
+    | Some op ->
+      advance st;
+      let rhs = next st in
+      go (mk loc (Ast.Binary (op, lhs, rhs)))
+    | None -> lhs
+  in
+  go (next st)
+
+let rec parse_expr_top st = parse_assignment st
+
+and parse_assignment st =
+  let lhs = parse_ternary st in
+  let loc = peek_loc st in
+  let op_assign op =
+    advance st;
+    let rhs = parse_assignment st in
+    mk loc (Ast.Op_assign (op, lvalue_of_expr lhs, rhs))
+  in
+  match peek st with
+  | Token.ASSIGN ->
+    advance st;
+    let rhs = parse_assignment st in
+    mk loc (Ast.Assign (lvalue_of_expr lhs, rhs))
+  | Token.PLUS_ASSIGN -> op_assign Ast.Add
+  | Token.MINUS_ASSIGN -> op_assign Ast.Sub
+  | Token.STAR_ASSIGN -> op_assign Ast.Mul
+  | Token.SLASH_ASSIGN -> op_assign Ast.Div
+  | Token.PERCENT_ASSIGN -> op_assign Ast.Rem
+  | _ -> lhs
+
+and parse_ternary st =
+  let cond = parse_lor st in
+  if Token.equal (peek st) Token.QUESTION then begin
+    let loc = peek_loc st in
+    advance st;
+    let t = parse_expr_top st in
+    expect st Token.COLON;
+    let f = parse_ternary st in
+    mk loc (Ast.Ternary (cond, t, f))
+  end
+  else cond
+
+and parse_lor st = binary_level st parse_land [ (Token.BARBAR, Ast.LOr) ]
+and parse_land st = binary_level st parse_bor [ (Token.AMPAMP, Ast.LAnd) ]
+and parse_bor st = binary_level st parse_bxor [ (Token.BAR, Ast.BOr) ]
+and parse_bxor st = binary_level st parse_band [ (Token.CARET, Ast.BXor) ]
+and parse_band st = binary_level st parse_equality [ (Token.AMP, Ast.BAnd) ]
+
+and parse_equality st =
+  binary_level st parse_relational
+    [ (Token.EQ, Ast.Eq); (Token.NE, Ast.Ne) ]
+
+and parse_relational st =
+  binary_level st parse_shift
+    [ (Token.LT, Ast.Lt); (Token.LE, Ast.Le); (Token.GT, Ast.Gt); (Token.GE, Ast.Ge) ]
+
+and parse_shift st =
+  binary_level st parse_additive [ (Token.SHL, Ast.Shl); (Token.SHR, Ast.Shr) ]
+
+and parse_additive st =
+  binary_level st parse_mult [ (Token.PLUS, Ast.Add); (Token.MINUS, Ast.Sub) ]
+
+and parse_mult st =
+  binary_level st parse_unary
+    [ (Token.STAR, Ast.Mul); (Token.SLASH, Ast.Div); (Token.PERCENT, Ast.Rem) ]
+
+and parse_unary st =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.MINUS ->
+    advance st;
+    let e = parse_unary st in
+    (* fold negative literals so constants like -1 stay constants *)
+    (match e.Ast.desc with
+    | Ast.Num n -> mk loc (Ast.Num (-n))
+    | _ -> mk loc (Ast.Unary (Ast.Neg, e)))
+  | Token.BANG ->
+    advance st;
+    mk loc (Ast.Unary (Ast.LNot, parse_unary st))
+  | Token.TILDE ->
+    advance st;
+    mk loc (Ast.Unary (Ast.BNot, parse_unary st))
+  | Token.PLUSPLUS ->
+    advance st;
+    let e = parse_unary st in
+    mk loc (Ast.Incr { pre = true; up = true; lv = lvalue_of_expr e })
+  | Token.MINUSMINUS ->
+    advance st;
+    let e = parse_unary st in
+    mk loc (Ast.Incr { pre = true; up = false; lv = lvalue_of_expr e })
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go e =
+    let loc = peek_loc st in
+    match peek st with
+    | Token.PLUSPLUS ->
+      advance st;
+      go (mk loc (Ast.Incr { pre = false; up = true; lv = lvalue_of_expr e }))
+    | Token.MINUSMINUS ->
+      advance st;
+      go (mk loc (Ast.Incr { pre = false; up = false; lv = lvalue_of_expr e }))
+    | _ -> e
+  in
+  go (parse_primary st)
+
+and parse_primary st =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.INT n ->
+    advance st;
+    mk loc (Ast.Num n)
+  | Token.STRING s ->
+    advance st;
+    mk loc (Ast.Str s)
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr_top st in
+    expect st Token.RPAREN;
+    e
+  | Token.IDENT name -> (
+    advance st;
+    match peek st with
+    | Token.LPAREN ->
+      advance st;
+      let args =
+        if Token.equal (peek st) Token.RPAREN then []
+        else
+          let rec more acc =
+            let arg = parse_expr_top st in
+            if accept st Token.COMMA then more (arg :: acc)
+            else List.rev (arg :: acc)
+          in
+          more []
+      in
+      expect st Token.RPAREN;
+      mk loc (Ast.Call (name, args))
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expr_top st in
+      expect st Token.RBRACKET;
+      mk loc (Ast.Index (name, idx))
+    | _ -> mk loc (Ast.Var name))
+  | t -> Srcloc.error loc "expected expression but found %s" (Token.describe t)
+
+let rec parse_stmt st =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.LBRACE ->
+    advance st;
+    let items = parse_block_items st in
+    expect st Token.RBRACE;
+    mks loc (Ast.Sblock items)
+  | Token.KW_IF ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expr_top st in
+    expect st Token.RPAREN;
+    let then_branch = parse_stmt st in
+    let else_branch =
+      if accept st Token.KW_ELSE then Some (parse_stmt st) else None
+    in
+    mks loc (Ast.Sif (cond, then_branch, else_branch))
+  | Token.KW_WHILE ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expr_top st in
+    expect st Token.RPAREN;
+    mks loc (Ast.Swhile (cond, parse_stmt st))
+  | Token.KW_DO ->
+    advance st;
+    let body = parse_stmt st in
+    expect st Token.KW_WHILE;
+    expect st Token.LPAREN;
+    let cond = parse_expr_top st in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    mks loc (Ast.Sdo (body, cond))
+  | Token.KW_FOR ->
+    advance st;
+    expect st Token.LPAREN;
+    let init =
+      if Token.equal (peek st) Token.SEMI then None else Some (parse_expr_top st)
+    in
+    expect st Token.SEMI;
+    let cond =
+      if Token.equal (peek st) Token.SEMI then None else Some (parse_expr_top st)
+    in
+    expect st Token.SEMI;
+    let step =
+      if Token.equal (peek st) Token.RPAREN then None
+      else Some (parse_expr_top st)
+    in
+    expect st Token.RPAREN;
+    mks loc (Ast.Sfor (init, cond, step, parse_stmt st))
+  | Token.KW_SWITCH ->
+    advance st;
+    expect st Token.LPAREN;
+    let scrutinee = parse_expr_top st in
+    expect st Token.RPAREN;
+    expect st Token.LBRACE;
+    let groups = parse_switch_groups st in
+    expect st Token.RBRACE;
+    mks loc (Ast.Sswitch (scrutinee, groups))
+  | Token.KW_BREAK ->
+    advance st;
+    expect st Token.SEMI;
+    mks loc Ast.Sbreak
+  | Token.KW_CONTINUE ->
+    advance st;
+    expect st Token.SEMI;
+    mks loc Ast.Scontinue
+  | Token.KW_RETURN ->
+    advance st;
+    let value =
+      if Token.equal (peek st) Token.SEMI then None else Some (parse_expr_top st)
+    in
+    expect st Token.SEMI;
+    mks loc (Ast.Sreturn value)
+  | Token.SEMI ->
+    advance st;
+    mks loc (Ast.Sblock [])
+  | _ ->
+    let e = parse_expr_top st in
+    expect st Token.SEMI;
+    mks loc (Ast.Sexpr e)
+
+and parse_switch_groups st =
+  let parse_labels () =
+    let rec go acc =
+      match peek st with
+      | Token.KW_CASE ->
+        advance st;
+        let e = parse_expr_top st in
+        expect st Token.COLON;
+        go (Ast.Case e :: acc)
+      | Token.KW_DEFAULT ->
+        advance st;
+        expect st Token.COLON;
+        go (Ast.Default :: acc)
+      | _ -> List.rev acc
+    in
+    go []
+  in
+  let rec groups acc =
+    match peek st with
+    | Token.RBRACE -> List.rev acc
+    | Token.KW_CASE | Token.KW_DEFAULT ->
+      let labels = parse_labels () in
+      let rec body acc =
+        match peek st with
+        | Token.RBRACE | Token.KW_CASE | Token.KW_DEFAULT -> List.rev acc
+        | _ -> body (parse_stmt st :: acc)
+      in
+      groups ({ Ast.labels; body = body [] } :: acc)
+    | t ->
+      Srcloc.error (peek_loc st) "expected 'case', 'default' or '}' but found %s"
+        (Token.describe t)
+  in
+  groups []
+
+and parse_block_items st =
+  let rec go acc =
+    match peek st with
+    | Token.RBRACE | Token.EOF_TOK -> List.rev acc
+    | Token.KW_INT ->
+      let loc = peek_loc st in
+      advance st;
+      let rec decls acc =
+        let lname = expect_ident st in
+        let linit =
+          if accept st Token.ASSIGN then Some (parse_assignment st) else None
+        in
+        let acc = Ast.Local { Ast.lname; linit; lloc = loc } :: acc in
+        if accept st Token.COMMA then decls acc else acc
+      in
+      let acc = decls acc in
+      expect st Token.SEMI;
+      go acc
+    | _ -> go (Ast.Stmt (parse_stmt st) :: acc)
+  in
+  go []
+
+let parse_params st =
+  expect st Token.LPAREN;
+  if accept st Token.RPAREN then []
+  else if Token.equal (peek st) Token.KW_VOID && Token.equal (peek2 st) Token.RPAREN
+  then begin
+    advance st;
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      expect st Token.KW_INT;
+      let name = expect_ident st in
+      if accept st Token.COMMA then go (name :: acc) else List.rev (name :: acc)
+    in
+    let params = go [] in
+    expect st Token.RPAREN;
+    params
+  end
+
+let parse_global_tail st loc gname =
+  (* after "int <name>", not a function *)
+  let garray =
+    if accept st Token.LBRACKET then
+      if accept st Token.RBRACKET then Some None
+      else begin
+        let size = parse_expr_top st in
+        expect st Token.RBRACKET;
+        Some (Some size)
+      end
+    else None
+  in
+  let ginit =
+    if accept st Token.ASSIGN then
+      Some
+        (match peek st with
+        | Token.STRING s ->
+          advance st;
+          Ast.Gstring s
+        | Token.LBRACE ->
+          advance st;
+          let rec go acc =
+            let e = parse_expr_top st in
+            if accept st Token.COMMA then
+              if Token.equal (peek st) Token.RBRACE then List.rev (e :: acc)
+              else go (e :: acc)
+            else List.rev (e :: acc)
+          in
+          let es = go [] in
+          expect st Token.RBRACE;
+          Ast.Glist es
+        | _ -> Ast.Gscalar (parse_expr_top st))
+    else None
+  in
+  expect st Token.SEMI;
+  Ast.Global { Ast.gname; garray; ginit; gloc = loc }
+
+let parse_decl st =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.KW_VOID ->
+    advance st;
+    let fname = expect_ident st in
+    let fparams = parse_params st in
+    expect st Token.LBRACE;
+    let fbody = parse_block_items st in
+    expect st Token.RBRACE;
+    Ast.Func { Ast.fname; fparams; fret_void = true; fbody; floc = loc }
+  | Token.KW_INT ->
+    advance st;
+    let name = expect_ident st in
+    if Token.equal (peek st) Token.LPAREN then begin
+      let fparams = parse_params st in
+      expect st Token.LBRACE;
+      let fbody = parse_block_items st in
+      expect st Token.RBRACE;
+      Ast.Func { Ast.fname = name; fparams; fret_void = false; fbody; floc = loc }
+    end
+    else parse_global_tail st loc name
+  | t ->
+    Srcloc.error loc "expected declaration but found %s" (Token.describe t)
+
+let parse src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let rec go acc =
+    if Token.equal (peek st) Token.EOF_TOK then List.rev acc
+    else go (parse_decl st :: acc)
+  in
+  go []
+
+let parse_expr src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let e = parse_expr_top st in
+  expect st Token.EOF_TOK;
+  e

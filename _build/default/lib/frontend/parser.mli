@@ -1,0 +1,11 @@
+(** Recursive-descent MiniC parser.
+
+    Menhir is not available in the build environment (see DESIGN.md), so
+    the grammar is parsed by hand with standard precedence climbing; C
+    precedence and associativity are respected. *)
+
+val parse : string -> Ast.program
+(** Raises {!Srcloc.Error} on a syntax error. *)
+
+val parse_expr : string -> Ast.expr
+(** Parses a single expression followed by end of input (for tests). *)

@@ -1,0 +1,313 @@
+type global_info = {
+  g_size : int;
+  g_is_array : bool;
+  g_words : int array;
+}
+
+type func_info = {
+  fi_arity : int;
+  fi_returns_value : bool;
+}
+
+type info = {
+  globals : (string * global_info) list;
+  funcs : (string * func_info) list;
+}
+
+let builtins =
+  [
+    ("getchar", { fi_arity = 0; fi_returns_value = true });
+    ("putchar", { fi_arity = 1; fi_returns_value = true });
+    ("puts", { fi_arity = 1; fi_returns_value = true });
+    ("print_int", { fi_arity = 1; fi_returns_value = false });
+    ("print_str", { fi_arity = 1; fi_returns_value = false });
+    ("exit", { fi_arity = 1; fi_returns_value = false });
+  ]
+
+let rec const_eval (e : Ast.expr) =
+  match e.desc with
+  | Ast.Num n -> n
+  | Ast.Var "EOF" -> -1
+  | Ast.Unary (Ast.Neg, e) -> -const_eval e
+  | Ast.Unary (Ast.BNot, e) -> lnot (const_eval e)
+  | Ast.Unary (Ast.LNot, e) -> if const_eval e = 0 then 1 else 0
+  | Ast.Binary (op, a, b) -> (
+    let a = const_eval a and b = const_eval b in
+    let bool_ c = if c then 1 else 0 in
+    match op with
+    | Ast.Add -> a + b
+    | Ast.Sub -> a - b
+    | Ast.Mul -> a * b
+    | Ast.Div ->
+      if b = 0 then Srcloc.error e.eloc "constant division by zero" else a / b
+    | Ast.Rem ->
+      if b = 0 then Srcloc.error e.eloc "constant division by zero" else a mod b
+    | Ast.BAnd -> a land b
+    | Ast.BOr -> a lor b
+    | Ast.BXor -> a lxor b
+    | Ast.Shl -> a lsl b
+    | Ast.Shr -> a asr b
+    | Ast.Eq -> bool_ (a = b)
+    | Ast.Ne -> bool_ (a <> b)
+    | Ast.Lt -> bool_ (a < b)
+    | Ast.Le -> bool_ (a <= b)
+    | Ast.Gt -> bool_ (a > b)
+    | Ast.Ge -> bool_ (a >= b)
+    | Ast.LAnd -> bool_ (a <> 0 && b <> 0)
+    | Ast.LOr -> bool_ (a <> 0 || b <> 0))
+  | Ast.Ternary (c, t, f) ->
+    if const_eval c <> 0 then const_eval t else const_eval f
+  | _ -> Srcloc.error e.eloc "expression is not constant"
+
+type env = {
+  info : info;
+  mutable scopes : string list list;  (** innermost first; params outermost *)
+  mutable in_loop : int;
+  mutable in_switch : int;
+  current_returns_value : bool;
+}
+
+let in_scope env name = List.exists (List.mem name) env.scopes
+let is_global env name = List.mem_assoc name env.info.globals
+
+let check_scalar_var env loc name =
+  if String.equal name "EOF" then ()
+  else if in_scope env name then ()
+  else
+    match List.assoc_opt name env.info.globals with
+    | Some g ->
+      if g.g_is_array then
+        Srcloc.error loc "'%s' is an array; index it" name
+    | None -> Srcloc.error loc "undefined variable '%s'" name
+
+let check_array env loc name =
+  match List.assoc_opt name env.info.globals with
+  | Some g ->
+    if not g.g_is_array then
+      Srcloc.error loc "'%s' is a scalar; it cannot be indexed" name
+  | None ->
+    if in_scope env name then
+      Srcloc.error loc "'%s' is a scalar; it cannot be indexed" name
+    else Srcloc.error loc "undefined array '%s'" name
+
+let rec check_lvalue env = function
+  | Ast.Lvar name ->
+    if String.equal name "EOF" then
+      Srcloc.error Srcloc.dummy "cannot assign to EOF"
+    else if not (in_scope env name || is_global env name) then
+      Srcloc.error Srcloc.dummy "undefined variable '%s'" name
+  | Ast.Lindex (name, idx) ->
+    check_array env idx.Ast.eloc name;
+    check_expr env idx
+
+and check_call env loc name args =
+  match List.assoc_opt name env.info.funcs with
+  | None -> Srcloc.error loc "call to undefined function '%s'" name
+  | Some fi ->
+    if List.length args <> fi.fi_arity then
+      Srcloc.error loc "'%s' expects %d argument(s) but got %d" name fi.fi_arity
+        (List.length args);
+    (* puts/print_str take a string literal or an array name *)
+    if String.equal name "puts" || String.equal name "print_str" then begin
+      match args with
+      | [ { Ast.desc = Ast.Str _; _ } ] -> ()
+      | [ { Ast.desc = Ast.Var a; eloc } ] when is_global env a ->
+        check_array env eloc a
+      | [ arg ] ->
+        Srcloc.error arg.Ast.eloc "'%s' expects a string literal or array name"
+          name
+      | _ -> assert false
+    end
+    else
+      List.iter (check_expr env) args
+
+and check_expr env (e : Ast.expr) =
+  match e.desc with
+  | Ast.Num _ -> ()
+  | Ast.Str _ ->
+    Srcloc.error e.eloc "string literals may only be passed to puts/print_str"
+  | Ast.Var name -> check_scalar_var env e.eloc name
+  | Ast.Index (name, idx) ->
+    check_array env e.eloc name;
+    check_expr env idx
+  | Ast.Call (name, args) ->
+    check_call env e.eloc name args;
+    (match List.assoc_opt name env.info.funcs with
+    | Some fi when not fi.fi_returns_value ->
+      (* using a void result is only an error in expression position; the
+         statement level unwraps Sexpr (Call ...) before checking *)
+      Srcloc.error e.eloc "void function '%s' used in an expression" name
+    | Some _ | None -> ())
+  | Ast.Unary (_, e) -> check_expr env e
+  | Ast.Binary (_, a, b) ->
+    check_expr env a;
+    check_expr env b
+  | Ast.Assign (lv, e) | Ast.Op_assign (_, lv, e) ->
+    check_lvalue env lv;
+    check_expr env e
+  | Ast.Incr { lv; _ } -> check_lvalue env lv
+  | Ast.Ternary (c, t, f) ->
+    check_expr env c;
+    check_expr env t;
+    check_expr env f
+
+let rec check_stmt env (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Sexpr { Ast.desc = Ast.Call (name, args); eloc; _ } ->
+    check_call env eloc name args
+  | Ast.Sexpr e -> check_expr env e
+  | Ast.Sif (c, t, f) ->
+    check_expr env c;
+    check_stmt env t;
+    Option.iter (check_stmt env) f
+  | Ast.Swhile (c, b) | Ast.Sdo (b, c) ->
+    check_expr env c;
+    env.in_loop <- env.in_loop + 1;
+    check_stmt env b;
+    env.in_loop <- env.in_loop - 1
+  | Ast.Sfor (init, cond, step, b) ->
+    Option.iter (check_expr env) init;
+    Option.iter (check_expr env) cond;
+    Option.iter (check_expr env) step;
+    env.in_loop <- env.in_loop + 1;
+    check_stmt env b;
+    env.in_loop <- env.in_loop - 1
+  | Ast.Sswitch (e, groups) ->
+    check_expr env e;
+    let seen = Hashtbl.create 16 in
+    let defaults = ref 0 in
+    List.iter
+      (fun g ->
+        List.iter
+          (function
+            | Ast.Case ce ->
+              let v = const_eval ce in
+              if Hashtbl.mem seen v then
+                Srcloc.error ce.Ast.eloc "duplicate case label %d" v;
+              Hashtbl.replace seen v ()
+            | Ast.Default ->
+              incr defaults;
+              if !defaults > 1 then
+                Srcloc.error s.sloc "multiple default labels in switch")
+          g.Ast.labels)
+      groups;
+    env.in_switch <- env.in_switch + 1;
+    List.iter (fun g -> List.iter (check_stmt env) g.Ast.body) groups;
+    env.in_switch <- env.in_switch - 1
+  | Ast.Sbreak ->
+    if env.in_loop = 0 && env.in_switch = 0 then
+      Srcloc.error s.sloc "break outside of a loop or switch"
+  | Ast.Scontinue ->
+    if env.in_loop = 0 then Srcloc.error s.sloc "continue outside of a loop"
+  | Ast.Sreturn value -> (
+    match value, env.current_returns_value with
+    | Some e, true -> check_expr env e
+    | None, false -> ()
+    | Some e, false ->
+      Srcloc.error e.Ast.eloc "void function returning a value"
+    | None, true ->
+      Srcloc.error s.sloc "non-void function must return a value")
+  | Ast.Sblock items -> check_block env items
+
+and check_block env items =
+  env.scopes <- [] :: env.scopes;
+  List.iter
+    (function
+      | Ast.Local { Ast.lname; linit; lloc } ->
+        (match env.scopes with
+        | scope :: rest ->
+          if List.mem lname scope then
+            Srcloc.error lloc "duplicate local '%s'" lname;
+          if String.equal lname "EOF" then
+            Srcloc.error lloc "cannot redefine EOF";
+          Option.iter (check_expr env) linit;
+          env.scopes <- (lname :: scope) :: rest
+        | [] -> assert false)
+      | Ast.Stmt s -> check_stmt env s)
+    items;
+  env.scopes <- List.tl env.scopes
+
+let global_words (g : Ast.global_decl) =
+  let init_words =
+    match g.ginit with
+    | None -> [||]
+    | Some (Ast.Gscalar e) -> [| const_eval e |]
+    | Some (Ast.Gstring s) ->
+      Array.init (String.length s + 1) (fun i ->
+          if i < String.length s then Char.code s.[i] else 0)
+    | Some (Ast.Glist es) -> Array.of_list (List.map const_eval es)
+  in
+  let size =
+    match g.garray with
+    | None ->
+      if Array.length init_words > 1 then
+        Srcloc.error g.gloc "scalar '%s' has an aggregate initialiser" g.gname;
+      1
+    | Some None ->
+      if Array.length init_words = 0 then
+        Srcloc.error g.gloc "array '%s' has no size and no initialiser" g.gname;
+      Array.length init_words
+    | Some (Some e) ->
+      let n = const_eval e in
+      if n <= 0 then Srcloc.error g.gloc "array '%s' has non-positive size" g.gname;
+      if Array.length init_words > n then
+        Srcloc.error g.gloc "initialiser for '%s' is too long" g.gname;
+      n
+  in
+  let words = Array.make size 0 in
+  Array.blit init_words 0 words 0 (Array.length init_words);
+  { g_size = size; g_is_array = g.garray <> None; g_words = words }
+
+let analyze (program : Ast.program) =
+  (* first pass: collect signatures and globals *)
+  let globals = ref [] in
+  let funcs = ref builtins in
+  List.iter
+    (function
+      | Ast.Global g ->
+        if List.mem_assoc g.Ast.gname !globals then
+          Srcloc.error g.Ast.gloc "duplicate global '%s'" g.Ast.gname;
+        if String.equal g.Ast.gname "EOF" then
+          Srcloc.error g.Ast.gloc "cannot redefine EOF";
+        globals := (g.Ast.gname, global_words g) :: !globals
+      | Ast.Func f ->
+        if List.mem_assoc f.Ast.fname !funcs then
+          Srcloc.error f.Ast.floc "duplicate function '%s'" f.Ast.fname;
+        funcs :=
+          ( f.Ast.fname,
+            {
+              fi_arity = List.length f.Ast.fparams;
+              fi_returns_value = not f.Ast.fret_void;
+            } )
+          :: !funcs)
+    program;
+  let info = { globals = List.rev !globals; funcs = List.rev !funcs } in
+  (* second pass: check bodies *)
+  List.iter
+    (function
+      | Ast.Global _ -> ()
+      | Ast.Func f ->
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun p ->
+            if Hashtbl.mem seen p then
+              Srcloc.error f.Ast.floc "duplicate parameter '%s'" p;
+            Hashtbl.replace seen p ())
+          f.Ast.fparams;
+        let env =
+          {
+            info;
+            scopes = [ f.Ast.fparams ];
+            in_loop = 0;
+            in_switch = 0;
+            current_returns_value = not f.Ast.fret_void;
+          }
+        in
+        check_block env f.Ast.fbody)
+    program;
+  (match List.assoc_opt "main" info.funcs with
+  | None -> Srcloc.error Srcloc.dummy "program has no 'main' function"
+  | Some fi ->
+    if fi.fi_arity <> 0 then
+      Srcloc.error Srcloc.dummy "'main' must take no parameters");
+  info

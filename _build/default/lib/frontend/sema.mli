@@ -1,0 +1,35 @@
+(** Semantic analysis for MiniC.
+
+    Checks name resolution, arity of calls, lvalue/array usage,
+    [break]/[continue] placement, duplicate and constant [case] labels,
+    and constant-ness of global initialisers.  Produces the symbol
+    information the lowering pass consumes.
+
+    [EOF] is a predefined constant with value [-1]; it cannot be
+    redefined. *)
+
+type global_info = {
+  g_size : int;
+  g_is_array : bool;    (** declared with brackets; scalars cannot be indexed *)
+  g_words : int array;  (** initial contents, zero-filled *)
+}
+
+type func_info = {
+  fi_arity : int;
+  fi_returns_value : bool;
+}
+
+type info = {
+  globals : (string * global_info) list;
+  funcs : (string * func_info) list;
+}
+
+val builtins : (string * func_info) list
+(** [getchar], [putchar], [puts], [print_int], [print_str], [exit]. *)
+
+val const_eval : Ast.expr -> int
+(** Evaluates a constant expression.  Raises {!Srcloc.Error} if the
+    expression is not constant. *)
+
+val analyze : Ast.program -> info
+(** Raises {!Srcloc.Error} on the first semantic error. *)

@@ -1,0 +1,12 @@
+type t = {
+  line : int;
+  col : int;
+}
+
+let dummy = { line = 0; col = 0 }
+let pp ppf { line; col } = Format.fprintf ppf "%d:%d" line col
+
+exception Error of t * string
+
+let error loc fmt = Printf.ksprintf (fun s -> raise (Error (loc, s))) fmt
+let error_to_string loc msg = Format.asprintf "%a: %s" pp loc msg

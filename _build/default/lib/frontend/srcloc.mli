@@ -1,0 +1,17 @@
+(** Source locations and front-end diagnostics. *)
+
+type t = {
+  line : int;  (** 1-based *)
+  col : int;   (** 1-based *)
+}
+
+val dummy : t
+val pp : Format.formatter -> t -> unit
+
+exception Error of t * string
+(** Raised by the lexer, parser and semantic analysis on invalid input. *)
+
+val error : t -> ('a, unit, string, 'b) format4 -> 'a
+(** [error loc fmt ...] raises {!Error}. *)
+
+val error_to_string : t -> string -> string

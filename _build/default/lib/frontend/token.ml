@@ -1,0 +1,121 @@
+type t =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | KW_INT
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_DO
+  | KW_FOR
+  | KW_SWITCH
+  | KW_CASE
+  | KW_DEFAULT
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_RETURN
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | COLON
+  | QUESTION
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PERCENT_ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | PLUSPLUS
+  | MINUSMINUS
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | AMPAMP
+  | BARBAR
+  | BANG
+  | AMP
+  | BAR
+  | CARET
+  | TILDE
+  | SHL
+  | SHR
+  | EOF_TOK
+
+let describe = function
+  | INT n -> Printf.sprintf "integer literal %d" n
+  | STRING s -> Printf.sprintf "string literal %S" s
+  | IDENT s -> Printf.sprintf "identifier '%s'" s
+  | KW_INT -> "'int'"
+  | KW_VOID -> "'void'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_WHILE -> "'while'"
+  | KW_DO -> "'do'"
+  | KW_FOR -> "'for'"
+  | KW_SWITCH -> "'switch'"
+  | KW_CASE -> "'case'"
+  | KW_DEFAULT -> "'default'"
+  | KW_BREAK -> "'break'"
+  | KW_CONTINUE -> "'continue'"
+  | KW_RETURN -> "'return'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | QUESTION -> "'?'"
+  | ASSIGN -> "'='"
+  | PLUS_ASSIGN -> "'+='"
+  | MINUS_ASSIGN -> "'-='"
+  | STAR_ASSIGN -> "'*='"
+  | SLASH_ASSIGN -> "'/='"
+  | PERCENT_ASSIGN -> "'%='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | PLUSPLUS -> "'++'"
+  | MINUSMINUS -> "'--'"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | AMPAMP -> "'&&'"
+  | BARBAR -> "'||'"
+  | BANG -> "'!'"
+  | AMP -> "'&'"
+  | BAR -> "'|'"
+  | CARET -> "'^'"
+  | TILDE -> "'~'"
+  | SHL -> "'<<'"
+  | SHR -> "'>>'"
+  | EOF_TOK -> "end of input"
+
+let pp ppf t = Format.pp_print_string ppf (describe t)
+
+let equal (a : t) (b : t) =
+  match a, b with
+  | INT x, INT y -> Int.equal x y
+  | STRING x, STRING y | IDENT x, IDENT y -> String.equal x y
+  | _ -> a = b

@@ -1,0 +1,62 @@
+(** MiniC tokens. *)
+
+type t =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | KW_INT          (** [int] (and [char], which is an alias) *)
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_DO
+  | KW_FOR
+  | KW_SWITCH
+  | KW_CASE
+  | KW_DEFAULT
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_RETURN
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | COLON
+  | QUESTION
+  | ASSIGN          (** [=] *)
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PERCENT_ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | PLUSPLUS
+  | MINUSMINUS
+  | EQ              (** [==] *)
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | AMPAMP
+  | BARBAR
+  | BANG
+  | AMP
+  | BAR
+  | CARET
+  | TILDE
+  | SHL
+  | SHR
+  | EOF_TOK
+
+val pp : Format.formatter -> t -> unit
+val describe : t -> string
+val equal : t -> t -> bool

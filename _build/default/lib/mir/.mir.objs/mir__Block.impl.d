@@ -1,0 +1,1 @@
+lib/mir/block.pp.ml: Array Cond Format Insn List Operand Option Reg String

@@ -1,0 +1,1 @@
+lib/mir/block.pp.mli: Cond Format Insn Operand Reg

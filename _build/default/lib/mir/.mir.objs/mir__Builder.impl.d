@@ -1,0 +1,1 @@
+lib/mir/builder.pp.ml: Block Func Insn List Printf

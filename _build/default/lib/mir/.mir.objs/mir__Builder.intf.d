@@ -1,0 +1,1 @@
+lib/mir/builder.pp.mli: Cond Func Insn Operand Reg

@@ -1,0 +1,1 @@
+lib/mir/clone.pp.ml: Array Block Func List Program

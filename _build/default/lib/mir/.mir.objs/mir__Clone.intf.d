@@ -1,0 +1,1 @@
+lib/mir/clone.pp.mli: Block Func Program

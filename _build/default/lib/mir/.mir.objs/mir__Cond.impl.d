@@ -1,0 +1,1 @@
+lib/mir/cond.pp.ml: Ppx_deriving_runtime

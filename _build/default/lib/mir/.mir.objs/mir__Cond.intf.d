@@ -1,0 +1,1 @@
+lib/mir/cond.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/mir/dom.pp.ml: Array Block Func Hashtbl List String

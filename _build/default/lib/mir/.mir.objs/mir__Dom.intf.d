@@ -1,0 +1,1 @@
+lib/mir/dom.pp.mli: Func

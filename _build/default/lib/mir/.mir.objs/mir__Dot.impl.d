@@ -1,0 +1,1 @@
+lib/mir/dot.pp.ml: Array Block Buffer Cond Format Func Hashtbl Insn List Operand Program String

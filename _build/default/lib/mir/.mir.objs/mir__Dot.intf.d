@@ -1,0 +1,1 @@
+lib/mir/dot.pp.mli: Format Func Program

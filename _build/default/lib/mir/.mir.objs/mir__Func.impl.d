@@ -1,0 +1,1 @@
+lib/mir/func.pp.ml: Array Block Format Hashtbl List Printf Reg String

@@ -1,0 +1,1 @@
+lib/mir/func.pp.mli: Block Format Hashtbl Reg

@@ -1,0 +1,1 @@
+lib/mir/insn.pp.ml: Format List Operand Option Reg String

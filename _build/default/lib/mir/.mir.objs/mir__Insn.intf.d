@@ -1,0 +1,1 @@
+lib/mir/insn.pp.mli: Format Operand Reg

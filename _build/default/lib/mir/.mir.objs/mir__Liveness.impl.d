@@ -1,0 +1,1 @@
+lib/mir/liveness.pp.ml: Block Func Hashtbl Insn List Operand Reg

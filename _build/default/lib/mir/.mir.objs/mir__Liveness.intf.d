@@ -1,0 +1,1 @@
+lib/mir/liveness.pp.mli: Block Func Reg

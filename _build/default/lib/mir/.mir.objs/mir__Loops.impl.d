@@ -1,0 +1,1 @@
+lib/mir/loops.pp.ml: Array Block Dom Func Hashtbl List String

@@ -1,0 +1,1 @@
+lib/mir/loops.pp.mli: Func

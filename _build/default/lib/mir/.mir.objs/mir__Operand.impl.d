@@ -1,0 +1,1 @@
+lib/mir/operand.pp.ml: Format Int Reg

@@ -1,0 +1,1 @@
+lib/mir/operand.pp.mli: Format Reg

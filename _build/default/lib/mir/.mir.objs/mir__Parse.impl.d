@@ -1,0 +1,1 @@
+lib/mir/parse.pp.ml: Array Block Cond Func Insn List Liveness Operand Option Printf Program Reg String

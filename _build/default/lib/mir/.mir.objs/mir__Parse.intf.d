@@ -1,0 +1,1 @@
+lib/mir/parse.pp.mli: Func Program

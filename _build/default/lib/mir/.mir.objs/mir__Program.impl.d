@@ -1,0 +1,1 @@
+lib/mir/program.pp.ml: Array Char Format Func List Printf String

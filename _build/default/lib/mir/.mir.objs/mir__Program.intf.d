@@ -1,0 +1,1 @@
+lib/mir/program.pp.mli: Format Func

@@ -1,0 +1,1 @@
+lib/mir/reg.pp.ml: Format Int Map Set

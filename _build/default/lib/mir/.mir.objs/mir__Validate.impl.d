@@ -1,0 +1,1 @@
+lib/mir/validate.pp.ml: Array Block Func Hashtbl Insn List Liveness Printf Program Reg String

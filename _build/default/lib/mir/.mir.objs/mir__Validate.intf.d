@@ -1,0 +1,1 @@
+lib/mir/validate.pp.mli: Func Program

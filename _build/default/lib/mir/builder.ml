@@ -1,0 +1,85 @@
+type t = {
+  fn : Func.t;
+  mutable current : (string * Insn.t list) option;
+      (* open block: label and reversed instructions *)
+  mutable referenced : string list;
+}
+
+let create ~name ~params =
+  { fn = Func.make ~name ~params; current = None; referenced = [] }
+
+let func b = b.fn
+let fresh_reg b = Func.fresh_reg b.fn
+let new_label b = Func.fresh_label b.fn
+
+let reference b label = b.referenced <- label :: b.referenced
+
+let open_block b label =
+  match b.current with
+  | Some (open_label, _) ->
+    invalid_arg
+      (Printf.sprintf "Builder: block %s still open when opening %s" open_label
+         label)
+  | None -> b.current <- Some (label, [])
+
+let ensure_open b =
+  match b.current with
+  | Some _ -> ()
+  | None ->
+    let label =
+      if b.fn.Func.blocks = [] then b.fn.Func.name ^ ".entry"
+      else Func.fresh_label b.fn
+    in
+    open_block b label
+
+let close_block b kind =
+  ensure_open b;
+  match b.current with
+  | None -> assert false
+  | Some (label, rev_insns) ->
+    Func.add_block b.fn (Block.make ~label (List.rev rev_insns) kind);
+    b.current <- None
+
+let insn b i =
+  ensure_open b;
+  match b.current with
+  | None -> assert false
+  | Some (label, rev_insns) -> b.current <- Some (label, i :: rev_insns)
+
+let set_label b label =
+  (match b.current with
+  | Some _ -> close_block b (Block.Jmp label)
+  | None -> if b.fn.Func.blocks = [] then () else ());
+  open_block b label
+
+let branch_to b cond ~taken ~not_taken =
+  reference b taken;
+  reference b not_taken;
+  close_block b (Block.Br (cond, taken, not_taken))
+
+let branch b cond ~taken =
+  let next = new_label b in
+  branch_to b cond ~taken ~not_taken:next;
+  open_block b next
+
+let jmp b label =
+  reference b label;
+  close_block b (Block.Jmp label)
+
+let switch b r cases ~default =
+  List.iter (fun (_, l) -> reference b l) cases;
+  reference b default;
+  close_block b (Block.Switch (r, cases, default))
+
+let ret b value = close_block b (Block.Ret value)
+
+let finish b =
+  (match b.current with Some _ -> ret b None | None -> ());
+  List.iter
+    (fun label ->
+      if Func.find_block_opt b.fn label = None then
+        invalid_arg
+          (Printf.sprintf "Builder.finish: label %s referenced but never defined"
+             label))
+    b.referenced;
+  b.fn

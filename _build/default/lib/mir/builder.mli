@@ -1,0 +1,42 @@
+(** Imperative construction helper for MIR functions.
+
+    Used by the front end's lowering and by tests/examples to build CFGs
+    without tracking label bookkeeping by hand.  Typical usage:
+
+    {[
+      let b = Builder.create ~name:"f" ~params:[r0] in
+      let l_then = Builder.new_label b in
+      Builder.insn b (Cmp (Reg r0, Imm 0));
+      Builder.branch b Eq ~taken:l_then;
+      ...
+      Builder.finish b
+    ]} *)
+
+type t
+
+val create : name:string -> params:Reg.t list -> t
+val func : t -> Func.t
+val fresh_reg : t -> Reg.t
+val new_label : t -> string
+
+val insn : t -> Insn.t -> unit
+(** Appends to the block currently open; opens the entry block if none. *)
+
+val set_label : t -> string -> unit
+(** Terminates the open block with a fall-through jump to [label] (if the
+    block is not already terminated) and opens a block labelled [label]. *)
+
+val branch : t -> Cond.t -> taken:string -> unit
+(** Ends the open block with [Br (c, taken, next)] where [next] is a fresh
+    label that the builder immediately opens. *)
+
+val branch_to : t -> Cond.t -> taken:string -> not_taken:string -> unit
+(** Ends the open block; no block is left open. *)
+
+val jmp : t -> string -> unit
+val switch : t -> Reg.t -> (int * string) list -> default:string -> unit
+val ret : t -> Operand.t option -> unit
+
+val finish : t -> Func.t
+(** Closes any open block with [Ret None] and returns the function.
+    Raises [Invalid_argument] if a referenced label was never defined. *)

@@ -1,0 +1,22 @@
+let block (b : Block.t) =
+  {
+    Block.label = b.Block.label;
+    insns = b.Block.insns;
+    term = { b.Block.term with Block.kind = b.Block.term.Block.kind };
+  }
+
+let func (f : Func.t) =
+  {
+    Func.name = f.Func.name;
+    params = f.Func.params;
+    blocks = List.map block f.Func.blocks;
+    jtables = List.map Array.copy f.Func.jtables;
+    next_reg = f.Func.next_reg;
+    next_label = f.Func.next_label;
+  }
+
+let program (p : Program.t) =
+  {
+    Program.funcs = List.map func p.Program.funcs;
+    globals = p.Program.globals;
+  }

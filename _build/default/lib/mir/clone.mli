@@ -1,0 +1,6 @@
+(** Deep copies of MIR (blocks are mutable, so the driver clones the
+    optimized base program before instrumenting or transforming it). *)
+
+val block : Block.t -> Block.t
+val func : Func.t -> Func.t
+val program : Program.t -> Program.t

@@ -1,0 +1,34 @@
+type t = Eq | Ne | Lt | Le | Gt | Ge [@@deriving show { with_path = false }, eq, ord]
+
+let negate = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+let swap = function
+  | Eq -> Eq
+  | Ne -> Ne
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+
+let eval c a b =
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let mnemonic = function
+  | Eq -> "be"
+  | Ne -> "bne"
+  | Lt -> "bl"
+  | Le -> "ble"
+  | Gt -> "bg"
+  | Ge -> "bge"

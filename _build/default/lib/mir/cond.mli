@@ -1,0 +1,31 @@
+(** Condition codes for conditional branches.
+
+    A [Cmp (a, b)] instruction records the pair [(a, b)] in the machine's
+    single condition-code register; a following branch on condition [c] is
+    taken iff [eval c a b] holds.  This mirrors the SPARC integer condition
+    codes used by the paper's vpo back end. *)
+
+type t =
+  | Eq  (** [a = b] *)
+  | Ne  (** [a <> b] *)
+  | Lt  (** [a < b], signed *)
+  | Le  (** [a <= b], signed *)
+  | Gt  (** [a > b], signed *)
+  | Ge  (** [a >= b], signed *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val negate : t -> t
+(** [negate c] is the condition holding exactly when [c] does not. *)
+
+val swap : t -> t
+(** [swap c] is the condition such that [eval (swap c) b a = eval c a b]. *)
+
+val eval : t -> int -> int -> bool
+(** [eval c a b] evaluates [a c b]. *)
+
+val mnemonic : t -> string
+(** SPARC-flavoured branch mnemonic, e.g. ["be"] for [Eq]. *)

@@ -1,0 +1,129 @@
+(* Cooper, Harvey & Kennedy, "A Simple, Fast Dominance Algorithm":
+   iterative intersection over a reverse-postorder numbering. *)
+
+type t = {
+  order : string array;                  (* reverse postorder; order.(0) = entry *)
+  number : (string, int) Hashtbl.t;
+  idom : int array;                      (* idom.(i) = rpo index, or -1 *)
+  succs : (string, string list) Hashtbl.t;
+}
+
+let reverse_postorder fn =
+  let visited = Hashtbl.create 64 in
+  let post = ref [] in
+  let rec dfs label =
+    if not (Hashtbl.mem visited label) then begin
+      Hashtbl.replace visited label ();
+      (match Func.find_block_opt fn label with
+      | Some b -> List.iter dfs (Func.successors fn b)
+      | None -> ());
+      post := label :: !post
+    end
+  in
+  (match fn.Func.blocks with
+  | entry :: _ -> dfs entry.Block.label
+  | [] -> ());
+  Array.of_list !post
+
+let compute fn =
+  let order = reverse_postorder fn in
+  let n = Array.length order in
+  let number = Hashtbl.create n in
+  Array.iteri (fun i l -> Hashtbl.replace number l i) order;
+  let succs = Hashtbl.create n in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i label ->
+      match Func.find_block_opt fn label with
+      | None -> ()
+      | Some b ->
+        let ss = Func.successors fn b in
+        Hashtbl.replace succs label ss;
+        List.iter
+          (fun s ->
+            match Hashtbl.find_opt number s with
+            | Some j -> preds.(j) <- i :: preds.(j)
+            | None -> ())
+          ss)
+    order;
+  let idom = Array.make n (-1) in
+  if n > 0 then begin
+    idom.(0) <- 0;
+    let rec intersect a b =
+      if a = b then a
+      else if a > b then intersect idom.(a) b
+      else intersect a idom.(b)
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for i = 1 to n - 1 do
+        let processed = List.filter (fun p -> idom.(p) >= 0) preds.(i) in
+        match processed with
+        | [] -> ()
+        | first :: rest ->
+          let new_idom = List.fold_left intersect first rest in
+          if idom.(i) <> new_idom then begin
+            idom.(i) <- new_idom;
+            changed := true
+          end
+      done
+    done
+  end;
+  { order; number; idom; succs }
+
+let idom t label =
+  match Hashtbl.find_opt t.number label with
+  | None -> None
+  | Some i ->
+    if i = 0 || t.idom.(i) < 0 then None else Some t.order.(t.idom.(i))
+
+let dominates t a b =
+  match Hashtbl.find_opt t.number a, Hashtbl.find_opt t.number b with
+  | Some ia, Some ib ->
+    let rec walk i = if i = ia then true else if i = 0 then ia = 0 else walk t.idom.(i) in
+    if t.idom.(ib) < 0 && ib <> 0 then false else walk ib
+  | _ -> false
+
+let dominators t label =
+  match Hashtbl.find_opt t.number label with
+  | None -> []
+  | Some i ->
+    if i <> 0 && t.idom.(i) < 0 then []
+    else begin
+      let rec up acc i =
+        let acc = t.order.(i) :: acc in
+        if i = 0 then List.rev acc else up acc t.idom.(i)
+      in
+      up [] i
+    end
+
+let dominance_frontier t label =
+  match Hashtbl.find_opt t.number label with
+  | None -> []
+  | Some _ ->
+    let out = ref [] in
+    Array.iteri
+      (fun i l ->
+        (* l is in DF(label) if label dominates a predecessor of l but
+           does not strictly dominate l *)
+        ignore i;
+        match Hashtbl.find_opt t.number l with
+        | None -> ()
+        | Some li ->
+          if li <> 0 && t.idom.(li) < 0 then ()
+          else
+            let has_pred_dominated =
+              Array.exists
+                (fun p ->
+                  match Hashtbl.find_opt t.succs p with
+                  | Some ss -> List.mem l ss && dominates t label p
+                  | None -> false)
+                t.order
+            in
+            if
+              has_pred_dominated
+              && ((not (dominates t label l)) || String.equal label l)
+            then out := l :: !out)
+      t.order;
+    List.rev !out

@@ -1,0 +1,23 @@
+(** Dominator analysis (Cooper-Harvey-Kennedy iterative algorithm).
+
+    Used by loop detection and loop-invariant code motion; exposed for
+    clients that need to reason about paths (e.g. verifying that a
+    compare dominates its branch). *)
+
+type t
+
+val compute : Func.t -> t
+
+val idom : t -> string -> string option
+(** Immediate dominator; [None] for the entry block and unreachable
+    blocks. *)
+
+val dominates : t -> string -> string -> bool
+(** [dominates t a b] holds when every path from the entry to [b] passes
+    through [a] (reflexive: [dominates t a a]). *)
+
+val dominators : t -> string -> string list
+(** The dominator chain of a block, from itself up to the entry. *)
+
+val dominance_frontier : t -> string -> string list
+(** Blocks where [b]'s dominance stops (in deterministic order). *)

@@ -1,0 +1,77 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '<' | '>' | '{' | '}' | '|' ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c
+      | '\n' -> Buffer.add_string buf "\\l"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let node_id label = "\"" ^ escape label ^ "\""
+
+let block_text (b : Block.t) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (b.Block.label ^ ":\n");
+  List.iter
+    (fun i -> Buffer.add_string buf ("  " ^ Insn.show i ^ "\n"))
+    b.Block.insns;
+  (match b.Block.term.Block.kind with
+  | Block.Br (c, _, _) -> Buffer.add_string buf ("  " ^ Cond.mnemonic c ^ " ...\n")
+  | Block.Jmp _ -> Buffer.add_string buf "  jmp\n"
+  | Block.Switch _ -> Buffer.add_string buf "  switch\n"
+  | Block.Jtab _ -> Buffer.add_string buf "  jtab\n"
+  | Block.Ret None -> Buffer.add_string buf "  ret\n"
+  | Block.Ret (Some o) -> Buffer.add_string buf ("  ret " ^ Operand.show o ^ "\n"));
+  (match b.Block.term.Block.delay with
+  | Some i -> Buffer.add_string buf ("  [delay] " ^ Insn.show i ^ "\n")
+  | None -> ());
+  Buffer.contents buf
+
+let func ppf (f : Func.t) =
+  Format.fprintf ppf "digraph \"%s\" {@\n" (escape f.Func.name);
+  Format.fprintf ppf "  node [shape=box, fontname=\"monospace\", fontsize=9];@\n";
+  List.iter
+    (fun (b : Block.t) ->
+      Format.fprintf ppf "  %s [label=\"%s\"];@\n" (node_id b.Block.label)
+        (escape (block_text b)))
+    f.Func.blocks;
+  List.iter
+    (fun (b : Block.t) ->
+      let src = node_id b.Block.label in
+      match b.Block.term.Block.kind with
+      | Block.Br (_, taken, fall) ->
+        Format.fprintf ppf "  %s -> %s [label=\"T\"];@\n" src (node_id taken);
+        Format.fprintf ppf "  %s -> %s [label=\"F\"];@\n" src (node_id fall)
+      | Block.Jmp l -> Format.fprintf ppf "  %s -> %s;@\n" src (node_id l)
+      | Block.Switch (_, cases, default) ->
+        List.iter
+          (fun (v, l) ->
+            Format.fprintf ppf "  %s -> %s [label=\"%d\"];@\n" src (node_id l) v)
+          cases;
+        Format.fprintf ppf "  %s -> %s [label=\"default\"];@\n" src
+          (node_id default)
+      | Block.Jtab (_, id) ->
+        let targets = Func.jtab f id in
+        let seen = Hashtbl.create 8 in
+        Array.iteri
+          (fun i l ->
+            if not (Hashtbl.mem seen l) then begin
+              Hashtbl.replace seen l ();
+              Format.fprintf ppf "  %s -> %s [label=\"T%d[%d..]\"];@\n" src
+                (node_id l) id i
+            end)
+          targets
+      | Block.Ret _ -> ())
+    f.Func.blocks;
+  Format.fprintf ppf "}@\n"
+
+let func_to_string f = Format.asprintf "%a" func f
+
+let program ppf (p : Program.t) =
+  List.iter (fun f -> Format.fprintf ppf "%a@\n" func f) p.Program.funcs

@@ -1,0 +1,12 @@
+(** Graphviz rendering of CFGs (for papersmithing and debugging; the CLI
+    exposes it as [bromc compile --dot]). *)
+
+val func : Format.formatter -> Func.t -> unit
+(** One [digraph] per function: a record node per block listing its
+    instructions, edges labelled T/F for branch arms and with the case
+    index for jump tables. *)
+
+val func_to_string : Func.t -> string
+
+val program : Format.formatter -> Program.t -> unit
+(** All functions as separate [digraph]s in one stream. *)

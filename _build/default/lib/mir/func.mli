@@ -1,0 +1,59 @@
+(** A MIR function: a list of basic blocks in layout order.
+
+    The first block is the entry.  Blocks are kept in layout order, which
+    determines fall-throughs (see {!Block.static_insn_count}); passes that
+    change the order must keep the entry first. *)
+
+type t = {
+  name : string;
+  params : Reg.t list;
+  mutable blocks : Block.t list;  (** layout order; head is the entry *)
+  mutable jtables : string array list;
+      (** jump tables, indexed by position (table 0 first) *)
+  mutable next_reg : int;
+  mutable next_label : int;
+}
+
+val make : name:string -> params:Reg.t list -> t
+
+val entry : t -> Block.t
+(** Raises [Invalid_argument] on a function with no blocks. *)
+
+val fresh_reg : t -> Reg.t
+val fresh_label : t -> string
+(** Fresh labels are ["<func>.L<n>"] and unique within the function. *)
+
+val add_block : t -> Block.t -> unit
+(** Appends at the end of the layout. *)
+
+val insert_blocks_after : t -> string -> Block.t list -> unit
+(** [insert_blocks_after f label blocks] splices [blocks] into the layout
+    immediately after the block labelled [label].
+    Raises [Not_found] if [label] is not defined. *)
+
+val find_block : t -> string -> Block.t
+(** Raises [Not_found]. *)
+
+val find_block_opt : t -> string -> Block.t option
+
+val jtab : t -> int -> string array
+(** Resolve a jump-table id.  Raises [Invalid_argument] on a bad id. *)
+
+val add_jtable : t -> string array -> int
+(** Registers a jump table, returning its id. *)
+
+val successors : t -> Block.t -> string list
+
+val predecessors : t -> (string, string list) Hashtbl.t
+(** Map from block label to predecessor labels, in layout order of the
+    predecessors.  Recomputed on demand; not cached. *)
+
+val iter_blocks : t -> (Block.t -> unit) -> unit
+
+val static_insn_count : t -> int
+(** Sum of {!Block.static_insn_count} over the layout. *)
+
+val reachable : t -> (string, unit) Hashtbl.t
+(** Labels reachable from the entry. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,138 @@
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+
+type unop = Neg | Not
+
+type t =
+  | Mov of Reg.t * Operand.t
+  | Unop of unop * Reg.t * Operand.t
+  | Binop of binop * Reg.t * Operand.t * Operand.t
+  | Load of Reg.t * string * Operand.t
+  | Store of string * Operand.t * Operand.t
+  | Cmp of Operand.t * Operand.t
+  | Call of Reg.t option * string * Operand.t list
+  | Nop
+  | Profile_range of int * Reg.t
+  | Profile_comb of int
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "sll"
+  | Shr -> "sra"
+
+let unop_name = function Neg -> "neg" | Not -> "not"
+
+let equal a b =
+  match a, b with
+  | Mov (r1, o1), Mov (r2, o2) -> Reg.equal r1 r2 && Operand.equal o1 o2
+  | Unop (u1, r1, o1), Unop (u2, r2, o2) ->
+    u1 = u2 && Reg.equal r1 r2 && Operand.equal o1 o2
+  | Binop (b1, r1, x1, y1), Binop (b2, r2, x2, y2) ->
+    b1 = b2 && Reg.equal r1 r2 && Operand.equal x1 x2 && Operand.equal y1 y2
+  | Load (r1, s1, o1), Load (r2, s2, o2) ->
+    Reg.equal r1 r2 && String.equal s1 s2 && Operand.equal o1 o2
+  | Store (s1, i1, v1), Store (s2, i2, v2) ->
+    String.equal s1 s2 && Operand.equal i1 i2 && Operand.equal v1 v2
+  | Cmp (x1, y1), Cmp (x2, y2) -> Operand.equal x1 x2 && Operand.equal y1 y2
+  | Call (r1, f1, a1), Call (r2, f2, a2) ->
+    Option.equal Reg.equal r1 r2
+    && String.equal f1 f2
+    && List.equal Operand.equal a1 a2
+  | Nop, Nop -> true
+  | Profile_range (i1, r1), Profile_range (i2, r2) -> i1 = i2 && Reg.equal r1 r2
+  | Profile_comb i1, Profile_comb i2 -> i1 = i2
+  | ( ( Mov _ | Unop _ | Binop _ | Load _ | Store _ | Cmp _ | Call _ | Nop
+      | Profile_range _ | Profile_comb _ ),
+      _ ) ->
+    false
+
+let pp ppf = function
+  | Mov (r, o) -> Format.fprintf ppf "%a = %a" Reg.pp r Operand.pp o
+  | Unop (u, r, o) ->
+    Format.fprintf ppf "%a = %s %a" Reg.pp r (unop_name u) Operand.pp o
+  | Binop (b, r, x, y) ->
+    Format.fprintf ppf "%a = %s %a, %a" Reg.pp r (binop_name b) Operand.pp x
+      Operand.pp y
+  | Load (r, s, i) ->
+    Format.fprintf ppf "%a = M[%s + %a]" Reg.pp r s Operand.pp i
+  | Store (s, i, v) ->
+    Format.fprintf ppf "M[%s + %a] = %a" s Operand.pp i Operand.pp v
+  | Cmp (x, y) -> Format.fprintf ppf "cmp %a, %a" Operand.pp x Operand.pp y
+  | Call (None, f, args) ->
+    Format.fprintf ppf "call %s(%a)" f
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Operand.pp)
+      args
+  | Call (Some r, f, args) ->
+    Format.fprintf ppf "%a = call %s(%a)" Reg.pp r f
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Operand.pp)
+      args
+  | Nop -> Format.fprintf ppf "nop"
+  | Profile_range (id, r) ->
+    Format.fprintf ppf "profile_range #%d, %a" id Reg.pp r
+  | Profile_comb id -> Format.fprintf ppf "profile_comb #%d" id
+
+let show i = Format.asprintf "%a" pp i
+
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then raise Division_by_zero else a / b
+  | Rem -> if b = 0 then raise Division_by_zero else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 63)
+  | Shr -> a asr (b land 63)
+
+let eval_unop op a =
+  match op with
+  | Neg -> -a
+  | Not -> if a = 0 then 1 else 0
+
+let defs = function
+  | Mov (r, _) | Unop (_, r, _) | Binop (_, r, _, _) | Load (r, _, _) -> [ r ]
+  | Call (Some r, _, _) -> [ r ]
+  | Store _ | Cmp _ | Call (None, _, _) | Nop | Profile_range _ | Profile_comb _
+    ->
+    []
+
+let op_uses o = match Operand.as_reg o with Some r -> [ r ] | None -> []
+
+let uses = function
+  | Mov (_, o) | Unop (_, _, o) | Load (_, _, o) -> op_uses o
+  | Binop (_, _, x, y) | Cmp (x, y) -> op_uses x @ op_uses y
+  | Store (_, i, v) -> op_uses i @ op_uses v
+  | Call (_, _, args) -> List.concat_map op_uses args
+  | Nop -> []
+  | Profile_range (_, r) -> [ r ]
+  | Profile_comb _ -> []
+
+let is_pure = function
+  | Mov _ | Unop _ -> true
+  | Binop ((Div | Rem), _, _, _) -> false (* may trap *)
+  | Binop _ -> true
+  | Load _ -> true (* memory is not mutated; reads cannot trap here *)
+  | Store _ | Cmp _ | Call _ | Nop | Profile_range _ | Profile_comb _ -> false
+
+let is_profile = function
+  | Profile_range _ | Profile_comb _ -> true
+  | Mov _ | Unop _ | Binop _ | Load _ | Store _ | Cmp _ | Call _ | Nop -> false
+
+let has_side_effect = function
+  | Store _ | Call _ -> true
+  | Binop ((Div | Rem), _, _, _) -> true
+  | Mov _ | Unop _ | Binop _ | Load _ | Cmp _ | Nop | Profile_range _
+  | Profile_comb _ ->
+    false

@@ -1,0 +1,72 @@
+(** MIR instructions (non-terminator).
+
+    Instructions are SPARC-like RTLs: three-address ALU operations, a
+    compare that sets the condition-code register, word-addressed loads and
+    stores against named globals, calls, and two profiling pseudo
+    instructions that are free at run time and removed before measurement.
+
+    Terminators (branches, jumps, returns) live in {!Block.term}. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** truncated toward zero; division by zero traps in the simulator *)
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr  (** arithmetic shift right *)
+
+type unop = Neg | Not  (** [Not] is logical: [!x] is 1 if [x = 0] else 0 *)
+
+type t =
+  | Mov of Reg.t * Operand.t
+  | Unop of unop * Reg.t * Operand.t
+  | Binop of binop * Reg.t * Operand.t * Operand.t
+  | Load of Reg.t * string * Operand.t
+      (** [Load (r, sym, idx)] is [r <- M\[sym + idx\]] (word addressed) *)
+  | Store of string * Operand.t * Operand.t
+      (** [Store (sym, idx, v)] is [M\[sym + idx\] <- v] *)
+  | Cmp of Operand.t * Operand.t  (** sets the condition codes *)
+  | Call of Reg.t option * string * Operand.t list
+  | Nop  (** an unfilled delay slot; executes and is counted *)
+  | Profile_range of int * Reg.t
+      (** pseudo: record the value of a sequence's branch variable
+          (sequence id, variable register); zero cost, removed before
+          measurement runs *)
+  | Profile_comb of int
+      (** pseudo: record the outcome combination of a common-successor
+          branch sequence (sequence id); zero cost, removed before
+          measurement runs *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val eval_binop : binop -> int -> int -> int
+(** Raises [Division_by_zero] for [Div]/[Rem] with zero divisor. *)
+
+val eval_unop : unop -> int -> int
+
+val defs : t -> Reg.t list
+(** Registers written by the instruction. *)
+
+val uses : t -> Reg.t list
+(** Registers read by the instruction. *)
+
+val is_pure : t -> bool
+(** [is_pure i] holds when [i] only writes registers (no memory, I/O,
+    condition codes or calls), so duplicating or deleting it when its
+    results are dead is safe. *)
+
+val is_profile : t -> bool
+(** The two profiling pseudo instructions. *)
+
+val has_side_effect : t -> bool
+(** Writes memory, performs I/O via a call, or may trap.  Pure register
+    writes and [Cmp] are not side effects in the paper's sense
+    (Definition 6 concerns updates that reach uses outside the range
+    condition; we approximate conservatively at the instruction level and
+    let liveness refine register writes). *)

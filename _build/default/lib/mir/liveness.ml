@@ -1,0 +1,80 @@
+type t = {
+  live_in : (string, Reg.Set.t) Hashtbl.t;
+  live_out : (string, Reg.Set.t) Hashtbl.t;
+}
+
+let term_uses (t : Block.term) =
+  let kind_uses =
+    match t.Block.kind with
+    | Block.Br _ | Block.Jmp _ -> []
+    | Block.Switch (r, _, _) | Block.Jtab (r, _) -> [ r ]
+    | Block.Ret (Some o) -> (
+      match Operand.as_reg o with Some r -> [ r ] | None -> [])
+    | Block.Ret None -> []
+  in
+  let delay_uses =
+    match t.Block.delay with Some i -> Insn.uses i | None -> []
+  in
+  kind_uses @ delay_uses
+
+let term_defs (t : Block.term) =
+  (* an annulled slot defines its register only on the taken path, so it
+     cannot be treated as a kill across both edges *)
+  match t.Block.delay with
+  | Some i when not t.Block.annul -> Insn.defs i
+  | Some _ | None -> []
+
+(* Transfer function for one block: live_in = gen U (live_out \ kill),
+   computed by walking instructions backwards.  The terminator's uses are
+   consumed first (it executes last). *)
+let block_live_in (b : Block.t) out =
+  let live = ref out in
+  (* delay-slot defs happen after the branch decision but before control
+     reaches the successor, so they kill across the edge *)
+  List.iter (fun r -> live := Reg.Set.remove r !live) (term_defs b.Block.term);
+  List.iter (fun r -> live := Reg.Set.add r !live) (term_uses b.Block.term);
+  List.iter
+    (fun i ->
+      List.iter (fun r -> live := Reg.Set.remove r !live) (Insn.defs i);
+      List.iter (fun r -> live := Reg.Set.add r !live) (Insn.uses i))
+    (List.rev b.Block.insns);
+  !live
+
+let compute (f : Func.t) =
+  let live_in = Hashtbl.create 64 in
+  let live_out = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      Hashtbl.replace live_in b.Block.label Reg.Set.empty;
+      Hashtbl.replace live_out b.Block.label Reg.Set.empty)
+    f.Func.blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* reverse layout order converges quickly for reducible CFGs *)
+    List.iter
+      (fun b ->
+        let out =
+          List.fold_left
+            (fun acc s ->
+              match Hashtbl.find_opt live_in s with
+              | Some set -> Reg.Set.union acc set
+              | None -> acc)
+            Reg.Set.empty (Func.successors f b)
+        in
+        let inn = block_live_in b out in
+        let old_in = Hashtbl.find live_in b.Block.label in
+        Hashtbl.replace live_out b.Block.label out;
+        if not (Reg.Set.equal inn old_in) then begin
+          Hashtbl.replace live_in b.Block.label inn;
+          changed := true
+        end)
+      (List.rev f.Func.blocks)
+  done;
+  { live_in; live_out }
+
+let live_in t label =
+  try Hashtbl.find t.live_in label with Not_found -> Reg.Set.empty
+
+let live_out t label =
+  try Hashtbl.find t.live_out label with Not_found -> Reg.Set.empty

@@ -1,0 +1,114 @@
+type loop = {
+  header : string;
+  body : string list;
+  back_edges : string list;
+}
+
+let natural_loop fn header tails =
+  let preds = Func.predecessors fn in
+  (* restrict the predecessor walk to reachable blocks: an unreachable
+     block with an edge into the loop is not part of it (and the header
+     does not dominate it) *)
+  let reachable = Func.reachable fn in
+  let in_loop = Hashtbl.create 16 in
+  Hashtbl.replace in_loop header ();
+  let rec pull label =
+    if (not (Hashtbl.mem in_loop label)) && Hashtbl.mem reachable label then begin
+      Hashtbl.replace in_loop label ();
+      match Hashtbl.find_opt preds label with
+      | Some ps -> List.iter pull ps
+      | None -> ()
+    end
+  in
+  List.iter pull tails;
+  (* deterministic order: layout order of the function *)
+  List.filter_map
+    (fun (b : Block.t) ->
+      if Hashtbl.mem in_loop b.Block.label then Some b.Block.label else None)
+    fn.Func.blocks
+
+let find fn =
+  let dom = Dom.compute fn in
+  let back = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun s ->
+          if Dom.dominates dom s b.Block.label then begin
+            let tails = try Hashtbl.find back s with Not_found -> [] in
+            Hashtbl.replace back s (tails @ [ b.Block.label ])
+          end)
+        (Func.successors fn b))
+    fn.Func.blocks;
+  List.filter_map
+    (fun (b : Block.t) ->
+      match Hashtbl.find_opt back b.Block.label with
+      | Some tails ->
+        Some
+          {
+            header = b.Block.label;
+            body = natural_loop fn b.Block.label tails;
+            back_edges = tails;
+          }
+      | None -> None)
+    fn.Func.blocks
+
+let retarget_term (t : Block.term) ~from ~into =
+  let swap l = if String.equal l from then into else l in
+  let kind =
+    match t.Block.kind with
+    | Block.Br (c, a, b) -> Block.Br (c, swap a, swap b)
+    | Block.Jmp l -> Block.Jmp (swap l)
+    | Block.Switch (r, cases, d) ->
+      Block.Switch (r, List.map (fun (v, l) -> (v, swap l)) cases, swap d)
+    | (Block.Jtab _ | Block.Ret _) as k -> k
+  in
+  { t with Block.kind }
+
+let preheader fn loop =
+  let preds = Func.predecessors fn in
+  let header_preds =
+    match Hashtbl.find_opt preds loop.header with Some ps -> ps | None -> []
+  in
+  let outside =
+    List.filter (fun p -> not (List.mem p loop.body)) header_preds
+  in
+  let reusable =
+    match outside with
+    | [ single ] -> (
+      match Func.find_block_opt fn single with
+      | Some b when Func.successors fn b = [ loop.header ] -> Some single
+      | _ -> None)
+    | _ -> None
+  in
+  match reusable with
+  | Some label -> label
+  | None ->
+    let label = Func.fresh_label fn in
+    let nb = Block.make ~label [] (Block.Jmp loop.header) in
+    List.iter
+      (fun p ->
+        match Func.find_block_opt fn p with
+        | Some pb -> (
+          pb.Block.term <-
+            retarget_term pb.Block.term ~from:loop.header ~into:label;
+          match pb.Block.term.Block.kind with
+          | Block.Jtab (_, id) ->
+            let table = Func.jtab fn id in
+            Array.iteri
+              (fun i t -> if String.equal t loop.header then table.(i) <- label)
+              table
+          | Block.Br _ | Block.Jmp _ | Block.Switch _ | Block.Ret _ -> ())
+        | None -> ())
+      outside;
+    (* place the preheader right before the header; when the header is
+       the entry block this makes the preheader the new entry, keeping
+       it reachable even with no outside predecessors *)
+    let rec insert = function
+      | [] -> [ nb ]
+      | (b : Block.t) :: rest ->
+        if String.equal b.Block.label loop.header then nb :: b :: rest
+        else b :: insert rest
+    in
+    fn.Func.blocks <- insert fn.Func.blocks;
+    label

@@ -1,0 +1,20 @@
+(** Natural-loop detection from back edges.
+
+    A back edge is an edge [tail -> head] where [head] dominates [tail];
+    its natural loop is [head] plus every block that can reach [tail]
+    without passing through [head].  Loops sharing a header are merged.
+    Used by loop-invariant code motion. *)
+
+type loop = {
+  header : string;
+  body : string list;    (** includes the header; deterministic order *)
+  back_edges : string list;  (** the tails *)
+}
+
+val find : Func.t -> loop list
+(** Loops in order of their header's layout position. *)
+
+val preheader : Func.t -> loop -> string
+(** The unique block outside the loop that falls into the header,
+    creating one if needed (all non-back-edge predecessors of the header
+    are retargeted to the new block).  Returns its label. *)

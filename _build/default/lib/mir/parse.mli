@@ -1,0 +1,30 @@
+(** Textual MIR parser — the inverse of {!Program.pp}.
+
+    Reads the assembly-like dump the printer produces, enabling MIR round
+    trips ([parse (to_string p)] is structurally equal to [p] modulo
+    layout of whitespace), hand-written MIR test inputs, and the CLI's
+    ability to run [.mir] files directly.
+
+    The format is line oriented:
+
+    {v
+    global tab[10]
+    global msg[3] = {104, 105, 0}
+
+    function main(r0, r1):
+      table T0: [a; b]
+    main.entry:
+      r1 = add r0, 1
+      cmp r1, 5
+      be -> a | b
+    a:
+      call putchar(42)
+      ret 0  ; delay: r2 = 7
+    v} *)
+
+exception Error of int * string
+(** Line number (1-based) and message. *)
+
+val program : string -> Program.t
+val func : string -> Func.t
+(** Parses a single function (no globals). *)

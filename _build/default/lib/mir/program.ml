@@ -1,0 +1,64 @@
+type global = {
+  gname : string;
+  size : int;
+  init : int array option;
+}
+
+type t = {
+  mutable funcs : Func.t list;
+  mutable globals : global list;
+}
+
+let make () = { funcs = []; globals = [] }
+let add_func p f = p.funcs <- p.funcs @ [ f ]
+let add_global p g = p.globals <- p.globals @ [ g ]
+
+let find_func_opt p name =
+  List.find_opt (fun f -> String.equal f.Func.name name) p.funcs
+
+let find_func p name =
+  match find_func_opt p name with
+  | Some f -> f
+  | None -> raise Not_found
+
+let find_global_opt p name =
+  List.find_opt (fun g -> String.equal g.gname name) p.globals
+
+let string_words s =
+  Array.init (String.length s + 1) (fun i ->
+      if i < String.length s then Char.code s.[i] else 0)
+
+let intern_string p s =
+  let words = string_words s in
+  let existing =
+    List.find_opt
+      (fun g ->
+        match g.init with
+        | Some init -> String.length g.gname > 4
+                       && String.sub g.gname 0 4 = ".str"
+                       && init = words
+        | None -> false)
+      p.globals
+  in
+  match existing with
+  | Some g -> g.gname
+  | None ->
+    let name = Printf.sprintf ".str%d" (List.length p.globals) in
+    add_global p { gname = name; size = Array.length words; init = Some words };
+    name
+
+let static_insn_count p =
+  List.fold_left (fun acc f -> acc + Func.static_insn_count f) 0 p.funcs
+
+let pp ppf p =
+  List.iter
+    (fun g ->
+      match g.init with
+      | None -> Format.fprintf ppf "global %s[%d]@\n" g.gname g.size
+      | Some init ->
+        Format.fprintf ppf "global %s[%d] = {%s}@\n" g.gname g.size
+          (String.concat ", " (List.map string_of_int (Array.to_list init))))
+    p.globals;
+  List.iter (fun f -> Format.fprintf ppf "@\n%a" Func.pp f) p.funcs
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,31 @@
+(** A MIR program: functions plus global data.
+
+    Globals are word-addressed integer arrays (a scalar global is an array
+    of size one).  String data is stored as one character per word with a
+    terminating zero, matching the MiniC front end's view of strings. *)
+
+type global = {
+  gname : string;
+  size : int;
+  init : int array option;  (** [None] means zero-initialised *)
+}
+
+type t = {
+  mutable funcs : Func.t list;
+  mutable globals : global list;
+}
+
+val make : unit -> t
+val add_func : t -> Func.t -> unit
+val add_global : t -> global -> unit
+val find_func : t -> string -> Func.t
+val find_func_opt : t -> string -> Func.t option
+val find_global_opt : t -> string -> global option
+
+val intern_string : t -> string -> string
+(** [intern_string p s] returns the name of a global holding [s] as a
+    zero-terminated word array, creating (and deduplicating) it. *)
+
+val static_insn_count : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

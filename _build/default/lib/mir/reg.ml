@@ -1,0 +1,15 @@
+type t = int
+
+let of_int n =
+  if n < 0 then invalid_arg "Reg.of_int: negative id";
+  n
+
+let to_int r = r
+let equal = Int.equal
+let compare = Int.compare
+let hash r = r
+let pp ppf r = Format.fprintf ppf "r%d" r
+let show r = Format.asprintf "%a" pp r
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

@@ -1,0 +1,22 @@
+(** Virtual registers.
+
+    Registers are function-local and unbounded in number; the simulator
+    allocates one slot per register id, so there is no register allocator
+    (the paper's measurements are of RTL-level instructions, which map one
+    to one onto our instructions). *)
+
+type t = private int
+
+val of_int : int -> t
+(** [of_int n] is the register with id [n].  Raises [Invalid_argument] if
+    [n < 0]. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+lib/opt/branch_chain.ml: Array List Mir String

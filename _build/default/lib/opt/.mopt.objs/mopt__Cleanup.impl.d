@@ -1,0 +1,1 @@
+lib/opt/cleanup.ml: Branch_chain Copy_prop Cse Dead_code Delay_slot Global_const Licm List Mir Reposition Unreachable

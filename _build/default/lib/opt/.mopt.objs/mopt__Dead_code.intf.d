@@ -1,0 +1,1 @@
+lib/opt/dead_code.mli: Mir

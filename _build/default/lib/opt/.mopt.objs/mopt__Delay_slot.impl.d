@@ -1,0 +1,1 @@
+lib/opt/delay_slot.ml: Hashtbl List Mir String

@@ -1,0 +1,1 @@
+lib/opt/delay_slot.mli: Mir

@@ -1,0 +1,1 @@
+lib/opt/global_const.ml: Hashtbl List Mir

@@ -1,0 +1,1 @@
+lib/opt/profile_layout.ml: Hashtbl List Mir String

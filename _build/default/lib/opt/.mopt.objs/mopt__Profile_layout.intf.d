@@ -1,0 +1,1 @@
+lib/opt/profile_layout.mli: Hashtbl Mir

@@ -1,0 +1,1 @@
+lib/opt/reposition.ml: Hashtbl List Mir String

@@ -1,0 +1,1 @@
+lib/opt/reposition.mli: Mir

@@ -1,0 +1,1 @@
+lib/opt/switch_lower.mli: Mir

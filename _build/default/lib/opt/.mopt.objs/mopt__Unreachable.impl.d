@@ -1,0 +1,1 @@
+lib/opt/unreachable.ml: Hashtbl List Mir

@@ -1,0 +1,1 @@
+lib/opt/unreachable.mli: Mir

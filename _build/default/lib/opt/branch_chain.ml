@@ -1,0 +1,73 @@
+(* Follow chains of empty jump-only blocks to their final destination. *)
+let resolve fn label =
+  let rec go seen label =
+    if List.mem label seen then label
+    else
+      match Mir.Func.find_block_opt fn label with
+      | Some { Mir.Block.insns = []; term = { kind = Mir.Block.Jmp next; delay = None; _ }; _ }
+        ->
+        go (label :: seen) next
+      | Some _ | None -> label
+  in
+  go [] label
+
+let run_func (fn : Mir.Func.t) =
+  let changed = ref false in
+  let retarget label =
+    let label' = resolve fn label in
+    if not (String.equal label label') then changed := true;
+    label'
+  in
+  List.iter
+    (fun (b : Mir.Block.t) ->
+      let term = b.Mir.Block.term in
+      let set kind =
+        b.Mir.Block.term <- { term with kind };
+        changed := true
+      in
+      match term.kind with
+      | Mir.Block.Br (cond, taken0, not_taken0) -> (
+        let taken = retarget taken0 and not_taken = retarget not_taken0 in
+        (* constant condition: the block ends cmp imm, imm *)
+        let const_cc =
+          match List.rev b.Mir.Block.insns with
+          | Mir.Insn.Cmp (Mir.Operand.Imm a, Mir.Operand.Imm c) :: _ ->
+            Some (a, c)
+          | _ -> None
+        in
+        match const_cc with
+        | Some (a, c) ->
+          let dest = if Mir.Cond.eval cond a c then taken else not_taken in
+          (* the cmp may still feed later branches via fall-through; keep
+             it — dead-code elimination cannot remove cmps, but the cc is
+             only consumed by branches we just resolved, and any later
+             branch reading it would read the same constant codes. *)
+          set (Mir.Block.Jmp dest)
+        | None ->
+          if String.equal taken not_taken then set (Mir.Block.Jmp taken)
+          else if
+            not (String.equal taken taken0 && String.equal not_taken not_taken0)
+          then set (Mir.Block.Br (cond, taken, not_taken)))
+      | Mir.Block.Jmp l ->
+        let l' = retarget l in
+        if not (String.equal l l') then set (Mir.Block.Jmp l')
+      | Mir.Block.Switch (r, cases, default) ->
+        let cases' = List.map (fun (c, t) -> (c, retarget t)) cases in
+        let default' = retarget default in
+        if
+          default' <> default
+          || List.exists2 (fun (_, a) (_, b) -> a <> b) cases cases'
+        then set (Mir.Block.Switch (r, cases', default'))
+      | Mir.Block.Jtab (_, id) ->
+        let table = Mir.Func.jtab fn id in
+        Array.iteri
+          (fun i t ->
+            let t' = retarget t in
+            if not (String.equal t t') then table.(i) <- t')
+          table
+      | Mir.Block.Ret _ -> ())
+    fn.Mir.Func.blocks;
+  !changed
+
+let run (p : Mir.Program.t) =
+  List.fold_left (fun acc fn -> run_func fn || acc) false p.Mir.Program.funcs

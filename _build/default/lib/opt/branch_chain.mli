@@ -1,0 +1,13 @@
+(** Branch chaining and trivial branch simplification.
+
+    - Retargets any control transfer pointing at an empty block whose only
+      content is a jump, to the jump's destination (chains are followed to
+      a fixpoint, with cycle protection).
+    - Rewrites [Br (c, t, t)] to [Jmp t].
+    - Folds a branch whose block ends with [Cmp (Imm a, Imm b)] into a
+      jump. *)
+
+val run_func : Mir.Func.t -> bool
+(** Returns [true] if anything changed. *)
+
+val run : Mir.Program.t -> bool

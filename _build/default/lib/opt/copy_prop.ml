@@ -1,0 +1,134 @@
+module RM = Mir.Reg.Map
+
+(* facts: register -> operand it currently equals *)
+
+let subst facts op =
+  match op with
+  | Mir.Operand.Reg r -> (
+    match RM.find_opt r facts with Some op' -> op' | None -> op)
+  | Mir.Operand.Imm _ -> op
+
+(* drop facts about r and facts whose value mentions r *)
+let kill facts r =
+  RM.filter
+    (fun key value ->
+      (not (Mir.Reg.equal key r))
+      &&
+      match value with
+      | Mir.Operand.Reg vr -> not (Mir.Reg.equal vr r)
+      | Mir.Operand.Imm _ -> true)
+    facts
+
+let kill_defs facts insn = List.fold_left kill facts (Mir.Insn.defs insn)
+
+(* algebraic identities; returns a replacement instruction *)
+let simplify_binop op r a b =
+  let open Mir.Insn in
+  match op, a, b with
+  | (Add | Sub | Or | Xor | Shl | Shr), x, Mir.Operand.Imm 0 -> Some (Mov (r, x))
+  | Add, Mir.Operand.Imm 0, x -> Some (Mov (r, x))
+  | (Mul | Div), x, Mir.Operand.Imm 1 -> Some (Mov (r, x))
+  | Mul, Mir.Operand.Imm 1, x -> Some (Mov (r, x))
+  | Mul, _, Mir.Operand.Imm 0 -> Some (Mov (r, Mir.Operand.Imm 0))
+  | Mul, Mir.Operand.Imm 0, _ -> Some (Mov (r, Mir.Operand.Imm 0))
+  | And, _, Mir.Operand.Imm 0 -> Some (Mov (r, Mir.Operand.Imm 0))
+  | And, Mir.Operand.Imm 0, _ -> Some (Mov (r, Mir.Operand.Imm 0))
+  | _ -> None
+
+let rewrite_insn facts insn =
+  let open Mir.Insn in
+  match insn with
+  | Mov (r, op) -> Mov (r, subst facts op)
+  | Unop (u, r, op) -> (
+    match subst facts op with
+    | Mir.Operand.Imm n -> Mov (r, Mir.Operand.Imm (eval_unop u n))
+    | op -> Unop (u, r, op))
+  | Binop (bop, r, a, b) -> (
+    let a = subst facts a and b = subst facts b in
+    match a, b with
+    | Mir.Operand.Imm x, Mir.Operand.Imm y
+      when not ((bop = Div || bop = Rem) && y = 0) ->
+      Mov (r, Mir.Operand.Imm (eval_binop bop x y))
+    | _ -> (
+      match simplify_binop bop r a b with
+      | Some i -> i
+      | None -> Binop (bop, r, a, b)))
+  | Load (r, sym, idx) -> Load (r, sym, subst facts idx)
+  | Store (sym, idx, v) -> Store (sym, subst facts idx, subst facts v)
+  | Cmp (a, b) ->
+    (* propagate constants into compares, but never rename a compared
+       register to its copy source: sequence detection unifies range
+       conditions by the register they test, and the source-level
+       variable's register is the one later conditions use *)
+    let subst_cmp op =
+      match subst facts op with
+      | Mir.Operand.Imm _ as imm -> imm
+      | Mir.Operand.Reg _ -> op
+    in
+    Cmp (subst_cmp a, subst_cmp b)
+  | Call (dst, f, args) -> Call (dst, f, List.map (subst facts) args)
+  | Nop -> Nop
+  | Profile_range (id, r) -> (
+    (* the profiled variable must stay a register *)
+    match subst facts (Mir.Operand.Reg r) with
+    | Mir.Operand.Reg r' -> Profile_range (id, r')
+    | Mir.Operand.Imm _ -> Profile_range (id, r))
+  | Profile_comb id -> Profile_comb id
+
+let update_facts facts insn =
+  let open Mir.Insn in
+  match insn with
+  | Mov (r, op) ->
+    let facts = kill facts r in
+    (match op with
+    | Mir.Operand.Reg src when Mir.Reg.equal src r -> facts
+    | _ -> RM.add r op facts)
+  | _ -> kill_defs facts insn
+
+let is_self_move = function
+  | Mir.Insn.Mov (r, Mir.Operand.Reg src) -> Mir.Reg.equal r src
+  | _ -> false
+
+let rewrite_term facts (t : Mir.Block.term) =
+  let subst_reg r =
+    match RM.find_opt r facts with
+    | Some (Mir.Operand.Reg r') -> r'
+    | Some (Mir.Operand.Imm _) | None -> r
+  in
+  let kind =
+    match t.Mir.Block.kind with
+    | (Mir.Block.Br _ | Mir.Block.Jmp _) as k -> k
+    | Mir.Block.Switch (r, cases, default) ->
+      Mir.Block.Switch (subst_reg r, cases, default)
+    | Mir.Block.Jtab (r, id) -> Mir.Block.Jtab (subst_reg r, id)
+    | Mir.Block.Ret (Some op) -> Mir.Block.Ret (Some (subst facts op))
+    | Mir.Block.Ret None as k -> k
+  in
+  { t with Mir.Block.kind }
+
+let run_block (b : Mir.Block.t) =
+  let changed = ref false in
+  let facts = ref RM.empty in
+  let out = ref [] in
+  List.iter
+    (fun insn ->
+      let insn' = rewrite_insn !facts insn in
+      if not (Mir.Insn.equal insn insn') then changed := true;
+      if is_self_move insn' then changed := true
+      else out := insn' :: !out;
+      facts := update_facts !facts insn')
+    b.Mir.Block.insns;
+  b.Mir.Block.insns <- List.rev !out;
+  let term' = rewrite_term !facts b.Mir.Block.term in
+  if not (Mir.Block.equal_term_kind term'.Mir.Block.kind b.Mir.Block.term.kind)
+  then begin
+    changed := true;
+    b.Mir.Block.term <- term'
+  end;
+  !changed
+
+let run_func (fn : Mir.Func.t) =
+  List.fold_left (fun acc b -> run_block b || acc) false fn.Mir.Func.blocks
+
+let run (p : Mir.Program.t) =
+  List.fold_left (fun acc fn -> run_func fn || acc) false p.Mir.Program.funcs

@@ -1,0 +1,10 @@
+(** Local copy/constant propagation, constant folding and peephole
+    simplification within each basic block.
+
+    Tracks [Mov r, op] facts forward through the block, substitutes known
+    registers into later uses (including the terminator where operand
+    kinds allow), folds constant ALU operations, deletes self-moves and
+    strength-reduces identities ([x + 0], [x * 1], [x | 0] ...). *)
+
+val run_func : Mir.Func.t -> bool
+val run : Mir.Program.t -> bool

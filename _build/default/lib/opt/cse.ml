@@ -1,0 +1,81 @@
+(* the key of an available expression *)
+type expr =
+  | Eunop of Mir.Insn.unop * Mir.Operand.t
+  | Ebinop of Mir.Insn.binop * Mir.Operand.t * Mir.Operand.t
+  | Eload of string * Mir.Operand.t
+
+let expr_of = function
+  | Mir.Insn.Unop (op, _, a) -> Some (Eunop (op, a))
+  | Mir.Insn.Binop ((Mir.Insn.Div | Mir.Insn.Rem), _, _, _) ->
+    None (* may trap; replaying the trap point matters *)
+  | Mir.Insn.Binop (op, _, a, b) -> Some (Ebinop (op, a, b))
+  | Mir.Insn.Load (r, sym, idx) ->
+    ignore r;
+    Some (Eload (sym, idx))
+  | _ -> None
+
+let mentions_reg r = function
+  | Mir.Operand.Reg r' -> Mir.Reg.equal r r'
+  | Mir.Operand.Imm _ -> false
+
+let expr_uses_reg r = function
+  | Eunop (_, a) -> mentions_reg r a
+  | Ebinop (_, a, b) -> mentions_reg r a || mentions_reg r b
+  | Eload (_, idx) -> mentions_reg r idx
+
+let is_load = function Eload _ -> true | Eunop _ | Ebinop _ -> false
+
+let run_block (b : Mir.Block.t) =
+  let changed = ref false in
+  (* available: expression -> register holding its value *)
+  let available = ref [] in
+  let kill_reg r =
+    available :=
+      List.filter
+        (fun (e, holder) ->
+          (not (Mir.Reg.equal holder r)) && not (expr_uses_reg r e))
+        !available
+  in
+  let kill_loads () =
+    available := List.filter (fun (e, _) -> not (is_load e)) !available
+  in
+  let out = ref [] in
+  List.iter
+    (fun insn ->
+      let insn' =
+        match expr_of insn with
+        | Some e -> (
+          match List.assoc_opt e !available with
+          | Some holder -> (
+            match Mir.Insn.defs insn with
+            | [ dst ] ->
+              changed := true;
+              Mir.Insn.Mov (dst, Mir.Operand.Reg holder)
+            | _ -> insn)
+          | None -> insn)
+        | None -> insn
+      in
+      (match insn' with
+      | Mir.Insn.Store _ -> kill_loads ()
+      | Mir.Insn.Call _ -> kill_loads ()
+      | _ -> ());
+      List.iter kill_reg (Mir.Insn.defs insn');
+      (match expr_of insn' with
+      | Some e -> (
+        match Mir.Insn.defs insn' with
+        (* an expression like r1 = r1 + r2 references the old r1 and is
+           not available afterwards *)
+        | [ dst ] when not (expr_uses_reg dst e) ->
+          available := (e, dst) :: !available
+        | _ -> ())
+      | None -> ());
+      out := insn' :: !out)
+    b.Mir.Block.insns;
+  b.Mir.Block.insns <- List.rev !out;
+  !changed
+
+let run_func (fn : Mir.Func.t) =
+  List.fold_left (fun acc b -> run_block b || acc) false fn.Mir.Func.blocks
+
+let run (p : Mir.Program.t) =
+  List.fold_left (fun acc fn -> run_func fn || acc) false p.Mir.Program.funcs

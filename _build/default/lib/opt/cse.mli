@@ -1,0 +1,11 @@
+(** Local common-subexpression elimination.
+
+    Within a basic block, a pure computation whose operands have not been
+    redefined since an identical earlier computation is replaced by a
+    move from the earlier result.  Loads participate until a store or a
+    call intervenes (calls may perform stores through builtins'
+    callees).  Copy propagation and dead-code elimination then finish
+    the job. *)
+
+val run_func : Mir.Func.t -> bool
+val run : Mir.Program.t -> bool

@@ -1,0 +1,44 @@
+(* one backward sweep over a block, with live = live_out, removing dead
+   pure instructions *)
+let sweep_block live_out (b : Mir.Block.t) =
+  let changed = ref false in
+  let live = ref live_out in
+  List.iter (fun r -> live := Mir.Reg.Set.add r !live)
+    (Mir.Liveness.term_uses b.Mir.Block.term);
+  let keep = ref [] in
+  List.iter
+    (fun insn ->
+      let defs = Mir.Insn.defs insn in
+      let dead =
+        Mir.Insn.is_pure insn
+        && defs <> []
+        && List.for_all (fun r -> not (Mir.Reg.Set.mem r !live)) defs
+      in
+      if dead then changed := true
+      else begin
+        List.iter (fun r -> live := Mir.Reg.Set.remove r !live) defs;
+        List.iter (fun r -> live := Mir.Reg.Set.add r !live) (Mir.Insn.uses insn);
+        keep := insn :: !keep
+      end)
+    (List.rev b.Mir.Block.insns);
+  b.Mir.Block.insns <- !keep;
+  !changed
+
+let run_func (fn : Mir.Func.t) =
+  let changed_any = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    let live = Mir.Liveness.compute fn in
+    let changed =
+      List.fold_left
+        (fun acc b ->
+          sweep_block (Mir.Liveness.live_out live b.Mir.Block.label) b || acc)
+        false fn.Mir.Func.blocks
+    in
+    if changed then changed_any := true;
+    continue_ := changed
+  done;
+  !changed_any
+
+let run (p : Mir.Program.t) =
+  List.fold_left (fun acc fn -> run_func fn || acc) false p.Mir.Program.funcs

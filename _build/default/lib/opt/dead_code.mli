@@ -1,0 +1,10 @@
+(** Liveness-based dead instruction elimination.
+
+    Removes pure instructions whose results are dead, iterating to a
+    fixpoint (a removed instruction can make its operands' definitions
+    dead in turn).  Calls, stores and compares are never removed; removing
+    a dead compare would require proving no reachable branch consumes the
+    condition codes, which branch chaining already makes irrelevant. *)
+
+val run_func : Mir.Func.t -> bool
+val run : Mir.Program.t -> bool

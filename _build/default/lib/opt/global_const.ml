@@ -1,0 +1,147 @@
+(* lattice value per register *)
+type value =
+  | Unknown          (* no path reaches here yet (top) *)
+  | Const of int
+  | Varying          (* bottom *)
+
+module RM = Mir.Reg.Map
+
+let meet_value a b =
+  match a, b with
+  | Unknown, x | x, Unknown -> x
+  | Const x, Const y when x = y -> Const x
+  | _ -> Varying
+
+(* states are maps; a register absent from the map is Unknown before any
+   path defines it, but registers start as 0 in the machine; we stay
+   conservative and treat absent as Varying for soundness with respect
+   to uninitialised reads, except parameters which are Varying anyway *)
+let meet_state a b =
+  RM.merge
+    (fun _ x y ->
+      match x, y with
+      | Some x, Some y -> Some (meet_value x y)
+      | Some _, None | None, Some _ -> Some Varying
+      | None, None -> None)
+    a b
+
+let lookup state r =
+  match RM.find_opt r state with Some v -> v | None -> Varying
+
+let transfer_insn state insn =
+  let set r v = RM.add r v state in
+  let op_value = function
+    | Mir.Operand.Imm n -> Const n
+    | Mir.Operand.Reg r -> lookup state r
+  in
+  match insn with
+  | Mir.Insn.Mov (r, o) -> set r (op_value o)
+  | Mir.Insn.Unop (u, r, o) -> (
+    match op_value o with
+    | Const n -> set r (Const (Mir.Insn.eval_unop u n))
+    | v -> set r v)
+  | Mir.Insn.Binop (b, r, x, y) -> (
+    match op_value x, op_value y with
+    | Const a, Const c
+      when not ((b = Mir.Insn.Div || b = Mir.Insn.Rem) && c = 0) ->
+      set r (Const (Mir.Insn.eval_binop b a c))
+    | Unknown, _ | _, Unknown -> set r Unknown
+    | _ -> set r Varying)
+  | Mir.Insn.Load (r, _, _) | Mir.Insn.Call (Some r, _, _) -> set r Varying
+  | Mir.Insn.Store _ | Mir.Insn.Cmp _ | Mir.Insn.Call (None, _, _)
+  | Mir.Insn.Nop | Mir.Insn.Profile_range _ | Mir.Insn.Profile_comb _ ->
+    state
+
+let transfer_block state (b : Mir.Block.t) =
+  let state = List.fold_left transfer_insn state b.Mir.Block.insns in
+  match b.Mir.Block.term.Mir.Block.delay with
+  | Some i -> transfer_insn state i
+  | None -> state
+
+let equal_state a b =
+  RM.equal
+    (fun x y ->
+      match x, y with
+      | Unknown, Unknown | Varying, Varying -> true
+      | Const a, Const b -> a = b
+      | _ -> false)
+    a b
+
+let compute_in_states (fn : Mir.Func.t) =
+  let in_states = Hashtbl.create 32 in
+  (match fn.Mir.Func.blocks with
+  | entry :: _ ->
+    (* parameters (and everything else) start Varying: empty map *)
+    Hashtbl.replace in_states entry.Mir.Block.label RM.empty
+  | [] -> ());
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Mir.Block.t) ->
+        match Hashtbl.find_opt in_states b.Mir.Block.label with
+        | None -> ()
+        | Some in_state ->
+          let out = transfer_block in_state b in
+          List.iter
+            (fun s ->
+              let merged =
+                match Hashtbl.find_opt in_states s with
+                | None -> out
+                | Some existing -> meet_state existing out
+              in
+              match Hashtbl.find_opt in_states s with
+              | Some existing when equal_state existing merged -> ()
+              | _ ->
+                Hashtbl.replace in_states s merged;
+                changed := true)
+            (Mir.Func.successors fn b))
+      fn.Mir.Func.blocks
+  done;
+  in_states
+
+let rewrite_block in_state (b : Mir.Block.t) =
+  let changed = ref false in
+  let state = ref in_state in
+  let subst op =
+    match op with
+    | Mir.Operand.Reg r -> (
+      match lookup !state r with
+      | Const n ->
+        changed := true;
+        Mir.Operand.Imm n
+      | Unknown | Varying -> op)
+    | Mir.Operand.Imm _ -> op
+  in
+  let rewrite insn =
+    let insn' =
+      match insn with
+      | Mir.Insn.Mov (r, o) -> Mir.Insn.Mov (r, subst o)
+      | Mir.Insn.Unop (u, r, o) -> Mir.Insn.Unop (u, r, subst o)
+      | Mir.Insn.Binop (bop, r, x, y) -> Mir.Insn.Binop (bop, r, subst x, subst y)
+      | Mir.Insn.Load (r, sym, idx) -> Mir.Insn.Load (r, sym, subst idx)
+      | Mir.Insn.Store (sym, idx, v) -> Mir.Insn.Store (sym, subst idx, subst v)
+      | Mir.Insn.Call (dst, f, args) -> Mir.Insn.Call (dst, f, List.map subst args)
+      (* compares keep registers for the sequence detector; constants
+         flow into them via the local pass when profitable *)
+      | (Mir.Insn.Cmp _ | Mir.Insn.Nop | Mir.Insn.Profile_range _
+        | Mir.Insn.Profile_comb _) as i ->
+        i
+    in
+    state := transfer_insn !state insn;
+    insn'
+  in
+  b.Mir.Block.insns <- List.map rewrite b.Mir.Block.insns;
+  !changed
+
+let run_func (fn : Mir.Func.t) =
+  let in_states = compute_in_states fn in
+  List.fold_left
+    (fun acc (b : Mir.Block.t) ->
+      match Hashtbl.find_opt in_states b.Mir.Block.label with
+      | Some in_state -> rewrite_block in_state b || acc
+      | None -> acc)
+    false fn.Mir.Func.blocks
+
+let run (p : Mir.Program.t) =
+  List.fold_left (fun acc fn -> run_func fn || acc) false p.Mir.Program.funcs

@@ -1,0 +1,12 @@
+(** Global (whole-function) constant propagation.
+
+    A forward must-dataflow over the lattice
+    [unknown (top) > constant c > varying (bottom)] per register, with
+    meet over predecessors.  Uses whose register is a known constant at
+    that program point are rewritten to immediates, which feeds the
+    local folder, branch-constant folding and dead-code elimination.
+    Compares keep their register operands (see {!Copy_prop}); only
+    arithmetic, moves, addresses and call arguments are rewritten. *)
+
+val run_func : Mir.Func.t -> bool
+val run : Mir.Program.t -> bool

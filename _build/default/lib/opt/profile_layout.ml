@@ -1,0 +1,65 @@
+type counts = (string, int * int) Hashtbl.t
+
+(* the successor we want placed next: the branch arm executed more often
+   (falling through the hot edge), the jump target, or the static
+   preference when no counts exist *)
+let preferred counts (b : Mir.Block.t) =
+  match b.Mir.Block.term.Mir.Block.kind with
+  | Mir.Block.Br (cond, taken, not_taken) -> (
+    match Hashtbl.find_opt counts b.Mir.Block.label with
+    | Some (t, nt) when t > nt ->
+      (* invert the branch so the hot arm falls through *)
+      b.Mir.Block.term <-
+        {
+          b.Mir.Block.term with
+          Mir.Block.kind = Mir.Block.Br (Mir.Cond.negate cond, not_taken, taken);
+        };
+      Some taken
+    | _ -> Some not_taken)
+  | Mir.Block.Jmp l -> Some l
+  | Mir.Block.Switch (_, _, default) -> Some default
+  | Mir.Block.Jtab _ | Mir.Block.Ret _ -> None
+
+let run_func (fn : Mir.Func.t) counts =
+  match fn.Mir.Func.blocks with
+  | [] -> false
+  | original ->
+    let by_label = Hashtbl.create 64 in
+    List.iter
+      (fun (b : Mir.Block.t) -> Hashtbl.replace by_label b.Mir.Block.label b)
+      original;
+    let placed = Hashtbl.create 64 in
+    let order = ref [] in
+    let rec chain (b : Mir.Block.t) =
+      Hashtbl.replace placed b.Mir.Block.label ();
+      order := b :: !order;
+      match preferred counts b with
+      | Some next when not (Hashtbl.mem placed next) -> (
+        match Hashtbl.find_opt by_label next with
+        | Some nb -> chain nb
+        | None -> ())
+      | Some _ | None -> ()
+    in
+    chain (List.hd original);
+    List.iter
+      (fun (b : Mir.Block.t) ->
+        if not (Hashtbl.mem placed b.Mir.Block.label) then chain b)
+      original;
+    let new_order = List.rev !order in
+    let changed =
+      not
+        (List.equal
+           (fun (a : Mir.Block.t) (b : Mir.Block.t) ->
+             String.equal a.Mir.Block.label b.Mir.Block.label)
+           original new_order)
+    in
+    fn.Mir.Func.blocks <- new_order;
+    changed
+
+let run (p : Mir.Program.t) tables =
+  List.fold_left
+    (fun acc (fn : Mir.Func.t) ->
+      match Hashtbl.find_opt tables fn.Mir.Func.name with
+      | Some counts -> run_func fn counts || acc
+      | None -> acc)
+    false p.Mir.Program.funcs

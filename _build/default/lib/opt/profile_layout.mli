@@ -1,0 +1,18 @@
+(** Profile-guided code layout (cf. Calder & Grunwald 1994, cited by the
+    paper as the complementary technique that changes which branches are
+    taken rather than how many execute).
+
+    Given per-block branch execution counts (taken, not-taken) measured
+    on a training run, lays blocks out so that each conditional branch's
+    more frequent successor falls through where possible, and hot jump
+    targets follow their jumps.  The entry block stays first.
+
+    Counts are keyed by block label; blocks without counts keep the
+    static preference (not-taken falls through). *)
+
+type counts = (string, int * int) Hashtbl.t
+(** label of the branch's block -> (taken, not-taken) executions. *)
+
+val run_func : Mir.Func.t -> counts -> bool
+val run : Mir.Program.t -> (string, counts) Hashtbl.t -> bool
+(** Outer table keyed by function name. *)

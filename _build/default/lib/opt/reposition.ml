@@ -1,0 +1,48 @@
+let preferred_fallthrough (b : Mir.Block.t) =
+  match b.Mir.Block.term.kind with
+  | Mir.Block.Br (_, _, not_taken) -> Some not_taken
+  | Mir.Block.Jmp l -> Some l
+  | Mir.Block.Switch (_, _, default) -> Some default
+  | Mir.Block.Jtab _ | Mir.Block.Ret _ -> None
+
+let run_func (fn : Mir.Func.t) =
+  match fn.Mir.Func.blocks with
+  | [] -> false
+  | original ->
+    let by_label = Hashtbl.create 64 in
+    List.iter
+      (fun (b : Mir.Block.t) -> Hashtbl.replace by_label b.Mir.Block.label b)
+      original;
+    let placed = Hashtbl.create 64 in
+    let order = ref [] in
+    let place (b : Mir.Block.t) =
+      Hashtbl.replace placed b.Mir.Block.label ();
+      order := b :: !order
+    in
+    let rec chain (b : Mir.Block.t) =
+      place b;
+      match preferred_fallthrough b with
+      | Some next when not (Hashtbl.mem placed next) -> (
+        match Hashtbl.find_opt by_label next with
+        | Some nb -> chain nb
+        | None -> ())
+      | Some _ | None -> ()
+    in
+    chain (List.hd original);
+    List.iter
+      (fun (b : Mir.Block.t) ->
+        if not (Hashtbl.mem placed b.Mir.Block.label) then chain b)
+      original;
+    let new_order = List.rev !order in
+    let changed =
+      not
+        (List.equal
+           (fun (a : Mir.Block.t) (b : Mir.Block.t) ->
+             String.equal a.Mir.Block.label b.Mir.Block.label)
+           original new_order)
+    in
+    fn.Mir.Func.blocks <- new_order;
+    changed
+
+let run (p : Mir.Program.t) =
+  List.fold_left (fun acc fn -> run_func fn || acc) false p.Mir.Program.funcs

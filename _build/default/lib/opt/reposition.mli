@@ -1,0 +1,12 @@
+(** Code repositioning: orders blocks so that fall-through edges are
+    physically adjacent, minimising the unconditional jumps the assembled
+    code executes (the paper reinvokes this after reordering).
+
+    Greedy chain layout: starting from the entry, each placed block is
+    followed by its preferred fall-through successor (the not-taken arm of
+    a branch, or the target of a jump) when that block is still unplaced;
+    otherwise the next unplaced block in the current order starts a new
+    chain.  The entry block always stays first. *)
+
+val run_func : Mir.Func.t -> bool
+val run : Mir.Program.t -> bool

@@ -1,0 +1,11 @@
+let run_func (fn : Mir.Func.t) =
+  let reachable = Mir.Func.reachable fn in
+  let before = List.length fn.Mir.Func.blocks in
+  fn.Mir.Func.blocks <-
+    List.filter
+      (fun (b : Mir.Block.t) -> Hashtbl.mem reachable b.Mir.Block.label)
+      fn.Mir.Func.blocks;
+  List.length fn.Mir.Func.blocks <> before
+
+let run (p : Mir.Program.t) =
+  List.fold_left (fun acc fn -> run_func fn || acc) false p.Mir.Program.funcs

@@ -1,0 +1,5 @@
+(** Unreachable-block removal (the "dead code elimination" applied after
+    restructuring in the paper's Figure 10(e)). *)
+
+val run_func : Mir.Func.t -> bool
+val run : Mir.Program.t -> bool

@@ -1,0 +1,1 @@
+lib/sim/cycle_model.ml: Counters

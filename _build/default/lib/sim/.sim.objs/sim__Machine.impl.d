@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Buffer Char Counters Hashtbl Int List Mir Option Printf Profile String

@@ -1,0 +1,35 @@
+type t = {
+  mutable insns : int;
+  mutable cond_branches : int;
+  mutable taken_branches : int;
+  mutable jumps : int;
+  mutable indirect_jumps : int;
+  mutable calls : int;
+  mutable returns : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable nops : int;
+}
+
+let make () =
+  {
+    insns = 0;
+    cond_branches = 0;
+    taken_branches = 0;
+    jumps = 0;
+    indirect_jumps = 0;
+    calls = 0;
+    returns = 0;
+    loads = 0;
+    stores = 0;
+    nops = 0;
+  }
+
+let copy t = { t with insns = t.insns }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "insns=%d branches=%d (taken=%d) jumps=%d indirect=%d calls=%d loads=%d \
+     stores=%d nops=%d"
+    t.insns t.cond_branches t.taken_branches t.jumps t.indirect_jumps t.calls
+    t.loads t.stores t.nops

@@ -1,0 +1,24 @@
+(** Dynamic execution counters.
+
+    [insns] is the total number of machine instructions executed,
+    including nops in unfilled delay slots and the implicit jumps taken
+    when a not-taken branch does not fall through in the final layout
+    (mirroring what the assembled SPARC code would execute).  Profiling
+    pseudo instructions are free. *)
+
+type t = {
+  mutable insns : int;
+  mutable cond_branches : int;
+  mutable taken_branches : int;
+  mutable jumps : int;           (** unconditional jumps actually executed *)
+  mutable indirect_jumps : int;
+  mutable calls : int;
+  mutable returns : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable nops : int;            (** unfilled delay slots executed *)
+}
+
+val make : unit -> t
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

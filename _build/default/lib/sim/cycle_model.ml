@@ -1,0 +1,42 @@
+type params = {
+  model_name : string;
+  mispredict_penalty : int;
+  indirect_penalty : int;
+  load_latency : int;
+  predictor : (int * int * int) option;
+}
+
+let sparc_ipc =
+  {
+    model_name = "SPARC IPC";
+    mispredict_penalty = 1;
+    indirect_penalty = 2;
+    load_latency = 2;
+    predictor = None;
+  }
+
+let sparc_20 =
+  {
+    model_name = "SPARC 20";
+    mispredict_penalty = 2;
+    indirect_penalty = 2;
+    load_latency = 2;
+    predictor = None;
+  }
+
+let sparc_ultra1 =
+  {
+    model_name = "SPARC Ultra 1";
+    mispredict_penalty = 4;
+    indirect_penalty = 8;
+    load_latency = 2;
+    predictor = Some (0, 2, 2048);
+  }
+
+let all_machines = [ sparc_ipc; sparc_20; sparc_ultra1 ]
+
+let cycles p (c : Counters.t) ~mispredicts =
+  c.Counters.insns
+  + (mispredicts * p.mispredict_penalty)
+  + (c.Counters.indirect_jumps * p.indirect_penalty)
+  + (c.Counters.loads * (p.load_latency - 1))

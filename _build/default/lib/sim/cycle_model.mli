@@ -1,0 +1,34 @@
+(** A simple pipeline cycle model, the stand-in for the paper's wall-clock
+    measurements (Table 7).
+
+    Cycles = instructions executed (base CPI of 1)
+           + mispredicted branches x [mispredict_penalty]
+           + indirect jumps x [indirect_penalty]
+           + loads x ([load_latency] - 1).
+
+    The three parameter sets correspond to the paper's machines; the Ultra
+    set reflects the paper's measurement that indirect jumps on the Ultra 1
+    are about four times as expensive as on the IPC or the SPARCstation 20
+    (Section 9), and its (0,2) 2048-entry predictor. *)
+
+type params = {
+  model_name : string;
+  mispredict_penalty : int;
+  indirect_penalty : int;
+  load_latency : int;
+  predictor : (int * int * int) option;
+      (** (history bits, counter bits, entries); [None] = no dynamic
+          predictor (every conditional branch pays a fixed 1-cycle bubble
+          when taken, modelling the older in-order machines) *)
+}
+
+val sparc_ipc : params
+val sparc_20 : params
+val sparc_ultra1 : params
+val all_machines : params list
+
+val cycles :
+  params -> Counters.t -> mispredicts:int -> int
+(** Total simulated cycles for a run.  For parameter sets without a
+    predictor, pass the number of taken branches as [mispredicts] (each
+    taken branch redirects the fetch stream). *)

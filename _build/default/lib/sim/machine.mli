@@ -1,0 +1,53 @@
+(** The MIR interpreter.
+
+    Executes a program deterministically against a string of input,
+    counting dynamic instructions exactly as the assembled SPARC-like code
+    would execute them: conditional branches and unconditional transfers
+    carry delay slots (a filled slot executes its instruction, an unfilled
+    one executes a counted nop), a not-taken branch whose fall-through
+    successor is not next in the layout executes an extra jump, and a jump
+    to the next block in the layout costs nothing.
+
+    Built-in functions: [getchar] (reads the input string, -1 at end),
+    [putchar], [print_int] (decimal), [exit].  [puts]/[print_str] are
+    expanded by the front end and never reach the simulator. *)
+
+exception Trap of string
+(** Runtime error: division by zero, out-of-bounds access, unknown
+    function, call-depth or fuel exhaustion, unlowered switch. *)
+
+type config = {
+  fuel : int;        (** maximum dynamic instructions before trapping *)
+  max_depth : int;   (** maximum call depth *)
+}
+
+val default_config : config
+
+type result = {
+  counters : Counters.t;
+  output : string;
+  exit_code : int;
+}
+
+val run :
+  ?config:config ->
+  ?profile:Profile.t ->
+  ?on_branch:(site:int -> taken:bool -> unit) ->
+  ?on_block:(func:string -> label:string -> unit) ->
+  Mir.Program.t ->
+  input:string ->
+  result
+(** [run p ~input] executes [p] from [main].  [on_branch] is called for
+    every executed conditional branch with a stable site number (assigned
+    in program order) and the outcome; use it to drive {!Predictor}s.
+    [on_block] is called on entry to every basic block (a control-flow
+    trace).  Raises {!Trap} on runtime errors. *)
+
+val site_of : Mir.Program.t -> func:string -> label:string -> int
+(** The site number the machine assigns to the branch terminating the
+    given block (for tests). *)
+
+val sites : Mir.Program.t -> (string * string) array
+(** [(function, label)] for every block, indexed by site number — the
+    inverse of {!site_of}, for consumers of [on_branch] events that need
+    to attribute counts to blocks (e.g. profile-guided layout). *)

@@ -1,0 +1,57 @@
+type t = {
+  history_bits : int;
+  counter_bits : int;
+  entries : int;
+  table : int array;
+  init_state : int;
+  mutable history : int;
+  mutable lookups : int;
+  mutable mispredicts : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let make ~history_bits ~counter_bits ~entries =
+  if history_bits < 0 || history_bits > 16 then
+    invalid_arg "Predictor.make: history_bits out of range";
+  if counter_bits < 1 || counter_bits > 8 then
+    invalid_arg "Predictor.make: counter_bits out of range";
+  if not (is_power_of_two entries) then
+    invalid_arg "Predictor.make: entries must be a power of two";
+  let init_state = (1 lsl (counter_bits - 1)) - 1 in
+  {
+    history_bits;
+    counter_bits;
+    entries;
+    table = Array.make entries init_state;
+    init_state;
+    history = 0;
+    lookups = 0;
+    mispredicts = 0;
+  }
+
+let access t ~site ~taken =
+  let index = (site lxor t.history) land (t.entries - 1) in
+  let counter = t.table.(index) in
+  let predict_taken = counter >= 1 lsl (t.counter_bits - 1) in
+  t.lookups <- t.lookups + 1;
+  if predict_taken <> taken then t.mispredicts <- t.mispredicts + 1;
+  let max_counter = (1 lsl t.counter_bits) - 1 in
+  t.table.(index) <-
+    (if taken then min max_counter (counter + 1) else max 0 (counter - 1));
+  if t.history_bits > 0 then
+    t.history <-
+      ((t.history lsl 1) lor (if taken then 1 else 0))
+      land ((1 lsl t.history_bits) - 1)
+
+let lookups t = t.lookups
+let mispredicts t = t.mispredicts
+
+let reset t =
+  Array.fill t.table 0 t.entries t.init_state;
+  t.history <- 0;
+  t.lookups <- 0;
+  t.mispredicts <- 0
+
+let describe t =
+  Printf.sprintf "(%d,%d)x%d" t.history_bits t.counter_bits t.entries

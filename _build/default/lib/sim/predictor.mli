@@ -1,0 +1,23 @@
+(** (m, n) branch predictors.
+
+    An [(m, n)] predictor keeps [entries] n-bit saturating counters indexed
+    by the branch site number XORed with m bits of global branch history,
+    as in the paper's Tables 5 and 6 ((0,1) and (0,2) predictors with
+    32..2048 entries; the SPARC Ultra 1 uses a (0,2) predictor with 2048
+    entries). *)
+
+type t
+
+val make : history_bits:int -> counter_bits:int -> entries:int -> t
+(** [entries] must be a power of two.  Counters start in the weakly
+    not-taken state. *)
+
+val access : t -> site:int -> taken:bool -> unit
+(** Record one executed conditional branch: predict, compare with the
+    outcome, update the counter and history. *)
+
+val lookups : t -> int
+val mispredicts : t -> int
+val reset : t -> unit
+val describe : t -> string
+(** e.g. ["(0,2)x2048"]. *)

@@ -1,0 +1,82 @@
+type range_seq = {
+  bounds : (int * int) array;
+  counts : int array;
+  mutable executions : int;
+}
+
+type comb_seq = {
+  conds : (Mir.Cond.t * Mir.Operand.t * Mir.Operand.t) array;
+  comb_counts : int array;
+  mutable comb_executions : int;
+}
+
+type t = {
+  range_seqs : (int, range_seq) Hashtbl.t;
+  comb_seqs : (int, comb_seq) Hashtbl.t;
+}
+
+let make () = { range_seqs = Hashtbl.create 16; comb_seqs = Hashtbl.create 16 }
+
+let register_range_seq t id bounds =
+  let seq =
+    { bounds; counts = Array.make (Array.length bounds) 0; executions = 0 }
+  in
+  Hashtbl.replace t.range_seqs id seq;
+  seq
+
+let register_comb_seq t id conds =
+  if Array.length conds > 16 then
+    invalid_arg "Profile.register_comb_seq: too many conditions";
+  let seq =
+    {
+      conds;
+      comb_counts = Array.make (1 lsl Array.length conds) 0;
+      comb_executions = 0;
+    }
+  in
+  Hashtbl.replace t.comb_seqs id seq;
+  seq
+
+let find_range_seq t id = Hashtbl.find_opt t.range_seqs id
+let find_comb_seq t id = Hashtbl.find_opt t.comb_seqs id
+
+(* binary search for the range containing v *)
+let range_index bounds v =
+  let lo = ref 0 and hi = ref (Array.length bounds - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let l, h = bounds.(mid) in
+    if v < l then hi := mid - 1
+    else if v > h then lo := mid + 1
+    else found := mid
+  done;
+  !found
+
+let record_range t id v =
+  match Hashtbl.find_opt t.range_seqs id with
+  | None -> invalid_arg (Printf.sprintf "Profile.record_range: unknown id %d" id)
+  | Some seq ->
+    let idx = range_index seq.bounds v in
+    if idx < 0 then
+      invalid_arg
+        (Printf.sprintf "Profile.record_range: value %d not covered (seq %d)" v id);
+    seq.counts.(idx) <- seq.counts.(idx) + 1;
+    seq.executions <- seq.executions + 1
+
+let eval_operand read_reg = function
+  | Mir.Operand.Reg r -> read_reg r
+  | Mir.Operand.Imm n -> n
+
+let record_comb t id ~read_reg =
+  match Hashtbl.find_opt t.comb_seqs id with
+  | None -> invalid_arg (Printf.sprintf "Profile.record_comb: unknown id %d" id)
+  | Some seq ->
+    let mask = ref 0 in
+    Array.iteri
+      (fun i (cond, a, b) ->
+        if Mir.Cond.eval cond (eval_operand read_reg a) (eval_operand read_reg b)
+        then mask := !mask lor (1 lsl i))
+      seq.conds;
+    seq.comb_counts.(!mask) <- seq.comb_counts.(!mask) + 1;
+    seq.comb_executions <- seq.comb_executions + 1

@@ -1,0 +1,43 @@
+(** Profile-counter runtime.
+
+    The reordering pass inserts {!Mir.Insn.Profile_range} /
+    {!Mir.Insn.Profile_comb} pseudo instructions at sequence heads and
+    registers a descriptor for each sequence id here; the machine updates
+    the counters as the instrumented program runs on training input
+    (paper Section 5).  The descriptors are MIR-level so that the
+    simulator does not depend on the reordering library. *)
+
+type range_seq = {
+  bounds : (int * int) array;
+      (** nonoverlapping [lo, hi] ranges, sorted by [lo], jointly covering
+          every representable value *)
+  counts : int array;  (** one counter per range *)
+  mutable executions : int;  (** times the sequence head was reached *)
+}
+
+type comb_seq = {
+  conds : (Mir.Cond.t * Mir.Operand.t * Mir.Operand.t) array;
+      (** branch conditions, in original order; evaluated against the
+          current register file *)
+  comb_counts : int array;  (** 2^n counters indexed by outcome bitmask
+                                (bit i set = condition i true) *)
+  mutable comb_executions : int;
+}
+
+type t
+
+val make : unit -> t
+val register_range_seq : t -> int -> (int * int) array -> range_seq
+val register_comb_seq :
+  t -> int -> (Mir.Cond.t * Mir.Operand.t * Mir.Operand.t) array -> comb_seq
+
+val find_range_seq : t -> int -> range_seq option
+val find_comb_seq : t -> int -> comb_seq option
+
+val record_range : t -> int -> int -> unit
+(** [record_range t id v]: bump the counter of the range containing [v].
+    Raises [Invalid_argument] on an unregistered id or uncovered value. *)
+
+val record_comb : t -> int -> read_reg:(Mir.Reg.t -> int) -> unit
+(** Evaluate all conditions of sequence [id] and bump the combination
+    counter. *)

@@ -1,0 +1,1 @@
+lib/workload/registry.ml: List Spec String W_awk W_cb W_cpp W_ctags W_deroff W_grep W_hyphen W_join W_lex W_nroff W_pr W_ptx W_sdiff W_sed W_sort W_wc W_yacc

@@ -1,0 +1,1 @@
+lib/workload/textgen.ml: Buffer Char Int64 String

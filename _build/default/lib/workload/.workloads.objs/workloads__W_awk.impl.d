@@ -1,0 +1,1 @@
+lib/workload/w_awk.ml: Spec Textgen

@@ -1,0 +1,1 @@
+lib/workload/w_cb.ml: Spec Textgen

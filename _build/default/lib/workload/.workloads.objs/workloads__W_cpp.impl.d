@@ -1,0 +1,1 @@
+lib/workload/w_cpp.ml: Spec Textgen

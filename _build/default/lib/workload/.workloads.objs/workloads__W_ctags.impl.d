@@ -1,0 +1,1 @@
+lib/workload/w_ctags.ml: Spec Textgen

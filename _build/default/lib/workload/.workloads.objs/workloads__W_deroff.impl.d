@@ -1,0 +1,1 @@
+lib/workload/w_deroff.ml: Spec Textgen

@@ -1,0 +1,1 @@
+lib/workload/w_grep.ml: Spec Textgen

@@ -1,0 +1,1 @@
+lib/workload/w_hyphen.ml: Spec Textgen

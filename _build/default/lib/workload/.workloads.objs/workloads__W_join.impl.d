@@ -1,0 +1,1 @@
+lib/workload/w_join.ml: List Printf Spec String Textgen

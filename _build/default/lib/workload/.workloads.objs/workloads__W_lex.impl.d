@@ -1,0 +1,1 @@
+lib/workload/w_lex.ml: Spec Textgen

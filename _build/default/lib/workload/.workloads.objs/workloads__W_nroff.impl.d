@@ -1,0 +1,1 @@
+lib/workload/w_nroff.ml: Spec Textgen

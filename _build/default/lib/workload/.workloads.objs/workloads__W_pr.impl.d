@@ -1,0 +1,1 @@
+lib/workload/w_pr.ml: Spec Textgen

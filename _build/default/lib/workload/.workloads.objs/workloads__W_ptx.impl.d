@@ -1,0 +1,1 @@
+lib/workload/w_ptx.ml: Spec Textgen

@@ -1,0 +1,1 @@
+lib/workload/w_sdiff.ml: Spec String Textgen

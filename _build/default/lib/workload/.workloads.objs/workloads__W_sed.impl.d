@@ -1,0 +1,1 @@
+lib/workload/w_sed.ml: Spec Textgen

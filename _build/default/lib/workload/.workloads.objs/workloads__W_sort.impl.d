@@ -1,0 +1,1 @@
+lib/workload/w_sort.ml: Spec Textgen

@@ -1,0 +1,1 @@
+lib/workload/w_wc.ml: Spec Textgen

@@ -1,0 +1,1 @@
+lib/workload/w_yacc.ml: Buffer Spec Textgen

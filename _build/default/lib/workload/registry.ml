@@ -1,0 +1,23 @@
+let all =
+  [
+    W_awk.spec;
+    W_cb.spec;
+    W_cpp.spec;
+    W_ctags.spec;
+    W_deroff.spec;
+    W_grep.spec;
+    W_hyphen.spec;
+    W_join.spec;
+    W_lex.spec;
+    W_nroff.spec;
+    W_pr.spec;
+    W_ptx.spec;
+    W_sdiff.spec;
+    W_sed.spec;
+    W_sort.spec;
+    W_wc.spec;
+    W_yacc.spec;
+  ]
+
+let find name = List.find (fun (s : Spec.t) -> String.equal s.Spec.name name) all
+let names = List.map (fun (s : Spec.t) -> s.Spec.name) all

@@ -1,0 +1,10 @@
+(** The 17 benchmark programs of the paper's Table 3. *)
+
+val all : Spec.t list
+(** In the paper's order: awk, cb, cpp, ctags, deroff, grep, hyphen,
+    join, lex, nroff, pr, ptx, sdiff, sed, sort, wc, yacc. *)
+
+val find : string -> Spec.t
+(** Raises [Not_found]. *)
+
+val names : string list

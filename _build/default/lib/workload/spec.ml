@@ -1,0 +1,42 @@
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  training_input : string Lazy.t;
+  test_input : string Lazy.t;
+}
+
+let runtime_preamble =
+  {|
+int _numbuf[24];
+
+void print_num(int n) {
+  int i = 0;
+  if (n < 0) {
+    putchar('-');
+    n = -n;
+  }
+  if (n == 0) {
+    putchar('0');
+    return;
+  }
+  while (n > 0) {
+    _numbuf[i] = n % 10 + '0';
+    i++;
+    n = n / 10;
+  }
+  while (i > 0) {
+    i--;
+    putchar(_numbuf[i]);
+  }
+}
+|}
+
+let make ~name ~description ~source ~training_input ~test_input =
+  {
+    name;
+    description;
+    source = runtime_preamble ^ source;
+    training_input;
+    test_input;
+  }

@@ -1,0 +1,181 @@
+type rng = { mutable state : int64 }
+
+let rng seed = { state = Int64.of_int (seed * 2654435761 + 12345) }
+
+let next r n =
+  (* 64-bit LCG (Knuth MMIX constants), high bits for quality *)
+  r.state <-
+    Int64.add (Int64.mul r.state 6364136223846793005L) 1442695040888963407L;
+  let hi = Int64.to_int (Int64.shift_right_logical r.state 33) in
+  hi mod n
+
+(* letters weighted roughly by English frequency *)
+let letter_pool = "etaoinshrdlcumwfgypbvkjxqzetaoinshrdlcetaoinshr"
+
+let letter r = letter_pool.[next r (String.length letter_pool)]
+
+let word r buf =
+  let len = 1 + next r 9 in
+  for _ = 1 to len do
+    Buffer.add_char buf (letter r)
+  done
+
+let prose ~seed ~chars =
+  let r = rng seed in
+  let buf = Buffer.create chars in
+  let col = ref 0 in
+  while Buffer.length buf < chars do
+    let start = Buffer.length buf in
+    word r buf;
+    (match next r 20 with
+    | 0 -> Buffer.add_string buf ". "
+    | 1 -> Buffer.add_string buf ", "
+    | 2 when next r 3 = 0 -> Buffer.add_string buf "-"
+    | _ -> Buffer.add_char buf ' ');
+    col := !col + (Buffer.length buf - start);
+    if !col > 60 + next r 15 then begin
+      Buffer.add_char buf '\n';
+      col := 0;
+      if next r 25 = 0 then Buffer.add_char buf '\n'
+    end
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let ident r buf =
+  Buffer.add_char buf (Char.chr (Char.code 'a' + next r 26));
+  for _ = 1 to next r 7 do
+    let c =
+      match next r 12 with
+      | 0 -> '_'
+      | 1 | 2 -> Char.chr (Char.code '0' + next r 10)
+      | _ -> Char.chr (Char.code 'a' + next r 26)
+    in
+    Buffer.add_char buf c
+  done
+
+let code ~seed ~chars =
+  let r = rng seed in
+  let buf = Buffer.create chars in
+  let depth = ref 0 in
+  let indent () =
+    for _ = 1 to !depth do
+      Buffer.add_string buf "  "
+    done
+  in
+  while Buffer.length buf < chars do
+    match next r 24 with
+    | 0 ->
+      Buffer.add_string buf "#define ";
+      ident r buf;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (next r 1000));
+      Buffer.add_char buf '\n'
+    | 1 ->
+      Buffer.add_string buf "/* ";
+      word r buf;
+      Buffer.add_char buf ' ';
+      word r buf;
+      Buffer.add_string buf " */\n"
+    | 2 ->
+      indent ();
+      Buffer.add_string buf "if (";
+      ident r buf;
+      Buffer.add_string buf (if next r 2 = 0 then " == " else " < ");
+      Buffer.add_string buf (string_of_int (next r 100));
+      Buffer.add_string buf ") {\n";
+      incr depth
+    | 3 when !depth > 0 ->
+      decr depth;
+      indent ();
+      Buffer.add_string buf "}\n"
+    | 4 ->
+      indent ();
+      ident r buf;
+      Buffer.add_string buf " = \"";
+      word r buf;
+      Buffer.add_string buf "\";\n"
+    | 5 ->
+      Buffer.add_string buf "// ";
+      word r buf;
+      Buffer.add_char buf '\n'
+    | _ ->
+      indent ();
+      ident r buf;
+      Buffer.add_string buf " = ";
+      (match next r 3 with
+      | 0 -> Buffer.add_string buf (string_of_int (next r 10000))
+      | 1 ->
+        ident r buf;
+        Buffer.add_string buf " + ";
+        Buffer.add_string buf (string_of_int (next r 64))
+      | _ ->
+        ident r buf;
+        Buffer.add_string buf " * ";
+        ident r buf);
+      Buffer.add_string buf ";\n"
+  done;
+  while !depth > 0 do
+    decr depth;
+    Buffer.add_string buf "}\n"
+  done;
+  Buffer.contents buf
+
+let numbers ~seed ~lines ~fields =
+  let r = rng seed in
+  let buf = Buffer.create (lines * fields * 5) in
+  for _ = 1 to lines do
+    for f = 1 to fields do
+      if f > 1 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (next r 99999))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let records ~seed ~lines =
+  let r = rng seed in
+  let buf = Buffer.create (lines * 12) in
+  let key = ref 0 in
+  for _ = 1 to lines do
+    key := !key + 1 + next r 3;
+    Buffer.add_string buf (string_of_int !key);
+    Buffer.add_char buf ' ';
+    word r buf;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let mixed_lines ~seed ~lines =
+  let r = rng seed in
+  let buf = Buffer.create (lines * 30) in
+  for _ = 1 to lines do
+    (match next r 12 with
+    | 0 ->
+      Buffer.add_char buf '.';
+      Buffer.add_string buf (if next r 2 = 0 then "PP" else "SH");
+      Buffer.add_char buf ' ';
+      word r buf
+    | 1 -> Buffer.add_char buf '#'
+    | 2 -> () (* empty line *)
+    | 3 ->
+      (* formatter requests with arguments *)
+      Buffer.add_char buf '.';
+      Buffer.add_string buf
+        (match next r 6 with
+        | 0 -> "br"
+        | 1 -> "ce"
+        | 2 -> "sp 2"
+        | 3 -> "in 4"
+        | 4 -> "nf"
+        | _ -> "fi")
+    | _ ->
+      let words = 2 + next r 8 in
+      for w = 1 to words do
+        if w > 1 then Buffer.add_char buf ' ';
+        word r buf;
+        if next r 12 = 0 then Buffer.add_char buf '\\'
+      done);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Deterministic synthetic inputs for the workload programs.
+
+    The paper trained and tested on different real inputs; we use a
+    seeded linear-congruential generator with English-like character
+    frequencies so that training and test inputs differ (different seeds
+    and sizes) but share the distribution that makes branch profiles
+    transfer — the property the transformation relies on (Section 5,
+    citing [FiF92]). *)
+
+type rng
+
+val rng : int -> rng
+val next : rng -> int -> int
+(** [next r n] is uniform in [0, n). *)
+
+val prose : seed:int -> chars:int -> string
+(** English-like words, spaces, punctuation, newlines. *)
+
+val code : seed:int -> chars:int -> string
+(** C-like source text: identifiers, numbers, operators, braces,
+    comments, string literals, preprocessor lines. *)
+
+val numbers : seed:int -> lines:int -> fields:int -> string
+(** Lines of space-separated decimal numbers. *)
+
+val records : seed:int -> lines:int -> string
+(** Sorted-key records: "key value" lines with ascending keys, for
+    join-style workloads. *)
+
+val mixed_lines : seed:int -> lines:int -> string
+(** Short lines of prose, some empty, some starting with '.' or '#'
+    (troff/preprocessor directives). *)

@@ -1,0 +1,90 @@
+(* awk: pattern scanning core running the program
+     { n += NF; if ($1 > 50000) big++; sum += $2;
+       if ($3 ~ /7/) sevens++;
+       if ($2 > max2) max2 = $2; if ($2 < min2) min2 = $2 }
+     END { print NR, n, big, sum, sevens, max2, min2, sum/NR }
+   — per-line field splitting, decimal conversion, range tests, a
+   contains-digit scan and running extrema. *)
+
+let source =
+  {|
+int main() {
+  int c;
+  int lines = 0;
+  int fields = 0;
+  int big = 0;
+  int sum = 0;
+  int sevens = 0;
+  int max2 = 0;
+  int min2 = 999999;
+  c = getchar();
+  while (c != EOF) {
+    int nf = 0;
+    int f1 = 0;
+    int f2 = 0;
+    while (c != EOF && c != '\n') {
+      /* skip field separators */
+      while (c == ' ' || c == '\t')
+        c = getchar();
+      if (c != EOF && c != '\n') {
+        nf++;
+        int value = 0;
+        int is_num = 1;
+        int has_seven = 0;
+        while (c != EOF && c != ' ' && c != '\t' && c != '\n') {
+          if (c >= '0' && c <= '9') {
+            value = value * 10 + (c - '0');
+            if (c == '7')
+              has_seven = 1;
+          } else
+            is_num = 0;
+          c = getchar();
+        }
+        if (is_num == 1) {
+          if (nf == 1)
+            f1 = value;
+          if (nf == 2)
+            f2 = value;
+          if (nf == 3 && has_seven == 1)
+            sevens++;
+        }
+      }
+    }
+    lines++;
+    fields = fields + nf;
+    if (f1 > 50000)
+      big++;
+    sum = sum + f2;
+    if (f2 > max2)
+      max2 = f2;
+    if (f2 < min2)
+      min2 = f2;
+    if (c == '\n')
+      c = getchar();
+  }
+  print_num(lines);
+  putchar(' ');
+  print_num(fields);
+  putchar(' ');
+  print_num(big);
+  putchar(' ');
+  print_num(sum);
+  putchar(' ');
+  print_num(sevens);
+  putchar(' ');
+  print_num(max2);
+  putchar(' ');
+  print_num(min2);
+  putchar(' ');
+  if (lines > 0)
+    print_num(sum / lines);
+  putchar('\n');
+  return 0;
+}
+|}
+
+let spec =
+  Spec.make ~name:"awk"
+    ~description:"Pattern Scanning and Processing Language" ~source
+    ~training_input:(lazy (Textgen.numbers ~seed:2525 ~lines:2_500 ~fields:5))
+    ~test_input:(lazy (Textgen.numbers ~seed:2626 ~lines:3_800 ~fields:5))

@@ -1,0 +1,105 @@
+(* cb: a simple C program beautifier.  Re-indents code by brace depth,
+   tracking string literals and comments; the dispatch over the current
+   character is a switch whose translation differs across the heuristic
+   sets. *)
+
+let source =
+  {|
+int depth;
+
+void indent() {
+  int i = 0;
+  while (i < depth) {
+    putchar(' ');
+    putchar(' ');
+    i++;
+  }
+}
+
+int main() {
+  int c;
+  int prev = 0;
+  int in_string = 0;
+  int in_comment = 0;
+  int at_bol = 1;
+  depth = 0;
+  while ((c = getchar()) != EOF) {
+    if (in_comment == 1) {
+      if (prev == '*' && c == '/')
+        in_comment = 0;
+      prev = c;
+    } else if (in_string == 1) {
+      putchar(c);
+      if (c == '"' && prev != '\\')
+        in_string = 0;
+      prev = c;
+    } else {
+      switch (c) {
+      case '"':
+        if (at_bol == 1)
+          indent();
+        at_bol = 0;
+        putchar(c);
+        in_string = 1;
+        break;
+      case '{':
+        if (at_bol == 1)
+          indent();
+        putchar('{');
+        putchar('\n');
+        depth++;
+        at_bol = 1;
+        break;
+      case '}':
+        if (depth > 0)
+          depth--;
+        if (at_bol == 0)
+          putchar('\n');
+        indent();
+        putchar('}');
+        putchar('\n');
+        at_bol = 1;
+        break;
+      case ';':
+        putchar(';');
+        putchar('\n');
+        at_bol = 1;
+        break;
+      case '\n':
+        if (at_bol == 0)
+          putchar('\n');
+        at_bol = 1;
+        break;
+      case '\t':
+      case ' ':
+        if (at_bol == 0)
+          putchar(' ');
+        break;
+      case '*':
+        if (prev == '/')
+          in_comment = 1;
+        else {
+          if (at_bol == 1)
+            indent();
+          at_bol = 0;
+          putchar('*');
+        }
+        break;
+      default:
+        if (at_bol == 1)
+          indent();
+        at_bol = 0;
+        if (c != '/')
+          putchar(c);
+      }
+      prev = c;
+    }
+  }
+  return 0;
+}
+|}
+
+let spec =
+  Spec.make ~name:"cb" ~description:"A Simple C Program Beautifier" ~source
+    ~training_input:(lazy (Textgen.code ~seed:505 ~chars:70_000))
+    ~test_input:(lazy (Textgen.code ~seed:606 ~chars:100_000))

@@ -1,0 +1,123 @@
+(* cpp: a C preprocessor core — strips comments, recognises directive
+   lines, scans identifiers and numbers, and counts what it saw.  The
+   token dispatch is a wide switch and the identifier/number scanners
+   are bounded range conditions (Form 4). *)
+
+let source =
+  {|
+int idents;
+int numbers;
+int directives;
+int strings;
+int others;
+
+int main() {
+  int c;
+  int at_bol = 1;
+  int prev = 0;
+  c = getchar();
+  while (c != EOF) {
+    if (c == '/') {
+      int c2 = getchar();
+      if (c2 == '*') {
+        prev = 0;
+        c = getchar();
+        while (c != EOF) {
+          if (prev == '*' && c == '/')
+            break;
+          prev = c;
+          c = getchar();
+        }
+        c = getchar();
+      } else if (c2 == '/') {
+        while (c != EOF && c != '\n')
+          c = getchar();
+      } else {
+        putchar('/');
+        c = c2;
+      }
+      at_bol = 0;
+    } else if (c == '#' && at_bol == 1) {
+      directives++;
+      while (c != EOF && c != '\n') {
+        putchar(c);
+        c = getchar();
+      }
+    } else if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_') {
+      idents++;
+      while ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+             || (c >= '0' && c <= '9') || c == '_') {
+        putchar(c);
+        c = getchar();
+      }
+      at_bol = 0;
+    } else if (c >= '0' && c <= '9') {
+      numbers++;
+      while (c >= '0' && c <= '9') {
+        putchar(c);
+        c = getchar();
+      }
+      at_bol = 0;
+    } else if (c == '"') {
+      strings++;
+      putchar(c);
+      c = getchar();
+      while (c != EOF && c != '"') {
+        putchar(c);
+        c = getchar();
+      }
+      if (c == '"') {
+        putchar(c);
+        c = getchar();
+      }
+      at_bol = 0;
+    } else {
+      switch (c) {
+      case '\n':
+        at_bol = 1;
+        putchar(c);
+        break;
+      case ' ':
+      case '\t':
+        putchar(c);
+        break;
+      case '=':
+      case '+':
+      case '-':
+      case '*':
+      case '<':
+      case '>':
+      case ';':
+      case '(':
+      case ')':
+      case '{':
+      case '}':
+        others++;
+        putchar(c);
+        at_bol = 0;
+        break;
+      default:
+        putchar(c);
+        at_bol = 0;
+      }
+      c = getchar();
+    }
+  }
+  print_num(idents);
+  putchar(' ');
+  print_num(numbers);
+  putchar(' ');
+  print_num(directives);
+  putchar(' ');
+  print_num(strings);
+  putchar(' ');
+  print_num(others);
+  putchar('\n');
+  return 0;
+}
+|}
+
+let spec =
+  Spec.make ~name:"cpp" ~description:"C Compiler Preprocessor" ~source
+    ~training_input:(lazy (Textgen.code ~seed:707 ~chars:70_000))
+    ~test_input:(lazy (Textgen.code ~seed:808 ~chars:100_000))

@@ -1,0 +1,122 @@
+(* ctags: finds definition-like lines — an identifier at the beginning
+   of a line followed by '(' — and emits the identifier, skipping C
+   keywords.  Keyword rejection is a cascade of character equality
+   tests over the same variable. *)
+
+let source =
+  {|
+int name[64];
+
+int is_keyword() {
+  /* if, int, for, while, return, switch, case, else, do */
+  int c0 = name[0];
+  if (c0 == 'i') {
+    if (name[1] == 'f' && name[2] == 0)
+      return 1;
+    if (name[1] == 'n' && name[2] == 't' && name[3] == 0)
+      return 1;
+    return 0;
+  }
+  if (c0 == 'f') {
+    if (name[1] == 'o' && name[2] == 'r' && name[3] == 0)
+      return 1;
+    return 0;
+  }
+  if (c0 == 'w') {
+    if (name[1] == 'h' && name[2] == 'i' && name[3] == 'l' && name[4] == 'e'
+        && name[5] == 0)
+      return 1;
+    return 0;
+  }
+  if (c0 == 'r')
+    return name[1] == 'e' && name[2] == 't';
+  if (c0 == 's')
+    return name[1] == 'w';
+  if (c0 == 'c')
+    return name[1] == 'a' && name[2] == 's' && name[3] == 'e' && name[4] == 0;
+  if (c0 == 'e')
+    return name[1] == 'l' && name[2] == 's' && name[3] == 'e' && name[4] == 0;
+  if (c0 == 'd')
+    return name[1] == 'o' && name[2] == 0;
+  return 0;
+}
+
+int main() {
+  int c;
+  int tags = 0;
+  int defines = 0;
+  c = getchar();
+  while (c != EOF) {
+    if (c == '#') {
+      /* a #define NAME line also yields a tag */
+      int d1 = getchar();
+      int d2 = getchar();
+      int d3 = getchar();
+      c = getchar();
+      if (d1 == 'd' && d2 == 'e' && d3 == 'f') {
+        /* skip to the macro name */
+        while (c != EOF && c != ' ' && c != '\n')
+          c = getchar();
+        while (c == ' ')
+          c = getchar();
+        int len = 0;
+        while ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+               || (c >= '0' && c <= '9') || c == '_') {
+          if (len < 63) {
+            name[len] = c;
+            len++;
+          }
+          c = getchar();
+        }
+        if (len > 0) {
+          defines++;
+          int k = 0;
+          while (k < len) {
+            putchar(name[k]);
+            k++;
+          }
+          putchar('\n');
+        }
+      }
+    } else if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_') {
+      int len = 0;
+      while ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+             || (c >= '0' && c <= '9') || c == '_') {
+        if (len < 63) {
+          name[len] = c;
+          len++;
+        }
+        c = getchar();
+      }
+      name[len] = 0;
+      /* skip blanks */
+      while (c == ' ' || c == '\t')
+        c = getchar();
+      if (c == '(' && is_keyword() == 0) {
+        tags++;
+        int k = 0;
+        while (name[k] != 0) {
+          putchar(name[k]);
+          k++;
+        }
+        putchar('\n');
+      }
+    }
+    /* skip to the next line */
+    while (c != EOF && c != '\n')
+      c = getchar();
+    if (c == '\n')
+      c = getchar();
+  }
+  print_num(tags);
+  putchar(' ');
+  print_num(defines);
+  putchar('\n');
+  return 0;
+}
+|}
+
+let spec =
+  Spec.make ~name:"ctags" ~description:"Generates Tag File for vi" ~source
+    ~training_input:(lazy (Textgen.code ~seed:909 ~chars:80_000))
+    ~test_input:(lazy (Textgen.code ~seed:1010 ~chars:120_000))

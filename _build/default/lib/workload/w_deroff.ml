@@ -1,0 +1,70 @@
+(* deroff: removes nroff/troff constructs — drops request lines starting
+   with '.', skips table blocks between .TS and .TE, strips backslash
+   escapes (including the two-character font escapes \fB, \fI, \fR and
+   the size escapes \s0..\s9), and passes the remaining text through. *)
+
+let source =
+  {|
+int main() {
+  int c;
+  int dropped = 0;
+  int in_table = 0;
+  c = getchar();
+  while (c != EOF) {
+    if (c == '.') {
+      /* request line */
+      dropped++;
+      int r1 = getchar();
+      int r2 = getchar();
+      if (r1 == 'T' && r2 == 'S')
+        in_table = 1;
+      else if (r1 == 'T' && r2 == 'E')
+        in_table = 0;
+      c = r2;
+      while (c != EOF && c != '\n')
+        c = getchar();
+      if (c == '\n')
+        c = getchar();
+    } else if (in_table == 1) {
+      /* inside .TS/.TE: drop the whole line */
+      dropped++;
+      while (c != EOF && c != '\n')
+        c = getchar();
+      if (c == '\n')
+        c = getchar();
+    } else {
+      while (c != EOF && c != '\n') {
+        if (c == '\\') {
+          c = getchar();
+          if (c == 'f') {
+            /* font escape: skip the font letter too */
+            c = getchar();
+            if (c != EOF && c != '\n')
+              c = getchar();
+          } else if (c == 's') {
+            /* size escape: skip the digit(s) */
+            c = getchar();
+            while (c >= '0' && c <= '9')
+              c = getchar();
+          } else if (c != EOF && c != '\n')
+            c = getchar();
+        } else {
+          putchar(c);
+          c = getchar();
+        }
+      }
+      putchar('\n');
+      if (c == '\n')
+        c = getchar();
+    }
+  }
+  print_num(dropped);
+  putchar('\n');
+  return 0;
+}
+|}
+
+let spec =
+  Spec.make ~name:"deroff" ~description:"Removes nroff Constructs" ~source
+    ~training_input:(lazy (Textgen.mixed_lines ~seed:111 ~lines:2_500))
+    ~test_input:(lazy (Textgen.mixed_lines ~seed:222 ~lines:3_800))

@@ -1,0 +1,63 @@
+(* grep: searches its input for lines containing a fixed pattern (naive
+   string matching, as pre-Boyer-Moore grep cores did).  The per-line
+   scan compares characters against the pattern head repeatedly. *)
+
+let source =
+  {|
+int line[600];
+int pat[] = "ta";
+
+int main() {
+  int c;
+  int len = 0;
+  int matched = 0;
+  while (1) {
+    c = getchar();
+    if (c == '\n' || c == EOF) {
+      line[len] = 0;
+      int i = 0;
+      int found = 0;
+      /* scan for the pattern's first character, then verify the rest;
+         the terminator/first-char dispatch is the grep core's
+         reorderable sequence */
+      while (found == 0) {
+        int c2 = line[i];
+        if (c2 == 0)
+          break;
+        if (c2 == 't') {
+          int j = 1;
+          while (pat[j] != 0 && line[i + j] == pat[j])
+            j++;
+          if (pat[j] == 0)
+            found = 1;
+        }
+        i++;
+      }
+      if (found) {
+        matched++;
+        int k = 0;
+        while (line[k] != 0) {
+          putchar(line[k]);
+          k++;
+        }
+        putchar('\n');
+      }
+      len = 0;
+      if (c == EOF)
+        break;
+    } else if (len < 599) {
+      line[len] = c;
+      len++;
+    }
+  }
+  print_num(matched);
+  putchar('\n');
+  return 0;
+}
+|}
+
+let spec =
+  Spec.make ~name:"grep"
+    ~description:"Searches a File for a String or Regular Expression" ~source
+    ~training_input:(lazy (Textgen.prose ~seed:303 ~chars:80_000))
+    ~test_input:(lazy (Textgen.prose ~seed:404 ~chars:120_000))

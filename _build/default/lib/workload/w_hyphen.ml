@@ -1,0 +1,89 @@
+(* hyphen: finds hyphenation opportunities.  Besides listing words that
+   already contain '-', it applies suffix rules (-ing, -tion, -ed, -er,
+   -ly) to long words and prints them with the break point marked — the
+   suffix matcher is a cascade of character comparisons over the word
+   tail, the utility's hot path. *)
+
+let source =
+  {|
+int word[64];
+
+/* returns the number of tail characters forming a known suffix, or 0 */
+int suffix_len(int len) {
+  if (len < 6)
+    return 0;
+  int a = word[len - 3];
+  int b = word[len - 2];
+  int c = word[len - 1];
+  if (a == 'i' && b == 'n' && c == 'g')
+    return 3;
+  if (len >= 7 && word[len - 4] == 't' && a == 'i' && b == 'o' && c == 'n')
+    return 4;
+  if (b == 'e' && c == 'd')
+    return 2;
+  if (b == 'e' && c == 'r')
+    return 2;
+  if (b == 'l' && c == 'y')
+    return 2;
+  return 0;
+}
+
+void print_word(int len, int break_at) {
+  int k = 0;
+  while (k < len) {
+    if (k == break_at)
+      putchar('-');
+    putchar(word[k]);
+    k++;
+  }
+  putchar('\n');
+}
+
+int main() {
+  int c;
+  int len = 0;
+  int has_hyphen = 0;
+  int found = 0;
+  int suggested = 0;
+  c = getchar();
+  while (1) {
+    int is_word;
+    is_word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '-';
+    if (is_word && c != EOF) {
+      if (c == '-' && len > 0)
+        has_hyphen = 1;
+      if (len < 63) {
+        word[len] = c;
+        len++;
+      }
+    } else {
+      if (len > 1 && has_hyphen == 1 && word[len - 1] != '-') {
+        found++;
+        print_word(len, -1);
+      } else if (len >= 6 && has_hyphen == 0) {
+        int s = suffix_len(len);
+        if (s > 0) {
+          suggested++;
+          print_word(len, len - s);
+        }
+      }
+      len = 0;
+      has_hyphen = 0;
+      if (c == EOF)
+        break;
+    }
+    c = getchar();
+  }
+  print_num(found);
+  putchar(' ');
+  print_num(suggested);
+  putchar('\n');
+  return 0;
+}
+|}
+
+let spec =
+  Spec.make ~name:"hyphen" ~description:"Lists Hyphenated Words in a File"
+    ~source
+    ~training_input:(lazy (Textgen.prose ~seed:333 ~chars:75_000))
+    ~test_input:(lazy (Textgen.prose ~seed:444 ~chars:110_000))

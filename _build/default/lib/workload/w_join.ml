@@ -1,0 +1,79 @@
+(* join: relational database operator.  "File 1" is a sorted key table
+   compiled into the program (generated below); the input stream is
+   "file 2" ("key value" lines with ascending keys).  Lines whose key
+   appears in the table are joined and printed.  The per-line number
+   parse and the binary search over the key table are branch-heavy. *)
+
+let keys =
+  (* deterministic sorted key table, distinct ascending *)
+  let r = Textgen.rng 5150 in
+  let rec go acc k n =
+    if n = 0 then List.rev acc
+    else
+      let k = k + 1 + Textgen.next r 5 in
+      go (k :: acc) k (n - 1)
+  in
+  go [] 0 400
+
+let source =
+  Printf.sprintf
+    {|
+int keys[] = {%s};
+int nkeys = %d;
+
+int lookup(int key) {
+  int lo = 0;
+  int hi = nkeys - 1;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    if (keys[mid] == key)
+      return mid;
+    else if (keys[mid] < key)
+      lo = mid + 1;
+    else
+      hi = mid - 1;
+  }
+  return -1;
+}
+
+int main() {
+  int c;
+  int joined = 0;
+  c = getchar();
+  while (c != EOF) {
+    /* parse the leading decimal key */
+    int key = 0;
+    int saw_digit = 0;
+    while (c >= '0' && c <= '9') {
+      key = key * 10 + (c - '0');
+      saw_digit = 1;
+      c = getchar();
+    }
+    if (saw_digit == 1 && lookup(key) >= 0) {
+      joined++;
+      print_num(key);
+      /* echo the rest of the line (the value field) */
+      while (c != EOF && c != '\n') {
+        putchar(c);
+        c = getchar();
+      }
+      putchar('\n');
+    } else {
+      while (c != EOF && c != '\n')
+        c = getchar();
+    }
+    if (c == '\n')
+      c = getchar();
+  }
+  print_num(joined);
+  putchar('\n');
+  return 0;
+}
+|}
+    (String.concat ", " (List.map string_of_int keys))
+    (List.length keys)
+
+let spec =
+  Spec.make ~name:"join" ~description:"Relational Database Operator" ~source
+    ~training_input:(lazy (Textgen.records ~seed:555 ~lines:4_000))
+    ~test_input:(lazy (Textgen.records ~seed:666 ~lines:6_500))

@@ -1,0 +1,113 @@
+(* lex: the scanner a lexical-analyser generator emits — a hand-rolled
+   DFA whose per-state dispatch is a switch over the input character.
+   This is the shape the paper's lex spends its time in. *)
+
+let source =
+  {|
+int counts[8];
+/* token classes: 0 ident, 1 number, 2 string, 3 comment, 4 operator,
+   5 punctuation, 6 whitespace, 7 other */
+
+int main() {
+  int c;
+  c = getchar();
+  while (c != EOF) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_') {
+      counts[0]++;
+      while ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+             || (c >= '0' && c <= '9') || c == '_')
+        c = getchar();
+    } else if (c >= '0' && c <= '9') {
+      counts[1]++;
+      while (c >= '0' && c <= '9')
+        c = getchar();
+    } else {
+      switch (c) {
+      case '"': {
+        counts[2]++;
+        c = getchar();
+        while (c != EOF && c != '"' && c != '\n')
+          c = getchar();
+        if (c == '"')
+          c = getchar();
+        break;
+      }
+      case '/': {
+        int c2 = getchar();
+        if (c2 == '*') {
+          counts[3]++;
+          int prev = 0;
+          c = getchar();
+          while (c != EOF) {
+            if (prev == '*' && c == '/')
+              break;
+            prev = c;
+            c = getchar();
+          }
+          if (c != EOF)
+            c = getchar();
+        } else if (c2 == '/') {
+          counts[3]++;
+          c = c2;
+          while (c != EOF && c != '\n')
+            c = getchar();
+        } else {
+          counts[4]++;
+          c = c2;
+        }
+        break;
+      }
+      case '+':
+      case '-':
+      case '*':
+      case '=':
+      case '<':
+      case '>':
+      case '&':
+      case '|':
+      case '!':
+      case '%':
+      case '^':
+        counts[4]++;
+        c = getchar();
+        break;
+      case '(':
+      case ')':
+      case '{':
+      case '}':
+      case '[':
+      case ']':
+      case ';':
+      case ',':
+      case '.':
+        counts[5]++;
+        c = getchar();
+        break;
+      case ' ':
+      case '\t':
+      case '\n':
+        counts[6]++;
+        c = getchar();
+        break;
+      default:
+        counts[7]++;
+        c = getchar();
+      }
+    }
+  }
+  int i = 0;
+  while (i < 8) {
+    print_num(counts[i]);
+    putchar(' ');
+    i++;
+  }
+  putchar('\n');
+  return 0;
+}
+|}
+
+let spec =
+  Spec.make ~name:"lex" ~description:"Lexical Analysis Program Generator"
+    ~source
+    ~training_input:(lazy (Textgen.code ~seed:777 ~chars:80_000))
+    ~test_input:(lazy (Textgen.code ~seed:888 ~chars:120_000))

@@ -1,0 +1,190 @@
+(* nroff: text formatter core — fills words into output lines of width
+   64 and adjusts (justifies) them by distributing pad blanks, honours a
+   small request repertoire (.br break, .ce centre, .sp space, .in
+   indent, .fi/.nf fill mode), and counts the requests it served.  The
+   fill/adjust loops and the request dispatch are the branch-heavy
+   parts, as in the real formatter. *)
+
+let source =
+  {|
+int word[80];
+int line[90];
+int line_len;
+int line_words;
+int outcol;
+int indent;
+int centering;
+int filling;
+
+void put_spaces(int n) {
+  while (n > 0) {
+    putchar(' ');
+    n--;
+  }
+}
+
+/* emit the buffered line, justified to width 64 when [adjust] */
+void flush_line(int adjust) {
+  int width = 64 - indent;
+  if (line_len == 0)
+    return;
+  put_spaces(indent);
+  if (centering > 0) {
+    put_spaces((width - line_len) / 2);
+    centering--;
+    adjust = 0;
+  }
+  if (adjust == 1 && line_words > 1 && line_len < width) {
+    /* distribute the slack across the word gaps */
+    int slack = width - line_len;
+    int gaps = line_words - 1;
+    int base = slack / gaps;
+    int extra = slack % gaps;
+    int k = 0;
+    while (k < line_len) {
+      putchar(line[k]);
+      if (line[k] == ' ') {
+        put_spaces(base);
+        if (extra > 0) {
+          putchar(' ');
+          extra--;
+        }
+      }
+      k++;
+    }
+  } else {
+    int k = 0;
+    while (k < line_len) {
+      putchar(line[k]);
+      k++;
+    }
+  }
+  putchar('\n');
+  line_len = 0;
+  line_words = 0;
+}
+
+void emit_word(int len) {
+  int k;
+  int width = 64 - indent;
+  if (len == 0)
+    return;
+  if (line_len + len + 1 > width)
+    flush_line(1);
+  if (line_len > 0) {
+    line[line_len] = ' ';
+    line_len++;
+  }
+  k = 0;
+  while (k < len && line_len < 89) {
+    line[line_len] = word[k];
+    line_len++;
+    k++;
+  }
+  line_words++;
+}
+
+int main() {
+  int c;
+  int at_bol = 1;
+  int len = 0;
+  int requests = 0;
+  line_len = 0;
+  line_words = 0;
+  outcol = 0;
+  indent = 0;
+  centering = 0;
+  filling = 1;
+  c = getchar();
+  while (c != EOF) {
+    if (c == '.' && at_bol == 1) {
+      /* request line: .xx [arg] */
+      requests++;
+      int r1 = getchar();
+      int r2 = getchar();
+      /* parse an optional numeric argument */
+      int arg = 0;
+      int saw_arg = 0;
+      c = getchar();
+      while (c == ' ')
+        c = getchar();
+      while (c >= '0' && c <= '9') {
+        arg = arg * 10 + (c - '0');
+        saw_arg = 1;
+        c = getchar();
+      }
+      if (r1 == 'b' && r2 == 'r')
+        flush_line(0);
+      else if (r1 == 'c' && r2 == 'e') {
+        flush_line(0);
+        centering = saw_arg == 1 ? arg : 1;
+      } else if (r1 == 's' && r2 == 'p') {
+        flush_line(0);
+        int n = saw_arg == 1 ? arg : 1;
+        while (n > 0) {
+          putchar('\n');
+          n--;
+        }
+      } else if (r1 == 'i' && r2 == 'n') {
+        flush_line(0);
+        indent = saw_arg == 1 ? arg : 0;
+        if (indent > 32)
+          indent = 32;
+      } else if (r1 == 'n' && r2 == 'f') {
+        flush_line(0);
+        filling = 0;
+      } else if (r1 == 'f' && r2 == 'i')
+        filling = 1;
+      while (c != EOF && c != '\n')
+        c = getchar();
+      if (c == '\n')
+        c = getchar();
+      at_bol = 1;
+    } else if (filling == 0) {
+      /* no-fill mode: copy lines through with the indent */
+      put_spaces(indent);
+      while (c != EOF && c != '\n') {
+        putchar(c);
+        c = getchar();
+      }
+      putchar('\n');
+      if (c == '\n')
+        c = getchar();
+      at_bol = 1;
+    } else if (c == ' ' || c == '\t' || c == '\n') {
+      emit_word(len);
+      len = 0;
+      if (c == '\n') {
+        at_bol = 1;
+        /* a blank line ends the paragraph */
+        int c2 = getchar();
+        if (c2 == '\n') {
+          flush_line(0);
+          putchar('\n');
+        }
+        c = c2;
+      } else {
+        at_bol = 0;
+        c = getchar();
+      }
+    } else {
+      if (len < 79) {
+        word[len] = c;
+        len++;
+      }
+      at_bol = 0;
+      c = getchar();
+    }
+  }
+  emit_word(len);
+  flush_line(0);
+  print_num(requests);
+  putchar('\n');
+  return 0;
+}
+|}
+
+let spec =
+  Spec.make ~name:"nroff" ~description:"Text Formatter" ~source
+    ~training_input:(lazy (Textgen.mixed_lines ~seed:1212 ~lines:2_500))
+    ~test_input:(lazy (Textgen.mixed_lines ~seed:1313 ~lines:3_800))

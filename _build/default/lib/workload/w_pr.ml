@@ -1,0 +1,99 @@
+(* pr: prepares files for printing — a page header every 56 lines with a
+   page number and a rule, numbered lines, tab expansion to 8-column
+   stops, control characters shown as '?' (pr -v style), and trailing
+   blank lines to pad the final page. *)
+
+let source =
+  {|
+int lineno;
+int pageno;
+
+void rule_line() {
+  int k = 0;
+  while (k < 24) {
+    putchar('=');
+    k++;
+  }
+  putchar('\n');
+}
+
+void header() {
+  pageno++;
+  rule_line();
+  putchar('P');
+  putchar('a');
+  putchar('g');
+  putchar('e');
+  putchar(' ');
+  print_num(pageno);
+  putchar('\n');
+  rule_line();
+}
+
+int main() {
+  int c;
+  int col = 0;
+  int at_bol = 1;
+  lineno = 0;
+  pageno = 0;
+  c = getchar();
+  while (c != EOF) {
+    if (at_bol == 1) {
+      if (lineno % 56 == 0)
+        header();
+      lineno++;
+      /* right-align the line number in 5 columns */
+      int w = 1;
+      int n = lineno;
+      while (n >= 10) {
+        w++;
+        n = n / 10;
+      }
+      while (w < 5) {
+        putchar(' ');
+        w++;
+      }
+      print_num(lineno);
+      putchar(' ');
+      at_bol = 0;
+      col = 0;
+    }
+    if (c == '\t') {
+      putchar(' ');
+      col++;
+      while (col % 8 != 0) {
+        putchar(' ');
+        col++;
+      }
+    } else if (c == '\n') {
+      putchar('\n');
+      at_bol = 1;
+    } else if (c < 32) {
+      /* nonprinting: show a placeholder */
+      putchar('?');
+      col++;
+    } else {
+      putchar(c);
+      col++;
+    }
+    c = getchar();
+  }
+  if (at_bol == 0)
+    putchar('\n');
+  /* pad the last page */
+  while (lineno % 56 != 0) {
+    putchar('\n');
+    lineno++;
+  }
+  print_num(lineno);
+  putchar(' ');
+  print_num(pageno);
+  putchar('\n');
+  return 0;
+}
+|}
+
+let spec =
+  Spec.make ~name:"pr" ~description:"Prepares File(s) for Printing" ~source
+    ~training_input:(lazy (Textgen.prose ~seed:1414 ~chars:75_000))
+    ~test_input:(lazy (Textgen.prose ~seed:1515 ~chars:110_000))

@@ -1,0 +1,77 @@
+(* ptx: generates a permuted index — every significant word (length >= 4,
+   not in a small stop list) is emitted with its line number.  The word
+   scan and the stop-list rejection are chains of comparisons on common
+   variables. *)
+
+let source =
+  {|
+int word[64];
+
+int is_stop_word(int len) {
+  /* the, and, with, that, from */
+  if (len == 3) {
+    if (word[0] == 't' && word[1] == 'h' && word[2] == 'e')
+      return 1;
+    if (word[0] == 'a' && word[1] == 'n' && word[2] == 'd')
+      return 1;
+    return 0;
+  }
+  if (len == 4) {
+    if (word[0] == 'w' && word[1] == 'i' && word[2] == 't' && word[3] == 'h')
+      return 1;
+    if (word[0] == 't' && word[1] == 'h' && word[2] == 'a' && word[3] == 't')
+      return 1;
+    if (word[0] == 'f' && word[1] == 'r' && word[2] == 'o' && word[3] == 'm')
+      return 1;
+    return 0;
+  }
+  return 0;
+}
+
+int main() {
+  int c;
+  int len = 0;
+  int line = 1;
+  int emitted = 0;
+  c = getchar();
+  while (1) {
+    if (c >= 'a' && c <= 'z') {
+      if (len < 63) {
+        word[len] = c;
+        len++;
+      }
+    } else if (c >= 'A' && c <= 'Z') {
+      if (len < 63) {
+        word[len] = c - 'A' + 'a';
+        len++;
+      }
+    } else {
+      if (len >= 4 && is_stop_word(len) == 0) {
+        int k = 0;
+        while (k < len) {
+          putchar(word[k]);
+          k++;
+        }
+        putchar(':');
+        print_num(line);
+        putchar('\n');
+        emitted++;
+      }
+      len = 0;
+      if (c == '\n')
+        line++;
+      if (c == EOF)
+        break;
+    }
+    c = getchar();
+  }
+  print_num(emitted);
+  putchar('\n');
+  return 0;
+}
+|}
+
+let spec =
+  Spec.make ~name:"ptx" ~description:"Generates a Permuted Index" ~source
+    ~training_input:(lazy (Textgen.prose ~seed:1616 ~chars:70_000))
+    ~test_input:(lazy (Textgen.prose ~seed:1717 ~chars:100_000))

@@ -1,0 +1,88 @@
+(* sdiff: displays two texts side by side.  The input carries both
+   halves separated by a '\001' byte: the first half is buffered, then
+   the second is compared line against line, emitting <, > or = gutters.
+   The per-character line comparison is the hot loop. *)
+
+let source =
+  {|
+int buf[90000];
+int buflen;
+
+int main() {
+  int c;
+  int i;
+  int same = 0;
+  int differ = 0;
+  buflen = 0;
+  /* slurp the first half */
+  c = getchar();
+  while (c != EOF && c != 1) {
+    if (buflen < 89999) {
+      buf[buflen] = c;
+      buflen++;
+    }
+    c = getchar();
+  }
+  buf[buflen] = EOF;
+  if (c == 1)
+    c = getchar();
+  /* walk both halves line by line */
+  i = 0;
+  while (c != EOF || buf[i] != EOF) {
+    int equal = 1;
+    int j = i;
+    /* compare one line from each half */
+    while (buf[j] != EOF && buf[j] != '\n' && c != EOF && c != '\n') {
+      if (buf[j] != c)
+        equal = 0;
+      j++;
+      c = getchar();
+    }
+    if ((buf[j] == '\n' || buf[j] == EOF) && (c == '\n' || c == EOF)) {
+      /* both ended */
+    } else {
+      equal = 0;
+      while (buf[j] != EOF && buf[j] != '\n')
+        j++;
+      while (c != EOF && c != '\n')
+        c = getchar();
+    }
+    if (equal == 1) {
+      same++;
+      putchar('=');
+    } else {
+      differ++;
+      putchar('|');
+    }
+    if (buf[j] == '\n')
+      j++;
+    if (c == '\n')
+      c = getchar();
+    i = j;
+  }
+  putchar('\n');
+  print_num(same);
+  putchar(' ');
+  print_num(differ);
+  putchar('\n');
+  return 0;
+}
+|}
+
+let halves seed1 seed2 lines =
+  lazy
+    (let a = Textgen.mixed_lines ~seed:seed1 ~lines in
+     let b = Textgen.mixed_lines ~seed:seed2 ~lines in
+     (* make the halves partially equal so both gutters are exercised *)
+     let b =
+       String.mapi
+         (fun i ch -> if i < String.length b / 2 && i < String.length a
+                      then a.[i] else ch)
+         b
+     in
+     a ^ "\001" ^ b)
+
+let spec =
+  Spec.make ~name:"sdiff" ~description:"Displays Files Side-by-Side" ~source
+    ~training_input:(halves 1818 1819 900)
+    ~test_input:(halves 1920 1921 1_400)

@@ -1,0 +1,104 @@
+(* sed: stream editor running the script
+     /#/d ; s/ta/TA/ ; y/xyz/XYZ/ ; /etaoin/p
+   — delete lines starting with '#', substitute the first "ta",
+   transliterate x/y/z, and double-print lines containing "etaoin".
+   The transliteration's per-character dispatch is a dense switch, which
+   separates the heuristic sets (indirect for Set I, binary for Set II,
+   linear for Set III), and the pattern scans are equality chains. *)
+
+let source =
+  {|
+int line[600];
+int deleted;
+int substituted;
+int printed_twice;
+
+/* y/xyz/XYZ/ plus a few control folds: a dense switch over a small
+   character neighbourhood */
+int transliterate(int c) {
+  switch (c) {
+  case 'x': return 'X';
+  case 'y': return 'Y';
+  case 'z': return 'Z';
+  case 'u': return 'u';
+  case 'v': return 'v';
+  case 'w': return 'w';
+  case 't': return 't';
+  case 's': return 's';
+  case 'r': return 'r';
+  case 'q': return 'q';
+  case 'p': return 'p';
+  default: return c;
+  }
+}
+
+/* does the line contain "etaoin"? (the etaoin-p address) */
+int matches_address(int len) {
+  int i = 0;
+  while (i + 5 < len) {
+    if (line[i] == 'e' && line[i + 1] == 't' && line[i + 2] == 'a'
+        && line[i + 3] == 'o' && line[i + 4] == 'i' && line[i + 5] == 'n')
+      return 1;
+    i++;
+  }
+  return 0;
+}
+
+void output_with_subst(int len) {
+  int i = 0;
+  int done_subst = 0;
+  while (i < len) {
+    if (done_subst == 0 && i + 1 < len && line[i] == 't' && line[i + 1] == 'a') {
+      putchar('T');
+      putchar('A');
+      i = i + 2;
+      done_subst = 1;
+      substituted++;
+    } else {
+      putchar(transliterate(line[i]));
+      i++;
+    }
+  }
+  putchar('\n');
+}
+
+int main() {
+  int c;
+  int len = 0;
+  deleted = 0;
+  substituted = 0;
+  printed_twice = 0;
+  while (1) {
+    c = getchar();
+    if (c == '\n' || c == EOF) {
+      if (len > 0 && line[0] == '#')
+        deleted++;
+      else if (len > 0 || c == '\n') {
+        output_with_subst(len);
+        if (matches_address(len) == 1) {
+          printed_twice++;
+          output_with_subst(len);
+        }
+      }
+      len = 0;
+      if (c == EOF)
+        break;
+    } else if (len < 599) {
+      line[len] = c;
+      len++;
+    }
+  }
+  print_num(deleted);
+  putchar(' ');
+  print_num(substituted);
+  putchar(' ');
+  print_num(printed_twice);
+  putchar('\n');
+  return 0;
+}
+|}
+
+let spec =
+  Spec.make ~name:"sed" ~description:"Stream Editor" ~source
+    ~training_input:(lazy (Textgen.mixed_lines ~seed:2121 ~lines:2_800))
+    ~test_input:(lazy (Textgen.mixed_lines ~seed:2222 ~lines:4_200))

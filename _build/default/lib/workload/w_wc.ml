@@ -1,0 +1,42 @@
+(* wc: displays count of lines, words and characters.  The inner loop's
+   whitespace classification is the paper's canonical reorderable
+   sequence (Figure 1). *)
+
+let source =
+  {|
+int nl;
+int nw;
+int nc;
+
+int main() {
+  int c;
+  int in_word = 0;
+  nl = 0;
+  nw = 0;
+  nc = 0;
+  while ((c = getchar()) != EOF) {
+    nc++;
+    if (c == '\n')
+      nl++;
+    if (c == ' ' || c == '\n' || c == '\t')
+      in_word = 0;
+    else if (in_word == 0) {
+      in_word = 1;
+      nw++;
+    }
+  }
+  print_num(nl);
+  putchar(' ');
+  print_num(nw);
+  putchar(' ');
+  print_num(nc);
+  putchar('\n');
+  return 0;
+}
+|}
+
+let spec =
+  Spec.make ~name:"wc"
+    ~description:"Displays Count of Lines, Words, and Characters" ~source
+    ~training_input:(lazy (Textgen.prose ~seed:101 ~chars:80_000))
+    ~test_input:(lazy (Textgen.prose ~seed:202 ~chars:120_000))

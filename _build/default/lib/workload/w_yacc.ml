@@ -1,0 +1,189 @@
+(* yacc: the parser a parser generator emits — token codes driving a
+   dense switch (16 contiguous codes, so Sets I and II both build a jump
+   table while Set III searches linearly), plus a recursive-descent
+   expression evaluator standing in for the LALR engine's reductions. *)
+
+let source =
+  {|
+/* token codes 0..15 */
+int tok;
+int tokval;
+int cur;
+int tally[16];
+
+/* the generated parser's action dispatch: a dense switch over the token
+   code, which Sets I and II translate to a jump table */
+void count_token() {
+  switch (tok) {
+  case 0: tally[0]++; break;
+  case 1: tally[1]++; break;
+  case 2: tally[2]++; break;
+  case 3: tally[3]++; break;
+  case 4: tally[4]++; break;
+  case 5: tally[5]++; break;
+  case 6: tally[6]++; break;
+  case 7: tally[7]++; break;
+  case 8: tally[8]++; break;
+  case 9: tally[9]++; break;
+  case 10: tally[10]++; break;
+  case 11: tally[11]++; break;
+  case 12: tally[12]++; break;
+  case 13: tally[13]++; break;
+  case 14: tally[14]++; break;
+  case 15: tally[15]++; break;
+  }
+}
+
+int next_char() {
+  cur = getchar();
+  return cur;
+}
+
+void advance() {
+  while (cur == ' ' || cur == '\t')
+    next_char();
+  if (cur >= '0' && cur <= '9') {
+    tokval = 0;
+    while (cur >= '0' && cur <= '9') {
+      tokval = tokval * 10 + (cur - '0');
+      next_char();
+    }
+    tok = 1;
+    count_token();
+    return;
+  }
+  switch (cur) {
+  case '+': tok = 2; break;
+  case '-': tok = 3; break;
+  case '*': tok = 4; break;
+  case '/': tok = 5; break;
+  case '(': tok = 6; break;
+  case ')': tok = 7; break;
+  case '\n': tok = 8; break;
+  case '%': tok = 9; break;
+  case '<': tok = 10; break;
+  case '>': tok = 11; break;
+  case '=': tok = 12; break;
+  case ';': tok = 13; break;
+  case ',': tok = 14; break;
+  case '&': tok = 15; break;
+  default:
+    if (cur == EOF)
+      tok = 0;
+    else
+      tok = 8;
+  }
+  if (tok != 0)
+    next_char();
+  count_token();
+}
+
+int parse_primary() {
+  if (tok == 1) {
+    int v = tokval;
+    advance();
+    return v;
+  }
+  if (tok == 6) {
+    advance();
+    int v = parse_expr();
+    if (tok == 7)
+      advance();
+    return v;
+  }
+  /* error recovery: skip the token */
+  if (tok != 0 && tok != 8)
+    advance();
+  return 0;
+}
+
+int parse_term() {
+  int v = parse_primary();
+  while (tok == 4 || tok == 5 || tok == 9) {
+    int op = tok;
+    advance();
+    int rhs = parse_primary();
+    if (op == 4)
+      v = v * rhs;
+    else if (rhs != 0) {
+      if (op == 5)
+        v = v / rhs;
+      else
+        v = v % rhs;
+    }
+  }
+  return v;
+}
+
+int parse_expr() {
+  int v = parse_term();
+  while (tok == 2 || tok == 3) {
+    int op = tok;
+    advance();
+    int rhs = parse_term();
+    if (op == 2)
+      v = v + rhs;
+    else
+      v = v - rhs;
+  }
+  return v;
+}
+
+int main() {
+  int checksum = 0;
+  int exprs = 0;
+  next_char();
+  advance();
+  while (tok != 0) {
+    if (tok == 8) {
+      advance();
+    } else {
+      int v = parse_expr();
+      checksum = checksum + (v % 9973);
+      exprs++;
+      while (tok != 8 && tok != 0)
+        advance();
+    }
+  }
+  print_num(exprs);
+  putchar(' ');
+  print_num(checksum);
+  putchar(' ');
+  print_num(tally[1] + tally[2] + tally[4]);
+  putchar('\n');
+  return 0;
+}
+|}
+
+(* expression-shaped input *)
+let exprs ~seed ~lines =
+  let r = Textgen.rng seed in
+  let buf = Buffer.create (lines * 20) in
+  for _ = 1 to lines do
+    let terms = 1 + Textgen.next r 5 in
+    for t = 1 to terms do
+      if t > 1 then
+        Buffer.add_string buf
+          (match Textgen.next r 5 with
+          | 0 -> " + "
+          | 1 -> " - "
+          | 2 -> " * "
+          | 3 -> " / "
+          | _ -> " % ");
+      if Textgen.next r 6 = 0 then begin
+        Buffer.add_char buf '(';
+        Buffer.add_string buf (string_of_int (Textgen.next r 1000));
+        Buffer.add_string buf " + ";
+        Buffer.add_string buf (string_of_int (1 + Textgen.next r 100));
+        Buffer.add_char buf ')'
+      end
+      else Buffer.add_string buf (string_of_int (Textgen.next r 10000))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let spec =
+  Spec.make ~name:"yacc" ~description:"Parsing Program Generator" ~source
+    ~training_input:(lazy (exprs ~seed:2727 ~lines:3_200))
+    ~test_input:(lazy (exprs ~seed:2828 ~lines:5_000))

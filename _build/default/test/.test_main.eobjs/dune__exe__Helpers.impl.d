@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Driver List Minic Mir Mopt QCheck QCheck_alcotest Sim String

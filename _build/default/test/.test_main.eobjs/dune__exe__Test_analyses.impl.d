@@ -1,0 +1,1 @@
+test/test_analyses.ml: Alcotest Hashtbl Helpers List Mir Mopt Sim String

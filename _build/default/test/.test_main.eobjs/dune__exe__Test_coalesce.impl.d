@@ -1,0 +1,1 @@
+test/test_coalesce.ml: Alcotest Array Buffer Char Driver Helpers Lazy List Mir Mopt Option Printf Reorder Sim String Workloads

@@ -1,0 +1,1 @@
+test/test_common_succ.ml: Alcotest Array Char Driver Gen Helpers List Mir QCheck Reorder Sim String Workloads

@@ -1,0 +1,1 @@
+test/test_detect.ml: Alcotest Buffer Format Helpers List Printf Reorder String Workloads

@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Driver Helpers Lazy List Reorder Sim String Workloads

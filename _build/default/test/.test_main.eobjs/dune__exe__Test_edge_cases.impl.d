@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Buffer Char Driver Format Helpers List Mir Mopt Printf Reorder String Workloads

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Format Helpers List Minic Mir Reorder Sim String Workloads

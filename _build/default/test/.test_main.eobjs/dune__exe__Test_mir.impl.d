@@ -1,0 +1,1 @@
+test/test_mir.ml: Alcotest Array Hashtbl Helpers List Mir Printf String

@@ -1,0 +1,1 @@
+test/test_mir_text.ml: Alcotest Driver Helpers Lazy List Mir Sim String Workloads

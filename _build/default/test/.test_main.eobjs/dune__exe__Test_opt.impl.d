@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Buffer Driver Hashtbl Helpers Lazy List Minic Mir Mopt Printf Sim String Workloads

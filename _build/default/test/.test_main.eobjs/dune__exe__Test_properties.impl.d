@@ -1,0 +1,1 @@
+test/test_properties.ml: Buffer Char Driver Gen Hashtbl Helpers List Minic Mir Mopt Printf QCheck Sim String

@@ -1,0 +1,1 @@
+test/test_range.ml: Alcotest Fmt Helpers Int List Mir Printf QCheck Reorder Sim String

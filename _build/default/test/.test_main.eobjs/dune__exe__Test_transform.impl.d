@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Char Driver Helpers List Mir Mopt Reorder Sim String

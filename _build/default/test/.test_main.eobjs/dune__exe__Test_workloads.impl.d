@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Driver Helpers Lazy List Mir Mopt Printf Reorder Sim String Workloads

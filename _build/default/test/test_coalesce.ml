@@ -1,0 +1,194 @@
+(* Tests for branch coalescing into indirect jumps (the [UhW97]
+   companion transformation and the paper's Section 9 suggestion to pick
+   between reordering and indirect jumps using the profile). *)
+
+open Helpers
+
+let chain_src n =
+  (* a dense n-way equality chain: an ideal coalescing candidate *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "int f(int c) {\n";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  if (c == %d) return %d;\n" (100 + i) (i + 1))
+  done;
+  Buffer.add_string buf "  return 0;\n}\n";
+  Buffer.add_string buf
+    "int main() { int c; int s = 0; while ((c = getchar()) != EOF) s += f(c); \
+     print_int(s); return 0; }\n";
+  Buffer.contents buf
+
+let seq_of src =
+  let prog = compile src in
+  let fn = Mir.Program.find_func prog "f" in
+  let seqs = Reorder.Detect.find_program prog in
+  let seq =
+    List.find (fun s -> String.equal s.Reorder.Detect.func_name "f") seqs
+  in
+  (prog, fn, seq)
+
+let test_coalescible_dense_chain () =
+  let _, fn, seq = seq_of (chain_src 8) in
+  match Reorder.Coalesce.coalescible fn seq ~max_span:512 with
+  | Some plan ->
+    check_int "lo" 100 plan.Reorder.Coalesce.table_lo;
+    check_int "hi" 107 plan.Reorder.Coalesce.table_hi;
+    check_int "entries" 8 (Array.length plan.Reorder.Coalesce.targets)
+  | None -> Alcotest.fail "dense chain should be coalescible"
+
+let test_not_coalescible_rays () =
+  let _, fn, seq =
+    seq_of
+      "int f(int c) { if (c > 100) return 1; if (c == 5) return 2; return 0; }\n\
+       int main() { return f(getchar()); }"
+  in
+  check_bool "unbounded range blocks coalescing" true
+    (Reorder.Coalesce.coalescible fn seq ~max_span:512 = None)
+
+let test_not_coalescible_side_effects () =
+  let _, fn, seq =
+    seq_of
+      "int g; int f(int c) { if (c == 1) return 1; g++; if (c == 2) return 2; \
+       return 0; }\n\
+       int main() { return f(getchar()); }"
+  in
+  check_bool "side effects block coalescing" true
+    (Reorder.Coalesce.coalescible fn seq ~max_span:512 = None)
+
+let test_span_limit () =
+  let _, fn, seq =
+    seq_of
+      "int f(int c) { if (c == 0) return 1; if (c == 1000) return 2; return \
+       0; }\n\
+       int main() { return f(getchar()); }"
+  in
+  check_bool "span over the limit" true
+    (Reorder.Coalesce.coalescible fn seq ~max_span:512 = None);
+  check_bool "span under a bigger limit" true
+    (Reorder.Coalesce.coalescible fn seq ~max_span:2048 <> None)
+
+let test_decision_flips_with_machine () =
+  (* a long chain: cheap table on the IPC, too dear on the Ultra when the
+     reordered estimate is low *)
+  let ipc = Reorder.Coalesce.indirect_cost_per_execution Sim.Cycle_model.sparc_ipc in
+  let ultra =
+    Reorder.Coalesce.indirect_cost_per_execution Sim.Cycle_model.sparc_ultra1
+  in
+  check_bool "ultra indirect dearer" true (ultra > ipc);
+  let plan =
+    { Reorder.Coalesce.table_lo = 0; table_hi = 7; targets = Array.make 8 "x" }
+  in
+  (* reordered estimate of 10 instructions/execution over 100 executions *)
+  check_bool "IPC coalesces" true
+    (Reorder.Coalesce.decide ~machine:Sim.Cycle_model.sparc_ipc ~total:100
+       ~reorder_cost:1000 plan);
+  check_bool "Ultra keeps the branches" false
+    (Reorder.Coalesce.decide ~machine:Sim.Cycle_model.sparc_ultra1 ~total:100
+       ~reorder_cost:1000 plan)
+
+let test_apply_semantics () =
+  (* coalesce by hand and compare against the untouched program *)
+  let src = chain_src 10 in
+  let input = String.init 300 (fun i -> Char.chr (90 + (i mod 30))) in
+  let prog, fn, seq = seq_of src in
+  let plan = Option.get (Reorder.Coalesce.coalescible fn seq ~max_span:512) in
+  Reorder.Coalesce.apply fn seq plan;
+  ignore (Mopt.Cleanup.finalize prog);
+  Mir.Validate.check prog;
+  let coalesced = Sim.Machine.run prog ~input in
+  let reference = run_src src ~input in
+  check_output "outputs agree" reference coalesced.Sim.Machine.output;
+  check_bool "indirect jumps executed" true
+    (coalesced.Sim.Machine.counters.Sim.Counters.indirect_jumps > 0)
+
+let test_pipeline_coalescing_ipc () =
+  (* under set III the chain stays a long linear search; with IPC-model
+     coalescing enabled and a uniform profile the table should win *)
+  let src = chain_src 16 in
+  let input = String.init 400 (fun i -> Char.chr (100 + (i mod 16))) in
+  let config =
+    {
+      Driver.Config.default with
+      Driver.Config.heuristic = Mopt.Switch_lower.set_iii;
+      coalesce_machine = Some Sim.Cycle_model.sparc_ipc;
+    }
+  in
+  let r = reorder_pipeline ~config ~training_input:input ~test_input:input src in
+  check_bool "some sequence coalesced" true
+    (Reorder.Pass.coalesced_count r.Driver.Pipeline.r_report >= 1);
+  check_bool "reordered version uses indirect jumps" true
+    (r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters
+       .Sim.Counters.indirect_jumps > 0)
+
+let test_pipeline_coalescing_respects_skew () =
+  (* with a profile where one value dominates, reordering (test the hot
+     value first: ~2 insns/execution) beats any table even on the IPC *)
+  let src = chain_src 16 in
+  let skewed = String.make 400 (Char.chr 100) in
+  let config =
+    {
+      Driver.Config.default with
+      Driver.Config.heuristic = Mopt.Switch_lower.set_iii;
+      coalesce_machine = Some Sim.Cycle_model.sparc_ipc;
+    }
+  in
+  let r =
+    reorder_pipeline ~config ~training_input:skewed ~test_input:skewed src
+  in
+  check_int "skewed profile keeps the branches" 0
+    (Reorder.Pass.coalesced_count r.Driver.Pipeline.r_report);
+  check_bool "and reorders instead" true
+    (Reorder.Pass.reordered_count r.Driver.Pipeline.r_report >= 1)
+
+let test_pipeline_coalescing_ultra () =
+  (* same uniform profile, Ultra cost model: the table is 4x dearer, the
+     reordered chain usually survives *)
+  let src = chain_src 4 in
+  let input = String.init 200 (fun i -> Char.chr (100 + (i mod 4))) in
+  let config =
+    {
+      Driver.Config.default with
+      Driver.Config.heuristic = Mopt.Switch_lower.set_iii;
+      coalesce_machine = Some Sim.Cycle_model.sparc_ultra1;
+    }
+  in
+  let r = reorder_pipeline ~config ~training_input:input ~test_input:input src in
+  check_int "short chain not worth a table on the Ultra" 0
+    (Reorder.Pass.coalesced_count r.Driver.Pipeline.r_report)
+
+let test_workloads_with_coalescing () =
+  (* semantic preservation across the suite with coalescing on *)
+  List.iter
+    (fun name ->
+      let w = Workloads.Registry.find name in
+      let config =
+        {
+          Driver.Config.default with
+          Driver.Config.heuristic = Mopt.Switch_lower.set_iii;
+          coalesce_machine = Some Sim.Cycle_model.sparc_ipc;
+        }
+      in
+      (* Pipeline.run raises on output mismatch *)
+      ignore
+        (Driver.Pipeline.run ~config ~name ~source:w.Workloads.Spec.source
+           ~training_input:
+             (String.sub (Lazy.force w.Workloads.Spec.training_input) 0 4000)
+           ~test_input:
+             (String.sub (Lazy.force w.Workloads.Spec.test_input) 0 4000)
+           ()))
+    [ "lex"; "cb"; "sed"; "yacc"; "wc" ]
+
+let suite =
+  [
+    case "coalesce: dense chain plan" test_coalescible_dense_chain;
+    case "coalesce: rays blocked" test_not_coalescible_rays;
+    case "coalesce: side effects blocked" test_not_coalescible_side_effects;
+    case "coalesce: span limit" test_span_limit;
+    case "coalesce: machine flips the decision" test_decision_flips_with_machine;
+    case "coalesce: apply preserves semantics" test_apply_semantics;
+    case "coalesce: pipeline coalesces uniform chains (IPC)"
+      test_pipeline_coalescing_ipc;
+    case "coalesce: skewed profiles keep reordering" test_pipeline_coalescing_respects_skew;
+    case "coalesce: Ultra keeps short chains" test_pipeline_coalescing_ultra;
+    slow_case "coalesce: workloads preserve output" test_workloads_with_coalescing;
+  ]

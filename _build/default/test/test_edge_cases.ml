@@ -1,0 +1,199 @@
+(* Edge cases across the pipeline: boundary constants, degenerate
+   sequences, deep chains, pathological profiles, dot output. *)
+
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Boundary constants                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_constants_outside_range_domain () =
+  (* compare constants beyond Range.min/max_value: detection must skip
+     the sequence rather than misbehave; semantics still hold *)
+  let src =
+    Printf.sprintf
+      "int main() { int c; int s = 0; while ((c = getchar()) != EOF) { if (c \
+       == %d) s++; else if (c == %d) s--; else if (c == 'a') s += 2; } \
+       print_int(s); return 0; }"
+      (Reorder.Range.max_value + 10)
+      (Reorder.Range.min_value - 10)
+  in
+  let r = reorder_pipeline ~training_input:"aab" ~test_input:"aba" src in
+  ignore r (* pipeline validates outputs *)
+
+let test_constants_at_domain_edge () =
+  let src =
+    Printf.sprintf
+      "int f(int c) { if (c == %d) return 1; if (c == %d) return 2; return 0; \
+       }\n\
+       int main() { print_int(f(getchar())); return 0; }"
+      (Reorder.Range.max_value - 1)
+      (Reorder.Range.min_value + 1)
+  in
+  let prog = compile src in
+  let seqs = Reorder.Detect.find_program prog in
+  check_bool "edge constants detected" true
+    (List.exists
+       (fun s -> String.equal s.Reorder.Detect.func_name "f")
+       seqs)
+
+let test_negative_ranges () =
+  let src =
+    "int f(int c) { if (c == -5) return 1; if (c >= -3 && c <= -1) return 2; \
+     if (c == 0) return 3; return 0; }\n\
+     int main() { int i; int s = 0; for (i = -8; i < 3; i++) s = s * 10 + \
+     f(i); print_int(s); return 0; }"
+  in
+  let r = reorder_pipeline ~training_input:"" ~test_input:"" src in
+  ignore r;
+  check_output "values correct" "10222300"
+    (run_src src ~input:"")
+
+(* ------------------------------------------------------------------ *)
+(* Degenerate and deep shapes                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_long_chain () =
+  (* a 40-way chain exceeds the exhaustive-selection threshold and the
+     brute-force limits; greedy must handle it *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "int f(int c) {\n";
+  for i = 0 to 39 do
+    Buffer.add_string buf (Printf.sprintf "  if (c == %d) return %d;\n" (i * 3) i)
+  done;
+  Buffer.add_string buf "  return 99;\n}\n";
+  Buffer.add_string buf
+    "int main() { int c; int s = 0; while ((c = getchar()) != EOF) s += f(c); \
+     print_int(s); return 0; }";
+  let src = Buffer.contents buf in
+  (* bias the profile toward the high cases so the identity order loses *)
+  let input = String.init 200 (fun i -> Char.chr (100 + (i mod 20))) in
+  let r = reorder_pipeline ~training_input:input ~test_input:input src in
+  check_bool "long chain reordered" true
+    (Reorder.Pass.reordered_count r.Driver.Pipeline.r_report >= 1)
+
+let test_two_sided_overlapping_conditions () =
+  (* conditions whose both readings overlap earlier ranges cut the walk *)
+  let src =
+    "int f(int c) { if (c >= 0) return 1; if (c <= -1) return 2; if (c == 5) \
+     return 3; return 4; }\n\
+     int main() { print_int(f(getchar())); return 0; }"
+  in
+  (* c >= 0 -> [0..MAX]; c <= -1: R=[MIN..-1] ok; then c == 5 overlaps
+     [0..MAX]: stop; the third test is unreachable anyway *)
+  let prog = compile src in
+  let seqs = Reorder.Detect.find_program prog in
+  List.iter
+    (fun s ->
+      check_bool "no overlapping ranges inside a sequence" true
+        (let rec ok = function
+           | [] -> true
+           | (it : Reorder.Detect.item) :: rest ->
+             List.for_all
+               (fun (other : Reorder.Detect.item) ->
+                 not
+                   (Reorder.Range.overlaps it.Reorder.Detect.range
+                      other.Reorder.Detect.range))
+               rest
+             && ok rest
+         in
+         ok s.Reorder.Detect.items))
+    seqs
+
+let test_single_hot_value_profile () =
+  (* all mass on one range: it must be tested first *)
+  let src =
+    "int f(int c) { if (c == 1) return 1; if (c == 2) return 2; if (c == 3) \
+     return 3; return 0; }\n\
+     int main() { int c; int s = 0; while ((c = getchar()) != EOF) s += f(c); \
+     print_int(s); return 0; }"
+  in
+  let training = String.make 100 '\003' in
+  let r = reorder_pipeline ~training_input:training ~test_input:training src in
+  let sr =
+    List.find
+      (fun sr ->
+        String.equal sr.Reorder.Pass.sr_seq.Reorder.Detect.func_name "f")
+      r.Driver.Pipeline.r_report.Reorder.Pass.seq_reports
+  in
+  match sr.Reorder.Pass.sr_choice with
+  | Some choice ->
+    check_output "hottest range first" "[3]"
+      (Reorder.Range.show
+         (List.hd choice.Reorder.Select.ordered).Reorder.Select.in_range)
+  | None -> Alcotest.fail "no choice recorded"
+
+let test_all_conditions_same_target () =
+  (* every range exits to the same block: selection collapses the whole
+     sequence to at most one test *)
+  let src =
+    "int main() { int c; int n = 0; while ((c = getchar()) != EOF) { if (c == \
+     'a' || c == 'e' || c == 'i') n++; } print_int(n); return 0; }"
+  in
+  let input = "the quick brown fox is here again and again\n" in
+  let r = reorder_pipeline ~training_input:input ~test_input:input src in
+  ignore r
+
+let test_sequence_in_recursive_function () =
+  let src =
+    "int depth(int c, int d) { if (c == '(') return depth(getchar(), d + 1); \
+     if (c == ')') return depth(getchar(), d - 1); if (c == EOF) return d; \
+     return depth(getchar(), d); }\n\
+     int main() { print_int(depth(getchar(), 0)); return 0; }"
+  in
+  let input = "((a)(b))((c)" in
+  let r = reorder_pipeline ~training_input:input ~test_input:input src in
+  check_bool "sequence in recursive function handled" true
+    (Reorder.Pass.detected_count r.Driver.Pipeline.r_report >= 1)
+
+let test_do_while_backedge_sequence () =
+  let src =
+    "int main() { int c; int n = 0; do { c = getchar(); if (c == 'x') n++; \
+     else if (c == 'y') n--; } while (c != EOF); print_int(n); return 0; }"
+  in
+  let input = "xyxyxxyzzz" in
+  let r = reorder_pipeline ~training_input:input ~test_input:input src in
+  ignore r
+
+let test_switch_on_negative_values () =
+  let src =
+    "int main() { int i; int s = 0; for (i = -4; i <= 4; i++) { switch (i) { \
+     case -3: s += 1; break; case -1: s += 2; break; case 0: s += 4; break; \
+     case 2: s += 8; break; } } print_int(s); return 0; }"
+  in
+  List.iter
+    (fun hs -> check_output "negative cases" "15" (run_src ~heuristic:hs src))
+    Mopt.Switch_lower.all_sets
+
+let test_empty_main () =
+  check_output "empty program" "" (run_src "int main() { return 0; }")
+
+(* ------------------------------------------------------------------ *)
+(* Dot output                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_dot_output_well_formed () =
+  let prog = compile_final (Workloads.Registry.find "sed").Workloads.Spec.source in
+  let dot = Format.asprintf "%a" Mir.Dot.program prog in
+  check_bool "has digraphs" true (contains_substring dot "digraph");
+  check_bool "has edges" true (contains_substring dot " -> ");
+  (* crude balance check on braces *)
+  let count c = String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 dot in
+  check_int "balanced braces" (count '{') (count '}')
+
+let suite =
+  [
+    case "edge: constants outside the range domain"
+      test_constants_outside_range_domain;
+    case "edge: constants at the domain boundary" test_constants_at_domain_edge;
+    case "edge: negative ranges" test_negative_ranges;
+    case "edge: 40-way chain" test_long_chain;
+    case "edge: overlap cuts the walk" test_two_sided_overlapping_conditions;
+    case "edge: single hot value" test_single_hot_value_profile;
+    case "edge: one shared target" test_all_conditions_same_target;
+    case "edge: sequence in recursion" test_sequence_in_recursive_function;
+    case "edge: do-while back edge" test_do_while_backedge_sequence;
+    case "edge: negative switch cases" test_switch_on_negative_values;
+    case "edge: empty main" test_empty_main;
+    case "edge: dot output" test_dot_output_well_formed;
+  ]

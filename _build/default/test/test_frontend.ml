@@ -1,0 +1,348 @@
+(* Lexer, parser, semantic analysis and lowering tests.  Lowering is
+   tested behaviourally: compile a snippet, run it on the simulator and
+   check the output. *)
+
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let toks src = List.map fst (Minic.Lexer.tokenize src)
+
+let test_lex_basic () =
+  match toks "int x = 42;" with
+  | [ KW_INT; IDENT "x"; ASSIGN; INT 42; SEMI; EOF_TOK ] -> ()
+  | ts -> Alcotest.failf "unexpected tokens (%d)" (List.length ts)
+
+let test_lex_char_literals () =
+  (match toks "'a' '\\n' '\\t' '\\0' '\\\\' '\\''" with
+  | [ INT 97; INT 10; INT 9; INT 0; INT 92; INT 39; EOF_TOK ] -> ()
+  | _ -> Alcotest.fail "char literals");
+  expect_srcloc_error (fun () -> toks "'ab'")
+
+let test_lex_string_escapes () =
+  match toks {|"a\nb\"c"|} with
+  | [ STRING "a\nb\"c"; EOF_TOK ] -> ()
+  | _ -> Alcotest.fail "string escapes"
+
+let test_lex_numbers () =
+  match toks "0 123 0x1F 0XFF" with
+  | [ INT 0; INT 123; INT 31; INT 255; EOF_TOK ] -> ()
+  | _ -> Alcotest.fail "numbers"
+
+let test_lex_operators () =
+  match toks "++ -- += -= == != <= >= << >> && || = < >" with
+  | [ PLUSPLUS; MINUSMINUS; PLUS_ASSIGN; MINUS_ASSIGN; EQ; NE; LE; GE;
+      SHL; SHR; AMPAMP; BARBAR; ASSIGN; LT; GT; EOF_TOK ] -> ()
+  | _ -> Alcotest.fail "operators"
+
+let test_lex_comments () =
+  match toks "a /* multi \n line */ b // rest\n c" with
+  | [ IDENT "a"; IDENT "b"; IDENT "c"; EOF_TOK ] -> ()
+  | _ -> Alcotest.fail "comments"
+
+let test_lex_errors () =
+  expect_srcloc_error (fun () -> toks "\"unterminated");
+  expect_srcloc_error (fun () -> toks "/* unterminated");
+  expect_srcloc_error (fun () -> toks "a $ b");
+  expect_srcloc_error (fun () -> toks {|"bad \q escape"|})
+
+let test_lex_locations () =
+  let all = Minic.Lexer.tokenize "a\n  b" in
+  match all with
+  | [ (_, l1); (_, l2); _ ] ->
+    check_int "a line" 1 l1.Minic.Srcloc.line;
+    check_int "b line" 2 l2.Minic.Srcloc.line;
+    check_int "b col" 3 l2.Minic.Srcloc.col
+  | _ -> Alcotest.fail "token count"
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let expr_str src = Format.asprintf "%a" Minic.Ast.pp_expr (Minic.Parser.parse_expr src)
+
+let test_parse_precedence () =
+  check_output "mul binds tighter" "(1 + (2 * 3))" (expr_str "1 + 2 * 3");
+  check_output "left assoc sub" "((10 - 4) - 3)" (expr_str "10 - 4 - 3");
+  check_output "comparison vs arith" "((a + 1) < (b * 2))" (expr_str "a + 1 < b * 2");
+  check_output "and over or" "(a || (b && c))" (expr_str "a || b && c");
+  check_output "bitwise chain" "((a | (b ^ (c & d))))" ("(" ^ expr_str "a | b ^ c & d" ^ ")");
+  check_output "shift vs add" "((a + 1) << 2)" (expr_str "a + 1 << 2");
+  check_output "unary binds tight" "(-(a) * b)" (expr_str "-a * b")
+
+let test_parse_assignment_right_assoc () =
+  check_output "chained assign" "a = b = 3" (expr_str "a = b = 3")
+
+let test_parse_ternary () =
+  check_output "ternary" "(a ? 1 : (b ? 2 : 3))" (expr_str "a ? 1 : b ? 2 : 3")
+
+let test_parse_calls_and_index () =
+  check_output "call" "f(1, (2 + 3))" (expr_str "f(1, 2+3)");
+  check_output "index" "a[(i + 1)]" (expr_str "a[i+1]")
+
+let test_parse_incr () =
+  check_output "pre" "++a" (expr_str "++a");
+  check_output "post" "a++" (expr_str "a++");
+  check_output "post on index" "a[i]--" (expr_str "a[i]--")
+
+let test_parse_errors () =
+  expect_srcloc_error (fun () -> Minic.Parser.parse_expr "1 +");
+  expect_srcloc_error (fun () -> Minic.Parser.parse_expr "(1");
+  expect_srcloc_error (fun () -> Minic.Parser.parse_expr "1 = 2");
+  expect_srcloc_error (fun () -> Minic.Parser.parse "int f( { }");
+  expect_srcloc_error (fun () -> Minic.Parser.parse "int f() { if }");
+  expect_srcloc_error (fun () -> Minic.Parser.parse "int f() { switch (x) { y; } }")
+
+let test_parse_program_shapes () =
+  let p =
+    Minic.Parser.parse
+      "int g; int a[10]; int b[] = \"hi\"; int c[3] = {1, 2, 3};\n\
+       void f(int x, int y) { }\n\
+       int main() { return 0; }"
+  in
+  check_int "five declarations" 6 (List.length p)
+
+let test_parse_switch_groups () =
+  let p =
+    Minic.Parser.parse
+      "int main() { switch (1) { case 1: case 2: return 1; default: return 2; } }"
+  in
+  match p with
+  | [ Minic.Ast.Func { Minic.Ast.fbody = [ Minic.Ast.Stmt s ]; _ } ] -> (
+    match s.Minic.Ast.sdesc with
+    | Minic.Ast.Sswitch (_, groups) ->
+      check_int "two groups" 2 (List.length groups);
+      check_int "first group labels" 2
+        (List.length (List.hd groups).Minic.Ast.labels)
+    | _ -> Alcotest.fail "not a switch")
+  | _ -> Alcotest.fail "unexpected program shape"
+
+(* ------------------------------------------------------------------ *)
+(* Sema                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let analyze src = Minic.Sema.analyze (Minic.Parser.parse src)
+
+let test_sema_errors () =
+  let bad =
+    [
+      "int main() { return x; }"                          (* undefined var *);
+      "int main() { return f(); }"                        (* undefined fn *);
+      "int main() { return putchar(); }"                  (* arity *);
+      "int g; int main() { return g[0]; }"                (* index scalar *);
+      "int a[4]; int main() { return a; }"                (* array as scalar *);
+      "int main() { break; }"                             (* stray break *);
+      "int main() { continue; }"                          (* stray continue *);
+      "int main() { switch (1) { case 1: case 1: break; } return 0; }";
+      "int main() { switch (1) { default: break; default: break; } return 0; }";
+      "int main() { int x; int x; return 0; }"            (* dup local *);
+      "int x; int x; int main() { return 0; }"            (* dup global *);
+      "int f(int a, int a) { return 0; } int main() { return 0; }";
+      "int main() { return; }"                            (* missing value *);
+      "void f() { return 1; } int main() { return 0; }"   (* value from void *);
+      "void f() { } int main() { return f(); }"           (* void in expr *);
+      "int main() { int EOF; return 0; }"                 (* EOF reserved *);
+      "int a[0]; int main() { return 0; }"                (* bad size *);
+      "int a[2] = {1,2,3}; int main() { return 0; }"      (* init too long *);
+      "int g = x; int main() { return 0; }"               (* non-const init *);
+      "int main() { switch (1) { case x: break; } return 0; }";
+      "int main(int x) { return 0; }"                     (* main arity *);
+      "int nomain() { return 0; }"                        (* no main *);
+    ]
+  in
+  List.iteri
+    (fun i src ->
+      match analyze src with
+      | exception Minic.Srcloc.Error _ -> ()
+      | _ -> Alcotest.failf "program %d should be rejected: %s" i src)
+    bad
+
+let test_sema_accepts () =
+  let good =
+    [
+      "int main() { int x = 1; { int x = 2; } return x; }"  (* shadowing *);
+      "int main() { while (1) { break; } return 0; }";
+      "int main() { switch (1) { case 1: break; } return 0; }";
+      "int a[] = \"xyz\"; int main() { return a[0]; }";
+      "int g = 3 * 4 + 1; int main() { return g; }";
+      "int main() { return EOF; }";
+      (* forward references work: signatures are collected first *)
+      "void f() { g(); } void g() { } int main() { f(); return 0; }";
+    ]
+  in
+  List.iter (fun src -> ignore (analyze src)) good
+
+let test_const_eval () =
+  let ce src = Minic.Sema.const_eval (Minic.Parser.parse_expr src) in
+  check_int "arith" 14 (ce "2 + 3 * 4");
+  check_int "shift" 16 (ce "1 << 4");
+  check_int "char" 97 (ce "'a'");
+  check_int "EOF" (-1) (ce "EOF");
+  check_int "ternary" 5 (ce "1 < 2 ? 5 : 6");
+  check_int "logical" 1 (ce "3 && 2");
+  expect_srcloc_error (fun () -> ce "1 / 0");
+  expect_srcloc_error (fun () -> ce "x + 1")
+
+(* ------------------------------------------------------------------ *)
+(* Lowering behaviour                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let behaves name src expected =
+  case name (fun () -> check_output name expected (run_src src))
+
+let behaviour_tests =
+  [
+    behaves "arithmetic"
+      "int main() { print_int(7 + 3 * 2 - 8 / 4); return 0; }" "11";
+    behaves "division truncates toward zero"
+      "int main() { print_int(-7 / 2); putchar(' '); print_int(-7 % 2); return 0; }"
+      "-3 -1";
+    behaves "short-circuit and skips rhs"
+      "int g; int side() { g = 1; return 1; } \n\
+       int main() { if (0 && side()) putchar('y'); print_int(g); return 0; }"
+      "0";
+    behaves "short-circuit or skips rhs"
+      "int g; int side() { g = 1; return 1; } \n\
+       int main() { if (1 || side()) putchar('y'); print_int(g); return 0; }"
+      "y0";
+    behaves "comparison materialises 0/1"
+      "int main() { int x = (3 < 4) + (4 < 3); print_int(x); return 0; }" "1";
+    behaves "while loop" "int main() { int i = 0; int s = 0; while (i < 5) { s += i; i++; } print_int(s); return 0; }"
+      "10";
+    behaves "do-while runs once"
+      "int main() { int i = 9; do { print_int(i); } while (i < 3); return 0; }"
+      "9";
+    behaves "for with continue"
+      "int main() { int i; int s = 0; for (i = 0; i < 6; i++) { if (i % 2) continue; s += i; } print_int(s); return 0; }"
+      "6";
+    behaves "nested break"
+      "int main() { int i; int j; int n = 0; for (i = 0; i < 3; i++) { for (j = 0; j < 3; j++) { if (j == 1) break; n++; } } print_int(n); return 0; }"
+      "3";
+    behaves "switch dispatch"
+      "int f(int x) { switch (x) { case 1: return 10; case 2: return 20; default: return 30; } }\n\
+       int main() { print_int(f(1) + f(2) + f(9)); return 0; }"
+      "60";
+    behaves "switch fall-through"
+      "int main() { int n = 0; switch (2) { case 1: n += 1; case 2: n += 2; case 3: n += 4; break; case 4: n += 8; } print_int(n); return 0; }"
+      "6";
+    behaves "switch without default falls out"
+      "int main() { int n = 5; switch (9) { case 1: n = 0; } print_int(n); return 0; }"
+      "5";
+    behaves "ternary" "int main() { int x = 3; print_int(x > 2 ? 7 : 8); return 0; }" "7";
+    behaves "pre/post increment"
+      "int main() { int x = 5; print_int(x++); print_int(x); print_int(++x); print_int(--x); print_int(x--); print_int(x); return 0; }"
+      "567665";
+    behaves "post-increment on array element"
+      "int a[3]; int main() { a[1] = 4; print_int(a[1]++); print_int(a[1]); return 0; }"
+      "45";
+    behaves "compound assignment"
+      "int main() { int x = 10; x += 5; x -= 3; x *= 2; x /= 4; x %= 4; print_int(x); return 0; }"
+      "2";
+    behaves "global arrays and initialisers"
+      "int a[5] = {3, 1, 4, 1, 5}; int main() { int i; int s = 0; for (i = 0; i < 5; i++) s += a[i]; print_int(s); return 0; }"
+      "14";
+    behaves "string global"
+      "int msg[] = \"ok\"; int main() { putchar(msg[0]); putchar(msg[1]); print_int(msg[2]); return 0; }"
+      "ok0";
+    behaves "recursion"
+      "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n\
+       int main() { print_int(fib(12)); return 0; }"
+      "144";
+    behaves "mutual recursion"
+      "int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }\n\
+       int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }\n\
+       int main() { print_int(is_even(10)); print_int(is_odd(10)); return 0; }"
+      "10";
+    behaves "global scalar updates"
+      "int g; void bump() { g += 2; } int main() { bump(); bump(); print_int(g); return 0; }"
+      "4";
+    behaves "puts emits newline"
+      "int main() { puts(\"hi\"); return 0; }" "hi\n";
+    behaves "print_str emits no newline"
+      "int msg[] = \"ab\"; int main() { print_str(msg); putchar('!'); return 0; }"
+      "ab!";
+    behaves "exit stops execution"
+      "int main() { putchar('a'); exit(3); putchar('b'); return 0; }" "a";
+    behaves "bitwise ops"
+      "int main() { print_int((6 & 3) | (1 << 3) ^ 2); return 0; }" "10";
+    behaves "unary minus and not"
+      "int main() { print_int(-(3) + !0 + !5 + ~0); return 0; }" "-3";
+    behaves "locals re-initialise each iteration"
+      "int main() { int i; int s = 0; for (i = 0; i < 3; i++) { int x = 1; x += i; s += x; } print_int(s); return 0; }"
+      "6";
+    behaves "empty statement and blocks"
+      "int main() { ; {} { ; } print_int(1); return 0; }" "1";
+  ]
+
+let test_getchar_eof () =
+  check_output "eof" "-1"
+    (run_src ~input:""
+       "int main() { print_int(getchar()); return 0; }");
+  check_output "reads in order" "ab-1"
+    (run_src ~input:"ab"
+       "int main() { putchar(getchar()); putchar(getchar()); print_int(getchar()); return 0; }")
+
+let test_exit_code () =
+  let prog = compile_final "int main() { return 42; }" in
+  let result = run_prog prog in
+  check_int "exit code" 42 result.Sim.Machine.exit_code
+
+let test_lowering_validates () =
+  (* every compiled program passes validation with init checking *)
+  List.iter
+    (fun (w : Workloads.Spec.t) ->
+      let prog = compile w.Workloads.Spec.source in
+      match Mir.Validate.program ~check_init:true prog with
+      | Ok () -> ()
+      | Error es ->
+        Alcotest.failf "%s: %s" w.Workloads.Spec.name (String.concat "; " es))
+    Workloads.Registry.all
+
+let test_assignment_returns_variable_register () =
+  (* the register unification that sequence detection relies on *)
+  let prog =
+    compile
+      "int main() { int c; int n = 0; while ((c = getchar()) != EOF) { if (c \
+       == 'a') n++; else if (c == 'b') n--; } print_int(n); return 0; }"
+  in
+  let seqs = Reorder.Detect.find_program prog in
+  let main_seq =
+    List.filter (fun s -> String.equal s.Reorder.Detect.func_name "main") seqs
+  in
+  match main_seq with
+  | [ s ] ->
+    check_int "EOF, 'a' and 'b' unify into one sequence" 3
+      (Reorder.Detect.items_count s)
+  | _ -> Alcotest.failf "expected one sequence, got %d" (List.length main_seq)
+
+let suite =
+  [
+    case "lexer: basic tokens" test_lex_basic;
+    case "lexer: character literals" test_lex_char_literals;
+    case "lexer: string escapes" test_lex_string_escapes;
+    case "lexer: numbers" test_lex_numbers;
+    case "lexer: operators" test_lex_operators;
+    case "lexer: comments" test_lex_comments;
+    case "lexer: errors" test_lex_errors;
+    case "lexer: locations" test_lex_locations;
+    case "parser: precedence" test_parse_precedence;
+    case "parser: assignment associativity" test_parse_assignment_right_assoc;
+    case "parser: ternary" test_parse_ternary;
+    case "parser: calls and indexing" test_parse_calls_and_index;
+    case "parser: increment forms" test_parse_incr;
+    case "parser: errors" test_parse_errors;
+    case "parser: program shapes" test_parse_program_shapes;
+    case "parser: switch groups" test_parse_switch_groups;
+    case "sema: rejects invalid programs" test_sema_errors;
+    case "sema: accepts valid programs" test_sema_accepts;
+    case "sema: constant evaluation" test_const_eval;
+    case "lowering: getchar and EOF" test_getchar_eof;
+    case "lowering: exit code" test_exit_code;
+    case "lowering: all workloads validate with init checks"
+      test_lowering_validates;
+    case "lowering: assignments keep the variable register"
+      test_assignment_returns_variable_register;
+  ]
+  @ behaviour_tests

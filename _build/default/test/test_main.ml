@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "branch_reorder"
+    [
+      ("mir", Test_mir.suite);
+      ("mir-text", Test_mir_text.suite);
+      ("frontend", Test_frontend.suite);
+      ("sim", Test_sim.suite);
+      ("opt", Test_opt.suite);
+      ("analyses", Test_analyses.suite);
+      ("range", Test_range.suite);
+      ("detect", Test_detect.suite);
+      ("cost", Test_cost.suite);
+      ("transform", Test_transform.suite);
+      ("coalesce", Test_coalesce.suite);
+      ("common-succ", Test_common_succ.suite);
+      ("workloads", Test_workloads.suite);
+      ("workload-behaviour", Test_workload_behaviour.suite);
+      ("driver", Test_driver.suite);
+      ("properties", Test_properties.suite);
+      ("edge-cases", Test_edge_cases.suite);
+    ]

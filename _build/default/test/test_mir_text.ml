@@ -1,0 +1,148 @@
+(* Textual MIR round-trip tests: the parser must invert the printer on
+   every program the tool chain produces. *)
+
+open Helpers
+
+let roundtrip_equal (p : Mir.Program.t) =
+  let text = Mir.Program.to_string p in
+  let q = Mir.Parse.program text in
+  let text2 = Mir.Program.to_string q in
+  check_output "print . parse . print is stable" text text2;
+  q
+
+let test_roundtrip_simple () =
+  let p =
+    compile
+      "int g; int a[3] = {7, 8, 9};\n\
+       int main() { int c = getchar(); if (c == 'x') g = a[1]; print_int(g); \
+       return 0; }"
+  in
+  ignore (roundtrip_equal p)
+
+let test_roundtrip_all_insn_forms () (* every instruction shape *) =
+  let text =
+    "global g[16]\n\
+     global init[2] = {1, -2}\n\
+     \n\
+     function main():\n\
+     main.entry:\n\
+    \  r1 = 5\n\
+    \  r2 = r1\n\
+    \  r3 = neg r2\n\
+    \  r4 = not r3\n\
+    \  r5 = add r1, 2\n\
+    \  r6 = sub r5, r1\n\
+    \  r7 = mul r6, -3\n\
+    \  r8 = div r7, 2\n\
+    \  r9 = rem r8, 2\n\
+    \  r10 = and r9, 255\n\
+    \  r11 = or r10, 1\n\
+    \  r12 = xor r11, 7\n\
+    \  r13 = sll r12, 1\n\
+    \  r14 = sra r13, 1\n\
+    \  r15 = M[g + 0]\n\
+    \  M[g + r1] = r15\n\
+    \  cmp r15, 0\n\
+    \  be -> a | b\n\
+     a:\n\
+    \  call putchar(65)\n\
+    \  r16 = call getchar()\n\
+    \  nop\n\
+    \  profile_range #3, r16\n\
+    \  profile_comb #4\n\
+    \  jmp c\n\
+     b:\n\
+    \  cmp r1, r2\n\
+    \  bge -> c | c\n\
+     c:\n\
+    \  ret 0  ; delay: r17 = 1\n"
+  in
+  let p = Mir.Parse.program text in
+  let q = Mir.Parse.program (Mir.Program.to_string p) in
+  check_output "round trip" (Mir.Program.to_string p) (Mir.Program.to_string q);
+  (* and it runs *)
+  let r = run_prog p ~input:"q" in
+  check_output "executes" "A" r.Sim.Machine.output
+
+let test_roundtrip_jump_tables () =
+  let src =
+    "int main() { int c; int s = 0; while ((c = getchar()) != EOF) { switch \
+     (c) { case 97: s += 1; break; case 98: s += 2; break; case 99: s += 3; \
+     break; case 100: s += 4; break; } } print_int(s); return 0; }"
+  in
+  let p = compile_final src in
+  let q = roundtrip_equal p in
+  (* behaviourally identical *)
+  check_output "same behaviour"
+    (run_prog p ~input:"abcdz").Sim.Machine.output
+    (run_prog q ~input:"abcdz").Sim.Machine.output
+
+let test_roundtrip_delay_slots () =
+  let p = compile_final (Workloads.Registry.find "wc").Workloads.Spec.source in
+  let q = roundtrip_equal p in
+  let input = "three words here\n" in
+  check_output "wc via text round trip"
+    (run_prog p ~input).Sim.Machine.output
+    (run_prog q ~input).Sim.Machine.output
+
+let test_roundtrip_all_workloads () =
+  List.iter
+    (fun (w : Workloads.Spec.t) ->
+      let p = compile_final w.Workloads.Spec.source in
+      ignore (roundtrip_equal p))
+    Workloads.Registry.all
+
+let test_roundtrip_reordered () =
+  (* the transformed programs (with replicas, edge blocks, cc fixups)
+     also survive a text round trip *)
+  let w = Workloads.Registry.find "lex" in
+  let r =
+    reorder_pipeline
+      ~training_input:(String.sub (Lazy.force w.Workloads.Spec.training_input) 0 3000)
+      ~test_input:(String.sub (Lazy.force w.Workloads.Spec.test_input) 0 3000)
+      w.Workloads.Spec.source
+  in
+  ignore
+    (roundtrip_equal r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_program)
+
+let test_parse_errors () =
+  let bad line text =
+    match Mir.Parse.program text with
+    | exception Mir.Parse.Error (l, _) -> check_int "error line" line l
+    | _ -> Alcotest.failf "expected a parse error in %S" text
+  in
+  bad 1 "  r1 = 5\n";
+  bad 2 "function f():\n  bogus instruction here\n";
+  bad 2 "function f():\n  jmp nowhere\nentry:\n  ret\n" (* term outside block *);
+  match Mir.Parse.program "function f():\nentry:\n  r1 = 5\n" with
+  | exception Mir.Parse.Error _ -> ()
+  | _ -> Alcotest.fail "missing terminator must fail"
+
+let test_parse_next_reg_bumped () =
+  let fn =
+    Mir.Parse.func "function f(r2):\nentry:\n  r9 = add r2, 1\n  ret r9\n"
+  in
+  check_bool "fresh registers avoid parsed ones" true
+    (Mir.Reg.to_int (Mir.Func.fresh_reg fn) >= 10)
+
+let test_parse_validates () =
+  let p =
+    Mir.Parse.program
+      "function main():\nmain.entry:\n  cmp 1, 2\n  be -> a | b\na:\n  ret \
+       0\nb:\n  ret 1\n"
+  in
+  Mir.Validate.check p;
+  check_int "runs" 1 (run_prog p).Sim.Machine.exit_code
+
+let suite =
+  [
+    case "text: simple program round trip" test_roundtrip_simple;
+    case "text: every instruction form" test_roundtrip_all_insn_forms;
+    case "text: jump tables" test_roundtrip_jump_tables;
+    case "text: delay slots" test_roundtrip_delay_slots;
+    case "text: all workloads round trip" test_roundtrip_all_workloads;
+    case "text: reordered programs round trip" test_roundtrip_reordered;
+    case "text: parse errors carry line numbers" test_parse_errors;
+    case "text: register counter restored" test_parse_next_reg_bumped;
+    case "text: parsed programs validate and run" test_parse_validates;
+  ]

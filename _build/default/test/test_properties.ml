@@ -1,0 +1,329 @@
+(* Cross-cutting property tests: randomly generated dispatch programs are
+   pushed through the entire two-pass pipeline; the pipeline itself
+   asserts output equality between the original and reordered binaries,
+   so surviving the run is the property.  This is the repository's main
+   semantic-preservation fuzz harness. *)
+
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Random dispatch-program generator                                    *)
+(* ------------------------------------------------------------------ *)
+
+type cond =
+  | Ceq of int
+  | Cne of int
+  | Clt of int
+  | Cle of int
+  | Cgt of int
+  | Cge of int
+  | Cbetween of int * int
+
+let cond_to_c = function
+  | Ceq k -> Printf.sprintf "c == %d" k
+  | Cne k -> Printf.sprintf "c != %d" k
+  | Clt k -> Printf.sprintf "c < %d" k
+  | Cle k -> Printf.sprintf "c <= %d" k
+  | Cgt k -> Printf.sprintf "c > %d" k
+  | Cge k -> Printf.sprintf "c >= %d" k
+  | Cbetween (a, b) -> Printf.sprintf "c >= %d && c <= %d" a b
+
+let gen_cond =
+  QCheck.Gen.(
+    let* k = int_range 0 120 in
+    let* k2 = int_range 1 20 in
+    oneofl
+      [ Ceq k; Cne k; Clt k; Cle k; Cgt k; Cge k; Cbetween (k, k + k2) ])
+
+type dispatch_program = {
+  conds : (cond * bool) list;  (* condition, side effect before it *)
+  train : string;
+  test : string;
+}
+
+let program_source p =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "int g;\nint f(int c) {\n";
+  List.iteri
+    (fun i (cond, side) ->
+      if side && i > 0 then Buffer.add_string buf "  g = g + 1;\n";
+      Buffer.add_string buf
+        (Printf.sprintf "  if (%s) return %d;\n" (cond_to_c cond) (i + 1)))
+    p.conds;
+  Buffer.add_string buf "  return 0;\n}\n";
+  Buffer.add_string buf
+    "int main() { int c; int s = 0; while ((c = getchar()) != EOF) { s = s * \
+     31 + f(c); s = s % 65536; } print_int(s); putchar(' '); print_int(g); \
+     return 0; }\n";
+  Buffer.contents buf
+
+let gen_input =
+  QCheck.Gen.(
+    let* n = int_range 0 400 in
+    let* chars = list_size (return n) (int_range 0 126) in
+    return (String.concat "" (List.map (fun c -> String.make 1 (Char.chr c)) chars)))
+
+let gen_program =
+  QCheck.Gen.(
+    let* n = int_range 2 6 in
+    let* conds = list_size (return n) gen_cond in
+    let* sides = list_size (return n) (frequency [ (4, return false); (1, return true) ]) in
+    let* train = gen_input in
+    let* test = gen_input in
+    return { conds = List.combine conds sides; train; test })
+
+let arb_program =
+  QCheck.make gen_program ~print:(fun p ->
+      Printf.sprintf "%s\n-- train: %S\n-- test: %S" (program_source p) p.train
+        p.test)
+
+let prop_pipeline_preserves_semantics =
+  qcheck ~count:150 "pipeline preserves semantics on random dispatchers"
+    arb_program (fun p ->
+      (* Pipeline.run raises Failure on any output divergence and the
+         validator raises on malformed MIR *)
+      let r =
+        reorder_pipeline ~training_input:p.train ~test_input:p.test
+          (program_source p)
+      in
+      ignore r;
+      true)
+
+let prop_training_input_improves =
+  qcheck ~count:75 "reordering never materially regresses on the training input"
+    arb_program (fun p ->
+      QCheck.assume (String.length p.train > 50);
+      let r =
+        reorder_pipeline ~training_input:p.train ~test_input:p.train
+          (program_source p)
+      in
+      let o =
+        r.Driver.Pipeline.r_original.Driver.Pipeline.v_counters
+          .Sim.Counters.insns
+      in
+      let n =
+        r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters
+          .Sim.Counters.insns
+      in
+      (* the selection minimises an estimate; delay slots and layout can
+         cost a few instructions, so allow 5% noise *)
+      float_of_int n <= (1.05 *. float_of_int o) +. 32.)
+
+let prop_exhaustive_never_loses =
+  qcheck ~count:40 "greedy selection matches exhaustive on generated programs"
+    arb_program (fun p ->
+      QCheck.assume (String.length p.train > 20);
+      let greedy =
+        reorder_pipeline ~training_input:p.train ~test_input:p.test
+          (program_source p)
+      in
+      let exhaustive =
+        reorder_pipeline
+          ~config:{ Driver.Config.default with Driver.Config.selector = `Exhaustive }
+          ~training_input:p.train ~test_input:p.test (program_source p)
+      in
+      let insns (r : Driver.Pipeline.result) =
+        r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters
+          .Sim.Counters.insns
+      in
+      (* the paper reports exact agreement on its suite; allow the tiny
+         residue where distinct choices tie in the estimate but differ in
+         delay-slot luck *)
+      abs (insns greedy - insns exhaustive)
+      <= 1 + (insns greedy / 50))
+
+(* random switch programs across heuristic sets *)
+let gen_switch_program =
+  QCheck.Gen.(
+    let* n = int_range 1 18 in
+    let* dense = bool in
+    let* values =
+      if dense then return (List.init n (fun i -> 40 + i))
+      else
+        let* step = int_range 2 9 in
+        return (List.init n (fun i -> 40 + (i * step)))
+    in
+    let* input = gen_input in
+    return (values, input))
+
+let arb_switch =
+  QCheck.make gen_switch_program ~print:(fun (values, input) ->
+      Printf.sprintf "cases [%s] input %S"
+        (String.concat ";" (List.map string_of_int values))
+        input)
+
+let switch_source values =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "int main() { int c; int s = 0; while ((c = getchar()) != EOF) { switch (c) {\n";
+  List.iteri
+    (fun i v -> Buffer.add_string buf (Printf.sprintf "case %d: s += %d; break;\n" v (i + 1)))
+    values;
+  Buffer.add_string buf "default: s--; } } print_int(s); return 0; }\n";
+  Buffer.contents buf
+
+let prop_switch_heuristics_agree =
+  qcheck ~count:100 "random switches agree across heuristic sets" arb_switch
+    (fun (values, input) ->
+      let src = switch_source values in
+      let a = run_src ~heuristic:Mopt.Switch_lower.set_i ~input src in
+      let b = run_src ~heuristic:Mopt.Switch_lower.set_ii ~input src in
+      let c = run_src ~heuristic:Mopt.Switch_lower.set_iii ~input src in
+      String.equal a b && String.equal b c)
+
+(* reordering on top of random switches: the pipeline's own equality
+   check plus validation make this a semantics fuzz for the interaction
+   of switch shapes with sequence detection *)
+let prop_switch_reorder_preserves =
+  qcheck ~count:60 "reordering random switches preserves semantics" arb_switch
+    (fun (values, input) ->
+      QCheck.assume (String.length input > 10);
+      List.iter
+        (fun hs ->
+          let config = { Driver.Config.default with Driver.Config.heuristic = hs } in
+          ignore
+            (reorder_pipeline ~config ~training_input:input ~test_input:input
+               (switch_source values)))
+        Mopt.Switch_lower.all_sets;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Reference-model properties for the analyses                          *)
+(* ------------------------------------------------------------------ *)
+
+(* random small CFG: n blocks, each ending in a branch or jump to random
+   targets (block 0 is the entry; the last block returns) *)
+let gen_cfg =
+  QCheck.Gen.(
+    let* n = int_range 2 10 in
+    let* choices = list_size (return n) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) in
+    return (n, choices))
+
+let build_cfg (n, choices) =
+  let fn = Mir.Func.make ~name:"g" ~params:[ Mir.Reg.of_int 0 ] in
+  let label i = Printf.sprintf "b%d" i in
+  List.iteri
+    (fun i (t, f) ->
+      let block =
+        if i = n - 1 then
+          Mir.Block.make ~label:(label i) [] (Mir.Block.Ret None)
+        else if t = f then
+          Mir.Block.make ~label:(label i) [] (Mir.Block.Jmp (label t))
+        else
+          Mir.Block.make ~label:(label i)
+            [ Mir.Insn.Cmp (Mir.Operand.Reg (Mir.Reg.of_int 0), Mir.Operand.Imm 0) ]
+            (Mir.Block.Br (Mir.Cond.Eq, label t, label f))
+      in
+      Mir.Func.add_block fn block)
+    choices;
+  fn
+
+let arb_cfg =
+  QCheck.make gen_cfg ~print:(fun (n, choices) ->
+      Printf.sprintf "n=%d [%s]" n
+        (String.concat ";"
+           (List.map (fun (t, f) -> Printf.sprintf "(%d,%d)" t f) choices)))
+
+(* reference dominance: a dominates b iff b is unreachable from the
+   entry once a is removed (and both are reachable) *)
+let reference_dominates fn a b =
+  if String.equal a b then true
+  else begin
+    let reachable_avoiding avoided =
+      let seen = Hashtbl.create 16 in
+      let rec go l =
+        if (not (Hashtbl.mem seen l)) && not (String.equal l avoided) then begin
+          Hashtbl.replace seen l ();
+          match Mir.Func.find_block_opt fn l with
+          | Some b -> List.iter go (Mir.Func.successors fn b)
+          | None -> ()
+        end
+      in
+      (match fn.Mir.Func.blocks with
+      | e :: _ -> go e.Mir.Block.label
+      | [] -> ());
+      seen
+    in
+    not (Hashtbl.mem (reachable_avoiding a) b)
+  end
+
+let prop_dominators_match_reference =
+  qcheck ~count:300 "dominators agree with the path-cutting reference" arb_cfg
+    (fun spec ->
+      let fn = build_cfg spec in
+      let dom = Mir.Dom.compute fn in
+      let reach = Mir.Func.reachable fn in
+      List.for_all
+        (fun (a : Mir.Block.t) ->
+          List.for_all
+            (fun (b : Mir.Block.t) ->
+              let la = a.Mir.Block.label and lb = b.Mir.Block.label in
+              if not (Hashtbl.mem reach la && Hashtbl.mem reach lb) then true
+              else Mir.Dom.dominates dom la lb = reference_dominates fn la lb)
+            fn.Mir.Func.blocks)
+        fn.Mir.Func.blocks)
+
+let prop_loops_headers_dominate_bodies =
+  qcheck ~count:300 "loop headers dominate their bodies" arb_cfg (fun spec ->
+      let fn = build_cfg spec in
+      let dom = Mir.Dom.compute fn in
+      List.for_all
+        (fun (l : Mir.Loops.loop) ->
+          List.for_all
+            (fun b -> Mir.Dom.dominates dom l.Mir.Loops.header b)
+            l.Mir.Loops.body)
+        (Mir.Loops.find fn))
+
+(* ------------------------------------------------------------------ *)
+(* Front-end robustness fuzz                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prop_lexer_total =
+  (* the lexer either tokenizes or raises Srcloc.Error, never anything
+     else, on arbitrary bytes *)
+  qcheck ~count:500 "lexer is total" QCheck.(string_of_size (Gen.int_range 0 200))
+    (fun src ->
+      match Minic.Lexer.tokenize src with
+      | _ -> true
+      | exception Minic.Srcloc.Error _ -> true)
+
+let prop_parser_total =
+  qcheck ~count:500 "parser is total"
+    QCheck.(string_of_size (Gen.int_range 0 200))
+    (fun src ->
+      match Minic.Parser.parse src with
+      | _ -> true
+      | exception Minic.Srcloc.Error _ -> true)
+
+let prop_cfg_text_roundtrip =
+  qcheck ~count:200 "random CFGs survive the text round trip" arb_cfg
+    (fun spec ->
+      let fn = build_cfg spec in
+      let p = Mir.Program.make () in
+      Mir.Program.add_func p fn;
+      let text = Mir.Program.to_string p in
+      let q = Mir.Parse.program text in
+      String.equal text (Mir.Program.to_string q))
+
+let prop_mir_parser_total =
+  qcheck ~count:500 "textual MIR parser is total"
+    QCheck.(string_of_size (Gen.int_range 0 200))
+    (fun src ->
+      match Mir.Parse.program src with
+      | _ -> true
+      | exception Mir.Parse.Error _ -> true)
+
+let suite =
+  [
+    prop_pipeline_preserves_semantics;
+    prop_training_input_improves;
+    prop_exhaustive_never_loses;
+    prop_switch_heuristics_agree;
+    prop_switch_reorder_preserves;
+    prop_dominators_match_reference;
+    prop_loops_headers_dominate_bodies;
+    prop_lexer_total;
+    prop_parser_total;
+    prop_mir_parser_total;
+    prop_cfg_text_roundtrip;
+  ]

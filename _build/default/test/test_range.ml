@@ -1,0 +1,194 @@
+(* Range and range-condition tests (paper Table 1, Section 5), including
+   qcheck properties on the default-range computation. *)
+
+open Helpers
+
+let range = Alcotest.testable (Fmt.of_to_string Reorder.Range.show) Reorder.Range.equal
+
+let test_make_bounds () =
+  let r = Reorder.Range.make 3 9 in
+  check_int "lo" 3 (Reorder.Range.lo r);
+  check_int "hi" 9 (Reorder.Range.hi r);
+  (match Reorder.Range.make 9 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "inverted bounds must be rejected");
+  match Reorder.Range.make min_int 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-domain bounds must be rejected"
+
+let test_mem_and_size () =
+  let r = Reorder.Range.make (-2) 4 in
+  check_bool "mem lo" true (Reorder.Range.mem (-2) r);
+  check_bool "mem hi" true (Reorder.Range.mem 4 r);
+  check_bool "mem outside" false (Reorder.Range.mem 5 r);
+  check_int "size" 7 (Reorder.Range.size r);
+  check_bool "single" true (Reorder.Range.is_single (Reorder.Range.single 8))
+
+let test_overlap () =
+  let open Reorder.Range in
+  check_bool "adjacent do not overlap" false (overlaps (make 0 4) (make 5 9));
+  check_bool "shared endpoint overlaps" true (overlaps (make 0 5) (make 5 9));
+  check_bool "containment overlaps" true (overlaps (make 0 9) (make 3 4));
+  check_bool "nonoverlapping list" true
+    (nonoverlapping (make 5 6) [ make 0 4; make 7 9 ]);
+  check_bool "overlapping list" false
+    (nonoverlapping (make 4 7) [ make 0 4; make 8 9 ])
+
+let test_is_bounded () =
+  let open Reorder.Range in
+  check_bool "bounded" true (is_bounded (make 3 9));
+  check_bool "single not Form 4" false (is_bounded (single 3));
+  check_bool "ray below" false (is_bounded (below 10));
+  check_bool "ray above" false (is_bounded (above 10))
+
+let test_complement_simple () =
+  let open Reorder.Range in
+  let defaults = complement_cover [ single 10; make 20 30 ] in
+  Alcotest.(check (list range)) "three gaps"
+    [ below 9; make 11 19; above 31 ]
+    defaults
+
+let test_complement_empty_input () =
+  let open Reorder.Range in
+  Alcotest.(check (list range)) "everything" [ full ] (complement_cover [])
+
+let test_complement_touching_min_max () =
+  let open Reorder.Range in
+  Alcotest.(check (list range)) "gap in the middle only"
+    [ make 1 4 ]
+    (complement_cover [ below 0; above 5 ]);
+  Alcotest.(check (list range)) "no gaps" [] (complement_cover [ full ])
+
+let test_complement_rejects_overlap () =
+  let open Reorder.Range in
+  match complement_cover [ make 0 5; make 5 9 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "overlap must be rejected"
+
+(* qcheck: random nonoverlapping range sets built by pairing sorted
+   distinct bounds *)
+let gen_ranges =
+  QCheck.Gen.(
+    let* bounds = list_size (int_range 0 16) (int_range (-1000) 1000) in
+    let sorted = List.sort_uniq Int.compare bounds in
+    let rec pair acc = function
+      | a :: b :: rest -> pair (Reorder.Range.make a b :: acc) rest
+      | [ a ] -> Reorder.Range.single a :: acc
+      | [] -> acc
+    in
+    return (pair [] sorted))
+
+let arb_ranges =
+  QCheck.make gen_ranges ~print:(fun rs ->
+      String.concat ", " (List.map Reorder.Range.show rs))
+
+let prop_complement_partitions =
+  qcheck "complement partitions the value space" arb_ranges (fun ranges ->
+      let defaults = Reorder.Range.complement_cover ranges in
+      (* no default overlaps an input range *)
+      List.for_all (fun d -> Reorder.Range.nonoverlapping d ranges) defaults
+      && (* every probe point lies in exactly one side *)
+      List.for_all
+        (fun v ->
+          let in_input = List.exists (Reorder.Range.mem v) ranges in
+          let in_default = List.exists (Reorder.Range.mem v) defaults in
+          in_input <> in_default)
+        [ -1000000; -1000; -999; -37; -1; 0; 1; 2; 37; 500; 999; 1000; 1000000 ])
+
+let prop_complement_minimal =
+  qcheck "defaults are maximal gaps (no two adjacent)" arb_ranges (fun ranges ->
+      let defaults = Reorder.Range.complement_cover ranges in
+      let sorted = Reorder.Range.sort_by_lo defaults in
+      let rec ok = function
+        | a :: (b :: _ as rest) ->
+          Reorder.Range.hi a + 1 < Reorder.Range.lo b && ok rest
+        | _ -> true
+      in
+      ok sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Range conditions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_forms () =
+  let open Reorder.Range in
+  let f = Reorder.Range_cond.form in
+  (match f (single 5) with
+  | Reorder.Range_cond.Form_single 5 -> ()
+  | _ -> Alcotest.fail "single");
+  (match f (below 5) with
+  | Reorder.Range_cond.Form_below 5 -> ()
+  | _ -> Alcotest.fail "below");
+  (match f (above 5) with
+  | Reorder.Range_cond.Form_above 5 -> ()
+  | _ -> Alcotest.fail "above");
+  (match f (make 3 9) with
+  | Reorder.Range_cond.Form_bounded (3, 9) -> ()
+  | _ -> Alcotest.fail "bounded");
+  match f full with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "full range is not testable"
+
+let test_costs () =
+  let open Reorder.Range in
+  check_int "single" 2 (Reorder.Range_cond.cost (single 5));
+  check_int "ray" 2 (Reorder.Range_cond.cost (above 5));
+  check_int "bounded" 4 (Reorder.Range_cond.cost (make 1 5));
+  check_int "single branches" 1 (Reorder.Range_cond.branch_count (single 5));
+  check_int "bounded branches" 2 (Reorder.Range_cond.branch_count (make 1 5))
+
+(* behavioural check of emitted conditions: build a function around the
+   emitted blocks and execute it for every probe value *)
+let emit_and_run range ~lower_first v =
+  let fn = Mir.Func.make ~name:"main" ~params:[] in
+  let var = Mir.Reg.of_int 0 in
+  let emitted =
+    Reorder.Range_cond.emit fn ~var ~range ~exit_to:"inside" ~fall_to:"outside"
+      ~lower_first
+  in
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"entry"
+       [ Mir.Insn.Mov (var, Mir.Operand.Imm v) ]
+       (Mir.Block.Jmp emitted.Reorder.Range_cond.entry_label));
+  List.iter (Mir.Func.add_block fn) emitted.Reorder.Range_cond.blocks;
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"inside" [] (Mir.Block.Ret (Some (Mir.Operand.Imm 1))));
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"outside" [] (Mir.Block.Ret (Some (Mir.Operand.Imm 0))));
+  let p = Mir.Program.make () in
+  Mir.Program.add_func p fn;
+  Mir.Validate.check p;
+  (run_prog p).Sim.Machine.exit_code = 1
+
+let test_emit_semantics () =
+  let open Reorder.Range in
+  List.iter
+    (fun range ->
+      List.iter
+        (fun lower_first ->
+          List.iter
+            (fun v ->
+              check_bool
+                (Printf.sprintf "%s v=%d lf=%b" (show range) v lower_first)
+                (mem v range)
+                (emit_and_run range ~lower_first v))
+            [ -100; 0; 3; 5; 9; 10; 42; 100 ])
+        [ true; false ])
+    [ single 5; below 5; above 5; make 3 9; make 5 5; make 0 42 ]
+
+let suite =
+  [
+    case "range: construction bounds" test_make_bounds;
+    case "range: membership and size" test_mem_and_size;
+    case "range: overlap" test_overlap;
+    case "range: Form 4 recognition" test_is_bounded;
+    case "range: default ranges (Figure 7)" test_complement_simple;
+    case "range: complement of nothing" test_complement_empty_input;
+    case "range: complement touching MIN/MAX" test_complement_touching_min_max;
+    case "range: complement rejects overlap" test_complement_rejects_overlap;
+    prop_complement_partitions;
+    prop_complement_minimal;
+    case "range_cond: Table 1 forms" test_forms;
+    case "range_cond: cost estimates" test_costs;
+    case "range_cond: emitted code tests membership" test_emit_semantics;
+  ]

@@ -1,0 +1,308 @@
+(* Tests for the reordering transformation itself (Sections 7-8):
+   semantic preservation, side-effect duplication, condition-code fixups,
+   redundant comparison elimination, tail duplication and the guarantees
+   of the full pass. *)
+
+open Helpers
+
+let run_pipeline ?config src ~input =
+  reorder_pipeline ?config ~training_input:input ~test_input:input src
+
+(* compile + reorder a source with given training input, then return a
+   function that runs both versions on arbitrary inputs and checks they
+   agree, returning (orig_insns, reord_insns) *)
+let both_versions ?(config = Driver.Config.default) ~training src =
+  let base = Driver.Pipeline.compile_base config src in
+  let seqs = Reorder.Detect.find_program base in
+  let train_prog = Mir.Clone.program base in
+  let table = Reorder.Profiles.instrument train_prog seqs in
+  let _ = Sim.Machine.run train_prog ~profile:table ~input:training in
+  let orig = Mir.Clone.program base in
+  ignore (Mopt.Cleanup.finalize orig);
+  let reord = Mir.Clone.program base in
+  let report = Reorder.Pass.run reord seqs table in
+  ignore (Mopt.Cleanup.finalize reord);
+  Mir.Validate.check reord;
+  ( report,
+    fun input ->
+      let a = Sim.Machine.run orig ~input in
+      let b = Sim.Machine.run reord ~input in
+      check_output "outputs agree" a.Sim.Machine.output b.Sim.Machine.output;
+      check_int "exit codes agree" a.Sim.Machine.exit_code b.Sim.Machine.exit_code;
+      ( a.Sim.Machine.counters.Sim.Counters.insns,
+        b.Sim.Machine.counters.Sim.Counters.insns ) )
+
+let classify_src =
+  "int tally[5];\n\
+   int classify(int c) { if (c == ' ') return 1; else if (c == '\\n') return \
+   2; else if (c == EOF) return 3; return 0; }\n\
+   int main() { int c; while (1) { c = getchar(); int k = classify(c); \
+   tally[k]++; if (c == EOF) break; } print_int(tally[0]); print_int(tally[1]); \
+   print_int(tally[2]); print_int(tally[3]); return 0; }"
+
+let test_figure1_reordering () =
+  let report, run = both_versions ~training:"mostly letters here\n" classify_src in
+  check_bool "classify reordered" true (Reorder.Pass.reordered_count report >= 1);
+  let orig, reord = run "completely different text, lots of words\n" in
+  check_bool "reordered executes fewer instructions" true (reord < orig)
+
+let test_empty_training_leaves_original () =
+  (* a function the training run never calls: its sequence must be left
+     alone, exactly the paper's "most common factor that prevented a
+     sequence from being reordered" *)
+  let src =
+    "int f(int c) { if (c == 1) return 1; if (c == 2) return 2; return 0; }\n\
+     int main() { int c = getchar(); if (c == EOF) return 0; return f(c); }"
+  in
+  let report, run = both_versions ~training:"" src in
+  let f_reports =
+    List.filter
+      (fun sr -> String.equal sr.Reorder.Pass.sr_seq.Reorder.Detect.func_name "f")
+      report.Reorder.Pass.seq_reports
+  in
+  List.iter
+    (fun sr ->
+      match sr.Reorder.Pass.sr_outcome with
+      | Reorder.Pass.Unchanged _ -> ()
+      | Reorder.Pass.Reordered _ | Reorder.Pass.Coalesced _ ->
+        Alcotest.fail "sequence reordered despite zero executions")
+    f_reports;
+  check_bool "f's sequence was detected" true (f_reports <> []);
+  ignore (run "\001");
+  ignore (run "")
+
+let test_side_effect_duplication () =
+  (* g++ sits between two conditions; after reordering it must still
+     execute exactly once per traversal that passes the first condition *)
+  let src =
+    "int g;\n\
+     int f(int c) { if (c == 1) return 10; g++; if (c == 2) return 20; if (c \
+     == 3) return 30; return 0; }\n\
+     int main() { int c; int s = 0; while ((c = getchar()) != EOF) { s += f(c \
+     % 5); } print_int(s); putchar(' '); print_int(g); return 0; }"
+  in
+  (* train so that 3 is hottest: reordering wants it first, which forces
+     the side effect onto exit edges *)
+  let training = "\003\003\003\003\003\003\002\001\000" in
+  let report, run = both_versions ~training src in
+  check_bool "sequence reordered despite side effects" true
+    (Reorder.Pass.reordered_count report >= 1);
+  ignore (run "\000\001\002\003\004\003\003\002\001\000\004\004");
+  ignore (run "\003\003\003");
+  ignore (run "")
+
+let test_figure10_two_side_effects () =
+  (* the paper's Figure 10 shape: three conditions with side effects S1
+     (between R1 and R2) and S2 (between R2 and R3), where the side
+     effects produce observable output so both their multiplicity and
+     their relative order are checked *)
+  let src =
+    "int f(int c) {\n\
+    \  if (c == 1) return 10;\n\
+    \  putchar('A');              /* S1 */\n\
+    \  if (c == 2) return 20;\n\
+    \  putchar('B');              /* S2 */\n\
+    \  if (c == 3) return 30;\n\
+    \  return 0;\n\
+     }\n\
+     int main() { int c; int s = 0; while ((c = getchar()) != EOF) s += f(c \
+     % 5); print_int(s); return 0; }"
+  in
+  (* train with 3 dominant so the reordered sequence tests [3] first,
+     which must still print A then B exactly when the original would *)
+  let report, run = both_versions ~training:"\003\003\003\003\003\002\000" src in
+  check_bool "reordered" true (Reorder.Pass.reordered_count report >= 1);
+  (* c%5=0 -> A B, =1 -> nothing, =2 -> A, =3 -> A B, =4 -> A B *)
+  ignore (run "\000\001\002\003\004");
+  ignore (run "\003\003");
+  ignore (run "\001\001");
+  ignore (run "\004");
+  ignore (run "")
+
+let test_side_effect_with_call () =
+  (* the intervening side effect performs I/O: order and multiplicity of
+     output is observable and must be preserved *)
+  let src =
+    "int f(int c) { if (c == 'x') return 1; putchar('.'); if (c == 'y') \
+     return 2; return 0; }\n\
+     int main() { int c; int s = 0; while ((c = getchar()) != EOF) s += f(c); \
+     print_int(s); return 0; }"
+  in
+  let report, run = both_versions ~training:"yyyyyyyyzx" src in
+  check_bool "reordered" true (Reorder.Pass.reordered_count report >= 1);
+  ignore (run "xyzzy");
+  ignore (run "zzzzzzx");
+  ignore (run "")
+
+let test_cc_fixup_for_binary_search_targets () =
+  (* a binary-search switch inside a hot function: sequence exits can
+     target compare-less blocks, requiring the compare fixup *)
+  let src =
+    "int f(int c) { switch (c) { case 10: return 1; case 20: return 2; case \
+     30: return 3; case 40: return 4; case 50: return 5; case 60: return 6; \
+     case 70: return 7; case 80: return 8; default: return 0; } }\n\
+     int main() { int c; int s = 0; while ((c = getchar()) != EOF) s += f(c); \
+     print_int(s); return 0; }"
+  in
+  let training = String.init 200 (fun i -> Char.chr (10 * (1 + (i mod 8)))) in
+  let report, run = both_versions ~training src in
+  check_bool "spine sequences reordered" true
+    (Reorder.Pass.reordered_count report >= 1);
+  ignore (run (String.init 100 (fun i -> Char.chr (10 + (i mod 90)))));
+  ignore (run "PPPP")
+
+let test_form4_order_choice () =
+  (* a bounded range with all the remaining mass above it: the upper
+     bound should be tested first *)
+  let src =
+    "int f(int c) { if (c >= 10 && c <= 19) return 1; if (c == 200) return 2; \
+     return 0; }\n\
+     int main() { int c; int s = 0; while ((c = getchar()) != EOF) s += f(c); \
+     print_int(s); return 0; }"
+  in
+  (* training: everything far above the bounded range *)
+  let training = String.make 50 (Char.chr 220) in
+  let report, run = both_versions ~training src in
+  ignore report;
+  ignore (run (String.init 60 (fun i -> Char.chr (i mod 250))));
+  ignore (run training)
+
+let test_redundant_cmp_elimination_effect () =
+  (* adjacent tests of c and c+1 after reordering merge compares
+     (Figure 9); verify behaviour and that some compare was eliminated *)
+  let src =
+    "int f(int c) { if (c == 9) return 1; if (c == 10) return 2; if (c > 10) \
+     return 3; return 0; }\n\
+     int main() { int c; int s = 0; while ((c = getchar()) != EOF) s += f(c); \
+     print_int(s); return 0; }"
+  in
+  let report, run = both_versions ~training:"abcdef\n\tghij" src in
+  let merged =
+    List.exists
+      (fun sr ->
+        match sr.Reorder.Pass.sr_outcome with
+        | Reorder.Pass.Reordered info -> info.Reorder.Apply.cmps_eliminated > 0
+        | Reorder.Pass.Coalesced _ | Reorder.Pass.Unchanged _ -> false)
+      report.Reorder.Pass.seq_reports
+  in
+  check_bool "at least one compare merged" true merged;
+  ignore (run "zyx\n\t\n 987");
+  ignore (run "\n\n\n")
+
+let test_ablation_flags () =
+  (* every ablation combination still preserves semantics *)
+  let src = classify_src in
+  List.iter
+    (fun (tail_dup_limit, improve_cmp, improve_form4) ->
+      let config =
+        {
+          Driver.Config.default with
+          Driver.Config.apply_options =
+            { Reorder.Apply.tail_dup_limit; improve_cmp; improve_form4 };
+        }
+      in
+      let _, run =
+        both_versions ~config ~training:"words and more words\n" src
+      in
+      ignore (run "other text 123\n\t!"))
+    [ (0, false, false); (8, false, true); (0, true, false); (8, true, true) ]
+
+let test_keep_original_default_ablation () =
+  let config = { Driver.Config.default with Driver.Config.keep_original_default = true } in
+  let report, run =
+    both_versions ~config ~training:"mostly normal words\n" classify_src
+  in
+  ignore (run "some other input\n");
+  (* with the restriction every chosen default is the original one *)
+  List.iter
+    (fun sr ->
+      match sr.Reorder.Pass.sr_choice, sr.Reorder.Pass.sr_outcome with
+      | Some c, Reorder.Pass.Reordered _ ->
+        check_output "default unchanged"
+          sr.Reorder.Pass.sr_seq.Reorder.Detect.default_target
+          c.Reorder.Select.default_target
+      | _ -> ())
+    report.Reorder.Pass.seq_reports
+
+let test_exhaustive_selector_agrees () =
+  let greedy_cfg = Driver.Config.default in
+  let exhaustive_cfg = { Driver.Config.default with Driver.Config.selector = `Exhaustive } in
+  let training = "an input with plenty of words\n" in
+  let test = "and some different test data\n" in
+  let rg = reorder_pipeline ~config:greedy_cfg ~training_input:training ~test_input:test classify_src in
+  let re = reorder_pipeline ~config:exhaustive_cfg ~training_input:training ~test_input:test classify_src in
+  (* the paper found greedy always matched exhaustive; our programs agree *)
+  check_int "same instruction counts"
+    rg.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters.Sim.Counters.insns
+    re.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters.Sim.Counters.insns
+
+let test_profile_strip () =
+  let prog = compile classify_src in
+  let seqs = Reorder.Detect.find_program prog in
+  let _ = Reorder.Profiles.instrument prog seqs in
+  let count_profiles p =
+    List.fold_left
+      (fun acc (fn : Mir.Func.t) ->
+        List.fold_left
+          (fun acc (b : Mir.Block.t) ->
+            acc
+            + List.length (List.filter Mir.Insn.is_profile b.Mir.Block.insns))
+          acc fn.Mir.Func.blocks)
+      0 p.Mir.Program.funcs
+  in
+  check_int "one profile insn per sequence" (List.length seqs) (count_profiles prog);
+  Reorder.Profiles.strip prog;
+  check_int "strip removes them all" 0 (count_profiles prog)
+
+let test_reordered_sequences_grow () =
+  (* default ranges become explicit: reordered length >= original, as the
+     paper's Table 8 shows *)
+  let r = run_pipeline classify_src ~input:"normal words flow here\n" in
+  let s = r.Driver.Pipeline.r_stats in
+  check_bool "avg length grows" true
+    (s.Reorder.Stats.avg_len_after >= s.Reorder.Stats.avg_len_before)
+
+let test_tail_dup_avoids_jumps () =
+  (* with tail duplication the reordered version executes fewer
+     unconditional jumps than without it *)
+  let mk limit =
+    let config =
+      {
+        Driver.Config.default with
+        Driver.Config.apply_options =
+          { Reorder.Apply.default_options with Reorder.Apply.tail_dup_limit = limit };
+      }
+    in
+    let input = "lots of letters making the default hot\n" in
+    let r = reorder_pipeline ~config ~training_input:input ~test_input:input classify_src in
+    r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters.Sim.Counters.jumps
+  in
+  check_bool "tail duplication saves jumps" true (mk 8 <= mk 0)
+
+let suite =
+  [
+    case "transform: Figure 1 end to end" test_figure1_reordering;
+    case "transform: unexecuted sequences untouched"
+      test_empty_training_leaves_original;
+    case "transform: side effects duplicated correctly"
+      test_side_effect_duplication;
+    case "transform: Figure 10 with two side effects"
+      test_figure10_two_side_effects;
+    case "transform: observable side effects preserved"
+      test_side_effect_with_call;
+    case "transform: condition-code fixups for tree targets"
+      test_cc_fixup_for_binary_search_targets;
+    case "transform: Form 4 bound order" test_form4_order_choice;
+    case "transform: redundant compares merged (Figure 9)"
+      test_redundant_cmp_elimination_effect;
+    case "transform: ablation combinations preserve semantics"
+      test_ablation_flags;
+    case "transform: keep-original-default ablation"
+      test_keep_original_default_ablation;
+    case "transform: exhaustive selector agrees with greedy"
+      test_exhaustive_selector_agrees;
+    case "transform: profile instrumentation strips cleanly" test_profile_strip;
+    case "transform: sequences lengthen as defaults become explicit"
+      test_reordered_sequences_grow;
+    case "transform: tail duplication reduces jumps" test_tail_dup_avoids_jumps;
+  ]

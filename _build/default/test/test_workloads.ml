@@ -1,0 +1,149 @@
+(* Every Table 3 workload: compiles, validates, runs, and survives the
+   full reordering pipeline with identical output under every heuristic
+   set.  The full-size pipeline sweeps run as slow tests ([dune runtest]
+   still runs them; alcotest's quick filter can skip them). *)
+
+open Helpers
+
+let small_input (w : Workloads.Spec.t) =
+  (* a cheap slice of the real test input for quick tests *)
+  let s = Lazy.force w.Workloads.Spec.test_input in
+  String.sub s 0 (min 4000 (String.length s))
+
+let small_training (w : Workloads.Spec.t) =
+  let s = Lazy.force w.Workloads.Spec.training_input in
+  String.sub s 0 (min 4000 (String.length s))
+
+let test_all_names_unique () =
+  let names = Workloads.Registry.names in
+  check_int "17 workloads" 17 (List.length names);
+  check_int "unique names" 17 (List.length (List.sort_uniq compare names))
+
+let test_registry_find () =
+  check_output "find wc" "wc" (Workloads.Registry.find "wc").Workloads.Spec.name;
+  match Workloads.Registry.find "nosuch" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let test_inputs_differ () =
+  List.iter
+    (fun (w : Workloads.Spec.t) ->
+      check_bool
+        (w.Workloads.Spec.name ^ ": training and test inputs differ")
+        true
+        (not
+           (String.equal
+              (Lazy.force w.Workloads.Spec.training_input)
+              (Lazy.force w.Workloads.Spec.test_input))))
+    Workloads.Registry.all
+
+let compile_case (w : Workloads.Spec.t) =
+  case (w.Workloads.Spec.name ^ ": compiles and validates under all sets")
+    (fun () ->
+      List.iter
+        (fun hs ->
+          let prog = compile ~heuristic:hs w.Workloads.Spec.source in
+          Mir.Validate.check ~check_init:true prog)
+        Mopt.Switch_lower.all_sets)
+
+let output_case (w : Workloads.Spec.t) =
+  case (w.Workloads.Spec.name ^ ": same output under every heuristic set")
+    (fun () ->
+      let input = small_input w in
+      let outputs =
+        List.map
+          (fun hs -> run_src ~heuristic:hs ~input w.Workloads.Spec.source)
+          Mopt.Switch_lower.all_sets
+      in
+      match outputs with
+      | [ a; b; c ] ->
+        check_output "I = II" a b;
+        check_output "II = III" b c
+      | _ -> assert false)
+
+let produces_output_case (w : Workloads.Spec.t) =
+  case (w.Workloads.Spec.name ^ ": produces nonempty output") (fun () ->
+      let out = run_src ~input:(small_input w) w.Workloads.Spec.source in
+      check_bool "some output" true (String.length out > 0))
+
+let pipeline_case (w : Workloads.Spec.t) hs =
+  slow_case
+    (Printf.sprintf "%s: pipeline preserves output (set %s)"
+       w.Workloads.Spec.name hs.Mopt.Switch_lower.hs_name)
+    (fun () ->
+      let config = { Driver.Config.default with Driver.Config.heuristic = hs } in
+      (* Pipeline.run raises if the outputs or exit codes diverge *)
+      let r =
+        Driver.Pipeline.run ~config ~name:w.Workloads.Spec.name
+          ~source:w.Workloads.Spec.source
+          ~training_input:(small_training w)
+          ~test_input:(small_input w) ()
+      in
+      (* reordering must never lose to the original by more than noise on
+         the same distribution the profile was trained on *)
+      let o = r.Driver.Pipeline.r_original.Driver.Pipeline.v_counters in
+      let n = r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters in
+      check_bool "does not regress materially" true
+        (float_of_int n.Sim.Counters.insns
+        <= 1.05 *. float_of_int o.Sim.Counters.insns))
+
+let detects_sequences_case (w : Workloads.Spec.t) =
+  case (w.Workloads.Spec.name ^ ": reorderable sequences exist") (fun () ->
+      let prog = compile ~heuristic:Mopt.Switch_lower.set_iii w.Workloads.Spec.source in
+      let seqs = Reorder.Detect.find_program prog in
+      check_bool "at least one sequence under set III" true (List.length seqs >= 1))
+
+let determinism_case (w : Workloads.Spec.t) =
+  slow_case (w.Workloads.Spec.name ^ ": pipeline is deterministic") (fun () ->
+      let go () =
+        let r =
+          Driver.Pipeline.run ~name:w.Workloads.Spec.name
+            ~source:w.Workloads.Spec.source
+            ~training_input:(small_training w)
+            ~test_input:(small_input w) ()
+        in
+        ( r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters.Sim.Counters.insns,
+          r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_static_insns )
+      in
+      let a = go () and b = go () in
+      check_bool "identical results" true (a = b))
+
+let kitchen_sink_case (w : Workloads.Spec.t) =
+  slow_case (w.Workloads.Spec.name ^ ": all extensions enabled at once")
+    (fun () ->
+      (* common-successor runs + super-branch pairs + coalescing +
+         profile-guided layout together; the pipeline's output equality
+         check and the validator are the oracle *)
+      let config =
+        {
+          Driver.Config.default with
+          Driver.Config.heuristic = Mopt.Switch_lower.set_iii;
+          common_succ = true;
+          coalesce_machine = Some Sim.Cycle_model.sparc_ipc;
+          profile_layout = true;
+        }
+      in
+      ignore
+        (Driver.Pipeline.run ~config ~name:w.Workloads.Spec.name
+           ~source:w.Workloads.Spec.source
+           ~training_input:(small_training w)
+           ~test_input:(small_input w) ()))
+
+let suite =
+  [
+    case "registry: names" test_all_names_unique;
+    case "registry: find" test_registry_find;
+    case "inputs: training differs from test" test_inputs_differ;
+  ]
+  @ List.map compile_case Workloads.Registry.all
+  @ List.map output_case Workloads.Registry.all
+  @ List.map produces_output_case Workloads.Registry.all
+  @ List.map detects_sequences_case Workloads.Registry.all
+  @ List.concat_map
+      (fun w ->
+        [ pipeline_case w Mopt.Switch_lower.set_i;
+          pipeline_case w Mopt.Switch_lower.set_iii ])
+      Workloads.Registry.all
+  @ List.map kitchen_sink_case Workloads.Registry.all
+  @ [ determinism_case (Workloads.Registry.find "wc");
+      determinism_case (Workloads.Registry.find "lex") ]
