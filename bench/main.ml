@@ -14,12 +14,23 @@
      dune exec bench/main.exe -- --fast       # smaller inputs
      dune exec bench/main.exe -- table4 figs  # selected sections
      dune exec bench/main.exe -- ablations    # design-choice ablations
+     dune exec bench/main.exe -- -j 8         # domain-pool width
+     dune exec bench/main.exe -- --seq        # sequential harness
+
+   The 17-workload matrix of each heuristic set is fanned out across
+   OCaml 5 domains (Driver.Pool); the `speedup' section re-runs the
+   set-I matrix sequentially and both wall times land in BENCH_PR1.json
+   together with per-workload dynamic counts.
 
    Shapes, not absolute numbers, are the reproduction target; see
    EXPERIMENTS.md for the paper-vs-measured discussion. *)
 
 let fast = ref false
 let sections = ref []
+let seq = ref false
+let jobs_flag = ref None
+let json_path = ref "BENCH_PR1.json"
+let no_json = ref false
 
 let contains haystack needle =
   let n = String.length needle and h = String.length haystack in
@@ -40,32 +51,56 @@ let want name =
 type row = {
   workload : Workloads.Spec.t;
   result : Driver.Pipeline.result;
+  seconds : float;  (* wall clock of this workload's pipeline run *)
 }
 
 let truncate_input s = if !fast then String.sub s 0 (min 6000 (String.length s)) else s
 
-let run_workload config (w : Workloads.Spec.t) =
-  let result =
-    Driver.Pipeline.run ~config ~name:w.Workloads.Spec.name
-      ~source:w.Workloads.Spec.source
-      ~training_input:(truncate_input (Lazy.force w.Workloads.Spec.training_input))
-      ~test_input:(truncate_input (Lazy.force w.Workloads.Spec.test_input))
-      ()
+let domains () =
+  if !seq then 1
+  else match !jobs_flag with Some n -> n | None -> Driver.Pool.default_domains ()
+
+(* jobs are built in the parent so the lazy inputs are forced exactly
+   once, before any domain fan-out *)
+let jobs_for config =
+  List.map
+    (fun (w : Workloads.Spec.t) ->
+      Driver.Pipeline.job ~config ~name:w.Workloads.Spec.name
+        ~source:w.Workloads.Spec.source
+        ~training_input:
+          (truncate_input (Lazy.force w.Workloads.Spec.training_input))
+        ~test_input:(truncate_input (Lazy.force w.Workloads.Spec.test_input))
+        ())
+    Workloads.Registry.all
+
+(* per heuristic set: rows + the wall clock of the whole matrix *)
+let matrix : (string, row list * float) Hashtbl.t = Hashtbl.create 4
+
+let run_matrix hs ~domains =
+  let config = { Driver.Config.default with Driver.Config.heuristic = hs } in
+  let jobs = jobs_for config in
+  Printf.eprintf
+    "[bench] running the 17 workloads under heuristic set %s on %d domain(s)...\n%!"
+    hs.Mopt.Switch_lower.hs_name domains;
+  let t0 = Unix.gettimeofday () in
+  let results = Driver.Pipeline.run_jobs ~domains jobs in
+  let wall = Unix.gettimeofday () -. t0 in
+  let rows =
+    List.map2
+      (fun w (result, seconds) -> { workload = w; result; seconds })
+      Workloads.Registry.all results
   in
-  { workload = w; result }
+  (rows, wall)
 
-let matrix = Hashtbl.create 4
-
-let rows_for hs =
+let rows_with_wall hs =
   match Hashtbl.find_opt matrix hs.Mopt.Switch_lower.hs_name with
-  | Some rows -> rows
+  | Some rw -> rw
   | None ->
-    let config = { Driver.Config.default with Driver.Config.heuristic = hs } in
-    print_string ""; flush stdout; Printf.eprintf "[bench] running the 17 workloads under heuristic set %s...\n%!"
-      hs.Mopt.Switch_lower.hs_name;
-    let rows = List.map (run_workload config) Workloads.Registry.all in
-    Hashtbl.replace matrix hs.Mopt.Switch_lower.hs_name rows;
-    rows
+    let rw = run_matrix hs ~domains:(domains ()) in
+    Hashtbl.replace matrix hs.Mopt.Switch_lower.hs_name rw;
+    rw
+
+let rows_for hs = fst (rows_with_wall hs)
 
 let counters_of (v : Driver.Pipeline.version) = v.Driver.Pipeline.v_counters
 let orig r = r.result.Driver.Pipeline.r_original
@@ -263,10 +298,13 @@ let bechamel_table7 () =
             truncate_input (Lazy.force r.workload.Workloads.Spec.test_input)
           in
           let make label prog =
+            (* pre-build the image so the lowering is amortized and the
+               measured quantity is the pure simulation loop *)
+            let image = Sim.Image.build prog in
             Bechamel.Test.make
               ~name:(r.workload.Workloads.Spec.name ^ "/" ^ label)
               (Bechamel.Staged.stage (fun () ->
-                   ignore (Sim.Machine.run prog ~input)))
+                   ignore (Sim.Machine.run_image image ~input)))
           in
           [ make "original" (orig r).Driver.Pipeline.v_program;
             make "reordered" (reord r).Driver.Pipeline.v_program ]
@@ -456,30 +494,153 @@ let ablations () =
   line 88;
   List.iter
     (fun (label, config) ->
-      Printf.printf "%-38s" label;
+      Printf.printf "%-38s%!" label;
+      let jobs =
+        List.map
+          (fun name ->
+            let w = Workloads.Registry.find name in
+            Driver.Pipeline.job ~config ~name:w.Workloads.Spec.name
+              ~source:w.Workloads.Spec.source
+              ~training_input:
+                (truncate_input (Lazy.force w.Workloads.Spec.training_input))
+              ~test_input:
+                (truncate_input (Lazy.force w.Workloads.Spec.test_input))
+              ())
+          chosen
+      in
+      let results = Driver.Pipeline.run_jobs ~domains:(domains ()) jobs in
       List.iter
-        (fun name ->
-          let w = Workloads.Registry.find name in
-          let r = run_workload config w in
+        (fun ((r : Driver.Pipeline.result), _) ->
           let d =
-            pct (counters_of (orig r)).Sim.Counters.insns
-              (counters_of (reord r)).Sim.Counters.insns
+            pct
+              r.Driver.Pipeline.r_original.Driver.Pipeline.v_counters
+                .Sim.Counters.insns
+              r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters
+                .Sim.Counters.insns
           in
           Printf.printf " %+8.2f%%" d)
-        chosen;
+        results;
       print_newline ())
     variants
 
 (* ------------------------------------------------------------------ *)
+(* Harness speedup: domain fan-out vs sequential                       *)
+(* ------------------------------------------------------------------ *)
+
+(* (parallel wall, domains, sequential wall) of the set-I matrix *)
+let speedup_data : (float * int * float) option ref = ref None
+
+let speedup () =
+  section "Harness: parallel (domains) vs sequential wall clock (set I)";
+  let d = domains () in
+  let _, par_wall = rows_with_wall Mopt.Switch_lower.set_i in
+  let _, seq_wall =
+    if d = 1 then
+      (* the matrix already ran on one domain; don't run it twice *)
+      rows_with_wall Mopt.Switch_lower.set_i
+    else run_matrix Mopt.Switch_lower.set_i ~domains:1
+  in
+  speedup_data := Some (par_wall, d, seq_wall);
+  Printf.printf "cores (recommended domains): %d\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "parallel   (%2d domains): %8.2fs\n" d par_wall;
+  Printf.printf "sequential ( 1 domain ): %8.2fs\n" seq_wall;
+  Printf.printf "speedup: %.2fx\n" (seq_wall /. Float.max 1e-9 par_wall)
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_PR1.json: the machine-readable perf trajectory record         *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~harness_wall () =
+  match Hashtbl.find_opt matrix Mopt.Switch_lower.set_i.Mopt.Switch_lower.hs_name with
+  | None -> ()  (* no set-I rows were computed; nothing to record *)
+  | Some (rows, matrix_wall) ->
+    let oc = open_out !json_path in
+    let p fmt = Printf.fprintf oc fmt in
+    p "{\n";
+    p "  \"pr\": 1,\n";
+    p "  \"heuristic_set\": \"I\",\n";
+    p "  \"fast\": %b,\n" !fast;
+    p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+    p "  \"domains\": %d,\n" (domains ());
+    p "  \"harness_wall_seconds\": %.3f,\n" harness_wall;
+    p "  \"matrix_wall_seconds\": %.3f,\n" matrix_wall;
+    (match !speedup_data with
+    | Some (par, d, seqw) ->
+      p "  \"parallel_wall_seconds\": %.3f,\n" par;
+      p "  \"parallel_domains\": %d,\n" d;
+      p "  \"sequential_wall_seconds\": %.3f,\n" seqw;
+      p "  \"speedup\": %.3f,\n" (seqw /. Float.max 1e-9 par)
+    | None -> ());
+    p "  \"workloads\": [\n";
+    let nrows = List.length rows in
+    List.iteri
+      (fun i r ->
+        let o = counters_of (orig r) and n = counters_of (reord r) in
+        p
+          "    {\"name\": \"%s\", \"orig_insns\": %d, \"reord_insns\": %d, \
+           \"insn_reduction_pct\": %.3f, \"orig_branches\": %d, \
+           \"reord_branches\": %d, \"branch_reduction_pct\": %.3f, \
+           \"pipeline_seconds\": %.3f}%s\n"
+          (json_escape r.workload.Workloads.Spec.name)
+          o.Sim.Counters.insns n.Sim.Counters.insns
+          (pct o.Sim.Counters.insns n.Sim.Counters.insns)
+          o.Sim.Counters.cond_branches n.Sim.Counters.cond_branches
+          (pct o.Sim.Counters.cond_branches n.Sim.Counters.cond_branches)
+          r.seconds
+          (if i = nrows - 1 then "" else ","))
+      rows;
+    p "  ]\n";
+    p "}\n";
+    close_out oc;
+    Printf.printf "[bench] wrote %s\n" !json_path
+
+(* ------------------------------------------------------------------ *)
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--fast" :: rest ->
+      fast := true;
+      go rest
+    | "--seq" :: rest ->
+      seq := true;
+      go rest
+    | "--no-json" :: rest ->
+      no_json := true;
+      go rest
+    | ("-j" | "--jobs") :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> jobs_flag := Some n
+      | _ ->
+        prerr_endline "bench: -j expects a positive integer";
+        exit 2);
+      go rest
+    | "--json" :: path :: rest ->
+      json_path := path;
+      go rest
+    | s :: rest ->
+      sections := s :: !sections;
+      go rest
+  in
+  go (List.tl (Array.to_list Sys.argv))
 
 let () =
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--fast" -> fast := true
-        | s -> sections := s :: !sections)
-    Sys.argv;
+  parse_args ();
   let t0 = Unix.gettimeofday () in
   if want "table3" then table3 ();
   if want "table4" then table4 ();
@@ -489,6 +650,10 @@ let () =
   if want "bechamel" || want "table7" then bechamel_table7 ();
   if want "table8" then table8 ();
   if want "figs" || want "figures" then figures ();
+  if want "speedup" && not !seq then speedup ();
   (* ablations are opt-in: they re-run the pipeline many times *)
   if List.mem "ablations" !sections then ablations ();
-  Printf.printf "\n[bench] done in %.1fs\n" (Unix.gettimeofday () -. t0)
+  let harness_wall = Unix.gettimeofday () -. t0 in
+  if not !no_json then write_json ~harness_wall ();
+  Printf.printf "\n[bench] done in %.1fs on %d domain(s)\n" harness_wall
+    (domains ())

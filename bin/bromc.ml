@@ -4,6 +4,7 @@
      compile   parse, optimize and dump MIR
      run       compile and execute on an input, printing counters
      reorder   the full two-pass pipeline with before/after measurements
+     suite     reorder many workloads at once, fanned across domains
      workloads list the built-in benchmark programs *)
 
 open Cmdliner
@@ -130,17 +131,37 @@ let input_arg =
     & info [ "input"; "i" ] ~docv:"FILE"
         ~doc:"Input file fed to the simulated program (default: empty).")
 
+let timings_arg =
+  Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:"Report per-stage wall-clock times on stderr.")
+
+let report_stage label seconds = Printf.eprintf "[time] %-8s %7.3fs\n" label seconds
+
 let run_cmd =
-  let run source hs input trace =
+  let run source hs input trace reference timings =
     handle_errors (fun () ->
-        let prog = load_program source hs in
+        let stage label f =
+          if not timings then f ()
+          else begin
+            let t0 = Unix.gettimeofday () in
+            let r = f () in
+            report_stage label (Unix.gettimeofday () -. t0);
+            r
+          end
+        in
+        let prog = stage "compile" (fun () -> load_program source hs) in
         let input = match input with Some f -> read_file f | None -> "" in
         let on_block =
           if trace then
             Some (fun ~func ~label -> Printf.eprintf "[trace] %s:%s\n" func label)
           else None
         in
-        let result = Sim.Machine.run ?on_block prog ~input in
+        let backend = if reference then `Reference else `Predecoded in
+        let result =
+          stage "measure" (fun () -> Sim.Machine.run ~backend ?on_block prog ~input)
+        in
         print_string result.Sim.Machine.output;
         Printf.eprintf "exit code: %d\n" result.Sim.Machine.exit_code;
         Format.eprintf "%a@." Sim.Counters.pp result.Sim.Machine.counters)
@@ -151,12 +172,23 @@ let run_cmd =
       & info [ "trace" ]
           ~doc:"Print every basic block executed to stderr (control-flow trace).")
   in
+  let reference =
+    Arg.(
+      value & flag
+      & info [ "reference" ]
+          ~doc:
+            "Interpret the MIR directly instead of executing the pre-decoded \
+             image (slower; the oracle the image is checked against).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a MiniC program on the simulator.")
-    Term.(const run $ source_arg "run" $ heuristic_arg $ input_arg $ trace)
+    Term.(
+      const run $ source_arg "run" $ heuristic_arg $ input_arg $ trace
+      $ reference $ timings_arg)
 
 let reorder_cmd =
-  let run source hs train test exhaustive common_succ coalesce profile_layout =
+  let run source hs train test exhaustive common_succ coalesce profile_layout
+      timings =
     handle_errors (fun () ->
         let name = source in
         let src = load_source source in
@@ -191,9 +223,10 @@ let reorder_cmd =
               | None -> None);
           }
         in
+        let on_stage = if timings then Some report_stage else None in
         let r =
-          Driver.Pipeline.run ~config ~name ~source:src ~training_input
-            ~test_input ()
+          Driver.Pipeline.run ~config ?on_stage ~name ~source:src
+            ~training_input ~test_input ()
         in
         let o = r.Driver.Pipeline.r_original.Driver.Pipeline.v_counters in
         let n = r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters in
@@ -259,7 +292,71 @@ let reorder_cmd =
        ~doc:"Run the full profile-guided reordering pipeline and report.")
     Term.(
       const run $ source_arg "reorder" $ heuristic_arg $ train $ test
-      $ exhaustive $ common_succ $ coalesce $ profile_layout)
+      $ exhaustive $ common_succ $ coalesce $ profile_layout $ timings_arg)
+
+let suite_cmd =
+  let run hs jobs names =
+    handle_errors (fun () ->
+        let workloads =
+          match names with
+          | [] -> Workloads.Registry.all
+          | names -> List.map Workloads.Registry.find names
+        in
+        let config = { Driver.Config.default with Driver.Config.heuristic = hs } in
+        (* force the lazy inputs in this domain before fanning out *)
+        let jobs_list =
+          List.map
+            (fun (w : Workloads.Spec.t) ->
+              Driver.Pipeline.job ~config ~name:w.Workloads.Spec.name
+                ~source:w.Workloads.Spec.source
+                ~training_input:(Lazy.force w.Workloads.Spec.training_input)
+                ~test_input:(Lazy.force w.Workloads.Spec.test_input)
+                ())
+            workloads
+        in
+        let domains =
+          max 1
+            (match jobs with
+            | Some j -> j
+            | None -> Driver.Pool.default_domains ())
+        in
+        let t0 = Unix.gettimeofday () in
+        let results = Driver.Pipeline.run_jobs ~domains jobs_list in
+        let wall = Unix.gettimeofday () -. t0 in
+        Printf.printf "%-8s %12s %12s %9s %8s\n" "workload" "orig insns"
+          "reord insns" "reduction" "seconds";
+        List.iter
+          (fun ((r : Driver.Pipeline.result), seconds) ->
+            let o = r.Driver.Pipeline.r_original.Driver.Pipeline.v_counters in
+            let n = r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters in
+            Printf.printf "%-8s %12d %12d %8.2f%% %8.3f\n"
+              r.Driver.Pipeline.r_name o.Sim.Counters.insns n.Sim.Counters.insns
+              (Driver.Pipeline.pct o.Sim.Counters.insns n.Sim.Counters.insns)
+              seconds)
+          results;
+        Printf.printf "total: %.2fs on %d domain(s)\n" wall domains)
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Number of domains to fan pipelines across (default: the \
+             machine's recommended domain count, or \\$(b,BROMC_DOMAINS)).")
+  in
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Workloads to run (default: all built-ins).")
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:
+         "Run the reordering pipeline over many workloads in parallel and \
+          print the per-workload instruction reductions.")
+    Term.(const run $ heuristic_arg $ jobs $ names)
 
 let workloads_cmd =
   let run () =
@@ -279,6 +376,6 @@ let main =
        ~doc:
          "Branch-reordering MiniC compiler (PLDI 1998 reproduction: Yang, Uh \
           & Whalley).")
-    [ compile_cmd; run_cmd; reorder_cmd; workloads_cmd ]
+    [ compile_cmd; run_cmd; reorder_cmd; suite_cmd; workloads_cmd ]
 
 let () = exit (Cmd.eval main)

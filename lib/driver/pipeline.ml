@@ -112,41 +112,63 @@ let measure (config : Config.t) prog ~input =
     v_cycles = cycles;
   }
 
-let run ?(config = Config.default) ~name ~source ~training_input ~test_input () =
-  let base = compile_base config source in
+let run ?(config = Config.default) ?on_stage ~name ~source ~training_input
+    ~test_input () =
+  let stage label f =
+    match on_stage with
+    | None -> f ()
+    | Some report ->
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      report label (Unix.gettimeofday () -. t0);
+      r
+  in
+  let base = stage "compile" (fun () -> compile_base config source) in
 
   (* detection on the optimized base *)
-  let seqs =
-    if config.Config.reorder_enabled then Reorder.Detect.find_program base
-    else []
+  let seqs, combs, pairs =
+    stage "detect" (fun () ->
+        let seqs =
+          if config.Config.reorder_enabled then Reorder.Detect.find_program base
+          else []
+        in
+        let seq_blocks = Hashtbl.create 64 in
+        List.iter
+          (fun (s : Reorder.Detect.t) ->
+            Hashtbl.replace seq_blocks s.Reorder.Detect.head ();
+            List.iter
+              (fun (it : Reorder.Detect.item) ->
+                List.iter
+                  (fun l -> Hashtbl.replace seq_blocks l ())
+                  it.Reorder.Detect.item_blocks)
+              s.Reorder.Detect.items)
+          seqs;
+        let combs =
+          if config.Config.reorder_enabled && config.Config.common_succ then
+            Reorder.Common_succ.find_program
+              ~exclude:(Hashtbl.mem seq_blocks)
+              ~first_id:1_000_000 base
+          else []
+        in
+        let pairs =
+          Reorder.Common_succ.find_pairs base combs ~first_id:2_000_000
+        in
+        (seqs, combs, pairs))
   in
-  let seq_blocks = Hashtbl.create 64 in
-  List.iter
-    (fun (s : Reorder.Detect.t) ->
-      Hashtbl.replace seq_blocks s.Reorder.Detect.head ();
-      List.iter
-        (fun (it : Reorder.Detect.item) ->
-          List.iter (fun l -> Hashtbl.replace seq_blocks l ()) it.Reorder.Detect.item_blocks)
-        s.Reorder.Detect.items)
-    seqs;
-  let combs =
-    if config.Config.reorder_enabled && config.Config.common_succ then
-      Reorder.Common_succ.find_program
-        ~exclude:(Hashtbl.mem seq_blocks)
-        ~first_id:1_000_000 base
-    else []
-  in
-  let pairs = Reorder.Common_succ.find_pairs base combs ~first_id:2_000_000 in
 
   (* pass 1: instrument a clone and train *)
-  let train_prog = Mir.Clone.program base in
-  let table = Reorder.Profiles.instrument train_prog seqs in
-  Reorder.Common_succ.instrument train_prog combs table;
-  Reorder.Common_succ.instrument_pairs train_prog pairs table;
-  if config.Config.validate then Mir.Validate.check train_prog;
-  let _ =
-    Sim.Machine.run ~config:(sim_config config) ~profile:table train_prog
-      ~input:training_input
+  let table =
+    stage "train" (fun () ->
+        let train_prog = Mir.Clone.program base in
+        let table = Reorder.Profiles.instrument train_prog seqs in
+        Reorder.Common_succ.instrument train_prog combs table;
+        Reorder.Common_succ.instrument_pairs train_prog pairs table;
+        if config.Config.validate then Mir.Validate.check train_prog;
+        let _ =
+          Sim.Machine.run ~config:(sim_config config) ~profile:table train_prog
+            ~input:training_input
+        in
+        table)
   in
 
   (* finalization: with profile layout enabled the frequency-driven
@@ -166,33 +188,45 @@ let run ?(config = Config.default) ~name ~source ~training_input ~test_input () 
            ~steal_delay_slots:config.Config.delay_fill_from_target prog)
   in
 
-  (* original version: finalize the base as-is *)
-  let orig = Mir.Clone.program base in
-  finalize orig;
-  if config.Config.validate then Mir.Validate.check orig;
-
-  (* pass 2: reorder, clean up, finalize *)
+  (* pass 2: reorder a clone of the base *)
   let reord = Mir.Clone.program base in
-  let report =
-    Reorder.Pass.run ~options:config.Config.apply_options
-      ~selector:config.Config.selector
-      ~keep_original_default:config.Config.keep_original_default
-      ?coalesce_machine:config.Config.coalesce_machine reord seqs table
+  let report, comb_outcomes, pair_outcomes =
+    stage "reorder" (fun () ->
+        let report =
+          Reorder.Pass.run ~options:config.Config.apply_options
+            ~selector:config.Config.selector
+            ~keep_original_default:config.Config.keep_original_default
+            ?coalesce_machine:config.Config.coalesce_machine reord seqs table
+        in
+        (* within-run permutations first (they re-emit each run's edges from
+           the run record), then super-branch pair swaps, which relink those
+           edges between the groups *)
+        let comb_outcomes =
+          List.map (fun r -> (r, Reorder.Common_succ.apply reord table r)) combs
+        in
+        let pair_outcomes =
+          List.map
+            (fun pr -> (pr, Reorder.Common_succ.apply_pair reord table pr))
+            pairs
+        in
+        (report, comb_outcomes, pair_outcomes))
   in
-  (* within-run permutations first (they re-emit each run's edges from
-     the run record), then super-branch pair swaps, which relink those
-     edges between the groups *)
-  let comb_outcomes =
-    List.map (fun r -> (r, Reorder.Common_succ.apply reord table r)) combs
-  in
-  let pair_outcomes =
-    List.map (fun pr -> (pr, Reorder.Common_succ.apply_pair reord table pr)) pairs
-  in
-  finalize reord;
-  if config.Config.validate then Mir.Validate.check reord;
 
-  let original = measure config orig ~input:test_input in
-  let reordered = measure config reord ~input:test_input in
+  (* cleanup + finalization of both versions (the original is finalized
+     from the same optimized base, untransformed) *)
+  let orig = Mir.Clone.program base in
+  stage "cleanup" (fun () ->
+      finalize orig;
+      if config.Config.validate then Mir.Validate.check orig;
+      finalize reord;
+      if config.Config.validate then Mir.Validate.check reord);
+
+  let original, reordered =
+    stage "measure" (fun () ->
+        let original = measure config orig ~input:test_input in
+        let reordered = measure config reord ~input:test_input in
+        (original, reordered))
+  in
   if not (String.equal original.v_output reordered.v_output) then
     failwith
       (Printf.sprintf "%s: reordered output differs from original" name);
@@ -209,3 +243,31 @@ let run ?(config = Config.default) ~name ~source ~training_input ~test_input () 
     r_original = original;
     r_reordered = reordered;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Parallel measurement jobs                                           *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  job_name : string;
+  job_config : Config.t;
+  job_source : string;
+  job_training_input : string;
+  job_test_input : string;
+}
+
+let job ?(config = Config.default) ~name ~source ~training_input ~test_input ()
+    =
+  {
+    job_name = name;
+    job_config = config;
+    job_source = source;
+    job_training_input = training_input;
+    job_test_input = test_input;
+  }
+
+let run_job j =
+  run ~config:j.job_config ~name:j.job_name ~source:j.job_source
+    ~training_input:j.job_training_input ~test_input:j.job_test_input ()
+
+let run_jobs ?domains jobs = Pool.timed_map ?domains run_job jobs

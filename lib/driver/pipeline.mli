@@ -41,12 +41,48 @@ val compile_base : Config.t -> string -> Mir.Program.t
 
 val run :
   ?config:Config.t ->
+  ?on_stage:(string -> float -> unit) ->
   name:string ->
   source:string ->
   training_input:string ->
   test_input:string ->
   unit ->
   result
+(** [on_stage] is called after each pipeline stage with its name
+    ([compile], [detect], [train], [reorder], [cleanup], [measure]) and
+    its wall-clock duration in seconds (the [bromc --timings] hook). *)
 
 val pct : int -> int -> float
 (** [pct original changed] is the percentage change, e.g. [-7.91]. *)
+
+(** {2 Parallel measurement jobs}
+
+    A [job] is a self-contained, pure description of one pipeline run:
+    inputs are plain strings (force lazies before building jobs) and the
+    pipeline touches no global mutable state, so jobs can execute on any
+    domain.  [run_jobs] fans them out over a bounded {!Pool} and returns
+    results in job order with per-job wall-clock seconds. *)
+
+type job = {
+  job_name : string;
+  job_config : Config.t;
+  job_source : string;
+  job_training_input : string;
+  job_test_input : string;
+}
+
+val job :
+  ?config:Config.t ->
+  name:string ->
+  source:string ->
+  training_input:string ->
+  test_input:string ->
+  unit ->
+  job
+
+val run_job : job -> result
+(** [run_job j] is {!run} on [j]'s fields, in the calling domain. *)
+
+val run_jobs : ?domains:int -> job list -> (result * float) list
+(** Deterministic: results are in job order whatever the schedule;
+    [domains] defaults to {!Pool.default_domains}. *)

@@ -1,0 +1,49 @@
+let default_domains () =
+  match Sys.getenv_opt "BROMC_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> 1)
+  | None -> max 1 (min 16 (Domain.recommended_domain_count ()))
+
+let map ?domains f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let d =
+    max 1 (min n (match domains with Some d -> d | None -> default_domains ()))
+  in
+  if d <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* each domain claims the next unstarted index; distinct slots, so
+       the plain writes are race-free, and [Domain.join] publishes them *)
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          results.(i) <-
+            Some
+              (try Ok (f items.(i))
+               with e -> Error (e, Printexc.get_raw_backtrace ()))
+      done
+    in
+    let spawned = List.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok r) -> r
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end
+
+let timed_map ?domains f xs =
+  map ?domains
+    (fun x ->
+      let t0 = Unix.gettimeofday () in
+      let r = f x in
+      (r, Unix.gettimeofday () -. t0))
+    xs

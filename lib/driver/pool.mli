@@ -1,0 +1,27 @@
+(** A bounded pool of OCaml 5 domains for fanning out independent
+    measurement jobs (one {!Pipeline} run per workload).
+
+    Work items are claimed from a shared atomic counter, results land in
+    their input slot, and the caller receives them in input order — so
+    output is deterministic regardless of scheduling.  Exceptions raised
+    by [f] are captured per item and re-raised in the parent, first
+    failing item (in input order) first, with its backtrace.
+
+    The pipeline has no global mutable state, so jobs are data-parallel;
+    callers must only take care to force any [lazy] inputs *before*
+    submitting (concurrently forcing one lazy from two domains raises
+    [CamlinternalLazy.Undefined]). *)
+
+val default_domains : unit -> int
+(** Domains used when [?domains] is omitted:
+    [Domain.recommended_domain_count ()] clamped to [1..16], or the
+    [BROMC_DOMAINS] environment variable when set. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] applies [f] to every element, running up to [domains]
+    domains (never more than [List.length xs]; [domains <= 1] degrades
+    to plain [List.map]).  Results are in input order. *)
+
+val timed_map : ?domains:int -> ('a -> 'b) -> 'a list -> ('b * float) list
+(** [map] that also reports each item's wall-clock seconds, measured
+    inside the worker domain. *)

@@ -34,6 +34,7 @@ val run :
   ?profile:Profile.t ->
   ?on_branch:(site:int -> taken:bool -> unit) ->
   ?on_block:(func:string -> label:string -> unit) ->
+  ?backend:[ `Predecoded | `Reference ] ->
   Mir.Program.t ->
   input:string ->
   result
@@ -41,7 +42,36 @@ val run :
     every executed conditional branch with a stable site number (assigned
     in program order) and the outcome; use it to drive {!Predictor}s.
     [on_block] is called on entry to every basic block (a control-flow
-    trace).  Raises {!Trap} on runtime errors. *)
+    trace).  Raises {!Trap} on runtime errors.
+
+    [backend] selects the execution engine (default [`Predecoded]): the
+    pre-decoded engine lowers the program through {!Image.build} and runs
+    the label-free, hashtable-free fast path; [`Reference] walks the MIR
+    directly and is kept as the oracle the fast path is cross-checked
+    against.  Both produce identical output, exit codes, counters and
+    branch-site event streams. *)
+
+val run_reference :
+  ?config:config ->
+  ?profile:Profile.t ->
+  ?on_branch:(site:int -> taken:bool -> unit) ->
+  ?on_block:(func:string -> label:string -> unit) ->
+  Mir.Program.t ->
+  input:string ->
+  result
+(** The MIR-walking reference interpreter ([run ~backend:`Reference]). *)
+
+val run_image :
+  ?config:config ->
+  ?profile:Profile.t ->
+  ?on_branch:(site:int -> taken:bool -> unit) ->
+  ?on_block:(func:string -> label:string -> unit) ->
+  Image.t ->
+  input:string ->
+  result
+(** Execute a pre-built {!Image.t}.  Use this to amortize the one-time
+    lowering across repeated runs of the same program (e.g. wall-clock
+    benchmarking); [run p] is [run_image (Image.build p)]. *)
 
 val site_of : Mir.Program.t -> func:string -> label:string -> int
 (** The site number the machine assigns to the branch terminating the

@@ -18,4 +18,6 @@ let () =
       ("driver", Test_driver.suite);
       ("properties", Test_properties.suite);
       ("edge-cases", Test_edge_cases.suite);
+      ("predecode", Test_predecode.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -1,0 +1,130 @@
+(* The bounded domain pool and the parallel pipeline jobs: results must
+   come back in input order whatever the schedule, exceptions must
+   propagate, and a parallel run must equal a sequential one. *)
+
+open Helpers
+
+let test_map_ordering () =
+  let xs = List.init 100 Fun.id in
+  List.iter
+    (fun domains ->
+      let ys = Driver.Pool.map ~domains (fun x -> x * x) xs in
+      Alcotest.(check (list int))
+        (Printf.sprintf "squares on %d domains" domains)
+        (List.map (fun x -> x * x) xs)
+        ys)
+    [ 1; 2; 4; 7 ]
+
+let test_map_uneven_work () =
+  (* skew the per-item cost so late items finish before early ones *)
+  let xs = List.init 40 (fun i -> 40 - i) in
+  let f n =
+    let acc = ref 0 in
+    for i = 1 to n * 10_000 do
+      acc := (!acc + i) land 0xFFFF
+    done;
+    (n, !acc land 0)
+  in
+  let ys = Driver.Pool.map ~domains:4 f xs in
+  Alcotest.(check (list int)) "input order kept" xs (List.map fst ys)
+
+let test_map_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Driver.Pool.map ~domains:4 Fun.id []);
+  Alcotest.(check (list int))
+    "singleton" [ 9 ]
+    (Driver.Pool.map ~domains:4 Fun.id [ 9 ])
+
+exception Boom of int
+
+let test_map_exception () =
+  (* several items fail; the first failure in input order is re-raised *)
+  let f x = if x mod 10 = 3 then raise (Boom x) else x in
+  (match Driver.Pool.map ~domains:4 f (List.init 50 Fun.id) with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom n -> check_int "first failing index" 3 n);
+  (* and the trap exception type used by the simulator survives too *)
+  match
+    Driver.Pool.map ~domains:2
+      (fun x -> if x = 1 then raise (Sim.Machine.Trap "t") else x)
+      [ 0; 1 ]
+  with
+  | _ -> Alcotest.fail "expected Trap"
+  | exception Sim.Machine.Trap m -> check_output "trap message" "t" m
+
+let test_timed_map () =
+  let ys = Driver.Pool.timed_map ~domains:3 (fun x -> x + 1) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "results" [ 2; 3; 4 ] (List.map fst ys);
+  List.iter (fun (_, s) -> check_bool "non-negative time" true (s >= 0.0)) ys
+
+let test_default_domains_env () =
+  let saved = Sys.getenv_opt "BROMC_DOMAINS" in
+  Unix.putenv "BROMC_DOMAINS" "3";
+  check_int "env override" 3 (Driver.Pool.default_domains ());
+  Unix.putenv "BROMC_DOMAINS" "garbage";
+  check_int "bad env falls back to 1" 1 (Driver.Pool.default_domains ());
+  Unix.putenv "BROMC_DOMAINS" (match saved with Some s -> s | None -> "")
+
+(* a parallel run of pipeline jobs equals the sequential run, job order
+   preserved *)
+let test_run_jobs_deterministic () =
+  let workloads = [ "wc"; "hyphen"; "deroff" ] in
+  let jobs =
+    List.map
+      (fun name ->
+        let w = Workloads.Registry.find name in
+        Driver.Pipeline.job ~name
+          ~source:w.Workloads.Spec.source
+          ~training_input:(Lazy.force w.Workloads.Spec.training_input)
+          ~test_input:(Lazy.force w.Workloads.Spec.test_input)
+          ())
+      workloads
+  in
+  let seq = Driver.Pipeline.run_jobs ~domains:1 jobs in
+  let par = Driver.Pipeline.run_jobs ~domains:3 jobs in
+  Alcotest.(check (list string))
+    "sequential order" workloads
+    (List.map (fun ((r : Driver.Pipeline.result), _) -> r.Driver.Pipeline.r_name) seq);
+  List.iter2
+    (fun ((a : Driver.Pipeline.result), _) ((b : Driver.Pipeline.result), _) ->
+      check_output "name" a.Driver.Pipeline.r_name b.Driver.Pipeline.r_name;
+      check_int
+        (a.Driver.Pipeline.r_name ^ ": reordered insns")
+        a.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters
+          .Sim.Counters.insns
+        b.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters
+          .Sim.Counters.insns;
+      check_output
+        (a.Driver.Pipeline.r_name ^ ": output")
+        a.Driver.Pipeline.r_reordered.Driver.Pipeline.v_output
+        b.Driver.Pipeline.r_reordered.Driver.Pipeline.v_output)
+    seq par
+
+let test_on_stage_hook () =
+  let stages = ref [] in
+  let w = Workloads.Registry.find "wc" in
+  let _ =
+    Driver.Pipeline.run ~name:"wc"
+      ~on_stage:(fun label seconds ->
+        check_bool "stage time non-negative" true (seconds >= 0.0);
+        stages := label :: !stages)
+      ~source:w.Workloads.Spec.source
+      ~training_input:(Lazy.force w.Workloads.Spec.training_input)
+      ~test_input:(Lazy.force w.Workloads.Spec.test_input)
+      ()
+  in
+  Alcotest.(check (list string))
+    "stage sequence"
+    [ "compile"; "detect"; "train"; "reorder"; "cleanup"; "measure" ]
+    (List.rev !stages)
+
+let suite =
+  [
+    case "map keeps input order" test_map_ordering;
+    case "map keeps order under uneven work" test_map_uneven_work;
+    case "map on empty and singleton lists" test_map_empty_and_singleton;
+    case "map re-raises the first error in input order" test_map_exception;
+    case "timed_map pairs results with durations" test_timed_map;
+    case "BROMC_DOMAINS overrides the domain count" test_default_domains_env;
+    case "pipeline stage hook fires in order" test_on_stage_hook;
+    slow_case "parallel run_jobs equals sequential" test_run_jobs_deterministic;
+  ]

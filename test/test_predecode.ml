@@ -1,0 +1,250 @@
+(* Differential tests for the pre-decoded execution image: every program
+   must behave identically under the MIR-walking reference interpreter
+   and the Image-based fast path — same output, exit code, all counters,
+   and the same (site, taken) branch event and block trace streams. *)
+
+open Helpers
+
+let counter_fields (c : Sim.Counters.t) =
+  [
+    ("insns", c.Sim.Counters.insns);
+    ("cond_branches", c.Sim.Counters.cond_branches);
+    ("taken_branches", c.Sim.Counters.taken_branches);
+    ("jumps", c.Sim.Counters.jumps);
+    ("indirect_jumps", c.Sim.Counters.indirect_jumps);
+    ("calls", c.Sim.Counters.calls);
+    ("returns", c.Sim.Counters.returns);
+    ("loads", c.Sim.Counters.loads);
+    ("stores", c.Sim.Counters.stores);
+    ("nops", c.Sim.Counters.nops);
+  ]
+
+let capture ?config backend prog ~input =
+  let branches = ref [] in
+  let blocks = ref [] in
+  let on_branch ~site ~taken = branches := (site, taken) :: !branches in
+  let on_block ~func ~label = blocks := (func, label) :: !blocks in
+  let result =
+    Sim.Machine.run ?config ~backend ~on_branch ~on_block prog ~input
+  in
+  (result, List.rev !branches, List.rev !blocks)
+
+let assert_backends_agree ?config ~name prog ~input =
+  let r_ref, br_ref, bl_ref = capture ?config `Reference prog ~input in
+  let r_img, br_img, bl_img = capture ?config `Predecoded prog ~input in
+  check_output (name ^ ": output") r_ref.Sim.Machine.output
+    r_img.Sim.Machine.output;
+  check_int (name ^ ": exit code") r_ref.Sim.Machine.exit_code
+    r_img.Sim.Machine.exit_code;
+  List.iter2
+    (fun (field, a) (_, b) -> check_int (name ^ ": " ^ field) a b)
+    (counter_fields r_ref.Sim.Machine.counters)
+    (counter_fields r_img.Sim.Machine.counters);
+  Alcotest.(check (list (pair int bool)))
+    (name ^ ": branch events") br_ref br_img;
+  Alcotest.(check (list (pair string string)))
+    (name ^ ": block trace") bl_ref bl_img
+
+(* both backends must agree on whether a program traps and on the
+   trap message *)
+let trap_outcome ?config backend prog ~input =
+  match Sim.Machine.run ?config ~backend prog ~input with
+  | r -> Ok r.Sim.Machine.exit_code
+  | exception Sim.Machine.Trap msg -> Error msg
+
+let assert_trap_parity ?config ~name prog ~input =
+  let outcome = Alcotest.(result int string) in
+  Alcotest.check outcome name
+    (trap_outcome ?config `Reference prog ~input)
+    (trap_outcome ?config `Predecoded prog ~input)
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built MIR corner cases                                         *)
+(* ------------------------------------------------------------------ *)
+
+let r n = Mir.Reg.of_int n
+let reg n = Mir.Operand.Reg (r n)
+let imm n = Mir.Operand.Imm n
+
+let one_block_main ?(funcs = []) insns term =
+  let p = Mir.Program.make () in
+  let fn = Mir.Func.make ~name:"main" ~params:[] in
+  Mir.Func.add_block fn (Mir.Block.make ~label:"entry" insns term);
+  Mir.Program.add_func p fn;
+  List.iter (Mir.Program.add_func p) funcs;
+  p
+
+let test_unknown_callee () =
+  (* decodes to a trap thunk; must only fire if the call executes *)
+  let p =
+    one_block_main
+      [ Mir.Insn.Call (Some (r 1), "nowhere", []) ]
+      (Mir.Block.Ret (Some (imm 0)))
+  in
+  assert_trap_parity ~name:"unknown callee" p ~input:""
+
+let test_unknown_callee_unreached () =
+  let p = Mir.Program.make () in
+  let fn = Mir.Func.make ~name:"main" ~params:[] in
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"entry" [] (Mir.Block.Jmp "done"));
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"dead"
+       [ Mir.Insn.Call (Some (r 1), "nowhere", []) ]
+       (Mir.Block.Jmp "done"));
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"done" [] (Mir.Block.Ret (Some (imm 7))));
+  Mir.Program.add_func p fn;
+  (* the dead block's bad call must not poison decoding *)
+  assert_backends_agree ~name:"unreached unknown callee" p ~input:""
+
+let test_unknown_label () =
+  let p = one_block_main [] (Mir.Block.Jmp "nowhere") in
+  assert_trap_parity ~name:"unknown label" p ~input:""
+
+let test_division_by_zero () =
+  let p =
+    one_block_main
+      [
+        Mir.Insn.Mov (r 1, imm 0);
+        Mir.Insn.Binop (Mir.Insn.Div, r 2, imm 5, reg 1);
+      ]
+      (Mir.Block.Ret (Some (reg 2)))
+  in
+  assert_trap_parity ~name:"division by zero" p ~input:""
+
+let test_fuel_exhaustion () =
+  let src = "int main() { while (1) {} return 0; }" in
+  let p = compile_final src in
+  let config = { Sim.Machine.default_config with Sim.Machine.fuel = 1000 } in
+  assert_trap_parity ~config ~name:"fuel exhaustion" p ~input:""
+
+let test_depth_exhaustion () =
+  let src = "int f(int n) { return f(n + 1); } int main() { return f(0); }" in
+  let p = compile_final src in
+  assert_trap_parity ~name:"call depth" p ~input:""
+
+let test_too_few_args () =
+  let callee = Mir.Func.make ~name:"two" ~params:[ r 1; r 2 ] in
+  Mir.Func.add_block callee
+    (Mir.Block.make ~label:"entry" [] (Mir.Block.Ret (Some (reg 1))));
+  let p =
+    one_block_main ~funcs:[ callee ]
+      [ Mir.Insn.Call (Some (r 1), "two", [ imm 1 ]) ]
+      (Mir.Block.Ret (Some (reg 1)))
+  in
+  assert_trap_parity ~name:"too few arguments" p ~input:""
+
+let test_builtin_wrong_arity () =
+  let p =
+    one_block_main
+      [ Mir.Insn.Call (None, "putchar", [ imm 65; imm 66 ]) ]
+      (Mir.Block.Ret (Some (imm 0)))
+  in
+  assert_trap_parity ~name:"builtin arity" p ~input:""
+
+let test_out_of_bounds_load () =
+  let src = "int a[4]; int main() { return a[9]; }" in
+  let p = compile_final src in
+  assert_trap_parity ~name:"out-of-bounds load" p ~input:""
+
+(* ------------------------------------------------------------------ *)
+(* Random dispatch programs (QCheck differential fuzzing)              *)
+(* ------------------------------------------------------------------ *)
+
+type rand_program = { source : string; heuristic : string; input : string }
+
+let dispatch_source ~cases ~dense ~with_call =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "int g;\n";
+  if with_call then
+    Buffer.add_string buf "int bump(int x) { g = g + x; return g % 97; }\n";
+  Buffer.add_string buf "int classify(int c) {\n  switch (c) {\n";
+  List.iteri
+    (fun i v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  case %d: return %d;\n" v (i + 1)))
+    cases;
+  Buffer.add_string buf "  default: return 0;\n  }\n}\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "int main() { int c; int s = 0; while ((c = getchar()) != EOF) { s = \
+        s * 31 + classify(c); %s s = s %% 65536; } print_int(s); putchar(' \
+        '); print_int(g); return 0; }\n"
+       (if with_call then "s = s + bump(c);" else ""));
+  ignore dense;
+  Buffer.contents buf
+
+let gen_rand_program =
+  QCheck.Gen.(
+    let* n = int_range 1 16 in
+    let* dense = bool in
+    let* base = int_range 32 90 in
+    let* step = if dense then return 1 else int_range 2 7 in
+    let cases = List.init n (fun i -> base + (i * step)) in
+    let* with_call = bool in
+    let* heuristic = oneofl [ "I"; "II"; "III" ] in
+    let* len = int_range 0 300 in
+    let* chars = list_size (return len) (int_range 0 126) in
+    let input =
+      String.concat "" (List.map (fun c -> String.make 1 (Char.chr c)) chars)
+    in
+    return { source = dispatch_source ~cases ~dense ~with_call; heuristic; input })
+
+let arb_rand_program =
+  QCheck.make gen_rand_program ~print:(fun p ->
+      Printf.sprintf "-- heuristic %s\n%s\n-- input: %S" p.heuristic p.source
+        p.input)
+
+let heuristic_of = function
+  | "II" -> Mopt.Switch_lower.set_ii
+  | "III" -> Mopt.Switch_lower.set_iii
+  | _ -> Mopt.Switch_lower.set_i
+
+let prop_differential =
+  qcheck ~count:150 "image executor matches reference on random dispatchers"
+    arb_rand_program (fun p ->
+      let prog = compile_final ~heuristic:(heuristic_of p.heuristic) p.source in
+      assert_backends_agree ~name:"fuzz" prog ~input:p.input;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* All built-in workloads                                              *)
+(* ------------------------------------------------------------------ *)
+
+let truncate n s = if String.length s <= n then s else String.sub s 0 n
+
+let test_all_workloads () =
+  List.iter
+    (fun (w : Workloads.Spec.t) ->
+      let prog = compile_final w.Workloads.Spec.source in
+      let input = truncate 3000 (Lazy.force w.Workloads.Spec.test_input) in
+      assert_backends_agree ~name:w.Workloads.Spec.name prog ~input)
+    Workloads.Registry.all
+
+(* the prebuilt-image entry point must agree with run on a fresh build *)
+let test_run_image_reuse () =
+  let prog = compile_final "int main() { print_int(42); return 3; }" in
+  let image = Sim.Image.build prog in
+  let a = Sim.Machine.run_image image ~input:"" in
+  let b = Sim.Machine.run_image image ~input:"" in
+  let c = Sim.Machine.run prog ~input:"" in
+  check_output "first" c.Sim.Machine.output a.Sim.Machine.output;
+  check_output "second (image reused)" c.Sim.Machine.output b.Sim.Machine.output;
+  check_int "exit" c.Sim.Machine.exit_code b.Sim.Machine.exit_code
+
+let suite =
+  [
+    case "unknown callee traps identically" test_unknown_callee;
+    case "unreached unknown callee is harmless" test_unknown_callee_unreached;
+    case "unknown label traps identically" test_unknown_label;
+    case "division by zero" test_division_by_zero;
+    case "fuel exhaustion" test_fuel_exhaustion;
+    case "call depth exhaustion" test_depth_exhaustion;
+    case "too few call arguments" test_too_few_args;
+    case "builtin arity mismatch" test_builtin_wrong_arity;
+    case "out-of-bounds load" test_out_of_bounds_load;
+    case "image reuse across runs" test_run_image_reuse;
+    prop_differential;
+    slow_case "all workloads agree across backends" test_all_workloads;
+  ]
