@@ -13,13 +13,16 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- --fast       # smaller inputs
      dune exec bench/main.exe -- table4 figs  # selected sections
+     dune exec bench/main.exe -- backends     # execution-backend race
      dune exec bench/main.exe -- ablations    # design-choice ablations
      dune exec bench/main.exe -- -j 8         # domain-pool width
      dune exec bench/main.exe -- --seq        # sequential harness
 
    The 17-workload matrix of each heuristic set is fanned out across
    OCaml 5 domains (Driver.Pool); the `speedup' section re-runs the
-   set-I matrix sequentially and both wall times land in BENCH_PR1.json
+   set-I matrix sequentially, and the `backends' section races the
+   reference, pre-decoded and closure-compiled execution engines over
+   the suite's measure stage.  All wall times land in BENCH_PR2.json
    together with per-workload dynamic counts.
 
    Shapes, not absolute numbers, are the reproduction target; see
@@ -29,7 +32,7 @@ let fast = ref false
 let sections = ref []
 let seq = ref false
 let jobs_flag = ref None
-let json_path = ref "BENCH_PR1.json"
+let json_path = ref "BENCH_PR2.json"
 let no_json = ref false
 
 let contains haystack needle =
@@ -77,6 +80,12 @@ let jobs_for config =
 let matrix : (string, row list * float) Hashtbl.t = Hashtbl.create 4
 
 let run_matrix hs ~domains =
+  if domains = 1 && Domain.recommended_domain_count () > 1 && not !seq then
+    Printf.eprintf
+      "[bench] WARNING: the domain pool is effectively sequential (1 domain \
+       on a machine with %d recommended); wall-clock numbers will not show \
+       fan-out\n%!"
+      (Domain.recommended_domain_count ());
   let config = { Driver.Config.default with Driver.Config.heuristic = hs } in
   let jobs = jobs_for config in
   Printf.eprintf
@@ -524,6 +533,105 @@ let ablations () =
     variants
 
 (* ------------------------------------------------------------------ *)
+(* Execution backends: reference vs pre-decoded vs closure-compiled    *)
+(* ------------------------------------------------------------------ *)
+
+let backend_name = function
+  | `Reference -> "reference"
+  | `Predecoded -> "predecoded"
+  | `Compiled -> "compiled"
+
+(* (backend name, total measure-stage wall seconds), for the JSON *)
+let backend_results : (string * float) list ref = ref []
+
+(* Race the three execution engines over the suite's measure stage: both
+   finalized versions of every set-I workload, full predictor bank
+   attached, exactly what `Pipeline.run's measure stage does.  Every
+   backend must agree on every observable — counters, mispredicts,
+   output, exit code — or the section aborts. *)
+let backends_section () =
+  section "Execution backends: suite measure-stage wall clock (set I)";
+  let rows = rows_for Mopt.Switch_lower.set_i in
+  let programs =
+    List.concat_map
+      (fun r ->
+        let input =
+          truncate_input (Lazy.force r.workload.Workloads.Spec.test_input)
+        in
+        [ (r.workload.Workloads.Spec.name ^ "/original",
+           (orig r).Driver.Pipeline.v_program, input);
+          (r.workload.Workloads.Spec.name ^ "/reordered",
+           (reord r).Driver.Pipeline.v_program, input) ])
+      rows
+  in
+  let run_all backend =
+    let config = { Driver.Config.default with Driver.Config.backend } in
+    Printf.eprintf "[bench] measuring %d programs under the %s backend...\n%!"
+      (List.length programs) (backend_name backend);
+    (* one bank reused (reset) across the whole sweep, as the pipeline's
+       measure stage reuses one across its original/reordered pair *)
+    let bank = Sim.Predictor.bank Driver.Config.default.Driver.Config.predictors in
+    let t0 = Unix.gettimeofday () in
+    let versions =
+      List.map
+        (fun (_, prog, input) -> Driver.Pipeline.measure config ~bank prog ~input)
+        programs
+    in
+    (Unix.gettimeofday () -. t0, versions)
+  in
+  let timed =
+    List.map
+      (fun b ->
+        let wall, versions = run_all b in
+        (b, wall, versions))
+      [ `Reference; `Predecoded; `Compiled ]
+  in
+  (* cross-check the fast backends against the reference sweep *)
+  (match timed with
+  | (_, _, oracle) :: rest ->
+    List.iter
+      (fun (b, _, versions) ->
+        List.iteri
+          (fun i (v : Driver.Pipeline.version) ->
+            let o = List.nth oracle i in
+            let name, _, _ = List.nth programs i in
+            if
+              v.Driver.Pipeline.v_counters <> o.Driver.Pipeline.v_counters
+              || v.Driver.Pipeline.v_mispredicts
+                 <> o.Driver.Pipeline.v_mispredicts
+              || (not
+                    (String.equal v.Driver.Pipeline.v_output
+                       o.Driver.Pipeline.v_output))
+              || v.Driver.Pipeline.v_exit_code <> o.Driver.Pipeline.v_exit_code
+            then
+              failwith
+                (Printf.sprintf "backend %s disagrees with reference on %s"
+                   (backend_name b) name))
+          versions)
+      rest
+  | [] -> ());
+  backend_results := List.map (fun (b, w, _) -> (backend_name b, w)) timed;
+  let wall_of name = List.assoc name !backend_results in
+  let compiled = wall_of "compiled" in
+  Printf.printf "%-12s %12s %14s\n" "backend" "measure wall" "vs compiled";
+  line 40;
+  List.iter
+    (fun (b, w, _) ->
+      Printf.printf "%-12s %11.3fs %13.2fx\n" (backend_name b) w
+        (w /. Float.max 1e-9 compiled))
+    timed;
+  line 40;
+  let pre = wall_of "predecoded" in
+  if compiled < pre then
+    Printf.printf
+      "compiled beats predecoded by %.2fx on the suite measure stage\n"
+      (pre /. Float.max 1e-9 compiled)
+  else
+    Printf.printf
+      "WARNING: compiled (%.3fs) did not beat predecoded (%.3fs) on this run\n"
+      compiled pre
+
+(* ------------------------------------------------------------------ *)
 (* Harness speedup: domain fan-out vs sequential                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -548,7 +656,7 @@ let speedup () =
   Printf.printf "speedup: %.2fx\n" (seq_wall /. Float.max 1e-9 par_wall)
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_PR1.json: the machine-readable perf trajectory record         *)
+(* BENCH_PR2.json: the machine-readable perf trajectory record         *)
 (* ------------------------------------------------------------------ *)
 
 let json_escape s =
@@ -572,11 +680,14 @@ let write_json ~harness_wall () =
     let oc = open_out !json_path in
     let p fmt = Printf.fprintf oc fmt in
     p "{\n";
-    p "  \"pr\": 1,\n";
+    p "  \"pr\": 2,\n";
     p "  \"heuristic_set\": \"I\",\n";
     p "  \"fast\": %b,\n" !fast;
     p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
     p "  \"domains\": %d,\n" (domains ());
+    p "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+    (* the pool never uses more domains than there are jobs *)
+    p "  \"effective_domains\": %d,\n" (min (domains ()) (List.length rows));
     p "  \"harness_wall_seconds\": %.3f,\n" harness_wall;
     p "  \"matrix_wall_seconds\": %.3f,\n" matrix_wall;
     (match !speedup_data with
@@ -586,6 +697,21 @@ let write_json ~harness_wall () =
       p "  \"sequential_wall_seconds\": %.3f,\n" seqw;
       p "  \"speedup\": %.3f,\n" (seqw /. Float.max 1e-9 par)
     | None -> ());
+    (match !backend_results with
+    | [] -> ()
+    | l ->
+      p "  \"backends\": {";
+      List.iteri
+        (fun i (name, w) ->
+          p "%s\"%s_measure_seconds\": %.3f" (if i = 0 then "" else ", ") name w)
+        l;
+      (match (List.assoc_opt "compiled" l, List.assoc_opt "predecoded" l,
+              List.assoc_opt "reference" l) with
+      | Some c, Some pre, Some refw ->
+        p ", \"compiled_vs_predecoded_speedup\": %.3f" (pre /. Float.max 1e-9 c);
+        p ", \"compiled_vs_reference_speedup\": %.3f" (refw /. Float.max 1e-9 c)
+      | _ -> ());
+      p "},\n");
     p "  \"workloads\": [\n";
     let nrows = List.length rows in
     List.iteri
@@ -650,6 +776,7 @@ let () =
   if want "bechamel" || want "table7" then bechamel_table7 ();
   if want "table8" then table8 ();
   if want "figs" || want "figures" then figures ();
+  if want "backends" then backends_section ();
   if want "speedup" && not !seq then speedup ();
   (* ablations are opt-in: they re-run the pipeline many times *)
   if List.mem "ablations" !sections then ablations ();

@@ -137,10 +137,40 @@ let timings_arg =
     & info [ "timings" ]
         ~doc:"Report per-stage wall-clock times on stderr.")
 
+let backend_conv =
+  let parse = function
+    | "reference" | "ref" -> Ok `Reference
+    | "predecoded" | "image" -> Ok `Predecoded
+    | "compiled" | "closure" -> Ok `Compiled
+    | s ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown backend %S (use reference, predecoded or compiled)" s))
+  in
+  let print ppf b =
+    Format.pp_print_string ppf
+      (match b with
+      | `Reference -> "reference"
+      | `Predecoded -> "predecoded"
+      | `Compiled -> "compiled")
+  in
+  Arg.conv (parse, print)
+
+let backend_arg default =
+  Arg.(
+    value
+    & opt backend_conv default
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Execution engine: $(b,reference) (MIR-walking oracle), \
+           $(b,predecoded) (flat-image interpreter) or $(b,compiled) \
+           (closure-threaded code).  All three are observably identical.")
+
 let report_stage label seconds = Printf.eprintf "[time] %-8s %7.3fs\n" label seconds
 
 let run_cmd =
-  let run source hs input trace reference timings =
+  let run source hs input trace reference backend timings =
     handle_errors (fun () ->
         let stage label f =
           if not timings then f ()
@@ -158,7 +188,7 @@ let run_cmd =
             Some (fun ~func ~label -> Printf.eprintf "[trace] %s:%s\n" func label)
           else None
         in
-        let backend = if reference then `Reference else `Predecoded in
+        let backend = if reference then `Reference else backend in
         let result =
           stage "measure" (fun () -> Sim.Machine.run ~backend ?on_block prog ~input)
         in
@@ -177,18 +207,18 @@ let run_cmd =
       value & flag
       & info [ "reference" ]
           ~doc:
-            "Interpret the MIR directly instead of executing the pre-decoded \
-             image (slower; the oracle the image is checked against).")
+            "Interpret the MIR directly instead of the fast backends \
+             (shorthand for $(b,--backend=reference)).")
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a MiniC program on the simulator.")
     Term.(
       const run $ source_arg "run" $ heuristic_arg $ input_arg $ trace
-      $ reference $ timings_arg)
+      $ reference $ backend_arg `Compiled $ timings_arg)
 
 let reorder_cmd =
   let run source hs train test exhaustive common_succ coalesce profile_layout
-      timings =
+      backend timings =
     handle_errors (fun () ->
         let name = source in
         let src = load_source source in
@@ -211,6 +241,7 @@ let reorder_cmd =
             selector = (if exhaustive then `Exhaustive else `Greedy);
             common_succ;
             profile_layout;
+            backend;
             coalesce_machine =
               (match coalesce with
               | Some "ipc" -> Some Sim.Cycle_model.sparc_ipc
@@ -292,17 +323,20 @@ let reorder_cmd =
        ~doc:"Run the full profile-guided reordering pipeline and report.")
     Term.(
       const run $ source_arg "reorder" $ heuristic_arg $ train $ test
-      $ exhaustive $ common_succ $ coalesce $ profile_layout $ timings_arg)
+      $ exhaustive $ common_succ $ coalesce $ profile_layout
+      $ backend_arg `Compiled $ timings_arg)
 
 let suite_cmd =
-  let run hs jobs names =
+  let run hs jobs backend names =
     handle_errors (fun () ->
         let workloads =
           match names with
           | [] -> Workloads.Registry.all
           | names -> List.map Workloads.Registry.find names
         in
-        let config = { Driver.Config.default with Driver.Config.heuristic = hs } in
+        let config =
+          { Driver.Config.default with Driver.Config.heuristic = hs; backend }
+        in
         (* force the lazy inputs in this domain before fanning out *)
         let jobs_list =
           List.map
@@ -356,7 +390,7 @@ let suite_cmd =
        ~doc:
          "Run the reordering pipeline over many workloads in parallel and \
           print the per-workload instruction reductions.")
-    Term.(const run $ heuristic_arg $ jobs $ names)
+    Term.(const run $ heuristic_arg $ jobs $ backend_arg `Compiled $ names)
 
 let workloads_cmd =
   let run () =

@@ -11,6 +11,7 @@ type t = {
   predictors : (int * int * int) list;
   validate : bool;
   fuel : int;
+  backend : [ `Reference | `Predecoded | `Compiled ];
 }
 
 let paper_predictors =
@@ -32,4 +33,5 @@ let default =
     predictors = paper_predictors;
     validate = true;
     fuel = 500_000_000;
+    backend = `Compiled;
   }

@@ -25,6 +25,10 @@ type t = {
       (** (history bits, counter bits, entries) simulated on every run *)
   validate : bool;          (** run the MIR validator after every stage *)
   fuel : int;               (** simulator instruction budget per run *)
+  backend : [ `Reference | `Predecoded | `Compiled ];
+      (** execution engine for the training and measurement runs
+          (default [`Compiled]; all three are observably identical, so
+          this only changes wall-clock time) *)
 }
 
 val default : t

@@ -34,13 +34,29 @@ let compile_base (config : Config.t) source =
 let sim_config (config : Config.t) =
   { Sim.Machine.default_config with Sim.Machine.fuel = config.Config.fuel }
 
+(* run a program under the configured execution backend; when the caller
+   already holds the pre-decoded image, the fast backends reuse it
+   instead of lowering a second time *)
+let run_backend (config : Config.t) ?profile ?on_branch ?image prog ~input =
+  let sc = sim_config config in
+  match config.Config.backend with
+  | `Reference -> Sim.Machine.run_reference ~config:sc ?profile ?on_branch prog ~input
+  | `Predecoded ->
+    let img = match image with Some i -> i | None -> Sim.Image.build prog in
+    Sim.Machine.run_image ~config:sc ?profile ?on_branch img ~input
+  | `Compiled ->
+    let img = match image with Some i -> i | None -> Sim.Image.build prog in
+    Sim.Compiled.run_image ~config:sc ?profile ?on_branch img ~input
+
 (* profile-guided layout: run the training input once more against this
    very binary (layouts need edge frequencies of the final CFG, which
    the instrumentation run's clone cannot provide), then place hot arms
    on the fall-through path *)
 let apply_profile_layout (config : Config.t) prog ~training_input =
   Mopt.Delay_slot.strip prog;
-  let site_names = Sim.Machine.sites prog in
+  (* one lowering serves both the site names and the run itself *)
+  let image = Sim.Image.build prog in
+  let site_names = Sim.Image.sites image in
   let tables : (string, Mopt.Profile_layout.counts) Hashtbl.t =
     Hashtbl.create 8
   in
@@ -60,29 +76,43 @@ let apply_profile_layout (config : Config.t) prog ~training_input =
     Hashtbl.replace counts label
       (if taken then (t + 1, nt) else (t, nt + 1))
   in
-  let _ =
-    Sim.Machine.run ~config:(sim_config config) ~on_branch prog
-      ~input:training_input
-  in
+  let _ = run_backend config ~on_branch ~image prog ~input:training_input in
   ignore (Mopt.Profile_layout.run prog tables)
 
-(* measure a finalized program on the test input with all predictors *)
-let measure (config : Config.t) prog ~input =
-  let predictors =
-    List.map
-      (fun (h, c, e) ->
-        ((h, c, e), Sim.Predictor.make ~history_bits:h ~counter_bits:c ~entries:e))
-      config.Config.predictors
+(* measure a finalized program on the test input with all predictors.
+   The predictors live in a prebuilt {!Sim.Predictor.bank}: the compiled
+   backend drives it through its fused sink (no allocation per branch
+   event), the others through a single closure.  Callers measuring
+   several versions can pass one [bank] to reuse across calls — it is
+   reset here. *)
+let measure (config : Config.t) ?bank prog ~input =
+  let bank =
+    match bank with
+    | Some b ->
+      Sim.Predictor.bank_reset b;
+      b
+    | None -> Sim.Predictor.bank config.Config.predictors
   in
-  let on_branch ~site ~taken =
-    List.iter (fun (_, p) -> Sim.Predictor.access p ~site ~taken) predictors
-  in
+  let sc = sim_config config in
   let result =
-    Sim.Machine.run ~config:(sim_config config) ~on_branch prog ~input
+    match config.Config.backend with
+    | `Compiled ->
+      Sim.Compiled.exec ~config:sc
+        ~sink:(Sim.Predictor.Sink_bank bank)
+        (Sim.Compiled.compile (Sim.Image.build prog))
+        ~input
+    | `Predecoded ->
+      Sim.Machine.run_image ~config:sc
+        ~on_branch:(fun ~site ~taken ->
+          Sim.Predictor.bank_access bank ~site ~taken)
+        (Sim.Image.build prog) ~input
+    | `Reference ->
+      Sim.Machine.run_reference ~config:sc
+        ~on_branch:(fun ~site ~taken ->
+          Sim.Predictor.bank_access bank ~site ~taken)
+        prog ~input
   in
-  let mispredicts =
-    List.map (fun (key, p) -> (key, Sim.Predictor.mispredicts p)) predictors
-  in
+  let mispredicts = Sim.Predictor.bank_mispredicts bank in
   let cycles =
     List.map
       (fun (m : Sim.Cycle_model.params) ->
@@ -165,8 +195,7 @@ let run ?(config = Config.default) ?on_stage ~name ~source ~training_input
         Reorder.Common_succ.instrument_pairs train_prog pairs table;
         if config.Config.validate then Mir.Validate.check train_prog;
         let _ =
-          Sim.Machine.run ~config:(sim_config config) ~profile:table train_prog
-            ~input:training_input
+          run_backend config ~profile:table train_prog ~input:training_input
         in
         table)
   in
@@ -223,8 +252,10 @@ let run ?(config = Config.default) ?on_stage ~name ~source ~training_input
 
   let original, reordered =
     stage "measure" (fun () ->
-        let original = measure config orig ~input:test_input in
-        let reordered = measure config reord ~input:test_input in
+        (* one bank serves both versions (reset between runs) *)
+        let bank = Sim.Predictor.bank config.Config.predictors in
+        let original = measure config ~bank orig ~input:test_input in
+        let reordered = measure config ~bank reord ~input:test_input in
         (original, reordered))
   in
   if not (String.equal original.v_output reordered.v_output) then

@@ -39,6 +39,15 @@ val compile_base : Config.t -> string -> Mir.Program.t
 (** Front end + switch lowering + conventional optimizations (no
     reordering, no delay slots). *)
 
+val measure :
+  Config.t -> ?bank:Sim.Predictor.bank -> Mir.Program.t -> input:string ->
+  version
+(** Measure one finalized program on an input under the configured
+    execution backend, driving every configured predictor through a
+    prebuilt {!Sim.Predictor.bank} (the compiled backend's fused sink —
+    no allocation per branch event).  Pass [bank] to reuse one bank
+    across several measurements; it is reset on entry. *)
+
 val run :
   ?config:Config.t ->
   ?on_stage:(string -> float -> unit) ->

@@ -1,0 +1,656 @@
+(* Closure-compiled execution backend ("threaded code").
+
+   Each {!Image.pblock} is compiled once into an OCaml closure that
+   executes its instructions straight-line and returns the index of the
+   next block to run; the per-instruction [match] dispatch of the
+   pre-decoded interpreter disappears — every instruction is a
+   specialized closure built at compile time (operand shapes resolved,
+   builtins and callees bound, constants folded), fused into one code
+   chain per block.
+
+   Counters and fuel are charged in block-granular batches precomputed
+   at compile time.  Exactness is preserved by flushing the pending
+   batch before every point whose behaviour the outside world can
+   observe: instructions that can trap or perform I/O (loads, stores,
+   register-divisor division, calls, builtins), profile recordings, and
+   every terminator.  Between two flush points only pure register
+   arithmetic runs, so moving its charges to the flush is
+   indistinguishable — the fuel trap fires under exactly the same
+   conditions and with the same message as the other backends, and the
+   ten counters are exact at every exit, including mid-block [exit].
+
+   Measurement is fused into the loop: branch terminators deliver their
+   outcome to a {!Predictor.sink} held in the run state — a prebuilt
+   predictor bank is swept with a flat array loop, so the measure stage
+   performs zero allocation per branch event. *)
+
+open Runtime
+
+type state = {
+  memory : int array array;  (* indexed by global slot *)
+  counters : Counters.t;
+  out : Buffer.t;
+  input : string;
+  mutable input_pos : int;
+  mutable cc_a : int;
+  mutable cc_b : int;
+  mutable fuel_left : int;
+  mutable depth : int;       (* depth of the currently-running frame *)
+  mutable ret : int;         (* return value of the innermost frame *)
+  fuel : int;                (* config.fuel, for the trap message *)
+  max_depth : int;
+  profile : Profile.t option;
+  mutable sink : Predictor.sink;
+  on_block : (func:string -> label:string -> unit) option;
+}
+
+(* straight-line code: a compiled instruction (or fused run of them) *)
+type code = state -> int array -> unit
+
+(* a compiled block: runs the body, then returns the next block index
+   within the same function, or -1 to return from the function *)
+type blockcode = state -> int array -> int
+
+type cfunc = {
+  c_name : string;
+  c_params : int array;
+  c_nregs : int;
+  mutable c_blocks : blockcode array;  (* backpatched after compilation *)
+}
+
+type t = {
+  c_image : Image.t;
+  c_funcs : cfunc array;
+}
+
+let image t = t.c_image
+
+(* ------------------------------------------------------------------ *)
+(* Charging                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let[@inline] charge st n =
+  st.counters.Counters.insns <- st.counters.Counters.insns + n;
+  st.fuel_left <- st.fuel_left - n;
+  if st.fuel_left < 0 then trap "fuel exhausted (%d instructions)" st.fuel
+
+(* flush a pending batch of [pi] instructions of which [pn] are nops *)
+let[@inline] flush st pi pn =
+  st.counters.Counters.insns <- st.counters.Counters.insns + pi;
+  if pn > 0 then st.counters.Counters.nops <- st.counters.Counters.nops + pn;
+  st.fuel_left <- st.fuel_left - pi;
+  if st.fuel_left < 0 then trap "fuel exhausted (%d instructions)" st.fuel
+
+let flush_code pi pn : code =
+  if pn = 0 then fun st _ -> charge st pi else fun st _ -> flush st pi pn
+
+(* the synthetic jump when a not-taken branch does not fall through *)
+let[@inline] charge_layout_jump st =
+  let c = st.counters in
+  c.Counters.jumps <- c.Counters.jumps + 1;
+  c.Counters.nops <- c.Counters.nops + 1;
+  charge st 2
+
+(* an unfilled delay slot: one counted nop *)
+let[@inline] charge_nop st =
+  st.counters.Counters.nops <- st.counters.Counters.nops + 1;
+  charge st 1
+
+(* ------------------------------------------------------------------ *)
+(* Code fusion                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec seq (codes : code list) : code =
+  match codes with
+  | [] -> fun _ _ -> ()
+  | [ a ] -> a
+  | [ a; b ] ->
+    fun st regs ->
+      a st regs;
+      b st regs
+  | [ a; b; c ] ->
+    fun st regs ->
+      a st regs;
+      b st regs;
+      c st regs
+  | a :: b :: c :: d :: rest ->
+    let k = seq rest in
+    fun st regs ->
+      a st regs;
+      b st regs;
+      c st regs;
+      d st regs;
+      k st regs
+
+(* ------------------------------------------------------------------ *)
+(* Instruction compilation                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* how a compiled instruction participates in charge batching *)
+type comp =
+  | Cnop          (* counted nop; no code at all *)
+  | Cpure of code (* no observable effect; charge joins the batch *)
+  | Ceff of code  (* observable or trapping; batch + own 1 flushed first *)
+  | Cobs of code  (* observable but charges nothing (profile, traps) *)
+
+let operand = function
+  | Image.Preg r -> fun regs -> Array.unsafe_get regs r
+  | Image.Pimm n -> fun _ -> n
+
+let getchar st =
+  if st.input_pos >= String.length st.input then -1
+  else begin
+    let c = Char.code (String.unsafe_get st.input st.input_pos) in
+    st.input_pos <- st.input_pos + 1;
+    c
+  end
+
+(* run the block list of a function; the entry block is index 0 *)
+let run_blocks st (blocks : blockcode array) regs =
+  if Array.length blocks = 0 then
+    (* same failure as the other backends indexing an empty block array *)
+    raise (Invalid_argument "index out of bounds");
+  let i = ref 0 in
+  while !i >= 0 do
+    i := (Array.unsafe_get blocks !i) st regs
+  done;
+  st.ret
+
+let compile_binop op r a b =
+  let open Mir.Insn in
+  match op, a, b with
+  (* division and modulus by a register (or zero) can trap *)
+  | (Div | Rem), _, Image.Pimm 0 ->
+    Ceff (fun _ _ -> trap "division by zero")
+  | Div, _, Image.Pimm n ->
+    let x = operand a in
+    Cpure (fun _ regs -> Array.unsafe_set regs r (x regs / n))
+  | Rem, _, Image.Pimm n ->
+    let x = operand a in
+    Cpure (fun _ regs -> Array.unsafe_set regs r (x regs mod n))
+  | Div, _, Image.Preg y ->
+    let x = operand a in
+    Ceff
+      (fun _ regs ->
+        let d = Array.unsafe_get regs y in
+        if d = 0 then trap "division by zero";
+        Array.unsafe_set regs r (x regs / d))
+  | Rem, _, Image.Preg y ->
+    let x = operand a in
+    Ceff
+      (fun _ regs ->
+        let d = Array.unsafe_get regs y in
+        if d = 0 then trap "division by zero";
+        Array.unsafe_set regs r (x regs mod d))
+  (* the pure operators, specialized on operand shape *)
+  | Add, Image.Preg x, Image.Preg y ->
+    Cpure
+      (fun _ regs ->
+        Array.unsafe_set regs r
+          (Array.unsafe_get regs x + Array.unsafe_get regs y))
+  | Add, Image.Preg x, Image.Pimm n ->
+    Cpure (fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x + n))
+  | Add, Image.Pimm n, Image.Preg y ->
+    Cpure (fun _ regs -> Array.unsafe_set regs r (n + Array.unsafe_get regs y))
+  | Sub, Image.Preg x, Image.Preg y ->
+    Cpure
+      (fun _ regs ->
+        Array.unsafe_set regs r
+          (Array.unsafe_get regs x - Array.unsafe_get regs y))
+  | Sub, Image.Preg x, Image.Pimm n ->
+    Cpure (fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x - n))
+  | Sub, Image.Pimm n, Image.Preg y ->
+    Cpure (fun _ regs -> Array.unsafe_set regs r (n - Array.unsafe_get regs y))
+  | Mul, Image.Preg x, Image.Preg y ->
+    Cpure
+      (fun _ regs ->
+        Array.unsafe_set regs r
+          (Array.unsafe_get regs x * Array.unsafe_get regs y))
+  | Mul, Image.Preg x, Image.Pimm n ->
+    Cpure (fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x * n))
+  | Mul, Image.Pimm n, Image.Preg y ->
+    Cpure (fun _ regs -> Array.unsafe_set regs r (n * Array.unsafe_get regs y))
+  | And, Image.Preg x, Image.Preg y ->
+    Cpure
+      (fun _ regs ->
+        Array.unsafe_set regs r
+          (Array.unsafe_get regs x land Array.unsafe_get regs y))
+  | And, Image.Preg x, Image.Pimm n ->
+    Cpure
+      (fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x land n))
+  | Or, Image.Preg x, Image.Preg y ->
+    Cpure
+      (fun _ regs ->
+        Array.unsafe_set regs r
+          (Array.unsafe_get regs x lor Array.unsafe_get regs y))
+  | Or, Image.Preg x, Image.Pimm n ->
+    Cpure
+      (fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x lor n))
+  | Xor, Image.Preg x, Image.Preg y ->
+    Cpure
+      (fun _ regs ->
+        Array.unsafe_set regs r
+          (Array.unsafe_get regs x lxor Array.unsafe_get regs y))
+  | Xor, Image.Preg x, Image.Pimm n ->
+    Cpure
+      (fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x lxor n))
+  | Shl, Image.Preg x, Image.Pimm n ->
+    let s = n land 63 in
+    Cpure
+      (fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x lsl s))
+  | Shr, Image.Preg x, Image.Pimm n ->
+    let s = n land 63 in
+    Cpure
+      (fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs x asr s))
+  | (Add | Sub | Mul | And | Or | Xor | Shl | Shr), _, _ -> (
+    (* rare shapes: immediate-immediate folds to a constant move, the
+       rest evaluate both operands generically *)
+    match a, b with
+    | Image.Pimm x, Image.Pimm y ->
+      let v = eval_binop op x y in
+      Cpure (fun _ regs -> Array.unsafe_set regs r v)
+    | _ ->
+      let x = operand a and y = operand b in
+      Cpure
+        (fun _ regs -> Array.unsafe_set regs r (eval_binop op (x regs) (y regs))))
+
+let compile_insn (cfuncs : cfunc array) (globals : Image.global array)
+    (i : Image.pinsn) : comp =
+  match i with
+  | Image.Pnop -> Cnop
+  | Image.Pmov (r, Image.Pimm n) ->
+    Cpure (fun _ regs -> Array.unsafe_set regs r n)
+  | Image.Pmov (r, Image.Preg s) ->
+    Cpure (fun _ regs -> Array.unsafe_set regs r (Array.unsafe_get regs s))
+  | Image.Punop (Mir.Insn.Neg, r, o) ->
+    let x = operand o in
+    Cpure (fun _ regs -> Array.unsafe_set regs r (-x regs))
+  | Image.Punop (Mir.Insn.Not, r, o) ->
+    let x = operand o in
+    Cpure (fun _ regs -> Array.unsafe_set regs r (if x regs = 0 then 1 else 0))
+  | Image.Pbinop (op, r, a, b) -> compile_binop op r a b
+  | Image.Pcmp (a, b) ->
+    let x = operand a and y = operand b in
+    Cpure
+      (fun st regs ->
+        st.cc_a <- x regs;
+        st.cc_b <- y regs)
+  | Image.Pload (r, slot, idx) ->
+    let name = globals.(slot).Image.g_name in
+    let ix = operand idx in
+    Ceff
+      (fun st regs ->
+        st.counters.Counters.loads <- st.counters.Counters.loads + 1;
+        let arr = Array.unsafe_get st.memory slot in
+        let i = ix regs in
+        if i < 0 || i >= Array.length arr then
+          trap "out-of-bounds access %s[%d] (size %d)" name i (Array.length arr);
+        Array.unsafe_set regs r (Array.unsafe_get arr i))
+  | Image.Pstore (slot, idx, v) ->
+    let name = globals.(slot).Image.g_name in
+    let ix = operand idx and ve = operand v in
+    Ceff
+      (fun st regs ->
+        st.counters.Counters.stores <- st.counters.Counters.stores + 1;
+        let arr = Array.unsafe_get st.memory slot in
+        let i = ix regs in
+        if i < 0 || i >= Array.length arr then
+          trap "out-of-bounds access %s[%d] (size %d)" name i (Array.length arr);
+        Array.unsafe_set arr i (ve regs))
+  | Image.Pcall (dst, fid, args) ->
+    let callee = cfuncs.(fid) in
+    let nparams = Array.length callee.c_params in
+    if Array.length args < nparams then
+      Ceff
+        (fun st _ ->
+          st.counters.Counters.calls <- st.counters.Counters.calls + 1;
+          if st.depth + 1 >= st.max_depth then
+            trap "call depth exceeded in %s" callee.c_name;
+          trap "too few arguments to %s" callee.c_name)
+    else begin
+      (* bind the first nparams arguments straight into the callee's
+         fresh register file; extra arguments are pure and unused *)
+      let binds =
+        Array.init nparams (fun i -> (callee.c_params.(i), operand args.(i)))
+      in
+      let nregs = max callee.c_nregs 1 in
+      Ceff
+        (fun st regs ->
+          st.counters.Counters.calls <- st.counters.Counters.calls + 1;
+          let d = st.depth + 1 in
+          if d >= st.max_depth then
+            trap "call depth exceeded in %s" callee.c_name;
+          let cregs = Array.make nregs 0 in
+          for i = 0 to nparams - 1 do
+            let slot, ev = Array.unsafe_get binds i in
+            Array.unsafe_set cregs slot (ev regs)
+          done;
+          st.depth <- d;
+          let v = run_blocks st callee.c_blocks cregs in
+          st.depth <- d - 1;
+          if dst >= 0 then Array.unsafe_set regs dst v)
+    end
+  | Image.Pbuiltin (dst, b, args) -> (
+    match b with
+    | Image.Bgetchar ->
+      if dst >= 0 then
+        Ceff
+          (fun st regs ->
+            st.counters.Counters.calls <- st.counters.Counters.calls + 1;
+            Array.unsafe_set regs dst (getchar st))
+      else
+        Ceff
+          (fun st _ ->
+            st.counters.Counters.calls <- st.counters.Counters.calls + 1;
+            ignore (getchar st))
+    | Image.Bputchar ->
+      let ev = operand args.(0) in
+      Ceff
+        (fun st regs ->
+          st.counters.Counters.calls <- st.counters.Counters.calls + 1;
+          let c = ev regs in
+          Buffer.add_char st.out (Char.chr (c land 255));
+          if dst >= 0 then Array.unsafe_set regs dst c)
+    | Image.Bprint_int ->
+      let ev = operand args.(0) in
+      Ceff
+        (fun st regs ->
+          st.counters.Counters.calls <- st.counters.Counters.calls + 1;
+          Buffer.add_string st.out (string_of_int (ev regs));
+          if dst >= 0 then Array.unsafe_set regs dst 0)
+    | Image.Bexit ->
+      let ev = operand args.(0) in
+      Ceff
+        (fun st regs ->
+          st.counters.Counters.calls <- st.counters.Counters.calls + 1;
+          raise (Program_exit (ev regs))))
+  | Image.Pprofile_range (id, r) ->
+    Cobs
+      (fun st regs ->
+        match st.profile with
+        | Some p -> Profile.record_range p id (Array.unsafe_get regs r)
+        | None -> ())
+  | Image.Pprofile_comb id ->
+    Cobs
+      (fun st regs ->
+        match st.profile with
+        | Some p ->
+          Profile.record_comb p id ~read_reg:(fun r ->
+              regs.(Mir.Reg.to_int r))
+        | None -> ())
+  | Image.Ptrap_insn msg ->
+    (* uncharged, matching the pre-decoded backend's trap thunks *)
+    Cobs (fun _ _ -> raise (Trap msg))
+
+(* a delay-slot instruction executed standalone: it pays its own charge *)
+let compile_delay_insn cfuncs globals i : code =
+  match compile_insn cfuncs globals i with
+  | Cnop -> fun st _ -> charge_nop st
+  | Cpure c | Ceff c ->
+    fun st regs ->
+      charge st 1;
+      c st regs
+  | Cobs c -> c
+
+(* the delay slot of a non-annulled transfer: filled or a counted nop *)
+let compile_delay cfuncs globals = function
+  | Some i -> compile_delay_insn cfuncs globals i
+  | None -> fun st _ -> charge_nop st
+
+(* ------------------------------------------------------------------ *)
+(* Terminator compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let[@inline] resolve (unknowns : string array) target =
+  if target >= 0 then target
+  else trap "jump to unknown label %s" unknowns.(-target - 1)
+
+(* the condition, specialized to a direct comparison at compile time *)
+let compile_cond : Mir.Cond.t -> int -> int -> bool = function
+  | Mir.Cond.Eq -> fun a b -> a = b
+  | Mir.Cond.Ne -> fun a b -> a <> b
+  | Mir.Cond.Lt -> fun a b -> a < b
+  | Mir.Cond.Le -> fun a b -> a <= b
+  | Mir.Cond.Gt -> fun a b -> a > b
+  | Mir.Cond.Ge -> fun a b -> a >= b
+
+(* pending = charge batch accumulated over the block body, owed before
+   the terminator's own observable behaviour *)
+let compile_term cfuncs globals unknowns ~pending_i ~pending_n
+    (b : Image.pblock) : blockcode =
+  let site = b.Image.pb_site in
+  let label = b.Image.pb_label in
+  match b.Image.pb_term with
+  | Image.Pbr (cond, t, nt, nt_falls) ->
+    let eval_cond = compile_cond cond in
+    let chg = pending_i + 1 in
+    let pn = pending_n in
+    (* the delay slot behaves differently on the two arms when annulled *)
+    let delay_taken, delay_not_taken =
+      if b.Image.pb_annul then
+        match b.Image.pb_delay with
+        | Some i ->
+          ((compile_delay_insn cfuncs globals i : code), fun _ _ -> ())
+        | None ->
+          let nop st _ = charge_nop st in
+          ((nop : code), (nop : code))
+      else
+        let d = compile_delay cfuncs globals b.Image.pb_delay in
+        (d, d)
+    in
+    fun st regs ->
+      flush st chg pn;
+      let c = st.counters in
+      c.Counters.cond_branches <- c.Counters.cond_branches + 1;
+      let taken = eval_cond st.cc_a st.cc_b in
+      if taken then begin
+        c.Counters.taken_branches <- c.Counters.taken_branches + 1;
+        (match st.sink with
+        | Predictor.Sink_none -> ()
+        | Predictor.Sink_bank bk -> Predictor.bank_access bk ~site ~taken:true
+        | Predictor.Sink_fun f -> f ~site ~taken:true);
+        delay_taken st regs;
+        resolve unknowns t
+      end
+      else begin
+        (match st.sink with
+        | Predictor.Sink_none -> ()
+        | Predictor.Sink_bank bk -> Predictor.bank_access bk ~site ~taken:false
+        | Predictor.Sink_fun f -> f ~site ~taken:false);
+        delay_not_taken st regs;
+        if not nt_falls then charge_layout_jump st;
+        resolve unknowns nt
+      end
+  | Image.Pjmp (target, falls) ->
+    if falls then begin
+      (* costs nothing; only the body's pending batch is owed *)
+      if pending_i = 0 && pending_n = 0 then fun _ _ -> target
+      else
+        fun st _ ->
+          flush st pending_i pending_n;
+          target
+    end
+    else begin
+      let d = compile_delay cfuncs globals b.Image.pb_delay in
+      let chg = pending_i + 1 in
+      fun st regs ->
+        flush st chg pending_n;
+        st.counters.Counters.jumps <- st.counters.Counters.jumps + 1;
+        d st regs;
+        resolve unknowns target
+    end
+  | Image.Pjtab (r, table) ->
+    let d = compile_delay cfuncs globals b.Image.pb_delay in
+    let chg = pending_i + 1 in
+    let n = Array.length table in
+    fun st regs ->
+      flush st chg pending_n;
+      st.counters.Counters.indirect_jumps <-
+        st.counters.Counters.indirect_jumps + 1;
+      d st regs;
+      let idx = Array.unsafe_get regs r in
+      if idx < 0 || idx >= n then
+        trap "jump table index %d out of bounds (%s)" idx label;
+      resolve unknowns (Array.unsafe_get table idx)
+  | Image.Pret v ->
+    let d = compile_delay cfuncs globals b.Image.pb_delay in
+    let chg = pending_i + 1 in
+    let set_ret : code =
+      match v with
+      | None -> fun st _ -> st.ret <- 0
+      | Some (Image.Pimm n) -> fun st _ -> st.ret <- n
+      | Some (Image.Preg r) ->
+        fun st regs -> st.ret <- Array.unsafe_get regs r
+    in
+    fun st regs ->
+      flush st chg pending_n;
+      st.counters.Counters.returns <- st.counters.Counters.returns + 1;
+      (* the delay slot runs before the return value is read *)
+      d st regs;
+      set_ret st regs;
+      -1
+  | Image.Ptrap_term msg ->
+    (* uncharged, like the pre-decoded backend; the body's batch is
+       still owed so an earlier fuel exhaustion wins as it should *)
+    fun st _ ->
+      flush st pending_i pending_n;
+      raise (Trap msg)
+  | Image.Praise_term e ->
+    fun st _ ->
+      flush st pending_i pending_n;
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* Block and program compilation                                       *)
+(* ------------------------------------------------------------------ *)
+
+let compile_block cfuncs globals (f : Image.pfunc) (b : Image.pblock) :
+    blockcode =
+  let unknowns = f.Image.pf_unknown in
+  (* walk the body accumulating the pure charge batch; effectful
+     instructions force a flush of everything accumulated so far plus
+     their own charge *)
+  let codes = ref [] in
+  let pending_i = ref 0 and pending_n = ref 0 in
+  Array.iter
+    (fun i ->
+      match compile_insn cfuncs globals i with
+      | Cnop ->
+        incr pending_i;
+        incr pending_n
+      | Cpure c ->
+        incr pending_i;
+        codes := c :: !codes
+      | Ceff c ->
+        codes := c :: flush_code (!pending_i + 1) !pending_n :: !codes;
+        pending_i := 0;
+        pending_n := 0
+      | Cobs c ->
+        if !pending_i > 0 || !pending_n > 0 then
+          codes := flush_code !pending_i !pending_n :: !codes;
+        codes := c :: !codes;
+        pending_i := 0;
+        pending_n := 0)
+    b.Image.pb_insns;
+  let term =
+    compile_term cfuncs globals unknowns ~pending_i:!pending_i
+      ~pending_n:!pending_n b
+  in
+  let fname = f.Image.pf_name in
+  let label = b.Image.pb_label in
+  match List.rev !codes with
+  | [] ->
+    fun st regs ->
+      (match st.on_block with
+      | Some f -> f ~func:fname ~label
+      | None -> ());
+      term st regs
+  | codes ->
+    let body = seq codes in
+    fun st regs ->
+      (match st.on_block with
+      | Some f -> f ~func:fname ~label
+      | None -> ());
+      body st regs;
+      term st regs
+
+let compile (img : Image.t) : t =
+  let cfuncs =
+    Array.map
+      (fun (f : Image.pfunc) ->
+        {
+          c_name = f.Image.pf_name;
+          c_params = f.Image.pf_params;
+          c_nregs = f.Image.pf_nregs;
+          c_blocks = [||];
+        })
+      img.Image.funcs
+  in
+  (* two passes so call closures can capture callee records up front *)
+  Array.iteri
+    (fun fid (f : Image.pfunc) ->
+      cfuncs.(fid).c_blocks <-
+        Array.map (compile_block cfuncs img.Image.globals f) f.Image.pf_blocks)
+    img.Image.funcs;
+  { c_image = img; c_funcs = cfuncs }
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_memory (img : Image.t) =
+  Array.map
+    (fun (g : Image.global) ->
+      match g.Image.g_init with
+      | Some init ->
+        let arr = Array.make g.Image.g_size 0 in
+        Array.blit init 0 arr 0 (Array.length init);
+        arr
+      | None -> Array.make g.Image.g_size 0)
+    img.Image.globals
+
+let exec ?(config = default_config) ?profile ?(sink = Predictor.Sink_none)
+    ?on_block (ct : t) ~input =
+  let img = ct.c_image in
+  let st =
+    {
+      memory = fresh_memory img;
+      counters = Counters.make ();
+      out = Buffer.create 1024;
+      input;
+      input_pos = 0;
+      cc_a = 0;
+      cc_b = 0;
+      fuel_left = config.fuel;
+      depth = 0;
+      ret = 0;
+      fuel = config.fuel;
+      max_depth = config.max_depth;
+      profile;
+      sink;
+      on_block;
+    }
+  in
+  let exit_code =
+    try
+      if img.Image.main_id < 0 then trap "call to unknown function main";
+      let mf = ct.c_funcs.(img.Image.main_id) in
+      if st.depth >= st.max_depth then
+        trap "call depth exceeded in %s" mf.c_name;
+      if Array.length mf.c_params > 0 then
+        trap "too few arguments to %s" mf.c_name;
+      run_blocks st mf.c_blocks (Array.make (max mf.c_nregs 1) 0)
+    with Program_exit code -> code
+  in
+  { counters = st.counters; output = Buffer.contents st.out; exit_code }
+
+let run_image ?config ?profile ?on_branch ?on_block img ~input =
+  let sink =
+    match on_branch with
+    | Some f -> Predictor.Sink_fun f
+    | None -> Predictor.Sink_none
+  in
+  exec ?config ?profile ~sink ?on_block (compile img) ~input
+
+let run ?config ?profile ?on_branch ?on_block p ~input =
+  run_image ?config ?profile ?on_branch ?on_block (Image.build p) ~input

@@ -1,0 +1,57 @@
+(** Closure-compiled execution backend ("threaded code").
+
+    Lowers each {!Image.pblock} into a chain of OCaml closures built
+    once at compile time: operand shapes are resolved, builtins and
+    callees are bound, immediate-only arithmetic is constant-folded,
+    and the per-instruction [match] dispatch of the pre-decoded
+    interpreter disappears.  Counter and fuel updates are charged in
+    block-granular batches precomputed at compile time, with a flush
+    before every observable point so traps, fuel exhaustion and the ten
+    counters are byte-identical to the other two backends.
+
+    Branch measurement is fused into the loop: conditional-branch
+    terminators deliver their outcome straight to a {!Predictor.sink},
+    so driving a prebuilt predictor bank allocates nothing per branch
+    event. *)
+
+type t
+(** A compiled program.  Compile once, execute many times — executions
+    are independent (fresh memory, registers and counters each run). *)
+
+val compile : Image.t -> t
+
+val image : t -> Image.t
+(** The image this program was compiled from (e.g. for {!Image.sites}). *)
+
+val exec :
+  ?config:Runtime.config ->
+  ?profile:Profile.t ->
+  ?sink:Predictor.sink ->
+  ?on_block:(func:string -> label:string -> unit) ->
+  t ->
+  input:string ->
+  Runtime.result
+(** Run a compiled program.  [sink] defaults to {!Predictor.Sink_none};
+    pass [Sink_bank] for allocation-free measurement or [Sink_fun] for
+    the classic [on_branch] closure protocol. *)
+
+val run_image :
+  ?config:Runtime.config ->
+  ?profile:Profile.t ->
+  ?on_branch:(site:int -> taken:bool -> unit) ->
+  ?on_block:(func:string -> label:string -> unit) ->
+  Image.t ->
+  input:string ->
+  Runtime.result
+(** Compile and run in one step, with the same interface as
+    [Machine.run_image]. *)
+
+val run :
+  ?config:Runtime.config ->
+  ?profile:Profile.t ->
+  ?on_branch:(site:int -> taken:bool -> unit) ->
+  ?on_block:(func:string -> label:string -> unit) ->
+  Mir.Program.t ->
+  input:string ->
+  Runtime.result
+(** Build, compile and run a program. *)

@@ -207,3 +207,35 @@ let build (p : Mir.Program.t) =
     match Hashtbl.find_opt fid_of "main" with Some i -> i | None -> -1
   in
   { funcs; main_id; globals; nsites = !next_site }
+
+(* site numbers are assigned densely in program order, so the inverse
+   map is a direct fill — no re-lowering and no sort *)
+let sites (t : t) =
+  let out = Array.make t.nsites ("", "") in
+  Array.iter
+    (fun f ->
+      Array.iter
+        (fun b -> out.(b.pb_site) <- (f.pf_name, b.pb_label))
+        f.pf_blocks)
+    t.funcs;
+  out
+
+let find_func (t : t) name =
+  let n = Array.length t.funcs in
+  let rec go i =
+    if i >= n then None
+    else if String.equal t.funcs.(i).pf_name name then Some t.funcs.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let site_of (t : t) ~func ~label =
+  match find_func t func with
+  | None -> None
+  | Some f ->
+    (* last definition wins, matching the interpreters' label maps *)
+    let site = ref (-1) in
+    Array.iter
+      (fun b -> if String.equal b.pb_label label then site := b.pb_site)
+      f.pf_blocks;
+    if !site < 0 then None else Some !site

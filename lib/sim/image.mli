@@ -88,3 +88,16 @@ val build : Mir.Program.t -> t
 val max_reg_of : Mir.Func.t -> int
 (** Highest register id referenced plus one (register-file size), also
     used by the reference interpreter. *)
+
+val sites : t -> (string * string) array
+(** [(function, label)] of every block, indexed by site number — derived
+    from the already-built image, so consumers that hold an image (the
+    profile-layout pass, tests) never pay a second whole-program
+    lowering just to name branch sites. *)
+
+val find_func : t -> string -> pfunc option
+(** Look up a function by name (linear scan; not for hot paths). *)
+
+val site_of : t -> func:string -> label:string -> int option
+(** The site number of the branch terminating the given block, or
+    [None] if the function or label does not exist. *)

@@ -1,15 +1,17 @@
-exception Trap of string
+(* the runtime types are shared by all execution backends *)
+exception Trap = Runtime.Trap
+exception Program_exit = Runtime.Program_exit
 
 let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
 
-type config = {
+type config = Runtime.config = {
   fuel : int;
   max_depth : int;
 }
 
-let default_config = { fuel = 2_000_000_000; max_depth = 10_000 }
+let default_config = Runtime.default_config
 
-type result = {
+type result = Runtime.result = {
   counters : Counters.t;
   output : string;
   exit_code : int;
@@ -58,27 +60,20 @@ let build_image (p : Mir.Program.t) =
     p.Mir.Program.funcs;
   { funcs }
 
-let sites p =
-  let image = build_image p in
-  let out = ref [] in
-  Hashtbl.iter
-    (fun name fi ->
-      Array.iteri
-        (fun i (b : Mir.Block.t) ->
-          out := (fi.sites.(i), (name, b.Mir.Block.label)) :: !out)
-        fi.blocks)
-    image.funcs;
-  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) !out in
-  Array.of_list (List.map snd sorted)
+(* site naming goes through the pre-decoded image, whose dense
+   program-order numbering matches [build_image] above; consumers that
+   already hold an {!Image.t} should call {!Image.sites} directly and
+   skip the lowering entirely *)
+let sites p = Image.sites (Image.build p)
 
 let site_of p ~func ~label =
-  let image = build_image p in
-  match Hashtbl.find_opt image.funcs func with
+  let img = Image.build p in
+  match Image.find_func img func with
   | None -> trap "site_of: unknown function %s" func
-  | Some fi -> (
-    match Hashtbl.find_opt fi.index_of label with
-    | None -> trap "site_of: unknown label %s" label
-    | Some i -> fi.sites.(i))
+  | Some _ -> (
+    match Image.site_of img ~func ~label with
+    | Some s -> s
+    | None -> trap "site_of: unknown label %s" label)
 
 type state = {
   image : image;
@@ -94,8 +89,6 @@ type state = {
   on_branch : (site:int -> taken:bool -> unit) option;
   on_block : (func:string -> label:string -> unit) option;
 }
-
-exception Program_exit of int
 
 let charge st n =
   st.counters.Counters.insns <- st.counters.Counters.insns + n;
@@ -587,3 +580,4 @@ let run ?config ?profile ?on_branch ?on_block ?(backend = `Predecoded)
   | `Reference -> run_reference ?config ?profile ?on_branch ?on_block p ~input
   | `Predecoded ->
     run_image ?config ?profile ?on_branch ?on_block (Image.build p) ~input
+  | `Compiled -> Compiled.run ?config ?profile ?on_branch ?on_block p ~input

@@ -14,16 +14,17 @@
 
 exception Trap of string
 (** Runtime error: division by zero, out-of-bounds access, unknown
-    function, call-depth or fuel exhaustion, unlowered switch. *)
+    function, call-depth or fuel exhaustion, unlowered switch.  Equal to
+    {!Runtime.Trap}, shared by every execution backend. *)
 
-type config = {
+type config = Runtime.config = {
   fuel : int;        (** maximum dynamic instructions before trapping *)
   max_depth : int;   (** maximum call depth *)
 }
 
 val default_config : config
 
-type result = {
+type result = Runtime.result = {
   counters : Counters.t;
   output : string;
   exit_code : int;
@@ -34,7 +35,7 @@ val run :
   ?profile:Profile.t ->
   ?on_branch:(site:int -> taken:bool -> unit) ->
   ?on_block:(func:string -> label:string -> unit) ->
-  ?backend:[ `Predecoded | `Reference ] ->
+  ?backend:[ `Predecoded | `Reference | `Compiled ] ->
   Mir.Program.t ->
   input:string ->
   result
@@ -44,12 +45,14 @@ val run :
     [on_block] is called on entry to every basic block (a control-flow
     trace).  Raises {!Trap} on runtime errors.
 
-    [backend] selects the execution engine (default [`Predecoded]): the
-    pre-decoded engine lowers the program through {!Image.build} and runs
-    the label-free, hashtable-free fast path; [`Reference] walks the MIR
-    directly and is kept as the oracle the fast path is cross-checked
-    against.  Both produce identical output, exit codes, counters and
-    branch-site event streams. *)
+    [backend] selects the execution engine (default [`Predecoded]):
+    [`Reference] walks the MIR directly and is kept as the oracle the
+    fast paths are cross-checked against; [`Predecoded] lowers the
+    program through {!Image.build} and interprets the label-free,
+    hashtable-free image; [`Compiled] additionally compiles each image
+    block to a chain of OCaml closures ({!Compiled}), eliminating
+    per-instruction dispatch.  All three produce identical output, exit
+    codes, counters and branch-site event streams. *)
 
 val run_reference :
   ?config:config ->

@@ -30,14 +30,16 @@ let make ~history_bits ~counter_bits ~entries =
     mispredicts = 0;
   }
 
-let access t ~site ~taken =
+(* the index is masked by [entries - 1] (a power of two), so table
+   accesses cannot go out of bounds *)
+let[@inline] access t ~site ~taken =
   let index = (site lxor t.history) land (t.entries - 1) in
-  let counter = t.table.(index) in
+  let counter = Array.unsafe_get t.table index in
   let predict_taken = counter >= 1 lsl (t.counter_bits - 1) in
   t.lookups <- t.lookups + 1;
   if predict_taken <> taken then t.mispredicts <- t.mispredicts + 1;
   let max_counter = (1 lsl t.counter_bits) - 1 in
-  t.table.(index) <-
+  Array.unsafe_set t.table index
     (if taken then min max_counter (counter + 1) else max 0 (counter - 1));
   if t.history_bits > 0 then
     t.history <-
@@ -55,3 +57,59 @@ let reset t =
 
 let describe t =
   Printf.sprintf "(%d,%d)x%d" t.history_bits t.counter_bits t.entries
+
+(* ------------------------------------------------------------------ *)
+(* Predictor banks: a prebuilt flat array of predictors driven with no *)
+(* per-event allocation or list traversal.                             *)
+(* ------------------------------------------------------------------ *)
+
+type bank = {
+  bank_keys : (int * int * int) array;
+  bank_preds : t array;
+}
+
+let bank keys =
+  let bank_keys = Array.of_list keys in
+  let bank_preds =
+    Array.map
+      (fun (h, c, e) -> make ~history_bits:h ~counter_bits:c ~entries:e)
+      bank_keys
+  in
+  { bank_keys; bank_preds }
+
+let bank_access b ~site ~taken =
+  let preds = b.bank_preds in
+  for i = 0 to Array.length preds - 1 do
+    access (Array.unsafe_get preds i) ~site ~taken
+  done
+
+let bank_reset b = Array.iter reset b.bank_preds
+
+let bank_size b = Array.length b.bank_preds
+
+let bank_mispredicts b =
+  Array.to_list
+    (Array.map2
+       (fun key p -> (key, mispredicts p))
+       b.bank_keys b.bank_preds)
+
+let bank_lookups b =
+  Array.to_list
+    (Array.map2 (fun key p -> (key, lookups p)) b.bank_keys b.bank_preds)
+
+(* Branch-event sink: what an execution backend feeds each conditional
+   branch outcome into.  [Sink_bank] is the allocation-free fast path
+   the measure stage uses; [Sink_fun] keeps the old closure protocol
+   available for traces and profile-layout counting. *)
+type sink =
+  | Sink_none
+  | Sink_bank of bank
+  | Sink_fun of (site:int -> taken:bool -> unit)
+
+let sink_of_bank b = Sink_bank b
+
+let sink_event s ~site ~taken =
+  match s with
+  | Sink_none -> ()
+  | Sink_bank b -> bank_access b ~site ~taken
+  | Sink_fun f -> f ~site ~taken

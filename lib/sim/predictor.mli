@@ -21,3 +21,44 @@ val mispredicts : t -> int
 val reset : t -> unit
 val describe : t -> string
 (** e.g. ["(0,2)x2048"]. *)
+
+(** {2 Banks}
+
+    A bank is a prebuilt array of predictors keyed by their
+    [(history_bits, counter_bits, entries)] configuration, updated for
+    every branch event with a flat array sweep — no allocation and no
+    assoc-list traversal per event.  The measure stage builds one bank
+    per run instead of dispatching over a [(key, predictor) list]. *)
+
+type bank
+
+val bank : (int * int * int) list -> bank
+(** [bank keys] makes one fresh predictor per [(m, n, entries)] key. *)
+
+val bank_access : bank -> site:int -> taken:bool -> unit
+(** Feed one branch outcome to every predictor in the bank. *)
+
+val bank_reset : bank -> unit
+val bank_size : bank -> int
+
+val bank_mispredicts : bank -> ((int * int * int) * int) list
+(** Per-key mispredict counts, in the key order given to {!bank}. *)
+
+val bank_lookups : bank -> ((int * int * int) * int) list
+
+(** {2 Sinks}
+
+    The branch-event consumer an execution backend is run with.  The
+    closure-compiled backend threads the sink directly into its branch
+    terminators. *)
+
+type sink =
+  | Sink_none              (** discard branch events *)
+  | Sink_bank of bank      (** drive a predictor bank (allocation-free) *)
+  | Sink_fun of (site:int -> taken:bool -> unit)
+      (** the classic [on_branch] closure protocol *)
+
+val sink_of_bank : bank -> sink
+
+val sink_event : sink -> site:int -> taken:bool -> unit
+(** Deliver one event (what the compiled backend inlines per branch). *)

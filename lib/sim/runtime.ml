@@ -1,0 +1,23 @@
+(* Types shared by every execution backend (reference, pre-decoded,
+   closure-compiled).  Lives below Machine and Compiled so the two can
+   agree on traps, configuration and results without depending on each
+   other; Machine re-exports everything under its historical names. *)
+
+exception Trap of string
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+exception Program_exit of int
+
+type config = {
+  fuel : int;
+  max_depth : int;
+}
+
+let default_config = { fuel = 2_000_000_000; max_depth = 10_000 }
+
+type result = {
+  counters : Counters.t;
+  output : string;
+  exit_code : int;
+}

@@ -1,0 +1,29 @@
+(** Types shared by the execution backends.
+
+    {!Machine} re-exports these under its historical names
+    ([Machine.Trap], [Machine.config], [Machine.result]); new code that
+    only needs the types (e.g. {!Compiled}) can use them directly. *)
+
+exception Trap of string
+(** Runtime error: division by zero, out-of-bounds access, unknown
+    function, call-depth or fuel exhaustion, unlowered switch. *)
+
+val trap : ('a, unit, string, 'b) format4 -> 'a
+(** [trap fmt ...] raises {!Trap} with a formatted message. *)
+
+exception Program_exit of int
+(** Raised by the [exit] builtin; caught by every backend's entry
+    point. *)
+
+type config = {
+  fuel : int;        (** maximum dynamic instructions before trapping *)
+  max_depth : int;   (** maximum call depth *)
+}
+
+val default_config : config
+
+type result = {
+  counters : Counters.t;
+  output : string;
+  exit_code : int;
+}

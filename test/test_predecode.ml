@@ -1,9 +1,12 @@
-(* Differential tests for the pre-decoded execution image: every program
-   must behave identically under the MIR-walking reference interpreter
-   and the Image-based fast path — same output, exit code, all counters,
-   and the same (site, taken) branch event and block trace streams. *)
+(* Differential tests for the fast execution backends: every program
+   must behave identically under the MIR-walking reference interpreter,
+   the Image-based pre-decoded interpreter AND the closure-compiled
+   backend — same output, exit code, all ten counters, and the same
+   (site, taken) branch event and block trace streams. *)
 
 open Helpers
+
+let fast_backends = [ ("predecoded", `Predecoded); ("compiled", `Compiled) ]
 
 let counter_fields (c : Sim.Counters.t) =
   [
@@ -31,19 +34,23 @@ let capture ?config backend prog ~input =
 
 let assert_backends_agree ?config ~name prog ~input =
   let r_ref, br_ref, bl_ref = capture ?config `Reference prog ~input in
-  let r_img, br_img, bl_img = capture ?config `Predecoded prog ~input in
-  check_output (name ^ ": output") r_ref.Sim.Machine.output
-    r_img.Sim.Machine.output;
-  check_int (name ^ ": exit code") r_ref.Sim.Machine.exit_code
-    r_img.Sim.Machine.exit_code;
-  List.iter2
-    (fun (field, a) (_, b) -> check_int (name ^ ": " ^ field) a b)
-    (counter_fields r_ref.Sim.Machine.counters)
-    (counter_fields r_img.Sim.Machine.counters);
-  Alcotest.(check (list (pair int bool)))
-    (name ^ ": branch events") br_ref br_img;
-  Alcotest.(check (list (pair string string)))
-    (name ^ ": block trace") bl_ref bl_img
+  List.iter
+    (fun (bname, backend) ->
+      let name = name ^ " [" ^ bname ^ "]" in
+      let r_img, br_img, bl_img = capture ?config backend prog ~input in
+      check_output (name ^ ": output") r_ref.Sim.Machine.output
+        r_img.Sim.Machine.output;
+      check_int (name ^ ": exit code") r_ref.Sim.Machine.exit_code
+        r_img.Sim.Machine.exit_code;
+      List.iter2
+        (fun (field, a) (_, b) -> check_int (name ^ ": " ^ field) a b)
+        (counter_fields r_ref.Sim.Machine.counters)
+        (counter_fields r_img.Sim.Machine.counters);
+      Alcotest.(check (list (pair int bool)))
+        (name ^ ": branch events") br_ref br_img;
+      Alcotest.(check (list (pair string string)))
+        (name ^ ": block trace") bl_ref bl_img)
+    fast_backends
 
 (* both backends must agree on whether a program traps and on the
    trap message *)
@@ -54,9 +61,14 @@ let trap_outcome ?config backend prog ~input =
 
 let assert_trap_parity ?config ~name prog ~input =
   let outcome = Alcotest.(result int string) in
-  Alcotest.check outcome name
-    (trap_outcome ?config `Reference prog ~input)
-    (trap_outcome ?config `Predecoded prog ~input)
+  let expected = trap_outcome ?config `Reference prog ~input in
+  List.iter
+    (fun (bname, backend) ->
+      Alcotest.check outcome
+        (name ^ " [" ^ bname ^ "]")
+        expected
+        (trap_outcome ?config backend prog ~input))
+    fast_backends
 
 (* ------------------------------------------------------------------ *)
 (* Hand-built MIR corner cases                                         *)
@@ -202,7 +214,7 @@ let heuristic_of = function
   | _ -> Mopt.Switch_lower.set_i
 
 let prop_differential =
-  qcheck ~count:150 "image executor matches reference on random dispatchers"
+  qcheck ~count:150 "fast backends match reference on random dispatchers"
     arb_rand_program (fun p ->
       let prog = compile_final ~heuristic:(heuristic_of p.heuristic) p.source in
       assert_backends_agree ~name:"fuzz" prog ~input:p.input;
@@ -214,13 +226,21 @@ let prop_differential =
 
 let truncate n s = if String.length s <= n then s else String.sub s 0 n
 
+(* every workload under every heuristic set, all three backends *)
 let test_all_workloads () =
   List.iter
-    (fun (w : Workloads.Spec.t) ->
-      let prog = compile_final w.Workloads.Spec.source in
-      let input = truncate 3000 (Lazy.force w.Workloads.Spec.test_input) in
-      assert_backends_agree ~name:w.Workloads.Spec.name prog ~input)
-    Workloads.Registry.all
+    (fun hs ->
+      List.iter
+        (fun (w : Workloads.Spec.t) ->
+          let prog = compile_final ~heuristic:hs w.Workloads.Spec.source in
+          let input = truncate 3000 (Lazy.force w.Workloads.Spec.test_input) in
+          let name =
+            Printf.sprintf "%s (set %s)" w.Workloads.Spec.name
+              hs.Mopt.Switch_lower.hs_name
+          in
+          assert_backends_agree ~name prog ~input)
+        Workloads.Registry.all)
+    Mopt.Switch_lower.all_sets
 
 (* the prebuilt-image entry point must agree with run on a fresh build *)
 let test_run_image_reuse () =
@@ -232,6 +252,86 @@ let test_run_image_reuse () =
   check_output "first" c.Sim.Machine.output a.Sim.Machine.output;
   check_output "second (image reused)" c.Sim.Machine.output b.Sim.Machine.output;
   check_int "exit" c.Sim.Machine.exit_code b.Sim.Machine.exit_code
+
+(* a compiled program holds no run state: compile once, execute many
+   times, each run starts from scratch *)
+let test_compiled_reuse () =
+  let w = Workloads.Registry.find "wc" in
+  let prog = compile_final w.Workloads.Spec.source in
+  let input = truncate 2000 (Lazy.force w.Workloads.Spec.test_input) in
+  let compiled = Sim.Compiled.compile (Sim.Image.build prog) in
+  let a = Sim.Compiled.exec compiled ~input in
+  let b = Sim.Compiled.exec compiled ~input in
+  let c = Sim.Machine.run ~backend:`Reference prog ~input in
+  check_output "first" c.Sim.Machine.output a.Sim.Runtime.output;
+  check_output "second (compiled reused)" c.Sim.Machine.output
+    b.Sim.Runtime.output;
+  check_int "insns first" c.Sim.Machine.counters.Sim.Counters.insns
+    a.Sim.Runtime.counters.Sim.Counters.insns;
+  check_int "insns second" c.Sim.Machine.counters.Sim.Counters.insns
+    b.Sim.Runtime.counters.Sim.Counters.insns
+
+(* the predictor bank driven through the compiled backend's fused sink
+   must count exactly what the old per-branch closure dispatch over an
+   assoc list of predictors counted *)
+let test_bank_equivalence () =
+  let w = Workloads.Registry.find "grep" in
+  let prog = compile_final w.Workloads.Spec.source in
+  let input = truncate 3000 (Lazy.force w.Workloads.Spec.test_input) in
+  let keys = Driver.Config.paper_predictors in
+  (* old protocol: an assoc list of predictors behind an on_branch
+     closure, List.iter-ed for every event *)
+  let preds =
+    List.map
+      (fun (h, c, e) ->
+        ( (h, c, e),
+          Sim.Predictor.make ~history_bits:h ~counter_bits:c ~entries:e ))
+      keys
+  in
+  let on_branch ~site ~taken =
+    List.iter (fun (_, p) -> Sim.Predictor.access p ~site ~taken) preds
+  in
+  let _ = Sim.Machine.run ~on_branch prog ~input in
+  (* new protocol: a bank wired into the compiled branch terminators *)
+  let bank = Sim.Predictor.bank keys in
+  let compiled = Sim.Compiled.compile (Sim.Image.build prog) in
+  let _ = Sim.Compiled.exec ~sink:(Sim.Predictor.Sink_bank bank) compiled ~input in
+  check_int "bank size" (List.length keys) (Sim.Predictor.bank_size bank);
+  List.iter2
+    (fun (key, p) (key', mis) ->
+      Alcotest.(check (triple int int int)) "key order" key key';
+      check_int "mispredicts" (Sim.Predictor.mispredicts p) mis)
+    preds
+    (Sim.Predictor.bank_mispredicts bank);
+  List.iter2
+    (fun (_, p) (_, lk) -> check_int "lookups" (Sim.Predictor.lookups p) lk)
+    preds
+    (Sim.Predictor.bank_lookups bank);
+  (* a reset bank re-counts from scratch *)
+  Sim.Predictor.bank_reset bank;
+  let _ = Sim.Compiled.exec ~sink:(Sim.Predictor.Sink_bank bank) compiled ~input in
+  List.iter2
+    (fun (_, p) (_, mis) -> check_int "mispredicts after reset"
+        (Sim.Predictor.mispredicts p) mis)
+    preds
+    (Sim.Predictor.bank_mispredicts bank)
+
+(* Machine.sites/site_of are now derived from the pre-decoded image;
+   the numbering must round-trip and match the image's own tables *)
+let test_sites_roundtrip () =
+  let w = Workloads.Registry.find "sort" in
+  let prog = compile_final w.Workloads.Spec.source in
+  let sites = Sim.Machine.sites prog in
+  let img_sites = Sim.Image.sites (Sim.Image.build prog) in
+  check_int "same count" (Array.length sites) (Array.length img_sites);
+  Array.iteri
+    (fun i (func, label) ->
+      let func', label' = img_sites.(i) in
+      check_output "func" func func';
+      check_output "label" label label';
+      check_int "site_of roundtrip" i
+        (Sim.Machine.site_of prog ~func ~label))
+    sites
 
 let suite =
   [
@@ -245,6 +345,9 @@ let suite =
     case "builtin arity mismatch" test_builtin_wrong_arity;
     case "out-of-bounds load" test_out_of_bounds_load;
     case "image reuse across runs" test_run_image_reuse;
+    case "compiled program reuse across runs" test_compiled_reuse;
+    case "predictor bank equals closure dispatch" test_bank_equivalence;
+    case "site numbering round-trips through the image" test_sites_roundtrip;
     prop_differential;
     slow_case "all workloads agree across backends" test_all_workloads;
   ]
