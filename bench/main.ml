@@ -17,6 +17,8 @@
      dune exec bench/main.exe -- ablations    # design-choice ablations
      dune exec bench/main.exe -- -j 8         # domain-pool width
      dune exec bench/main.exe -- --seq        # sequential harness
+     dune exec bench/main.exe -- --verify     # translation-validate every
+                                              # matrix pipeline (lib/check)
 
    The 17-workload matrix of each heuristic set is fanned out across
    OCaml 5 domains (Driver.Pool); the `speedup' section re-runs the
@@ -34,6 +36,11 @@ let seq = ref false
 let jobs_flag = ref None
 let json_path = ref "BENCH_PR2.json"
 let no_json = ref false
+
+(* --verify: run the translation validator inside every matrix pipeline
+   (Pipeline.run fails the job on any rejection), so a bench run
+   self-certifies the numbers it reports *)
+let verify = ref false
 
 let contains haystack needle =
   let n = String.length needle and h = String.length haystack in
@@ -86,7 +93,13 @@ let run_matrix hs ~domains =
        on a machine with %d recommended); wall-clock numbers will not show \
        fan-out\n%!"
       (Domain.recommended_domain_count ());
-  let config = { Driver.Config.default with Driver.Config.heuristic = hs } in
+  let config =
+    {
+      Driver.Config.default with
+      Driver.Config.heuristic = hs;
+      Driver.Config.verify = !verify;
+    }
+  in
   let jobs = jobs_for config in
   Printf.eprintf
     "[bench] running the 17 workloads under heuristic set %s on %d domain(s)...\n%!"
@@ -745,6 +758,9 @@ let parse_args () =
       go rest
     | "--seq" :: rest ->
       seq := true;
+      go rest
+    | "--verify" :: rest ->
+      verify := true;
       go rest
     | "--no-json" :: rest ->
       no_json := true;

@@ -5,6 +5,9 @@
      run       compile and execute on an input, printing counters
      reorder   the full two-pass pipeline with before/after measurements
      suite     reorder many workloads at once, fanned across domains
+     fuzz      random programs through the pipeline: translation
+               validation + differential execution (--inject plants
+               wrong-target bugs the verifier must catch)
      workloads list the built-in benchmark programs *)
 
 open Cmdliner
@@ -169,6 +172,14 @@ let backend_arg default =
 
 let report_stage label seconds = Printf.eprintf "[time] %-8s %7.3fs\n" label seconds
 
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Translation-validate every sequence rewrite (Check.Verify) right \
+           after the reordering pass; a rejected rewrite aborts the run.")
+
 let run_cmd =
   let run source hs input trace reference backend timings =
     handle_errors (fun () ->
@@ -218,7 +229,7 @@ let run_cmd =
 
 let reorder_cmd =
   let run source hs train test exhaustive common_succ coalesce profile_layout
-      backend timings =
+      backend timings verify =
     handle_errors (fun () ->
         let name = source in
         let src = load_source source in
@@ -242,6 +253,7 @@ let reorder_cmd =
             common_succ;
             profile_layout;
             backend;
+            verify;
             coalesce_machine =
               (match coalesce with
               | Some "ipc" -> Some Sim.Cycle_model.sparc_ipc
@@ -259,6 +271,10 @@ let reorder_cmd =
           Driver.Pipeline.run ~config ?on_stage ~name ~source:src
             ~training_input ~test_input ()
         in
+        (match r.Driver.Pipeline.r_verify with
+        | Some summary ->
+          print_string (Format.asprintf "%a" Check.Verify.pp_summary summary)
+        | None -> ());
         let o = r.Driver.Pipeline.r_original.Driver.Pipeline.v_counters in
         let n = r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters in
         print_string
@@ -324,10 +340,10 @@ let reorder_cmd =
     Term.(
       const run $ source_arg "reorder" $ heuristic_arg $ train $ test
       $ exhaustive $ common_succ $ coalesce $ profile_layout
-      $ backend_arg `Compiled $ timings_arg)
+      $ backend_arg `Compiled $ timings_arg $ verify_arg)
 
 let suite_cmd =
-  let run hs jobs backend names =
+  let run hs jobs backend verify names =
     handle_errors (fun () ->
         let workloads =
           match names with
@@ -335,7 +351,12 @@ let suite_cmd =
           | names -> List.map Workloads.Registry.find names
         in
         let config =
-          { Driver.Config.default with Driver.Config.heuristic = hs; backend }
+          {
+            Driver.Config.default with
+            Driver.Config.heuristic = hs;
+            backend;
+            verify;
+          }
         in
         (* force the lazy inputs in this domain before fanning out *)
         let jobs_list =
@@ -390,7 +411,98 @@ let suite_cmd =
        ~doc:
          "Run the reordering pipeline over many workloads in parallel and \
           print the per-workload instruction reductions.")
-    Term.(const run $ heuristic_arg $ jobs $ backend_arg `Compiled $ names)
+    Term.(
+      const run $ heuristic_arg $ jobs $ backend_arg `Compiled $ verify_arg
+      $ names)
+
+let fuzz_cmd =
+  let run cases seed backend inject save_failure quiet =
+    handle_errors (fun () ->
+        let backends =
+          match backend with
+          | Some b -> [ b ]
+          | None -> [ `Reference; `Predecoded; `Compiled ]
+        in
+        let log = if quiet then ignore else fun m -> Printf.eprintf "%s\n%!" m in
+        let stats = Check.Fuzz.run ~backends ~inject ~log ~cases ~seed () in
+        print_string (Format.asprintf "%a" Check.Fuzz.pp_stats stats);
+        if inject && stats.Check.Fuzz.st_injected = 0 then begin
+          Printf.eprintf
+            "error: no case reordered, nothing could be injected — the run is \
+             vacuous\n";
+          exit 1
+        end;
+        if inject && stats.Check.Fuzz.st_caught < stats.Check.Fuzz.st_injected
+        then begin
+          Printf.eprintf "error: the verifier missed %d injected bug(s)\n"
+            (stats.Check.Fuzz.st_injected - stats.Check.Fuzz.st_caught);
+          exit 1
+        end;
+        if not (Check.Fuzz.ok stats) then begin
+          (match save_failure with
+          | Some path ->
+            let oc = open_out path in
+            List.iter
+              (fun f ->
+                output_string oc
+                  (Format.asprintf "%a\n" Check.Fuzz.pp_failure f))
+              stats.Check.Fuzz.st_failures;
+            close_out oc;
+            Printf.eprintf "shrunk counterexamples written to %s\n" path
+          | None -> ());
+          exit 1
+        end)
+  in
+  let cases =
+    Arg.(
+      value & opt int 100
+      & info [ "cases" ] ~docv:"N" ~doc:"Number of random programs to fuzz.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"PRNG seed; runs are deterministic in the seed.")
+  in
+  let backend_opt =
+    Arg.(
+      value
+      & opt (some backend_conv) None
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Restrict differential execution to one engine (default: race \
+             reference, predecoded and compiled against each other).")
+  in
+  let inject =
+    Arg.(
+      value & flag
+      & info [ "inject" ]
+          ~doc:
+            "Plant a wrong-default-target bug into every reordered result and \
+             require Check.Verify to reject each one (self-test of the \
+             verifier; fails if any planted bug goes unnoticed).")
+  in
+  let save_failure =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-failure" ] ~docv:"FILE"
+          ~doc:"Write shrunk counterexamples of failing cases to $(docv).")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ] ~doc:"Suppress progress lines on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the reordering pipeline: random programs through generate → \
+          train → reorder → translation-validate (Check.Verify) → \
+          differential execution across backends, with shrunk \
+          counterexamples on failure.")
+    Term.(
+      const run $ cases $ seed $ backend_opt $ inject $ save_failure $ quiet)
 
 let workloads_cmd =
   let run () =
@@ -410,6 +522,6 @@ let main =
        ~doc:
          "Branch-reordering MiniC compiler (PLDI 1998 reproduction: Yang, Uh \
           & Whalley).")
-    [ compile_cmd; run_cmd; reorder_cmd; suite_cmd; workloads_cmd ]
+    [ compile_cmd; run_cmd; reorder_cmd; suite_cmd; fuzz_cmd; workloads_cmd ]
 
 let () = exit (Cmd.eval main)

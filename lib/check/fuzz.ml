@@ -1,0 +1,442 @@
+module Detect = Reorder.Detect
+module Pass = Reorder.Pass
+
+type backend = [ `Reference | `Predecoded | `Compiled ]
+
+type failure = {
+  f_case : int;
+  f_spec : Gen.spec;
+  f_shrunk : Gen.spec;
+  f_errors : string list;
+}
+
+type stats = {
+  st_cases : int;
+  st_reordered : int;
+  st_coalesced : int;
+  st_unchanged : int;
+  st_pieces : int;
+  st_injected : int;
+  st_caught : int;
+  st_counterexample_blocks : int option;
+  st_form_counts : (string * int) list;
+  st_failures : failure list;
+}
+
+let ok st = st.st_failures = []
+
+let pp_failure ppf f =
+  Format.fprintf ppf "@[<v>case %d failed:@,%a@,shrunk counterexample:@,%a@,%a@]"
+    f.f_case
+    (Format.pp_print_list (fun ppf e -> Format.fprintf ppf "  %s" e))
+    f.f_errors Gen.pp_spec f.f_shrunk
+    (fun ppf () ->
+      Format.fprintf ppf "original spec:@,%a" Gen.pp_spec f.f_spec)
+    ()
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "@[<v>%d cases: %d reordered, %d coalesced, %d unchanged sequences; %d \
+     pieces certified@,forms: %s@,"
+    st.st_cases st.st_reordered st.st_coalesced st.st_unchanged st.st_pieces
+    (String.concat ", "
+       (List.map (fun (f, n) -> Printf.sprintf "%s=%d" f n) st.st_form_counts));
+  if st.st_injected > 0 then
+    Format.fprintf ppf "injected %d bugs, caught %d%s@," st.st_injected
+      st.st_caught
+      (match st.st_counterexample_blocks with
+      | Some b -> Printf.sprintf " (smallest counterexample: %d blocks)" b
+      | None -> "");
+  (match st.st_failures with
+  | [] -> Format.fprintf ppf "all cases passed@,"
+  | fs ->
+    Format.fprintf ppf "%d FAILURES@," (List.length fs);
+    List.iter (fun f -> Format.fprintf ppf "%a@," pp_failure f) fs);
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* One case through the pipeline                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* [Check] cannot depend on [Driver] (the pipeline itself grows a
+   [~verify] option built on this library), so the fuzzer assembles the
+   same stages directly at the MIR level. *)
+
+let build spec =
+  let p = Gen.to_program spec in
+  Mir.Validate.check ~allow_switch:true p;
+  Mopt.Switch_lower.lower_program (Gen.heuristic_of_spec spec) p;
+  Mopt.Cleanup.run p;
+  Mir.Validate.check p;
+  p
+
+(* alternate the coalescing decision so the verifier's jump-table path is
+   exercised too *)
+let coalesce_machine_for case =
+  if case mod 2 = 1 then Some Sim.Cycle_model.sparc_ipc else None
+
+let transform ?coalesce_machine spec =
+  let base = build spec in
+  let seqs = Detect.find_program base in
+  let train_prog = Mir.Clone.program base in
+  let table = Reorder.Profiles.instrument train_prog seqs in
+  let (_ : Sim.Machine.result) =
+    Sim.Machine.run ~profile:table train_prog ~input:spec.Gen.sp_train
+  in
+  let reord = Mir.Clone.program base in
+  let report = Pass.run ?coalesce_machine reord seqs table in
+  (base, reord, report)
+
+(* ------------------------------------------------------------------ *)
+(* Bug injection: wrong default target                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* retarget a {b live} exit edge of some replica chain (one whose
+   abstract value set is nonempty — a dead edge can point anywhere
+   without changing semantics, which would make the run vacuous) at a
+   returning block that is not any of the sequence's targets.
+   [Mir.Validate] stays green, so only the verifier can object.  When
+   every returning block of the original function is a target of the
+   sequence, a fresh block returning a sentinel no original block
+   returns is spliced in instead — it can never pass for a faithful
+   tail duplicate. *)
+let inject_wrong_default ~before ~after (report : Pass.report) =
+  let try_seq (sr : Pass.seq_report) =
+    match sr.Pass.sr_outcome with
+    | Pass.Reordered applied -> (
+      let seq = sr.Pass.sr_seq in
+      match
+        ( Mir.Program.find_func_opt before seq.Detect.func_name,
+          Mir.Program.find_func_opt after seq.Detect.func_name )
+      with
+      | Some fb, Some fa -> (
+        let edges =
+          Verify.live_leaf_edges ~fn_before:fb ~fn_after:fa
+            ~var:seq.Detect.var ~entry:applied.Reorder.Apply.replica_entry
+        in
+        match List.rev edges with
+        | [] -> None
+        | (chain_label, dir, succ) :: _ -> (
+          match Mir.Func.find_block_opt fa chain_label with
+          | None -> None
+          | Some b -> (
+            match b.Mir.Block.term.kind with
+            | Mir.Block.Br (cond, taken, fall) ->
+              let excluded =
+                succ
+                :: Verify.resolve fa succ
+                :: seq.Detect.default_target
+                :: List.map
+                     (fun (it : Detect.item) -> it.Detect.target)
+                     seq.Detect.items
+              in
+              let wrong_label =
+                match
+                  List.find_opt
+                    (fun (bb : Mir.Block.t) ->
+                      (match bb.Mir.Block.term.kind with
+                      | Mir.Block.Ret _ -> true
+                      | _ -> false)
+                      && not (List.mem bb.Mir.Block.label excluded))
+                    fb.Mir.Func.blocks
+                with
+                | Some bb -> bb.Mir.Block.label
+                | None ->
+                  (* every returning block is a target: splice in one
+                     returning a value no original block returns *)
+                  let sentinel =
+                    1
+                    + List.fold_left
+                        (fun acc (bb : Mir.Block.t) ->
+                          match bb.Mir.Block.term.kind with
+                          | Mir.Block.Ret (Some (Mir.Operand.Imm k)) ->
+                            max acc k
+                          | _ -> acc)
+                        0 fb.Mir.Func.blocks
+                  in
+                  let label = Mir.Func.fresh_label fa in
+                  Mir.Func.add_block fa
+                    (Mir.Block.make ~label []
+                       (Mir.Block.Ret (Some (Mir.Operand.Imm sentinel))));
+                  label
+              in
+              let kind =
+                match dir with
+                | `Taken -> Mir.Block.Br (cond, wrong_label, fall)
+                | `Fall -> Mir.Block.Br (cond, taken, wrong_label)
+              in
+              b.Mir.Block.term <- Mir.Block.term kind;
+              Some (seq.Detect.func_name, List.length fb.Mir.Func.blocks)
+            | _ -> None)))
+      | _ -> None)
+    | _ -> None
+  in
+  List.find_map try_seq report.Pass.seq_reports
+
+(* ------------------------------------------------------------------ *)
+(* Differential execution                                               *)
+(* ------------------------------------------------------------------ *)
+
+type execution = {
+  x_result : (Sim.Machine.result, string) result;  (* Error = trap message *)
+  x_branches : (int * bool) list;
+  x_blocks : (string * string) list;
+}
+
+let capture backend prog ~input =
+  let branches = ref [] in
+  let blocks = ref [] in
+  let on_branch ~site ~taken = branches := (site, taken) :: !branches in
+  let on_block ~func ~label = blocks := (func, label) :: !blocks in
+  let result =
+    try Ok (Sim.Machine.run ~backend ~on_branch ~on_block prog ~input)
+    with Sim.Machine.Trap m -> Error m
+  in
+  { x_result = result; x_branches = List.rev !branches; x_blocks = List.rev !blocks }
+
+let backend_name = function
+  | `Reference -> "reference"
+  | `Predecoded -> "predecoded"
+  | `Compiled -> "compiled"
+
+(* all requested backends must agree on everything observable *)
+let cross_backend_errors ~what backends prog ~input =
+  match backends with
+  | [] | [ _ ] -> ([], [])
+  | first :: rest ->
+    let base = capture first prog ~input in
+    let errors = ref [] in
+    List.iter
+      (fun b ->
+        let r = capture b prog ~input in
+        let clash field =
+          errors :=
+            !errors
+            @ [
+                Printf.sprintf "%s: %s disagrees with %s on %s" what
+                  (backend_name b) (backend_name first) field;
+              ]
+        in
+        (match (base.x_result, r.x_result) with
+        | Ok a, Ok c ->
+          if a.Sim.Machine.output <> c.Sim.Machine.output then clash "output";
+          if a.Sim.Machine.exit_code <> c.Sim.Machine.exit_code then
+            clash "exit code";
+          if a.Sim.Machine.counters <> c.Sim.Machine.counters then
+            clash "counters"
+        | Error a, Error c -> if a <> c then clash "trap message"
+        | Ok _, Error _ | Error _, Ok _ -> clash "trap behaviour");
+        if base.x_branches <> r.x_branches then clash "branch events";
+        if base.x_blocks <> r.x_blocks then clash "block trace")
+      rest;
+    ([ base ], !errors)
+
+let differential_errors backends ~orig ~reord ~input =
+  let run1 prog what =
+    match cross_backend_errors ~what backends prog ~input with
+    | [ base ], errs -> (Some base, errs)
+    | _, errs -> (
+      match backends with
+      | [] -> (None, errs)
+      | b :: _ -> (Some (capture b prog ~input), errs))
+  in
+  let o, errs_o = run1 orig "original" in
+  let r, errs_r = run1 reord "reordered" in
+  let errs_pair =
+    match (o, r) with
+    | Some o, Some r -> (
+      match (o.x_result, r.x_result) with
+      | Ok a, Ok b ->
+        (if a.Sim.Machine.output <> b.Sim.Machine.output then
+           [
+             Printf.sprintf "reordered output %S differs from original %S"
+               b.Sim.Machine.output a.Sim.Machine.output;
+           ]
+         else [])
+        @
+        if a.Sim.Machine.exit_code <> b.Sim.Machine.exit_code then
+          [ "reordered exit code differs from original" ]
+        else []
+      | Error a, Error b ->
+        if a <> b then [ "reordered trap differs from original" ] else []
+      | Ok _, Error m ->
+        [ Printf.sprintf "reordered traps (%s), original does not" m ]
+      | Error m, Ok _ ->
+        [ Printf.sprintf "original traps (%s), reordered does not" m ])
+    | _ -> []
+  in
+  errs_o @ errs_r @ errs_pair
+
+(* ------------------------------------------------------------------ *)
+(* Case outcomes                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type case_out = {
+  co_errors : string list;
+  co_reordered : int;
+  co_coalesced : int;
+  co_unchanged : int;
+  co_pieces : int;
+  co_injected : bool;
+  co_caught : bool;
+  co_blocks : int option;  (* inject mode: enclosing function size *)
+}
+
+let count_outcomes (report : Pass.report) =
+  List.fold_left
+    (fun (r, c, u) (sr : Pass.seq_report) ->
+      match sr.Pass.sr_outcome with
+      | Pass.Reordered _ -> (r + 1, c, u)
+      | Pass.Coalesced _ -> (r, c + 1, u)
+      | Pass.Unchanged _ -> (r, c, u + 1))
+    (0, 0, 0) report.Pass.seq_reports
+
+let run_case ~backends ~inject ~case spec =
+  try
+    let base, reord, report =
+      transform ?coalesce_machine:(coalesce_machine_for case) spec
+    in
+    let injected =
+      if inject then inject_wrong_default ~before:base ~after:reord report
+      else None
+    in
+    let summary = Verify.certify_report ~before:base ~after:reord report in
+    let reo, coa, unc = count_outcomes report in
+    let pieces =
+      List.fold_left
+        (fun acc r -> acc + r.Verify.v_pieces)
+        0 summary.Verify.seq_results
+    in
+    let out =
+      {
+        co_errors = [];
+        co_reordered = reo;
+        co_coalesced = coa;
+        co_unchanged = unc;
+        co_pieces = pieces;
+        co_injected = injected <> None;
+        co_caught = false;
+        co_blocks = None;
+      }
+    in
+    match injected with
+    | Some (_fname, blocks) ->
+      if Verify.ok summary then
+        {
+          out with
+          co_errors =
+            [ "verifier accepted a program with an injected wrong default target" ];
+        }
+      else { out with co_caught = true; co_blocks = Some blocks }
+    | None ->
+      if inject then out (* nothing reordered: nothing to plant *)
+      else if not (Verify.ok summary) then
+        { out with co_errors = Verify.all_errors summary }
+      else begin
+        (* finalize both versions exactly like the pipeline, then race the
+           backends *)
+        let orig = Mir.Clone.program base in
+        ignore (Mopt.Cleanup.finalize orig);
+        ignore (Mopt.Cleanup.finalize reord);
+        Mir.Validate.check orig;
+        Mir.Validate.check reord;
+        let errors =
+          differential_errors backends ~orig ~reord ~input:spec.Gen.sp_test
+        in
+        { out with co_errors = errors }
+      end
+  with
+  | Failure m -> { co_errors = [ "exception: " ^ m ];
+                   co_reordered = 0; co_coalesced = 0; co_unchanged = 0;
+                   co_pieces = 0; co_injected = false; co_caught = false;
+                   co_blocks = None }
+  | Sim.Machine.Trap m ->
+    { co_errors = [ "trap during training: " ^ m ];
+      co_reordered = 0; co_coalesced = 0; co_unchanged = 0; co_pieces = 0;
+      co_injected = false; co_caught = false; co_blocks = None }
+
+(* ------------------------------------------------------------------ *)
+(* The driver loop                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let form_name = function
+  | Gen.F_eq _ -> "eq"
+  | Gen.F_ne _ -> "ne"
+  | Gen.F_le _ -> "le"
+  | Gen.F_ge _ -> "ge"
+  | Gen.F_between _ -> "between"
+
+let default_backends : backend list = [ `Reference; `Predecoded; `Compiled ]
+
+let run ?(backends = default_backends) ?(inject = false) ?(log = ignore)
+    ~cases ~seed () =
+  let form_tally = Hashtbl.create 8 in
+  let tally spec =
+    List.iter
+      (fun f ->
+        let k = form_name f in
+        Hashtbl.replace form_tally k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt form_tally k)))
+      (Gen.forms spec)
+  in
+  let failures = ref [] in
+  let reordered = ref 0
+  and coalesced = ref 0
+  and unchanged = ref 0
+  and pieces = ref 0
+  and injected = ref 0
+  and caught = ref 0
+  and best_blocks = ref None in
+  for case = 0 to cases - 1 do
+    let spec = Gen.spec_of_seed ((seed * 1_000_003) + case) in
+    tally spec;
+    let out = run_case ~backends ~inject ~case spec in
+    reordered := !reordered + out.co_reordered;
+    coalesced := !coalesced + out.co_coalesced;
+    unchanged := !unchanged + out.co_unchanged;
+    pieces := !pieces + out.co_pieces;
+    if out.co_injected then incr injected;
+    if out.co_caught then begin
+      incr caught;
+      (* shrink the caught case once, for the smallest demonstration *)
+      if !best_blocks = None then begin
+        let keep s = (run_case ~backends ~inject:true ~case s).co_caught in
+        let shrunk = Gen.shrink_spec ~keep spec in
+        let blocks = (run_case ~backends ~inject:true ~case shrunk).co_blocks in
+        best_blocks := blocks
+      end
+    end;
+    if out.co_errors <> [] then begin
+      let keep s = (run_case ~backends ~inject ~case s).co_errors <> [] in
+      let shrunk = Gen.shrink_spec ~keep spec in
+      let f =
+        {
+          f_case = case;
+          f_spec = spec;
+          f_shrunk = shrunk;
+          f_errors = out.co_errors;
+        }
+      in
+      failures := !failures @ [ f ];
+      log (Format.asprintf "%a" pp_failure f)
+    end;
+    if (case + 1) mod 100 = 0 then
+      log
+        (Printf.sprintf "fuzz: %d/%d cases, %d sequences reordered, %d failures"
+           (case + 1) cases !reordered
+           (List.length !failures))
+  done;
+  {
+    st_cases = cases;
+    st_reordered = !reordered;
+    st_coalesced = !coalesced;
+    st_unchanged = !unchanged;
+    st_pieces = !pieces;
+    st_injected = !injected;
+    st_caught = !caught;
+    st_counterexample_blocks = !best_blocks;
+    st_form_counts =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) form_tally []);
+    st_failures = !failures;
+  }

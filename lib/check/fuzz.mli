@@ -1,0 +1,62 @@
+(** Fuzzing orchestrator: generate → pipeline → verify → differential.
+
+    Each case draws a {!Gen.spec}, builds the program, lowers switches
+    under the spec's heuristic set, trains on the spec's training input,
+    runs {!Reorder.Pass.run}, certifies the rewrite with {!Verify}, and
+    differentially executes the original against the reordered program
+    under the requested {!Sim.Machine} backends — comparing output and
+    exit code between versions, and additionally counters, branch-event
+    streams and block traces between backends of the same version.
+
+    Failures are minimized with {!Gen.shrink_spec} before being
+    reported.  With [inject] set, a "wrong default target" bug is
+    planted into every reordered result and the roles flip: the verifier
+    {b must} reject each planted bug, and a case where it does not is a
+    failure — this guards against a vacuously-true verifier.  Cases
+    where nothing was reordered have nothing to plant and are skipped;
+    [bromc fuzz --inject] additionally fails a run where {b no} case
+    could be injected (wholly vacuous). *)
+
+type backend = [ `Reference | `Predecoded | `Compiled ]
+
+type failure = {
+  f_case : int;       (** 0-based case index *)
+  f_spec : Gen.spec;  (** spec as generated *)
+  f_shrunk : Gen.spec;  (** minimized spec still exhibiting the failure *)
+  f_errors : string list;
+}
+
+type stats = {
+  st_cases : int;
+  st_reordered : int;   (** sequences reordered across all cases *)
+  st_coalesced : int;
+  st_unchanged : int;
+  st_pieces : int;      (** partition pieces certified by {!Verify} *)
+  st_injected : int;    (** planted bugs (inject mode) *)
+  st_caught : int;      (** planted bugs the verifier rejected *)
+  st_counterexample_blocks : int option;
+      (** inject mode: blocks of the enclosing function in the smallest
+          shrunk caught case *)
+  st_form_counts : (string * int) list;
+      (** occurrences of each range-condition form across the corpus *)
+  st_failures : failure list;
+}
+
+val ok : stats -> bool
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val pp_failure : Format.formatter -> failure -> unit
+(** The shrunk counterexample, its errors, and the full spec. *)
+
+val run :
+  ?backends:backend list ->
+  ?inject:bool ->
+  ?log:(string -> unit) ->
+  cases:int ->
+  seed:int ->
+  unit ->
+  stats
+(** Deterministic in [seed]: case [i] draws from a PRNG seeded with
+    [seed] and [i].  [log] receives one progress line every few hundred
+    cases.  [backends] defaults to all three. *)

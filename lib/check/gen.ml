@@ -1,0 +1,533 @@
+(* Random-program generators: the MiniC dispatch corpus shared with the
+   property tests, and the MIR-level spec corpus the fuzzer minimizes.
+   Everything is a QCheck2 generator so draws are seeded and shrinkable. *)
+
+module G = QCheck2.Gen
+
+(* ------------------------------------------------------------------ *)
+(* MiniC dispatch corpus                                                *)
+(* ------------------------------------------------------------------ *)
+
+type cond =
+  | Ceq of int
+  | Cne of int
+  | Clt of int
+  | Cle of int
+  | Cgt of int
+  | Cge of int
+  | Cbetween of int * int
+
+let cond_to_c = function
+  | Ceq k -> Printf.sprintf "c == %d" k
+  | Cne k -> Printf.sprintf "c != %d" k
+  | Clt k -> Printf.sprintf "c < %d" k
+  | Cle k -> Printf.sprintf "c <= %d" k
+  | Cgt k -> Printf.sprintf "c > %d" k
+  | Cge k -> Printf.sprintf "c >= %d" k
+  | Cbetween (a, b) -> Printf.sprintf "c >= %d && c <= %d" a b
+
+let gen_cond =
+  G.(
+    let* k = int_range 0 120 in
+    let* k2 = int_range 1 20 in
+    oneofl [ Ceq k; Cne k; Clt k; Cle k; Cgt k; Cge k; Cbetween (k, k + k2) ])
+
+type dispatch = {
+  conds : (cond * bool) list;
+  train : string;
+  test : string;
+}
+
+let dispatch_source p =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "int g;\nint f(int c) {\n";
+  List.iteri
+    (fun i (cond, side) ->
+      if side && i > 0 then Buffer.add_string buf "  g = g + 1;\n";
+      Buffer.add_string buf
+        (Printf.sprintf "  if (%s) return %d;\n" (cond_to_c cond) (i + 1)))
+    p.conds;
+  Buffer.add_string buf "  return 0;\n}\n";
+  Buffer.add_string buf
+    "int main() { int c; int s = 0; while ((c = getchar()) != EOF) { s = s * \
+     31 + f(c); s = s % 65536; } print_int(s); putchar(' '); print_int(g); \
+     return 0; }\n";
+  Buffer.contents buf
+
+let print_dispatch p =
+  Printf.sprintf "%s\n-- train: %S\n-- test: %S" (dispatch_source p) p.train
+    p.test
+
+let gen_input =
+  G.(
+    let* n = int_range 0 400 in
+    let* chars = list_size (return n) (int_range 0 126) in
+    return
+      (String.concat "" (List.map (fun c -> String.make 1 (Char.chr c)) chars)))
+
+let gen_dispatch =
+  G.(
+    let* n = int_range 2 6 in
+    let* conds = list_size (return n) gen_cond in
+    let* sides =
+      list_size (return n) (frequencyl [ (4, false); (1, true) ])
+    in
+    let* train = gen_input in
+    let* test = gen_input in
+    return { conds = List.combine conds sides; train; test })
+
+let switch_source values =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "int main() { int c; int s = 0; while ((c = getchar()) != EOF) { switch \
+     (c) {\n";
+  List.iteri
+    (fun i v ->
+      Buffer.add_string buf
+        (Printf.sprintf "case %d: s += %d; break;\n" v (i + 1)))
+    values;
+  Buffer.add_string buf "default: s--; } } print_int(s); return 0; }\n";
+  Buffer.contents buf
+
+let gen_switch_values =
+  G.(
+    let* n = int_range 1 18 in
+    let* dense = bool in
+    let* values =
+      if dense then return (List.init n (fun i -> 40 + i))
+      else
+        let* step = int_range 2 9 in
+        return (List.init n (fun i -> 40 + (i * step)))
+    in
+    let* input = gen_input in
+    return (values, input))
+
+let print_switch_values (values, input) =
+  Printf.sprintf "cases [%s] input %S"
+    (String.concat ";" (List.map string_of_int values))
+    input
+
+(* random small CFG: n blocks, each ending in a branch or jump to random
+   targets (block 0 is the entry; the last block returns) *)
+let gen_cfg =
+  G.(
+    let* n = int_range 2 10 in
+    let* choices =
+      list_size (return n) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    in
+    return (n, choices))
+
+let build_cfg (n, choices) =
+  let fn = Mir.Func.make ~name:"g" ~params:[ Mir.Reg.of_int 0 ] in
+  let label i = Printf.sprintf "b%d" i in
+  List.iteri
+    (fun i (t, f) ->
+      let block =
+        if i = n - 1 then Mir.Block.make ~label:(label i) [] (Mir.Block.Ret None)
+        else if t = f then
+          Mir.Block.make ~label:(label i) [] (Mir.Block.Jmp (label t))
+        else
+          Mir.Block.make ~label:(label i)
+            [ Mir.Insn.Cmp (Mir.Operand.Reg (Mir.Reg.of_int 0), Mir.Operand.Imm 0) ]
+            (Mir.Block.Br (Mir.Cond.Eq, label t, label f))
+      in
+      Mir.Func.add_block fn block)
+    choices;
+  fn
+
+let print_cfg (n, choices) =
+  Printf.sprintf "n=%d [%s]" n
+    (String.concat ";"
+       (List.map (fun (t, f) -> Printf.sprintf "(%d,%d)" t f) choices))
+
+(* ------------------------------------------------------------------ *)
+(* MIR-level specs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type form =
+  | F_eq of int
+  | F_ne of int
+  | F_le of int
+  | F_ge of int
+  | F_between of int * int
+
+type cond_spec = {
+  cs_form : form;
+  cs_side : bool;
+}
+
+type seq_spec = {
+  sq_conds : cond_spec list;
+  sq_extra_entry : bool;
+}
+
+type switch_spec = { sw_cases : (int * int) list }
+
+type spec = {
+  sp_seq : seq_spec;
+  sp_switch : switch_spec option;
+  sp_heuristic : int;
+  sp_train : string;
+  sp_test : string;
+}
+
+let heuristic_of_spec spec =
+  match spec.sp_heuristic with
+  | 0 -> Mopt.Switch_lower.set_i
+  | 1 -> Mopt.Switch_lower.set_ii
+  | _ -> Mopt.Switch_lower.set_iii
+
+let forms spec = List.map (fun c -> c.cs_form) spec.sp_seq.sq_conds
+
+let pp_form ppf = function
+  | F_eq c -> Format.fprintf ppf "v == %d" c
+  | F_ne c -> Format.fprintf ppf "v != %d" c
+  | F_le c -> Format.fprintf ppf "v <= %d" c
+  | F_ge c -> Format.fprintf ppf "v >= %d" c
+  | F_between (a, b) -> Format.fprintf ppf "%d <= v <= %d" a b
+
+let pp_spec ppf spec =
+  Format.fprintf ppf "@[<v>dispatch chain (heuristic set %s):@,"
+    (heuristic_of_spec spec).Mopt.Switch_lower.hs_name;
+  List.iteri
+    (fun i c ->
+      Format.fprintf ppf "  %d: %a -> return %d%s@," (i + 1) pp_form c.cs_form
+        (i + 1)
+        (if c.cs_side then "  (side effect before test)" else ""))
+    spec.sp_seq.sq_conds;
+  if spec.sp_seq.sq_extra_entry then
+    Format.fprintf ppf "  + second entry into the middle of the chain@,";
+  (match spec.sp_switch with
+  | None -> ()
+  | Some sw ->
+    Format.fprintf ppf "switch on [%s]@,"
+      (String.concat ";" (List.map (fun (v, _) -> string_of_int v) sw.sw_cases)));
+  Format.fprintf ppf "train: %S@,test: %S@]" spec.sp_train spec.sp_test
+
+let show_spec spec = Format.asprintf "%a" pp_spec spec
+
+(* ---- building the program ---- *)
+
+let reg = Mir.Reg.of_int
+let rop n = Mir.Operand.Reg (reg n)
+let imm n = Mir.Operand.Imm n
+
+(* g = g + 1, avoiding the branch variable (r0) *)
+let side_insns =
+  [
+    Mir.Insn.Load (reg 1, "g", imm 0);
+    Mir.Insn.Binop (Mir.Insn.Add, reg 2, rop 1, imm 1);
+    Mir.Insn.Store ("g", imm 0, rop 2);
+  ]
+
+let max_const spec =
+  List.fold_left
+    (fun acc c ->
+      match c.cs_form with
+      | F_eq k | F_ne k | F_le k | F_ge k -> max acc k
+      | F_between (_, b) -> max acc b)
+    0 spec.sp_seq.sq_conds
+
+(* the dispatch function: a chain of range-condition blocks on r0 *)
+let build_f spec =
+  let fn = Mir.Func.make ~name:"f" ~params:[ reg 0 ] in
+  let conds = Array.of_list spec.sp_seq.sq_conds in
+  let n = Array.length conds in
+  let cond_label i = Printf.sprintf "f.c%d" i in
+  let exit_label i = Printf.sprintf "f.x%d" i in
+  let next_label i = if i + 1 < n then cond_label (i + 1) else "f.d" in
+  (* optional second entry: values above every tested constant jump into
+     the middle of the chain, giving that block two predecessors *)
+  if spec.sp_seq.sq_extra_entry && n >= 3 then begin
+    let k = max_const spec + 5 in
+    let mid = n / 2 in
+    Mir.Func.add_block fn
+      (Mir.Block.make ~label:"f.entry"
+         [ Mir.Insn.Cmp (rop 0, imm k) ]
+         (Mir.Block.Br (Mir.Cond.Gt, cond_label mid, cond_label 0)))
+  end;
+  Array.iteri
+    (fun i c ->
+      let sides = if c.cs_side then side_insns else [] in
+      match c.cs_form with
+      | F_eq k ->
+        Mir.Func.add_block fn
+          (Mir.Block.make ~label:(cond_label i)
+             (sides @ [ Mir.Insn.Cmp (rop 0, imm k) ])
+             (Mir.Block.Br (Mir.Cond.Eq, exit_label i, next_label i)))
+      | F_ne k ->
+        (* the Ne reading: the taken edge continues the sequence *)
+        Mir.Func.add_block fn
+          (Mir.Block.make ~label:(cond_label i)
+             (sides @ [ Mir.Insn.Cmp (rop 0, imm k) ])
+             (Mir.Block.Br (Mir.Cond.Ne, next_label i, exit_label i)))
+      | F_le k ->
+        Mir.Func.add_block fn
+          (Mir.Block.make ~label:(cond_label i)
+             (sides @ [ Mir.Insn.Cmp (rop 0, imm k) ])
+             (Mir.Block.Br (Mir.Cond.Le, exit_label i, next_label i)))
+      | F_ge k ->
+        Mir.Func.add_block fn
+          (Mir.Block.make ~label:(cond_label i)
+             (sides @ [ Mir.Insn.Cmp (rop 0, imm k) ])
+             (Mir.Block.Br (Mir.Cond.Ge, exit_label i, next_label i)))
+      | F_between (lo, hi) ->
+        (* Form 4: two compare/branch blocks sharing the continue edge *)
+        let second = cond_label i ^ "b" in
+        Mir.Func.add_block fn
+          (Mir.Block.make ~label:(cond_label i)
+             (sides @ [ Mir.Insn.Cmp (rop 0, imm lo) ])
+             (Mir.Block.Br (Mir.Cond.Lt, next_label i, second)));
+        Mir.Func.add_block fn
+          (Mir.Block.make ~label:second
+             [ Mir.Insn.Cmp (rop 0, imm hi) ]
+             (Mir.Block.Br (Mir.Cond.Le, exit_label i, next_label i))))
+    conds;
+  for i = 0 to n - 1 do
+    Mir.Func.add_block fn
+      (Mir.Block.make ~label:(exit_label i) [] (Mir.Block.Ret (Some (imm (i + 1)))))
+  done;
+  Mir.Func.add_block fn (Mir.Block.make ~label:"f.d" [] (Mir.Block.Ret (Some (imm 0))));
+  fn.Mir.Func.next_reg <- 16;
+  fn
+
+let build_s sw =
+  let fn = Mir.Func.make ~name:"s" ~params:[ reg 0 ] in
+  let cases =
+    List.mapi (fun i (v, _) -> (v, Printf.sprintf "s.k%d" i)) sw.sw_cases
+  in
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"s.entry" []
+       (Mir.Block.Switch (reg 0, cases, "s.d")));
+  List.iteri
+    (fun i (_, result) ->
+      Mir.Func.add_block fn
+        (Mir.Block.make ~label:(Printf.sprintf "s.k%d" i) []
+           (Mir.Block.Ret (Some (imm result)))))
+    sw.sw_cases;
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"s.d" [] (Mir.Block.Ret (Some (imm 0))));
+  fn.Mir.Func.next_reg <- 16;
+  fn
+
+(* main: acc = ((acc * 31 + f(c)) + s(c)) mod 65536 over the input bytes,
+   then print acc and the side-effect counter *)
+let build_main ~with_switch =
+  let fn = Mir.Func.make ~name:"main" ~params:[] in
+  let acc = 0 and c = 1 and t = 2 and t2 = 3 and fr = 4 and sr = 5 and gv = 6 in
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"main.entry"
+       [ Mir.Insn.Mov (reg acc, imm 0) ]
+       (Mir.Block.Jmp "main.loop"));
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"main.loop"
+       [
+         Mir.Insn.Call (Some (reg c), "getchar", []);
+         Mir.Insn.Cmp (rop c, imm (-1));
+       ]
+       (Mir.Block.Br (Mir.Cond.Eq, "main.end", "main.body")));
+  let body =
+    [
+      Mir.Insn.Call (Some (reg fr), "f", [ rop c ]);
+      Mir.Insn.Binop (Mir.Insn.Mul, reg t, rop acc, imm 31);
+      Mir.Insn.Binop (Mir.Insn.Add, reg t2, rop t, rop fr);
+      Mir.Insn.Binop (Mir.Insn.Rem, reg acc, rop t2, imm 65536);
+    ]
+    @ (if with_switch then
+         [
+           Mir.Insn.Call (Some (reg sr), "s", [ rop c ]);
+           Mir.Insn.Binop (Mir.Insn.Add, reg t, rop acc, rop sr);
+           Mir.Insn.Binop (Mir.Insn.Rem, reg acc, rop t, imm 65536);
+         ]
+       else [])
+  in
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"main.body" body (Mir.Block.Jmp "main.loop"));
+  Mir.Func.add_block fn
+    (Mir.Block.make ~label:"main.end"
+       [
+         Mir.Insn.Call (None, "print_int", [ rop acc ]);
+         Mir.Insn.Call (None, "putchar", [ imm 32 ]);
+         Mir.Insn.Load (reg gv, "g", imm 0);
+         Mir.Insn.Call (None, "print_int", [ rop gv ]);
+       ]
+       (Mir.Block.Ret (Some (imm 0))));
+  fn.Mir.Func.next_reg <- 16;
+  fn
+
+let to_program spec =
+  let p = Mir.Program.make () in
+  Mir.Program.add_global p { Mir.Program.gname = "g"; size = 1; init = None };
+  Mir.Program.add_func p (build_f spec);
+  (match spec.sp_switch with
+  | Some sw -> Mir.Program.add_func p (build_s sw)
+  | None -> ());
+  Mir.Program.add_func p (build_main ~with_switch:(spec.sp_switch <> None));
+  p
+
+(* ---- the generator ---- *)
+
+(* ascending, gapped constants so the chain's ranges never overlap and
+   the whole run is detectable as one sequence *)
+let gen_conds =
+  G.(
+    let* n = int_range 2 5 in
+    let rec go i base acc =
+      if i >= n then return (List.rev acc)
+      else
+        let* gap = int_range 3 20 in
+        let base = base + gap in
+        let* side = frequencyl [ (3, false); (1, true) ] in
+        let* choice =
+          frequency
+            ([
+               (4, return (F_eq base, base));
+               (2, return (F_ne base, base));
+               (3,
+                let* w = int_range 1 12 in
+                return (F_between (base, base + w), base + w));
+             ]
+            @ (if i = 0 then [ (2, return (F_le base, base)) ] else [])
+            @ if i = n - 1 then [ (2, return (F_ge base, base)) ] else [])
+        in
+        let form, top = choice in
+        go (i + 1) top ({ cs_form = form; cs_side = side } :: acc)
+    in
+    let* base = int_range 2 30 in
+    go 0 base [])
+
+let gen_switch_spec =
+  G.(
+    let* n = int_range 3 14 in
+    let* base = int_range 40 70 in
+    let* stride = frequencyl [ (2, 1); (1, 2); (1, 3); (1, 7) ] in
+    return
+      { sw_cases = List.init n (fun i -> (base + (i * stride), (i * 3) + 2)) })
+
+(* input bytes biased toward the constants the spec tests, so training
+   runs actually exercise the ranges *)
+let interesting_values spec =
+  let add acc v = if v >= 0 && v <= 126 then v :: acc else acc in
+  let of_form acc = function
+    | F_eq c | F_ne c | F_le c | F_ge c ->
+      List.fold_left add acc [ c - 1; c; c + 1 ]
+    | F_between (a, b) ->
+      List.fold_left add acc [ a - 1; a; (a + b) / 2; b; b + 1 ]
+  in
+  let acc = List.fold_left of_form [] (forms spec) in
+  let acc =
+    match spec.sp_switch with
+    | None -> acc
+    | Some sw -> List.fold_left (fun acc (v, _) -> add acc v) acc sw.sw_cases
+  in
+  match acc with [] -> [ 0 ] | l -> l
+
+let gen_biased_input interesting =
+  G.(
+    let* n = int_range 0 300 in
+    let* chars =
+      list_size (return n)
+        (frequency [ (3, oneofl interesting); (2, int_range 0 126) ])
+    in
+    return
+      (String.concat "" (List.map (fun c -> String.make 1 (Char.chr c)) chars)))
+
+let gen_spec =
+  G.(
+    let* conds = gen_conds in
+    let* extra = frequencyl [ (3, false); (1, true) ] in
+    let* switch = frequency [ (1, return None); (1, map Option.some gen_switch_spec) ] in
+    let* heuristic = int_range 0 2 in
+    let partial =
+      {
+        sp_seq = { sq_conds = conds; sq_extra_entry = extra };
+        sp_switch = switch;
+        sp_heuristic = heuristic;
+        sp_train = "";
+        sp_test = "";
+      }
+    in
+    let interesting = interesting_values partial in
+    let* train = gen_biased_input interesting in
+    let* test = gen_biased_input interesting in
+    return { partial with sp_train = train; sp_test = test })
+
+let spec_of_seed seed = G.generate1 ~rand:(Random.State.make [| seed |]) gen_spec
+
+let sample ~seed ~n gen =
+  let rand = Random.State.make [| seed |] in
+  List.init n (fun _ -> G.generate1 ~rand gen)
+
+(* ---- shrinking ---- *)
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let halves s =
+  let len = String.length s in
+  if len = 0 then []
+  else [ ""; String.sub s 0 (len / 2); String.sub s (len / 2) (len - len / 2) ]
+
+(* candidate one-step reductions, most aggressive first; every candidate
+   strictly reduces the spec's size measure, so the greedy loop ends *)
+let reductions spec =
+  let seq = spec.sp_seq in
+  let with_seq sq = { spec with sp_seq = sq } in
+  List.concat
+    [
+      (match spec.sp_switch with
+      | Some _ -> [ { spec with sp_switch = None } ]
+      | None -> []);
+      (if seq.sq_extra_entry then
+         [ with_seq { seq with sq_extra_entry = false } ]
+       else []);
+      List.init (List.length seq.sq_conds) (fun i ->
+          with_seq { seq with sq_conds = drop_nth seq.sq_conds i });
+      List.concat
+        (List.mapi
+           (fun i c ->
+             if c.cs_side then
+               [
+                 with_seq
+                   {
+                     seq with
+                     sq_conds =
+                       List.mapi
+                         (fun j c -> if i = j then { c with cs_side = false } else c)
+                         seq.sq_conds;
+                   };
+               ]
+             else [])
+           seq.sq_conds);
+      (match spec.sp_switch with
+      | Some sw when List.length sw.sw_cases > 1 ->
+        List.init (List.length sw.sw_cases) (fun i ->
+            { spec with sp_switch = Some { sw_cases = drop_nth sw.sw_cases i } })
+      | Some _ | None -> []);
+      List.map (fun t -> { spec with sp_train = t }) (halves spec.sp_train);
+      List.map (fun t -> { spec with sp_test = t }) (halves spec.sp_test);
+    ]
+
+let measure spec =
+  List.length spec.sp_seq.sq_conds
+  + List.fold_left
+      (fun acc c -> if c.cs_side then acc + 1 else acc)
+      0 spec.sp_seq.sq_conds
+  + (if spec.sp_seq.sq_extra_entry then 1 else 0)
+  + (match spec.sp_switch with
+    | None -> 0
+    | Some sw -> 1 + List.length sw.sw_cases)
+  + String.length spec.sp_train
+  + String.length spec.sp_test
+
+let shrink_spec ~keep spec =
+  let rec go spec =
+    let smaller =
+      List.find_opt
+        (fun candidate ->
+          measure candidate < measure spec
+          && (try keep candidate with _ -> false))
+        (reductions spec)
+    in
+    match smaller with None -> spec | Some s -> go s
+  in
+  go spec

@@ -10,6 +10,7 @@ type t = {
   profile_layout : bool;
   predictors : (int * int * int) list;
   validate : bool;
+  verify : bool;
   fuel : int;
   backend : [ `Reference | `Predecoded | `Compiled ];
 }
@@ -32,6 +33,7 @@ let default =
     profile_layout = false;
     predictors = paper_predictors;
     validate = true;
+    verify = false;
     fuel = 500_000_000;
     backend = `Compiled;
   }

@@ -24,6 +24,11 @@ type t = {
   predictors : (int * int * int) list;
       (** (history bits, counter bits, entries) simulated on every run *)
   validate : bool;          (** run the MIR validator after every stage *)
+  verify : bool;
+      (** translation-validate every sequence rewrite with
+          {!Check.Verify} right after the reordering pass (before any
+          later cleanup reshapes the blocks); a rejected rewrite fails
+          the pipeline *)
   fuel : int;               (** simulator instruction budget per run *)
   backend : [ `Reference | `Predecoded | `Compiled ];
       (** execution engine for the training and measurement runs

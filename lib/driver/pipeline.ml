@@ -13,6 +13,7 @@ type result = {
   r_config : Config.t;
   r_seqs : Reorder.Detect.t list;
   r_report : Reorder.Pass.report;
+  r_verify : Check.Verify.summary option;
   r_comb : (Reorder.Common_succ.run * Reorder.Common_succ.outcome) list;
   r_pairs : (Reorder.Common_succ.pair * Reorder.Common_succ.outcome) list;
   r_stats : Reorder.Stats.t;
@@ -219,13 +220,28 @@ let run ?(config = Config.default) ?on_stage ~name ~source ~training_input
 
   (* pass 2: reorder a clone of the base *)
   let reord = Mir.Clone.program base in
-  let report, comb_outcomes, pair_outcomes =
+  let report, verify, comb_outcomes, pair_outcomes =
     stage "reorder" (fun () ->
         let report =
           Reorder.Pass.run ~options:config.Config.apply_options
             ~selector:config.Config.selector
             ~keep_original_default:config.Config.keep_original_default
             ?coalesce_machine:config.Config.coalesce_machine reord seqs table
+        in
+        (* translation validation must look at the pass's output before
+           the common-successor rewrites and cleanup reshape the blocks *)
+        let verify =
+          if config.Config.verify then begin
+            let summary =
+              Check.Verify.certify_report ~before:base ~after:reord report
+            in
+            if not (Check.Verify.ok summary) then
+              failwith
+                (Printf.sprintf "%s: translation validation failed:\n  %s" name
+                   (String.concat "\n  " (Check.Verify.all_errors summary)));
+            Some summary
+          end
+          else None
         in
         (* within-run permutations first (they re-emit each run's edges from
            the run record), then super-branch pair swaps, which relink those
@@ -238,7 +254,7 @@ let run ?(config = Config.default) ?on_stage ~name ~source ~training_input
             (fun pr -> (pr, Reorder.Common_succ.apply_pair reord table pr))
             pairs
         in
-        (report, comb_outcomes, pair_outcomes))
+        (report, verify, comb_outcomes, pair_outcomes))
   in
 
   (* cleanup + finalization of both versions (the original is finalized
@@ -268,6 +284,7 @@ let run ?(config = Config.default) ?on_stage ~name ~source ~training_input
     r_config = config;
     r_seqs = seqs;
     r_report = report;
+    r_verify = verify;
     r_comb = comb_outcomes;
     r_pairs = pair_outcomes;
     r_stats = Reorder.Stats.of_report report;

@@ -27,6 +27,9 @@ type result = {
   r_config : Config.t;
   r_seqs : Reorder.Detect.t list;
   r_report : Reorder.Pass.report;
+  r_verify : Check.Verify.summary option;
+      (** translation-validation summary when {!Config.t.verify} is set
+          (the pipeline has already failed if it contains errors) *)
   r_comb : (Reorder.Common_succ.run * Reorder.Common_succ.outcome) list;
   r_pairs : (Reorder.Common_succ.pair * Reorder.Common_succ.outcome) list;
       (** Figure 14(d)-(e) super-branch pairs, when [common_succ] is on *)

@@ -37,6 +37,10 @@ let slow_case name f = Alcotest.test_case name `Slow f
 let qcheck ?(count = 200) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
 
+(* QCheck2 flavour, for generators shared with lib/check (Check.Gen) *)
+let qcheck2 ?(count = 200) ?print name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ?print gen prop)
+
 (* a deterministic pseudo-random int stream for building test data *)
 let mix seed i = ((seed * 1103515245) + (i * 12345)) land 0x3FFFFFFF
 

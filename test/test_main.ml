@@ -3,6 +3,7 @@ let () =
     [
       ("mir", Test_mir.suite);
       ("mir-text", Test_mir_text.suite);
+      ("validate", Test_validate.suite);
       ("frontend", Test_frontend.suite);
       ("sim", Test_sim.suite);
       ("opt", Test_opt.suite);
@@ -17,6 +18,7 @@ let () =
       ("workload-behaviour", Test_workload_behaviour.suite);
       ("driver", Test_driver.suite);
       ("properties", Test_properties.suite);
+      ("check", Test_check.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("predecode", Test_predecode.suite);
       ("parallel", Test_parallel.suite);

@@ -1,128 +1,73 @@
 (* Cross-cutting property tests: randomly generated dispatch programs are
    pushed through the entire two-pass pipeline; the pipeline itself
    asserts output equality between the original and reordered binaries,
-   so surviving the run is the property.  This is the repository's main
-   semantic-preservation fuzz harness. *)
+   so surviving the run is the property.
+
+   The generators live in Check.Gen — one corpus shared with the fuzzing
+   subsystem (bromc fuzz), so the shapes tested here and the shapes
+   fuzzed there cannot drift apart. *)
 
 open Helpers
-
-(* ------------------------------------------------------------------ *)
-(* Random dispatch-program generator                                    *)
-(* ------------------------------------------------------------------ *)
-
-type cond =
-  | Ceq of int
-  | Cne of int
-  | Clt of int
-  | Cle of int
-  | Cgt of int
-  | Cge of int
-  | Cbetween of int * int
-
-let cond_to_c = function
-  | Ceq k -> Printf.sprintf "c == %d" k
-  | Cne k -> Printf.sprintf "c != %d" k
-  | Clt k -> Printf.sprintf "c < %d" k
-  | Cle k -> Printf.sprintf "c <= %d" k
-  | Cgt k -> Printf.sprintf "c > %d" k
-  | Cge k -> Printf.sprintf "c >= %d" k
-  | Cbetween (a, b) -> Printf.sprintf "c >= %d && c <= %d" a b
-
-let gen_cond =
-  QCheck.Gen.(
-    let* k = int_range 0 120 in
-    let* k2 = int_range 1 20 in
-    oneofl
-      [ Ceq k; Cne k; Clt k; Cle k; Cgt k; Cge k; Cbetween (k, k + k2) ])
-
-type dispatch_program = {
-  conds : (cond * bool) list;  (* condition, side effect before it *)
-  train : string;
-  test : string;
-}
-
-let program_source p =
-  let buf = Buffer.create 512 in
-  Buffer.add_string buf "int g;\nint f(int c) {\n";
-  List.iteri
-    (fun i (cond, side) ->
-      if side && i > 0 then Buffer.add_string buf "  g = g + 1;\n";
-      Buffer.add_string buf
-        (Printf.sprintf "  if (%s) return %d;\n" (cond_to_c cond) (i + 1)))
-    p.conds;
-  Buffer.add_string buf "  return 0;\n}\n";
-  Buffer.add_string buf
-    "int main() { int c; int s = 0; while ((c = getchar()) != EOF) { s = s * \
-     31 + f(c); s = s % 65536; } print_int(s); putchar(' '); print_int(g); \
-     return 0; }\n";
-  Buffer.contents buf
-
-let gen_input =
-  QCheck.Gen.(
-    let* n = int_range 0 400 in
-    let* chars = list_size (return n) (int_range 0 126) in
-    return (String.concat "" (List.map (fun c -> String.make 1 (Char.chr c)) chars)))
-
-let gen_program =
-  QCheck.Gen.(
-    let* n = int_range 2 6 in
-    let* conds = list_size (return n) gen_cond in
-    let* sides = list_size (return n) (frequency [ (4, return false); (1, return true) ]) in
-    let* train = gen_input in
-    let* test = gen_input in
-    return { conds = List.combine conds sides; train; test })
-
-let arb_program =
-  QCheck.make gen_program ~print:(fun p ->
-      Printf.sprintf "%s\n-- train: %S\n-- test: %S" (program_source p) p.train
-        p.test)
+module Gen = Check.Gen
 
 let prop_pipeline_preserves_semantics =
-  qcheck ~count:150 "pipeline preserves semantics on random dispatchers"
-    arb_program (fun p ->
+  qcheck2 ~count:150 ~print:Gen.print_dispatch
+    "pipeline preserves semantics on random dispatchers" Gen.gen_dispatch
+    (fun (p : Gen.dispatch) ->
       (* Pipeline.run raises Failure on any output divergence and the
          validator raises on malformed MIR *)
       let r =
-        reorder_pipeline ~training_input:p.train ~test_input:p.test
-          (program_source p)
+        reorder_pipeline ~training_input:p.Gen.train ~test_input:p.Gen.test
+          (Gen.dispatch_source p)
       in
       ignore r;
       true)
 
-let prop_training_input_improves =
-  qcheck ~count:75 "reordering never materially regresses on the training input"
-    arb_program (fun p ->
-      QCheck.assume (String.length p.train > 50);
-      let r =
-        reorder_pipeline ~training_input:p.train ~test_input:p.train
-          (program_source p)
-      in
-      let o =
-        r.Driver.Pipeline.r_original.Driver.Pipeline.v_counters
-          .Sim.Counters.insns
-      in
-      let n =
-        r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters
-          .Sim.Counters.insns
-      in
-      (* the selection minimises an estimate; delay slots and the layout
-         jumps of the restructured sequence are outside it and on short
-         runs (a few thousand dynamic instructions) they can amount to
-         several percent, so the bound is deliberately loose *)
-      float_of_int n <= (1.12 *. float_of_int o) +. 64.)
+(* Training-input regression guard.  This was a QCheck property whose
+   bound had to be loosened repeatedly to absorb unlucky draws (delay
+   slots and layout jumps are outside the estimate selection minimizes,
+   and on runs of a few thousand dynamic instructions they can amount to
+   several percent); a fixed seeded corpus keeps the guard while making
+   every run check the exact same programs. *)
+let training_regression_corpus () =
+  let checked = ref 0 in
+  List.iter
+    (fun (p : Gen.dispatch) ->
+      if String.length p.Gen.train > 50 then begin
+        incr checked;
+        let r =
+          reorder_pipeline ~training_input:p.Gen.train
+            ~test_input:p.Gen.train (Gen.dispatch_source p)
+        in
+        let insns (v : Driver.Pipeline.version) =
+          v.Driver.Pipeline.v_counters.Sim.Counters.insns
+        in
+        let o = insns r.Driver.Pipeline.r_original in
+        let n = insns r.Driver.Pipeline.r_reordered in
+        if float_of_int n > (1.12 *. float_of_int o) +. 64. then
+          Alcotest.failf
+            "reordering regressed on its own training input (%d -> %d):\n%s" o
+            n (Gen.print_dispatch p)
+      end)
+    (Gen.sample ~seed:1998 ~n:60 Gen.gen_dispatch);
+  (* the corpus must actually exercise the bound, or the guard is dead *)
+  check_bool "corpus has enough long training inputs" true (!checked >= 20)
 
 let prop_exhaustive_never_loses =
-  qcheck ~count:40 "greedy selection matches exhaustive on generated programs"
-    arb_program (fun p ->
-      QCheck.assume (String.length p.train > 20);
+  qcheck2 ~count:40 ~print:Gen.print_dispatch
+    "greedy selection matches exhaustive on generated programs"
+    Gen.gen_dispatch (fun (p : Gen.dispatch) ->
+      QCheck2.assume (String.length p.Gen.train > 20);
       let greedy =
-        reorder_pipeline ~training_input:p.train ~test_input:p.test
-          (program_source p)
+        reorder_pipeline ~training_input:p.Gen.train ~test_input:p.Gen.test
+          (Gen.dispatch_source p)
       in
       let exhaustive =
         reorder_pipeline
-          ~config:{ Driver.Config.default with Driver.Config.selector = `Exhaustive }
-          ~training_input:p.train ~test_input:p.test (program_source p)
+          ~config:
+            { Driver.Config.default with Driver.Config.selector = `Exhaustive }
+          ~training_input:p.Gen.train ~test_input:p.Gen.test
+          (Gen.dispatch_source p)
       in
       let insns (r : Driver.Pipeline.result) =
         r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters
@@ -131,43 +76,14 @@ let prop_exhaustive_never_loses =
       (* the paper reports exact agreement on its suite; allow the tiny
          residue where distinct choices tie in the estimate but differ in
          delay-slot luck *)
-      abs (insns greedy - insns exhaustive)
-      <= 1 + (insns greedy / 50))
+      abs (insns greedy - insns exhaustive) <= 1 + (insns greedy / 50))
 
 (* random switch programs across heuristic sets *)
-let gen_switch_program =
-  QCheck.Gen.(
-    let* n = int_range 1 18 in
-    let* dense = bool in
-    let* values =
-      if dense then return (List.init n (fun i -> 40 + i))
-      else
-        let* step = int_range 2 9 in
-        return (List.init n (fun i -> 40 + (i * step)))
-    in
-    let* input = gen_input in
-    return (values, input))
-
-let arb_switch =
-  QCheck.make gen_switch_program ~print:(fun (values, input) ->
-      Printf.sprintf "cases [%s] input %S"
-        (String.concat ";" (List.map string_of_int values))
-        input)
-
-let switch_source values =
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf
-    "int main() { int c; int s = 0; while ((c = getchar()) != EOF) { switch (c) {\n";
-  List.iteri
-    (fun i v -> Buffer.add_string buf (Printf.sprintf "case %d: s += %d; break;\n" v (i + 1)))
-    values;
-  Buffer.add_string buf "default: s--; } } print_int(s); return 0; }\n";
-  Buffer.contents buf
-
 let prop_switch_heuristics_agree =
-  qcheck ~count:100 "random switches agree across heuristic sets" arb_switch
+  qcheck2 ~count:100 ~print:Gen.print_switch_values
+    "random switches agree across heuristic sets" Gen.gen_switch_values
     (fun (values, input) ->
-      let src = switch_source values in
+      let src = Gen.switch_source values in
       let a = run_src ~heuristic:Mopt.Switch_lower.set_i ~input src in
       let b = run_src ~heuristic:Mopt.Switch_lower.set_ii ~input src in
       let c = run_src ~heuristic:Mopt.Switch_lower.set_iii ~input src in
@@ -177,54 +93,24 @@ let prop_switch_heuristics_agree =
    check plus validation make this a semantics fuzz for the interaction
    of switch shapes with sequence detection *)
 let prop_switch_reorder_preserves =
-  qcheck ~count:60 "reordering random switches preserves semantics" arb_switch
+  qcheck2 ~count:60 ~print:Gen.print_switch_values
+    "reordering random switches preserves semantics" Gen.gen_switch_values
     (fun (values, input) ->
-      QCheck.assume (String.length input > 10);
+      QCheck2.assume (String.length input > 10);
       List.iter
         (fun hs ->
-          let config = { Driver.Config.default with Driver.Config.heuristic = hs } in
+          let config =
+            { Driver.Config.default with Driver.Config.heuristic = hs }
+          in
           ignore
             (reorder_pipeline ~config ~training_input:input ~test_input:input
-               (switch_source values)))
+               (Gen.switch_source values)))
         Mopt.Switch_lower.all_sets;
       true)
 
 (* ------------------------------------------------------------------ *)
 (* Reference-model properties for the analyses                          *)
 (* ------------------------------------------------------------------ *)
-
-(* random small CFG: n blocks, each ending in a branch or jump to random
-   targets (block 0 is the entry; the last block returns) *)
-let gen_cfg =
-  QCheck.Gen.(
-    let* n = int_range 2 10 in
-    let* choices = list_size (return n) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) in
-    return (n, choices))
-
-let build_cfg (n, choices) =
-  let fn = Mir.Func.make ~name:"g" ~params:[ Mir.Reg.of_int 0 ] in
-  let label i = Printf.sprintf "b%d" i in
-  List.iteri
-    (fun i (t, f) ->
-      let block =
-        if i = n - 1 then
-          Mir.Block.make ~label:(label i) [] (Mir.Block.Ret None)
-        else if t = f then
-          Mir.Block.make ~label:(label i) [] (Mir.Block.Jmp (label t))
-        else
-          Mir.Block.make ~label:(label i)
-            [ Mir.Insn.Cmp (Mir.Operand.Reg (Mir.Reg.of_int 0), Mir.Operand.Imm 0) ]
-            (Mir.Block.Br (Mir.Cond.Eq, label t, label f))
-      in
-      Mir.Func.add_block fn block)
-    choices;
-  fn
-
-let arb_cfg =
-  QCheck.make gen_cfg ~print:(fun (n, choices) ->
-      Printf.sprintf "n=%d [%s]" n
-        (String.concat ";"
-           (List.map (fun (t, f) -> Printf.sprintf "(%d,%d)" t f) choices)))
 
 (* reference dominance: a dominates b iff b is unreachable from the
    entry once a is removed (and both are reachable) *)
@@ -250,9 +136,9 @@ let reference_dominates fn a b =
   end
 
 let prop_dominators_match_reference =
-  qcheck ~count:300 "dominators agree with the path-cutting reference" arb_cfg
-    (fun spec ->
-      let fn = build_cfg spec in
+  qcheck2 ~count:300 ~print:Gen.print_cfg
+    "dominators agree with the path-cutting reference" Gen.gen_cfg (fun spec ->
+      let fn = Gen.build_cfg spec in
       let dom = Mir.Dom.compute fn in
       let reach = Mir.Func.reachable fn in
       List.for_all
@@ -266,8 +152,9 @@ let prop_dominators_match_reference =
         fn.Mir.Func.blocks)
 
 let prop_loops_headers_dominate_bodies =
-  qcheck ~count:300 "loop headers dominate their bodies" arb_cfg (fun spec ->
-      let fn = build_cfg spec in
+  qcheck2 ~count:300 ~print:Gen.print_cfg "loop headers dominate their bodies"
+    Gen.gen_cfg (fun spec ->
+      let fn = Gen.build_cfg spec in
       let dom = Mir.Dom.compute fn in
       List.for_all
         (fun (l : Mir.Loops.loop) ->
@@ -283,7 +170,8 @@ let prop_loops_headers_dominate_bodies =
 let prop_lexer_total =
   (* the lexer either tokenizes or raises Srcloc.Error, never anything
      else, on arbitrary bytes *)
-  qcheck ~count:500 "lexer is total" QCheck.(string_of_size (Gen.int_range 0 200))
+  qcheck ~count:500 "lexer is total"
+    QCheck.(string_of_size (Gen.int_range 0 200))
     (fun src ->
       match Minic.Lexer.tokenize src with
       | _ -> true
@@ -298,9 +186,9 @@ let prop_parser_total =
       | exception Minic.Srcloc.Error _ -> true)
 
 let prop_cfg_text_roundtrip =
-  qcheck ~count:200 "random CFGs survive the text round trip" arb_cfg
-    (fun spec ->
-      let fn = build_cfg spec in
+  qcheck2 ~count:200 ~print:Gen.print_cfg
+    "random CFGs survive the text round trip" Gen.gen_cfg (fun spec ->
+      let fn = Gen.build_cfg spec in
       let p = Mir.Program.make () in
       Mir.Program.add_func p fn;
       let text = Mir.Program.to_string p in
@@ -318,7 +206,8 @@ let prop_mir_parser_total =
 let suite =
   [
     prop_pipeline_preserves_semantics;
-    prop_training_input_improves;
+    slow_case "reordering never materially regresses on the seeded corpus"
+      training_regression_corpus;
     prop_exhaustive_never_loses;
     prop_switch_heuristics_agree;
     prop_switch_reorder_preserves;
