@@ -14,6 +14,7 @@
      dune exec bench/main.exe -- --fast       # smaller inputs
      dune exec bench/main.exe -- table4 figs  # selected sections
      dune exec bench/main.exe -- backends     # execution-backend race
+     dune exec bench/main.exe -- detection    # syntactic vs facts walk
      dune exec bench/main.exe -- ablations    # design-choice ablations
      dune exec bench/main.exe -- -j 8         # domain-pool width
      dune exec bench/main.exe -- --seq        # sequential harness
@@ -24,8 +25,10 @@
    OCaml 5 domains (Driver.Pool); the `speedup' section re-runs the
    set-I matrix sequentially, and the `backends' section races the
    reference, pre-decoded and closure-compiled execution engines over
-   the suite's measure stage.  All wall times land in BENCH_PR2.json
-   together with per-workload dynamic counts.
+   the suite's measure stage.  All wall times land in BENCH_PR4.json
+   together with per-workload dynamic counts and the detection-coverage
+   comparison of the syntactic vs the interval-facts sequence walk
+   (`detection' section).
 
    Shapes, not absolute numbers, are the reproduction target; see
    EXPERIMENTS.md for the paper-vs-measured discussion. *)
@@ -34,7 +37,7 @@ let fast = ref false
 let sections = ref []
 let seq = ref false
 let jobs_flag = ref None
-let json_path = ref "BENCH_PR2.json"
+let json_path = ref "BENCH_PR4.json"
 let no_json = ref false
 
 (* --verify: run the translation validator inside every matrix pipeline
@@ -546,6 +549,51 @@ let ablations () =
     variants
 
 (* ------------------------------------------------------------------ *)
+(* Detection coverage: syntactic walk vs interval-facts walk           *)
+(* ------------------------------------------------------------------ *)
+
+(* (workload, heuristic set) -> (syntactic seqs, syntactic tests,
+   facts seqs, facts tests); memoized because write_json wants the
+   set-I numbers whether or not the section ran *)
+let detect_memo : (string * string, int * int * int * int) Hashtbl.t =
+  Hashtbl.create 64
+
+let detect_counts (w : Workloads.Spec.t) hs =
+  let key = (w.Workloads.Spec.name, hs.Mopt.Switch_lower.hs_name) in
+  match Hashtbl.find_opt detect_memo key with
+  | Some c -> c
+  | None ->
+    let count facts =
+      let prog = Minic.Lower.compile w.Workloads.Spec.source in
+      Mopt.Switch_lower.lower_program hs prog;
+      Mopt.Cleanup.run prog;
+      let seqs = Reorder.Detect.find_program ~facts prog in
+      ( List.length seqs,
+        List.fold_left (fun a s -> a + Reorder.Detect.items_count s) 0 seqs )
+    in
+    let ss, st = count false and fs, ft = count true in
+    let c = (ss, st, fs, ft) in
+    Hashtbl.replace detect_memo key c;
+    c
+
+let detection () =
+  section "Detection coverage: syntactic vs interval-facts walk";
+  List.iter
+    (fun hs ->
+      Printf.printf "set %s\n" hs.Mopt.Switch_lower.hs_name;
+      Printf.printf "  %-8s %14s %14s %8s\n" "program" "syntactic" "facts"
+        "extra";
+      List.iter
+        (fun w ->
+          let ss, st, fs, ft = detect_counts w hs in
+          Printf.printf "  %-8s %6d seq %3d t %6d seq %3d t %+5d seq %+4d t\n"
+            w.Workloads.Spec.name ss st fs ft (fs - ss) (ft - st))
+        Workloads.Registry.all)
+    [ Mopt.Switch_lower.set_i; Mopt.Switch_lower.set_ii;
+      Mopt.Switch_lower.set_iii ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Execution backends: reference vs pre-decoded vs closure-compiled    *)
 (* ------------------------------------------------------------------ *)
 
@@ -693,7 +741,7 @@ let write_json ~harness_wall () =
     let oc = open_out !json_path in
     let p fmt = Printf.fprintf oc fmt in
     p "{\n";
-    p "  \"pr\": 2,\n";
+    p "  \"pr\": 4,\n";
     p "  \"heuristic_set\": \"I\",\n";
     p "  \"fast\": %b,\n" !fast;
     p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
@@ -730,16 +778,24 @@ let write_json ~harness_wall () =
     List.iteri
       (fun i r ->
         let o = counters_of (orig r) and n = counters_of (reord r) in
+        let ss, st, fs, ft =
+          detect_counts r.workload Mopt.Switch_lower.set_i
+        in
         p
           "    {\"name\": \"%s\", \"orig_insns\": %d, \"reord_insns\": %d, \
            \"insn_reduction_pct\": %.3f, \"orig_branches\": %d, \
            \"reord_branches\": %d, \"branch_reduction_pct\": %.3f, \
+           \"seqs_syntactic\": %d, \"tests_syntactic\": %d, \
+           \"seqs_facts\": %d, \"tests_facts\": %d, \
+           \"extra_facts_seqs\": %d, \"reordered\": %d, \
            \"pipeline_seconds\": %.3f}%s\n"
           (json_escape r.workload.Workloads.Spec.name)
           o.Sim.Counters.insns n.Sim.Counters.insns
           (pct o.Sim.Counters.insns n.Sim.Counters.insns)
           o.Sim.Counters.cond_branches n.Sim.Counters.cond_branches
           (pct o.Sim.Counters.cond_branches n.Sim.Counters.cond_branches)
+          ss st fs ft (fs - ss)
+          (Reorder.Pass.reordered_count r.result.Driver.Pipeline.r_report)
           r.seconds
           (if i = nrows - 1 then "" else ","))
       rows;
@@ -792,6 +848,7 @@ let () =
   if want "bechamel" || want "table7" then bechamel_table7 ();
   if want "table8" then table8 ();
   if want "figs" || want "figures" then figures ();
+  if want "detection" then detection ();
   if want "backends" then backends_section ();
   if want "speedup" && not !seq then speedup ();
   (* ablations are opt-in: they re-run the pipeline many times *)

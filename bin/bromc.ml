@@ -8,6 +8,9 @@
      fuzz      random programs through the pipeline: translation
                validation + differential execution (--inject plants
                wrong-target bugs the verifier must catch)
+     lint      structured static-analysis diagnostics (interval facts,
+               arm subsumption/overlap, not-reorderable explanations)
+     dot       Graphviz CFGs, optionally annotated with dataflow facts
      workloads list the built-in benchmark programs *)
 
 open Cmdliner
@@ -106,7 +109,7 @@ let compile_cmd =
             prog
           end
         in
-        if dot then Format.printf "%a" Mir.Dot.program prog
+        if dot then Format.printf "%a" (Mir.Dot.program ?annot:None) prog
         else begin
           print_string (Mir.Program.to_string prog);
           Printf.printf "\n; static instructions: %d\n"
@@ -504,6 +507,161 @@ let fuzz_cmd =
     Term.(
       const run $ cases $ seed $ backend_opt $ inject $ save_failure $ quiet)
 
+let lint_cmd =
+  let run source hs json no_explain facts =
+    (* exit-code contract: 0 = clean, 1 = diagnostics, 2 = error.  The
+       shared [handle_errors] exits 1, which here means "diagnostics
+       found", so lint handles its own failures. *)
+    let fail msg =
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+    in
+    let prog =
+      try load_program source hs with
+      | Minic.Srcloc.Error (loc, msg) ->
+        fail (Minic.Srcloc.error_to_string loc msg)
+      | Mir.Parse.Error (line, msg) ->
+        fail (Printf.sprintf "line %d: %s" line msg)
+      | Failure msg -> fail msg
+      | Sys_error msg -> fail msg
+      | Not_found -> fail "no such file or workload"
+    in
+    let diags =
+      try
+        Analysis.Lint.check_program prog
+        @ (if no_explain then []
+           else Reorder.Explain.explain_program ~facts prog)
+      with Failure msg -> fail msg
+    in
+    if json then print_string (Analysis.Lint.to_json diags)
+    else
+      List.iter
+        (fun d -> Format.printf "%a@\n" Analysis.Lint.pp_diag d)
+        diags;
+    exit (if diags = [] then 0 else 1)
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the diagnostics as a JSON array on stdout.")
+  in
+  let no_explain =
+    Arg.(
+      value & flag
+      & info [ "no-explain" ]
+          ~doc:
+            "Suppress the not-reorderable explanations for lone range \
+             tests; report only the interval-fact diagnostics.")
+  in
+  let facts =
+    Arg.(
+      value
+      & opt bool true
+      & info [ "facts" ] ~docv:"BOOL"
+          ~doc:
+            "Run the not-reorderable walk with interval-facts detection \
+             (default true), so the reasons reflect what even the \
+             strengthened detection cannot admit.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a program and report proved diagnostics: \
+          unreachable blocks, branches decidable from interval facts, \
+          subsumed and overlapping range-test arms, and why lone range \
+          tests are not reorderable.  Exit code 0 = clean, 1 = \
+          diagnostics reported, 2 = error.")
+    Term.(
+      const run $ source_arg "lint" $ heuristic_arg $ json $ no_explain
+      $ facts)
+
+let dot_cmd =
+  let run source hs facts =
+    handle_errors (fun () ->
+        let prog = load_program source hs in
+        let annot =
+          match facts with
+          | None -> None
+          | Some `Intervals ->
+            Some
+              (fun (fn : Mir.Func.t) ->
+                let fx = Analysis.Intervals.analyze fn in
+                let regs =
+                  List.sort_uniq Mir.Reg.compare
+                    (fn.Mir.Func.params
+                    @ List.concat_map
+                        (fun (b : Mir.Block.t) ->
+                          List.concat_map
+                            (fun i -> Mir.Insn.defs i @ Mir.Insn.uses i)
+                            b.Mir.Block.insns)
+                        fn.Mir.Func.blocks)
+                in
+                fun (b : Mir.Block.t) ->
+                  if not (Analysis.Intervals.reachable fx b.Mir.Block.label)
+                  then Some "unreachable"
+                  else
+                    let facts =
+                      List.filter_map
+                        (fun r ->
+                          let iv =
+                            Analysis.Intervals.reg_in fx b.Mir.Block.label r
+                          in
+                          if Analysis.Iv.equal iv Analysis.Iv.top then None
+                          else
+                            Some
+                              (Format.asprintf "%a:%a" Mir.Reg.pp r
+                                 Analysis.Iv.pp iv))
+                        regs
+                    in
+                    if facts = [] then None
+                    else Some (String.concat " " facts))
+          | Some `Live ->
+            Some
+              (fun (fn : Mir.Func.t) ->
+                let lv = Mir.Liveness.compute fn in
+                fun (b : Mir.Block.t) ->
+                  let set = Mir.Liveness.live_in lv b.Mir.Block.label in
+                  if Mir.Reg.Set.is_empty set then None
+                  else
+                    Some
+                      (Format.asprintf "live: %a"
+                         (Format.pp_print_list ~pp_sep:Format.pp_print_space
+                            Mir.Reg.pp)
+                         (Mir.Reg.Set.elements set)))
+        in
+        Format.printf "%a" (Mir.Dot.program ?annot) prog)
+  in
+  let facts =
+    let facts_conv =
+      Arg.conv
+        ( (function
+          | "intervals" -> Ok `Intervals
+          | "live" -> Ok `Live
+          | s ->
+            Error
+              (`Msg
+                (Printf.sprintf "unknown facts %S (use intervals or live)" s))),
+          fun ppf f ->
+            Format.pp_print_string ppf
+              (match f with `Intervals -> "intervals" | `Live -> "live") )
+    in
+    Arg.(
+      value
+      & opt (some facts_conv) None
+      & info [ "facts" ] ~docv:"KIND"
+          ~doc:
+            "Annotate each block with dataflow facts: $(b,intervals) \
+             (value ranges at block entry) or $(b,live) (registers live \
+             at block entry).")
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:
+         "Emit Graphviz CFGs for a program, optionally annotated with \
+          dataflow analysis facts.")
+    Term.(const run $ source_arg "render" $ heuristic_arg $ facts)
+
 let workloads_cmd =
   let run () =
     List.iter
@@ -522,6 +680,7 @@ let main =
        ~doc:
          "Branch-reordering MiniC compiler (PLDI 1998 reproduction: Yang, Uh \
           & Whalley).")
-    [ compile_cmd; run_cmd; reorder_cmd; suite_cmd; fuzz_cmd; workloads_cmd ]
+    [ compile_cmd; run_cmd; reorder_cmd; suite_cmd; fuzz_cmd; lint_cmd;
+      dot_cmd; workloads_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,41 @@
+type t = bool Mir.Dataflow.result
+
+(* Both [Cmp] and [Call] define the cc register ([Call] with the
+   callee's garbage), so both kill liveness going backward. *)
+let insn_kills = function
+  | Mir.Insn.Cmp _ | Mir.Insn.Call _ -> true
+  | _ -> false
+
+let transfer b live_out =
+  let term = b.Mir.Block.term in
+  (* The delay slot executes after the branch reads the cc, so going
+     backward it comes first.  An annulled slot may not execute (fall
+     path), so it cannot be relied on to kill. *)
+  let live =
+    match term.Mir.Block.delay with
+    | Some i when (not term.Mir.Block.annul) && insn_kills i -> false
+    | _ -> live_out
+  in
+  let live =
+    match term.Mir.Block.kind with Mir.Block.Br _ -> true | _ -> live
+  in
+  List.fold_left
+    (fun live i -> if insn_kills i then false else live)
+    live (List.rev b.Mir.Block.insns)
+
+let problem =
+  {
+    Mir.Dataflow.direction = Mir.Dataflow.Backward;
+    boundary = false;
+    bottom = false;
+    join = ( || );
+    equal = Bool.equal;
+    transfer;
+    edge = None;
+    widen = None;
+    widen_after = 0;
+  }
+
+let analyze fn = Mir.Dataflow.solve problem fn
+let live_in t label = Mir.Dataflow.fact_in t label
+let live_out t label = Mir.Dataflow.fact_out t label

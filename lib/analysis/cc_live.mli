@@ -1,0 +1,24 @@
+(** Condition-code liveness.
+
+    A backward may-analysis on {!Mir.Dataflow} with a one-bit fact: is
+    the condition-code register live (read by a [Br] before being
+    overwritten by a [Cmp])?  Unlike the syntactic "starts with a
+    compare" test this follows the CFG, so a [Jmp]-only forwarder
+    between a compare and the branch that consumes it is handled, and a
+    [Call] is treated as clobbering the cc register (the machine has a
+    single global cc shared with callees).
+
+    Used by {!Reorder.Apply} and {!Check.Verify} to agree on which
+    blocks require a valid incoming condition code. *)
+
+type t
+
+val analyze : Mir.Func.t -> t
+
+val live_in : t -> string -> bool
+(** The labelled block (or a successor reached before any [Cmp]) reads
+    the condition code set by its predecessors. *)
+
+val live_out : t -> string -> bool
+(** The condition code at the labelled block's exit is read by some
+    successor. *)

@@ -1,0 +1,4 @@
+(* The generic worklist engine physically lives in [Mir.Dataflow] (so
+   [Mir.Liveness] can be built on it without a dependency cycle); this
+   alias gives the analysis library a local front door. *)
+include Mir.Dataflow

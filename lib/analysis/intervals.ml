@@ -1,0 +1,270 @@
+(* Condition-code state: operands of the last [Cmp] on every path, when
+   unique.  Killed by calls (the machine's cc register is shared with the
+   callee, whose compares clobber it) and by redefinition of a compared
+   register (the recorded operand would no longer name the compared
+   value). *)
+type cc = Cc_top | Cc_cmp of Mir.Operand.t * Mir.Operand.t
+
+type st = { regs : Iv.t Mir.Reg.Map.t; cc : cc }
+type state = Bot | St of st
+
+type t = state Mir.Dataflow.result
+
+let zero = Iv.const 0
+
+(* Registers absent from the map were never assigned on any path from the
+   entry; the simulator zero-initialises register files, so they hold 0. *)
+let get regs r = Option.value (Mir.Reg.Map.find_opt r regs) ~default:zero
+
+let cc_equal a b =
+  match (a, b) with
+  | Cc_top, Cc_top -> true
+  | Cc_cmp (a1, b1), Cc_cmp (a2, b2) ->
+    Mir.Operand.equal a1 a2 && Mir.Operand.equal b1 b2
+  | _ -> false
+
+let regs_merge f a b =
+  Mir.Reg.Map.merge
+    (fun _ x y ->
+      Some
+        (f (Option.value x ~default:zero) (Option.value y ~default:zero)))
+    a b
+
+let join_state a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | St a, St b ->
+    St
+      {
+        regs = regs_merge Iv.join a.regs b.regs;
+        cc = (if cc_equal a.cc b.cc then a.cc else Cc_top);
+      }
+
+let widen_state old next =
+  match (old, next) with
+  | Bot, x | x, Bot -> x
+  | St o, St n ->
+    St
+      {
+        regs = regs_merge Iv.widen o.regs n.regs;
+        cc = (if cc_equal o.cc n.cc then o.cc else Cc_top);
+      }
+
+let equal_state a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | St a, St b ->
+    cc_equal a.cc b.cc
+    && Mir.Reg.Map.equal Iv.equal
+         (regs_merge (fun x _ -> x) a.regs b.regs)
+         (regs_merge (fun _ y -> y) a.regs b.regs)
+  | _ -> false
+
+let eval_op regs = function
+  | Mir.Operand.Imm c -> Iv.const c
+  | Mir.Operand.Reg r -> get regs r
+
+let mentions r = function
+  | Mir.Operand.Reg s -> Mir.Reg.equal r s
+  | Mir.Operand.Imm _ -> false
+
+let kill_cc r = function
+  | Cc_cmp (a, b) when mentions r a || mentions r b -> Cc_top
+  | cc -> cc
+
+let set r v st = { regs = Mir.Reg.Map.add r v st.regs; cc = kill_cc r st.cc }
+
+let apply_insn st insn =
+  let ev op = eval_op st.regs op in
+  match insn with
+  | Mir.Insn.Mov (r, op) -> set r (ev op) st
+  | Mir.Insn.Unop (Mir.Insn.Neg, r, op) -> set r (Iv.neg (ev op)) st
+  | Mir.Insn.Unop (Mir.Insn.Not, r, op) -> set r (Iv.logical_not (ev op)) st
+  | Mir.Insn.Binop (op, r, a, b) ->
+    let va = ev a and vb = ev b in
+    let v =
+      match op with
+      | Mir.Insn.Add -> Iv.add va vb
+      | Mir.Insn.Sub -> Iv.sub va vb
+      | Mir.Insn.Mul -> Iv.mul va vb
+      | Mir.Insn.Rem -> Iv.rem va vb
+      | Mir.Insn.Div | Mir.Insn.And | Mir.Insn.Or | Mir.Insn.Xor
+      | Mir.Insn.Shl | Mir.Insn.Shr -> (
+        match (Iv.is_const va, Iv.is_const vb) with
+        | Some x, Some y -> (
+          try Iv.const (Mir.Insn.eval_binop op x y)
+          with Division_by_zero -> Iv.bot)
+        | _ -> Iv.top)
+    in
+    set r v st
+  | Mir.Insn.Load (r, _, _) -> set r Iv.top st
+  | Mir.Insn.Store _ -> st
+  | Mir.Insn.Cmp (a, b) -> { st with cc = Cc_cmp (a, b) }
+  | Mir.Insn.Call (dst, _, _) -> (
+    let st = { st with cc = Cc_top } in
+    match dst with Some r -> set r Iv.top st | None -> st)
+  | Mir.Insn.Nop | Mir.Insn.Profile_range _ | Mir.Insn.Profile_comb _ -> st
+
+let transfer b st =
+  match st with
+  | Bot -> Bot
+  | St st -> St (List.fold_left apply_insn st b.Mir.Block.insns)
+
+(* Values x with [exists y in b. x cond y], as an interval. *)
+let sat cond b =
+  match b with
+  | Iv.Bot -> Iv.Bot
+  | Iv.Iv (bl, bh) -> (
+    match cond with
+    | Mir.Cond.Eq -> b
+    | Mir.Cond.Ne -> Iv.top
+    | Mir.Cond.Lt | Mir.Cond.Le -> Iv.of_cond cond bh
+    | Mir.Cond.Gt | Mir.Cond.Ge -> Iv.of_cond cond bl)
+
+let refine_against cond a b =
+  match cond with
+  | Mir.Cond.Ne -> (
+    (* A punctured line is not an interval, but a punctured endpoint
+       still shrinks: this is what turns a != loop guard into a
+       convergent induction-variable bound. *)
+    match (Iv.is_const b, a) with
+    | Some c, Iv.Iv (lo, hi) ->
+      if lo = c && hi = c then Iv.Bot
+      else if lo = c then Iv.make (lo + 1) hi
+      else if hi = c then Iv.make lo (hi - 1)
+      else a
+    | _ -> a)
+  | _ -> Iv.meet a (sat cond b)
+
+(* Sharpen the compared registers knowing [a cond b] held. *)
+let refine_cc cond a_op b_op st =
+  let iva = eval_op st.regs a_op and ivb = eval_op st.regs b_op in
+  let iva' = refine_against cond iva ivb in
+  let ivb' = refine_against (Mir.Cond.swap cond) ivb iva in
+  if Iv.is_bot iva' || Iv.is_bot ivb' then Bot
+  else
+    let upd op v st =
+      match op with
+      | Mir.Operand.Reg r ->
+        { st with regs = Mir.Reg.Map.add r (Iv.meet (get st.regs r) v) st.regs }
+      | Mir.Operand.Imm _ -> st
+    in
+    St (upd b_op ivb' (upd a_op iva' st))
+
+let refine_edge fn src dst st =
+  match src.Mir.Block.term.Mir.Block.kind with
+  | Mir.Block.Br (cond, taken, fall) ->
+    if taken = fall then St st (* both edges agree: direction tells nothing *)
+    else (
+      match st.cc with
+      | Cc_cmp (a, b) ->
+        refine_cc (if dst = taken then cond else Mir.Cond.negate cond) a b st
+      | Cc_top -> St st)
+  | Mir.Block.Jtab (r, tbl) ->
+    let targets = Mir.Func.jtab fn tbl in
+    let lo = ref max_int and hi = ref min_int in
+    Array.iteri (fun i l -> if l = dst then (lo := min !lo i; hi := max !hi i)) targets;
+    if !lo > !hi then St st (* dst not in the table: edge can't exist *)
+    else
+      let v = Iv.meet (get st.regs r) (Iv.make !lo !hi) in
+      if Iv.is_bot v then Bot
+      else St { st with regs = Mir.Reg.Map.add r v st.regs }
+  | Mir.Block.Switch (r, cases, default) ->
+    if dst = default then St st
+    else
+      let vals = List.filter_map (fun (v, l) -> if l = dst then Some v else None) cases in
+      (match vals with
+      | [] -> St st
+      | v0 :: _ ->
+        let lo = List.fold_left min v0 vals and hi = List.fold_left max v0 vals in
+        let v = Iv.meet (get st.regs r) (Iv.make lo hi) in
+        if Iv.is_bot v then Bot
+        else St { st with regs = Mir.Reg.Map.add r v st.regs })
+  | Mir.Block.Jmp _ | Mir.Block.Ret _ -> St st
+
+(* Delay slots execute after the branch decision, so on the edge: after
+   refinement (which talks about values at decision time), before the
+   successor.  An annulled slot runs on the taken path only. *)
+let apply_delay src dst st =
+  match src.Mir.Block.term.Mir.Block.delay with
+  | None -> St st
+  | Some i ->
+    if not src.Mir.Block.term.Mir.Block.annul then St (apply_insn st i)
+    else (
+      match src.Mir.Block.term.Mir.Block.kind with
+      | Mir.Block.Br (_, taken, fall) when taken <> fall ->
+        if dst = taken then St (apply_insn st i) else St st
+      | _ -> join_state (St (apply_insn st i)) (St st))
+
+let edge fn src dst st =
+  match st with
+  | Bot -> Bot
+  | St st -> (
+    match refine_edge fn src dst st with
+    | Bot -> Bot
+    | St st -> apply_delay src dst st)
+
+let entry_state fn =
+  let regs =
+    List.fold_left
+      (fun m r -> Mir.Reg.Map.add r Iv.top m)
+      Mir.Reg.Map.empty fn.Mir.Func.params
+  in
+  St { regs; cc = Cc_top }
+
+let analyze fn =
+  Mir.Dataflow.solve
+    {
+      Mir.Dataflow.direction = Mir.Dataflow.Forward;
+      boundary = entry_state fn;
+      bottom = Bot;
+      join = join_state;
+      equal = equal_state;
+      transfer;
+      edge = Some (edge fn);
+      widen = Some widen_state;
+      widen_after = 8;
+    }
+    fn
+
+let reachable t label = Mir.Dataflow.fact_in t label <> Bot
+
+let reg_in t label r =
+  match Mir.Dataflow.fact_in t label with
+  | Bot -> Iv.Bot
+  | St st -> get st.regs r
+
+let reg_before t b i r =
+  match Mir.Dataflow.fact_in t b.Mir.Block.label with
+  | Bot -> Iv.Bot
+  | St st ->
+    let rec go st k = function
+      | insn :: rest when k < i -> go (apply_insn st insn) (k + 1) rest
+      | _ -> get st.regs r
+    in
+    go st 0 b.Mir.Block.insns
+
+let cc_at_term t b =
+  match Mir.Dataflow.fact_out t b.Mir.Block.label with
+  | Bot -> None
+  | St st -> (
+    match st.cc with
+    | Cc_top -> None
+    | Cc_cmp (a, b) -> Some (eval_op st.regs a, eval_op st.regs b))
+
+let branch_fate t b =
+  match b.Mir.Block.term.Mir.Block.kind with
+  | Mir.Block.Br (cond, _, _) -> (
+    match Mir.Dataflow.fact_out t b.Mir.Block.label with
+    | Bot -> `Unreachable
+    | St st -> (
+      match st.cc with
+      | Cc_top -> `Unknown
+      | Cc_cmp (a_op, b_op) ->
+        let a = eval_op st.regs a_op and bv = eval_op st.regs b_op in
+        if Iv.always cond a bv then `Always_taken
+        else if Iv.never cond a bv then `Never_taken
+        else `Unknown))
+  | _ -> `Unknown
+
+let iterations = Mir.Dataflow.iterations

@@ -1,0 +1,59 @@
+(** The interval abstract domain.
+
+    An interval abstracts the set of integers a register may hold.
+    Bounds are inclusive; [min_int]/[max_int] play the roles of -oo/+oo
+    (no concrete register ever holds them: simulated arithmetic is exact
+    OCaml [int] arithmetic, and treating the extremes as infinities only
+    costs precision at the two outermost values).  [Bot] is the empty
+    set — the fact attached to dead code and infeasible branch edges. *)
+
+type t = Bot | Iv of int * int  (** [Iv (lo, hi)], [lo <= hi] *)
+
+val top : t
+val bot : t
+val const : int -> t
+val make : int -> int -> t
+(** Normalises: an empty [(lo, hi)] with [lo > hi] is [Bot]. *)
+
+val is_bot : t -> bool
+val is_const : t -> int option
+val mem : int -> t -> bool
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+val join : t -> t -> t
+val meet : t -> t -> t
+
+val widen : t -> t -> t
+(** [widen old next]: bounds of [next] that moved past [old]'s jump to
+    the infinities, guaranteeing termination of interval iteration. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+(** Sound for any operands; precise when at least one side is constant
+    (the shapes address arithmetic produces). *)
+
+val rem : t -> t -> t
+(** Abstract truncated remainder: bounded by the divisor's magnitude,
+    sign following the dividend. *)
+
+val logical_not : t -> t
+(** The [Not] unop: 1 if the value is 0, else 0. *)
+
+val of_cond : Mir.Cond.t -> int -> t
+(** Values [v] with [v cond c], as an interval; [Ne] (a punctured line)
+    degrades to [top]. *)
+
+val always : Mir.Cond.t -> t -> t -> bool
+(** [always cond a b]: [x cond y] holds for {b all} [x] in [a], [y] in
+    [b] (false when either side is empty). *)
+
+val never : Mir.Cond.t -> t -> t -> bool
+(** [never cond a b]: [x cond y] holds for {b no} [x] in [a], [y] in [b]
+    (false when either side is empty: a vacuous edge is dead, not
+    decided). *)
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string

@@ -1,0 +1,48 @@
+type effect =
+  | Store of string
+  | Io of string
+  | May_trap of string
+
+let insn_effects lookup_iv i insn =
+  match insn with
+  | Mir.Insn.Store (sym, _, _) -> [ Store sym ]
+  | Mir.Insn.Call (_, callee, _) -> [ Io callee ]
+  | Mir.Insn.Binop ((Mir.Insn.Div | Mir.Insn.Rem), _, _, divisor) -> (
+    match divisor with
+    | Mir.Operand.Imm 0 -> [ May_trap "division by constant zero" ]
+    | Mir.Operand.Imm _ -> []
+    | Mir.Operand.Reg r ->
+      if Iv.mem 0 (lookup_iv i r) then
+        [ May_trap (Format.asprintf "division by possibly-zero %a" Mir.Reg.pp r) ]
+      else [])
+  | _ -> []
+
+let effects ?intervals b =
+  let lookup_iv i r =
+    match intervals with
+    | None -> Iv.top
+    | Some t -> Intervals.reg_before t b i r
+  in
+  let body =
+    List.concat (List.mapi (fun i insn -> insn_effects lookup_iv i insn) b.Mir.Block.insns)
+  in
+  match b.Mir.Block.term.Mir.Block.delay with
+  | None -> body
+  | Some insn ->
+    body @ insn_effects lookup_iv (List.length b.Mir.Block.insns) insn
+
+let pure ?intervals b = effects ?intervals b = []
+
+let pp_effect ppf = function
+  | Store sym -> Format.fprintf ppf "stores to %s" sym
+  | Io callee -> Format.fprintf ppf "calls %s" callee
+  | May_trap what -> Format.fprintf ppf "may trap (%s)" what
+
+let describe = function
+  | [] -> "pure"
+  | effs ->
+    Format.asprintf "%a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         pp_effect)
+      effs

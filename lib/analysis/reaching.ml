@@ -1,0 +1,124 @@
+type site =
+  | Entry
+  | At of string * int
+
+module Sites = Set.Make (struct
+  type t = site
+
+  let compare = compare
+end)
+
+type state = Unreached | Reached of Sites.t Mir.Reg.Map.t
+
+type t = state Mir.Dataflow.result
+
+let entry_sites = Sites.singleton Entry
+
+(* A register with no recorded definition still holds its entry
+   pseudo-definition. *)
+let get m r = Option.value (Mir.Reg.Map.find_opt r m) ~default:entry_sites
+
+let join a b =
+  match (a, b) with
+  | Unreached, x | x, Unreached -> x
+  | Reached a, Reached b ->
+    Reached
+      (Mir.Reg.Map.merge
+         (fun _ x y ->
+           Some
+             (Sites.union
+                (Option.value x ~default:entry_sites)
+                (Option.value y ~default:entry_sites)))
+         a b)
+
+let equal a b =
+  match (a, b) with
+  | Unreached, Unreached -> true
+  | Reached a, Reached b ->
+    Mir.Reg.Map.for_all (fun r s -> Sites.equal s (get b r)) a
+    && Mir.Reg.Map.for_all (fun r s -> Sites.equal s (get a r)) b
+  | _ -> false
+
+let def_insn label i insn m =
+  List.fold_left
+    (fun m r -> Mir.Reg.Map.add r (Sites.singleton (At (label, i))) m)
+    m (Mir.Insn.defs insn)
+
+let transfer b st =
+  match st with
+  | Unreached -> Unreached
+  | Reached m ->
+    let label = b.Mir.Block.label in
+    let m, _ =
+      List.fold_left
+        (fun (m, i) insn -> (def_insn label i insn m, i + 1))
+        (m, 0) b.Mir.Block.insns
+    in
+    Reached m
+
+(* The delay slot's definition happens on the edge: always for a plain
+   slot, only along the taken edge for an annulled one (on the fall edge
+   the old definitions survive, so we union rather than overwrite). *)
+let edge _fn src dst st =
+  match st with
+  | Unreached -> Unreached
+  | Reached m -> (
+    let term = src.Mir.Block.term in
+    match term.Mir.Block.delay with
+    | None -> st
+    | Some insn -> (
+      let label = src.Mir.Block.label in
+      let i = List.length src.Mir.Block.insns in
+      let strong = Reached (def_insn label i insn m) in
+      if not term.Mir.Block.annul then strong
+      else
+        match term.Mir.Block.kind with
+        | Mir.Block.Br (_, taken, fall) when taken <> fall ->
+          if dst = taken then strong else st
+        | _ -> join strong st))
+
+let analyze fn =
+  Mir.Dataflow.solve
+    {
+      Mir.Dataflow.direction = Mir.Dataflow.Forward;
+      boundary = Reached Mir.Reg.Map.empty;
+      bottom = Unreached;
+      join;
+      equal;
+      transfer;
+      edge = Some (edge fn);
+      widen = None;
+      widen_after = 0;
+    }
+    fn
+
+let sites_in t label r =
+  match Mir.Dataflow.fact_in t label with
+  | Unreached -> []
+  | Reached m -> Sites.elements (get m r)
+
+let site_insn fn label i =
+  match Mir.Func.find_block_opt fn label with
+  | None -> None
+  | Some b ->
+    if i < List.length b.Mir.Block.insns then List.nth_opt b.Mir.Block.insns i
+    else b.Mir.Block.term.Mir.Block.delay
+
+let const_in t fn label r =
+  let is_param = List.exists (Mir.Reg.equal r) fn.Mir.Func.params in
+  let site_const = function
+    | Entry -> if is_param then None else Some 0
+    | At (l, i) -> (
+      match site_insn fn l i with
+      | Some (Mir.Insn.Mov (r', Mir.Operand.Imm c)) when Mir.Reg.equal r r' ->
+        Some c
+      | _ -> None)
+  in
+  match sites_in t label r with
+  | [] -> None (* unreachable: no definition reaches *)
+  | s0 :: rest -> (
+    match site_const s0 with
+    | None -> None
+    | Some c ->
+      if List.for_all (fun s -> site_const s = Some c) rest then Some c
+      else None)

@@ -1,0 +1,29 @@
+(** Reaching definitions.
+
+    A forward may-analysis on {!Mir.Dataflow} mapping every register to
+    the set of definition sites whose value may reach the program point.
+    The entry block carries one pseudo-definition per register:
+    parameters are defined to an unknown value, every other register to
+    0 (the simulator zero-initialises register files), which is what
+    makes {!const_in} sound as a whole-function constant propagation
+    oracle rather than a per-path guess. *)
+
+type site =
+  | Entry  (** the function-entry pseudo-definition *)
+  | At of string * int
+      (** [At (label, i)]: the [i]-th instruction of block [label];
+          [i = List.length insns] is the terminator's delay slot *)
+
+type t
+
+val analyze : Mir.Func.t -> t
+
+val sites_in : t -> string -> Mir.Reg.t -> site list
+(** Definition sites of a register that may reach the labelled block's
+    entry, deterministically ordered.  Empty iff the block is
+    unreachable. *)
+
+val const_in : t -> Mir.Func.t -> string -> Mir.Reg.t -> int option
+(** [Some c] when every definition of the register reaching the block's
+    entry assigns the compile-time constant [c] — [Mov r, #c]
+    instructions, or the entry zero-definition of a non-parameter. *)

@@ -19,6 +19,8 @@ type stats = {
   st_injected : int;
   st_caught : int;
   st_counterexample_blocks : int option;
+  st_lint_diags : int;
+      (* lint verdicts cross-checked against reference block traces *)
   st_form_counts : (string * int) list;
   st_failures : failure list;
 }
@@ -47,6 +49,9 @@ let pp_stats ppf st =
       (match st.st_counterexample_blocks with
       | Some b -> Printf.sprintf " (smallest counterexample: %d blocks)" b
       | None -> "");
+  if st.st_lint_diags > 0 then
+    Format.fprintf ppf "%d lint verdicts cross-checked against traces@,"
+      st.st_lint_diags;
   (match st.st_failures with
   | [] -> Format.fprintf ppf "all cases passed@,"
   | fs ->
@@ -75,9 +80,12 @@ let build spec =
 let coalesce_machine_for case =
   if case mod 2 = 1 then Some Sim.Cycle_model.sparc_ipc else None
 
-let transform ?coalesce_machine spec =
+(* alternate the detector too: even cases use the interval-facts walk
+   (the pipeline default), odd cases the syntactic one, so both are
+   under the verifier and the backend differential *)
+let transform ?coalesce_machine ~facts spec =
   let base = build spec in
-  let seqs = Detect.find_program base in
+  let seqs = Detect.find_program ~facts base in
   let train_prog = Mir.Clone.program base in
   let table = Reorder.Profiles.instrument train_prog seqs in
   let (_ : Sim.Machine.result) =
@@ -268,6 +276,70 @@ let differential_errors backends ~orig ~reord ~input =
   errs_o @ errs_r @ errs_pair
 
 (* ------------------------------------------------------------------ *)
+(* Lint cross-check                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The lint diagnostics claim to be {e proved} from the interval facts,
+   so no execution may contradict them: a block lint calls statically
+   unreachable must never appear in a reference-interpreter block trace,
+   an always-taken branch must never be observed falling through (and
+   symmetrically), and a subsumed arm's test must never fire.  Run on
+   the untransformed program over both fuzz inputs; any contradiction is
+   a lint false positive and fails the case. *)
+let lint_cross_errors prog ~inputs =
+  let diags = Analysis.Lint.check_program prog in
+  if diags = [] then ([], 0)
+  else begin
+    let sites = Sim.Machine.sites prog in
+    let visited = Hashtbl.create 64 in
+    let outcomes = Hashtbl.create 64 in
+    List.iter
+      (fun input ->
+        let on_block ~func ~label = Hashtbl.replace visited (func, label) () in
+        let on_branch ~site ~taken =
+          let key = sites.(site) in
+          let t, f =
+            Option.value ~default:(false, false)
+              (Hashtbl.find_opt outcomes key)
+          in
+          Hashtbl.replace outcomes key (t || taken, f || not taken)
+        in
+        try
+          ignore
+            (Sim.Machine.run ~backend:`Reference ~on_block ~on_branch prog
+               ~input)
+        with Sim.Machine.Trap _ -> ()
+          (* observations up to a trap still count *))
+      inputs;
+    let errors =
+      List.filter_map
+        (fun (d : Analysis.Lint.diag) ->
+          let key = (d.Analysis.Lint.func, d.Analysis.Lint.label) in
+          let observed = Hashtbl.find_opt outcomes key in
+          let seen_taken = match observed with Some (t, _) -> t | None -> false in
+          let seen_fall = match observed with Some (_, f) -> f | None -> false in
+          let contradiction what =
+            Some
+              (Format.asprintf
+                 "lint false positive: %a, but a reference run %s"
+                 Analysis.Lint.pp_diag d what)
+          in
+          match d.Analysis.Lint.kind with
+          | Analysis.Lint.Unreachable_block ->
+            if Hashtbl.mem visited key then contradiction "entered the block"
+            else None
+          | Analysis.Lint.Branch_always_taken ->
+            if seen_fall then contradiction "fell through the branch" else None
+          | Analysis.Lint.Branch_never_taken | Analysis.Lint.Subsumed_arm ->
+            if seen_taken then contradiction "took the branch" else None
+          | Analysis.Lint.Overlapping_arms | Analysis.Lint.Not_reorderable ->
+            None (* not a trace-refutable verdict *))
+        diags
+    in
+    (errors, List.length diags)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Case outcomes                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -280,6 +352,7 @@ type case_out = {
   co_injected : bool;
   co_caught : bool;
   co_blocks : int option;  (* inject mode: enclosing function size *)
+  co_lint_diags : int;
 }
 
 let count_outcomes (report : Pass.report) =
@@ -294,7 +367,9 @@ let count_outcomes (report : Pass.report) =
 let run_case ~backends ~inject ~case spec =
   try
     let base, reord, report =
-      transform ?coalesce_machine:(coalesce_machine_for case) spec
+      transform
+        ?coalesce_machine:(coalesce_machine_for case)
+        ~facts:(case mod 4 < 2) spec
     in
     let injected =
       if inject then inject_wrong_default ~before:base ~after:reord report
@@ -317,6 +392,7 @@ let run_case ~backends ~inject ~case spec =
         co_injected = injected <> None;
         co_caught = false;
         co_blocks = None;
+        co_lint_diags = 0;
       }
     in
     match injected with
@@ -333,6 +409,9 @@ let run_case ~backends ~inject ~case spec =
       else if not (Verify.ok summary) then
         { out with co_errors = Verify.all_errors summary }
       else begin
+        let lint_errors, lint_diags =
+          lint_cross_errors base ~inputs:[ spec.Gen.sp_train; spec.Gen.sp_test ]
+        in
         (* finalize both versions exactly like the pipeline, then race the
            backends *)
         let orig = Mir.Clone.program base in
@@ -343,17 +422,18 @@ let run_case ~backends ~inject ~case spec =
         let errors =
           differential_errors backends ~orig ~reord ~input:spec.Gen.sp_test
         in
-        { out with co_errors = errors }
+        { out with co_errors = lint_errors @ errors; co_lint_diags = lint_diags }
       end
   with
   | Failure m -> { co_errors = [ "exception: " ^ m ];
                    co_reordered = 0; co_coalesced = 0; co_unchanged = 0;
                    co_pieces = 0; co_injected = false; co_caught = false;
-                   co_blocks = None }
+                   co_blocks = None; co_lint_diags = 0 }
   | Sim.Machine.Trap m ->
     { co_errors = [ "trap during training: " ^ m ];
       co_reordered = 0; co_coalesced = 0; co_unchanged = 0; co_pieces = 0;
-      co_injected = false; co_caught = false; co_blocks = None }
+      co_injected = false; co_caught = false; co_blocks = None;
+      co_lint_diags = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* The driver loop                                                      *)
@@ -386,6 +466,7 @@ let run ?(backends = default_backends) ?(inject = false) ?(log = ignore)
   and pieces = ref 0
   and injected = ref 0
   and caught = ref 0
+  and lint_diags = ref 0
   and best_blocks = ref None in
   for case = 0 to cases - 1 do
     let spec = Gen.spec_of_seed ((seed * 1_000_003) + case) in
@@ -395,6 +476,7 @@ let run ?(backends = default_backends) ?(inject = false) ?(log = ignore)
     coalesced := !coalesced + out.co_coalesced;
     unchanged := !unchanged + out.co_unchanged;
     pieces := !pieces + out.co_pieces;
+    lint_diags := !lint_diags + out.co_lint_diags;
     if out.co_injected then incr injected;
     if out.co_caught then begin
       incr caught;
@@ -435,6 +517,7 @@ let run ?(backends = default_backends) ?(inject = false) ?(log = ignore)
     st_injected = !injected;
     st_caught = !caught;
     st_counterexample_blocks = !best_blocks;
+    st_lint_diags = !lint_diags;
     st_form_counts =
       List.sort compare
         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) form_tally []);

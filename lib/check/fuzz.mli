@@ -8,6 +8,12 @@
     exit code between versions, and additionally counters, branch-event
     streams and block traces between backends of the same version.
 
+    Every non-inject case also cross-checks {!Analysis.Lint} against the
+    reference interpreter: diagnostics are proved from interval facts, so
+    an execution contradicting one (entering an "unreachable" block,
+    taking a "never taken" branch, …) is a lint false positive and fails
+    the case.
+
     Failures are minimized with {!Gen.shrink_spec} before being
     reported.  With [inject] set, a "wrong default target" bug is
     planted into every reordered result and the roles flip: the verifier
@@ -37,6 +43,10 @@ type stats = {
   st_counterexample_blocks : int option;
       (** inject mode: blocks of the enclosing function in the smallest
           shrunk caught case *)
+  st_lint_diags : int;
+      (** lint verdicts cross-checked against reference block traces: a
+          statically-unreachable block appearing in a trace, or a decided
+          branch observed going the other way, fails the case *)
   st_form_counts : (string * int) list;
       (** occurrences of each range-condition form across the corpus *)
   st_failures : failure list;

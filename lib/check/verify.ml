@@ -119,18 +119,21 @@ end
 
 let same_insns a b = List.equal Mir.Insn.equal a b
 
-let has_cmp (b : Mir.Block.t) =
-  List.exists (function Mir.Insn.Cmp _ -> true | _ -> false) b.Mir.Block.insns
-
 (* does the (unchanged, certified elsewhere) block at [label] consume the
-   condition codes its predecessor leaves behind? *)
-let cc_needing fn label =
-  match Mir.Func.find_block_opt fn label with
-  | Some b -> (
-    match b.Mir.Block.term.kind with
-    | Mir.Block.Br _ -> not (has_cmp b)
-    | _ -> false)
-  | None -> false
+   condition codes its predecessor leaves behind?  [ccl] is the
+   cc-liveness analysis of the ORIGINAL function, so the answer follows
+   [Jmp]-only forwarders and knows calls clobber the global cc — the
+   same oracle {!Reorder.Apply} plans with. *)
+let cc_needing ccl label = Analysis.Cc_live.live_in ccl label
+
+(* drop the last compare of an instruction list, wherever it sits *)
+let remove_last_cmp insns =
+  let rec go post = function
+    | Mir.Insn.Cmp _ :: rev_pre -> Some (List.rev_append rev_pre post)
+    | i :: rest -> go (i :: post) rest
+    | [] -> None
+  in
+  go [] (List.rev insns)
 
 (* side effects the original sequence executes before exiting through the
    item at 0-based position [pos] (the head item never has any) *)
@@ -145,7 +148,7 @@ let prefix_insns items_arr pos =
 type expectation = {
   x_target : string;
   x_pre : Mir.Insn.t list;
-  x_cc : int option;
+  x_cc : (int * bool) option;  (* constant, operand-swapped *)
 }
 
 let item_expectation items_arr pos =
@@ -153,14 +156,14 @@ let item_expectation items_arr pos =
   {
     x_target = item.Detect.target;
     x_pre = prefix_insns items_arr pos;
-    x_cc = Some item.Detect.exit_cc_const;
+    x_cc = Some (item.Detect.exit_cc_const, item.Detect.exit_cc_swapped);
   }
 
 let default_expectation (seq : Detect.t) items_arr =
   {
     x_target = seq.Detect.default_target;
     x_pre = prefix_insns items_arr (Array.length items_arr - 1);
-    x_cc = seq.Detect.default_cc_const;
+    x_cc = Option.map (fun c -> (c, false)) seq.Detect.default_cc_const;
   }
 
 let rec strip_prefix expected actual =
@@ -169,14 +172,24 @@ let rec strip_prefix expected actual =
   | e :: es, a :: rest when Mir.Insn.equal e a -> strip_prefix es rest
   | _ -> None
 
-let last_cmp_const insns =
+(* the cc pair left after executing [insns] with [init] on entry, as
+   (constant, swapped): [cmp var,#c] gives [(c, false)], the swapped
+   [cmp #c,var] gives [(c, true)].  A compare not against the sequence
+   variable, or a call (the machine's single cc register is global and
+   callee-clobbered), leaves the pair unknown. *)
+let cc_after ~var init insns =
   List.fold_left
     (fun acc i ->
       match i with
-      | Mir.Insn.Cmp (_, Mir.Operand.Imm c) -> Some c
-      | Mir.Insn.Cmp _ -> None (* register compare: constant unknown *)
+      | Mir.Insn.Cmp (Mir.Operand.Reg r, Mir.Operand.Imm c)
+        when Mir.Reg.equal r var ->
+        Some (c, false)
+      | Mir.Insn.Cmp (Mir.Operand.Imm c, Mir.Operand.Reg r)
+        when Mir.Reg.equal r var ->
+        Some (c, true)
+      | Mir.Insn.Cmp _ | Mir.Insn.Call _ -> None
       | _ -> acc)
-    None insns
+    init insns
 
 (* ------------------------------------------------------------------ *)
 (* Certifying one reordered sequence                                    *)
@@ -303,21 +316,24 @@ let resolve fn label =
 
 (* certify that one leaf edge, restricted to [values], provides what the
    original program guarantees for those values *)
-let check_edge ~fn_before ~fn_after ~var (leaf : leaf) values (x : expectation)
-    add_err =
+let pp_cc ppf (c, swapped) =
+  Format.fprintf ppf "%d%s" c (if swapped then " (swapped)" else "")
+
+let check_edge ~ccl ~fn_before ~fn_after ~var (leaf : leaf) values
+    (x : expectation) add_err =
   let err fmt = Format.kasprintf add_err fmt in
   let describe = Format.asprintf "values %a" Iset.pp values in
   let same_target t =
     t = x.x_target || resolve fn_after t = resolve fn_after x.x_target
   in
-  let needs_cc = cc_needing fn_before x.x_target in
+  let needs_cc = cc_needing ccl x.x_target in
   let check_cc given =
     if needs_cc then
       match (given, x.x_cc) with
       | Some g, Some w when g = w -> ()
       | Some g, Some w ->
-        err "%s: target %s consumes condition codes of %d but the edge leaves %d"
-          describe x.x_target w g
+        err "%s: target %s consumes condition codes of %a but the edge leaves %a"
+          describe x.x_target pp_cc w pp_cc g
       | _, None ->
         err "%s: target %s consumes condition codes but the original edge \
              constant is unknown"
@@ -326,6 +342,7 @@ let check_edge ~fn_before ~fn_after ~var (leaf : leaf) values (x : expectation)
         err "%s: target %s consumes condition codes but the edge sets none"
           describe x.x_target
   in
+  let leaf_cc = Option.map (fun c -> (c, false)) leaf.l_cc in
   match Mir.Func.find_block_opt fn_before leaf.l_label with
   | Some _ ->
     (* direct edge into original code *)
@@ -335,7 +352,7 @@ let check_edge ~fn_before ~fn_after ~var (leaf : leaf) values (x : expectation)
     else if x.x_pre <> [] then
       err "%s: direct edge to %s skips duplicated side effects" describe
         x.x_target
-    else check_cc leaf.l_cc
+    else check_cc leaf_cc
   | None -> (
     (* a spliced edge block *)
     match Mir.Func.find_block_opt fn_after leaf.l_label with
@@ -348,20 +365,24 @@ let check_edge ~fn_before ~fn_after ~var (leaf : leaf) values (x : expectation)
         err "%s: edge block %s does not start with the original side effects"
           describe leaf.l_label
       | Some rest -> (
-        let cc_after pre_and_rest =
-          match last_cmp_const pre_and_rest with
-          | Some c -> Some c
-          | None -> if has_cmp b then None else leaf.l_cc
+        let reestablishment = function
+          | [ Mir.Insn.Cmp (Mir.Operand.Reg r, Mir.Operand.Imm c) ]
+            when Mir.Reg.equal r var ->
+            Some (c, false)
+          | [ Mir.Insn.Cmp (Mir.Operand.Imm c, Mir.Operand.Reg r) ]
+            when Mir.Reg.equal r var ->
+            Some (c, true)
+          | _ -> None
         in
         match (rest, b.Mir.Block.term.kind) with
         | [], Mir.Block.Jmp t ->
           if not (same_target t) then
             err "%s: edge block %s jumps to %s, original target is %s" describe
               leaf.l_label t x.x_target
-          else check_cc (cc_after b.Mir.Block.insns)
-        | [ Mir.Insn.Cmp (Mir.Operand.Reg r, Mir.Operand.Imm c) ], Mir.Block.Jmp t
-          when Mir.Reg.equal r var ->
-          (* condition-code reestablishment *)
+          else check_cc (cc_after ~var leaf_cc b.Mir.Block.insns)
+        | rest, Mir.Block.Jmp t when reestablishment rest <> None ->
+          (* condition-code reestablishment (either operand order) *)
+          let c, swapped = Option.get (reestablishment rest) in
           if not (same_target t) then
             err "%s: edge block %s jumps to %s, original target is %s" describe
               leaf.l_label t x.x_target
@@ -369,7 +390,7 @@ let check_edge ~fn_before ~fn_after ~var (leaf : leaf) values (x : expectation)
             err "%s: edge block %s reestablishes condition codes %d that %s \
                  does not consume"
               describe leaf.l_label c x.x_target
-          else check_cc (Some c)
+          else check_cc (Some (c, swapped))
         | rest, kind -> (
           (* tail duplication of the target block — either its original
              body, or its current body when an earlier sequence of the
@@ -404,6 +425,7 @@ let certify_reordered ~fn_before ~fn_after (seq : Detect.t)
   let add_err m = errors := !errors @ [ m ] in
   let err fmt = Format.kasprintf add_err fmt in
   let pieces = ref 0 in
+  let ccl = Analysis.Cc_live.analyze fn_before in
   let items_arr = Array.of_list seq.Detect.items in
   let var = seq.Detect.var in
   (* explicit ranges must still be nonoverlapping (detection promised it;
@@ -423,11 +445,11 @@ let certify_reordered ~fn_before ~fn_after (seq : Detect.t)
        Mir.Func.find_block_opt fn_after seq.Detect.head )
    with
   | Some hb, Some ha -> (
-    (match List.rev hb.Mir.Block.insns with
-    | Mir.Insn.Cmp _ :: rev_rest ->
-      if not (same_insns ha.Mir.Block.insns (List.rev rev_rest)) then
+    (match remove_last_cmp hb.Mir.Block.insns with
+    | Some kept ->
+      if not (same_insns ha.Mir.Block.insns kept) then
         err "head %s changed beyond dropping its compare" seq.Detect.head
-    | _ -> err "original head %s did not end in a compare" seq.Detect.head);
+    | None -> err "original head %s has no compare" seq.Detect.head);
     match ha.Mir.Block.term.kind with
     | Mir.Block.Jmp t when t = applied.Reorder.Apply.replica_entry ->
       if ha.Mir.Block.term.delay <> None then
@@ -453,14 +475,14 @@ let certify_reordered ~fn_before ~fn_after (seq : Detect.t)
           if not (Iset.is_empty piece) then begin
             incr pieces;
             remaining := Iset.diff !remaining piece;
-            check_edge ~fn_before ~fn_after ~var leaf piece
+            check_edge ~ccl ~fn_before ~fn_after ~var leaf piece
               (item_expectation items_arr pos)
               add_err
           end)
         items_arr;
       if not (Iset.is_empty !remaining) then begin
         incr pieces;
-        check_edge ~fn_before ~fn_after ~var leaf !remaining
+        check_edge ~ccl ~fn_before ~fn_after ~var leaf !remaining
           (default_expectation seq items_arr)
           add_err
       end)
@@ -504,7 +526,8 @@ let certify_coalesced ~fn_before ~fn_after (seq : Detect.t)
     items_arr;
   let var = seq.Detect.var in
   let default = seq.Detect.default_target in
-  if cc_needing fn_before default then
+  let ccl = Analysis.Cc_live.analyze fn_before in
+  if cc_needing ccl default then
     err "coalesced default target %s consumes condition codes" default;
   (match
      ( Mir.Func.find_block_opt fn_before seq.Detect.head,
@@ -512,9 +535,9 @@ let certify_coalesced ~fn_before ~fn_after (seq : Detect.t)
    with
   | Some hb, Some ha -> (
     let orig_lead =
-      match List.rev hb.Mir.Block.insns with
-      | Mir.Insn.Cmp _ :: rev_rest -> List.rev rev_rest
-      | _ -> hb.Mir.Block.insns
+      match remove_last_cmp hb.Mir.Block.insns with
+      | Some kept -> kept
+      | None -> hb.Mir.Block.insns
     in
     let expect =
       orig_lead

@@ -22,20 +22,12 @@ type outcome =
 (* Edge requirements                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let has_cmp (b : Mir.Block.t) =
-  List.exists (function Mir.Insn.Cmp _ -> true | _ -> false) b.Mir.Block.insns
-
 (* does the block at [label] consume the condition codes set by its
-   predecessor? *)
-let cc_needing fn label =
-  match Mir.Func.find_block_opt fn label with
-  | Some b -> (
-    match b.Mir.Block.term.kind with
-    | Mir.Block.Br _ -> not (has_cmp b)
-    | Mir.Block.Jmp _ | Mir.Block.Switch _ | Mir.Block.Jtab _ | Mir.Block.Ret _
-      ->
-      false)
-  | None -> false
+   predecessor?  Answered by the cc-liveness dataflow analysis, which
+   (unlike the old "branch without a compare" syntactic test) follows
+   [Jmp]-only forwarders to the consuming branch and knows a [Call]
+   clobbers the single global cc register. *)
+let cc_needing ccl label = Analysis.Cc_live.live_in ccl label
 
 (* side effects executed on an exit through the item at 0-based original
    position [pos]: the leading instructions of items 1..pos *)
@@ -50,7 +42,10 @@ let prefix_insns items_arr pos =
 type edge_req = {
   e_target : string;
   e_pre : Mir.Insn.t list;  (* duplicated side effects *)
-  e_cc : int option;        (* compare constant live on the original edge *)
+  e_cc : (int * bool) option;
+      (* compare live on the original edge: the constant, and whether
+         the compare was operand-swapped ([cmp #c, var] leaves the cc
+         pair (const, var)) so reestablishment preserves operand order *)
 }
 
 let edge_req (seq : Detect.t) items_arr n (it : Select.input_item) =
@@ -59,19 +54,22 @@ let edge_req (seq : Detect.t) items_arr n (it : Select.input_item) =
     {
       e_target = item.Detect.target;
       e_pre = prefix_insns items_arr it.Select.in_payload;
-      e_cc = Some item.Detect.exit_cc_const;
+      e_cc = Some (item.Detect.exit_cc_const, item.Detect.exit_cc_swapped);
     }
   end
   else
     {
       e_target = seq.Detect.default_target;
       e_pre = prefix_insns items_arr (n - 1);
-      e_cc = seq.Detect.default_cc_const;
+      e_cc = Option.map (fun c -> (c, false)) seq.Detect.default_cc_const;
     }
 
 let same_insns a b = List.equal Mir.Insn.equal a b
 
-let compatible_for fn (seq : Detect.t) eliminated =
+let compatible_for ?cc fn (seq : Detect.t) eliminated =
+  let ccl =
+    match cc with Some ccl -> ccl | None -> Analysis.Cc_live.analyze fn
+  in
   let items_arr = Array.of_list seq.Detect.items in
   let n = Array.length items_arr in
   match List.map (edge_req seq items_arr n) eliminated with
@@ -79,7 +77,7 @@ let compatible_for fn (seq : Detect.t) eliminated =
   | first :: rest ->
     let pre_ok = List.for_all (fun r -> same_insns r.e_pre first.e_pre) rest in
     let cc_ok =
-      (not (cc_needing fn first.e_target))
+      (not (cc_needing ccl first.e_target))
       || (first.e_cc <> None
           && List.for_all (fun r -> r.e_cc = first.e_cc) rest)
     in
@@ -106,13 +104,15 @@ let tail_dup_of fn target limit =
     | Some _ | None -> None
 
 (* returns the label to branch to, plus any new block *)
-let make_edge fn (seq : Detect.t) opts req =
-  let needs_cc = cc_needing fn req.e_target in
+let make_edge fn ccl (seq : Detect.t) opts req =
+  let needs_cc = cc_needing ccl req.e_target in
   let cc_fix =
     if needs_cc then
       match req.e_cc with
-      | Some c ->
+      | Some (c, false) ->
         [ Mir.Insn.Cmp (Mir.Operand.Reg seq.Detect.var, Mir.Operand.Imm c) ]
+      | Some (c, true) ->
+        [ Mir.Insn.Cmp (Mir.Operand.Imm c, Mir.Operand.Reg seq.Detect.var) ]
       | None -> assert false (* feasibility was checked by the caller *)
     else []
   in
@@ -154,19 +154,17 @@ let lower_first_for opts remaining range =
 (* Redundant comparison elimination (Figure 9)                          *)
 (* ------------------------------------------------------------------ *)
 
-(* (cond, c') is equivalent to (cond', c) for integer comparisons *)
-let renorm cond c' c =
-  if c' = c + 1 then
-    match cond with
-    | Mir.Cond.Ge -> Some Mir.Cond.Gt
-    | Mir.Cond.Lt -> Some Mir.Cond.Le
-    | _ -> None
-  else if c' = c - 1 then
-    match cond with
-    | Mir.Cond.Le -> Some Mir.Cond.Lt
-    | Mir.Cond.Gt -> Some Mir.Cond.Ge
-    | _ -> None
-  else None
+(* a condition against [c_new] whose satisfying value set provably
+   equals [cond] against [c_old] — the proof is exact value-set equality
+   in {!Analysis.Iset}, which generalises Figure 9's hand-listed c/c±1
+   renormalisation pairs to every derivable one *)
+let equiv_cond cond c_old c_new =
+  let want = Analysis.Iset.of_cond cond c_old in
+  List.find_opt
+    (fun cond' ->
+      Analysis.Iset.equal (Analysis.Iset.of_cond cond' c_new) want)
+    [ Mir.Cond.Eq; Mir.Cond.Ne; Mir.Cond.Lt; Mir.Cond.Le; Mir.Cond.Gt;
+      Mir.Cond.Ge ]
 
 let block_cmp_const (b : Mir.Block.t) =
   match List.rev b.Mir.Block.insns with
@@ -197,39 +195,64 @@ let br_cond (b : Mir.Block.t) =
   | Mir.Block.Br (cond, _, _) -> Some cond
   | _ -> None
 
-(* walk the replica chain; each block initially holds exactly one compare
-   of the common variable against a constant *)
+(* Walk the replica chain; each block initially holds exactly one
+   compare of the common variable against a constant.  Two sound
+   elimination moves, both certified downstream by [Check.Verify]:
+
+   - {e rewrite-current}: re-express this block's branch against the
+     holder's constant (covers the same-constant case, where the
+     equivalent condition is the branch's own) and drop this block's
+     compare — always valid, since the holder is untouched;
+   - {e holder-renorm} (Figure 9): rewrite the holder's compare to this
+     block's constant and re-express the holder's branch — only valid
+     while nothing has consumed the holder's codes yet. *)
 let eliminate_redundant_cmps chain =
   let eliminated = ref 0 in
-  let holder = ref None in
   (* holder: (block, const, consumers since the holder's compare) *)
+  let holder = ref None in
   List.iter
     (fun (b : Mir.Block.t) ->
       match block_cmp_const b with
-      | None -> () (* already compare-less; keeps relying on the holder *)
+      | None ->
+        (* compare-less: relies on (and pins) the holder's codes *)
+        (match !holder with
+        | Some (hb, hc, consumers) -> holder := Some (hb, hc, consumers + 1)
+        | None -> ())
       | Some c -> (
         match !holder with
-        | Some (_, c', consumers) when c' = c ->
-          drop_cmp b;
-          incr eliminated;
-          holder :=
-            (match !holder with
-            | Some (hb, hc, _) -> Some (hb, hc, consumers + 1)
-            | None -> None)
-        | Some (hb, c', 0) -> (
-          (* try renormalising the holder's compare to this constant *)
-          match br_cond hb with
-          | Some hcond -> (
-            match renorm hcond c' c with
-            | Some hcond' ->
-              set_cmp_const hb c;
-              set_br_cond hb hcond';
-              drop_cmp b;
-              incr eliminated;
-              holder := Some (hb, c, 1)
-            | None -> holder := Some (b, c, 0))
-          | None -> holder := Some (b, c, 0))
-        | Some _ | None -> holder := Some (b, c, 0)))
+        | None -> holder := Some (b, c, 0)
+        | Some (hb, c', consumers) ->
+          let rewrite_current () =
+            match br_cond b with
+            | None -> false
+            | Some cond -> (
+              match equiv_cond cond c c' with
+              | Some cond' ->
+                set_br_cond b cond';
+                drop_cmp b;
+                incr eliminated;
+                holder := Some (hb, c', consumers + 1);
+                true
+              | None -> false)
+          in
+          let renorm_holder () =
+            consumers = 0
+            &&
+            match br_cond hb with
+            | None -> false
+            | Some hcond -> (
+              match equiv_cond hcond c' c with
+              | Some hcond' ->
+                set_cmp_const hb c;
+                set_br_cond hb hcond';
+                drop_cmp b;
+                incr eliminated;
+                holder := Some (hb, c, 1);
+                true
+              | None -> false)
+          in
+          if not (rewrite_current () || renorm_holder ()) then
+            holder := Some (b, c, 0)))
     chain;
   !eliminated
 
@@ -237,14 +260,22 @@ let eliminate_redundant_cmps chain =
 (* The transformation                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let strip_trailing_cmp (b : Mir.Block.t) =
-  match List.rev b.Mir.Block.insns with
-  | Mir.Insn.Cmp _ :: rev_rest ->
-    b.Mir.Block.insns <- List.rev rev_rest;
+(* remove the block's last compare wherever it sits; the instructions
+   after it (the facts-admitted "post" suffix) stay in place *)
+let strip_last_cmp (b : Mir.Block.t) =
+  let rec go post = function
+    | Mir.Insn.Cmp _ :: rev_pre -> Some (List.rev_append rev_pre post)
+    | i :: rest -> go (i :: post) rest
+    | [] -> None
+  in
+  match go [] (List.rev b.Mir.Block.insns) with
+  | Some insns ->
+    b.Mir.Block.insns <- insns;
     true
-  | _ -> false
+  | None -> false
 
 let apply_seq fn (seq : Detect.t) (choice : Select.choice) opts =
+  let ccl = Analysis.Cc_live.analyze fn in
   let items_arr = Array.of_list seq.Detect.items in
   let n = Array.length items_arr in
   let reqs_ordered = List.map (edge_req seq items_arr n) choice.Select.ordered in
@@ -257,17 +288,17 @@ let apply_seq fn (seq : Detect.t) (choice : Select.choice) opts =
   in
   let infeasible =
     List.exists
-      (fun r -> cc_needing fn r.e_target && r.e_cc = None)
+      (fun r -> cc_needing ccl r.e_target && r.e_cc = None)
       (reqs_ordered @ Option.to_list default_req)
   in
   if infeasible then Skipped "exit edge needs condition codes of unknown constant"
-  else if not (compatible_for fn seq choice.Select.eliminated) then
+  else if not (compatible_for ~cc:ccl fn seq choice.Select.eliminated) then
     Skipped "eliminated ranges disagree on side effects or condition codes"
   else if default_req = None then Skipped "empty elimination set"
   else begin
     let default_req = Option.get default_req in
     let new_blocks = ref [] in
-    let default_label, default_blocks = make_edge fn seq opts default_req in
+    let default_label, default_blocks = make_edge fn ccl seq opts default_req in
     new_blocks := default_blocks;
     (* emit conditions back to front so each falls through to the next *)
     let ordered_arr = Array.of_list choice.Select.ordered in
@@ -276,7 +307,7 @@ let apply_seq fn (seq : Detect.t) (choice : Select.choice) opts =
     for i = Array.length ordered_arr - 1 downto 0 do
       let sel = ordered_arr.(i) in
       let req = List.nth reqs_ordered i in
-      let exit_label, edge_blocks = make_edge fn seq opts req in
+      let exit_label, edge_blocks = make_edge fn ccl seq opts req in
       new_blocks := !new_blocks @ edge_blocks;
       let remaining =
         Array.to_list (Array.sub ordered_arr (i + 1) (Array.length ordered_arr - i - 1))
@@ -295,7 +326,7 @@ let apply_seq fn (seq : Detect.t) (choice : Select.choice) opts =
     in
     (* head surgery: keep the leading instructions, jump to the replica *)
     let head = Mir.Func.find_block fn seq.Detect.head in
-    if not (strip_trailing_cmp head) then
+    if not (strip_last_cmp head) then
       Skipped (Printf.sprintf "head %s lost its compare" seq.Detect.head)
     else begin
       let replica_entry = !fall in

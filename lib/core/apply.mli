@@ -45,10 +45,18 @@ type outcome =
   | Applied of applied
   | Skipped of string  (** reason; the function is left unchanged *)
 
-val compatible_for : Mir.Func.t -> Detect.t -> Select.input_item list -> bool
+val compatible_for :
+  ?cc:Analysis.Cc_live.t ->
+  Mir.Func.t ->
+  Detect.t ->
+  Select.input_item list ->
+  bool
 (** The elimination-set compatibility predicate to pass to selection:
     all eliminated ranges must agree on the side effects and condition
-    codes their shared default edge must provide. *)
+    codes their shared default edge must provide.  [cc] memoises the
+    condition-code liveness analysis of the function (selection calls
+    this predicate many times per sequence); it is computed on the fly
+    when absent. *)
 
 val apply_seq :
   Mir.Func.t -> Detect.t -> Select.choice -> options -> outcome

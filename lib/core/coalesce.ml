@@ -68,14 +68,22 @@ let decide ~machine ~total ~reorder_cost plan =
   ignore plan;
   total * indirect_cost_per_execution machine < reorder_cost
 
-let strip_trailing_cmp (b : Mir.Block.t) =
-  match List.rev b.Mir.Block.insns with
-  | Mir.Insn.Cmp _ :: rev_rest -> b.Mir.Block.insns <- List.rev rev_rest
-  | _ -> ()
+(* the sequence compare a facts-admitted head branches on may be
+   followed by further instructions: remove the last compare wherever it
+   sits (detection guarantees nothing after it redefines the variable,
+   so appending the table-bounds compare at the end stays correct) *)
+let strip_last_cmp (b : Mir.Block.t) =
+  let rec go post = function
+    | Mir.Insn.Cmp _ :: rev_pre ->
+      b.Mir.Block.insns <- List.rev_append rev_pre post
+    | i :: rest -> go (i :: post) rest
+    | [] -> ()
+  in
+  go [] (List.rev b.Mir.Block.insns)
 
 let apply fn (seq : Detect.t) plan =
   let head = Mir.Func.find_block fn seq.Detect.head in
-  strip_trailing_cmp head;
+  strip_last_cmp head;
   let var = Mir.Operand.Reg seq.Detect.var in
   let tid = Mir.Func.add_jtable fn plan.targets in
   let idx = Mir.Func.fresh_reg fn in

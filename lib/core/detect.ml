@@ -1,3 +1,5 @@
+module Iv = Analysis.Iv
+
 type item = {
   range : Range.t;
   target : string;
@@ -5,6 +7,7 @@ type item = {
   item_blocks : string list;
   sides : Mir.Insn.t list;
   exit_cc_const : int;
+  exit_cc_swapped : bool;
   had_own_cmp : bool;
 }
 
@@ -48,57 +51,117 @@ type cand = {
   c_exit : string;        (* target when the value is in the range *)
   c_next : string;        (* where the sequence continues *)
   c_exit_cc : int;        (* cmp constant live on the exit edge *)
+  c_exit_swapped : bool;  (* the exit cc pair is (const, var), not (var, const) *)
   c_next_cc : int option; (* cmp constant live on the continue edge *)
   c_blocks : string list;
   c_sides : Mir.Insn.t list;
+  c_avail : Iv.t;         (* interval facts for the variable at the test *)
   c_own_cmp : bool;
 }
 
 let in_bounds c = c > Range.min_value && c < Range.max_value
 
-(* the block's test: variable, constant, leading side effects, whether the
-   compare is the block's own *)
+(* the block's test: variable, constant, side effects (instructions around
+   the compare, in order), whether the compare is the block's own *)
 type test = {
   t_var : Mir.Reg.t;
   t_const : int;
   t_sides : Mir.Insn.t list;
+  t_avail : Iv.t;
   t_own : bool;
 }
 
-let split_last_cmp insns =
-  match List.rev insns with
-  | Mir.Insn.Cmp (a, b) :: rev_rest -> Some (List.rev rev_rest, a, b)
-  | _ -> None
+let defines_var var insn = List.exists (Mir.Reg.equal var) (Mir.Insn.defs insn)
 
-let block_test ~var ~cc (b : Mir.Block.t) =
+(* Split at the last compare whose condition codes actually reach the
+   terminator: [Some (pre, a, b, post)] with nothing cc-writing in
+   [post].  A call after the last compare clobbers the shared cc
+   register, so the branch does not read this compare at all. *)
+let split_last_cmp insns =
+  let rec go post = function
+    | Mir.Insn.Cmp (a, b) :: rev_pre -> Some (List.rev rev_pre, a, b, post)
+    | Mir.Insn.Call _ :: _ -> None
+    | i :: rest -> go (i :: post) rest
+    | [] -> None
+  in
+  go [] (List.rev insns)
+
+let has_cmp (b : Mir.Block.t) =
+  List.exists (function Mir.Insn.Cmp _ -> true | _ -> false) b.Mir.Block.insns
+
+let has_call (b : Mir.Block.t) =
+  List.exists (function Mir.Insn.Call _ -> true | _ -> false) b.Mir.Block.insns
+
+let block_test ?facts ~var ~cc (b : Mir.Block.t) =
   match b.Mir.Block.term.kind with
   | Mir.Block.Br _ -> (
     match split_last_cmp b.Mir.Block.insns with
-    | Some (sides, a, cb) -> (
+    | Some (pre, a, cb, post) when post = [] || facts <> None -> (
+      let cmp_idx = List.length pre in
+      let iv_at_cmp r =
+        match facts with
+        | None -> Iv.top
+        | Some fx -> Analysis.Intervals.reg_before fx b cmp_idx r
+      in
+      let var_ok r =
+        match var with None -> true | Some v -> Mir.Reg.equal v r
+      in
       let normalized =
         match a, cb with
-        | Mir.Operand.Reg r, Mir.Operand.Imm c -> Some (r, c, false)
-        | Mir.Operand.Imm c, Mir.Operand.Reg r -> Some (r, c, true)
-        | _ -> None
+        | Mir.Operand.Reg r, Mir.Operand.Imm c ->
+          if var_ok r && in_bounds c then Some (r, c, false) else None
+        | Mir.Operand.Imm c, Mir.Operand.Reg r ->
+          if var_ok r && in_bounds c then Some (r, c, true) else None
+        | Mir.Operand.Reg r, Mir.Operand.Reg s ->
+          (* a register compare whose other side the interval facts pin
+             to a single value is a range test in disguise *)
+          let as_var v other swapped =
+            if var_ok v then
+              match Iv.is_const (iv_at_cmp other) with
+              | Some c when in_bounds c -> Some (v, c, swapped)
+              | _ -> None
+            else None
+          in
+          (match as_var r s false with
+          | Some _ as res -> res
+          | None -> as_var s r true)
+        | Mir.Operand.Imm _, Mir.Operand.Imm _ -> None
       in
       match normalized with
-      | Some (r, c, swapped) ->
-        let var_ok = match var with None -> true | Some v -> Mir.Reg.equal v r in
-        if var_ok && in_bounds c then
-          Some ({ t_var = r; t_const = c; t_sides = sides; t_own = true }, swapped)
-        else None
-      | None -> None)
-    | None -> (
-      (* no compare anywhere in the body: the branch consumes the
-         condition codes of the path's previous compare *)
-      let has_cmp =
-        List.exists (function Mir.Insn.Cmp _ -> true | _ -> false)
-          b.Mir.Block.insns
-      in
-      match var, cc, has_cmp with
-      | Some v, Some c, false ->
+      | Some (r, c, swapped) when not (List.exists (defines_var r) post) ->
+        (* [post] executes between the compare and the branch on every
+           path, so it joins the side effects; redefining the variable
+           there would make the recorded test read a stale value *)
         Some
-          ( { t_var = v; t_const = c; t_sides = b.Mir.Block.insns; t_own = false },
+          ( {
+              t_var = r;
+              t_const = c;
+              t_sides = pre @ post;
+              t_avail = iv_at_cmp r;
+              t_own = true;
+            },
+            swapped )
+      | _ -> None)
+    | Some _ -> None
+    | None -> (
+      (* no compare reaches the terminator: the branch consumes the
+         condition codes of the path's previous compare — unless a call
+         clobbered them (the cc register is shared with callees) *)
+      match var, cc with
+      | Some v, Some c when not (has_cmp b || has_call b) ->
+        let avail =
+          match facts with
+          | None -> Iv.top
+          | Some fx -> Analysis.Intervals.reg_in fx b.Mir.Block.label v
+        in
+        Some
+          ( {
+              t_var = v;
+              t_const = c;
+              t_sides = b.Mir.Block.insns;
+              t_avail = avail;
+              t_own = false;
+            },
             false )
       | _ -> None))
   | Mir.Block.Jmp _ | Mir.Block.Switch _ | Mir.Block.Jtab _ | Mir.Block.Ret _ ->
@@ -164,9 +227,11 @@ let pair_cands fn ~marked (b : Mir.Block.t) (test : test) cond taken fall =
                           c_exit = s_exit;
                           c_next = other_target;
                           c_exit_cc = c2;
+                          c_exit_swapped = false;
                           c_next_cc = None;
                           c_blocks = [ b.Mir.Block.label; s.Mir.Block.label ];
                           c_sides = test.t_sides;
+                          c_avail = test.t_avail;
                           c_own_cmp = true;
                         };
                       ]
@@ -181,8 +246,8 @@ let pair_cands fn ~marked (b : Mir.Block.t) (test : test) cond taken fall =
 (* All interpretations of the condition at block [b], in the paper's
    preference order: equality forms, bounded pairs, then the two readings
    of a relational branch. *)
-let candidates fn ~marked ~var ~cc (b : Mir.Block.t) =
-  match block_test ~var ~cc b with
+let candidates ?facts fn ~marked ~var ~cc (b : Mir.Block.t) =
+  match block_test ?facts ~var ~cc b with
   | None -> []
   | Some (test, swapped) -> (
     match br_edges b with
@@ -196,9 +261,13 @@ let candidates fn ~marked ~var ~cc (b : Mir.Block.t) =
           c_exit = exit;
           c_next = next;
           c_exit_cc = c;
-          c_next_cc = next_cc;
+          c_exit_swapped = swapped;
+          (* a swapped compare leaves (const, var) in the cc register;
+             the continue-edge inheritance only models (var, const) *)
+          c_next_cc = (if swapped then None else next_cc);
           c_blocks = [ b.Mir.Block.label ];
           c_sides = test.t_sides;
+          c_avail = test.t_avail;
           c_own_cmp = test.t_own;
         }
       in
@@ -226,8 +295,6 @@ let candidates fn ~marked ~var ~cc (b : Mir.Block.t) =
 (* Walking a path of range conditions                                  *)
 (* ------------------------------------------------------------------ *)
 
-let defines_var var insn = List.exists (Mir.Reg.equal var) (Mir.Insn.defs insn)
-
 (* side effects must be duplicable: they may not redefine the branch
    variable (Theorem 2) and profiling pseudos must not be duplicated *)
 let sides_ok var sides =
@@ -235,18 +302,41 @@ let sides_ok var sides =
     (fun i -> (not (defines_var var i)) && not (Mir.Insn.is_profile i))
     sides
 
-let find_from fn ~marked ~min_len head =
+(* A candidate whose nominal range overlaps already-claimed ranges can
+   still join the sequence when the interval facts prove the overlap
+   never reaches this test: values outside the variable's interval here
+   either exited through an earlier range or never enter the sequence at
+   all, so narrowing the recorded range to the facts is observationally
+   faithful. *)
+let narrow_to_facts ranges cand =
+  if Range.nonoverlapping cand.c_range ranges then Some cand
+  else
+    match cand.c_avail with
+    | Iv.Iv (lo, hi) ->
+      let nlo = max (max lo (Range.lo cand.c_range)) Range.min_value in
+      let nhi = min (min hi (Range.hi cand.c_range)) Range.max_value in
+      if nlo > nhi then None
+      else
+        let r = Range.make nlo nhi in
+        if Range.nonoverlapping r ranges then Some { cand with c_range = r }
+        else None
+    | _ -> None
+
+let find_from ?facts fn ~marked ~min_len head =
   let rec walk ~var ~cc ~ranges ~acc ~path block =
     let stop () = (List.rev acc, block.Mir.Block.label, cc) in
     if Hashtbl.mem marked block.Mir.Block.label then stop ()
     else if List.mem block.Mir.Block.label path then stop ()
     else
-      let cands = candidates fn ~marked ~var ~cc block in
+      let cands = candidates ?facts fn ~marked ~var ~cc block in
       let viable =
-        List.find_opt
+        List.find_map
           (fun cand ->
-            Range.nonoverlapping cand.c_range ranges
-            && (acc = [] || sides_ok (Option.get var) cand.c_sides))
+            match narrow_to_facts ranges cand with
+            | Some cand
+              when acc = [] || sides_ok (Option.get var) cand.c_sides ->
+              Some cand
+            | _ -> None)
           cands
       in
       match viable with
@@ -257,7 +347,7 @@ let find_from fn ~marked ~min_len head =
           | Some v -> v
           | None -> (
             (* first condition fixes the variable *)
-            match block_test ~var:None ~cc block with
+            match block_test ?facts ~var:None ~cc block with
             | Some (test, _) -> test.t_var
             | None -> assert false)
         in
@@ -269,6 +359,7 @@ let find_from fn ~marked ~min_len head =
             item_blocks = cand.c_blocks;
             sides = (if acc = [] then [] else cand.c_sides);
             exit_cc_const = cand.c_exit_cc;
+            exit_cc_swapped = cand.c_exit_swapped;
             had_own_cmp = cand.c_own_cmp;
           }
         in
@@ -289,7 +380,7 @@ let find_from fn ~marked ~min_len head =
     Some (items, default_target, default_cc)
   else None
 
-let find_func ?(min_len = 2) ~next_id (fn : Mir.Func.t) =
+let find_func ?(min_len = 2) ?facts ~next_id (fn : Mir.Func.t) =
   let marked = Hashtbl.create 64 in
   let reachable = Mir.Func.reachable fn in
   let seqs = ref [] in
@@ -299,16 +390,12 @@ let find_func ?(min_len = 2) ~next_id (fn : Mir.Func.t) =
         (not (Hashtbl.mem marked b.Mir.Block.label))
         && Hashtbl.mem reachable b.Mir.Block.label
         (* a head must carry its own compare *)
-        && (match split_last_cmp b.Mir.Block.insns with
-           | Some (_, Mir.Operand.Reg _, Mir.Operand.Imm _)
-           | Some (_, Mir.Operand.Imm _, Mir.Operand.Reg _) ->
-             true
-           | Some _ | None -> false)
+        && block_test ?facts ~var:None ~cc:None b <> None
       then
-        match find_from fn ~marked ~min_len b with
+        match find_from ?facts fn ~marked ~min_len b with
         | Some (items, default_target, default_cc) ->
           let var =
-            match block_test ~var:None ~cc:None b with
+            match block_test ?facts ~var:None ~cc:None b with
             | Some (test, _) -> test.t_var
             | None -> assert false
           in
@@ -333,6 +420,10 @@ let find_func ?(min_len = 2) ~next_id (fn : Mir.Func.t) =
     fn.Mir.Func.blocks;
   List.rev !seqs
 
-let find_program ?min_len (p : Mir.Program.t) =
+let find_program ?min_len ?(facts = false) (p : Mir.Program.t) =
   let next_id = ref 0 in
-  List.concat_map (fun fn -> find_func ?min_len ~next_id fn) p.Mir.Program.funcs
+  List.concat_map
+    (fun fn ->
+      let facts = if facts then Some (Analysis.Intervals.analyze fn) else None in
+      find_func ?min_len ?facts ~next_id fn)
+    p.Mir.Program.funcs

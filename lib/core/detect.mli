@@ -37,6 +37,10 @@ type item = {
   exit_cc_const : int;
       (** constant of the last compare executed on the original exit edge
           (needed when the target consumes the condition codes) *)
+  exit_cc_swapped : bool;
+      (** the exit compare was [cmp #c, var]: the cc pair it leaves is
+          [(const, var)], so reestablishment must keep that operand
+          order *)
   had_own_cmp : bool;
       (** false when the condition reused the preceding compare *)
 }
@@ -61,8 +65,22 @@ val default_ranges : t -> Range.t list
 
 val pp : Format.formatter -> t -> unit
 
-val find_func : ?min_len:int -> next_id:int ref -> Mir.Func.t -> t list
+val find_func :
+  ?min_len:int ->
+  ?facts:Analysis.Intervals.t ->
+  next_id:int ref ->
+  Mir.Func.t ->
+  t list
 (** Sequences in layout order; [min_len] (default 2) is the minimum item
-    count.  [next_id] supplies and advances sequence ids. *)
+    count.  [next_id] supplies and advances sequence ids.
 
-val find_program : ?min_len:int -> Mir.Program.t -> t list
+    With [facts] (interval analysis of the same function) detection
+    admits sequences the syntactic walk rejects: blocks whose compare is
+    followed by further (cc-preserving, variable-preserving)
+    instructions; register compares whose other operand the facts pin to
+    a constant; and overlapping candidate ranges narrowed to the values
+    the facts prove can actually reach the test. *)
+
+val find_program : ?min_len:int -> ?facts:bool -> Mir.Program.t -> t list
+(** [facts] (default [false]) runs {!Analysis.Intervals.analyze} on each
+    function and hands the result to {!find_func}. *)

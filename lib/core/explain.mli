@@ -1,0 +1,23 @@
+(** Why a range test did not grow into a reorderable sequence.
+
+    Detection ({!Detect}) silently skips chains shorter than two range
+    tests.  This module re-runs the walk with the length floor lowered
+    to one and, for every lone test, classifies what stopped the chain
+    at its continuation block — a different variable, a call clobbering
+    the condition codes, a compare that is not the block's last
+    instruction (admissible only under interval-facts detection),
+    overlapping ranges the facts cannot disentangle, and so on.
+
+    The result reuses {!Analysis.Lint.diag} with the [Not_reorderable]
+    kind so [bromc lint] can present one merged report. *)
+
+val explain_func :
+  ?facts:Analysis.Intervals.t -> Mir.Func.t -> Analysis.Lint.diag list
+(** Diagnostics anchored at the head block of each lone range test, in
+    layout order.  With [facts] the walk runs in facts mode, so the
+    reasons reflect what even the strengthened detection cannot admit. *)
+
+val explain_program : ?facts:bool -> Mir.Program.t -> Analysis.Lint.diag list
+(** [facts] (default [true]) analyzes each function with
+    {!Analysis.Intervals} first, as [Detect.find_program ~facts:true]
+    would. *)

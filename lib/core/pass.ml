@@ -72,9 +72,10 @@ let run ?(options = Apply.default_options) ?(selector = `Greedy)
           base (Unchanged "never executed in training") None orig_branches
         else begin
           let fn = Mir.Program.find_func p seq.Detect.func_name in
+          let ccl = Analysis.Cc_live.analyze fn in
           let input = Profiles.select_input seq view in
           let compatible eliminated =
-            Apply.compatible_for fn seq eliminated
+            Apply.compatible_for ~cc:ccl fn seq eliminated
             && ((not keep_original_default)
                || List.for_all
                     (fun (it : Select.input_item) ->

@@ -28,16 +28,20 @@ let rows (seq : Detect.t) =
 
 let insert_profile_insn fn (seq : Detect.t) =
   let head = Mir.Func.find_block fn seq.Detect.head in
+  (* splice the probe immediately before the head's last compare — the
+     one the sequence branches on — which facts-admitted heads may
+     follow with further (compare-free) instructions *)
   let rec splice = function
-    | [ (Mir.Insn.Cmp _ as cmp) ] ->
-      [ Mir.Insn.Profile_range (seq.Detect.seq_id, seq.Detect.var); cmp ]
-    | i :: rest -> i :: splice rest
+    | (Mir.Insn.Cmp _ as cmp) :: rev_pre ->
+      List.rev_append rev_pre
+        [ Mir.Insn.Profile_range (seq.Detect.seq_id, seq.Detect.var); cmp ]
+    | i :: rest -> (splice rest) @ [ i ]
     | [] ->
       invalid_arg
         (Printf.sprintf "Profiles.instrument: head %s has no compare"
            seq.Detect.head)
   in
-  head.Mir.Block.insns <- splice head.Mir.Block.insns
+  head.Mir.Block.insns <- splice (List.rev head.Mir.Block.insns)
 
 let instrument (p : Mir.Program.t) (seqs : Detect.t list) =
   let table = Sim.Profile.make () in

@@ -3,6 +3,10 @@ type t = {
   selector : [ `Greedy | `Exhaustive ];
   apply_options : Reorder.Apply.options;
   reorder_enabled : bool;
+  analysis_facts : bool;
+      (** detect with interval facts ({!Analysis.Intervals}): admits
+          compare-not-last blocks, facts-constant register compares and
+          facts-narrowed ranges that the syntactic walk rejects *)
   common_succ : bool;
   keep_original_default : bool;
   coalesce_machine : Sim.Cycle_model.params option;
@@ -26,6 +30,7 @@ let default =
     selector = `Greedy;
     apply_options = Reorder.Apply.default_options;
     reorder_enabled = true;
+    analysis_facts = true;
     common_succ = false;
     keep_original_default = false;
     coalesce_machine = None;

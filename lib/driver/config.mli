@@ -7,6 +7,12 @@ type t = {
       (** ordering selection algorithm (Figure 8 vs full subset search) *)
   apply_options : Reorder.Apply.options;
   reorder_enabled : bool;   (** false = measure the original only *)
+  analysis_facts : bool;
+      (** detect with interval facts ({!Analysis.Intervals}): admits
+          compare-not-last blocks, register compares whose other operand
+          the facts pin to a constant, and facts-narrowed overlapping
+          ranges — sequences the syntactic walk rejects (default
+          [true]; disable for the purely syntactic paper baseline) *)
   common_succ : bool;       (** also reorder common-successor runs (Sec. 10) *)
   keep_original_default : bool;
       (** ablation: restrict the default target to the original one *)

@@ -160,7 +160,9 @@ let run ?(config = Config.default) ?on_stage ~name ~source ~training_input
   let seqs, combs, pairs =
     stage "detect" (fun () ->
         let seqs =
-          if config.Config.reorder_enabled then Reorder.Detect.find_program base
+          if config.Config.reorder_enabled then
+            Reorder.Detect.find_program ~facts:config.Config.analysis_facts
+              base
           else []
         in
         let seq_blocks = Hashtbl.create 64 in

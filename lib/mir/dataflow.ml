@@ -1,0 +1,180 @@
+type direction = Forward | Backward
+
+type 'fact problem = {
+  direction : direction;
+  boundary : 'fact;
+  bottom : 'fact;
+  join : 'fact -> 'fact -> 'fact;
+  equal : 'fact -> 'fact -> bool;
+  transfer : Block.t -> 'fact -> 'fact;
+  edge : (Block.t -> string -> 'fact -> 'fact) option;
+  widen : ('fact -> 'fact -> 'fact) option;
+  widen_after : int;
+}
+
+type 'fact result = {
+  res_in : (string, 'fact) Hashtbl.t;
+  res_out : (string, 'fact) Hashtbl.t;
+  res_bottom : 'fact;
+  res_iterations : int;
+}
+
+let fact_in r label =
+  match Hashtbl.find_opt r.res_in label with
+  | Some f -> f
+  | None -> r.res_bottom
+
+let fact_out r label =
+  match Hashtbl.find_opt r.res_out label with
+  | Some f -> f
+  | None -> r.res_bottom
+
+let iterations r = r.res_iterations
+
+(* a FIFO worklist with membership, so a block queued twice before being
+   processed is recomputed once; seeding and requeue order are
+   deterministic, making every analysis result reproducible *)
+module Worklist = struct
+  type t = { q : string Queue.t; mem : (string, unit) Hashtbl.t }
+
+  let create () = { q = Queue.create (); mem = Hashtbl.create 64 }
+
+  let push t label =
+    if not (Hashtbl.mem t.mem label) then begin
+      Hashtbl.replace t.mem label ();
+      Queue.push label t.q
+    end
+
+  let pop t =
+    match Queue.take_opt t.q with
+    | None -> None
+    | Some label ->
+      Hashtbl.remove t.mem label;
+      Some label
+end
+
+let solve (p : 'fact problem) (fn : Func.t) : 'fact result =
+  let blocks = fn.Func.blocks in
+  let by_label = Hashtbl.create 64 in
+  List.iter (fun (b : Block.t) -> Hashtbl.replace by_label b.Block.label b) blocks;
+  let succs = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Block.t) ->
+      Hashtbl.replace succs b.Block.label (Func.successors fn b))
+    blocks;
+  let preds = Func.predecessors fn in
+  let preds_of label =
+    match Hashtbl.find_opt preds label with Some l -> l | None -> []
+  in
+  let succs_of label =
+    match Hashtbl.find_opt succs label with Some l -> l | None -> []
+  in
+  let res_in = Hashtbl.create 64 in
+  let res_out = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Block.t) ->
+      Hashtbl.replace res_in b.Block.label p.bottom;
+      Hashtbl.replace res_out b.Block.label p.bottom)
+    blocks;
+  let visits = Hashtbl.create 64 in
+  let iterations = ref 0 in
+  let wl = Worklist.create () in
+  let entry_label =
+    match blocks with [] -> None | b :: _ -> Some b.Block.label
+  in
+  (* flow-source fact for one block: join over the incoming directions,
+     plus the boundary where the block touches the CFG's border *)
+  let source_fact label =
+    match p.direction with
+    | Forward ->
+      let base =
+        if Some label = entry_label then p.boundary else p.bottom
+      in
+      List.fold_left
+        (fun acc pl ->
+          match Hashtbl.find_opt by_label pl with
+          | None -> acc
+          | Some pb ->
+            let f = Hashtbl.find res_out pl in
+            let f = match p.edge with Some e -> e pb label f | None -> f in
+            p.join acc f)
+        base (preds_of label)
+    | Backward ->
+      let ss = succs_of label in
+      let base = if ss = [] then p.boundary else p.bottom in
+      List.fold_left
+        (fun acc sl ->
+          match Hashtbl.find_opt res_in sl with
+          | None -> acc
+          | Some f -> p.join acc f)
+        base ss
+  in
+  let process label =
+    match Hashtbl.find_opt by_label label with
+    | None -> ()
+    | Some b ->
+      incr iterations;
+      let n = (match Hashtbl.find_opt visits label with Some n -> n | None -> 0) + 1 in
+      Hashtbl.replace visits label n;
+      let fresh = source_fact label in
+      let src_tab, dst_tab, requeue =
+        match p.direction with
+        | Forward -> (res_in, res_out, succs_of)
+        | Backward -> (res_out, res_in, preds_of)
+      in
+      let old_src = Hashtbl.find src_tab label in
+      let src =
+        match p.widen with
+        | Some w when n > p.widen_after -> w old_src (p.join old_src fresh)
+        | _ -> p.join old_src fresh
+      in
+      Hashtbl.replace src_tab label src;
+      let dst = p.transfer b src in
+      let old_dst = Hashtbl.find dst_tab label in
+      if not (p.equal dst old_dst) || not (p.equal src old_src) then begin
+        Hashtbl.replace dst_tab label dst;
+        List.iter (Worklist.push wl) (requeue label)
+      end
+  in
+  (* seed in flow order so the common case converges in few sweeps *)
+  let seed =
+    match p.direction with
+    | Forward -> List.map (fun (b : Block.t) -> b.Block.label) blocks
+    | Backward -> List.rev_map (fun (b : Block.t) -> b.Block.label) blocks
+  in
+  List.iter (Worklist.push wl) seed;
+  let rec drain () =
+    match Worklist.pop wl with
+    | None -> ()
+    | Some label ->
+      process label;
+      drain ()
+  in
+  drain ();
+  (* Widening overshoots inside loops: a block widened on the ascending
+     climb keeps its jumped bound even when the stabilized inputs
+     support a tighter one (a refined loop-exit edge, a bounded back
+     edge).  The drained state is a post-fixpoint, so re-applying the
+     equations without widening only shrinks facts while staying above
+     the least fixpoint — two descending sweeps in flow order recover
+     the lost precision (classic narrowing, bounded for trivial
+     termination). *)
+  if p.widen <> None then
+    for _ = 1 to 2 do
+      List.iter
+        (fun label ->
+          match Hashtbl.find_opt by_label label with
+          | None -> ()
+          | Some b ->
+            incr iterations;
+            let src = source_fact label in
+            let src_tab, dst_tab =
+              match p.direction with
+              | Forward -> (res_in, res_out)
+              | Backward -> (res_out, res_in)
+            in
+            Hashtbl.replace src_tab label src;
+            Hashtbl.replace dst_tab label (p.transfer b src))
+        seed
+    done;
+  { res_in; res_out; res_bottom = p.bottom; res_iterations = !iterations }

@@ -15,7 +15,7 @@ let escape s =
 
 let node_id label = "\"" ^ escape label ^ "\""
 
-let block_text (b : Block.t) =
+let block_text ?annot (b : Block.t) =
   let buf = Buffer.create 128 in
   Buffer.add_string buf (b.Block.label ^ ":\n");
   List.iter
@@ -31,15 +31,21 @@ let block_text (b : Block.t) =
   (match b.Block.term.Block.delay with
   | Some i -> Buffer.add_string buf ("  [delay] " ^ Insn.show i ^ "\n")
   | None -> ());
+  (match annot with
+  | Some f -> (
+    match f b with
+    | Some text -> Buffer.add_string buf ("-- " ^ text ^ "\n")
+    | None -> ())
+  | None -> ());
   Buffer.contents buf
 
-let func ppf (f : Func.t) =
+let func ?annot ppf (f : Func.t) =
   Format.fprintf ppf "digraph \"%s\" {@\n" (escape f.Func.name);
   Format.fprintf ppf "  node [shape=box, fontname=\"monospace\", fontsize=9];@\n";
   List.iter
     (fun (b : Block.t) ->
       Format.fprintf ppf "  %s [label=\"%s\"];@\n" (node_id b.Block.label)
-        (escape (block_text b)))
+        (escape (block_text ?annot b)))
     f.Func.blocks;
   List.iter
     (fun (b : Block.t) ->
@@ -71,7 +77,11 @@ let func ppf (f : Func.t) =
     f.Func.blocks;
   Format.fprintf ppf "}@\n"
 
-let func_to_string f = Format.asprintf "%a" func f
+let func_to_string ?annot f = Format.asprintf "%a" (func ?annot) f
 
-let program ppf (p : Program.t) =
-  List.iter (fun f -> Format.fprintf ppf "%a@\n" func f) p.Program.funcs
+let program ?annot ppf (p : Program.t) =
+  List.iter
+    (fun f ->
+      let annot = Option.map (fun g -> g f) annot in
+      Format.fprintf ppf "%a@\n" (func ?annot) f)
+    p.Program.funcs

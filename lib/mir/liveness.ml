@@ -1,7 +1,4 @@
-type t = {
-  live_in : (string, Reg.Set.t) Hashtbl.t;
-  live_out : (string, Reg.Set.t) Hashtbl.t;
-}
+type t = Reg.Set.t Dataflow.result
 
 let term_uses (t : Block.term) =
   let kind_uses =
@@ -40,41 +37,21 @@ let block_live_in (b : Block.t) out =
     (List.rev b.Block.insns);
   !live
 
-let compute (f : Func.t) =
-  let live_in = Hashtbl.create 64 in
-  let live_out = Hashtbl.create 64 in
-  List.iter
-    (fun b ->
-      Hashtbl.replace live_in b.Block.label Reg.Set.empty;
-      Hashtbl.replace live_out b.Block.label Reg.Set.empty)
-    f.Func.blocks;
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    (* reverse layout order converges quickly for reducible CFGs *)
-    List.iter
-      (fun b ->
-        let out =
-          List.fold_left
-            (fun acc s ->
-              match Hashtbl.find_opt live_in s with
-              | Some set -> Reg.Set.union acc set
-              | None -> acc)
-            Reg.Set.empty (Func.successors f b)
-        in
-        let inn = block_live_in b out in
-        let old_in = Hashtbl.find live_in b.Block.label in
-        Hashtbl.replace live_out b.Block.label out;
-        if not (Reg.Set.equal inn old_in) then begin
-          Hashtbl.replace live_in b.Block.label inn;
-          changed := true
-        end)
-      (List.rev f.Func.blocks)
-  done;
-  { live_in; live_out }
+(* the bespoke fixpoint loop this module used to carry is gone: liveness
+   is now the canonical backward may-problem on the generic engine *)
+let problem : Reg.Set.t Dataflow.problem =
+  {
+    Dataflow.direction = Dataflow.Backward;
+    boundary = Reg.Set.empty;
+    bottom = Reg.Set.empty;
+    join = Reg.Set.union;
+    equal = Reg.Set.equal;
+    transfer = block_live_in;
+    edge = None;
+    widen = None;
+    widen_after = 0;
+  }
 
-let live_in t label =
-  try Hashtbl.find t.live_in label with Not_found -> Reg.Set.empty
-
-let live_out t label =
-  try Hashtbl.find t.live_out label with Not_found -> Reg.Set.empty
+let compute (f : Func.t) = Dataflow.solve problem f
+let live_in t label = Dataflow.fact_in t label
+let live_out t label = Dataflow.fact_out t label

@@ -2,7 +2,8 @@
     optimizations", paper Section 9), applied to a fixpoint:
 
     branch chaining -> unreachable-code removal -> copy/constant
-    propagation -> dead-code elimination, then code repositioning.
+    propagation (including the reaching-definitions pass
+    {!Const_prop}) -> dead-code elimination, then code repositioning.
 
     {!finalize} additionally fills delay slots; it must run last (the
     paper applies reordering before delay slots are filled). *)

@@ -1,0 +1,81 @@
+let run_func (fn : Mir.Func.t) =
+  let t = Analysis.Reaching.analyze fn in
+  let changed = ref false in
+  List.iter
+    (fun (b : Mir.Block.t) ->
+      let entry_cache = Hashtbl.create 8 in
+      let entry_const r =
+        match Hashtbl.find_opt entry_cache r with
+        | Some v -> v
+        | None ->
+          let v = Analysis.Reaching.const_in t fn b.Mir.Block.label r in
+          Hashtbl.add entry_cache r v;
+          v
+      in
+      (* local environment over the block body; a register not locally
+         redefined keeps its entry fact *)
+      let env = Hashtbl.create 8 in
+      let lookup r =
+        match Hashtbl.find_opt env r with
+        | Some v -> v
+        | None -> entry_const r
+      in
+      let op_const = function
+        | Mir.Operand.Imm n -> Some n
+        | Mir.Operand.Reg r -> lookup r
+      in
+      let subst op =
+        match op with
+        | Mir.Operand.Reg r -> (
+          match lookup r with
+          | Some c ->
+            changed := true;
+            Mir.Operand.Imm c
+          | None -> op)
+        | Mir.Operand.Imm _ -> op
+      in
+      let advance insn =
+        match insn with
+        | Mir.Insn.Mov (r, o) -> Hashtbl.replace env r (op_const o)
+        | Mir.Insn.Unop (u, r, o) ->
+          Hashtbl.replace env r
+            (Option.map (Mir.Insn.eval_unop u) (op_const o))
+        | Mir.Insn.Binop (bop, r, x, y) ->
+          Hashtbl.replace env r
+            (match (op_const x, op_const y) with
+            | Some a, Some c
+              when not
+                     ((bop = Mir.Insn.Div || bop = Mir.Insn.Rem) && c = 0) ->
+              Some (Mir.Insn.eval_binop bop a c)
+            | _ -> None)
+        | Mir.Insn.Load (r, _, _) | Mir.Insn.Call (Some r, _, _) ->
+          Hashtbl.replace env r None
+        | Mir.Insn.Store _ | Mir.Insn.Cmp _ | Mir.Insn.Call (None, _, _)
+        | Mir.Insn.Nop | Mir.Insn.Profile_range _ | Mir.Insn.Profile_comb _ ->
+          ()
+      in
+      let rewrite insn =
+        let insn' =
+          match insn with
+          | Mir.Insn.Mov (r, o) -> Mir.Insn.Mov (r, subst o)
+          | Mir.Insn.Unop (u, r, o) -> Mir.Insn.Unop (u, r, subst o)
+          | Mir.Insn.Binop (bop, r, x, y) ->
+            Mir.Insn.Binop (bop, r, subst x, subst y)
+          | Mir.Insn.Load (r, sym, idx) -> Mir.Insn.Load (r, sym, subst idx)
+          | Mir.Insn.Store (sym, idx, v) ->
+            Mir.Insn.Store (sym, subst idx, subst v)
+          | Mir.Insn.Call (dst, f, args) ->
+            Mir.Insn.Call (dst, f, List.map subst args)
+          | (Mir.Insn.Cmp _ | Mir.Insn.Nop | Mir.Insn.Profile_range _
+            | Mir.Insn.Profile_comb _) as i ->
+            i
+        in
+        advance insn';
+        insn'
+      in
+      b.Mir.Block.insns <- List.map rewrite b.Mir.Block.insns)
+    fn.Mir.Func.blocks;
+  !changed
+
+let run (p : Mir.Program.t) =
+  List.fold_left (fun acc fn -> run_func fn || acc) false p.Mir.Program.funcs

@@ -1,0 +1,19 @@
+(** Constant propagation driven by reaching definitions
+    ({!Analysis.Reaching}).
+
+    Complements {!Global_const}: that pass treats registers absent from
+    its state map as varying, deliberately giving up on the machine's
+    zero-initialised register file.  The reaching-definitions oracle
+    models the entry pseudo-definitions precisely (non-parameters start
+    at 0), so a register whose every reaching definition is the same
+    [Mov r, #c] — or the entry zero — folds to the constant here even
+    when one path never writes it.
+
+    Compares are left untouched, as in {!Global_const}: the sequence
+    detector wants registers there, and the interval facts already see
+    through them. *)
+
+val run_func : Mir.Func.t -> bool
+(** Returns true when something changed. *)
+
+val run : Mir.Program.t -> bool

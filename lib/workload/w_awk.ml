@@ -4,7 +4,14 @@
        if ($2 > max2) max2 = $2; if ($2 < min2) min2 = $2 }
      END { print NR, n, big, sum, sevens, max2, min2, sum/NR }
    — per-line field splitting, decimal conversion, range tests, a
-   contains-digit scan and running extrema. *)
+   contains-digit scan and running extrema.
+
+   As in real awk, the field separator FS is a runtime variable, not a
+   literal: the splitting loops compare against the [fs] register.  The
+   syntactic sequence detector cannot use those compares (it needs a
+   register-vs-constant test), but the interval facts prove [fs] holds
+   ' ' throughout, so analysis-strengthened detection recovers the full
+   separator-skip and field-scan chains. *)
 
 let source =
   {|
@@ -17,21 +24,24 @@ int main() {
   int sevens = 0;
   int max2 = 0;
   int min2 = 999999;
+  int fs = ' ';   /* separator set: variables, as in real awk (FS) */
+  int tab = '\t';
+  int rs = '\n';  /* record separator, also an awk variable (RS) */
   c = getchar();
   while (c != EOF) {
     int nf = 0;
     int f1 = 0;
     int f2 = 0;
-    while (c != EOF && c != '\n') {
+    while (c != EOF && c != rs) {
       /* skip field separators */
-      while (c == ' ' || c == '\t')
+      while (c == fs || c == tab)
         c = getchar();
-      if (c != EOF && c != '\n') {
+      if (c != EOF && c != rs) {
         nf++;
         int value = 0;
         int is_num = 1;
         int has_seven = 0;
-        while (c != EOF && c != ' ' && c != '\t' && c != '\n') {
+        while (c != EOF && c != fs && c != tab && c != rs) {
           if (c >= '0' && c <= '9') {
             value = value * 10 + (c - '0');
             if (c == '7')
@@ -59,7 +69,7 @@ int main() {
       max2 = f2;
     if (f2 < min2)
       min2 = f2;
-    if (c == '\n')
+    if (c == rs)
       c = getchar();
   }
   print_num(lines);

@@ -174,7 +174,7 @@ let test_empty_main () =
 
 let test_dot_output_well_formed () =
   let prog = compile_final (Workloads.Registry.find "sed").Workloads.Spec.source in
-  let dot = Format.asprintf "%a" Mir.Dot.program prog in
+  let dot = Format.asprintf "%a" (Mir.Dot.program ?annot:None) prog in
   check_bool "has digraphs" true (contains_substring dot "digraph");
   check_bool "has edges" true (contains_substring dot " -> ");
   (* crude balance check on braces *)

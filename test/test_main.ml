@@ -8,6 +8,7 @@ let () =
       ("sim", Test_sim.suite);
       ("opt", Test_opt.suite);
       ("analyses", Test_analyses.suite);
+      ("dataflow", Test_dataflow.suite);
       ("range", Test_range.suite);
       ("detect", Test_detect.suite);
       ("cost", Test_cost.suite);
