@@ -22,13 +22,16 @@
                                               # matrix pipeline (lib/check)
 
    The 17-workload matrix of each heuristic set is fanned out across
-   OCaml 5 domains (Driver.Pool); the `speedup' section re-runs the
-   set-I matrix sequentially, and the `backends' section races the
-   reference, pre-decoded and closure-compiled execution engines over
-   the suite's measure stage.  All wall times land in BENCH_PR4.json
-   together with per-workload dynamic counts and the detection-coverage
-   comparison of the syntactic vs the interval-facts sequence walk
-   (`detection' section).
+   OCaml 5 domains (Driver.Pool) under the guarded runner: a workload
+   that crashes or times out is contained (with --timeout-ms/--retries
+   honoured), its section cells print `-', and the partial results
+   stand.  The `speedup' section re-runs the set-I matrix sequentially,
+   and the `backends' section races the reference, pre-decoded and
+   closure-compiled execution engines over the suite's measure stage.
+   All wall times land in BENCH_PR5.json together with per-workload
+   dynamic counts, per-job outcome tallies (ok/retried/degraded/...)
+   and the detection-coverage comparison of the syntactic vs the
+   interval-facts sequence walk (`detection' section).
 
    Shapes, not absolute numbers, are the reproduction target; see
    EXPERIMENTS.md for the paper-vs-measured discussion. *)
@@ -37,8 +40,10 @@ let fast = ref false
 let sections = ref []
 let seq = ref false
 let jobs_flag = ref None
-let json_path = ref "BENCH_PR4.json"
+let json_path = ref "BENCH_PR5.json"
 let no_json = ref false
+let timeout_ms = ref None
+let retries = ref 0
 
 (* --verify: run the translation validator inside every matrix pipeline
    (Pipeline.run fails the job on any rejection), so a bench run
@@ -89,6 +94,11 @@ let jobs_for config =
 (* per heuristic set: rows + the wall clock of the whole matrix *)
 let matrix : (string, row list * float) Hashtbl.t = Hashtbl.create 4
 
+(* per heuristic set: every job's structured outcome, for the JSON
+   tallies and the missing-workload markers *)
+let outcomes_memo : (string, Driver.Pipeline.job_outcome list) Hashtbl.t =
+  Hashtbl.create 4
+
 let run_matrix hs ~domains =
   if domains = 1 && Domain.recommended_domain_count () > 1 && not !seq then
     Printf.eprintf
@@ -107,13 +117,36 @@ let run_matrix hs ~domains =
   Printf.eprintf
     "[bench] running the 17 workloads under heuristic set %s on %d domain(s)...\n%!"
     hs.Mopt.Switch_lower.hs_name domains;
+  let policy =
+    {
+      Driver.Guard.default with
+      Driver.Guard.timeout_ms = !timeout_ms;
+      retries = !retries;
+      degrade = true;
+    }
+  in
   let t0 = Unix.gettimeofday () in
-  let results = Driver.Pipeline.run_jobs ~domains jobs in
+  let outcomes = Driver.Pipeline.run_jobs_guarded ~domains ~policy jobs in
   let wall = Unix.gettimeofday () -. t0 in
+  Hashtbl.replace outcomes_memo hs.Mopt.Switch_lower.hs_name outcomes;
+  (* failed workloads are contained, not fatal: their rows are dropped,
+     their section cells print `-', and the partial results stand *)
   let rows =
-    List.map2
-      (fun w (result, seconds) -> { workload = w; result; seconds })
-      Workloads.Registry.all results
+    List.concat
+      (List.map2
+         (fun w (o : Driver.Pipeline.job_outcome) ->
+           match o.Driver.Pipeline.o_outcome with
+           | Driver.Pool.Ok result ->
+             [ { workload = w; result; seconds = o.Driver.Pipeline.o_seconds } ]
+           | out ->
+             Printf.eprintf
+               "[bench] WARNING: workload %s (set %s) failed (%s: %s); its \
+                cells will be missing\n%!"
+               w.Workloads.Spec.name hs.Mopt.Switch_lower.hs_name
+               (Driver.Pool.outcome_status out)
+               (Driver.Pool.outcome_message out);
+             [])
+         Workloads.Registry.all outcomes)
   in
   (rows, wall)
 
@@ -286,18 +319,24 @@ let table7 () =
       List.iteri
         (fun i ((m : Sim.Cycle_model.params), hs) ->
           let rows = rows_for hs in
-          let r =
-            List.find
+          match
+            List.find_opt
               (fun row ->
-                String.equal row.workload.Workloads.Spec.name w.Workloads.Spec.name)
+                String.equal row.workload.Workloads.Spec.name
+                  w.Workloads.Spec.name)
               rows
-          in
-          let model = m.Sim.Cycle_model.model_name in
-          let oc = List.assoc model (orig r).Driver.Pipeline.v_cycles in
-          let nc = List.assoc model (reord r).Driver.Pipeline.v_cycles in
-          let d = pct oc nc in
-          averages.(i) <- d :: averages.(i);
-          Printf.printf " %+18.2f%%" d)
+          with
+          | None ->
+            (* the workload's pipeline failed under this set; its cell
+               is marked missing rather than aborting the table *)
+            Printf.printf " %19s" "-"
+          | Some r ->
+            let model = m.Sim.Cycle_model.model_name in
+            let oc = List.assoc model (orig r).Driver.Pipeline.v_cycles in
+            let nc = List.assoc model (reord r).Driver.Pipeline.v_cycles in
+            let d = pct oc nc in
+            averages.(i) <- d :: averages.(i);
+            Printf.printf " %+18.2f%%" d)
         pairs;
       print_newline ())
     Workloads.Registry.all;
@@ -741,7 +780,7 @@ let write_json ~harness_wall () =
     let oc = open_out !json_path in
     let p fmt = Printf.fprintf oc fmt in
     p "{\n";
-    p "  \"pr\": 4,\n";
+    p "  \"pr\": 5,\n";
     p "  \"heuristic_set\": \"I\",\n";
     p "  \"fast\": %b,\n" !fast;
     p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
@@ -758,6 +797,37 @@ let write_json ~harness_wall () =
       p "  \"sequential_wall_seconds\": %.3f,\n" seqw;
       p "  \"speedup\": %.3f,\n" (seqw /. Float.max 1e-9 par)
     | None -> ());
+    (match
+       Hashtbl.find_opt outcomes_memo
+         Mopt.Switch_lower.set_i.Mopt.Switch_lower.hs_name
+     with
+    | None -> ()
+    | Some outcomes ->
+      let count p = List.length (List.filter p outcomes) in
+      let status s (o : Driver.Pipeline.job_outcome) =
+        String.equal (Driver.Pool.outcome_status o.Driver.Pipeline.o_outcome) s
+      in
+      p
+        "  \"outcomes\": {\"ok\": %d, \"retried\": %d, \"degraded\": %d, \
+         \"timeout\": %d, \"trap\": %d, \"crash\": %d, \"gave_up\": %d},\n"
+        (count (status "ok"))
+        (count (fun o ->
+             status "ok" o && o.Driver.Pipeline.o_retried > 0))
+        (count (fun o -> o.Driver.Pipeline.o_degraded))
+        (count (status "timeout"))
+        (count (status "trap"))
+        (count (status "crash"))
+        (count (status "gave_up"));
+      p "  \"missing\": [%s],\n"
+        (String.concat ", "
+           (List.filter_map
+              (fun (o : Driver.Pipeline.job_outcome) ->
+                if Driver.Pool.outcome_ok o.Driver.Pipeline.o_outcome then None
+                else
+                  Some
+                    (Printf.sprintf "\"%s\""
+                       (json_escape o.Driver.Pipeline.o_name)))
+              outcomes)));
     (match !backend_results with
     | [] -> ()
     | l ->
@@ -826,6 +896,20 @@ let parse_args () =
       | Some n when n >= 1 -> jobs_flag := Some n
       | _ ->
         prerr_endline "bench: -j expects a positive integer";
+        exit 2);
+      go rest
+    | "--timeout-ms" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> timeout_ms := Some n
+      | _ ->
+        prerr_endline "bench: --timeout-ms expects a positive integer";
+        exit 2);
+      go rest
+    | "--retries" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 0 -> retries := n
+      | _ ->
+        prerr_endline "bench: --retries expects a non-negative integer";
         exit 2);
       go rest
     | "--json" :: path :: rest ->

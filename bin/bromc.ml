@@ -79,6 +79,13 @@ let handle_errors f =
   | Minic.Srcloc.Error (loc, msg) ->
     Printf.eprintf "error: %s\n" (Minic.Srcloc.error_to_string loc msg);
     exit 1
+  | Driver.Pool.Job_error (i, label, e) ->
+    Printf.eprintf "error: job %d (%s) failed: %s\n" i label
+      (match e with
+      | Sim.Machine.Trap m -> "runtime trap: " ^ m
+      | Failure m -> m
+      | e -> Printexc.to_string e);
+    exit 1
   | Sim.Machine.Trap msg ->
     Printf.eprintf "runtime trap: %s\n" msg;
     exit 1
@@ -345,8 +352,37 @@ let reorder_cmd =
       $ exhaustive $ common_succ $ coalesce $ profile_layout
       $ backend_arg `Compiled $ timings_arg $ verify_arg)
 
+(* flags shared by the fault-tolerant commands (suite, fuzz, bench) *)
+let timeout_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-attempt wall-clock watchdog: a run exceeding $(docv) is \
+           cancelled at the next basic block and reported as a timeout.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry a crashed job up to $(docv) extra times with seeded \
+           exponential backoff before giving up (traps and timeouts are \
+           deterministic and never retried).")
+
+let failures_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "failures-json" ] ~docv:"FILE"
+        ~doc:
+          "Write a machine-readable manifest (one JSON object per line, \
+           flushed incrementally) recording every job's outcome to $(docv).")
+
 let suite_cmd =
-  let run hs jobs backend verify names =
+  let run hs jobs backend verify names fail_fast timeout_ms retries
+      failures_json inject_n inject_seed no_degrade =
     handle_errors (fun () ->
         let workloads =
           match names with
@@ -378,21 +414,159 @@ let suite_cmd =
             | Some j -> j
             | None -> Driver.Pool.default_domains ())
         in
-        let t0 = Unix.gettimeofday () in
-        let results = Driver.Pipeline.run_jobs ~domains jobs_list in
-        let wall = Unix.gettimeofday () -. t0 in
-        Printf.printf "%-8s %12s %12s %9s %8s\n" "workload" "orig insns"
-          "reord insns" "reduction" "seconds";
-        List.iter
-          (fun ((r : Driver.Pipeline.result), seconds) ->
-            let o = r.Driver.Pipeline.r_original.Driver.Pipeline.v_counters in
-            let n = r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters in
-            Printf.printf "%-8s %12d %12d %8.2f%% %8.3f\n"
-              r.Driver.Pipeline.r_name o.Sim.Counters.insns n.Sim.Counters.insns
-              (Driver.Pipeline.pct o.Sim.Counters.insns n.Sim.Counters.insns)
-              seconds)
-          results;
-        Printf.printf "total: %.2fs on %d domain(s)\n" wall domains)
+        if fail_fast && inject_n > 0 then
+          raise
+            (Failure
+               "--fail-fast bypasses the guarded runner; it cannot be \
+                combined with --inject");
+        if fail_fast then begin
+          (* legacy abort-on-first-failure path *)
+          let t0 = Unix.gettimeofday () in
+          let results = Driver.Pipeline.run_jobs ~domains jobs_list in
+          let wall = Unix.gettimeofday () -. t0 in
+          Printf.printf "%-8s %12s %12s %9s %8s\n" "workload" "orig insns"
+            "reord insns" "reduction" "seconds";
+          List.iter
+            (fun ((r : Driver.Pipeline.result), seconds) ->
+              let o = r.Driver.Pipeline.r_original.Driver.Pipeline.v_counters in
+              let n =
+                r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters
+              in
+              Printf.printf "%-8s %12d %12d %8.2f%% %8.3f\n"
+                r.Driver.Pipeline.r_name o.Sim.Counters.insns
+                n.Sim.Counters.insns
+                (Driver.Pipeline.pct o.Sim.Counters.insns n.Sim.Counters.insns)
+                seconds)
+            results;
+          Printf.printf "total: %.2fs on %d domain(s)\n" wall domains
+        end
+        else begin
+          (* guarded keep-going path: every job runs to a structured
+             outcome, failures cannot abort or disturb siblings *)
+          let policy =
+            {
+              Driver.Guard.default with
+              Driver.Guard.timeout_ms;
+              retries;
+              seed = inject_seed;
+              degrade = not no_degrade;
+            }
+          in
+          let faults =
+            if inject_n > 0 then
+              Driver.Inject.plan ~seed:inject_seed
+                ~jobs:(List.length jobs_list) ~count:inject_n
+            else []
+          in
+          let t0 = Unix.gettimeofday () in
+          let outcomes =
+            Driver.Pipeline.run_jobs_guarded ~domains ~policy ~inject:faults
+              jobs_list
+          in
+          let wall = Unix.gettimeofday () -. t0 in
+          Printf.printf "%-8s %-8s %12s %12s %9s %5s %-10s %8s\n" "workload"
+            "status" "orig insns" "reord insns" "reduction" "tries" "backend"
+            "seconds";
+          List.iter
+            (fun (o : Driver.Pipeline.job_outcome) ->
+              let backend =
+                o.Driver.Pipeline.o_backend
+                ^ if o.Driver.Pipeline.o_degraded then "*" else ""
+              in
+              match o.Driver.Pipeline.o_outcome with
+              | Driver.Pool.Ok r ->
+                let c_o =
+                  r.Driver.Pipeline.r_original.Driver.Pipeline.v_counters
+                in
+                let c_n =
+                  r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters
+                in
+                Printf.printf "%-8s %-8s %12d %12d %8.2f%% %5d %-10s %8.3f\n"
+                  o.Driver.Pipeline.o_name "ok" c_o.Sim.Counters.insns
+                  c_n.Sim.Counters.insns
+                  (Driver.Pipeline.pct c_o.Sim.Counters.insns
+                     c_n.Sim.Counters.insns)
+                  o.Driver.Pipeline.o_attempts backend
+                  o.Driver.Pipeline.o_seconds
+              | out ->
+                Printf.printf "%-8s %-8s %12s %12s %9s %5d %-10s %8.3f\n"
+                  o.Driver.Pipeline.o_name (Driver.Pool.outcome_status out) "-"
+                  "-" "-" o.Driver.Pipeline.o_attempts backend
+                  o.Driver.Pipeline.o_seconds;
+                Printf.printf "  %s\n" (Driver.Pool.outcome_message out))
+            outcomes;
+          let count p = List.length (List.filter p outcomes) in
+          let is_ok (o : Driver.Pipeline.job_outcome) =
+            Driver.Pool.outcome_ok o.Driver.Pipeline.o_outcome
+          in
+          let failed = count (fun o -> not (is_ok o)) in
+          let retried =
+            count (fun o -> is_ok o && o.Driver.Pipeline.o_retried > 0)
+          in
+          let degraded = count (fun o -> o.Driver.Pipeline.o_degraded) in
+          Printf.printf
+            "total: %.2fs on %d domain(s); %d ok (%d retried, %d degraded), \
+             %d failed\n"
+            wall domains
+            (count is_ok)
+            retried degraded failed;
+          (match failures_json with
+          | Some path ->
+            Driver.Manifest.write path
+              (List.map Driver.Pipeline.manifest_of_outcome outcomes);
+            Printf.eprintf "failure manifest written to %s\n" path
+          | None -> ());
+          if faults <> [] then begin
+            (* containment certification: every planted fault must have
+               bitten and been either recovered or attributed; no
+               non-victim job may fail *)
+            let escapes =
+              List.filter_map
+                (fun (f : Driver.Inject.fault) ->
+                  let o = List.nth outcomes f.Driver.Inject.i_job in
+                  if
+                    is_ok o
+                    && o.Driver.Pipeline.o_retried = 0
+                    && not o.Driver.Pipeline.o_degraded
+                  then
+                    Some
+                      (Format.asprintf "%a: fault left no trace (escape)"
+                         Driver.Inject.pp_fault f)
+                  else None)
+                faults
+            in
+            let collateral =
+              List.filter_map
+                (fun (o : Driver.Pipeline.job_outcome) ->
+                  if o.Driver.Pipeline.o_injected = "" && not (is_ok o) then
+                    Some
+                      (Printf.sprintf "job %d (%s) failed without a fault: %s"
+                         o.Driver.Pipeline.o_index o.Driver.Pipeline.o_name
+                         (Driver.Pool.outcome_message
+                            o.Driver.Pipeline.o_outcome))
+                  else None)
+                outcomes
+            in
+            Printf.printf
+              "injection: %d faults planted, %d recovered, %d contained \
+               failures, %d escapes, %d collateral\n"
+              (List.length faults)
+              (List.length
+                 (List.filter
+                    (fun (f : Driver.Inject.fault) ->
+                      is_ok (List.nth outcomes f.Driver.Inject.i_job))
+                    faults))
+              (List.length
+                 (List.filter
+                    (fun (f : Driver.Inject.fault) ->
+                      not (is_ok (List.nth outcomes f.Driver.Inject.i_job)))
+                    faults))
+              (List.length escapes) (List.length collateral);
+            List.iter (Printf.eprintf "error: %s\n") (escapes @ collateral);
+            if escapes <> [] || collateral <> [] then exit 1
+          end
+          else if failed > 0 then exit 1
+        end)
   in
   let jobs =
     Arg.(
@@ -409,17 +583,58 @@ let suite_cmd =
       & info [] ~docv:"WORKLOAD"
           ~doc:"Workloads to run (default: all built-ins).")
   in
+  let fail_fast =
+    Arg.(
+      value & flag
+      & info [ "fail-fast" ]
+          ~doc:
+            "Abort the whole suite on the first failing workload (legacy \
+             behaviour).  The default keeps going: every workload runs to a \
+             structured outcome and failures are reported together.")
+  in
+  let inject_n =
+    Arg.(
+      value & opt int 0
+      & info [ "inject" ] ~docv:"N"
+          ~doc:
+            "Fault-injection self-test: plant $(docv) seeded faults (worker \
+             exceptions, traps, fuel and deadline exhaustion, wrong-result \
+             corruption) into distinct jobs and require every one to be \
+             contained — recovered by retry/degradation or attributed in the \
+             outcome — with all sibling results intact.  Exits nonzero on \
+             any escape.")
+  in
+  let inject_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "inject-seed" ] ~docv:"S"
+          ~doc:"Seed for the fault plan and retry backoff jitter.")
+  in
+  let no_degrade =
+    Arg.(
+      value & flag
+      & info [ "no-degrade" ]
+          ~doc:
+            "Disable backend graceful degradation (by default a job whose \
+             compiled-backend attempts crash is retried on the predecoded \
+             interpreter and finally the reference interpreter).")
+  in
   Cmd.v
     (Cmd.info "suite"
        ~doc:
          "Run the reordering pipeline over many workloads in parallel and \
-          print the per-workload instruction reductions.")
+          print the per-workload instruction reductions.  Jobs are guarded: \
+          crashes, traps and timeouts are contained per job and reported \
+          together (see $(b,--fail-fast), $(b,--timeout-ms), $(b,--retries), \
+          $(b,--inject)).")
     Term.(
       const run $ heuristic_arg $ jobs $ backend_arg `Compiled $ verify_arg
-      $ names)
+      $ names $ fail_fast $ timeout_ms_arg $ retries_arg $ failures_json_arg
+      $ inject_n $ inject_seed $ no_degrade)
 
 let fuzz_cmd =
-  let run cases seed backend inject save_failure quiet =
+  let run cases seed backend inject save_failure quiet failures_json resume
+      timeout_ms =
     handle_errors (fun () ->
         let backends =
           match backend with
@@ -427,7 +642,47 @@ let fuzz_cmd =
           | None -> [ `Reference; `Predecoded; `Compiled ]
         in
         let log = if quiet then ignore else fun m -> Printf.eprintf "%s\n%!" m in
-        let stats = Check.Fuzz.run ~backends ~inject ~log ~cases ~seed () in
+        (* resume: cases already green in a previous (possibly killed)
+           run's manifest are skipped, and their entries carried forward *)
+        let green =
+          match resume with
+          | None -> []
+          | Some path ->
+            List.filter
+              (fun (e : Driver.Manifest.entry) ->
+                Driver.Manifest.ok e && e.Driver.Manifest.e_id < cases)
+              (Driver.Manifest.read path)
+        in
+        let green_ids = Hashtbl.create 64 in
+        List.iter
+          (fun (e : Driver.Manifest.entry) ->
+            Hashtbl.replace green_ids e.Driver.Manifest.e_id ())
+          green;
+        let writer = Option.map Driver.Manifest.create failures_json in
+        (match writer with
+        | Some w -> List.iter (Driver.Manifest.add w) green
+        | None -> ());
+        let on_case =
+          Option.map
+            (fun w case status ->
+              Driver.Manifest.add w
+                (Driver.Manifest.entry
+                   ~label:(Printf.sprintf "case-%d" case)
+                   ~id:case ~status ()))
+            writer
+        in
+        let skip =
+          if Hashtbl.length green_ids = 0 then None
+          else Some (Hashtbl.mem green_ids)
+        in
+        let stats =
+          Fun.protect
+            ~finally:(fun () ->
+              match writer with Some w -> Driver.Manifest.close w | None -> ())
+            (fun () ->
+              Check.Fuzz.run ~backends ~inject ~log ?skip ?on_case
+                ?deadline_ms:timeout_ms ~cases ~seed ())
+        in
         print_string (Format.asprintf "%a" Check.Fuzz.pp_stats stats);
         if inject && stats.Check.Fuzz.st_injected = 0 then begin
           Printf.eprintf
@@ -497,15 +752,31 @@ let fuzz_cmd =
       value & flag
       & info [ "quiet"; "q" ] ~doc:"Suppress progress lines on stderr.")
   in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a checkpoint manifest written by a previous \
+             $(b,--failures-json) run (killed or complete): cases it already \
+             proved green are skipped, and their entries carried forward into \
+             this run's manifest.  Sound because the corpus is deterministic \
+             in $(b,--seed).")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Fuzz the reordering pipeline: random programs through generate → \
           train → reorder → translation-validate (Check.Verify) → \
           differential execution across backends, with shrunk \
-          counterexamples on failure.")
+          counterexamples on failure.  $(b,--failures-json) checkpoints one \
+          manifest line per case as it completes; $(b,--resume) skips cases \
+          an earlier manifest already proved green; $(b,--timeout-ms) arms a \
+          per-case watchdog.")
     Term.(
-      const run $ cases $ seed $ backend_opt $ inject $ save_failure $ quiet)
+      const run $ cases $ seed $ backend_opt $ inject $ save_failure $ quiet
+      $ failures_json_arg $ resume $ timeout_ms_arg)
 
 let lint_cmd =
   let run source hs json no_explain facts =

@@ -12,6 +12,10 @@ type failure = {
 
 type stats = {
   st_cases : int;
+  st_skipped : int;
+      (* cases not re-run because a resume manifest already proved them *)
+  st_timeouts : int;
+      (* cases abandoned by the per-case watchdog (reported, not failed) *)
   st_reordered : int;
   st_coalesced : int;
   st_unchanged : int;
@@ -43,6 +47,11 @@ let pp_stats ppf st =
     st.st_cases st.st_reordered st.st_coalesced st.st_unchanged st.st_pieces
     (String.concat ", "
        (List.map (fun (f, n) -> Printf.sprintf "%s=%d" f n) st.st_form_counts));
+  if st.st_skipped > 0 then
+    Format.fprintf ppf "%d cases skipped (already green in resume manifest)@,"
+      st.st_skipped;
+  if st.st_timeouts > 0 then
+    Format.fprintf ppf "%d cases timed out (watchdog)@," st.st_timeouts;
   if st.st_injected > 0 then
     Format.fprintf ppf "injected %d bugs, caught %d%s@," st.st_injected
       st.st_caught
@@ -83,13 +92,14 @@ let coalesce_machine_for case =
 (* alternate the detector too: even cases use the interval-facts walk
    (the pipeline default), odd cases the syntactic one, so both are
    under the verifier and the backend differential *)
-let transform ?coalesce_machine ~facts spec =
+let transform ?coalesce_machine ?(config = Sim.Machine.default_config) ~facts
+    spec =
   let base = build spec in
   let seqs = Detect.find_program ~facts base in
   let train_prog = Mir.Clone.program base in
   let table = Reorder.Profiles.instrument train_prog seqs in
   let (_ : Sim.Machine.result) =
-    Sim.Machine.run ~profile:table train_prog ~input:spec.Gen.sp_train
+    Sim.Machine.run ~config ~profile:table train_prog ~input:spec.Gen.sp_train
   in
   let reord = Mir.Clone.program base in
   let report = Pass.run ?coalesce_machine reord seqs table in
@@ -191,13 +201,13 @@ type execution = {
   x_blocks : (string * string) list;
 }
 
-let capture backend prog ~input =
+let capture ?(config = Sim.Machine.default_config) backend prog ~input =
   let branches = ref [] in
   let blocks = ref [] in
   let on_branch ~site ~taken = branches := (site, taken) :: !branches in
   let on_block ~func ~label = blocks := (func, label) :: !blocks in
   let result =
-    try Ok (Sim.Machine.run ~backend ~on_branch ~on_block prog ~input)
+    try Ok (Sim.Machine.run ~config ~backend ~on_branch ~on_block prog ~input)
     with Sim.Machine.Trap m -> Error m
   in
   { x_result = result; x_branches = List.rev !branches; x_blocks = List.rev !blocks }
@@ -208,15 +218,15 @@ let backend_name = function
   | `Compiled -> "compiled"
 
 (* all requested backends must agree on everything observable *)
-let cross_backend_errors ~what backends prog ~input =
+let cross_backend_errors ?config ~what backends prog ~input =
   match backends with
   | [] | [ _ ] -> ([], [])
   | first :: rest ->
-    let base = capture first prog ~input in
+    let base = capture ?config first prog ~input in
     let errors = ref [] in
     List.iter
       (fun b ->
-        let r = capture b prog ~input in
+        let r = capture ?config b prog ~input in
         let clash field =
           errors :=
             !errors
@@ -239,14 +249,14 @@ let cross_backend_errors ~what backends prog ~input =
       rest;
     ([ base ], !errors)
 
-let differential_errors backends ~orig ~reord ~input =
+let differential_errors ?config backends ~orig ~reord ~input =
   let run1 prog what =
-    match cross_backend_errors ~what backends prog ~input with
+    match cross_backend_errors ?config ~what backends prog ~input with
     | [ base ], errs -> (Some base, errs)
     | _, errs -> (
       match backends with
       | [] -> (None, errs)
-      | b :: _ -> (Some (capture b prog ~input), errs))
+      | b :: _ -> (Some (capture ?config b prog ~input), errs))
   in
   let o, errs_o = run1 orig "original" in
   let r, errs_r = run1 reord "reordered" in
@@ -286,7 +296,7 @@ let differential_errors backends ~orig ~reord ~input =
    symmetrically), and a subsumed arm's test must never fire.  Run on
    the untransformed program over both fuzz inputs; any contradiction is
    a lint false positive and fails the case. *)
-let lint_cross_errors prog ~inputs =
+let lint_cross_errors ?(config = Sim.Machine.default_config) prog ~inputs =
   let diags = Analysis.Lint.check_program prog in
   if diags = [] then ([], 0)
   else begin
@@ -306,8 +316,8 @@ let lint_cross_errors prog ~inputs =
         in
         try
           ignore
-            (Sim.Machine.run ~backend:`Reference ~on_block ~on_branch prog
-               ~input)
+            (Sim.Machine.run ~config ~backend:`Reference ~on_block ~on_branch
+               prog ~input)
         with Sim.Machine.Trap _ -> ()
           (* observations up to a trap still count *))
       inputs;
@@ -364,12 +374,12 @@ let count_outcomes (report : Pass.report) =
       | Pass.Unchanged _ -> (r, c, u + 1))
     (0, 0, 0) report.Pass.seq_reports
 
-let run_case ~backends ~inject ~case spec =
+let run_case ?config ~backends ~inject ~case spec =
   try
     let base, reord, report =
       transform
         ?coalesce_machine:(coalesce_machine_for case)
-        ~facts:(case mod 4 < 2) spec
+        ?config ~facts:(case mod 4 < 2) spec
     in
     let injected =
       if inject then inject_wrong_default ~before:base ~after:reord report
@@ -410,7 +420,8 @@ let run_case ~backends ~inject ~case spec =
         { out with co_errors = Verify.all_errors summary }
       else begin
         let lint_errors, lint_diags =
-          lint_cross_errors base ~inputs:[ spec.Gen.sp_train; spec.Gen.sp_test ]
+          lint_cross_errors ?config base
+            ~inputs:[ spec.Gen.sp_train; spec.Gen.sp_test ]
         in
         (* finalize both versions exactly like the pipeline, then race the
            backends *)
@@ -420,7 +431,8 @@ let run_case ~backends ~inject ~case spec =
         Mir.Validate.check orig;
         Mir.Validate.check reord;
         let errors =
-          differential_errors backends ~orig ~reord ~input:spec.Gen.sp_test
+          differential_errors ?config backends ~orig ~reord
+            ~input:spec.Gen.sp_test
         in
         { out with co_errors = lint_errors @ errors; co_lint_diags = lint_diags }
       end
@@ -449,7 +461,7 @@ let form_name = function
 let default_backends : backend list = [ `Reference; `Predecoded; `Compiled ]
 
 let run ?(backends = default_backends) ?(inject = false) ?(log = ignore)
-    ~cases ~seed () =
+    ?skip ?on_case ?deadline_ms ~cases ~seed () =
   let form_tally = Hashtbl.create 8 in
   let tally spec =
     List.iter
@@ -467,11 +479,29 @@ let run ?(backends = default_backends) ?(inject = false) ?(log = ignore)
   and injected = ref 0
   and caught = ref 0
   and lint_diags = ref 0
-  and best_blocks = ref None in
-  for case = 0 to cases - 1 do
+  and best_blocks = ref None
+  and skipped = ref 0
+  and timeouts = ref 0 in
+  let notify case status =
+    match on_case with Some f -> f case status | None -> ()
+  in
+  (* one latching watchdog covers the whole case: the training run, every
+     differential execution, the lint cross-check, and any shrinking *)
+  let case_config () =
+    match deadline_ms with
+    | None -> None
+    | Some ms ->
+      Some
+        {
+          Sim.Machine.default_config with
+          Sim.Machine.cancel = Some (Sim.Runtime.watchdog ~ms);
+        }
+  in
+  let process case =
     let spec = Gen.spec_of_seed ((seed * 1_000_003) + case) in
     tally spec;
-    let out = run_case ~backends ~inject ~case spec in
+    let config = case_config () in
+    let out = run_case ?config ~backends ~inject ~case spec in
     reordered := !reordered + out.co_reordered;
     coalesced := !coalesced + out.co_coalesced;
     unchanged := !unchanged + out.co_unchanged;
@@ -482,14 +512,20 @@ let run ?(backends = default_backends) ?(inject = false) ?(log = ignore)
       incr caught;
       (* shrink the caught case once, for the smallest demonstration *)
       if !best_blocks = None then begin
-        let keep s = (run_case ~backends ~inject:true ~case s).co_caught in
+        let keep s =
+          (run_case ?config ~backends ~inject:true ~case s).co_caught
+        in
         let shrunk = Gen.shrink_spec ~keep spec in
-        let blocks = (run_case ~backends ~inject:true ~case shrunk).co_blocks in
+        let blocks =
+          (run_case ?config ~backends ~inject:true ~case shrunk).co_blocks
+        in
         best_blocks := blocks
       end
     end;
     if out.co_errors <> [] then begin
-      let keep s = (run_case ~backends ~inject ~case s).co_errors <> [] in
+      let keep s =
+        (run_case ?config ~backends ~inject ~case s).co_errors <> []
+      in
       let shrunk = Gen.shrink_spec ~keep spec in
       let f =
         {
@@ -502,6 +538,22 @@ let run ?(backends = default_backends) ?(inject = false) ?(log = ignore)
       failures := !failures @ [ f ];
       log (Format.asprintf "%a" pp_failure f)
     end;
+    out.co_errors <> []
+  in
+  for case = 0 to cases - 1 do
+    (match skip with
+    | Some p when p case -> incr skipped
+    | _ -> (
+      match process case with
+      | failed -> notify case (if failed then "failed" else "ok")
+      | exception Sim.Runtime.Cancelled ->
+        (* the per-case watchdog fired; abandon this case (its partial
+           tallies stand) and keep the corpus going *)
+        incr timeouts;
+        log
+          (Printf.sprintf "fuzz: case %d timed out after %d ms" case
+             (Option.value ~default:0 deadline_ms));
+        notify case "timeout"));
     if (case + 1) mod 100 = 0 then
       log
         (Printf.sprintf "fuzz: %d/%d cases, %d sequences reordered, %d failures"
@@ -510,6 +562,8 @@ let run ?(backends = default_backends) ?(inject = false) ?(log = ignore)
   done;
   {
     st_cases = cases;
+    st_skipped = !skipped;
+    st_timeouts = !timeouts;
     st_reordered = !reordered;
     st_coalesced = !coalesced;
     st_unchanged = !unchanged;

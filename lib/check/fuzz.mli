@@ -34,6 +34,13 @@ type failure = {
 
 type stats = {
   st_cases : int;
+  st_skipped : int;
+      (** cases not re-run because [skip] said a resume manifest already
+          proved them green *)
+  st_timeouts : int;
+      (** cases abandoned by the per-case watchdog ([deadline_ms]);
+          reported, but not counted as failures — a slow case is not a
+          wrong one *)
   st_reordered : int;   (** sequences reordered across all cases *)
   st_coalesced : int;
   st_unchanged : int;
@@ -63,10 +70,25 @@ val run :
   ?backends:backend list ->
   ?inject:bool ->
   ?log:(string -> unit) ->
+  ?skip:(int -> bool) ->
+  ?on_case:(int -> string -> unit) ->
+  ?deadline_ms:int ->
   cases:int ->
   seed:int ->
   unit ->
   stats
 (** Deterministic in [seed]: case [i] draws from a PRNG seeded with
-    [seed] and [i].  [log] receives one progress line every few hundred
-    cases.  [backends] defaults to all three. *)
+    [seed] and [i], so the same [(cases, seed)] always replays the same
+    corpus — which is what makes checkpoint/resume sound.  [log]
+    receives one progress line every few hundred cases.  [backends]
+    defaults to all three.
+
+    [skip case] short-circuits a case without running it (resume from a
+    checkpoint manifest); skipped cases count in [st_skipped] and do not
+    reach [on_case].  [on_case case status] fires after every executed
+    case with ["ok"], ["failed"] or ["timeout"] — the checkpoint hook
+    ([bromc fuzz --failures-json] appends and flushes one manifest line
+    per case, so a killed run resumes).  [deadline_ms] arms one latching
+    {!Sim.Runtime.watchdog} per case spanning training, differential
+    execution, lint cross-check and shrinking; an expired case is
+    abandoned (the corpus continues) and tallied in [st_timeouts]. *)

@@ -17,7 +17,13 @@ type t = {
   verify : bool;
   fuel : int;
   backend : [ `Reference | `Predecoded | `Compiled ];
+  cancel : (unit -> bool) option;
 }
+
+let backend_name = function
+  | `Reference -> "reference"
+  | `Predecoded -> "predecoded"
+  | `Compiled -> "compiled"
 
 let paper_predictors =
   List.concat_map
@@ -41,4 +47,5 @@ let default =
     verify = false;
     fuel = 500_000_000;
     backend = `Compiled;
+    cancel = None;
   }

@@ -40,9 +40,18 @@ type t = {
       (** execution engine for the training and measurement runs
           (default [`Compiled]; all three are observably identical, so
           this only changes wall-clock time) *)
+  cancel : (unit -> bool) option;
+      (** cooperative cancellation flag threaded into every simulator
+          run (polled once per basic block); typically a
+          {!Sim.Runtime.watchdog}.  [None] (the default) costs
+          nothing. *)
 }
 
 val default : t
+
+val backend_name : [ `Reference | `Predecoded | `Compiled ] -> string
+(** Stable machine-readable tag ("reference" / "predecoded" /
+    "compiled") used in manifests and reports. *)
 
 val paper_predictors : (int * int * int) list
 (** The (0,1) and (0,2) predictors with 32..2048 entries of Table 6

@@ -1,0 +1,72 @@
+(* Seeded fault injection for certifying job isolation.
+
+   A plan assigns at most one fault to each victim job; the guarded
+   runner ({!Pipeline.run_jobs_guarded}) arms the fault only on attempts
+   against the job's originally-requested backend, so the retry and
+   degradation machinery has something real to recover from.  Every
+   fault must end up contained: attributed to its job in the outcome
+   list (and failure manifest) without disturbing any sibling. *)
+
+type kind =
+  | Raise      (* an exception thrown inside the worker *)
+  | Trap       (* a simulated-program trap *)
+  | Fuel       (* fuel exhaustion: the attempt runs with a tiny budget *)
+  | Deadline   (* watchdog exhaustion: the cancellation flag is forced *)
+  | Corrupt    (* wrong-result corruption of the job's observables *)
+
+let all_kinds = [ Raise; Trap; Fuel; Deadline; Corrupt ]
+
+let kind_name = function
+  | Raise -> "raise"
+  | Trap -> "trap"
+  | Fuel -> "fuel"
+  | Deadline -> "deadline"
+  | Corrupt -> "corrupt"
+
+type fault = {
+  i_job : int;
+  i_kind : kind;
+  i_transient : bool;
+      (* only the first attempt faults; a retry on the same backend
+         succeeds (models a transient failure) *)
+}
+
+exception Injected of int
+(* the [Raise] fault, carrying the victim job id *)
+
+let pp_fault ppf f =
+  Format.fprintf ppf "job %d: %s%s" f.i_job (kind_name f.i_kind)
+    (if f.i_transient then " (transient)" else "")
+
+let plan ~seed ~jobs ~count =
+  if jobs <= 0 then []
+  else begin
+    let count = min count jobs in
+    let state = ref (((seed * 2_654_435_761) lxor 0x5DEECE6D) land 0x3FFF_FFFF) in
+    let next () =
+      state := ((!state * 1_103_515_245) + 12345) land 0x3FFF_FFFF;
+      !state
+    in
+    (* seeded Fisher-Yates prefix: distinct victim jobs *)
+    let ids = Array.init jobs Fun.id in
+    for i = 0 to count - 1 do
+      let j = i + (next () mod (jobs - i)) in
+      let t = ids.(i) in
+      ids.(i) <- ids.(j);
+      ids.(j) <- t
+    done;
+    let kinds = Array.of_list all_kinds in
+    List.init count (fun i ->
+        (* cycle the kinds so every fault class is exercised whenever
+           count >= 5, whatever the seed *)
+        let kind = kinds.(i mod Array.length kinds) in
+        {
+          i_job = ids.(i);
+          i_kind = kind;
+          (* only [Raise] models a transient failure the retry loop can
+             beat; the other kinds persist for the whole rung *)
+          i_transient = (match kind with Raise -> next () mod 2 = 0 | _ -> false);
+        })
+  end
+
+let find plans ~job = List.find_opt (fun f -> f.i_job = job) plans

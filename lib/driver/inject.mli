@@ -1,0 +1,45 @@
+(** Seeded fault-injection plans for certifying job isolation.
+
+    {!plan} draws a deterministic set of faults (distinct victim jobs,
+    all five kinds cycled) for a run of [jobs] jobs;
+    {!Pipeline.run_jobs_guarded} arms each fault on its victim's
+    attempts against the originally-requested backend only, so retries
+    (transient raises) and backend degradation (persistent faults) have
+    a real recovery path.  The tests and the CI smoke job assert that
+    every planted fault is contained: attributed to its job id in the
+    outcome list and failure manifest, with every sibling's result
+    intact. *)
+
+type kind =
+  | Raise      (** exception thrown inside the worker *)
+  | Trap       (** simulated-program trap *)
+  | Fuel       (** fuel exhaustion (tiny instruction budget) *)
+  | Deadline   (** watchdog exhaustion (cancellation flag forced on) *)
+  | Corrupt    (** wrong-result corruption of the job's observables *)
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+(** Stable machine-readable tag ("raise", "trap", "fuel", "deadline",
+    "corrupt") used in manifests. *)
+
+type fault = {
+  i_job : int;          (** victim job index *)
+  i_kind : kind;
+  i_transient : bool;
+      (** fault only the first attempt on the requested backend, so a
+          bounded retry recovers (only ever set for {!Raise}) *)
+}
+
+exception Injected of int
+(** What a {!Raise} fault throws, carrying the victim job id. *)
+
+val pp_fault : Format.formatter -> fault -> unit
+
+val plan : seed:int -> jobs:int -> count:int -> fault list
+(** [plan ~seed ~jobs ~count] draws [min count jobs] faults against
+    distinct victim jobs, deterministically in [seed].  Kinds are cycled
+    in {!all_kinds} order so every class appears whenever
+    [count >= 5]. *)
+
+val find : fault list -> job:int -> fault option

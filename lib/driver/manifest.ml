@@ -1,0 +1,209 @@
+(* Machine-readable failure manifests.
+
+   One JSON object per line, flushed as soon as the entry is known, so a
+   run killed mid-corpus leaves a readable prefix behind — that is what
+   `bromc fuzz --resume` and the CI resume job consume.  The format is a
+   flat object of scalars; the reader below parses exactly that (it is
+   not a general JSON parser, and does not need to be). *)
+
+type entry = {
+  e_id : int;            (* job index / fuzz case number *)
+  e_label : string;
+  e_status : string;     (* Pool.outcome_status or "ok"/"failed"/... *)
+  e_message : string;
+  e_attempts : int;
+  e_retried : int;
+  e_backend : string;    (* backend that served the job; "" when n/a *)
+  e_degraded : bool;
+  e_injected : string;   (* Inject.kind_name of a planted fault; "" *)
+  e_wall_ms : float;
+}
+
+let entry ?(label = "") ?(message = "") ?(attempts = 1) ?(retried = 0)
+    ?(backend = "") ?(degraded = false) ?(injected = "") ?(wall_ms = 0.0)
+    ~id ~status () =
+  {
+    e_id = id;
+    e_label = label;
+    e_status = status;
+    e_message = message;
+    e_attempts = attempts;
+    e_retried = retried;
+    e_backend = backend;
+    e_degraded = degraded;
+    e_injected = injected;
+    e_wall_ms = wall_ms;
+  }
+
+let ok e = String.equal e.e_status "ok"
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_line e =
+  Printf.sprintf
+    "{\"id\": %d, \"label\": \"%s\", \"status\": \"%s\", \"message\": \"%s\", \
+     \"attempts\": %d, \"retried\": %d, \"backend\": \"%s\", \"degraded\": %b, \
+     \"injected\": \"%s\", \"wall_ms\": %.3f}"
+    e.e_id (escape e.e_label) (escape e.e_status) (escape e.e_message)
+    e.e_attempts e.e_retried (escape e.e_backend) e.e_degraded
+    (escape e.e_injected) e.e_wall_ms
+
+type writer = out_channel
+
+let create path : writer = open_out path
+
+let add (w : writer) e =
+  output_string w (to_line e);
+  output_char w '\n';
+  flush w
+
+let close (w : writer) = close_out w
+
+let write path entries =
+  let w = create path in
+  Fun.protect ~finally:(fun () -> close w) (fun () -> List.iter (add w) entries)
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+(* parse one flat JSON object of scalar fields into an assoc list of
+   raw string values (strings unescaped, numbers/bools verbatim) *)
+let parse_object line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let error fmt =
+    Printf.ksprintf (fun m -> raise (Parse_error (m ^ ": " ^ line))) fmt
+  in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | _ -> error "expected %c" c
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string"
+      else
+        match line.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          if !pos + 1 >= n then error "dangling escape";
+          (match line.[!pos + 1] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+            if !pos + 5 >= n then error "short \\u escape";
+            let code = int_of_string ("0x" ^ String.sub line (!pos + 2) 4) in
+            Buffer.add_char b (Char.chr (code land 255));
+            pos := !pos + 4
+          | c -> error "unknown escape \\%c" c);
+          pos := !pos + 2;
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_scalar () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> parse_string ()
+    | Some _ ->
+      let start = !pos in
+      while
+        !pos < n && (match line.[!pos] with ',' | '}' -> false | _ -> true)
+      do
+        incr pos
+      done;
+      String.trim (String.sub line start (!pos - start))
+    | None -> error "expected a value"
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if peek () = Some '}' then incr pos
+  else begin
+    let continue = ref true in
+    while !continue do
+      skip_ws ();
+      let key = parse_string () in
+      expect ':';
+      let v = parse_scalar () in
+      fields := (key, v) :: !fields;
+      skip_ws ();
+      match peek () with
+      | Some ',' -> incr pos
+      | Some '}' ->
+        incr pos;
+        continue := false
+      | _ -> error "expected , or }"
+    done
+  end;
+  List.rev !fields
+
+let entry_of_line line =
+  let fields = parse_object line in
+  let str k = Option.value ~default:"" (List.assoc_opt k fields) in
+  let int k = Option.value ~default:0 (int_of_string_opt (str k)) in
+  let flo k = Option.value ~default:0.0 (float_of_string_opt (str k)) in
+  {
+    e_id = int "id";
+    e_label = str "label";
+    e_status = str "status";
+    e_message = str "message";
+    e_attempts = max 1 (int "attempts");
+    e_retried = int "retried";
+    e_backend = str "backend";
+    e_degraded = String.equal (str "degraded") "true";
+    e_injected = str "injected";
+    e_wall_ms = flo "wall_ms";
+  }
+
+let read path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let entries = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" then entries := entry_of_line line :: !entries
+         done
+       with End_of_file -> ());
+      List.rev !entries)

@@ -33,7 +33,11 @@ let compile_base (config : Config.t) source =
   prog
 
 let sim_config (config : Config.t) =
-  { Sim.Machine.default_config with Sim.Machine.fuel = config.Config.fuel }
+  {
+    Sim.Machine.default_config with
+    Sim.Machine.fuel = config.Config.fuel;
+    Sim.Machine.cancel = config.Config.cancel;
+  }
 
 (* run a program under the configured execution backend; when the caller
    already holds the pre-decoded image, the fast backends reuse it
@@ -321,3 +325,151 @@ let run_job j =
     ~training_input:j.job_training_input ~test_input:j.job_test_input ()
 
 let run_jobs ?domains jobs = Pool.timed_map ?domains run_job jobs
+
+(* ------------------------------------------------------------------ *)
+(* Guarded execution: watchdogs, retries, backend degradation          *)
+(* ------------------------------------------------------------------ *)
+
+exception Wrong_result of string
+
+type job_outcome = {
+  o_index : int;
+  o_name : string;
+  o_outcome : result Pool.outcome;
+  o_attempts : int;
+  o_retried : int;
+  o_backend : string;
+  o_degraded : bool;
+  o_errors : string list;
+  o_injected : string;
+  o_seconds : float;
+}
+
+let outcome_ladder : Config.t -> _ = fun config ->
+  (* degradation walks from the requested backend down to the reference
+     interpreter — the slowest rung, but the one with the least
+     machinery to go wrong *)
+  match config.Config.backend with
+  | `Compiled -> [ `Compiled; `Predecoded; `Reference ]
+  | `Predecoded -> [ `Predecoded; `Reference ]
+  | `Reference -> [ `Reference ]
+
+(* defense-in-depth re-check of the pipeline's own invariant, outside
+   {!run}: this is what catches a wrong-result fault that corrupted the
+   observables after the pipeline's internal comparison passed *)
+let check_observables name r =
+  if
+    (not (String.equal r.r_original.v_output r.r_reordered.v_output))
+    || r.r_original.v_exit_code <> r.r_reordered.v_exit_code
+  then
+    raise
+      (Wrong_result
+         (Printf.sprintf "%s: reordered observables diverge from original" name));
+  r
+
+let run_guarded_job ?fault ~index ~policy j =
+  let requested = j.job_config.Config.backend in
+  let rungs =
+    if policy.Guard.degrade then outcome_ladder j.job_config
+    else [ requested ]
+  in
+  let injected =
+    match fault with
+    | Some (f : Inject.fault) -> Inject.kind_name f.Inject.i_kind
+    | None -> ""
+  in
+  let t0 = Unix.gettimeofday () in
+  let attempt_job ~backend ~armed ~attempt ~cancel =
+    let config = { j.job_config with Config.backend; Config.cancel = cancel } in
+    let config =
+      match armed with
+      | None -> config
+      | Some (f : Inject.fault) -> (
+        match f.Inject.i_kind with
+        | Inject.Raise ->
+          (* transient raises fault only the first attempt, giving the
+             bounded-retry loop something it can actually beat *)
+          if (not f.Inject.i_transient) || attempt = 1 then
+            raise (Inject.Injected index);
+          config
+        | Inject.Trap ->
+          raise
+            (Sim.Runtime.Trap (Printf.sprintf "injected trap (job %d)" index))
+        | Inject.Fuel -> { config with Config.fuel = 64 }
+        | Inject.Deadline ->
+          { config with Config.cancel = Some (fun () -> true) }
+        | Inject.Corrupt -> config)
+    in
+    let r =
+      run ~config ~name:j.job_name ~source:j.job_source
+        ~training_input:j.job_training_input ~test_input:j.job_test_input ()
+    in
+    let r =
+      match armed with
+      | Some { Inject.i_kind = Inject.Corrupt; _ } ->
+        {
+          r with
+          r_reordered =
+            {
+              r.r_reordered with
+              v_output = r.r_reordered.v_output ^ "\000<corrupted>";
+            };
+        }
+      | _ -> r
+    in
+    check_observables j.job_name r
+  in
+  let finish backend outcome attempts errors =
+    {
+      o_index = index;
+      o_name = j.job_name;
+      o_outcome = outcome;
+      o_attempts = attempts;
+      o_retried = attempts - 1;
+      o_backend = Config.backend_name backend;
+      o_degraded = backend <> requested;
+      o_errors = errors;
+      o_injected = injected;
+      o_seconds = Unix.gettimeofday () -. t0;
+    }
+  in
+  let rec walk rungs attempts errors =
+    match rungs with
+    | [] -> assert false
+    | backend :: rest -> (
+      (* faults are armed only against the requested backend, so the
+         degradation ladder has a real recovery path *)
+      let armed = if backend = requested then fault else None in
+      let outcome, meta =
+        Guard.protect ~index policy (fun ~attempt ~cancel ->
+            attempt_job ~backend ~armed ~attempt ~cancel)
+      in
+      let attempts = attempts + meta.Guard.m_attempts in
+      let errors = errors @ meta.Guard.m_errors in
+      match outcome with
+      | Pool.Ok _ | Pool.Trap _ | Pool.Timeout _ ->
+        (* traps and timeouts are properties of the simulated program
+           and the deadline, identical on every backend: degrading
+           cannot help, so they are final *)
+        finish backend outcome attempts errors
+      | Pool.Crash _ | Pool.Gave_up _ ->
+        if rest = [] then finish backend outcome attempts errors
+        else walk rest attempts errors)
+  in
+  walk rungs 0 []
+
+let run_jobs_guarded ?domains ?(policy = Guard.default) ?(inject = []) jobs =
+  let indexed = List.mapi (fun i j -> (i, j)) jobs in
+  Pool.map ?domains
+    ~label:(fun _ (_, j) -> j.job_name)
+    (fun (i, j) ->
+      run_guarded_job ?fault:(Inject.find inject ~job:i) ~index:i ~policy j)
+    indexed
+
+let manifest_of_outcome o =
+  Manifest.entry ~label:o.o_name
+    ~message:(Pool.outcome_message o.o_outcome)
+    ~attempts:o.o_attempts ~retried:o.o_retried ~backend:o.o_backend
+    ~degraded:o.o_degraded ~injected:o.o_injected
+    ~wall_ms:(o.o_seconds *. 1000.0) ~id:o.o_index
+    ~status:(Pool.outcome_status o.o_outcome) ()

@@ -97,4 +97,56 @@ val run_job : job -> result
 
 val run_jobs : ?domains:int -> job list -> (result * float) list
 (** Deterministic: results are in job order whatever the schedule;
-    [domains] defaults to {!Pool.default_domains}. *)
+    [domains] defaults to {!Pool.default_domains}.  Fail-fast: the first
+    failing job aborts the whole batch with {!Pool.Job_error} — use
+    {!run_jobs_guarded} to keep going. *)
+
+(** {2 Guarded execution}
+
+    The fault-tolerant runner: every job ends in a structured
+    {!job_outcome} (never an exception), under a {!Guard.policy} of
+    per-attempt watchdog deadlines and bounded seeded retries, plus
+    backend graceful degradation — a job whose [`Compiled] attempts
+    crash is retried under [`Predecoded] and finally [`Reference], and
+    the divergence is recorded.  Traps and timeouts are final: they are
+    properties of the simulated program and the deadline, identical on
+    every backend, so degrading cannot help. *)
+
+exception Wrong_result of string
+(** Raised (and contained by the guard as a retryable crash) when the
+    post-run observables re-check fails: the reordered version's output
+    or exit code diverged from the original's outside the pipeline's own
+    internal comparison.  This is the detection layer for wrong-result
+    faults. *)
+
+type job_outcome = {
+  o_index : int;       (** 0-based position in the submitted job list *)
+  o_name : string;
+  o_outcome : result Pool.outcome;
+  o_attempts : int;    (** total attempts across all backend rungs *)
+  o_retried : int;     (** [o_attempts - 1] *)
+  o_backend : string;  (** backend that produced the final outcome *)
+  o_degraded : bool;   (** served by a lower rung than requested *)
+  o_errors : string list;  (** one line per failed attempt, oldest first *)
+  o_injected : string; (** {!Inject.kind_name} of a planted fault; [""] *)
+  o_seconds : float;   (** wall clock including retries and backoff *)
+}
+
+val run_guarded_job :
+  ?fault:Inject.fault -> index:int -> policy:Guard.policy -> job -> job_outcome
+(** Run one job in the calling domain under the full containment stack.
+    [fault] (tests and the [--inject] harness) is armed only on attempts
+    against the job's requested backend, so degradation recovers from
+    persistent kinds and retries recover from transient ones. *)
+
+val run_jobs_guarded :
+  ?domains:int ->
+  ?policy:Guard.policy ->
+  ?inject:Inject.fault list ->
+  job list ->
+  job_outcome list
+(** Fan {!run_guarded_job} over a bounded {!Pool}; job order is
+    preserved and no job's failure can abort or disturb a sibling. *)
+
+val manifest_of_outcome : job_outcome -> Manifest.entry
+(** The failure-manifest row for one job outcome ([--failures-json]). *)

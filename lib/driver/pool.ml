@@ -1,18 +1,86 @@
+(* a malformed BROMC_DOMAINS is reported once, not on every call *)
+let warned_bad_domains = ref false
+
 let default_domains () =
   match Sys.getenv_opt "BROMC_DOMAINS" with
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some n when n >= 1 -> n
-    | Some _ | None -> 1)
+    | Some _ | None ->
+      if not !warned_bad_domains then begin
+        warned_bad_domains := true;
+        Printf.eprintf
+          "[pool] WARNING: BROMC_DOMAINS=%S is not a positive integer; \
+           running on 1 domain\n%!"
+          s
+      end;
+      1)
   | None -> max 1 (min 16 (Domain.recommended_domain_count ()))
 
-let map ?domains f xs =
+(* ------------------------------------------------------------------ *)
+(* Structured per-job outcomes                                         *)
+(* ------------------------------------------------------------------ *)
+
+type exn_info = {
+  exn_name : string;
+  exn_message : string;
+  backtrace : string;
+}
+
+let exn_info ?(backtrace = "") e =
+  {
+    exn_name = Printexc.exn_slot_name e;
+    exn_message = Printexc.to_string e;
+    backtrace;
+  }
+
+type 'a outcome =
+  | Ok of 'a
+  | Trap of string
+  | Timeout of int
+  | Crash of exn_info
+  | Gave_up of { attempts : int; last : exn_info }
+
+let outcome_ok = function Ok _ -> true | _ -> false
+
+let outcome_status = function
+  | Ok _ -> "ok"
+  | Trap _ -> "trap"
+  | Timeout _ -> "timeout"
+  | Crash _ -> "crash"
+  | Gave_up _ -> "gave_up"
+
+let outcome_message = function
+  | Ok _ -> ""
+  | Trap m -> m
+  | Timeout ms ->
+    if ms > 0 then Printf.sprintf "deadline of %d ms exceeded" ms
+    else "run cancelled by watchdog"
+  | Crash i -> i.exn_message
+  | Gave_up { attempts; last } ->
+    Printf.sprintf "gave up after %d attempts: %s" attempts last.exn_message
+
+exception Job_error of int * string * exn
+
+(* ------------------------------------------------------------------ *)
+(* The domain pool                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* the core fan-out: every item's [f] runs to completion (or to a
+   captured exception); nothing a single job does can discard another
+   job's slot *)
+let map_captured ?domains f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   let d =
     max 1 (min n (match domains with Some d -> d | None -> default_domains ()))
   in
-  if d <= 1 then List.map f xs
+  if d <= 1 then
+    List.map
+      (fun x ->
+        try Stdlib.Ok (f x)
+        with e -> Stdlib.Error (e, Printexc.get_raw_backtrace ()))
+      xs
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -26,22 +94,49 @@ let map ?domains f xs =
         else
           results.(i) <-
             Some
-              (try Ok (f items.(i))
-               with e -> Error (e, Printexc.get_raw_backtrace ()))
+              (try Stdlib.Ok (f items.(i))
+               with e -> Stdlib.Error (e, Printexc.get_raw_backtrace ()))
       done
     in
     let spawned = List.init (d - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join spawned;
     Array.to_list results
-    |> List.map (function
-         | Some (Ok r) -> r
-         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-         | None -> assert false)
+    |> List.map (function Some r -> r | None -> assert false)
   end
 
-let timed_map ?domains f xs =
-  map ?domains
+let default_label i _ = Printf.sprintf "job %d" i
+
+let map_result ?domains f xs =
+  List.map
+    (function
+      | Stdlib.Ok v -> Ok v
+      | Stdlib.Error (Sim.Runtime.Trap m, _) -> Trap m
+      | Stdlib.Error (e, bt) ->
+        Crash (exn_info ~backtrace:(Printexc.raw_backtrace_to_string bt) e))
+    (map_captured ?domains f xs)
+
+let map ?domains ?(label = default_label) f xs =
+  let rec first i xs rs =
+    match (xs, rs) with
+    | _, [] -> None
+    | [], _ -> None
+    | x :: xs, r :: rs -> (
+      match r with
+      | Stdlib.Ok _ -> first (i + 1) xs rs
+      | Stdlib.Error (e, bt) -> Some (i, x, e, bt))
+  in
+  let rs = map_captured ?domains f xs in
+  match first 0 xs rs with
+  | Some (i, x, e, bt) ->
+    (* fail fast, but name the job: siblings' results are recoverable
+       through [map_result]; here the caller asked for all-or-nothing *)
+    Printexc.raise_with_backtrace (Job_error (i, label i x, e)) bt
+  | None ->
+    List.map (function Stdlib.Ok r -> r | Stdlib.Error _ -> assert false) rs
+
+let timed_map ?domains ?label f xs =
+  map ?domains ?label
     (fun x ->
       let t0 = Unix.gettimeofday () in
       let r = f x in

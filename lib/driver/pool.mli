@@ -3,9 +3,12 @@
 
     Work items are claimed from a shared atomic counter, results land in
     their input slot, and the caller receives them in input order — so
-    output is deterministic regardless of scheduling.  Exceptions raised
-    by [f] are captured per item and re-raised in the parent, first
-    failing item (in input order) first, with its backtrace.
+    output is deterministic regardless of scheduling.  Every job runs to
+    completion (or to a captured exception) whatever its siblings do:
+    {!map_result} returns a structured {!outcome} per job and never
+    loses a finished sibling to one crash, while {!map} is the thin
+    fail-fast wrapper that re-raises the first failure (in input order)
+    wrapped in {!Job_error} so the job is attributable.
 
     The pipeline has no global mutable state, so jobs are data-parallel;
     callers must only take care to force any [lazy] inputs *before*
@@ -15,13 +18,62 @@
 val default_domains : unit -> int
 (** Domains used when [?domains] is omitted:
     [Domain.recommended_domain_count ()] clamped to [1..16], or the
-    [BROMC_DOMAINS] environment variable when set. *)
+    [BROMC_DOMAINS] environment variable when set.  A [BROMC_DOMAINS]
+    that is not a positive integer degrades to 1 domain with a single
+    warning on stderr. *)
 
-val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {2 Structured per-job outcomes} *)
+
+type exn_info = {
+  exn_name : string;     (** [Printexc.exn_slot_name] of the exception *)
+  exn_message : string;  (** [Printexc.to_string] rendering *)
+  backtrace : string;    (** raw backtrace, possibly empty *)
+}
+
+val exn_info : ?backtrace:string -> exn -> exn_info
+
+type 'a outcome =
+  | Ok of 'a                   (** the job finished *)
+  | Trap of string             (** the simulated program trapped *)
+  | Timeout of int             (** watchdog deadline (ms) expired *)
+  | Crash of exn_info          (** the job raised any other exception *)
+  | Gave_up of { attempts : int; last : exn_info }
+      (** retries exhausted on a persistently-crashing job *)
+
+val outcome_ok : 'a outcome -> bool
+
+val outcome_status : 'a outcome -> string
+(** ["ok" | "trap" | "timeout" | "crash" | "gave_up"] — the stable
+    machine-readable tag used by failure manifests. *)
+
+val outcome_message : 'a outcome -> string
+(** Human-readable failure description; [""] for {!Ok}. *)
+
+exception Job_error of int * string * exn
+(** [Job_error (index, label, e)]: job [index] (0-based input position,
+    with its display [label]) raised [e].  Raised by {!map} and
+    {!timed_map}; the original exception and backtrace are preserved in
+    the payload. *)
+
+(** {2 Fan-out} *)
+
+val map : ?domains:int -> ?label:(int -> 'a -> string) -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] applies [f] to every element, running up to [domains]
     domains (never more than [List.length xs]; [domains <= 1] degrades
-    to plain [List.map]).  Results are in input order. *)
+    to plain sequential application).  Results are in input order.
+    Fail-fast: if any job raised, the first failure in input order is
+    re-raised as {!Job_error} (completed siblings are discarded — use
+    {!map_result} to keep them). *)
 
-val timed_map : ?domains:int -> ('a -> 'b) -> 'a list -> ('b * float) list
-(** [map] that also reports each item's wall-clock seconds, measured
+val map_result : ?domains:int -> ('a -> 'b) -> 'a list -> 'b outcome list
+(** Like {!map} but total: each job's exception is captured in its own
+    slot ({!Trap} for simulator traps, {!Crash} otherwise) and every
+    other job's result is still returned.  Never raises on a job
+    failure.  {!Timeout} and {!Gave_up} are produced by the
+    deadline/retry layer ({!Guard}), not by the pool itself. *)
+
+val timed_map :
+  ?domains:int -> ?label:(int -> 'a -> string) -> ('a -> 'b) -> 'a list ->
+  ('b * float) list
+(** {!map} that also reports each item's wall-clock seconds, measured
     inside the worker domain. *)

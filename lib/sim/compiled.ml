@@ -42,6 +42,7 @@ type state = {
   profile : Profile.t option;
   mutable sink : Predictor.sink;
   on_block : (func:string -> label:string -> unit) option;
+  cancel : (unit -> bool) option;
 }
 
 (* straight-line code: a compiled instruction (or fused run of them) *)
@@ -145,15 +146,24 @@ let getchar st =
     c
   end
 
-(* run the block list of a function; the entry block is index 0 *)
+(* run the block list of a function; the entry block is index 0.  The
+   cooperative cancellation flag is polled once per block, but only on
+   the dedicated loop so an uncancellable run pays nothing for it. *)
 let run_blocks st (blocks : blockcode array) regs =
   if Array.length blocks = 0 then
     (* same failure as the other backends indexing an empty block array *)
     raise (Invalid_argument "index out of bounds");
   let i = ref 0 in
-  while !i >= 0 do
-    i := (Array.unsafe_get blocks !i) st regs
-  done;
+  (match st.cancel with
+  | None ->
+    while !i >= 0 do
+      i := (Array.unsafe_get blocks !i) st regs
+    done
+  | Some c ->
+    while !i >= 0 do
+      if c () then raise Cancelled;
+      i := (Array.unsafe_get blocks !i) st regs
+    done);
   st.ret
 
 let compile_binop op r a b =
@@ -629,6 +639,7 @@ let exec ?(config = default_config) ?profile ?(sink = Predictor.Sink_none)
       profile;
       sink;
       on_block;
+      cancel = config.cancel;
     }
   in
   let exit_code =

@@ -1,12 +1,14 @@
 (* the runtime types are shared by all execution backends *)
 exception Trap = Runtime.Trap
 exception Program_exit = Runtime.Program_exit
+exception Cancelled = Runtime.Cancelled
 
 let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
 
 type config = Runtime.config = {
   fuel : int;
   max_depth : int;
+  cancel : (unit -> bool) option;
 }
 
 let default_config = Runtime.default_config
@@ -216,6 +218,9 @@ and exec_blocks st depth fi regs start_index =
   let return_value = ref None in
   let running = ref true in
   while !running do
+    (match st.config.cancel with
+    | Some c -> if c () then raise Runtime.Cancelled
+    | None -> ());
     let b = fi.blocks.(!block_index) in
     (match st.on_block with
     | Some f -> f ~func:fi.fn.Mir.Func.name ~label:b.Mir.Block.label
@@ -474,7 +479,11 @@ and pexec_blocks st depth fi regs start_index =
     if target >= 0 then block_index := target
     else trap "jump to unknown label %s" fi.Image.pf_unknown.(-target - 1)
   in
+  let cancel = st.pconfig.cancel in
   while !running do
+    (match cancel with
+    | Some c -> if c () then raise Runtime.Cancelled
+    | None -> ());
     let b = blocks.(!block_index) in
     (match st.pon_block with
     | Some f -> f ~func:fi.Image.pf_name ~label:b.Image.pb_label

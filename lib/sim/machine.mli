@@ -17,9 +17,17 @@ exception Trap of string
     function, call-depth or fuel exhaustion, unlowered switch.  Equal to
     {!Runtime.Trap}, shared by every execution backend. *)
 
+exception Cancelled
+(** The run was cooperatively cancelled via {!config.cancel} (equal to
+    {!Runtime.Cancelled}); raised at a basic-block boundary by every
+    backend. *)
+
 type config = Runtime.config = {
   fuel : int;        (** maximum dynamic instructions before trapping *)
   max_depth : int;   (** maximum call depth *)
+  cancel : (unit -> bool) option;
+      (** cooperative cancellation flag, polled once per executed block
+          (watchdog deadline hook; [None] = never cancelled) *)
 }
 
 val default_config : config

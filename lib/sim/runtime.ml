@@ -9,12 +9,34 @@ let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
 
 exception Program_exit of int
 
+exception Cancelled
+
 type config = {
   fuel : int;
   max_depth : int;
+  cancel : (unit -> bool) option;
 }
 
-let default_config = { fuel = 2_000_000_000; max_depth = 10_000 }
+let default_config = { fuel = 2_000_000_000; max_depth = 10_000; cancel = None }
+
+(* Deadline-based cancellation flag for [config.cancel].  The flag is
+   polled once per executed basic block, so the clock read is amortized
+   over a window of polls; once expired it latches, making every later
+   poll (including from subsequent runs sharing the flag) cancel
+   immediately. *)
+let watchdog ~ms =
+  let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.0) in
+  let ticks = ref 0 in
+  let expired = ref false in
+  fun () ->
+    !expired
+    ||
+    begin
+      incr ticks;
+      if !ticks land 2047 = 0 && Unix.gettimeofday () > deadline then
+        expired := true;
+      !expired
+    end
 
 type result = {
   counters : Counters.t;
