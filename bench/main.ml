@@ -28,7 +28,7 @@
    stand.  The `speedup' section re-runs the set-I matrix sequentially,
    and the `backends' section races the reference, pre-decoded and
    closure-compiled execution engines over the suite's measure stage.
-   All wall times land in BENCH_PR5.json together with per-workload
+   All wall times land in BENCH_PR6.json together with per-workload
    dynamic counts, per-job outcome tallies (ok/retried/degraded/...)
    and the detection-coverage comparison of the syntactic vs the
    interval-facts sequence walk (`detection' section).
@@ -40,7 +40,7 @@ let fast = ref false
 let sections = ref []
 let seq = ref false
 let jobs_flag = ref None
-let json_path = ref "BENCH_PR5.json"
+let json_path = ref "BENCH_PR6.json"
 let no_json = ref false
 let timeout_ms = ref None
 let retries = ref 0
@@ -640,15 +640,30 @@ let backend_name = function
   | `Reference -> "reference"
   | `Predecoded -> "predecoded"
   | `Compiled -> "compiled"
+  | `Native -> "native"
 
-(* (backend name, total measure-stage wall seconds), for the JSON *)
+(* (backend name, best-of-N measure-stage wall seconds), for the JSON *)
 let backend_results : (string * float) list ref = ref []
+let runs_per_engine = 3
 
-(* Race the three execution engines over the suite's measure stage: both
+(* native backend extras for the JSON: first-sweep wall (codegen +
+   compile + load, paid once per machine thanks to the artifact store)
+   and the cache counters after the whole section *)
+let native_codegen_seconds : float option ref = ref None
+let native_cache_stats : Sim.Native.stats option ref = ref None
+
+(* Race the execution engines over the suite's measure stage: both
    finalized versions of every set-I workload, full predictor bank
-   attached, exactly what `Pipeline.run's measure stage does.  Every
-   backend must agree on every observable — counters, mispredicts,
-   output, exit code — or the section aborts. *)
+   attached, exactly what `Pipeline.run's measure stage does.  Each
+   engine runs the sweep [runs_per_engine] times and reports the min —
+   single-shot walls drifted by several percent between otherwise
+   identical runs (1.10x in BENCH_PR2 vs 1.036x in BENCH_PR5), and the
+   min is the standard noise-robust estimator for a deterministic
+   workload.  The native engine pays code generation in an extra
+   untimed first sweep, reported separately: steady state is what the
+   "compile once, serve many" store delivers to every later process.
+   Every backend must agree on every observable — counters,
+   mispredicts, output, exit code — or the section aborts. *)
 let backends_section () =
   section "Execution backends: suite measure-stage wall clock (set I)";
   let rows = rows_for Mopt.Switch_lower.set_i in
@@ -664,13 +679,15 @@ let backends_section () =
            (reord r).Driver.Pipeline.v_program, input) ])
       rows
   in
-  let run_all backend =
-    let config = { Driver.Config.default with Driver.Config.backend } in
-    Printf.eprintf "[bench] measuring %d programs under the %s backend...\n%!"
-      (List.length programs) (backend_name backend);
-    (* one bank reused (reset) across the whole sweep, as the pipeline's
-       measure stage reuses one across its original/reordered pair *)
-    let bank = Sim.Predictor.bank Driver.Config.default.Driver.Config.predictors in
+  let engines =
+    [ `Reference; `Predecoded; `Compiled ]
+    @ (if Sim.Native.available () then [ `Native ] else [])
+  in
+  if not (Sim.Native.available ()) then
+    Printf.eprintf
+      "[bench] native backend unavailable on this host; racing three \
+       engines\n%!";
+  let sweep config bank =
     let t0 = Unix.gettimeofday () in
     let versions =
       List.map
@@ -679,12 +696,36 @@ let backends_section () =
     in
     (Unix.gettimeofday () -. t0, versions)
   in
+  let run_all backend =
+    let config = { Driver.Config.default with Driver.Config.backend } in
+    Printf.eprintf "[bench] measuring %d programs under the %s backend...\n%!"
+      (List.length programs) (backend_name backend);
+    (* one bank reused (reset) across the whole sweep, as the pipeline's
+       measure stage reuses one across its original/reordered pair *)
+    let bank = Sim.Predictor.bank Driver.Config.default.Driver.Config.predictors in
+    (* the native engine's first sweep generates, compiles and dynlinks
+       every image (or loads it from the artifact store); report that
+       separately and keep it out of the steady-state timings *)
+    if backend = `Native then begin
+      Sim.Native.reset_stats ();
+      let codegen_wall, _ = sweep config bank in
+      native_codegen_seconds := Some codegen_wall
+    end;
+    let best = ref infinity and last = ref [] in
+    for _ = 1 to runs_per_engine do
+      let wall, versions = sweep config bank in
+      if wall < !best then best := wall;
+      last := versions
+    done;
+    if backend = `Native then native_cache_stats := Some (Sim.Native.stats ());
+    (!best, !last)
+  in
   let timed =
     List.map
       (fun b ->
         let wall, versions = run_all b in
         (b, wall, versions))
-      [ `Reference; `Predecoded; `Compiled ]
+      engines
   in
   (* cross-check the fast backends against the reference sweep *)
   (match timed with
@@ -713,6 +754,7 @@ let backends_section () =
   backend_results := List.map (fun (b, w, _) -> (backend_name b, w)) timed;
   let wall_of name = List.assoc name !backend_results in
   let compiled = wall_of "compiled" in
+  Printf.printf "best of %d timed sweeps per engine\n" runs_per_engine;
   Printf.printf "%-12s %12s %14s\n" "backend" "measure wall" "vs compiled";
   line 40;
   List.iter
@@ -729,7 +771,32 @@ let backends_section () =
   else
     Printf.printf
       "WARNING: compiled (%.3fs) did not beat predecoded (%.3fs) on this run\n"
-      compiled pre
+      compiled pre;
+  match List.assoc_opt "native" !backend_results with
+  | None -> ()
+  | Some nat ->
+    let refw = wall_of "reference" in
+    let speedup = refw /. Float.max 1e-9 nat in
+    (match !native_codegen_seconds with
+    | Some c ->
+      Printf.printf "native codegen+load sweep (excluded): %.3fs\n" c
+    | None -> ());
+    (match !native_cache_stats with
+    | Some st ->
+      Printf.printf
+        "native cache: %d memo hit(s), %d disk hit(s), %d miss(es), %d \
+         compile(s)\n"
+        st.Sim.Native.memo_hits st.Sim.Native.disk_hits st.Sim.Native.misses
+        st.Sim.Native.compiles
+    | None -> ());
+    if speedup >= 5.0 then
+      Printf.printf "native beats reference by %.2fx on the measure stage\n"
+        speedup
+    else
+      Printf.printf
+        "WARNING: native (%.3fs) is only %.2fx over reference (%.3fs), \
+         target is 5x\n"
+        nat speedup refw
 
 (* ------------------------------------------------------------------ *)
 (* Harness speedup: domain fan-out vs sequential                       *)
@@ -780,7 +847,7 @@ let write_json ~harness_wall () =
     let oc = open_out !json_path in
     let p fmt = Printf.fprintf oc fmt in
     p "{\n";
-    p "  \"pr\": 5,\n";
+    p "  \"pr\": 6,\n";
     p "  \"heuristic_set\": \"I\",\n";
     p "  \"fast\": %b,\n" !fast;
     p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
@@ -832,6 +899,7 @@ let write_json ~harness_wall () =
     | [] -> ()
     | l ->
       p "  \"backends\": {";
+      p "\"runs_per_engine\": %d, " runs_per_engine;
       List.iteri
         (fun i (name, w) ->
           p "%s\"%s_measure_seconds\": %.3f" (if i = 0 then "" else ", ") name w)
@@ -842,6 +910,22 @@ let write_json ~harness_wall () =
         p ", \"compiled_vs_predecoded_speedup\": %.3f" (pre /. Float.max 1e-9 c);
         p ", \"compiled_vs_reference_speedup\": %.3f" (refw /. Float.max 1e-9 c)
       | _ -> ());
+      (match (List.assoc_opt "native" l, List.assoc_opt "reference" l) with
+      | Some n, Some refw ->
+        p ", \"native_vs_reference_speedup\": %.3f" (refw /. Float.max 1e-9 n);
+        (match !native_codegen_seconds with
+        | Some c -> p ", \"native_codegen_seconds\": %.3f" c
+        | None -> ());
+        (match !native_cache_stats with
+        | Some st ->
+          p
+            ", \"native_cache\": {\"memo_hits\": %d, \"disk_hits\": %d, \
+             \"misses\": %d, \"compiles\": %d}"
+            st.Sim.Native.memo_hits st.Sim.Native.disk_hits
+            st.Sim.Native.misses st.Sim.Native.compiles
+        | None -> ())
+      | _ -> ());
+      p ", \"native_available\": %b" (Sim.Native.available ());
       p "},\n");
     p "  \"workloads\": [\n";
     let nrows = List.length rows in

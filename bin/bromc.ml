@@ -155,18 +155,21 @@ let backend_conv =
     | "reference" | "ref" -> Ok `Reference
     | "predecoded" | "image" -> Ok `Predecoded
     | "compiled" | "closure" -> Ok `Compiled
+    | "native" -> Ok `Native
     | s ->
       Error
         (`Msg
           (Printf.sprintf
-             "unknown backend %S (use reference, predecoded or compiled)" s))
+             "unknown backend %S (use reference, predecoded, compiled or \
+              native)" s))
   in
   let print ppf b =
     Format.pp_print_string ppf
       (match b with
       | `Reference -> "reference"
       | `Predecoded -> "predecoded"
-      | `Compiled -> "compiled")
+      | `Compiled -> "compiled"
+      | `Native -> "native")
   in
   Arg.conv (parse, print)
 
@@ -177,8 +180,47 @@ let backend_arg default =
     & info [ "backend" ] ~docv:"BACKEND"
         ~doc:
           "Execution engine: $(b,reference) (MIR-walking oracle), \
-           $(b,predecoded) (flat-image interpreter) or $(b,compiled) \
-           (closure-threaded code).  All three are observably identical.")
+           $(b,predecoded) (flat-image interpreter), $(b,compiled) \
+           (closure-threaded code) or $(b,native) (runtime OCaml codegen \
+           via ocamlfind + Dynlink; falls back to compiled when no \
+           toolchain is present).  All four are observably identical.")
+
+(* native artifact-store options, shared by every command that can select
+   --backend=native; applied both process-wide (for Sim.Native callers
+   that do not thread a Config) and onto the driver Config *)
+let native_cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "native-cache" ] ~docv:"DIR"
+        ~doc:
+          "Directory of the native backend's compiled-artifact store \
+           (default: $(b,BROMC_NATIVE_CACHE), else \
+           \\$XDG_CACHE_HOME/bromc/native).")
+
+let no_native_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-native-cache" ]
+        ~doc:
+          "Do not read or write the on-disk artifact store; native code is \
+           rebuilt in a temporary directory and discarded (the in-process \
+           memo still applies).")
+
+let apply_native_opts dir no_cache =
+  (match dir with Some _ -> Sim.Native.set_default_cache_dir dir | None -> ());
+  if no_cache then Sim.Native.set_default_use_cache false
+
+(* resolve `Native for ungraded commands: warn and degrade to `Compiled
+   when the toolchain cannot deliver, instead of dying on Unavailable *)
+let resolve_backend backend =
+  match backend with
+  | `Native when not (Sim.Native.available ()) ->
+    Printf.eprintf
+      "warning: native backend unavailable (no working ocamlfind/Dynlink \
+       toolchain); falling back to compiled\n%!";
+    `Compiled
+  | b -> b
 
 let report_stage label seconds = Printf.eprintf "[time] %-8s %7.3fs\n" label seconds
 
@@ -191,8 +233,10 @@ let verify_arg =
            after the reordering pass; a rejected rewrite aborts the run.")
 
 let run_cmd =
-  let run source hs input trace reference backend timings =
+  let run source hs input trace reference backend timings ncache_dir
+      no_ncache =
     handle_errors (fun () ->
+        apply_native_opts ncache_dir no_ncache;
         let stage label f =
           if not timings then f ()
           else begin
@@ -209,7 +253,9 @@ let run_cmd =
             Some (fun ~func ~label -> Printf.eprintf "[trace] %s:%s\n" func label)
           else None
         in
-        let backend = if reference then `Reference else backend in
+        let backend =
+          resolve_backend (if reference then `Reference else backend)
+        in
         let result =
           stage "measure" (fun () -> Sim.Machine.run ~backend ?on_block prog ~input)
         in
@@ -235,12 +281,15 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute a MiniC program on the simulator.")
     Term.(
       const run $ source_arg "run" $ heuristic_arg $ input_arg $ trace
-      $ reference $ backend_arg `Compiled $ timings_arg)
+      $ reference $ backend_arg `Compiled $ timings_arg
+      $ native_cache_dir_arg $ no_native_cache_arg)
 
 let reorder_cmd =
   let run source hs train test exhaustive common_succ coalesce profile_layout
-      backend timings verify =
+      backend timings verify ncache_dir no_ncache =
     handle_errors (fun () ->
+        apply_native_opts ncache_dir no_ncache;
+        let backend = resolve_backend backend in
         let name = source in
         let src = load_source source in
         let training_input, test_input =
@@ -263,6 +312,8 @@ let reorder_cmd =
             common_succ;
             profile_layout;
             backend;
+            native_cache_dir = ncache_dir;
+            native_cache = not no_ncache;
             verify;
             coalesce_machine =
               (match coalesce with
@@ -350,7 +401,8 @@ let reorder_cmd =
     Term.(
       const run $ source_arg "reorder" $ heuristic_arg $ train $ test
       $ exhaustive $ common_succ $ coalesce $ profile_layout
-      $ backend_arg `Compiled $ timings_arg $ verify_arg)
+      $ backend_arg `Compiled $ timings_arg $ verify_arg
+      $ native_cache_dir_arg $ no_native_cache_arg)
 
 (* flags shared by the fault-tolerant commands (suite, fuzz, bench) *)
 let timeout_ms_arg =
@@ -382,8 +434,9 @@ let failures_json_arg =
 
 let suite_cmd =
   let run hs jobs backend verify names fail_fast timeout_ms retries
-      failures_json inject_n inject_seed no_degrade =
+      failures_json inject_n inject_seed no_degrade ncache_dir no_ncache =
     handle_errors (fun () ->
+        apply_native_opts ncache_dir no_ncache;
         let workloads =
           match names with
           | [] -> Workloads.Registry.all
@@ -394,6 +447,8 @@ let suite_cmd =
             Driver.Config.default with
             Driver.Config.heuristic = hs;
             backend;
+            native_cache_dir = ncache_dir;
+            native_cache = not no_ncache;
             verify;
           }
         in
@@ -616,8 +671,9 @@ let suite_cmd =
       & info [ "no-degrade" ]
           ~doc:
             "Disable backend graceful degradation (by default a job whose \
-             compiled-backend attempts crash is retried on the predecoded \
-             interpreter and finally the reference interpreter).")
+             attempts crash on the requested backend is retried down the \
+             native > compiled > predecoded > reference ladder; a missing \
+             native toolchain counts as a crash of the native rung).")
   in
   Cmd.v
     (Cmd.info "suite"
@@ -630,16 +686,18 @@ let suite_cmd =
     Term.(
       const run $ heuristic_arg $ jobs $ backend_arg `Compiled $ verify_arg
       $ names $ fail_fast $ timeout_ms_arg $ retries_arg $ failures_json_arg
-      $ inject_n $ inject_seed $ no_degrade)
+      $ inject_n $ inject_seed $ no_degrade $ native_cache_dir_arg
+      $ no_native_cache_arg)
 
 let fuzz_cmd =
-  let run cases seed backend inject save_failure quiet failures_json resume
-      timeout_ms =
+  let run cases seed backend native inject save_failure quiet failures_json
+      resume timeout_ms =
     handle_errors (fun () ->
         let backends =
-          match backend with
-          | Some b -> [ b ]
-          | None -> [ `Reference; `Predecoded; `Compiled ]
+          match (backend, native) with
+          | Some b, _ -> [ (b :> Check.Fuzz.backend) ]
+          | None, true -> Check.Fuzz.all_backends ()
+          | None, false -> Check.Fuzz.default_backends
         in
         let log = if quiet then ignore else fun m -> Printf.eprintf "%s\n%!" m in
         (* resume: cases already green in a previous (possibly killed)
@@ -731,6 +789,15 @@ let fuzz_cmd =
             "Restrict differential execution to one engine (default: race \
              reference, predecoded and compiled against each other).")
   in
+  let native =
+    Arg.(
+      value & flag
+      & info [ "native" ]
+          ~doc:
+            "Also race the native backend in every differential (slow: one \
+             out-of-process compile per generated program; skipped with a \
+             note when no toolchain is available).")
+  in
   let inject =
     Arg.(
       value & flag
@@ -775,8 +842,8 @@ let fuzz_cmd =
           an earlier manifest already proved green; $(b,--timeout-ms) arms a \
           per-case watchdog.")
     Term.(
-      const run $ cases $ seed $ backend_opt $ inject $ save_failure $ quiet
-      $ failures_json_arg $ resume $ timeout_ms_arg)
+      const run $ cases $ seed $ backend_opt $ native $ inject $ save_failure
+      $ quiet $ failures_json_arg $ resume $ timeout_ms_arg)
 
 let lint_cmd =
   let run source hs json no_explain facts =
@@ -945,6 +1012,74 @@ let workloads_cmd =
     (Cmd.info "workloads" ~doc:"List the built-in Table 3 benchmark programs.")
     Term.(const run $ const ())
 
+let cache_cmd =
+  let run dir clear evict_stale =
+    handle_errors (fun () ->
+        let dir =
+          match dir with Some d -> d | None -> Sim.Native.Cache.default_dir ()
+        in
+        if clear then begin
+          let n = Sim.Native.Cache.clear ~dir () in
+          Printf.printf "cleared %d file(s) from %s\n" n dir
+        end
+        else if evict_stale then begin
+          match Sim.Native.Cache.fingerprint () with
+          | None ->
+            Printf.eprintf
+              "error: no working native toolchain, cannot tell which \
+               fingerprint is current (use --clear to drop everything)\n";
+            exit 1
+          | Some fp ->
+            let n = Sim.Native.Cache.evict_stale ~dir () in
+            Printf.printf "evicted %d stale file(s) from %s (kept %s)\n" n dir
+              fp
+        end
+        else begin
+          (* default: --stats *)
+          Printf.printf "store:       %s\n" dir;
+          (match Sim.Native.Cache.fingerprint () with
+          | Some fp -> Printf.printf "fingerprint: %s\n" fp
+          | None -> Printf.printf "fingerprint: (no native toolchain)\n");
+          let entries = Sim.Native.Cache.list ~dir () in
+          if entries = [] then print_string "empty\n"
+          else
+            List.iter
+              (fun (e : Sim.Native.Cache.entry) ->
+                Printf.printf "%-32s %4d artifact(s) %10d bytes%s\n"
+                  e.Sim.Native.Cache.e_fingerprint e.Sim.Native.Cache.e_files
+                  e.Sim.Native.Cache.e_bytes
+                  (if e.Sim.Native.Cache.e_current then "  (current)" else ""))
+              entries
+        end)
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Operate on this store instead of the default one.")
+  in
+  let clear =
+    Arg.(
+      value & flag
+      & info [ "clear" ] ~doc:"Remove every cached artifact in the store.")
+  in
+  let evict_stale =
+    Arg.(
+      value & flag
+      & info [ "evict-stale" ]
+          ~doc:
+            "Remove artifacts built by a different compiler/ABI fingerprint \
+             than the current toolchain's (left behind by switches or \
+             upgrades); the current fingerprint's artifacts are kept.")
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or prune the native backend's on-disk $(b,.cmxs) artifact \
+          store (default action: print per-fingerprint statistics).")
+    Term.(const run $ dir $ clear $ evict_stale)
+
 let main =
   Cmd.group
     (Cmd.info "bromc" ~version:"1.0.0"
@@ -952,6 +1087,6 @@ let main =
          "Branch-reordering MiniC compiler (PLDI 1998 reproduction: Yang, Uh \
           & Whalley).")
     [ compile_cmd; run_cmd; reorder_cmd; suite_cmd; fuzz_cmd; lint_cmd;
-      dot_cmd; workloads_cmd ]
+      dot_cmd; workloads_cmd; cache_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,7 +1,7 @@
 module Detect = Reorder.Detect
 module Pass = Reorder.Pass
 
-type backend = [ `Reference | `Predecoded | `Compiled ]
+type backend = [ `Reference | `Predecoded | `Compiled | `Native ]
 
 type failure = {
   f_case : int;
@@ -216,6 +216,7 @@ let backend_name = function
   | `Reference -> "reference"
   | `Predecoded -> "predecoded"
   | `Compiled -> "compiled"
+  | `Native -> "native"
 
 (* all requested backends must agree on everything observable *)
 let cross_backend_errors ?config ~what backends prog ~input =
@@ -459,6 +460,14 @@ let form_name = function
   | Gen.F_between _ -> "between"
 
 let default_backends : backend list = [ `Reference; `Predecoded; `Compiled ]
+
+(* native code generation costs an out-of-process compile per fresh
+   program, far too slow for a fuzz loop's default budget; opt in via
+   [~backends:(all_backends ())] (a no-op on hosts without the
+   toolchain) *)
+let all_backends () : backend list =
+  if Sim.Native.available () then default_backends @ [ `Native ]
+  else default_backends
 
 let run ?(backends = default_backends) ?(inject = false) ?(log = ignore)
     ?skip ?on_case ?deadline_ms ~cases ~seed () =

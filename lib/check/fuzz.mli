@@ -23,7 +23,7 @@
     [bromc fuzz --inject] additionally fails a run where {b no} case
     could be injected (wholly vacuous). *)
 
-type backend = [ `Reference | `Predecoded | `Compiled ]
+type backend = [ `Reference | `Predecoded | `Compiled | `Native ]
 
 type failure = {
   f_case : int;       (** 0-based case index *)
@@ -61,6 +61,14 @@ type stats = {
 
 val ok : stats -> bool
 
+val default_backends : backend list
+(** [[`Reference; `Predecoded; `Compiled]]. *)
+
+val all_backends : unit -> backend list
+(** {!default_backends} plus [`Native] when {!Sim.Native.available};
+    what [bromc fuzz --native] and the four-way differential tests
+    use. *)
+
 val pp_stats : Format.formatter -> stats -> unit
 
 val pp_failure : Format.formatter -> failure -> unit
@@ -81,7 +89,10 @@ val run :
     [seed] and [i], so the same [(cases, seed)] always replays the same
     corpus — which is what makes checkpoint/resume sound.  [log]
     receives one progress line every few hundred cases.  [backends]
-    defaults to all three.
+    defaults to the three interpreted/closure engines
+    ({!default_backends}); native code generation compiles out of
+    process per fresh program, far too slow for a fuzz loop, so
+    four-way differentials are opt-in via {!all_backends}.
 
     [skip case] short-circuits a case without running it (resume from a
     checkpoint manifest); skipped cases count in [st_skipped] and do not

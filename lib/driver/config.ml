@@ -16,7 +16,9 @@ type t = {
   validate : bool;
   verify : bool;
   fuel : int;
-  backend : [ `Reference | `Predecoded | `Compiled ];
+  backend : [ `Reference | `Predecoded | `Compiled | `Native ];
+  native_cache_dir : string option;
+  native_cache : bool;
   cancel : (unit -> bool) option;
 }
 
@@ -24,6 +26,7 @@ let backend_name = function
   | `Reference -> "reference"
   | `Predecoded -> "predecoded"
   | `Compiled -> "compiled"
+  | `Native -> "native"
 
 let paper_predictors =
   List.concat_map
@@ -47,5 +50,7 @@ let default =
     verify = false;
     fuel = 500_000_000;
     backend = `Compiled;
+    native_cache_dir = None;
+    native_cache = true;
     cancel = None;
   }

@@ -36,10 +36,17 @@ type t = {
           later cleanup reshapes the blocks); a rejected rewrite fails
           the pipeline *)
   fuel : int;               (** simulator instruction budget per run *)
-  backend : [ `Reference | `Predecoded | `Compiled ];
+  backend : [ `Reference | `Predecoded | `Compiled | `Native ];
       (** execution engine for the training and measurement runs
-          (default [`Compiled]; all three are observably identical, so
-          this only changes wall-clock time) *)
+          (default [`Compiled]; all four are observably identical, so
+          this only changes wall-clock time — but [`Native] needs a
+          working ocamlfind toolchain and otherwise degrades down the
+          {!Pipeline.run_guarded_job} ladder) *)
+  native_cache_dir : string option;
+      (** [.cmxs] artifact store for the native backend ([None] =
+          {!Sim.Native.Cache.default_dir}) *)
+  native_cache : bool;
+      (** disable to rebuild native artifacts in a throwaway temp dir *)
   cancel : (unit -> bool) option;
       (** cooperative cancellation flag threaded into every simulator
           run (polled once per basic block); typically a
@@ -49,9 +56,10 @@ type t = {
 
 val default : t
 
-val backend_name : [ `Reference | `Predecoded | `Compiled ] -> string
+val backend_name :
+  [ `Reference | `Predecoded | `Compiled | `Native ] -> string
 (** Stable machine-readable tag ("reference" / "predecoded" /
-    "compiled") used in manifests and reports. *)
+    "compiled" / "native") used in manifests and reports. *)
 
 val paper_predictors : (int * int * int) list
 (** The (0,1) and (0,2) predictors with 32..2048 entries of Table 6

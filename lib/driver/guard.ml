@@ -55,6 +55,15 @@ let protect ?(index = 0) policy job =
       in
       finish (Pool.Timeout ms)
         (Printf.sprintf "attempt %d: %s" attempt what :: errors)
+    | exception Sim.Native.Unavailable m ->
+      (* the native toolchain is missing or broke for this process:
+         deterministic, so retrying this rung cannot help — fail it
+         immediately as a crash and let the caller's degradation
+         ladder serve the job from the closure backend *)
+      finish
+        (Pool.Crash (Pool.exn_info (Sim.Native.Unavailable m)))
+        (Printf.sprintf "attempt %d: native backend unavailable: %s" attempt m
+        :: errors)
     | exception Sim.Runtime.Trap m ->
       (* a trap is a deterministic property of the simulated program:
          retrying cannot help, so it is final *)

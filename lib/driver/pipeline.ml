@@ -52,6 +52,11 @@ let run_backend (config : Config.t) ?profile ?on_branch ?image prog ~input =
   | `Compiled ->
     let img = match image with Some i -> i | None -> Sim.Image.build prog in
     Sim.Compiled.run_image ~config:sc ?profile ?on_branch img ~input
+  | `Native ->
+    let img = match image with Some i -> i | None -> Sim.Image.build prog in
+    Sim.Native.run_image ~config:sc ?profile ?on_branch
+      ?cache_dir:config.Config.native_cache_dir
+      ~use_cache:config.Config.native_cache img ~input
 
 (* profile-guided layout: run the training input once more against this
    very binary (layouts need edge frequencies of the final CFG, which
@@ -106,6 +111,11 @@ let measure (config : Config.t) ?bank prog ~input =
         ~sink:(Sim.Predictor.Sink_bank bank)
         (Sim.Compiled.compile (Sim.Image.build prog))
         ~input
+    | `Native ->
+      Sim.Native.run_image ~config:sc
+        ~sink:(Sim.Predictor.Sink_bank bank)
+        ?cache_dir:config.Config.native_cache_dir
+        ~use_cache:config.Config.native_cache (Sim.Image.build prog) ~input
     | `Predecoded ->
       Sim.Machine.run_image ~config:sc
         ~on_branch:(fun ~site ~taken ->
@@ -350,6 +360,7 @@ let outcome_ladder : Config.t -> _ = fun config ->
      interpreter — the slowest rung, but the one with the least
      machinery to go wrong *)
   match config.Config.backend with
+  | `Native -> [ `Native; `Compiled; `Predecoded; `Reference ]
   | `Compiled -> [ `Compiled; `Predecoded; `Reference ]
   | `Predecoded -> [ `Predecoded; `Reference ]
   | `Reference -> [ `Reference ]

@@ -106,11 +106,13 @@ val run_jobs : ?domains:int -> job list -> (result * float) list
     The fault-tolerant runner: every job ends in a structured
     {!job_outcome} (never an exception), under a {!Guard.policy} of
     per-attempt watchdog deadlines and bounded seeded retries, plus
-    backend graceful degradation — a job whose [`Compiled] attempts
-    crash is retried under [`Predecoded] and finally [`Reference], and
-    the divergence is recorded.  Traps and timeouts are final: they are
-    properties of the simulated program and the deadline, identical on
-    every backend, so degrading cannot help. *)
+    backend graceful degradation — a job whose [`Native] attempts crash
+    (including {!Sim.Native.Unavailable}: no ocamlfind, codegen or
+    dynlink failure) is retried under [`Compiled], then [`Predecoded]
+    and finally [`Reference], and the divergence is recorded.  Traps
+    and timeouts are final: they are properties of the simulated
+    program and the deadline, identical on every backend, so degrading
+    cannot help. *)
 
 exception Wrong_result of string
 (** Raised (and contained by the guard as a retryable crash) when the

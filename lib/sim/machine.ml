@@ -590,3 +590,4 @@ let run ?config ?profile ?on_branch ?on_block ?(backend = `Predecoded)
   | `Predecoded ->
     run_image ?config ?profile ?on_branch ?on_block (Image.build p) ~input
   | `Compiled -> Compiled.run ?config ?profile ?on_branch ?on_block p ~input
+  | `Native -> Native.run ?config ?profile ?on_branch ?on_block p ~input

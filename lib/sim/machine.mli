@@ -43,7 +43,7 @@ val run :
   ?profile:Profile.t ->
   ?on_branch:(site:int -> taken:bool -> unit) ->
   ?on_block:(func:string -> label:string -> unit) ->
-  ?backend:[ `Predecoded | `Reference | `Compiled ] ->
+  ?backend:[ `Predecoded | `Reference | `Compiled | `Native ] ->
   Mir.Program.t ->
   input:string ->
   result
@@ -59,8 +59,12 @@ val run :
     program through {!Image.build} and interprets the label-free,
     hashtable-free image; [`Compiled] additionally compiles each image
     block to a chain of OCaml closures ({!Compiled}), eliminating
-    per-instruction dispatch.  All three produce identical output, exit
-    codes, counters and branch-site event streams. *)
+    per-instruction dispatch; [`Native] generates OCaml source for the
+    image, compiles it out of process and dynlinks the result
+    ({!Native} — raises {!Native.Unavailable} when no toolchain is
+    present, so callers that cannot degrade should check
+    {!Native.available} first).  All four produce identical output,
+    exit codes, counters and branch-site event streams. *)
 
 val run_reference :
   ?config:config ->

@@ -1,0 +1,1196 @@
+(* Native execution backend: runtime OCaml code generation.
+
+   {!generate} emits an {!Image.t} as a self-contained OCaml module
+   that depends on the standard library only: each MIR function becomes
+   one OCaml function whose basic blocks are mutually tail-recursive
+   inner functions, registers are [let]-bound [ref] cells, and the
+   charge batching of {!Compiled} is replayed at code-generation time —
+   pure instructions run straight-line and their counter/fuel charges
+   are flushed, already folded into constants, before every observable
+   point (trapping instructions, I/O, profile recordings, every
+   terminator), so the fuel trap fires under exactly the same
+   conditions and with the same message as the other backends and the
+   ten counters are exact at every exit.
+
+   The module is compiled out of process with [ocamlfind ocamlopt
+   -shared] and loaded with [Dynlink.loadfile_private].  The plugin and
+   the host rendezvous without sharing any compiled interface: the
+   plugin's last toplevel definition raises a [Handoff] exception
+   carrying its entry closure, which [Dynlink] hands back wrapped in
+   [Library's_module_initializers_failed]; the host fishes the closure
+   out and calls it with a [ctx] record of host-owned state and
+   callbacks (memory, counters, output buffer, trap/cancel raisers,
+   branch-event sink, profile hooks).  The record type is declared
+   field-for-field identically on both sides ({!ctx} below and the
+   [ctx_decl] string), which makes the cast safe; the declaration is
+   part of the generated source and therefore of the content hash, so a
+   plugin built against an older schema can never be loaded.
+
+   Branch events under [Sink_bank] are not delivered one closure call
+   at a time: the generated code appends [(site lsl 1) lor taken] to an
+   event buffer at each branch terminator and folds full buffers into
+   the predictor bank with {!Predictor.bank_drain}, which sweeps one
+   predictor at a time over the batch.  Each predictor still folds its
+   event stream in order, so the final tables, lookup and mispredict
+   counts are byte-identical to streaming delivery — this is where most
+   of the backend's measure-loop speedup comes from, because the
+   per-event bank sweep dominates once interpretation overhead is gone.
+
+   Artifacts are cached on disk under one subdirectory per
+   compiler/ABI fingerprint, one [.cmxs] per content hash of the
+   generated source; loaded entry points are additionally memoized in
+   process.  Every failure mode of the toolchain (no ocamlfind, the
+   compile fails, the artifact will not load) surfaces as [Error] /
+   {!Unavailable}, never as a crash, so callers can degrade to the
+   closure backend. *)
+
+open Runtime
+
+exception Unavailable of string
+
+(* raised internally when an image contains a shape the generator does
+   not support (none are produced by {!Image.build}) *)
+exception Unsupported of string
+
+let schema_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide configuration and statistics                           *)
+(* ------------------------------------------------------------------ *)
+
+let enabled_flag = ref (Sys.getenv_opt "BROMC_NO_NATIVE" = None)
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let default_cache_dir_override = ref (None : string option)
+let set_default_cache_dir d = default_cache_dir_override := d
+let default_use_cache = ref true
+let set_default_use_cache b = default_use_cache := b
+
+type stats = {
+  memo_hits : int;
+  disk_hits : int;
+  misses : int;
+  compiles : int;
+}
+
+let s_memo_hits = ref 0
+let s_disk_hits = ref 0
+let s_misses = ref 0
+let s_compiles = ref 0
+
+let stats () =
+  {
+    memo_hits = !s_memo_hits;
+    disk_hits = !s_disk_hits;
+    misses = !s_misses;
+    compiles = !s_compiles;
+  }
+
+let reset_stats () =
+  s_memo_hits := 0;
+  s_disk_hits := 0;
+  s_misses := 0;
+  s_compiles := 0
+
+(* ------------------------------------------------------------------ *)
+(* The host side of the plugin interface                               *)
+(* ------------------------------------------------------------------ *)
+
+(* MUST match [ctx_decl] below field for field: the plugin declares a
+   structurally identical record, and the handoff cast relies on the
+   layouts agreeing.  Bump [schema_version] on any change. *)
+type ctx = {
+  x_mem : int array array;
+  x_input : string;
+  x_fuel : int;
+  x_max_depth : int;
+  x_counters : int array;  (* the ten counters, see [counter_ix] *)
+  x_out : Buffer.t;
+  x_trap : string -> int;  (* raises Trap; never returns *)
+  x_cancelled : unit -> int;  (* raises Cancelled; never returns *)
+  x_poll : unit -> bool;
+  x_use_poll : bool;
+  x_sink_mode : int;  (* 0 none, 1 streaming closure, 2 buffered bank *)
+  x_sink_fun : int -> bool -> unit;
+  x_ebuf : int array;
+  x_drain : int array -> int -> unit;
+  x_on_block : string -> string -> unit;
+  x_use_on_block : bool;
+  x_range : int -> int -> unit;
+  x_comb : int -> (int -> int) -> unit;
+  x_use_profile : bool;
+  x_raise : int -> int;  (* raises a decode-time exn; never returns *)
+}
+
+let ctx_decl =
+  "type ctx = {\n\
+  \  x_mem : int array array;\n\
+  \  x_input : string;\n\
+  \  x_fuel : int;\n\
+  \  x_max_depth : int;\n\
+  \  x_counters : int array;\n\
+  \  x_out : Buffer.t;\n\
+  \  x_trap : string -> int;\n\
+  \  x_cancelled : unit -> int;\n\
+  \  x_poll : unit -> bool;\n\
+  \  x_use_poll : bool;\n\
+  \  x_sink_mode : int;\n\
+  \  x_sink_fun : int -> bool -> unit;\n\
+  \  x_ebuf : int array;\n\
+  \  x_drain : int array -> int -> unit;\n\
+  \  x_on_block : string -> string -> unit;\n\
+  \  x_use_on_block : bool;\n\
+  \  x_range : int -> int -> unit;\n\
+  \  x_comb : int -> (int -> int) -> unit;\n\
+  \  x_use_profile : bool;\n\
+  \  x_raise : int -> int;\n\
+   }\n"
+
+(* counter slots in [x_counters]; mirrors {!Counters.t} *)
+let ix_insns = 0
+and ix_cond = 1
+and ix_taken = 2
+and ix_jumps = 3
+and ix_indirect = 4
+and ix_calls = 5
+and ix_returns = 6
+and ix_loads = 7
+and ix_stores = 8
+and ix_nops = 9
+
+(* ------------------------------------------------------------------ *)
+(* Code generation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let cond_op : Mir.Cond.t -> string = function
+  | Mir.Cond.Eq -> "="
+  | Mir.Cond.Ne -> "<>"
+  | Mir.Cond.Lt -> "<"
+  | Mir.Cond.Le -> "<="
+  | Mir.Cond.Gt -> ">"
+  | Mir.Cond.Ge -> ">="
+
+(* how an instruction participates in charge batching; mirrors
+   {!Compiled.comp} *)
+type ikind =
+  | Knop
+  | Kpure
+  | Keff
+  | Kobs
+
+let classify (i : Image.pinsn) : ikind =
+  match i with
+  | Image.Pnop -> Knop
+  | Image.Pmov _ | Image.Punop _ | Image.Pcmp _ -> Kpure
+  | Image.Pbinop ((Mir.Insn.Div | Mir.Insn.Rem), _, _, b) -> (
+    match b with
+    | Image.Pimm 0 -> Keff  (* traps *)
+    | Image.Pimm _ -> Kpure
+    | Image.Preg _ -> Keff)
+  | Image.Pbinop _ -> Kpure
+  | Image.Pload _ | Image.Pstore _ | Image.Pcall _ | Image.Pbuiltin _ -> Keff
+  | Image.Pprofile_range _ | Image.Pprofile_comb _ | Image.Ptrap_insn _ -> Kobs
+
+let generate (img : Image.t) : string * exn array =
+  let b = Buffer.create 16384 in
+  let pf fmt = Printf.bprintf b fmt in
+  let raises = ref [] in
+  let nraises = ref 0 in
+  let raise_slot e =
+    let k = !nraises in
+    raises := e :: !raises;
+    incr nraises;
+    k
+  in
+  let funcs = img.Image.funcs in
+  let globals = img.Image.globals in
+
+  (* operand printer, relative to the current function's registers *)
+  let pop = function
+    | Image.Preg r -> Printf.sprintf "!r%d" r
+    | Image.Pimm n -> Printf.sprintf "(%d)" n
+  in
+
+  (* the operational code of one instruction, without any charging; the
+     caller has already emitted the flush required by its kind *)
+  let gen_insn ind (i : Image.pinsn) =
+    let p fmt = Printf.bprintf b fmt in
+    let line fmt =
+      Buffer.add_string b ind;
+      Printf.bprintf b fmt
+    in
+    match i with
+    | Image.Pnop -> ()
+    | Image.Pmov (r, o) -> line "r%d := %s;\n" r (pop o)
+    | Image.Punop (Mir.Insn.Neg, r, o) -> line "r%d := - %s;\n" r (pop o)
+    | Image.Punop (Mir.Insn.Not, r, o) ->
+      line "r%d := (if %s = 0 then 1 else 0);\n" r (pop o)
+    | Image.Pbinop (op, r, x, y) -> (
+      let open Mir.Insn in
+      match (op, x, y) with
+      | (Div | Rem), _, Image.Pimm 0 ->
+        line "ignore (trap \"division by zero\");\n"
+      | Div, _, Image.Pimm n -> line "r%d := %s / (%d);\n" r (pop x) n
+      | Rem, _, Image.Pimm n -> line "r%d := %s mod (%d);\n" r (pop x) n
+      | (Div | Rem), _, Image.Preg y ->
+        line "let d = !r%d in\n" y;
+        line "if d = 0 then ignore (trap \"division by zero\");\n";
+        line "r%d := %s %s d;\n" r (pop x)
+          (if op = Div then "/" else "mod")
+      | _, Image.Pimm vx, Image.Pimm vy ->
+        (* constant folded at code-generation time, like {!Compiled} *)
+        line "r%d := (%d);\n" r (eval_binop op vx vy)
+      | Shl, _, Image.Pimm n -> line "r%d := %s lsl %d;\n" r (pop x) (n land 63)
+      | Shr, _, Image.Pimm n -> line "r%d := %s asr %d;\n" r (pop x) (n land 63)
+      | Shl, _, _ -> line "r%d := %s lsl (%s land 63);\n" r (pop x) (pop y)
+      | Shr, _, _ -> line "r%d := %s asr (%s land 63);\n" r (pop x) (pop y)
+      | Add, _, _ -> line "r%d := %s + %s;\n" r (pop x) (pop y)
+      | Sub, _, _ -> line "r%d := %s - %s;\n" r (pop x) (pop y)
+      | Mul, _, _ -> line "r%d := %s * %s;\n" r (pop x) (pop y)
+      | And, _, _ -> line "r%d := %s land %s;\n" r (pop x) (pop y)
+      | Or, _, _ -> line "r%d := %s lor %s;\n" r (pop x) (pop y)
+      | Xor, _, _ -> line "r%d := %s lxor %s;\n" r (pop x) (pop y))
+    | Image.Pcmp (x, y) ->
+      line "cc_a := %s;\n" (pop x);
+      line "cc_b := %s;\n" (pop y)
+    | Image.Pload (r, slot, idx) ->
+      let name = globals.(slot).Image.g_name in
+      line "bump %d;\n" ix_loads;
+      line "let i = %s in\n" (pop idx);
+      line "if i < 0 || i >= Array.length g%d then oob %S i (Array.length g%d);\n"
+        slot name slot;
+      line "r%d := Array.unsafe_get g%d i;\n" r slot
+    | Image.Pstore (slot, idx, v) ->
+      let name = globals.(slot).Image.g_name in
+      line "bump %d;\n" ix_stores;
+      line "let i = %s in\n" (pop idx);
+      line "if i < 0 || i >= Array.length g%d then oob %S i (Array.length g%d);\n"
+        slot name slot;
+      line "Array.unsafe_set g%d i %s;\n" slot (pop v)
+    | Image.Pcall (dst, fid, args) ->
+      let callee = funcs.(fid) in
+      let nparams = Array.length callee.Image.pf_params in
+      line "bump %d;\n" ix_calls;
+      if Array.length args < nparams then begin
+        line "if !depth + 1 >= max_depth then ignore (trap %S);\n"
+          ("call depth exceeded in " ^ callee.Image.pf_name);
+        line "ignore (trap %S);\n"
+          ("too few arguments to " ^ callee.Image.pf_name)
+      end
+      else begin
+        line "let d = !depth + 1 in\n";
+        line "if d >= max_depth then ignore (trap %S);\n"
+          ("call depth exceeded in " ^ callee.Image.pf_name);
+        line "depth := d;\n";
+        Buffer.add_string b ind;
+        p "let v = f_%d" fid;
+        if nparams = 0 then p " ()"
+        else
+          for i = 0 to nparams - 1 do
+            p " %s" (pop args.(i))
+          done;
+        p " in\n";
+        line "depth := d - 1;\n";
+        if dst >= 0 then line "r%d := v;\n" dst else line "ignore v;\n"
+      end
+    | Image.Pbuiltin (dst, bi, args) -> (
+      line "bump %d;\n" ix_calls;
+      match bi with
+      | Image.Bgetchar ->
+        if dst >= 0 then line "r%d := getch ();\n" dst
+        else line "if !pos < ilen then incr pos;\n"
+      | Image.Bputchar ->
+        if dst >= 0 then begin
+          line "let v = %s in\n" (pop args.(0));
+          line "Buffer.add_char out (Char.chr (v land 255));\n";
+          line "r%d := v;\n" dst
+        end
+        else
+          line "Buffer.add_char out (Char.chr (%s land 255));\n" (pop args.(0))
+      | Image.Bprint_int ->
+        line "Buffer.add_string out (string_of_int %s);\n" (pop args.(0));
+        if dst >= 0 then line "r%d := 0;\n" dst
+      | Image.Bexit -> line "raise (Exitp %s);\n" (pop args.(0)))
+    | Image.Pprofile_range (id, r) ->
+      line "if uprof then prange %d !r%d;\n" id r
+    | Image.Pprofile_comb id -> line "if uprof then pcomb %d rdr;\n" id
+    | Image.Ptrap_insn msg -> line "ignore (trap %S);\n" msg
+  in
+
+  (* pending charge flush: [pi] instructions of which [pn] are nops *)
+  let gen_flush ind pi pn =
+    if pn = 0 then begin
+      if pi > 0 then pf "%sch %d;\n" ind pi
+    end
+    else pf "%sfl %d %d;\n" ind pi pn
+  in
+
+  (* a delay-slot instruction executed standalone pays its own charge *)
+  let gen_delay ind (i : Image.pinsn option) =
+    match i with
+    | None -> pf "%snp ();\n" ind
+    | Some i -> (
+      match classify i with
+      | Knop -> pf "%snp ();\n" ind
+      | Kpure | Keff ->
+        pf "%sch 1;\n" ind;
+        gen_insn ind i
+      | Kobs -> gen_insn ind i)
+  in
+
+  let gen_func fid (f : Image.pfunc) =
+    let unknowns = f.Image.pf_unknown in
+    let nparams = Array.length f.Image.pf_params in
+    let has_comb =
+      Array.exists
+        (fun (blk : Image.pblock) ->
+          let is_comb = function Image.Pprofile_comb _ -> true | _ -> false in
+          Array.exists is_comb blk.Image.pb_insns
+          || match blk.Image.pb_delay with
+             | Some i -> is_comb i
+             | None -> false)
+        f.Image.pf_blocks
+    in
+    (* registers to materialize: everything the code touches, or the
+       whole file when a comb reader needs dynamic access *)
+    let used = Array.make (max f.Image.pf_nregs 1) has_comb in
+    let mark r = if r >= 0 && r < Array.length used then used.(r) <- true in
+    let mark_op = function Image.Preg r -> mark r | Image.Pimm _ -> () in
+    Array.iter mark f.Image.pf_params;
+    let mark_insn (i : Image.pinsn) =
+      match i with
+      | Image.Pnop -> ()
+      | Image.Pmov (r, o) | Image.Punop (_, r, o) ->
+        mark r;
+        mark_op o
+      | Image.Pbinop (_, r, x, y) ->
+        mark r;
+        mark_op x;
+        mark_op y
+      | Image.Pcmp (x, y) ->
+        mark_op x;
+        mark_op y
+      | Image.Pload (r, _, ix) ->
+        mark r;
+        mark_op ix
+      | Image.Pstore (_, ix, v) ->
+        mark_op ix;
+        mark_op v
+      | Image.Pcall (dst, _, args) ->
+        mark dst;
+        Array.iter mark_op args
+      | Image.Pbuiltin (dst, _, args) ->
+        mark dst;
+        Array.iter mark_op args
+      | Image.Pprofile_range (_, r) -> mark r
+      | Image.Pprofile_comb _ -> ()
+      | Image.Ptrap_insn _ -> ()
+    in
+    Array.iter
+      (fun (blk : Image.pblock) ->
+        Array.iter mark_insn blk.Image.pb_insns;
+        (match blk.Image.pb_delay with Some i -> mark_insn i | None -> ());
+        match blk.Image.pb_term with
+        | Image.Pjtab (r, _) -> mark r
+        | Image.Pret (Some (Image.Preg r)) -> mark r
+        | _ -> ())
+      f.Image.pf_blocks;
+    (* which parameter (by position) initializes each register; the last
+       binding wins, matching the compiled backend's bind loop *)
+    let param_of = Hashtbl.create 8 in
+    Array.iteri
+      (fun i slot -> Hashtbl.replace param_of slot i)
+      f.Image.pf_params;
+    pf "  %s f_%d" (if fid = 0 then "let rec" else "and") fid;
+    if nparams = 0 then pf " ()"
+    else
+      for i = 0 to nparams - 1 do
+        pf " a%d" i
+      done;
+    pf " : int =\n";
+    if Array.length f.Image.pf_blocks = 0 then
+      (* the same failure as [run_blocks] indexing an empty array *)
+      pf "    raise (Invalid_argument \"index out of bounds\")\n"
+    else begin
+      Array.iteri
+        (fun r u ->
+          if u && r < f.Image.pf_nregs then
+            match Hashtbl.find_opt param_of r with
+            | Some i -> pf "    let r%d = ref a%d in\n" r i
+            | None -> pf "    let r%d = ref 0 in\n" r)
+        used;
+      if has_comb then begin
+        pf "    let rdr i = match i with\n";
+        for r = 0 to f.Image.pf_nregs - 1 do
+          pf "      | %d -> !r%d\n" r r
+        done;
+        pf "      | _ -> raise (Invalid_argument \"index out of bounds\")\n";
+        pf "    in\n"
+      end;
+      let target t =
+        if t >= 0 then Printf.sprintf "b_%d ()" t
+        else
+          Printf.sprintf "trap %S"
+            ("jump to unknown label " ^ unknowns.(-t - 1))
+      in
+      Array.iteri
+        (fun bix (blk : Image.pblock) ->
+          pf "    %s b_%d () : int =\n"
+            (if bix = 0 then "let rec" else "and")
+            bix;
+          pf "      if upoll && poll () then ignore (cancelled ());\n";
+          pf "      if ublock then on_block %S %S;\n" f.Image.pf_name
+            blk.Image.pb_label;
+          let ind = "      " in
+          let pi = ref 0 and pn = ref 0 in
+          Array.iter
+            (fun i ->
+              match classify i with
+              | Knop ->
+                incr pi;
+                incr pn
+              | Kpure ->
+                incr pi;
+                gen_insn ind i
+              | Keff ->
+                gen_flush ind (!pi + 1) !pn;
+                pi := 0;
+                pn := 0;
+                gen_insn ind i
+              | Kobs ->
+                gen_flush ind !pi !pn;
+                pi := 0;
+                pn := 0;
+                gen_insn ind i)
+            blk.Image.pb_insns;
+          let site = blk.Image.pb_site in
+          (match blk.Image.pb_term with
+          | Image.Pbr (cond, t, nt, nt_falls) ->
+            gen_flush ind (!pi + 1) !pn;
+            pf "      bump %d;\n" ix_cond;
+            pf "      if !cc_a %s !cc_b then begin\n" (cond_op cond);
+            pf "        bump %d;\n" ix_taken;
+            pf "        snk %d true;\n" site;
+            let d_taken, d_not_taken =
+              if blk.Image.pb_annul then
+                match blk.Image.pb_delay with
+                | Some _ -> (blk.Image.pb_delay, `Skip)
+                | None -> (None, `Nop)
+              else (blk.Image.pb_delay, `Run)
+            in
+            gen_delay "        " d_taken;
+            pf "        %s\n" (target t);
+            pf "      end\n";
+            pf "      else begin\n";
+            pf "        snk %d false;\n" site;
+            (match d_not_taken with
+            | `Run -> gen_delay "        " blk.Image.pb_delay
+            | `Nop -> gen_delay "        " None
+            | `Skip -> ());
+            if not nt_falls then pf "        lj ();\n";
+            pf "        %s\n" (target nt);
+            pf "      end\n"
+          | Image.Pjmp (t, falls) ->
+            if falls then begin
+              if t < 0 then
+                raise
+                  (Unsupported "fall-through jump to an unknown label");
+              gen_flush ind !pi !pn;
+              pf "      b_%d ()\n" t
+            end
+            else begin
+              gen_flush ind (!pi + 1) !pn;
+              pf "      bump %d;\n" ix_jumps;
+              gen_delay ind blk.Image.pb_delay;
+              pf "      %s\n" (target t)
+            end
+          | Image.Pjtab (r, table) ->
+            gen_flush ind (!pi + 1) !pn;
+            pf "      bump %d;\n" ix_indirect;
+            gen_delay ind blk.Image.pb_delay;
+            pf "      let ix = !r%d in\n" r;
+            let n = Array.length table in
+            if n = 0 then
+              pf
+                "      trap (Printf.sprintf \"jump table index %%d out of \
+                 bounds (%%s)\" ix %S)\n"
+                blk.Image.pb_label
+            else begin
+              pf
+                "      if ix < 0 || ix >= %d then ignore (trap \
+                 (Printf.sprintf \"jump table index %%d out of bounds \
+                 (%%s)\" ix %S));\n"
+                n blk.Image.pb_label;
+              pf "      (match ix with\n";
+              for j = 0 to n - 2 do
+                pf "       | %d -> %s\n" j (target table.(j))
+              done;
+              pf "       | _ -> %s)\n" (target table.(n - 1))
+            end
+          | Image.Pret v ->
+            gen_flush ind (!pi + 1) !pn;
+            pf "      bump %d;\n" ix_returns;
+            (* the delay slot runs before the return value is read *)
+            gen_delay ind blk.Image.pb_delay;
+            (match v with
+            | None -> pf "      0\n"
+            | Some (Image.Pimm n) -> pf "      (%d)\n" n
+            | Some (Image.Preg r) -> pf "      !r%d\n" r)
+          | Image.Ptrap_term msg ->
+            gen_flush ind !pi !pn;
+            pf "      trap %S\n" msg
+          | Image.Praise_term e ->
+            gen_flush ind !pi !pn;
+            pf "      raisek %d\n" (raise_slot e)))
+        f.Image.pf_blocks;
+      pf "    in\n";
+      pf "    b_0 ()\n"
+    end
+  in
+
+  pf "(* generated by Sim.Native, plugin schema %d -- do not edit *)\n"
+    schema_version;
+  Buffer.add_string b ctx_decl;
+  pf "exception Handoff of (ctx -> int)\n";
+  pf "exception Exitp of int\n";
+  pf "let entry (c : ctx) : int =\n";
+  pf "  let mem = c.x_mem in\n";
+  pf "  let input = c.x_input in\n";
+  pf "  let ilen = String.length input in\n";
+  pf "  let k = c.x_counters in\n";
+  pf "  let out = c.x_out in\n";
+  pf "  let trap = c.x_trap in\n";
+  pf "  let max_depth = c.x_max_depth in\n";
+  pf "  let upoll = c.x_use_poll in\n";
+  pf "  let poll = c.x_poll in\n";
+  pf "  let cancelled = c.x_cancelled in\n";
+  pf "  let smode = c.x_sink_mode in\n";
+  pf "  let sfun = c.x_sink_fun in\n";
+  pf "  let ebuf = c.x_ebuf in\n";
+  pf "  let ecap = Array.length ebuf in\n";
+  pf "  let drain = c.x_drain in\n";
+  pf "  let ublock = c.x_use_on_block in\n";
+  pf "  let on_block = c.x_on_block in\n";
+  pf "  let uprof = c.x_use_profile in\n";
+  pf "  let prange = c.x_range in\n";
+  pf "  let pcomb = c.x_comb in\n";
+  pf "  let raisek = c.x_raise in\n";
+  pf
+    "  let fuel_msg = Printf.sprintf \"fuel exhausted (%%d instructions)\" \
+     c.x_fuel in\n";
+  pf "  let pos = ref 0 in\n";
+  pf "  let fuel = ref c.x_fuel in\n";
+  pf "  let cc_a = ref 0 in\n";
+  pf "  let cc_b = ref 0 in\n";
+  pf "  let depth = ref 0 in\n";
+  pf "  let en = ref 0 in\n";
+  pf "  let bump i = Array.unsafe_set k i (Array.unsafe_get k i + 1) in\n";
+  pf "  let ch n =\n";
+  pf "    Array.unsafe_set k 0 (Array.unsafe_get k 0 + n);\n";
+  pf "    fuel := !fuel - n;\n";
+  pf "    if !fuel < 0 then ignore (trap fuel_msg)\n";
+  pf "  in\n";
+  pf
+    "  let fl pi pn = Array.unsafe_set k 9 (Array.unsafe_get k 9 + pn); ch pi \
+     in\n";
+  pf "  let np () = Array.unsafe_set k 9 (Array.unsafe_get k 9 + 1); ch 1 in\n";
+  pf "  let lj () = bump %d; bump %d; ch 2 in\n" ix_jumps ix_nops;
+  pf "  let oob nm i len =\n";
+  pf
+    "    ignore (trap (Printf.sprintf \"out-of-bounds access %%s[%%d] (size \
+     %%d)\" nm i len))\n";
+  pf "  in\n";
+  pf "  let snk site tk =\n";
+  pf "    if smode = 2 then begin\n";
+  pf "      Array.unsafe_set ebuf !en ((site lsl 1) lor (if tk then 1 else 0));\n";
+  pf "      incr en;\n";
+  pf "      if !en >= ecap then begin\n";
+  pf "        drain ebuf !en;\n";
+  pf "        en := 0\n";
+  pf "      end\n";
+  pf "    end\n";
+  pf "    else if smode = 1 then sfun site tk\n";
+  pf "  in\n";
+  pf "  let getch () =\n";
+  pf "    if !pos >= ilen then -1\n";
+  pf "    else begin\n";
+  pf "      let c = Char.code (String.unsafe_get input !pos) in\n";
+  pf "      incr pos;\n";
+  pf "      c\n";
+  pf "    end\n";
+  pf "  in\n";
+  Array.iteri (fun i _ -> pf "  let g%d = Array.unsafe_get mem %d in\n" i i)
+    globals;
+  if Array.length funcs = 0 then pf "  let f_none () = 0 in\n  ignore f_none;\n"
+  else begin
+    Array.iteri gen_func funcs;
+    pf "  in\n"
+  end;
+  pf "  Fun.protect\n";
+  pf
+    "    ~finally:(fun () -> if smode = 2 && !en > 0 then begin drain ebuf \
+     !en; en := 0 end)\n";
+  pf "    (fun () ->\n";
+  pf "      try\n";
+  (if img.Image.main_id < 0 then pf "        trap \"call to unknown function main\"\n"
+   else begin
+     let mf = funcs.(img.Image.main_id) in
+     pf "        if 0 >= max_depth then ignore (trap %S);\n"
+       ("call depth exceeded in " ^ mf.Image.pf_name);
+     if Array.length mf.Image.pf_params > 0 then
+       pf "        trap %S\n" ("too few arguments to " ^ mf.Image.pf_name)
+     else pf "        f_%d ()\n" img.Image.main_id
+   end);
+  pf "      with Exitp code -> code)\n";
+  pf "let () = raise (Handoff entry)\n";
+  (Buffer.contents b, Array.of_list (List.rev !raises))
+
+(* ------------------------------------------------------------------ *)
+(* Toolchain discovery                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let find_in_path name =
+  match Sys.getenv_opt "PATH" with
+  | None -> None
+  | Some p ->
+    List.find_map
+      (fun d ->
+        if d = "" then None
+        else
+          let f = Filename.concat d name in
+          if Sys.file_exists f then Some f else None)
+      (String.split_on_char ':' p)
+
+(* run [argv], sending both output streams to [log]; -1 = could not run *)
+let run_process argv ~log =
+  let fd =
+    Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let pid =
+    try Unix.create_process argv.(0) argv Unix.stdin fd fd
+    with _ ->
+      Unix.close fd;
+      -1
+  in
+  if pid < 0 then -1
+  else begin
+    Unix.close fd;
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED n -> n
+    | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> 255
+  end
+
+let read_file_excerpt path limit =
+  try
+    let ic = open_in_bin path in
+    let n = min limit (in_channel_length ic) in
+    let s = really_input_string ic n in
+    close_in ic;
+    String.trim s
+  with _ -> ""
+
+type toolchain = { tc_ocamlfind : string; tc_version : string }
+
+(* once-per-process memos, by hand: OCaml [lazy] is not domain-safe
+   (two domains forcing at once raise CamlinternalLazy.Undefined), and
+   suite jobs reach these from every domain in the pool.  Each memo has
+   its own lock, taken strictly before the global [prepare] lock (the
+   probe runs a full prepare) and never the other way round. *)
+let memoize lock cell compute () =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      match !cell with
+      | Some r -> r
+      | None ->
+        let r = compute () in
+        cell := Some r;
+        r)
+
+let toolchain_lock = Mutex.create ()
+let toolchain_memo = ref None
+
+let toolchain =
+  memoize toolchain_lock toolchain_memo (fun () ->
+      match find_in_path "ocamlfind" with
+      | None -> Error "ocamlfind not found in PATH"
+      | Some ocamlfind -> (
+        let log = Filename.temp_file "bromc-native" ".ver" in
+        let code = run_process [| ocamlfind; "ocamlopt"; "-version" |] ~log in
+        let out = read_file_excerpt log 256 in
+        (try Sys.remove log with _ -> ());
+        if code <> 0 then
+          Error
+            (Printf.sprintf "ocamlfind ocamlopt -version failed (exit %d): %s"
+               code out)
+        else
+          match String.split_on_char '\n' out with
+          | v :: _ when String.trim v <> "" ->
+            Ok { tc_ocamlfind = ocamlfind; tc_version = String.trim v }
+          | _ -> Error "ocamlfind ocamlopt -version produced no output"))
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '+' | '-' -> c
+      | _ -> '_')
+    s
+
+(* the fingerprint partitions the artifact store; loading still checks
+   interface CRCs, so a wrong but colliding fingerprint degrades
+   cleanly rather than misbehaving *)
+let fingerprint_of tc =
+  Printf.sprintf "%s-w%d-s%d" (sanitize tc.tc_version) Sys.word_size
+    schema_version
+
+(* ------------------------------------------------------------------ *)
+(* Artifact store                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let default_cache_root () =
+  match !default_cache_dir_override with
+  | Some d -> d
+  | None -> (
+    match Sys.getenv_opt "BROMC_NATIVE_CACHE" with
+    | Some d when d <> "" -> d
+    | _ -> (
+      let home_cache () =
+        match Sys.getenv_opt "HOME" with
+        | Some h when h <> "" -> Filename.concat h ".cache"
+        | _ -> Filename.get_temp_dir_name ()
+      in
+      let base =
+        match Sys.getenv_opt "XDG_CACHE_HOME" with
+        | Some d when d <> "" -> d
+        | _ -> home_cache ()
+      in
+      Filename.concat (Filename.concat base "bromc") "native"))
+
+let rec mkdirs d =
+  if not (Sys.file_exists d) then begin
+    mkdirs (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let remove_tree dir =
+  let removed = ref 0 in
+  let rec go d =
+    match Sys.readdir d with
+    | entries ->
+      Array.iter
+        (fun e ->
+          let p = Filename.concat d e in
+          if Sys.is_directory p then go p
+          else begin
+            (try Sys.remove p with _ -> ());
+            incr removed
+          end)
+        entries;
+      (try Unix.rmdir d with _ -> ())
+    | exception _ -> ()
+  in
+  go dir;
+  !removed
+
+(* ------------------------------------------------------------------ *)
+(* Compilation and loading                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* serializes codegen-compile-load and the memo table: Dynlink is not
+   safe to call from several domains at once *)
+let lock = Mutex.create ()
+
+let memo : (string, ctx -> int) Hashtbl.t = Hashtbl.create 16
+
+let clear_memo () =
+  Mutex.lock lock;
+  Hashtbl.reset memo;
+  Mutex.unlock lock
+
+(* fish the entry closure out of the plugin's [Handoff] initializer
+   exception (see the header comment) *)
+let load_entry path : (ctx -> int, string) Stdlib.result =
+  match Dynlink.loadfile_private path with
+  | () -> Error "plugin loaded but did not hand off an entry point"
+  | exception Dynlink.Error (Dynlink.Library's_module_initializers_failed e)
+    ->
+    let r = Obj.repr e in
+    let is_handoff =
+      Obj.is_block r
+      && Obj.size r = 2
+      &&
+      let slot = Obj.field r 0 in
+      Obj.is_block slot
+      && Obj.size slot >= 1
+      &&
+      let name = Obj.field slot 0 in
+      Obj.tag name = Obj.string_tag
+      &&
+      let s : string = Obj.obj name in
+      let suffix = ".Handoff" in
+      let ls = String.length s and lx = String.length suffix in
+      ls > lx && String.sub s (ls - lx) lx = suffix
+    in
+    if is_handoff then Ok (Obj.obj (Obj.field r 1) : ctx -> int)
+    else Error ("plugin initializer raised: " ^ Printexc.to_string e)
+  | exception Dynlink.Error err -> Error (Dynlink.error_message err)
+  | exception e -> Error (Printexc.to_string e)
+
+type t = {
+  n_image : Image.t;
+  n_entry : ctx -> int;
+  n_raises : exn array;
+  n_key : string;
+}
+
+let image t = t.n_image
+
+let compile_and_load tc ~build_dir ~modname ~source ~install =
+  mkdirs build_dir;
+  let src = Filename.concat build_dir (modname ^ ".ml") in
+  let out = Filename.concat build_dir (modname ^ ".cmxs") in
+  let log = Filename.concat build_dir "compile.log" in
+  let oc = open_out_bin src in
+  output_string oc source;
+  close_out oc;
+  let code =
+    run_process
+      [| tc.tc_ocamlfind; "ocamlopt"; "-shared"; "-w"; "-a"; "-o"; out; src |]
+      ~log
+  in
+  if code <> 0 then begin
+    let excerpt = read_file_excerpt log 800 in
+    ignore (remove_tree build_dir);
+    Error
+      (Printf.sprintf "ocamlfind ocamlopt -shared failed (exit %d): %s" code
+         excerpt)
+  end
+  else begin
+    incr s_compiles;
+    let final =
+      match install with
+      | Some dest ->
+        mkdirs (Filename.dirname dest);
+        (try Sys.rename out dest with _ -> ());
+        if Sys.file_exists dest then dest else out
+      | None -> out
+    in
+    let r = load_entry final in
+    (* the object file can be unlinked once mapped *)
+    if install = None || final <> Filename.concat build_dir (modname ^ ".cmxs")
+    then ignore (remove_tree build_dir);
+    r
+  end
+
+let prepare ?cache_dir ?use_cache img : (t, string) Stdlib.result =
+  if not !enabled_flag then Error "native backend disabled"
+  else
+    match generate img with
+    | exception Unsupported msg -> Error ("code generation: " ^ msg)
+    | source, n_raises -> (
+      match toolchain () with
+      | Error e -> Error e
+      | Ok tc ->
+        let fpr = fingerprint_of tc in
+        let key = Digest.to_hex (Digest.string (fpr ^ "\n" ^ source)) in
+        let modname = "bromc_native_" ^ key in
+        let finish entry =
+          Ok { n_image = img; n_entry = entry; n_raises; n_key = key }
+        in
+        Mutex.lock lock;
+        let r =
+          match Hashtbl.find_opt memo key with
+          | Some entry ->
+            incr s_memo_hits;
+            finish entry
+          | None -> (
+            let use_cache =
+              match use_cache with
+              | Some b -> b
+              | None -> !default_use_cache
+            in
+            let root =
+              match cache_dir with
+              | Some d -> d
+              | None -> default_cache_root ()
+            in
+            let cached =
+              Filename.concat (Filename.concat root fpr) (modname ^ ".cmxs")
+            in
+            let build ~counted_miss =
+              if not counted_miss then incr s_misses;
+              let build_dir =
+                if use_cache then
+                  Filename.concat root
+                    (Printf.sprintf "tmp-%d-%s" (Unix.getpid ()) key)
+                else
+                  Filename.concat
+                    (Filename.get_temp_dir_name ())
+                    (Printf.sprintf "bromc-native-%d-%s" (Unix.getpid ()) key)
+              in
+              compile_and_load tc ~build_dir ~modname ~source
+                ~install:(if use_cache then Some cached else None)
+            in
+            let loaded =
+              if use_cache && Sys.file_exists cached then begin
+                match load_entry cached with
+                | Ok e ->
+                  incr s_disk_hits;
+                  Ok e
+                | Error _ ->
+                  (* stale or corrupt artifact: rebuild it *)
+                  (try Sys.remove cached with _ -> ());
+                  incr s_misses;
+                  build ~counted_miss:true
+              end
+              else build ~counted_miss:false
+            in
+            match loaded with
+            | Ok entry ->
+              Hashtbl.replace memo key entry;
+              finish entry
+            | Error e -> Error e)
+        in
+        Mutex.unlock lock;
+        r)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_memory (img : Image.t) =
+  Array.map
+    (fun (g : Image.global) ->
+      match g.Image.g_init with
+      | Some init ->
+        let arr = Array.make g.Image.g_size 0 in
+        Array.blit init 0 arr 0 (Array.length init);
+        arr
+      | None -> Array.make g.Image.g_size 0)
+    img.Image.globals
+
+let no_sink_fun _ _ = ()
+let no_drain _ _ = ()
+let no_block _ _ = ()
+let no_range _ _ = ()
+let no_comb _ _ = ()
+let never () = false
+
+let event_buffer_size = 8192
+
+let exec ?(config = default_config) ?profile ?(sink = Predictor.Sink_none)
+    ?on_block t ~input =
+  let k = Array.make 10 0 in
+  let out = Buffer.create 1024 in
+  let sink_mode, sink_fun, ebuf, drain =
+    match sink with
+    | Predictor.Sink_none -> (0, no_sink_fun, [||], no_drain)
+    | Predictor.Sink_fun f ->
+      (1, (fun site taken -> f ~site ~taken), [||], no_drain)
+    | Predictor.Sink_bank bank ->
+      ( 2,
+        no_sink_fun,
+        Array.make event_buffer_size 0,
+        fun buf n -> Predictor.bank_drain bank buf n )
+  in
+  let raises = t.n_raises in
+  let ctx =
+    {
+      x_mem = fresh_memory t.n_image;
+      x_input = input;
+      x_fuel = config.fuel;
+      x_max_depth = config.max_depth;
+      x_counters = k;
+      x_out = out;
+      x_trap = (fun msg -> raise (Trap msg));
+      x_cancelled = (fun () -> raise Cancelled);
+      x_poll = (match config.cancel with Some f -> f | None -> never);
+      x_use_poll = config.cancel <> None;
+      x_sink_mode = sink_mode;
+      x_sink_fun = sink_fun;
+      x_ebuf = ebuf;
+      x_drain = drain;
+      x_on_block =
+        (match on_block with
+        | Some f -> fun func label -> f ~func ~label
+        | None -> no_block);
+      x_use_on_block = on_block <> None;
+      x_range =
+        (match profile with
+        | Some p -> fun id v -> Profile.record_range p id v
+        | None -> no_range);
+      x_comb =
+        (match profile with
+        | Some p ->
+          fun id rd ->
+            Profile.record_comb p id ~read_reg:(fun r ->
+                rd (Mir.Reg.to_int r))
+        | None -> no_comb);
+      x_use_profile = profile <> None;
+      x_raise = (fun i -> raise raises.(i));
+    }
+  in
+  let exit_code = t.n_entry ctx in
+  let c = Counters.make () in
+  c.Counters.insns <- k.(ix_insns);
+  c.Counters.cond_branches <- k.(ix_cond);
+  c.Counters.taken_branches <- k.(ix_taken);
+  c.Counters.jumps <- k.(ix_jumps);
+  c.Counters.indirect_jumps <- k.(ix_indirect);
+  c.Counters.calls <- k.(ix_calls);
+  c.Counters.returns <- k.(ix_returns);
+  c.Counters.loads <- k.(ix_loads);
+  c.Counters.stores <- k.(ix_stores);
+  c.Counters.nops <- k.(ix_nops);
+  { counters = c; output = Buffer.contents out; exit_code }
+
+let run_image ?config ?profile ?sink ?on_branch ?on_block ?cache_dir
+    ?use_cache img ~input =
+  let sink =
+    match (sink, on_branch) with
+    | Some s, _ -> Some s
+    | None, Some f -> Some (Predictor.Sink_fun f)
+    | None, None -> None
+  in
+  match prepare ?cache_dir ?use_cache img with
+  | Error msg -> raise (Unavailable msg)
+  | Ok t -> exec ?config ?profile ?sink ?on_block t ~input
+
+let run ?config ?profile ?on_branch ?on_block p ~input =
+  run_image ?config ?profile ?on_branch ?on_block (Image.build p) ~input
+
+(* ------------------------------------------------------------------ *)
+(* Availability probe                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* a one-block one-function image: the probe exercises the whole
+   pipeline — generate, compile, load, hand off, execute *)
+let probe_image : Image.t =
+  {
+    Image.funcs =
+      [|
+        {
+          Image.pf_name = "main";
+          pf_params = [||];
+          pf_nregs = 1;
+          pf_blocks =
+            [|
+              {
+                Image.pb_label = "entry";
+                pb_insns = [||];
+                pb_term = Image.Pret None;
+                pb_delay = None;
+                pb_annul = false;
+                pb_site = 0;
+              };
+            |];
+          pf_unknown = [||];
+        };
+      |];
+    main_id = 0;
+    globals = [||];
+    nsites = 0;
+  }
+
+let probe_lock = Mutex.create ()
+let probe_memo = ref None
+
+let probe =
+  memoize probe_lock probe_memo (fun () ->
+      match prepare probe_image with
+      | Error e -> Error e
+      | Ok t -> (
+        match exec t ~input:"" with
+        | { exit_code = 0; _ } -> Ok ()
+        | r -> Error (Printf.sprintf "probe returned %d" r.exit_code)
+        | exception e -> Error (Printexc.to_string e)))
+
+let available () =
+  !enabled_flag && match probe () with Ok () -> true | Error _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Cache maintenance                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = struct
+  let default_dir () = default_cache_root ()
+
+  let fingerprint () =
+    match toolchain () with
+    | Ok tc -> Some (fingerprint_of tc)
+    | Error _ -> None
+
+  type entry = {
+    e_fingerprint : string;
+    e_files : int;
+    e_bytes : int;
+    e_current : bool;
+  }
+
+  let list ?dir () =
+    let root = match dir with Some d -> d | None -> default_cache_root () in
+    let current = fingerprint () in
+    match Sys.readdir root with
+    | exception _ -> []
+    | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun name ->
+             let d = Filename.concat root name in
+             if not (Sys.is_directory d) then None
+             else
+               let files = ref 0 and bytes = ref 0 in
+               (match Sys.readdir d with
+               | fs ->
+                 Array.iter
+                   (fun f ->
+                     if Filename.check_suffix f ".cmxs" then begin
+                       incr files;
+                       bytes :=
+                         !bytes
+                         + (try (Unix.stat (Filename.concat d f)).Unix.st_size
+                            with _ -> 0)
+                     end)
+                   fs
+               | exception _ -> ());
+               Some
+                 {
+                   e_fingerprint = name;
+                   e_files = !files;
+                   e_bytes = !bytes;
+                   e_current = current = Some name;
+                 })
+      |> List.sort compare
+
+  let clear ?dir () =
+    let root = match dir with Some d -> d | None -> default_cache_root () in
+    match Sys.readdir root with
+    | exception _ -> 0
+    | entries ->
+      Array.fold_left
+        (fun acc name ->
+          let d = Filename.concat root name in
+          if Sys.is_directory d then acc + remove_tree d
+          else begin
+            (try Sys.remove d with _ -> ());
+            acc + 1
+          end)
+        0 entries
+
+  let evict_stale ?dir () =
+    let root = match dir with Some d -> d | None -> default_cache_root () in
+    match fingerprint () with
+    | None -> 0
+    | Some current -> (
+      match Sys.readdir root with
+      | exception _ -> 0
+      | entries ->
+        Array.fold_left
+          (fun acc name ->
+            let d = Filename.concat root name in
+            if Sys.is_directory d && name <> current then acc + remove_tree d
+            else acc)
+          0 entries)
+  end

@@ -1,0 +1,155 @@
+(** Native execution backend: runtime OCaml code generation.
+
+    Emits a {!Image.t} as OCaml source — basic blocks become mutually
+    tail-recursive functions, registers become [let]-bound mutable
+    cells, counter/fuel charging and predictor-event delivery are
+    inlined at branch terminators — compiles it out of process with
+    [ocamlfind ocamlopt -shared], loads the resulting [.cmxs] with
+    [Dynlink.loadfile_private], and executes it with observable
+    behaviour byte-identical to the other three backends (output, exit
+    code, the ten counters, branch-site event stream, block trace, trap
+    messages, cooperative cancellation at block granularity).
+
+    Compiled artifacts are cached on disk keyed by the content hash of
+    the generated source (which the image fully determines) plus a
+    compiler/ABI fingerprint, so repeated runs of the same image pay
+    code generation once per machine, and once per process thanks to an
+    in-memory table of loaded entry points.
+
+    Hosts without a working [ocamlfind]/native toolchain do not fail:
+    {!prepare} returns [Error], {!run_image} raises {!Unavailable}, and
+    callers (the driver's degradation ladder, the CLI) fall back to the
+    closure backend. *)
+
+exception Unavailable of string
+(** Native execution could not be used: toolchain missing, code
+    generation failed, compilation failed, or the plugin would not
+    load.  Never raised for errors of the simulated program — those are
+    {!Runtime.Trap}, {!Runtime.Program_exit}, {!Runtime.Cancelled},
+    exactly as in the other backends. *)
+
+val set_enabled : bool -> unit
+(** Force-disable (or re-enable) the backend for this process; when
+    disabled, {!available} is false and {!prepare} fails without
+    probing.  Starts disabled when the [BROMC_NO_NATIVE] environment
+    variable is set. *)
+
+val enabled : unit -> bool
+
+val available : unit -> bool
+(** Probe (once per process, cached) whether native execution works
+    end to end: generate, compile and load a trivial plugin. *)
+
+val set_default_cache_dir : string option -> unit
+(** Override the on-disk artifact store location for calls that do not
+    pass [~cache_dir] ([None] restores the built-in default: the
+    [BROMC_NATIVE_CACHE] environment variable, else
+    [$XDG_CACHE_HOME/bromc/native], else [~/.cache/bromc/native]). *)
+
+val set_default_use_cache : bool -> unit
+(** Disable the on-disk store for calls that do not pass [~use_cache];
+    artifacts are then built in a temporary directory and deleted after
+    loading.  The in-memory table of loaded entry points still applies. *)
+
+type t
+(** A loaded image: generated, compiled (or fetched from the cache) and
+    dynlinked, ready to execute any number of times. *)
+
+val image : t -> Image.t
+
+val prepare :
+  ?cache_dir:string -> ?use_cache:bool -> Image.t -> (t, string) result
+(** Generate, compile and load [img].  [Error] carries a diagnostic
+    (toolchain missing, compiler output, ...) and leaves the caller
+    free to degrade to another backend. *)
+
+val exec :
+  ?config:Runtime.config ->
+  ?profile:Profile.t ->
+  ?sink:Predictor.sink ->
+  ?on_block:(func:string -> label:string -> unit) ->
+  t ->
+  input:string ->
+  Runtime.result
+(** Execute a prepared image; the mirror of {!Compiled.exec}.  With
+    [Sink_bank] the branch events are buffered in the generated code
+    and folded into the bank in batches ({!Predictor.bank_drain}) —
+    final bank state, lookups and mispredict counts are identical to
+    streaming delivery.  [Sink_fun] and [on_block] stream in execution
+    order, as everywhere else. *)
+
+val run_image :
+  ?config:Runtime.config ->
+  ?profile:Profile.t ->
+  ?sink:Predictor.sink ->
+  ?on_branch:(site:int -> taken:bool -> unit) ->
+  ?on_block:(func:string -> label:string -> unit) ->
+  ?cache_dir:string ->
+  ?use_cache:bool ->
+  Image.t ->
+  input:string ->
+  Runtime.result
+(** {!prepare} + {!exec} (the prepared entry is memoized in-process, so
+    repeated calls on equal images do not re-prepare).  Raises
+    {!Unavailable} when the backend cannot run.  [on_branch] is
+    shorthand for [~sink:(Sink_fun ...)]. *)
+
+val run :
+  ?config:Runtime.config ->
+  ?profile:Profile.t ->
+  ?on_branch:(site:int -> taken:bool -> unit) ->
+  ?on_block:(func:string -> label:string -> unit) ->
+  Mir.Program.t ->
+  input:string ->
+  Runtime.result
+(** [run_image] of {!Image.build}. *)
+
+val generate : Image.t -> string * exn array
+(** The generated plugin source and the table of decode-time exceptions
+    re-raised by [Praise_term] terminators (exposed for tests: the
+    source is the cache key's content, so equal images must generate
+    byte-identical source). *)
+
+type stats = {
+  memo_hits : int;  (** image already loaded in this process *)
+  disk_hits : int;  (** [.cmxs] served from the on-disk store *)
+  misses : int;  (** artifact absent: the compiler had to run *)
+  compiles : int;  (** successful out-of-process compilations *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+val clear_memo : unit -> unit
+(** Drop the in-process table of loaded entry points (already-mapped
+    plugins stay mapped); the next {!prepare} of a known image is
+    served from the on-disk store again.  For cache tests — production
+    code has no reason to call this. *)
+
+(** The on-disk artifact store.  Layout: one subdirectory per
+    compiler/ABI fingerprint, one [.cmxs] per image content hash. *)
+module Cache : sig
+  val default_dir : unit -> string
+
+  val fingerprint : unit -> string option
+  (** The current toolchain's fingerprint subdirectory name, or [None]
+      when no compiler is available. *)
+
+  type entry = {
+    e_fingerprint : string;
+    e_files : int;
+    e_bytes : int;
+    e_current : bool;  (** matches the running toolchain *)
+  }
+
+  val list : ?dir:string -> unit -> entry list
+
+  val clear : ?dir:string -> unit -> int
+  (** Remove every cached artifact; returns the number of files
+      removed. *)
+
+  val evict_stale : ?dir:string -> unit -> int
+  (** Remove artifacts whose fingerprint differs from the running
+      toolchain's (requires a working compiler to know which one that
+      is); returns the number of files removed. *)
+end

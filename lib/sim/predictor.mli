@@ -38,6 +38,15 @@ val bank : (int * int * int) list -> bank
 val bank_access : bank -> site:int -> taken:bool -> unit
 (** Feed one branch outcome to every predictor in the bank. *)
 
+val bank_drain : bank -> int array -> int -> unit
+(** [bank_drain b buf n] feeds the first [n] packed events of [buf] —
+    [(site lsl 1) lor (if taken then 1 else 0)], oldest first — to
+    every predictor, sweeping one predictor at a time over the whole
+    batch.  Equivalent to [n] calls of {!bank_access} in order (each
+    predictor folds its own event stream in sequence either way), but
+    much cheaper when the bank is wide: the native backend buffers
+    branch events in generated code and drains here. *)
+
 val bank_reset : bank -> unit
 val bank_size : bank -> int
 

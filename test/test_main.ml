@@ -23,4 +23,5 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("predecode", Test_predecode.suite);
       ("parallel", Test_parallel.suite);
+      ("native", Test_native.suite);
     ]

@@ -1,0 +1,458 @@
+(* The native (runtime-codegen) backend: four-way differentials against
+   the reference oracle, the content-hashed artifact store, and the
+   degradation path for hosts without a toolchain.
+
+   Every test that needs the out-of-process compiler skips (rather than
+   fails) when [Sim.Native.available] is false, so the suite stays
+   green on hosts without ocamlfind — the same contract the driver's
+   degradation ladder provides at run time. *)
+
+open Helpers
+
+let require_native () = if not (Sim.Native.available ()) then Alcotest.skip ()
+
+let counter_fields (c : Sim.Counters.t) =
+  [
+    ("insns", c.Sim.Counters.insns);
+    ("cond_branches", c.Sim.Counters.cond_branches);
+    ("taken_branches", c.Sim.Counters.taken_branches);
+    ("jumps", c.Sim.Counters.jumps);
+    ("indirect_jumps", c.Sim.Counters.indirect_jumps);
+    ("calls", c.Sim.Counters.calls);
+    ("returns", c.Sim.Counters.returns);
+    ("loads", c.Sim.Counters.loads);
+    ("stores", c.Sim.Counters.stores);
+    ("nops", c.Sim.Counters.nops);
+  ]
+
+let capture ?config backend prog ~input =
+  let branches = ref [] in
+  let blocks = ref [] in
+  let on_branch ~site ~taken = branches := (site, taken) :: !branches in
+  let on_block ~func ~label = blocks := (func, label) :: !blocks in
+  let result =
+    Sim.Machine.run ?config ~backend ~on_branch ~on_block prog ~input
+  in
+  (result, List.rev !branches, List.rev !blocks)
+
+let assert_native_matches_reference ?config ~name prog ~input =
+  let r_ref, br_ref, bl_ref = capture ?config `Reference prog ~input in
+  let r_nat, br_nat, bl_nat = capture ?config `Native prog ~input in
+  check_output (name ^ " output") r_ref.Sim.Machine.output
+    r_nat.Sim.Machine.output;
+  check_int (name ^ " exit code") r_ref.Sim.Machine.exit_code
+    r_nat.Sim.Machine.exit_code;
+  List.iter2
+    (fun (f, v_ref) (_, v_nat) -> check_int (name ^ " " ^ f) v_ref v_nat)
+    (counter_fields r_ref.Sim.Machine.counters)
+    (counter_fields r_nat.Sim.Machine.counters);
+  check_bool (name ^ " branch events") true (br_ref = br_nat);
+  check_bool (name ^ " block trace") true (bl_ref = bl_nat)
+
+(* a private store so cache tests never see artifacts from other runs;
+   removed on exit *)
+let with_temp_store f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bromc-test-native-%d-%d" (Unix.getpid ())
+         (Random.bits ()))
+  in
+  let rec rm d =
+    if Sys.file_exists d then begin
+      if Sys.is_directory d then begin
+        Array.iter (fun e -> rm (Filename.concat d e)) (Sys.readdir d);
+        try Unix.rmdir d with _ -> ()
+      end
+      else try Sys.remove d with _ -> ()
+    end
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* Differentials                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* a source that exercises every construct the generator emits:
+   arithmetic incl. division/shifts, comparisons, nested calls and
+   recursion, arrays, switch (indirect jumps after lowering), builtins,
+   and data-dependent branching *)
+let torture_src =
+  {|
+int tab[16];
+
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+
+int classify(int c) {
+  switch (c) {
+    case 0: return 10;
+    case 1: return 11;
+    case 2: return 12;
+    case 3: return 13;
+    case 7: return 17;
+    default: return 99;
+  }
+}
+
+int main() {
+  int i; int c; int acc;
+  acc = fib(10);
+  for (i = 0; i < 16; i = i + 1) tab[i] = (i * 37 + 11) % 16;
+  for (i = 0; i < 16; i = i + 1) acc = acc + classify(tab[i] % 9);
+  c = getchar();
+  while (c >= 0) {
+    acc = acc + (c / 3) - (c % 5);
+    if (c > 64) acc = acc * 2; else acc = acc - 1;
+    putchar((acc % 26) + 97);
+    c = getchar();
+  }
+  print_int(acc);
+  return acc % 7;
+}
+|}
+
+let test_torture_program () =
+  require_native ();
+  List.iter
+    (fun (hs : Mopt.Switch_lower.heuristic_set) ->
+      let prog = compile_final ~heuristic:hs torture_src in
+      assert_native_matches_reference
+        ~name:("torture/" ^ hs.Mopt.Switch_lower.hs_name)
+        prog ~input:"Hello, branch reordering world! 0123456789")
+    Mopt.Switch_lower.all_sets
+
+(* the tentpole differential: all 17 workloads under all 3 heuristic
+   sets, native vs reference, on shortened inputs (full inputs belong
+   to the bench, not the unit suite) *)
+let test_workloads_all_sets () =
+  require_native ();
+  let truncate s = String.sub s 0 (min 500 (String.length s)) in
+  List.iter
+    (fun (w : Workloads.Spec.t) ->
+      List.iter
+        (fun (hs : Mopt.Switch_lower.heuristic_set) ->
+          let prog =
+            compile_final ~heuristic:hs w.Workloads.Spec.source
+          in
+          assert_native_matches_reference
+            ~name:
+              (w.Workloads.Spec.name ^ "/" ^ hs.Mopt.Switch_lower.hs_name)
+            prog
+            ~input:(truncate (Lazy.force w.Workloads.Spec.test_input)))
+        Mopt.Switch_lower.all_sets)
+    Workloads.Registry.all
+
+(* reordered code must agree too: run the full pipeline, then diff the
+   reordered program across the oracle and the native backend *)
+let test_reordered_version () =
+  require_native ();
+  let w = Workloads.Registry.find "awk" in
+  let input =
+    String.sub (Lazy.force w.Workloads.Spec.test_input) 0 400
+  in
+  let r =
+    reorder_pipeline ~training_input:input ~test_input:input
+      w.Workloads.Spec.source
+  in
+  assert_native_matches_reference ~name:"awk reordered"
+    r.Driver.Pipeline.r_reordered.Driver.Pipeline.v_program ~input
+
+(* trap behaviour must be identical down to the message string *)
+let assert_same_trap ~name ?config src ~input =
+  let prog = compile_final src in
+  let trap_of backend =
+    match Sim.Machine.run ?config ~backend prog ~input with
+    | _ -> None
+    | exception Sim.Machine.Trap m -> Some m
+  in
+  let t_ref = trap_of `Reference in
+  let t_nat = trap_of `Native in
+  check_bool (name ^ " both trap") true (t_ref <> None && t_nat <> None);
+  check_output (name ^ " trap message")
+    (Option.value ~default:"" t_ref)
+    (Option.value ~default:"" t_nat)
+
+let test_trap_messages () =
+  require_native ();
+  assert_same_trap ~name:"division by zero"
+    "int main() { int d; d = getchar(); return 7 / (d + 1); }" ~input:"";
+  assert_same_trap ~name:"out of bounds"
+    "int a[4]; int main() { int i; i = getchar() + 10; return a[i]; }"
+    ~input:"";
+  assert_same_trap ~name:"call depth"
+    "int f(int n) { return f(n + 1); } int main() { return f(0); }" ~input:"";
+  assert_same_trap ~name:"fuel"
+    ~config:{ Sim.Machine.default_config with Sim.Machine.fuel = 100 }
+    "int main() { int i; i = 0; while (i >= 0) i = i + 1; return 0; }"
+    ~input:""
+
+(* the watchdog must still fire inside generated code: cancellation is
+   polled at every basic-block entry, exactly like the other backends *)
+let test_watchdog_fires () =
+  require_native ();
+  let prog =
+    compile_final
+      "int main() { int i; i = 0; while (i >= 0) i = i + 1; return 0; }"
+  in
+  let config =
+    {
+      Sim.Machine.default_config with
+      Sim.Machine.fuel = max_int;
+      cancel = Some (fun () -> true);
+    }
+  in
+  match Sim.Native.run ~config prog ~input:"" with
+  | _ -> Alcotest.fail "expected Cancelled"
+  | exception Sim.Runtime.Cancelled -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The artifact store                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_generate_deterministic () =
+  (* no toolchain needed: codegen is pure *)
+  let img () = Sim.Image.build (compile_final torture_src) in
+  let src1, _ = Sim.Native.generate (img ()) in
+  let src2, _ = Sim.Native.generate (img ()) in
+  check_bool "equal images generate byte-identical source" true (src1 = src2)
+
+let test_cache_hit_determinism () =
+  require_native ();
+  with_temp_store (fun dir ->
+      let prog = compile_final torture_src in
+      let img = Sim.Image.build prog in
+      let input = "cache determinism" in
+      (* earlier tests may have loaded this very image: the memo is keyed
+         by content, not by store location, so start from a cold table *)
+      Sim.Native.clear_memo ();
+      Sim.Native.reset_stats ();
+      let time f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (Unix.gettimeofday () -. t0, r)
+      in
+      let miss_t, t1 =
+        time (fun () ->
+            match Sim.Native.prepare ~cache_dir:dir img with
+            | Ok t -> t
+            | Error e -> Alcotest.failf "prepare (miss): %s" e)
+      in
+      let s1 = Sim.Native.stats () in
+      check_int "first prepare misses" 1 s1.Sim.Native.misses;
+      check_int "first prepare compiles" 1 s1.Sim.Native.compiles;
+      let r1 = Sim.Native.exec t1 ~input in
+      (* drop the in-process memo so the second prepare must go to disk *)
+      Sim.Native.clear_memo ();
+      let hit_t, t2 =
+        time (fun () ->
+            match Sim.Native.prepare ~cache_dir:dir img with
+            | Ok t -> t
+            | Error e -> Alcotest.failf "prepare (hit): %s" e)
+      in
+      let s2 = Sim.Native.stats () in
+      check_int "second prepare is a disk hit" 1 s2.Sim.Native.disk_hits;
+      check_int "second prepare does not compile" 1 s2.Sim.Native.compiles;
+      let r2 = Sim.Native.exec t2 ~input in
+      check_output "second run output byte-identical" r1.Sim.Machine.output
+        r2.Sim.Machine.output;
+      check_int "second run exit code" r1.Sim.Machine.exit_code
+        r2.Sim.Machine.exit_code;
+      check_bool "second run counters" true
+        (r1.Sim.Machine.counters = r2.Sim.Machine.counters);
+      (* loading a .cmxs is orders of magnitude cheaper than running
+         ocamlopt; a generous factor keeps this robust on slow hosts *)
+      check_bool "cache hit faster than miss" true (hit_t < miss_t);
+      (* and a third prepare is served by the in-process memo *)
+      (match Sim.Native.prepare ~cache_dir:dir img with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "prepare (memo): %s" e);
+      let s3 = Sim.Native.stats () in
+      check_int "third prepare is a memo hit" 1 s3.Sim.Native.memo_hits)
+
+let test_cache_disabled () =
+  require_native ();
+  with_temp_store (fun dir ->
+      let img = Sim.Image.build (compile_final "int main() { return 41; }") in
+      Sim.Native.clear_memo ();
+      (match Sim.Native.prepare ~cache_dir:dir ~use_cache:false img with
+      | Ok t ->
+        let r = Sim.Native.exec t ~input:"" in
+        check_int "exit code" 41 r.Sim.Machine.exit_code
+      | Error e -> Alcotest.failf "prepare: %s" e);
+      check_bool "store untouched with use_cache:false" true
+        ((not (Sys.file_exists dir)) || Sys.readdir dir = [||]))
+
+let test_cache_clear_and_evict () =
+  require_native ();
+  with_temp_store (fun dir ->
+      let img = Sim.Image.build (compile_final "int main() { return 5; }") in
+      Sim.Native.clear_memo ();
+      (match Sim.Native.prepare ~cache_dir:dir img with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "prepare: %s" e);
+      let current =
+        match Sim.Native.Cache.fingerprint () with
+        | Some fp -> fp
+        | None -> Alcotest.fail "toolchain has no fingerprint"
+      in
+      (* plant a stale fingerprint directory next to the current one *)
+      let stale = Filename.concat dir "9.9.9-w64-s0" in
+      Unix.mkdir stale 0o755;
+      let oc = open_out (Filename.concat stale "bromc_native_dead.cmxs") in
+      output_string oc "stale";
+      close_out oc;
+      let entries = Sim.Native.Cache.list ~dir () in
+      check_int "two fingerprints listed" 2 (List.length entries);
+      check_bool "current fingerprint flagged" true
+        (List.exists
+           (fun (e : Sim.Native.Cache.entry) ->
+             e.Sim.Native.Cache.e_current
+             && e.Sim.Native.Cache.e_fingerprint = current)
+           entries);
+      let evicted = Sim.Native.Cache.evict_stale ~dir () in
+      check_int "stale artifact evicted" 1 evicted;
+      check_bool "current artifact survives eviction" true
+        (List.exists
+           (fun (e : Sim.Native.Cache.entry) ->
+             e.Sim.Native.Cache.e_fingerprint = current
+             && e.Sim.Native.Cache.e_files = 1)
+           (Sim.Native.Cache.list ~dir ()));
+      let cleared = Sim.Native.Cache.clear ~dir () in
+      check_bool "clear removes the rest" true (cleared >= 1);
+      check_int "store empty after clear" 0
+        (List.fold_left
+           (fun acc (e : Sim.Native.Cache.entry) ->
+             acc + e.Sim.Native.Cache.e_files)
+           0
+           (Sim.Native.Cache.list ~dir ())))
+
+(* ------------------------------------------------------------------ *)
+(* Degradation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let small_native_job () =
+  let w = Workloads.Registry.find "wc" in
+  let slice s = String.sub s 0 (min 2000 (String.length s)) in
+  Driver.Pipeline.job
+    ~config:{ Driver.Config.default with Driver.Config.backend = `Native }
+    ~name:"wc" ~source:w.Workloads.Spec.source
+    ~training_input:(slice (Lazy.force w.Workloads.Spec.training_input))
+    ~test_input:(slice (Lazy.force w.Workloads.Spec.test_input))
+    ()
+
+(* force the backend off and require the guarded runner to serve the
+   job from the compiled rung, recording the divergence — this is the
+   no-toolchain path, so it must pass on every host *)
+let test_degrades_to_compiled () =
+  let was = Sim.Native.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Sim.Native.set_enabled was)
+    (fun () ->
+      Sim.Native.set_enabled false;
+      check_bool "disabled backend reports unavailable" false
+        (Sim.Native.available ());
+      (match
+         Sim.Native.prepare
+           (Sim.Image.build (compile_final "int main() { return 0; }"))
+       with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "prepare must fail when disabled");
+      let job = small_native_job () in
+      let o =
+        Driver.Pipeline.run_guarded_job ~index:0
+          ~policy:
+            { Driver.Guard.default with Driver.Guard.degrade = true;
+              backoff_ms = 0 }
+          job
+      in
+      check_bool "job succeeded" true
+        (Driver.Pool.outcome_ok o.Driver.Pipeline.o_outcome);
+      check_output "served rung recorded" "compiled"
+        o.Driver.Pipeline.o_backend;
+      check_bool "degradation recorded" true o.Driver.Pipeline.o_degraded)
+
+(* with degradation disabled, the missing toolchain surfaces as a
+   contained crash, not a green result on a different engine *)
+let test_no_degrade_is_contained_crash () =
+  let was = Sim.Native.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Sim.Native.set_enabled was)
+    (fun () ->
+      Sim.Native.set_enabled false;
+      let job = small_native_job () in
+      let o =
+        Driver.Pipeline.run_guarded_job ~index:0
+          ~policy:
+            { Driver.Guard.default with Driver.Guard.degrade = false;
+              backoff_ms = 0 }
+          job
+      in
+      check_bool "outcome is a failure" false
+        (Driver.Pool.outcome_ok o.Driver.Pipeline.o_outcome);
+      check_output "rung stays native" "native" o.Driver.Pipeline.o_backend;
+      check_bool "unavailability attributed" true
+        (List.exists
+           (fun e -> contains_substring e "native backend unavailable")
+           o.Driver.Pipeline.o_errors))
+
+(* ------------------------------------------------------------------ *)
+(* Batched predictor drain (pure; no toolchain needed)                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_bank_drain_matches_streaming () =
+  let keys = Driver.Config.paper_predictors @ [ (4, 2, 64); (2, 1, 32) ] in
+  let streamed = Sim.Predictor.bank keys in
+  let drained = Sim.Predictor.bank keys in
+  let n = 5000 in
+  let events =
+    Array.init n (fun i ->
+        let site = mix 7 i mod 97 in
+        let taken = mix 13 (i * 3) land 1 = 1 in
+        (site, taken))
+  in
+  Array.iter
+    (fun (site, taken) -> Sim.Predictor.bank_access streamed ~site ~taken)
+    events;
+  (* drain in uneven chunks to cover the partial-buffer path *)
+  let buf = Array.make 257 0 in
+  let fill = ref 0 in
+  Array.iter
+    (fun (site, taken) ->
+      buf.(!fill) <- (site lsl 1) lor (if taken then 1 else 0);
+      incr fill;
+      if !fill = Array.length buf then begin
+        Sim.Predictor.bank_drain drained buf !fill;
+        fill := 0
+      end)
+    events;
+  if !fill > 0 then Sim.Predictor.bank_drain drained buf !fill;
+  check_bool "mispredicts identical" true
+    (Sim.Predictor.bank_mispredicts streamed
+    = Sim.Predictor.bank_mispredicts drained);
+  check_bool "lookups identical" true
+    (Sim.Predictor.bank_lookups streamed = Sim.Predictor.bank_lookups drained)
+
+let suite =
+  [
+    case "generate is deterministic" test_generate_deterministic;
+    case "bank_drain matches streaming delivery"
+      test_bank_drain_matches_streaming;
+    case "torture program x3 heuristic sets" test_torture_program;
+    slow_case "17 workloads x 3 heuristic sets vs reference"
+      test_workloads_all_sets;
+    slow_case "reordered pipeline output" test_reordered_version;
+    case "trap messages identical" test_trap_messages;
+    case "watchdog fires inside native code" test_watchdog_fires;
+    case "cache: miss, disk hit, memo hit, determinism"
+      test_cache_hit_determinism;
+    case "cache: use_cache:false leaves the store untouched"
+      test_cache_disabled;
+    case "cache: list, evict stale fingerprints, clear"
+      test_cache_clear_and_evict;
+    case "degrades to compiled when unavailable" test_degrades_to_compiled;
+    case "no-degrade policy yields contained crash"
+      test_no_degrade_is_contained_crash;
+  ]
