@@ -11,7 +11,10 @@
      lint      structured static-analysis diagnostics (interval facts,
                arm subsumption/overlap, not-reorderable explanations)
      dot       Graphviz CFGs, optionally annotated with dataflow facts
-     workloads list the built-in benchmark programs *)
+     workloads list the built-in benchmark programs
+     cache     inspect/prune the native artifact store and caches
+     serve     long-running optimization service (line protocol)
+     replay    simulated production traffic against a server *)
 
 open Cmdliner
 
@@ -1020,7 +1023,12 @@ let cache_cmd =
         in
         if clear then begin
           let n = Sim.Native.Cache.clear ~dir () in
-          Printf.printf "cleared %d file(s) from %s\n" n dir
+          Sim.Native.clear_memo ();
+          let dropped = Sim.Artifact.clear_registered () in
+          Printf.printf "cleared %d file(s) from %s" n dir;
+          if dropped > 0 then
+            Printf.printf " and %d in-process artifact(s)" dropped;
+          print_newline ()
         end
         else if evict_stale then begin
           match Sim.Native.Cache.fingerprint () with
@@ -1049,7 +1057,32 @@ let cache_cmd =
                   e.Sim.Native.Cache.e_fingerprint e.Sim.Native.Cache.e_files
                   e.Sim.Native.Cache.e_bytes
                   (if e.Sim.Native.Cache.e_current then "  (current)" else ""))
-              entries
+              entries;
+          let ns = Sim.Native.stats () in
+          Printf.printf
+            "memo:        %d entry(ies), cap %d, %d hit(s), %d eviction(s)\n"
+            ns.Sim.Native.memo_entries ns.Sim.Native.memo_capacity
+            ns.Sim.Native.memo_hits ns.Sim.Native.memo_evictions;
+          (* the MIR / image / closure artifact caches are in-process
+             state of a serving daemon; a fresh CLI invocation has none.
+             the serve protocol's [stats] request reports the live
+             numbers *)
+          match Sim.Artifact.registered_stats () with
+          | [] ->
+            print_string
+              "artifacts:   (none in this process; query a running \
+               `bromc serve` with its `stats` request)\n"
+          | regs ->
+            List.iter
+              (fun (s : Sim.Artifact.stats) ->
+                Printf.printf
+                  "artifacts:   %-8s %4d entry(ies) cap %d, %d hit(s), %d \
+                   miss(es), %d build(s), %d eviction(s)\n"
+                  s.Sim.Artifact.a_name s.Sim.Artifact.a_entries
+                  s.Sim.Artifact.a_capacity s.Sim.Artifact.a_hits
+                  s.Sim.Artifact.a_misses s.Sim.Artifact.a_builds
+                  s.Sim.Artifact.a_evictions)
+              regs
         end)
   in
   let dir =
@@ -1080,6 +1113,358 @@ let cache_cmd =
           store (default action: print per-fingerprint statistics).")
     Term.(const run $ dir $ clear $ evict_stale)
 
+(* ------------------------------------------------------------------ *)
+(* serve: the long-running optimization service                        *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let server_stats_json (st : Driver.Server.stats) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"requests\":%d,\"cold\":%d,\"shadow_runs\":%d,\"merges\":%d,\
+        \"reopts\":%d,\"domains\":%d,\"caches\":["
+       st.Driver.Server.st_requests st.Driver.Server.st_cold
+       st.Driver.Server.st_shadow_runs st.Driver.Server.st_merges
+       st.Driver.Server.st_reopts st.Driver.Server.st_domains);
+  List.iteri
+    (fun i (s : Sim.Artifact.stats) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"entries\":%d,\"hits\":%d,\"misses\":%d,\
+            \"builds\":%d,\"evictions\":%d}"
+           (json_escape s.Sim.Artifact.a_name)
+           s.Sim.Artifact.a_entries s.Sim.Artifact.a_hits
+           s.Sim.Artifact.a_misses s.Sim.Artifact.a_builds
+           s.Sim.Artifact.a_evictions))
+    st.Driver.Server.st_caches;
+  let ns = st.Driver.Server.st_native in
+  Buffer.add_string b
+    (Printf.sprintf
+       "],\"native\":{\"memo_hits\":%d,\"disk_hits\":%d,\"compiles\":%d,\
+        \"memo_entries\":%d,\"memo_evictions\":%d}}"
+       ns.Sim.Native.memo_hits ns.Sim.Native.disk_hits
+       ns.Sim.Native.compiles ns.Sim.Native.memo_entries
+       ns.Sim.Native.memo_evictions);
+  Buffer.contents b
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Worker domains (default: the machine's recommended count).")
+
+let sample_every_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "sample-every" ] ~docv:"N"
+        ~doc:
+          "Run the instrumented profiling shadow on every N-th request per \
+           worker (the served artifact is never instrumented).")
+
+let merge_every_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "merge-every" ] ~docv:"N"
+        ~doc:
+          "Shadow runs accumulated across workers before an opportunistic \
+           shard merge into the global profile.")
+
+let drift_min_execs_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "drift-min-execs" ] ~docv:"N"
+        ~doc:
+          "New profile executions required after the last (re-)optimization \
+           before the drift check may re-optimize — damping against \
+           artifact thrash.")
+
+let serve_cmd =
+  let run domains sample_every merge_every drift_min_execs backend ncache_dir
+      no_ncache =
+    handle_errors (fun () ->
+        apply_native_opts ncache_dir no_ncache;
+        let backend = resolve_backend backend in
+        let config =
+          {
+            Driver.Config.default with
+            Driver.Config.backend;
+            native_cache_dir = ncache_dir;
+            native_cache = not no_ncache;
+          }
+        in
+        let srv =
+          Driver.Server.create ~config ?domains ~sample_every ~merge_every
+            ~drift_min_execs ()
+        in
+        let out_lock = Mutex.create () in
+        let print_line s =
+          Mutex.lock out_lock;
+          print_string s;
+          print_newline ();
+          flush stdout;
+          Mutex.unlock out_lock
+        in
+        let pend_lock = Mutex.create () in
+        let pend_cond = Condition.create () in
+        let pending = ref 0 in
+        let drain () =
+          Mutex.lock pend_lock;
+          while !pending > 0 do
+            Condition.wait pend_cond pend_lock
+          done;
+          Mutex.unlock pend_lock
+        in
+        let request_for name seed =
+          if String.equal name Driver.Replay.drift_name then
+            ( Driver.Replay.drift_source,
+              Driver.Replay.drift_input ~phase:(abs seed land 1) ~seed )
+          else
+            let w = Workloads.Registry.find name in
+            ( w.Workloads.Spec.source,
+              Driver.Replay.input_slice ~seed
+                (Lazy.force w.Workloads.Spec.test_input) )
+        in
+        let render id (r : Driver.Server.response) =
+          if String.equal r.Driver.Server.rs_status "ok" then
+            Printf.sprintf
+              "resp %d ok program=%s gen=%d cold=%b backend=%s exit=%d \
+               ms=%.3f bytes=%d md5=%s"
+              id r.Driver.Server.rs_program r.Driver.Server.rs_generation
+              r.Driver.Server.rs_cold r.Driver.Server.rs_backend
+              r.Driver.Server.rs_exit_code r.Driver.Server.rs_wall_ms
+              (String.length r.Driver.Server.rs_output)
+              (Digest.to_hex (Digest.string r.Driver.Server.rs_output))
+          else
+            Printf.sprintf "resp %d %s program=%s msg=%S" id
+              r.Driver.Server.rs_status r.Driver.Server.rs_program
+              r.Driver.Server.rs_message
+        in
+        print_line
+          (Printf.sprintf "ready domains=%d backend=%s"
+             (Driver.Server.domains srv)
+             (Driver.Config.backend_name backend));
+        let next_id = ref 0 in
+        let quit = ref false in
+        while not !quit do
+          match input_line stdin with
+          | exception End_of_file -> quit := true
+          | line -> (
+            let words =
+              String.split_on_char ' ' (String.trim line)
+              |> List.filter (fun s -> not (String.equal s ""))
+            in
+            match words with
+            | [] -> ()
+            | [ "quit" ] | [ "exit" ] -> quit := true
+            | [ "sync" ] ->
+              drain ();
+              Driver.Server.sync srv;
+              print_line "synced"
+            | [ "stats" ] ->
+              print_line ("stats " ^ server_stats_json (Driver.Server.stats srv))
+            | "run" :: name :: rest -> (
+              let seed =
+                match rest with
+                | [] -> 0
+                | s :: _ -> ( try int_of_string s with _ -> 0)
+              in
+              incr next_id;
+              let id = !next_id in
+              match request_for name seed with
+              | exception Not_found ->
+                print_line
+                  (Printf.sprintf "resp %d err unknown workload %S" id name)
+              | source, input ->
+                Mutex.lock pend_lock;
+                incr pending;
+                Mutex.unlock pend_lock;
+                Driver.Server.post srv ~name ~source ~input (fun r ->
+                    print_line (render id r);
+                    Mutex.lock pend_lock;
+                    decr pending;
+                    if !pending = 0 then Condition.broadcast pend_cond;
+                    Mutex.unlock pend_lock))
+            | _ -> print_line (Printf.sprintf "err unknown command %S" line))
+        done;
+        drain ();
+        Driver.Server.shutdown srv;
+        print_line "bye")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running optimization service: a line protocol on \
+          stdin/stdout over a worker-domain pool with content-hash \
+          artifact caches, sharded online profiles and drift-triggered \
+          re-optimization.  Requests: $(b,run WORKLOAD [SEED]) (responses \
+          arrive as they finish, tagged $(b,resp ID ...); the built-in \
+          $(b,drift) workload maps even seeds to phase-0 and odd seeds to \
+          phase-1 inputs), $(b,sync) (drain, merge shards, run the drift \
+          check), $(b,stats) (one JSON line), $(b,quit).")
+    Term.(
+      const run $ domains_arg $ sample_every_arg $ merge_every_arg
+      $ drift_min_execs_arg 32 $ backend_arg `Compiled $ native_cache_dir_arg
+      $ no_native_cache_arg)
+
+(* ------------------------------------------------------------------ *)
+(* replay: simulated production traffic against a server               *)
+(* ------------------------------------------------------------------ *)
+
+let replay_cmd =
+  let run requests concurrency workloads seed no_drift sample_every
+      merge_every drift_min_execs check_every json_path quiet backend
+      ncache_dir no_ncache =
+    handle_errors (fun () ->
+        apply_native_opts ncache_dir no_ncache;
+        let backend = resolve_backend backend in
+        let config =
+          {
+            Driver.Config.default with
+            Driver.Config.backend;
+            native_cache_dir = ncache_dir;
+            native_cache = not no_ncache;
+          }
+        in
+        let workloads =
+          Option.map
+            (fun s ->
+              String.split_on_char ',' s
+              |> List.map String.trim
+              |> List.filter (fun w -> not (String.equal w "")))
+            workloads
+        in
+        let progress = if quiet then None else Some prerr_endline in
+        let o =
+          Driver.Replay.run ~config ?workloads ~requests ?concurrency ~seed
+            ~drift:(not no_drift) ~sample_every ~merge_every ~drift_min_execs
+            ~check_every ?progress ()
+        in
+        Printf.printf "requests:    %d ok, %d failed (%d domains)\n"
+          o.Driver.Replay.ro_ok o.Driver.Replay.ro_failed
+          o.Driver.Replay.ro_stats.Driver.Server.st_domains;
+        Printf.printf "throughput:  %.1f req/s over %.2fs\n"
+          o.Driver.Replay.ro_throughput_rps o.Driver.Replay.ro_elapsed_s;
+        Printf.printf "latency:     p50 %.3f ms, p99 %.3f ms\n"
+          o.Driver.Replay.ro_p50_ms o.Driver.Replay.ro_p99_ms;
+        Printf.printf "cold:        %.2f ms/request (%.1f req/s)\n"
+          o.Driver.Replay.ro_cold_ms o.Driver.Replay.ro_cold_rps;
+        Printf.printf "warm/cold:   %.1fx\n" o.Driver.Replay.ro_warm_ratio;
+        List.iter
+          (fun (s : Sim.Artifact.stats) ->
+            let total = s.Sim.Artifact.a_hits + s.Sim.Artifact.a_misses in
+            Printf.printf
+              "cache %-9s %d hit(s) / %d request(s) (%.1f%%), %d build(s)\n"
+              (s.Sim.Artifact.a_name ^ ":")
+              s.Sim.Artifact.a_hits total
+              (if total = 0 then 0.
+               else 100. *. float_of_int s.Sim.Artifact.a_hits /. float_of_int total)
+              s.Sim.Artifact.a_builds)
+          o.Driver.Replay.ro_stats.Driver.Server.st_caches;
+        Printf.printf "profiles:    %d shadow run(s), %d merge(s)\n"
+          o.Driver.Replay.ro_stats.Driver.Server.st_shadow_runs
+          o.Driver.Replay.ro_stats.Driver.Server.st_merges;
+        Printf.printf "re-opts:     %d\n" o.Driver.Replay.ro_reopts;
+        List.iter
+          (fun (e : Driver.Server.reopt_event) ->
+            Printf.printf
+              "  %s: generation %d at %d profiled execution(s)\n"
+              e.Driver.Server.re_program e.Driver.Server.re_generation
+              e.Driver.Server.re_executions)
+          o.Driver.Replay.ro_events;
+        Printf.printf "checked:     %d against the reference oracle, %d \
+                       mismatch(es)\n"
+          o.Driver.Replay.ro_checked o.Driver.Replay.ro_mismatches;
+        (match json_path with
+        | Some path ->
+          Driver.Replay.write_json ~path o;
+          Printf.printf "wrote %s\n" path
+        | None -> ());
+        if o.Driver.Replay.ro_mismatches > 0 || o.Driver.Replay.ro_failed > 0
+        then exit 1)
+  in
+  let requests =
+    Arg.(
+      value & opt int 1000
+      & info [ "requests"; "n" ] ~docv:"N" ~doc:"Timed requests to fire.")
+  in
+  let concurrency =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "concurrency"; "j" ] ~docv:"N"
+          ~doc:"Worker domains / requests in flight (default: recommended).")
+  in
+  let workloads =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workloads" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated workload subset for the request mix (default: \
+             all 17 built-ins).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Deterministic input-slice seed.")
+  in
+  let no_drift =
+    Arg.(
+      value & flag
+      & info [ "no-drift" ]
+          ~doc:
+            "Leave the synthetic drifting workload out of the mix (no \
+             mid-stream re-optimization demo).")
+  in
+  let check_every =
+    Arg.(
+      value & opt int 16
+      & info [ "check-every" ] ~docv:"N"
+          ~doc:
+            "Differentially check every N-th response against the \
+             reference-interpreter oracle (0 disables).")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable benchmark record here.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ] ~doc:"Suppress phase progress on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Fire a mixed stream of workload requests at an in-process \
+          optimization server and report throughput, p50/p99 latency, \
+          cache hit rates and drift re-optimizations (exits nonzero on \
+          any failed request or oracle mismatch).")
+    Term.(
+      const run $ requests $ concurrency $ workloads $ seed $ no_drift
+      $ sample_every_arg $ merge_every_arg $ drift_min_execs_arg 64
+      $ check_every $ json_path $ quiet $ backend_arg `Compiled
+      $ native_cache_dir_arg $ no_native_cache_arg)
+
 let main =
   Cmd.group
     (Cmd.info "bromc" ~version:"1.0.0"
@@ -1087,6 +1472,6 @@ let main =
          "Branch-reordering MiniC compiler (PLDI 1998 reproduction: Yang, Uh \
           & Whalley).")
     [ compile_cmd; run_cmd; reorder_cmd; suite_cmd; fuzz_cmd; lint_cmd;
-      dot_cmd; workloads_cmd; cache_cmd ]
+      dot_cmd; workloads_cmd; cache_cmd; serve_cmd; replay_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,58 @@
+(* re-run the paper's selection (same compatibility filter and cost
+   model as Pass.run) against a profile table, without applying
+   anything, and render the outcome as a comparable string *)
+
+let seq_signature ?(selector = `Greedy) ?(keep_original_default = false)
+    (p : Mir.Program.t) (seq : Detect.t) table =
+  let view = Profiles.counts table seq in
+  if view.Profiles.total = 0 then "?"
+  else begin
+    let fn = Mir.Program.find_func p seq.Detect.func_name in
+    let ccl = Analysis.Cc_live.analyze fn in
+    let input = Profiles.select_input seq view in
+    let compatible eliminated =
+      Apply.compatible_for ~cc:ccl fn seq eliminated
+      && ((not keep_original_default)
+         || List.for_all
+              (fun (it : Select.input_item) ->
+                String.equal it.Select.in_target seq.Detect.default_target)
+              eliminated)
+    in
+    let choice =
+      match selector with
+      | `Greedy -> Select.greedy ~compatible ~total:view.Profiles.total input
+      | `Exhaustive ->
+        if List.length input > 14 then
+          Select.greedy ~compatible ~total:view.Profiles.total input
+        else
+          Select.exhaustive ~compatible ~max_items:14
+            ~total:view.Profiles.total input
+    in
+    match choice with
+    | None -> "?"
+    | Some c ->
+      let payloads items =
+        String.concat ","
+          (List.map
+             (fun (it : Select.input_item) -> string_of_int it.Select.in_payload)
+             items)
+      in
+      Printf.sprintf "%s|%s>%s"
+        (payloads c.Select.ordered)
+        (payloads
+           (List.sort
+              (fun (a : Select.input_item) (b : Select.input_item) ->
+                Int.compare a.Select.in_payload b.Select.in_payload)
+              c.Select.eliminated))
+        c.Select.default_target
+  end
+
+let signature ?selector ?keep_original_default (p : Mir.Program.t) seqs table =
+  String.concat ";"
+    (List.map
+       (fun (seq : Detect.t) ->
+         Printf.sprintf "%d:%s" seq.Detect.seq_id
+           (seq_signature ?selector ?keep_original_default p seq table))
+       seqs)
+
+let drifted ~served ~current = not (String.equal served current)

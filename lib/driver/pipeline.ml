@@ -157,6 +157,47 @@ let measure (config : Config.t) ?bank prog ~input =
     v_cycles = cycles;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Cache-aware entry points                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* the serving daemon caches each stage's artifact by content hash and
+   re-runs later stages alone (re-optimization against merged profiles
+   must not re-parse or re-detect), so the batch pipeline's stages are
+   also exposed one at a time *)
+
+let detect_seqs (config : Config.t) base =
+  if config.Config.reorder_enabled then
+    Reorder.Detect.find_program ~facts:config.Config.analysis_facts base
+  else []
+
+let instrument (config : Config.t) base seqs =
+  let train_prog = Mir.Clone.program base in
+  let table = Reorder.Profiles.instrument train_prog seqs in
+  if config.Config.validate then Mir.Validate.check train_prog;
+  (train_prog, table)
+
+let reoptimize (config : Config.t) ~name base seqs table =
+  let reord = Mir.Clone.program base in
+  let report =
+    Reorder.Pass.run ~options:config.Config.apply_options
+      ~selector:config.Config.selector
+      ~keep_original_default:config.Config.keep_original_default
+      ?coalesce_machine:config.Config.coalesce_machine reord seqs table
+  in
+  if config.Config.verify then begin
+    let summary = Check.Verify.certify_report ~before:base ~after:reord report in
+    if not (Check.Verify.ok summary) then
+      failwith
+        (Printf.sprintf "%s: translation validation failed:\n  %s" name
+           (String.concat "\n  " (Check.Verify.all_errors summary)))
+  end;
+  ignore
+    (Mopt.Cleanup.finalize ~steal_delay_slots:config.Config.delay_fill_from_target
+       reord);
+  if config.Config.validate then Mir.Validate.check reord;
+  (reord, report)
+
 let run ?(config = Config.default) ?on_stage ~name ~source ~training_input
     ~test_input () =
   let stage label f =
@@ -173,12 +214,7 @@ let run ?(config = Config.default) ?on_stage ~name ~source ~training_input
   (* detection on the optimized base *)
   let seqs, combs, pairs =
     stage "detect" (fun () ->
-        let seqs =
-          if config.Config.reorder_enabled then
-            Reorder.Detect.find_program ~facts:config.Config.analysis_facts
-              base
-          else []
-        in
+        let seqs = detect_seqs config base in
         let seq_blocks = Hashtbl.create 64 in
         List.iter
           (fun (s : Reorder.Detect.t) ->

@@ -42,6 +42,35 @@ val compile_base : Config.t -> string -> Mir.Program.t
 (** Front end + switch lowering + conventional optimizations (no
     reordering, no delay slots). *)
 
+(** {2 Cache-aware entry points}
+
+    The serving daemon ({!Server}) caches each stage's artifact by
+    content hash and re-runs later stages alone — re-optimizing a
+    program against merged live profiles must not re-parse or
+    re-detect — so the batch pipeline's stages are also exposed one at
+    a time.  {!run} is built from the same pieces. *)
+
+val detect_seqs : Config.t -> Mir.Program.t -> Reorder.Detect.t list
+(** Sequence detection on an optimized base ([] when reordering is
+    disabled), honoring {!Config.t.analysis_facts}. *)
+
+val instrument : Config.t -> Mir.Program.t -> Reorder.Detect.t list ->
+  Mir.Program.t * Sim.Profile.t
+(** Clone the base and splice profiling pseudo-instructions at every
+    sequence head; the returned table has a zeroed counter set
+    registered per sequence (run the clone with [~profile] to fill it,
+    or {!Sim.Profile.copy_shape} it into per-domain shards). *)
+
+val reoptimize :
+  Config.t -> name:string -> Mir.Program.t -> Reorder.Detect.t list ->
+  Sim.Profile.t -> Mir.Program.t * Reorder.Pass.report
+(** Clone the base, run the reordering pass under [table]'s counts
+    (translation-validating when {!Config.t.verify} is set), finalize
+    (cleanup + delay slots) and validate.  Returns the servable program
+    and the pass report.  Unlike {!run} this performs no training run,
+    no measurement, and no common-successor rewrites: it is the
+    re-optimization step of a daemon that already owns live profiles. *)
+
 val measure :
   Config.t -> ?bank:Sim.Predictor.bank -> Mir.Program.t -> input:string ->
   version

@@ -142,3 +142,109 @@ let timed_map ?domains ?label f xs =
       let r = f x in
       (r, Unix.gettimeofday () -. t0))
     xs
+
+(* ------------------------------------------------------------------ *)
+(* Long-lived worker pool                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* [map] and friends spawn domains per call, which is the right shape
+   for batch fan-out but not for a daemon taking an open-ended request
+   stream: domain spawn is milliseconds, and per-domain state (profile
+   shards) needs workers with stable identities.  [Workers] keeps [n]
+   domains alive pulling tasks off one queue; every task learns the
+   index of the worker running it. *)
+module Workers = struct
+  type t = {
+    mutable w_domains : unit Domain.t list;
+    w_queue : (worker:int -> unit) Queue.t;
+    w_lock : Mutex.t;
+    w_nonempty : Condition.t;
+    mutable w_stopping : bool;
+    w_size : int;
+  }
+
+  let size t = t.w_size
+
+  let worker_loop t w =
+    let continue = ref true in
+    while !continue do
+      Mutex.lock t.w_lock;
+      while Queue.is_empty t.w_queue && not t.w_stopping do
+        Condition.wait t.w_nonempty t.w_lock
+      done;
+      if Queue.is_empty t.w_queue then begin
+        (* stopping and drained *)
+        Mutex.unlock t.w_lock;
+        continue := false
+      end
+      else begin
+        let task = Queue.pop t.w_queue in
+        Mutex.unlock t.w_lock;
+        (* a task that escapes with an exception must not take its
+           worker down with it; tasks that care wrap their own work *)
+        try task ~worker:w
+        with e ->
+          Printf.eprintf "[pool] WARNING: worker %d task raised %s\n%!" w
+            (Printexc.to_string e)
+      end
+    done
+
+  let create ?domains () =
+    let d =
+      max 1 (match domains with Some d -> d | None -> default_domains ())
+    in
+    let t =
+      {
+        w_domains = [];
+        w_queue = Queue.create ();
+        w_lock = Mutex.create ();
+        w_nonempty = Condition.create ();
+        w_stopping = false;
+        w_size = d;
+      }
+    in
+    t.w_domains <- List.init d (fun w -> Domain.spawn (fun () -> worker_loop t w));
+    t
+
+  let post t task =
+    Mutex.lock t.w_lock;
+    if t.w_stopping then begin
+      Mutex.unlock t.w_lock;
+      invalid_arg "Pool.Workers.post: pool is shut down"
+    end;
+    Queue.push task t.w_queue;
+    Condition.signal t.w_nonempty;
+    Mutex.unlock t.w_lock
+
+  let run t f =
+    let m = Mutex.create () in
+    let c = Condition.create () in
+    let cell = ref None in
+    post t (fun ~worker ->
+        let r =
+          try Stdlib.Ok (f ~worker)
+          with e -> Stdlib.Error (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock m;
+        cell := Some r;
+        Condition.signal c;
+        Mutex.unlock m);
+    Mutex.lock m;
+    while Option.is_none !cell do
+      Condition.wait c m
+    done;
+    let r = Option.get !cell in
+    Mutex.unlock m;
+    match r with
+    | Stdlib.Ok v -> v
+    | Stdlib.Error (e, bt) -> Printexc.raise_with_backtrace e bt
+
+  let shutdown t =
+    Mutex.lock t.w_lock;
+    let ds = t.w_domains in
+    t.w_stopping <- true;
+    t.w_domains <- [];
+    Condition.broadcast t.w_nonempty;
+    Mutex.unlock t.w_lock;
+    List.iter Domain.join ds
+end

@@ -77,3 +77,38 @@ val timed_map :
   ('b * float) list
 (** {!map} that also reports each item's wall-clock seconds, measured
     inside the worker domain. *)
+
+(** {2 Long-lived worker pool}
+
+    {!map} and friends spawn fresh domains per call — right for batch
+    fan-out, wrong for a daemon serving an open-ended request stream,
+    which wants the spawn cost paid once and stable worker identities
+    (per-domain profile shards are indexed by worker).  A {!Workers.t}
+    keeps [n] domains alive pulling tasks off one queue until
+    {!Workers.shutdown} drains and joins them. *)
+module Workers : sig
+  type t
+
+  val create : ?domains:int -> unit -> t
+  (** Spawn the worker domains now ({!default_domains} when [?domains]
+      is omitted; always at least 1). *)
+
+  val size : t -> int
+  (** Number of worker domains; worker indices are [0 .. size-1]. *)
+
+  val post : t -> (worker:int -> unit) -> unit
+  (** Enqueue a task, return immediately.  Tasks run in FIFO claim
+      order on whichever worker frees up first.  A task that escapes
+      with an exception is reported on stderr and its worker keeps
+      going.  Raises [Invalid_argument] after {!shutdown}. *)
+
+  val run : t -> (worker:int -> 'a) -> 'a
+  (** Enqueue a task and block until it finishes, returning its result
+      (or re-raising its exception with the original backtrace).  Must
+      not be called from inside a pool task: with every worker waiting
+      the pool would deadlock. *)
+
+  val shutdown : t -> unit
+  (** Stop accepting tasks, let the queue drain, join every worker.
+      Idempotent. *)
+end

@@ -1,0 +1,371 @@
+type outcome = {
+  ro_requests : int;
+  ro_ok : int;
+  ro_failed : int;
+  ro_elapsed_s : float;
+  ro_throughput_rps : float;
+  ro_p50_ms : float;
+  ro_p99_ms : float;
+  ro_cold_ms : float;
+  ro_cold_rps : float;
+  ro_warm_ratio : float;
+  ro_checked : int;
+  ro_mismatches : int;
+  ro_reopts : int;
+  ro_events : Server.reopt_event list;
+  ro_stats : Server.stats;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The synthetic drift workload                                        *)
+(* ------------------------------------------------------------------ *)
+
+let drift_name = "drift"
+
+(* a char-class dispatch chain over mutually exclusive equality tests
+   (so every arm order is cc-compatible and Eq. 1-4 alone picks the
+   layout): the hot arm is whatever class the input stream is made of —
+   shifting the input mix shifts the optimal ordering *)
+let drift_body =
+  {|
+int digits;
+int uppers;
+int lowers;
+int others;
+
+int main() {
+  int c;
+  digits = 0;
+  uppers = 0;
+  lowers = 0;
+  others = 0;
+  while ((c = getchar()) != EOF) {
+    if (c == '5')
+      digits++;
+    else if (c == 'Z')
+      uppers++;
+    else if (c == 'l')
+      lowers++;
+    else
+      others++;
+  }
+  print_num(digits);
+  putchar(' ');
+  print_num(uppers);
+  putchar(' ');
+  print_num(lowers);
+  putchar(' ');
+  print_num(others);
+  putchar('\n');
+  return 0;
+}
+|}
+
+let drift_spec =
+  Workloads.Spec.make ~name:drift_name
+    ~description:"synthetic char-class dispatch whose input bias flips"
+    ~source:drift_body
+    ~training_input:(lazy "")
+    ~test_input:(lazy "")
+
+let drift_source = drift_spec.Workloads.Spec.source
+
+let drift_input ~phase ~seed =
+  let state = ref (((seed * 2654435761) lxor 0x5bf03635) land 0x3FFFFFFF) in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  (* phase 1 is digit-heavy and longer, so the accumulated global
+     profile overtakes phase 0's lowercase majority; the cold classes
+     appear a little so every arm has nonzero counts *)
+  let len, hot, alts =
+    if phase = 0 then (600, 'l', [| '5'; 'Z'; 'x' |])
+    else (2400, '5', [| 'l'; 'Z'; 'x' |])
+  in
+  String.init len (fun _ ->
+      let n = next () in
+      if n mod 10 < 9 then hot else alts.(n mod 3))
+
+(* ------------------------------------------------------------------ *)
+(* Request inputs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let input_slice ?(max_bytes = 2048) ~seed text =
+  let len = String.length text in
+  if len = 0 then ""
+  else begin
+    let window = min len max_bytes in
+    let target = max 1 (window * (1 + (abs seed mod 4)) / 4) in
+    let cut =
+      match String.rindex_from_opt text (target - 1) '\n' with
+      | Some i when i > 0 -> i + 1
+      | _ -> target
+    in
+    String.sub text 0 cut
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The replay                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type req = { q_name : string; q_source : string; q_input : string }
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (n * p / 100))
+
+let run ?(config = Config.default) ?(workloads = []) ?(requests = 1000)
+    ?concurrency ?(seed = 42) ?(drift = true) ?(sample_every = 2)
+    ?(merge_every = 8) ?(drift_min_execs = 64) ?(check_every = 16)
+    ?(progress = fun _ -> ()) () =
+  let names =
+    match workloads with [] -> Workloads.Registry.names | ns -> ns
+  in
+  let specs =
+    List.map
+      (fun n ->
+        match Workloads.Registry.find n with
+        | s -> s
+        | exception Not_found -> failwith ("replay: unknown workload " ^ n))
+      names
+  in
+  (* force lazies on this domain before any fan-out *)
+  let mix =
+    List.map
+      (fun (s : Workloads.Spec.t) ->
+        (s.Workloads.Spec.name, s.Workloads.Spec.source,
+         Lazy.force s.Workloads.Spec.test_input))
+      specs
+  in
+  let mix = Array.of_list mix in
+  let n_mix = Array.length mix + if drift then 1 else 0 in
+  let half = requests / 2 in
+  let request i =
+    let slot = i mod n_mix in
+    if drift && slot = n_mix - 1 then
+      let phase = if i < half then 0 else 1 in
+      {
+        q_name = drift_name;
+        q_source = drift_source;
+        q_input = drift_input ~phase ~seed:(seed + i);
+      }
+    else
+      let name, source, test_input = mix.(slot) in
+      { q_name = name; q_source = source;
+        q_input = input_slice ~seed:(seed + i) test_input }
+  in
+  let reqs = Array.init requests request in
+
+  (* cold baseline: one request per distinct program against a fresh
+     single-domain server with empty caches — every request pays
+     parse + detect + train + reorder + predecode + compile *)
+  progress "cold baseline (fresh server per program)";
+  let distinct =
+    Array.to_list (Array.map (fun (n, s, t) -> (n, s, input_slice ~seed t)) mix)
+    @ (if drift then
+         [ (drift_name, drift_source, drift_input ~phase:0 ~seed) ]
+       else [])
+  in
+  let cold_total = ref 0.0 in
+  List.iter
+    (fun (name, source, input) ->
+      let srv = Server.create ~config ~domains:1 ~sample_every:1_000_000 () in
+      let t0 = Unix.gettimeofday () in
+      let r = Server.submit srv ~name ~source ~input in
+      cold_total := !cold_total +. (Unix.gettimeofday () -. t0);
+      if r.Server.rs_status <> "ok" then
+        failwith
+          (Printf.sprintf "replay: cold request for %s failed: %s %s" name
+             r.Server.rs_status r.Server.rs_message);
+      Server.shutdown srv)
+    distinct;
+  let cold_ms = !cold_total /. float_of_int (List.length distinct) *. 1000.0 in
+
+  (* warm service: one long-lived server; warm every program up
+     (untimed), then fire the two timed waves with a sync between *)
+  let server =
+    Server.create ~config ?domains:concurrency ~sample_every ~merge_every
+      ~drift_min_execs ()
+  in
+  progress
+    (Printf.sprintf "warmup (%d programs, %d domains)" (List.length distinct)
+       (Server.domains server));
+  List.iter
+    (fun (name, source, input) ->
+      ignore (Server.submit server ~name ~source ~input))
+    distinct;
+
+  let responses : Server.response option array = Array.make requests None in
+  let fire lo hi =
+    let m = Mutex.create () in
+    let c = Condition.create () in
+    let pending = ref (hi - lo) in
+    for i = lo to hi - 1 do
+      let q = reqs.(i) in
+      Server.post server ~name:q.q_name ~source:q.q_source ~input:q.q_input
+        (fun r ->
+          responses.(i) <- Some r;
+          Mutex.lock m;
+          decr pending;
+          if !pending = 0 then Condition.signal c;
+          Mutex.unlock m)
+    done;
+    Mutex.lock m;
+    while !pending > 0 do
+      Condition.wait c m
+    done;
+    Mutex.unlock m
+  in
+  progress (Printf.sprintf "wave 1: requests 0..%d" (half - 1));
+  let t0 = Unix.gettimeofday () in
+  fire 0 half;
+  Server.sync server;
+  progress (Printf.sprintf "wave 2: requests %d..%d" half (requests - 1));
+  fire half requests;
+  Server.sync server;
+  let elapsed = Unix.gettimeofday () -. t0 in
+
+  (* differential sample against the reference oracle *)
+  let checked = ref 0 and mismatches = ref 0 in
+  if check_every > 0 then begin
+    progress "differential check against the reference interpreter";
+    let i = ref 0 in
+    while !i < requests do
+      (match responses.(!i) with
+      | Some r when r.Server.rs_status = "ok" ->
+        let q = reqs.(!i) in
+        let out, code =
+          Server.oracle server ~name:q.q_name ~source:q.q_source
+            ~input:q.q_input
+        in
+        incr checked;
+        if
+          (not (String.equal out r.Server.rs_output))
+          || code <> r.Server.rs_exit_code
+        then incr mismatches
+      | _ -> ());
+      i := !i + check_every
+    done
+  end;
+
+  let stats = Server.stats server in
+  let events = Server.reopt_events server in
+  Server.shutdown server;
+
+  let ok = ref 0 and failed = ref 0 in
+  let lats = ref [] in
+  Array.iter
+    (function
+      | Some (r : Server.response) ->
+        if r.Server.rs_status = "ok" then begin
+          incr ok;
+          lats := r.Server.rs_wall_ms :: !lats
+        end
+        else incr failed
+      | None -> incr failed)
+    responses;
+  let sorted = Array.of_list !lats in
+  Array.sort compare sorted;
+  let throughput =
+    if elapsed > 0.0 then float_of_int !ok /. elapsed else 0.0
+  in
+  let cold_rps = if cold_ms > 0.0 then 1000.0 /. cold_ms else 0.0 in
+  {
+    ro_requests = requests;
+    ro_ok = !ok;
+    ro_failed = !failed;
+    ro_elapsed_s = elapsed;
+    ro_throughput_rps = throughput;
+    ro_p50_ms = percentile sorted 50;
+    ro_p99_ms = percentile sorted 99;
+    ro_cold_ms = cold_ms;
+    ro_cold_rps = cold_rps;
+    ro_warm_ratio = (if cold_rps > 0.0 then throughput /. cold_rps else 0.0);
+    ro_checked = !checked;
+    ro_mismatches = !mismatches;
+    ro_reopts = stats.Server.st_reopts;
+    ro_events = events;
+    ro_stats = stats;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_PR7.json                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~path (o : outcome) =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"bench\": \"serve_replay\",\n";
+  p "  \"requests\": %d,\n" o.ro_requests;
+  p "  \"ok\": %d,\n" o.ro_ok;
+  p "  \"failed\": %d,\n" o.ro_failed;
+  p "  \"domains\": %d,\n" o.ro_stats.Server.st_domains;
+  p "  \"elapsed_s\": %.6f,\n" o.ro_elapsed_s;
+  p "  \"throughput_rps\": %.2f,\n" o.ro_throughput_rps;
+  p "  \"p50_ms\": %.4f,\n" o.ro_p50_ms;
+  p "  \"p99_ms\": %.4f,\n" o.ro_p99_ms;
+  p "  \"cold_ms_per_request\": %.4f,\n" o.ro_cold_ms;
+  p "  \"cold_rps\": %.2f,\n" o.ro_cold_rps;
+  p "  \"warm_vs_cold_ratio\": %.2f,\n" o.ro_warm_ratio;
+  p "  \"checked\": %d,\n" o.ro_checked;
+  p "  \"mismatches\": %d,\n" o.ro_mismatches;
+  p "  \"server\": { \"requests\": %d, \"cold\": %d, \"shadow_runs\": %d, \"merges\": %d, \"reopts\": %d },\n"
+    o.ro_stats.Server.st_requests o.ro_stats.Server.st_cold
+    o.ro_stats.Server.st_shadow_runs o.ro_stats.Server.st_merges
+    o.ro_stats.Server.st_reopts;
+  p "  \"caches\": [\n";
+  let n_caches = List.length o.ro_stats.Server.st_caches in
+  List.iteri
+    (fun i (s : Sim.Artifact.stats) ->
+      p
+        "    { \"name\": \"%s\", \"entries\": %d, \"capacity\": %d, \
+         \"hits\": %d, \"misses\": %d, \"builds\": %d, \"evictions\": %d, \
+         \"failures\": %d }%s\n"
+        (json_escape s.Sim.Artifact.a_name)
+        s.Sim.Artifact.a_entries s.Sim.Artifact.a_capacity
+        s.Sim.Artifact.a_hits s.Sim.Artifact.a_misses s.Sim.Artifact.a_builds
+        s.Sim.Artifact.a_evictions s.Sim.Artifact.a_failures
+        (if i = n_caches - 1 then "" else ","))
+    o.ro_stats.Server.st_caches;
+  p "  ],\n";
+  let ns = o.ro_stats.Server.st_native in
+  p
+    "  \"native\": { \"memo_hits\": %d, \"disk_hits\": %d, \"misses\": %d, \
+     \"compiles\": %d, \"memo_evictions\": %d, \"memo_entries\": %d, \
+     \"memo_capacity\": %d },\n"
+    ns.Sim.Native.memo_hits ns.Sim.Native.disk_hits ns.Sim.Native.misses
+    ns.Sim.Native.compiles ns.Sim.Native.memo_evictions
+    ns.Sim.Native.memo_entries ns.Sim.Native.memo_capacity;
+  p "  \"reopt_events\": [\n";
+  let n_ev = List.length o.ro_events in
+  List.iteri
+    (fun i (e : Server.reopt_event) ->
+      p
+        "    { \"program\": \"%s\", \"generation\": %d, \"executions\": %d, \
+         \"signature\": \"%s\" }%s\n"
+        (json_escape e.Server.re_program)
+        e.Server.re_generation e.Server.re_executions
+        (json_escape e.Server.re_signature)
+        (if i = n_ev - 1 then "" else ","))
+    o.ro_events;
+  p "  ]\n";
+  p "}\n";
+  close_out oc

@@ -1,0 +1,480 @@
+type response = {
+  rs_program : string;
+  rs_status : string;
+  rs_output : string;
+  rs_exit_code : int;
+  rs_backend : string;
+  rs_generation : int;
+  rs_cold : bool;
+  rs_message : string;
+  rs_wall_ms : float;
+}
+
+type reopt_event = {
+  re_program : string;
+  re_generation : int;
+  re_executions : int;
+  re_signature : string;
+}
+
+type stats = {
+  st_requests : int;
+  st_cold : int;
+  st_shadow_runs : int;
+  st_merges : int;
+  st_reopts : int;
+  st_domains : int;
+  st_caches : Sim.Artifact.stats list;
+  st_native : Sim.Native.stats;
+  st_mispredicts : ((int * int * int) * (int * int)) list;
+}
+
+(* the artifacts one generation serves from; swapped atomically as a
+   whole so a request never mixes generations *)
+type artifact = {
+  a_generation : int;
+  a_signature : string;  (* Drift.signature at (re-)optimization time *)
+  a_served : Mir.Program.t;  (* reordered + finalized *)
+  a_image : Sim.Image.t;
+  a_compiled : Sim.Compiled.t;
+}
+
+type entry = {
+  e_key : string;
+  e_name : string;
+  e_base : Mir.Program.t;  (* optimized base, never transformed *)
+  e_seqs : Reorder.Detect.t list;
+  e_train_compiled : Sim.Compiled.t;  (* instrumented clone, compiled *)
+  e_global : Sim.Profile.t;  (* merged profile; counts under e_merge *)
+  e_shards : (Mutex.t * Sim.Profile.t) array;  (* one per worker *)
+  e_artifact : artifact Atomic.t;
+  e_merge : Mutex.t;  (* serializes merge + drift check + re-opt *)
+  mutable e_last_opt_execs : int;  (* under e_merge *)
+  e_pending : int Atomic.t;  (* shadow runs since last merge attempt *)
+}
+
+type t = {
+  config : Config.t;
+  policy : Guard.policy;
+  pool : Pool.Workers.t;
+  sample_every : int;
+  merge_every : int;
+  drift_min_execs : int;
+  programs : entry Sim.Artifact.t;
+  mir_cache : Mir.Program.t Sim.Artifact.t;
+  image_cache : Sim.Image.t Sim.Artifact.t;
+  closure_cache : Sim.Compiled.t Sim.Artifact.t;
+  entries : entry list ref;  (* for sync/stats iteration *)
+  entries_lock : Mutex.t;
+  ticks : int array;  (* per-worker request count (worker-private slot) *)
+  banks : Sim.Predictor.bank array;  (* per-worker shadow telemetry *)
+  bank_locks : Mutex.t array;
+  bank_global : Sim.Predictor.bank;
+  bank_global_lock : Mutex.t;
+  requests : int Atomic.t;
+  cold : int Atomic.t;
+  shadow_runs : int Atomic.t;
+  merges : int Atomic.t;
+  reopts : int Atomic.t;
+  events : reopt_event list ref;
+  events_lock : Mutex.t;
+  mutable stopped : bool;
+}
+
+let domains t = Pool.Workers.size t.pool
+
+(* only plain-data config fields may feed the content hash (closures
+   hash by address, which would defeat cross-request sharing) *)
+let config_fingerprint (c : Config.t) =
+  string_of_int
+    (Hashtbl.hash
+       ( c.Config.heuristic,
+         c.Config.selector,
+         c.Config.apply_options,
+         c.Config.reorder_enabled,
+         c.Config.analysis_facts,
+         c.Config.keep_original_default,
+         c.Config.coalesce_machine,
+         c.Config.delay_fill_from_target,
+         c.Config.fuel ))
+
+let content_key t source =
+  Digest.to_hex (Digest.string (config_fingerprint t.config ^ "\x00" ^ source))
+
+let gen_key key gen = Printf.sprintf "%s#g%d" key gen
+
+let create ?(config = Config.default) ?policy ?domains ?(sample_every = 4)
+    ?(merge_every = 8) ?(drift_min_execs = 32) () =
+  if sample_every < 1 then invalid_arg "Server.create: sample_every < 1";
+  if merge_every < 1 then invalid_arg "Server.create: merge_every < 1";
+  let policy =
+    match policy with
+    | Some p -> p
+    | None -> { Guard.default with Guard.degrade = true }
+  in
+  let pool = Pool.Workers.create ?domains () in
+  let n = Pool.Workers.size pool in
+  {
+    config;
+    policy;
+    pool;
+    sample_every;
+    merge_every;
+    drift_min_execs;
+    programs = Sim.Artifact.create ~name:"programs" ();
+    mir_cache = Sim.Artifact.create ~name:"mir" ();
+    image_cache = Sim.Artifact.create ~name:"image" ();
+    closure_cache = Sim.Artifact.create ~name:"closure" ();
+    entries = ref [];
+    entries_lock = Mutex.create ();
+    ticks = Array.make n 0;
+    banks = Array.init n (fun _ -> Sim.Predictor.bank config.Config.predictors);
+    bank_locks = Array.init n (fun _ -> Mutex.create ());
+    bank_global = Sim.Predictor.bank config.Config.predictors;
+    bank_global_lock = Mutex.create ();
+    requests = Atomic.make 0;
+    cold = Atomic.make 0;
+    shadow_runs = Atomic.make 0;
+    merges = Atomic.make 0;
+    reopts = Atomic.make 0;
+    events = ref [];
+    events_lock = Mutex.create ();
+    stopped = false;
+  }
+
+let sim_config ?(cancel = None) t =
+  {
+    Sim.Machine.default_config with
+    Sim.Machine.fuel = t.config.Config.fuel;
+    Sim.Machine.cancel = cancel;
+  }
+
+let signature_of t base seqs table =
+  Reorder.Drift.signature ~selector:t.config.Config.selector
+    ~keep_original_default:t.config.Config.keep_original_default base seqs
+    table
+
+(* build the servable artifacts of one generation, through the
+   content-hash caches (image and closure entries are generation-keyed:
+   a re-optimization produces new content) *)
+let build_artifact t ~key ~generation ~signature served =
+  let gk = gen_key key generation in
+  let image =
+    Sim.Artifact.find_or_build t.image_cache gk (fun () ->
+        Sim.Image.build served)
+  in
+  let compiled =
+    Sim.Artifact.find_or_build t.closure_cache gk (fun () ->
+        Sim.Compiled.compile image)
+  in
+  {
+    a_generation = generation;
+    a_signature = signature;
+    a_served = served;
+    a_image = image;
+    a_compiled = compiled;
+  }
+
+(* cold path, single-flighted by the [programs] cache: parse + optimize
+   the base once, detect, instrument and train on this first request's
+   input, reorder, and pre-build every serving artifact *)
+let build_entry t ~name ~key ~source ~input =
+  let base =
+    Sim.Artifact.find_or_build t.mir_cache key (fun () ->
+        Pipeline.compile_base t.config source)
+  in
+  let seqs = Pipeline.detect_seqs t.config base in
+  let train_prog, table = Pipeline.instrument t.config base seqs in
+  let train_compiled = Sim.Compiled.compile (Sim.Image.build train_prog) in
+  (* the training run: a trap or fuel exhaustion still leaves usable
+     partial counts, so it is not fatal here — the guarded request
+     itself will surface the failure to the caller *)
+  (try
+     ignore
+       (Sim.Compiled.exec ~config:(sim_config t) ~profile:table train_compiled
+          ~input)
+   with _ -> ());
+  let served, _report = Pipeline.reoptimize t.config ~name base seqs table in
+  let signature = signature_of t base seqs table in
+  let artifact = build_artifact t ~key ~generation:1 ~signature served in
+  let entry =
+    {
+      e_key = key;
+      e_name = name;
+      e_base = base;
+      e_seqs = seqs;
+      e_train_compiled = train_compiled;
+      e_global = table;
+      e_shards =
+        Array.init
+          (Pool.Workers.size t.pool)
+          (fun _ -> (Mutex.create (), Sim.Profile.copy_shape table));
+      e_artifact = Atomic.make artifact;
+      e_merge = Mutex.create ();
+      e_last_opt_execs = Sim.Profile.total_executions table;
+      e_pending = Atomic.make 0;
+    }
+  in
+  Mutex.lock t.entries_lock;
+  t.entries := !(t.entries) @ [ entry ];
+  Mutex.unlock t.entries_lock;
+  entry
+
+(* ------------------------------------------------------------------ *)
+(* Merge + drift                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let record_event t ev =
+  Mutex.lock t.events_lock;
+  t.events := !(t.events) @ [ ev ];
+  Mutex.unlock t.events_lock
+
+(* caller holds e.e_merge *)
+let merge_locked t (e : entry) =
+  Array.iter
+    (fun (m, shard) ->
+      Mutex.lock m;
+      ignore (Sim.Profile.absorb ~into:e.e_global shard);
+      Mutex.unlock m)
+    e.e_shards;
+  Atomic.incr t.merges;
+  (* fold the per-worker predictor banks into the global summary *)
+  Array.iteri
+    (fun w bank ->
+      Mutex.lock t.bank_locks.(w);
+      Mutex.lock t.bank_global_lock;
+      Sim.Predictor.bank_absorb ~into:t.bank_global bank;
+      Mutex.unlock t.bank_global_lock;
+      Mutex.unlock t.bank_locks.(w))
+    t.banks;
+  let execs = Sim.Profile.total_executions e.e_global in
+  if execs - e.e_last_opt_execs >= t.drift_min_execs then begin
+    let art = Atomic.get e.e_artifact in
+    let current = signature_of t e.e_base e.e_seqs e.e_global in
+    if Reorder.Drift.drifted ~served:art.a_signature ~current then begin
+      (* live traffic justifies a different ordering: rebuild from the
+         cached base and swap generations atomically *)
+      let served, _report =
+        Pipeline.reoptimize t.config ~name:e.e_name e.e_base e.e_seqs
+          e.e_global
+      in
+      let generation = art.a_generation + 1 in
+      let artifact =
+        build_artifact t ~key:e.e_key ~generation ~signature:current served
+      in
+      Atomic.set e.e_artifact artifact;
+      (* the old generation's cache slots are dead weight now *)
+      Sim.Artifact.remove t.image_cache (gen_key e.e_key art.a_generation);
+      Sim.Artifact.remove t.closure_cache (gen_key e.e_key art.a_generation);
+      Atomic.incr t.reopts;
+      record_event t
+        {
+          re_program = e.e_name;
+          re_generation = generation;
+          re_executions = execs;
+          re_signature = current;
+        }
+    end;
+    e.e_last_opt_execs <- execs
+  end
+
+let try_merge t e =
+  if Mutex.try_lock e.e_merge then begin
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock e.e_merge)
+      (fun () -> merge_locked t e)
+  end
+
+let sync t =
+  Mutex.lock t.entries_lock;
+  let es = !(t.entries) in
+  Mutex.unlock t.entries_lock;
+  List.iter
+    (fun e ->
+      Mutex.lock e.e_merge;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock e.e_merge)
+        (fun () -> merge_locked t e))
+    es
+
+(* ------------------------------------------------------------------ *)
+(* Request execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rungs_of (c : Config.t) =
+  match c.Config.backend with
+  | `Native -> [ `Native; `Compiled; `Predecoded; `Reference ]
+  | `Compiled -> [ `Compiled; `Predecoded; `Reference ]
+  | `Predecoded -> [ `Predecoded; `Reference ]
+  | `Reference -> [ `Reference ]
+
+let exec_rung t (art : artifact) backend ~cancel ~input =
+  let sc = sim_config ~cancel t in
+  match backend with
+  | `Native ->
+    Sim.Native.run_image ~config:sc
+      ?cache_dir:t.config.Config.native_cache_dir
+      ~use_cache:t.config.Config.native_cache art.a_image ~input
+  | `Compiled -> Sim.Compiled.exec ~config:sc art.a_compiled ~input
+  | `Predecoded -> Sim.Machine.run_image ~config:sc art.a_image ~input
+  | `Reference -> Sim.Machine.run_reference ~config:sc art.a_served ~input
+
+(* the sampled profiling shadow: run the instrumented training clone on
+   this request's input, recording into this worker's private shard and
+   predictor bank.  Failures are swallowed — the shadow is telemetry,
+   not the response *)
+let shadow_run t (e : entry) ~worker ~input =
+  let m, shard = e.e_shards.(worker) in
+  Mutex.lock m;
+  Mutex.lock t.bank_locks.(worker);
+  (try
+     ignore
+       (Sim.Compiled.exec ~config:(sim_config t) ~profile:shard
+          ~sink:(Sim.Predictor.Sink_bank t.banks.(worker))
+          e.e_train_compiled ~input)
+   with _ -> ());
+  Mutex.unlock t.bank_locks.(worker);
+  Mutex.unlock m;
+  Atomic.incr t.shadow_runs;
+  let pending = 1 + Atomic.fetch_and_add e.e_pending 1 in
+  if pending >= t.merge_every then begin
+    Atomic.set e.e_pending 0;
+    try_merge t e
+  end
+
+let handle t ~worker ~name ~source ~input =
+  let t0 = Unix.gettimeofday () in
+  Atomic.incr t.requests;
+  let key = content_key t source in
+  let requested = t.config.Config.backend in
+  let built = ref false in
+  match
+    Sim.Artifact.find_or_build t.programs key (fun () ->
+        built := true;
+        Atomic.incr t.cold;
+        build_entry t ~name ~key ~source ~input)
+  with
+  | exception e ->
+    {
+      rs_program = name;
+      rs_status = "crash";
+      rs_output = "";
+      rs_exit_code = -1;
+      rs_backend = Config.backend_name requested;
+      rs_generation = 0;
+      rs_cold = !built;
+      rs_message = Printexc.to_string e;
+      rs_wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+    }
+  | entry ->
+    let art = Atomic.get entry.e_artifact in
+    let rungs =
+      if t.policy.Guard.degrade then rungs_of t.config else [ requested ]
+    in
+    let rec walk rungs =
+      match rungs with
+      | [] -> assert false
+      | backend :: rest -> (
+        let outcome, _meta =
+          Guard.protect t.policy (fun ~attempt:_ ~cancel ->
+              exec_rung t art backend ~cancel ~input)
+        in
+        match outcome with
+        | Pool.Ok r -> (backend, Pool.Ok r)
+        | Pool.Trap _ | Pool.Timeout _ -> (backend, outcome)
+        | Pool.Crash _ | Pool.Gave_up _ ->
+          if rest = [] then (backend, outcome) else walk rest)
+    in
+    let backend, outcome = walk rungs in
+    let response =
+      match outcome with
+      | Pool.Ok (r : Sim.Machine.result) ->
+        {
+          rs_program = name;
+          rs_status = "ok";
+          rs_output = r.Sim.Machine.output;
+          rs_exit_code = r.Sim.Machine.exit_code;
+          rs_backend = Config.backend_name backend;
+          rs_generation = art.a_generation;
+          rs_cold = !built;
+          rs_message = "";
+          rs_wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+        }
+      | o ->
+        {
+          rs_program = name;
+          rs_status = Pool.outcome_status o;
+          rs_output = "";
+          rs_exit_code = -1;
+          rs_backend = Config.backend_name backend;
+          rs_generation = art.a_generation;
+          rs_cold = !built;
+          rs_message = Pool.outcome_message o;
+          rs_wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+        }
+    in
+    (* profiling shadow on a sampling of successful requests *)
+    (if response.rs_status = "ok" && entry.e_seqs <> [] then begin
+       t.ticks.(worker) <- t.ticks.(worker) + 1;
+       if t.ticks.(worker) mod t.sample_every = 0 then
+         shadow_run t entry ~worker ~input
+     end);
+    response
+
+let submit t ~name ~source ~input =
+  Pool.Workers.run t.pool (fun ~worker -> handle t ~worker ~name ~source ~input)
+
+let post t ~name ~source ~input k =
+  Pool.Workers.post t.pool (fun ~worker ->
+      k (handle t ~worker ~name ~source ~input))
+
+let oracle t ~name ~source ~input =
+  let key = content_key t source in
+  let entry =
+    Sim.Artifact.find_or_build t.programs key (fun () ->
+        build_entry t ~name ~key ~source ~input)
+  in
+  let r =
+    Sim.Machine.run_reference ~config:(sim_config t) entry.e_base ~input
+  in
+  (r.Sim.Machine.output, r.Sim.Machine.exit_code)
+
+let stats t =
+  {
+    st_requests = Atomic.get t.requests;
+    st_cold = Atomic.get t.cold;
+    st_shadow_runs = Atomic.get t.shadow_runs;
+    st_merges = Atomic.get t.merges;
+    st_reopts = Atomic.get t.reopts;
+    st_domains = Pool.Workers.size t.pool;
+    st_caches =
+      [
+        Sim.Artifact.stats t.programs;
+        Sim.Artifact.stats t.mir_cache;
+        Sim.Artifact.stats t.image_cache;
+        Sim.Artifact.stats t.closure_cache;
+      ];
+    st_native = Sim.Native.stats ();
+    st_mispredicts =
+      (Mutex.lock t.bank_global_lock;
+       let lookups = Sim.Predictor.bank_lookups t.bank_global in
+       let mis = Sim.Predictor.bank_mispredicts t.bank_global in
+       Mutex.unlock t.bank_global_lock;
+       List.map2
+         (fun (k, l) (k', m) ->
+           assert (k = k');
+           (k, (l, m)))
+         lookups mis);
+  }
+
+let reopt_events t =
+  Mutex.lock t.events_lock;
+  let es = !(t.events) in
+  Mutex.unlock t.events_lock;
+  es
+
+let shutdown t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Pool.Workers.shutdown t.pool
+  end

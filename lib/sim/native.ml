@@ -72,26 +72,23 @@ type stats = {
   disk_hits : int;
   misses : int;
   compiles : int;
+  memo_evictions : int;
+  memo_entries : int;
+  memo_capacity : int;
 }
 
 let s_memo_hits = ref 0
 let s_disk_hits = ref 0
 let s_misses = ref 0
 let s_compiles = ref 0
-
-let stats () =
-  {
-    memo_hits = !s_memo_hits;
-    disk_hits = !s_disk_hits;
-    misses = !s_misses;
-    compiles = !s_compiles;
-  }
+let s_memo_evictions = ref 0
 
 let reset_stats () =
   s_memo_hits := 0;
   s_disk_hits := 0;
   s_misses := 0;
-  s_compiles := 0
+  s_compiles := 0;
+  s_memo_evictions := 0
 
 (* ------------------------------------------------------------------ *)
 (* The host side of the plugin interface                               *)
@@ -803,7 +800,65 @@ let remove_tree dir =
    safe to call from several domains at once *)
 let lock = Mutex.create ()
 
-let memo : (string, ctx -> int) Hashtbl.t = Hashtbl.create 16
+(* the in-process memo of loaded entry points, bounded by an LRU cap so
+   a long-running daemon serving an open-ended stream of programs does
+   not grow its table without limit.  Eviction drops the table's
+   reference to the entry closure (a later request reloads from the
+   on-disk store); the mapped plugin code itself is never unloaded —
+   Dynlink cannot — so the cap bounds table growth, not address space
+   already paid for. *)
+type memo_entry = { me_entry : ctx -> int; mutable me_tick : int }
+
+let memo : (string, memo_entry) Hashtbl.t = Hashtbl.create 16
+let memo_tick = ref 0
+
+let default_memo_capacity =
+  match Sys.getenv_opt "BROMC_NATIVE_MEMO_CAP" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 0 -> n | _ -> 512)
+  | None -> 512
+
+let memo_cap = ref default_memo_capacity
+
+(* caller holds [lock] *)
+let enforce_memo_cap_locked () =
+  if !memo_cap > 0 then
+    while Hashtbl.length memo > !memo_cap do
+      let victim = ref None in
+      Hashtbl.iter
+        (fun k (e : memo_entry) ->
+          match !victim with
+          | Some (_, t) when t <= e.me_tick -> ()
+          | _ -> victim := Some (k, e.me_tick))
+        memo;
+      match !victim with
+      | None -> assert false
+      | Some (k, _) ->
+        Hashtbl.remove memo k;
+        incr s_memo_evictions
+    done
+
+let set_memo_capacity n =
+  if n < 0 then invalid_arg "Native.set_memo_capacity: negative";
+  Mutex.lock lock;
+  memo_cap := n;
+  enforce_memo_cap_locked ();
+  Mutex.unlock lock
+
+let memo_capacity () = !memo_cap
+
+let stats () =
+  Mutex.lock lock;
+  let entries = Hashtbl.length memo in
+  Mutex.unlock lock;
+  {
+    memo_hits = !s_memo_hits;
+    disk_hits = !s_disk_hits;
+    misses = !s_misses;
+    compiles = !s_compiles;
+    memo_evictions = !s_memo_evictions;
+    memo_entries = entries;
+    memo_capacity = !memo_cap;
+  }
 
 let clear_memo () =
   Mutex.lock lock;
@@ -903,9 +958,11 @@ let prepare ?cache_dir ?use_cache img : (t, string) Stdlib.result =
         Mutex.lock lock;
         let r =
           match Hashtbl.find_opt memo key with
-          | Some entry ->
+          | Some me ->
             incr s_memo_hits;
-            finish entry
+            incr memo_tick;
+            me.me_tick <- !memo_tick;
+            finish me.me_entry
           | None -> (
             let use_cache =
               match use_cache with
@@ -950,7 +1007,9 @@ let prepare ?cache_dir ?use_cache img : (t, string) Stdlib.result =
             in
             match loaded with
             | Ok entry ->
-              Hashtbl.replace memo key entry;
+              incr memo_tick;
+              Hashtbl.replace memo key { me_entry = entry; me_tick = !memo_tick };
+              enforce_memo_cap_locked ();
               finish entry
             | Error e -> Error e)
         in

@@ -154,6 +154,20 @@ let bank_drain b buf n =
 
 let bank_reset b = Array.iter reset b.bank_preds
 
+let bank_absorb ~into src =
+  if Array.length into.bank_keys <> Array.length src.bank_keys then
+    invalid_arg "Predictor.bank_absorb: bank shapes differ";
+  Array.iteri
+    (fun i (sp : t) ->
+      let dp = into.bank_preds.(i) in
+      if into.bank_keys.(i) <> src.bank_keys.(i) then
+        invalid_arg "Predictor.bank_absorb: bank keys differ";
+      dp.lookups <- dp.lookups + sp.lookups;
+      dp.mispredicts <- dp.mispredicts + sp.mispredicts;
+      sp.lookups <- 0;
+      sp.mispredicts <- 0)
+    src.bank_preds
+
 let bank_size b = Array.length b.bank_preds
 
 let bank_mispredicts b =

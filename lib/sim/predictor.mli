@@ -48,6 +48,15 @@ val bank_drain : bank -> int array -> int -> unit
     branch events in generated code and drains here. *)
 
 val bank_reset : bank -> unit
+
+val bank_absorb : into:bank -> bank -> unit
+(** [bank_absorb ~into shard] adds [shard]'s lookup and mispredict
+    tallies into [into] (same key list, checked) and zeroes them in
+    [shard], so per-domain banks can be merged into a global summary
+    without double counting.  Prediction state (history registers,
+    counter tables) stays in the shard: it is inherently per-stream and
+    is not transferred.  Raises [Invalid_argument] on shape mismatch. *)
+
 val bank_size : bank -> int
 
 val bank_mispredicts : bank -> ((int * int * int) * int) list

@@ -64,6 +64,72 @@ let record_range t id v =
     seq.counts.(idx) <- seq.counts.(idx) + 1;
     seq.executions <- seq.executions + 1
 
+(* a shard shares the other table's descriptors (bounds/conds arrays
+   are immutable and safe to alias) but gets private zeroed counters *)
+let copy_shape src =
+  let t = make () in
+  Hashtbl.iter
+    (fun id (s : range_seq) ->
+      Hashtbl.replace t.range_seqs id
+        {
+          bounds = s.bounds;
+          counts = Array.make (Array.length s.counts) 0;
+          executions = 0;
+        })
+    src.range_seqs;
+  Hashtbl.iter
+    (fun id (s : comb_seq) ->
+      Hashtbl.replace t.comb_seqs id
+        {
+          conds = s.conds;
+          comb_counts = Array.make (Array.length s.comb_counts) 0;
+          comb_executions = 0;
+        })
+    src.comb_seqs;
+  t
+
+let absorb ~into src =
+  let moved = ref 0 in
+  Hashtbl.iter
+    (fun id (s : range_seq) ->
+      match Hashtbl.find_opt into.range_seqs id with
+      | None -> ()
+      | Some dst ->
+        Array.iteri
+          (fun i c ->
+            if c <> 0 then begin
+              dst.counts.(i) <- dst.counts.(i) + c;
+              s.counts.(i) <- 0;
+              moved := !moved + c
+            end)
+          s.counts;
+        dst.executions <- dst.executions + s.executions;
+        s.executions <- 0)
+    src.range_seqs;
+  Hashtbl.iter
+    (fun id (s : comb_seq) ->
+      match Hashtbl.find_opt into.comb_seqs id with
+      | None -> ()
+      | Some dst ->
+        Array.iteri
+          (fun i c ->
+            if c <> 0 then begin
+              dst.comb_counts.(i) <- dst.comb_counts.(i) + c;
+              s.comb_counts.(i) <- 0;
+              moved := !moved + c
+            end)
+          s.comb_counts;
+        dst.comb_executions <- dst.comb_executions + s.comb_executions;
+        s.comb_executions <- 0)
+    src.comb_seqs;
+  !moved
+
+let total_executions t =
+  Hashtbl.fold (fun _ (s : range_seq) acc -> acc + s.executions) t.range_seqs 0
+  + Hashtbl.fold
+      (fun _ (s : comb_seq) acc -> acc + s.comb_executions)
+      t.comb_seqs 0
+
 let eval_operand read_reg = function
   | Mir.Operand.Reg r -> read_reg r
   | Mir.Operand.Imm n -> n

@@ -41,3 +41,20 @@ val record_range : t -> int -> int -> unit
 val record_comb : t -> int -> read_reg:(Mir.Reg.t -> int) -> unit
 (** Evaluate all conditions of sequence [id] and bump the combination
     counter. *)
+
+val copy_shape : t -> t
+(** [copy_shape t] is a fresh table with the same registered sequence
+    descriptors and all counters zeroed — a per-domain {e shard} of
+    [t].  Descriptor arrays (bounds, conditions) are shared; counter
+    arrays are private. *)
+
+val absorb : into:t -> t -> int
+(** [absorb ~into shard] adds every counter of [shard] into the
+    matching sequence of [into] and zeroes [shard], so repeated merges
+    never double-count.  Sequences unknown to [into] are ignored.
+    Returns the number of counter increments moved.  Not atomic: the
+    caller must ensure nobody records into [shard] during the merge. *)
+
+val total_executions : t -> int
+(** Sum of [executions] over every registered sequence — a cheap
+    "how much profile have we accumulated" gauge. *)

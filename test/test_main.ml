@@ -24,4 +24,5 @@ let () =
       ("predecode", Test_predecode.suite);
       ("parallel", Test_parallel.suite);
       ("native", Test_native.suite);
+      ("server", Test_server.suite);
     ]

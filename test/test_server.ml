@@ -1,0 +1,470 @@
+(* The serving daemon: artifact caches, sharded online profiles,
+   drift-triggered re-optimization, and the replay driver. *)
+
+open Helpers
+
+(* ---------------------------------------------------------------- *)
+(* Artifact caches                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let test_artifact_single_flight () =
+  let cache : int Sim.Artifact.t =
+    Sim.Artifact.create ~name:"t-singleflight" ()
+  in
+  let builds = Atomic.make 0 in
+  let n = 4 in
+  let barrier = Atomic.make 0 in
+  let worker () =
+    (* rendezvous so all domains hit the cold key together *)
+    Atomic.incr barrier;
+    while Atomic.get barrier < n do
+      Domain.cpu_relax ()
+    done;
+    Sim.Artifact.find_or_build cache "k" (fun () ->
+        Atomic.incr builds;
+        Unix.sleepf 0.02;
+        41 + Atomic.get builds)
+  in
+  let doms = List.init n (fun _ -> Domain.spawn worker) in
+  let values = List.map Domain.join doms in
+  check_int "build ran once" 1 (Atomic.get builds);
+  List.iter (fun v -> check_int "all domains share the artifact" 42 v) values;
+  let s = Sim.Artifact.stats cache in
+  check_int "one miss (the builder)" 1 s.Sim.Artifact.a_misses;
+  check_int "waiters and latecomers are hits" (n - 1) s.Sim.Artifact.a_hits;
+  check_int "one build" 1 s.Sim.Artifact.a_builds;
+  check_int "one entry resident" 1 s.Sim.Artifact.a_entries
+
+let test_artifact_lru_eviction () =
+  let cache : string Sim.Artifact.t =
+    Sim.Artifact.create ~capacity:2 ~name:"t-lru" ()
+  in
+  let build v () = v in
+  ignore (Sim.Artifact.find_or_build cache "a" (build "A"));
+  ignore (Sim.Artifact.find_or_build cache "b" (build "B"));
+  (* touch [a] so [b] is the least recently used *)
+  check_bool "a resident" true (Sim.Artifact.find cache "a" <> None);
+  ignore (Sim.Artifact.find_or_build cache "c" (build "C"));
+  let s = Sim.Artifact.stats cache in
+  check_int "capacity enforced" 2 s.Sim.Artifact.a_entries;
+  check_int "one eviction" 1 s.Sim.Artifact.a_evictions;
+  check_bool "LRU victim was b" true (Sim.Artifact.find cache "b" = None);
+  check_bool "a survived" true (Sim.Artifact.find cache "a" <> None);
+  check_bool "c resident" true (Sim.Artifact.find cache "c" <> None)
+
+let test_artifact_failed_build_retries () =
+  let cache : int Sim.Artifact.t = Sim.Artifact.create ~name:"t-fail" () in
+  (match Sim.Artifact.find_or_build cache "k" (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "failed build must re-raise"
+  | exception Failure m -> check_output "diagnostic preserved" "boom" m);
+  let s = Sim.Artifact.stats cache in
+  check_int "failure counted" 1 s.Sim.Artifact.a_failures;
+  check_int "no artifact installed" 0 s.Sim.Artifact.a_entries;
+  (* the key stayed cold: a later request builds fresh *)
+  check_int "retry succeeds" 7
+    (Sim.Artifact.find_or_build cache "k" (fun () -> 7));
+  let s = Sim.Artifact.stats cache in
+  check_int "successful build counted" 1 s.Sim.Artifact.a_builds;
+  check_int "both attempts were misses" 2 s.Sim.Artifact.a_misses
+
+(* ---------------------------------------------------------------- *)
+(* Profile shards and predictor banks                                *)
+(* ---------------------------------------------------------------- *)
+
+let drift_config = Driver.Config.default
+
+let drift_parts () =
+  let base =
+    Driver.Pipeline.compile_base drift_config Driver.Replay.drift_source
+  in
+  let seqs = Driver.Pipeline.detect_seqs drift_config base in
+  check_bool "drift program has sequences" true (seqs <> []);
+  let train, table = Driver.Pipeline.instrument drift_config base seqs in
+  (base, seqs, train, table)
+
+let test_profile_shard_absorb () =
+  let _, _, train, table = drift_parts () in
+  let shard = Sim.Profile.copy_shape table in
+  check_int "shard starts empty" 0 (Sim.Profile.total_executions shard);
+  let input = Driver.Replay.drift_input ~phase:0 ~seed:1 in
+  ignore (Sim.Machine.run_reference train ~profile:shard ~input);
+  let collected = Sim.Profile.total_executions shard in
+  check_bool "shard collected executions" true (collected > 0);
+  check_int "global still empty" 0 (Sim.Profile.total_executions table);
+  let moved = Sim.Profile.absorb ~into:table shard in
+  check_int "absorb reports the move" collected moved;
+  check_int "global received the counts" collected
+    (Sim.Profile.total_executions table);
+  check_int "shard zeroed" 0 (Sim.Profile.total_executions shard);
+  check_int "re-absorb moves nothing" 0 (Sim.Profile.absorb ~into:table shard)
+
+let test_bank_absorb () =
+  let keys = [ (0, 2, 64); (2, 2, 128) ] in
+  let global = Sim.Predictor.bank keys in
+  let shard = Sim.Predictor.bank keys in
+  for i = 0 to 99 do
+    Sim.Predictor.bank_access shard ~site:(i mod 7) ~taken:(i mod 3 = 0)
+  done;
+  let shard_lookups = Sim.Predictor.bank_lookups shard in
+  List.iter
+    (fun (_, n) -> check_int "shard recorded the events" 100 n)
+    shard_lookups;
+  let shard_miss = Sim.Predictor.bank_mispredicts shard in
+  Sim.Predictor.bank_absorb ~into:global shard;
+  check_bool "tallies moved to the global bank" true
+    (Sim.Predictor.bank_lookups global = shard_lookups
+    && Sim.Predictor.bank_mispredicts global = shard_miss);
+  List.iter
+    (fun (_, n) -> check_int "shard lookups zeroed" 0 n)
+    (Sim.Predictor.bank_lookups shard);
+  List.iter
+    (fun (_, n) -> check_int "shard mispredicts zeroed" 0 n)
+    (Sim.Predictor.bank_mispredicts shard);
+  (match
+     Sim.Predictor.bank_absorb ~into:global
+       (Sim.Predictor.bank [ (0, 1, 32) ])
+   with
+  | () -> Alcotest.fail "shape mismatch must raise"
+  | exception Invalid_argument _ -> ());
+  (* double absorb did not happen: global still holds exactly one move *)
+  List.iter
+    (fun (_, n) -> check_int "no double counting" 100 n)
+    (Sim.Predictor.bank_lookups global)
+
+(* ---------------------------------------------------------------- *)
+(* Worker pool                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let test_workers_run_and_shutdown () =
+  let pool = Driver.Pool.Workers.create ~domains:3 () in
+  check_int "size honors the request" 3 (Driver.Pool.Workers.size pool);
+  check_int "run returns the task's result" 12
+    (Driver.Pool.Workers.run pool (fun ~worker ->
+         check_bool "worker index in range" true (worker >= 0 && worker < 3);
+         12));
+  (match Driver.Pool.Workers.run pool (fun ~worker:_ -> failwith "task") with
+  | _ -> Alcotest.fail "run must re-raise the task's exception"
+  | exception Failure m -> check_output "exception carried back" "task" m);
+  let hits = Atomic.make 0 in
+  for _ = 1 to 50 do
+    Driver.Pool.Workers.post pool (fun ~worker:_ -> Atomic.incr hits)
+  done;
+  Driver.Pool.Workers.shutdown pool;
+  check_int "queue drained before join" 50 (Atomic.get hits);
+  Driver.Pool.Workers.shutdown pool;
+  (* idempotent *)
+  match Driver.Pool.Workers.post pool (fun ~worker:_ -> ()) with
+  | () -> Alcotest.fail "post after shutdown must raise"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------------------------------------------------------- *)
+(* Drift signatures                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let test_drift_signature_flips () =
+  let base, seqs, train, table = drift_parts () in
+  let shard_for phase =
+    let shard = Sim.Profile.copy_shape table in
+    ignore
+      (Sim.Machine.run_reference train ~profile:shard
+         ~input:(Driver.Replay.drift_input ~phase ~seed:3));
+    shard
+  in
+  let s0 = Reorder.Drift.signature base seqs (shard_for 0) in
+  let s0' = Reorder.Drift.signature base seqs (shard_for 0) in
+  let s1 = Reorder.Drift.signature base seqs (shard_for 1) in
+  check_output "signature is deterministic in the counts" s0 s0';
+  check_bool "lowercase-heavy vs digit-heavy orderings differ" true
+    (Reorder.Drift.drifted ~served:s0 ~current:s1);
+  check_bool "unchanged counts are not drift" false
+    (Reorder.Drift.drifted ~served:s0 ~current:s0');
+  let empty = Sim.Profile.copy_shape table in
+  check_bool "no executions still renders a signature" true
+    (String.length (Reorder.Drift.signature base seqs empty) > 0)
+
+(* ---------------------------------------------------------------- *)
+(* Native memo LRU (satellite: bounded in-process memo)              *)
+(* ---------------------------------------------------------------- *)
+
+let test_native_memo_lru () =
+  if not (Sim.Native.available ()) then
+    Alcotest.skip ();
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bromc-test-server-native-%d" (Unix.getpid ()))
+  in
+  let rec rm d =
+    if Sys.file_exists d then
+      if Sys.is_directory d then begin
+        Array.iter (fun e -> rm (Filename.concat d e)) (Sys.readdir d);
+        try Unix.rmdir d with _ -> ()
+      end
+      else try Sys.remove d with _ -> ()
+  in
+  let saved_cap = Sim.Native.memo_capacity () in
+  Fun.protect
+    ~finally:(fun () ->
+      Sim.Native.set_memo_capacity saved_cap;
+      rm dir)
+    (fun () ->
+      Sim.Native.clear_memo ();
+      Sim.Native.reset_stats ();
+      Sim.Native.set_memo_capacity 2;
+      check_int "capacity readable" 2 (Sim.Native.memo_capacity ());
+      let img i =
+        Sim.Image.build
+          (compile_final (Printf.sprintf "int main() { return %d; }" i))
+      in
+      for i = 1 to 3 do
+        match Sim.Native.prepare ~cache_dir:dir (img i) with
+        | Ok _ -> ()
+        | Error m -> Alcotest.failf "prepare %d failed: %s" i m
+      done;
+      let s = Sim.Native.stats () in
+      check_int "memo bounded" 2 s.Sim.Native.memo_entries;
+      check_int "one eviction" 1 s.Sim.Native.memo_evictions;
+      (* the evicted image is served from the on-disk store, not
+         recompiled *)
+      (match Sim.Native.prepare ~cache_dir:dir (img 1) with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "re-prepare failed: %s" m);
+      let s = Sim.Native.stats () in
+      check_bool "re-request hit the disk store" true
+        (s.Sim.Native.disk_hits >= 1);
+      check_int "no extra compile" 3 s.Sim.Native.compiles)
+
+(* ---------------------------------------------------------------- *)
+(* The server                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let wc_spec = Workloads.Registry.find "wc"
+let wc_source = wc_spec.Workloads.Spec.source
+let wc_input () = Driver.Replay.input_slice ~seed:5 (Lazy.force wc_spec.Workloads.Spec.test_input)
+
+let cache_stat stats name =
+  List.find
+    (fun s -> String.equal s.Sim.Artifact.a_name name)
+    stats.Driver.Server.st_caches
+
+let test_server_cold_then_warm () =
+  let srv = Driver.Server.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Driver.Server.shutdown srv)
+    (fun () ->
+      let input = wc_input () in
+      let r1 =
+        Driver.Server.submit srv ~name:"wc" ~source:wc_source ~input
+      in
+      check_output "first request ok" "ok" r1.Driver.Server.rs_status;
+      check_bool "first request was cold" true r1.Driver.Server.rs_cold;
+      let r2 =
+        Driver.Server.submit srv ~name:"wc" ~source:wc_source ~input
+      in
+      check_output "second request ok" "ok" r2.Driver.Server.rs_status;
+      check_bool "second request served warm" false r2.Driver.Server.rs_cold;
+      check_output "warm output identical" r1.Driver.Server.rs_output
+        r2.Driver.Server.rs_output;
+      let out, code = Driver.Server.oracle srv ~name:"wc" ~source:wc_source ~input in
+      check_output "output matches the reference oracle" out
+        r1.Driver.Server.rs_output;
+      check_int "exit code matches the oracle" code
+        r1.Driver.Server.rs_exit_code;
+      let st = Driver.Server.stats srv in
+      check_int "two requests" 2 st.Driver.Server.st_requests;
+      check_int "one cold" 1 st.Driver.Server.st_cold;
+      check_int "program built once" 1
+        (cache_stat st "programs").Sim.Artifact.a_builds;
+      check_int "MIR parsed once" 1
+        (cache_stat st "mir").Sim.Artifact.a_builds)
+
+(* Satellite: N domains requesting the same cold program concurrently
+   compile it exactly once, and every response is byte-identical. *)
+let test_server_concurrent_single_flight () =
+  let srv = Driver.Server.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Driver.Server.shutdown srv)
+    (fun () ->
+      let input = wc_input () in
+      let n = 8 in
+      let lock = Mutex.create () in
+      let cond = Condition.create () in
+      let pending = ref n in
+      let responses = Array.make n None in
+      for i = 0 to n - 1 do
+        Driver.Server.post srv ~name:"wc" ~source:wc_source ~input
+          (fun r ->
+            Mutex.lock lock;
+            responses.(i) <- Some r;
+            decr pending;
+            if !pending = 0 then Condition.broadcast cond;
+            Mutex.unlock lock)
+      done;
+      Mutex.lock lock;
+      while !pending > 0 do
+        Condition.wait cond lock
+      done;
+      Mutex.unlock lock;
+      let rs =
+        Array.to_list responses
+        |> List.map (function Some r -> r | None -> assert false)
+      in
+      let first = List.hd rs in
+      check_output "status ok" "ok" first.Driver.Server.rs_status;
+      List.iter
+        (fun r ->
+          check_output "every response ok" "ok" r.Driver.Server.rs_status;
+          check_output "byte-identical outputs" first.Driver.Server.rs_output
+            r.Driver.Server.rs_output;
+          check_int "identical exit codes" first.Driver.Server.rs_exit_code
+            r.Driver.Server.rs_exit_code)
+        rs;
+      let st = Driver.Server.stats srv in
+      check_int "exactly one cold request" 1 st.Driver.Server.st_cold;
+      check_int "single-flight: program pipeline ran once" 1
+        (cache_stat st "programs").Sim.Artifact.a_builds;
+      check_int "single-flight: MIR parsed once" 1
+        (cache_stat st "mir").Sim.Artifact.a_builds;
+      let out, _ = Driver.Server.oracle srv ~name:"wc" ~source:wc_source ~input in
+      check_output "all of them match the oracle" out
+        first.Driver.Server.rs_output)
+
+(* Satellite: profile drift mid-stream re-optimizes and atomically
+   swaps the artifact; observables stay byte-identical throughout. *)
+let test_server_drift_reopt () =
+  let srv =
+    Driver.Server.create ~domains:2 ~sample_every:1 ~merge_every:1
+      ~drift_min_execs:8 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Driver.Server.shutdown srv)
+    (fun () ->
+      let source = Driver.Replay.drift_source in
+      let submit phase seed =
+        let input = Driver.Replay.drift_input ~phase ~seed in
+        let r = Driver.Server.submit srv ~name:"drift" ~source ~input in
+        check_output "request ok" "ok" r.Driver.Server.rs_status;
+        let out, code = Driver.Server.oracle srv ~name:"drift" ~source ~input in
+        check_output "served output byte-identical to the oracle" out
+          r.Driver.Server.rs_output;
+        check_int "exit code identical" code r.Driver.Server.rs_exit_code;
+        r
+      in
+      (* phase 0: lowercase-heavy traffic trains the initial ordering *)
+      for s = 1 to 4 do
+        ignore (submit 0 s)
+      done;
+      Driver.Server.sync srv;
+      let before = List.length (Driver.Server.reopt_events srv) in
+      (* phase 1: digit-heavy traffic; accumulated counts flip Eq. 1-4 *)
+      for s = 1 to 6 do
+        ignore (submit 1 s)
+      done;
+      Driver.Server.sync srv;
+      let events = Driver.Server.reopt_events srv in
+      check_bool "drift triggered a re-optimization" true
+        (List.length events > before);
+      let last = List.nth events (List.length events - 1) in
+      check_bool "swap advanced the generation" true
+        (last.Driver.Server.re_generation >= 2);
+      check_output "event names the program" "drift"
+        last.Driver.Server.re_program;
+      (* the swapped artifact serves the new generation, still
+         byte-identical to the reference *)
+      let r = submit 1 99 in
+      check_bool "served from the re-optimized generation" true
+        (r.Driver.Server.rs_generation >= 2);
+      let st = Driver.Server.stats srv in
+      check_bool "shadow runs happened" true
+        (st.Driver.Server.st_shadow_runs > 0);
+      check_bool "merges happened" true (st.Driver.Server.st_merges > 0);
+      check_bool "re-opt counted in stats" true
+        (st.Driver.Server.st_reopts > before))
+
+let test_server_guard_contains_trap () =
+  let srv = Driver.Server.create ~domains:1 () in
+  Fun.protect
+    ~finally:(fun () -> Driver.Server.shutdown srv)
+    (fun () ->
+      let bad = "int main() { int x; x = 1 / 0; return x; }" in
+      let r = Driver.Server.submit srv ~name:"bad" ~source:bad ~input:"" in
+      check_output "trap is reported, not fatal" "trap"
+        r.Driver.Server.rs_status;
+      (* the server survives and still serves good programs *)
+      let ok =
+        Driver.Server.submit srv ~name:"wc" ~source:wc_source
+          ~input:(wc_input ())
+      in
+      check_output "service alive after the trap" "ok"
+        ok.Driver.Server.rs_status)
+
+(* ---------------------------------------------------------------- *)
+(* Replay                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let test_replay_smoke () =
+  let outcome =
+    Driver.Replay.run
+      ~workloads:[ "wc"; "grep" ]
+      ~requests:36 ~concurrency:2 ~seed:7 ~drift:true ~sample_every:1
+      ~merge_every:2 ~drift_min_execs:8 ~check_every:4 ()
+  in
+  check_int "every request was fired" 36 outcome.Driver.Replay.ro_requests;
+  check_int "every request succeeded" 36 outcome.Driver.Replay.ro_ok;
+  check_int "no failures" 0 outcome.Driver.Replay.ro_failed;
+  check_bool "throughput measured" true
+    (outcome.Driver.Replay.ro_throughput_rps > 0.);
+  check_bool "latency percentiles ordered" true
+    (outcome.Driver.Replay.ro_p99_ms >= outcome.Driver.Replay.ro_p50_ms);
+  check_bool "differential sample ran" true
+    (outcome.Driver.Replay.ro_checked > 0);
+  check_int "zero oracle mismatches" 0 outcome.Driver.Replay.ro_mismatches;
+  check_bool "drift re-optimization fired" true
+    (outcome.Driver.Replay.ro_reopts >= 1);
+  check_bool "cold baseline measured" true
+    (outcome.Driver.Replay.ro_cold_ms > 0.);
+  let st = outcome.Driver.Replay.ro_stats in
+  check_bool "warm requests dominated" true
+    (st.Driver.Server.st_requests > st.Driver.Server.st_cold)
+
+let test_replay_rejects_unknown_workload () =
+  match Driver.Replay.run ~workloads:[ "no-such" ] ~requests:1 () with
+  | _ -> Alcotest.fail "unknown workload must be rejected"
+  | exception Failure m ->
+    check_bool "error names the workload" true
+      (String.length m > 0 && String.index_opt m 'n' <> None)
+
+let test_input_slice () =
+  check_output "empty stays empty" "" (Driver.Replay.input_slice ~seed:1 "");
+  let text = String.concat "\n" (List.init 200 string_of_int) ^ "\n" in
+  let s1 = Driver.Replay.input_slice ~seed:1 text in
+  let s4 = Driver.Replay.input_slice ~seed:4 text in
+  check_bool "slice is a prefix" true
+    (String.length s1 <= String.length text
+    && String.equal s1 (String.sub text 0 (String.length s1)));
+  check_bool "slices vary with the seed" true
+    (String.length s1 <> String.length s4 || String.equal s1 s4);
+  check_bool "newline-aligned" true
+    (String.length s1 = 0 || s1.[String.length s1 - 1] = '\n')
+
+let suite =
+  [
+    case "artifact: single-flight across domains" test_artifact_single_flight;
+    case "artifact: LRU eviction under capacity" test_artifact_lru_eviction;
+    case "artifact: failed build leaves key cold" test_artifact_failed_build_retries;
+    case "profile: shard absorb moves counts once" test_profile_shard_absorb;
+    case "predictor: bank absorb merges telemetry" test_bank_absorb;
+    case "pool: workers run, drain, shut down" test_workers_run_and_shutdown;
+    case "drift: signature flips with the input mix" test_drift_signature_flips;
+    case "native: memo LRU bounded, refill from disk" test_native_memo_lru;
+    case "server: cold build then warm hits" test_server_cold_then_warm;
+    case "server: N domains, one compile, identical bytes"
+      test_server_concurrent_single_flight;
+    slow_case "server: drift re-optimizes, observables identical"
+      test_server_drift_reopt;
+    case "server: trap contained by the guard ladder"
+      test_server_guard_contains_trap;
+    slow_case "replay: mixed traffic, oracle-checked" test_replay_smoke;
+    case "replay: unknown workload rejected" test_replay_rejects_unknown_workload;
+    case "replay: input slices" test_input_slice;
+  ]
