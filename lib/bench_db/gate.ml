@@ -1,0 +1,130 @@
+type status = Pass | Improved | Fail | Below_floor | No_baseline
+
+type verdict = {
+  v_metric : string;
+  v_unit : string;
+  v_dir : Record.dir;
+  v_head : float;
+  v_base : float option;
+  v_base_label : string option;
+  v_regress_pct : float;
+  v_threshold : float;
+  v_floor : float;
+  v_status : status;
+}
+
+let default_max_regress = 10.
+
+(* latest record before [head] in the same context that carries [name];
+   [against] pins the label instead *)
+let baseline_for ?against ~(head : Record.t) ~history name =
+  let candidates =
+    List.filter
+      (fun (r : Record.t) ->
+        (match against with
+        | Some label -> String.equal r.Record.r_label label
+        | None ->
+          r.Record.r_seq <= head.Record.r_seq
+          && not (String.equal r.Record.r_label head.Record.r_label))
+        && String.equal r.Record.r_context head.Record.r_context
+        && Record.find r name <> None)
+      history
+  in
+  List.fold_left
+    (fun best (r : Record.t) ->
+      match best with
+      | Some (b : Record.t) when b.Record.r_seq >= r.Record.r_seq -> best
+      | _ -> Some r)
+    None candidates
+
+let check ?(max_regress = default_max_regress) ?against ~(head : Record.t)
+    ~history () =
+  List.map
+    (fun (m : Record.metric) ->
+      let threshold =
+        Option.value ~default:max_regress m.Record.m_tolerance
+      in
+      let base_record = baseline_for ?against ~head ~history m.Record.m_name in
+      match
+        Option.bind base_record (fun r -> Record.find r m.Record.m_name)
+      with
+      | None ->
+        {
+          v_metric = m.Record.m_name;
+          v_unit = m.Record.m_unit;
+          v_dir = m.Record.m_dir;
+          v_head = m.Record.m_value;
+          v_base = None;
+          v_base_label = None;
+          v_regress_pct = 0.;
+          v_threshold = threshold;
+          v_floor = m.Record.m_floor;
+          v_status = No_baseline;
+        }
+      | Some bm ->
+        let base = bm.Record.m_value in
+        let head_v = m.Record.m_value in
+        let delta = head_v -. base in
+        (* signed worsening in the metric's bad direction *)
+        let worsening =
+          match m.Record.m_dir with
+          | Record.Higher -> -.delta
+          | Record.Lower -> delta
+        in
+        let regress_pct =
+          if worsening <= 0. then 0.
+          else if Float.abs base > 1e-12 then
+            100. *. worsening /. Float.abs base
+          else 999.  (* worsened off a zero baseline: floor decides *)
+        in
+        let status =
+          if Float.abs delta <= m.Record.m_floor then Below_floor
+          else if worsening <= 0. then Improved
+          else if regress_pct > threshold then Fail
+          else Pass
+        in
+        {
+          v_metric = m.Record.m_name;
+          v_unit = m.Record.m_unit;
+          v_dir = m.Record.m_dir;
+          v_head = head_v;
+          v_base = Some base;
+          v_base_label =
+            Option.map (fun (r : Record.t) -> r.Record.r_label) base_record;
+          v_regress_pct = regress_pct;
+          v_threshold = threshold;
+          v_floor = m.Record.m_floor;
+          v_status = status;
+        })
+    (Record.gated head)
+
+let failures = List.filter (fun v -> v.v_status = Fail)
+
+let status_name = function
+  | Pass -> "pass"
+  | Improved -> "improved"
+  | Fail -> "FAIL"
+  | Below_floor -> "below-floor"
+  | No_baseline -> "no-baseline"
+
+let pp_verdict ppf v =
+  match v.v_base with
+  | None ->
+    Format.fprintf ppf "%-36s %-11s %12.4g %s (first observation)"
+      v.v_metric (status_name v.v_status) v.v_head v.v_unit
+  | Some base ->
+    Format.fprintf ppf
+      "%-36s %-11s %12.4g vs %.4g %s (%s %+.1f%%, tolerance %.1f%%%s)"
+      v.v_metric (status_name v.v_status) v.v_head base v.v_unit
+      (match v.v_dir with Record.Higher -> "higher-better"
+       | Record.Lower -> "lower-better")
+      (match v.v_dir with
+      | Record.Higher when base <> 0. -> 100. *. (v.v_head -. base) /. Float.abs base
+      | Record.Lower when base <> 0. -> 100. *. (v.v_head -. base) /. Float.abs base
+      | _ -> 0.)
+      v.v_threshold
+      (Option.fold ~none:"" ~some:(fun l -> ", baseline " ^ l) v.v_base_label)
+
+let pp ppf verdicts =
+  let fails, rest = List.partition (fun v -> v.v_status = Fail) verdicts in
+  List.iter (fun v -> Format.fprintf ppf "%a@\n" pp_verdict v) (rest @ fails)

@@ -1,0 +1,57 @@
+(** The regression gate: direction-aware comparison of a head record's
+    gated metrics against the history, built for CI exit codes.
+
+    For every gated metric of the head record the gate finds a baseline
+    — the latest earlier record in the {e same context} that carries the
+    metric (or a specific record when [against] names one) — and
+    computes the relative worsening in the metric's bad direction.
+    Three dampers keep the gate from flapping:
+
+    - the {b noise floor}: an absolute delta no larger than the metric's
+      [m_floor] never fails, whatever percentage it is of a near-zero
+      baseline;
+    - the {b per-metric tolerance}: a metric whose [m_tolerance] is set
+      fails only beyond it (wall-derived speedups tolerate 15%,
+      deterministic count reductions 2.5%, correctness tallies 0%);
+      metrics without one use the command-line default;
+    - {b best-of-N} is already inside the record ([r_runs]): timing
+      metrics are minima of repeated cycles, so single-run spikes never
+      reach the gate. *)
+
+type status =
+  | Pass         (** worsened within tolerance *)
+  | Improved
+  | Fail         (** worsened beyond tolerance and above the floor *)
+  | Below_floor  (** delta within the absolute noise floor *)
+  | No_baseline  (** first observation in this context *)
+
+type verdict = {
+  v_metric : string;
+  v_unit : string;
+  v_dir : Record.dir;
+  v_head : float;
+  v_base : float option;
+  v_base_label : string option;
+  v_regress_pct : float;  (** positive = worsening; [0.] without baseline *)
+  v_threshold : float;
+  v_floor : float;
+  v_status : status;
+}
+
+val check :
+  ?max_regress:float ->
+  ?against:string ->
+  head:Record.t ->
+  history:Record.t list ->
+  unit ->
+  verdict list
+(** [max_regress] (default [10.]) is the tolerance for metrics that
+    carry none of their own.  [against] restricts the baseline to one
+    label.  Records whose [(seq, label)] equals the head's are never
+    their own baseline, so the head may be a member of [history]. *)
+
+val failures : verdict list -> verdict list
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp : Format.formatter -> verdict list -> unit
+(** The whole table, failures last (they are what the eye must hit). *)

@@ -1,0 +1,65 @@
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go lineno acc =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | line ->
+            let line = String.trim line in
+            if line = "" then go (lineno + 1) acc
+            else (
+              match Record.of_line line with
+              | Ok r -> go (lineno + 1) (r :: acc)
+              | Error m ->
+                Error (Printf.sprintf "%s:%d: %s" path lineno m))
+        in
+        match go 1 [] with
+        | Ok records ->
+          Ok
+            (List.stable_sort
+               (fun (a : Record.t) b -> compare a.Record.r_seq b.Record.r_seq)
+               records)
+        | Error _ as e -> e)
+  end
+
+let append path r =
+  let dir = Filename.dirname path in
+  if dir <> "." && dir <> "" && not (Sys.file_exists dir) then
+    Sys.mkdir dir 0o755;
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Record.to_line r);
+      output_char oc '\n';
+      flush oc)
+
+let mem records ~label =
+  List.exists (fun (r : Record.t) -> String.equal r.Record.r_label label) records
+
+type import_outcome =
+  | Added of Record.t
+  | Skipped of string
+  | Failed of string
+
+let import_files ?gate_wall ~history paths =
+  let existing =
+    match load history with Ok rs -> ref rs | Error _ -> ref []
+  in
+  List.map
+    (fun path ->
+      match Import.of_file ?gate_wall path with
+      | Error m -> (path, Failed m)
+      | Ok r ->
+        if mem !existing ~label:r.Record.r_label then
+          (path, Skipped r.Record.r_label)
+        else begin
+          append history r;
+          existing := r :: !existing;
+          (path, Added r)
+        end)
+    paths

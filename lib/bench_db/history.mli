@@ -1,0 +1,30 @@
+(** The append-only time series: one {!Record.t} per line of a [.jsonl]
+    file, the single normalized store behind reports and gates.
+
+    Lines are flushed as written (a killed writer leaves a readable
+    prefix, like {!Driver.Manifest}) and the file is append-only by
+    convention: importers never rewrite history, they skip labels that
+    are already present — re-running [bromc bench import] is
+    idempotent. *)
+
+val load : string -> (Record.t list, string) result
+(** Records sorted by [r_seq] (stable for equal keys).  A missing file
+    is an empty history; a malformed line is an error naming the line
+    number. *)
+
+val append : string -> Record.t -> unit
+(** Append one record line, creating the file (and its directory) if
+    needed. *)
+
+val mem : Record.t list -> label:string -> bool
+
+type import_outcome =
+  | Added of Record.t
+  | Skipped of string  (** label already present *)
+  | Failed of string   (** importer error *)
+
+val import_files :
+  ?gate_wall:bool -> history:string -> string list ->
+  (string * import_outcome) list
+(** Import each snapshot file in order, appending records whose labels
+    are new.  Returns one outcome per input path. *)

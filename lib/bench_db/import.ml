@@ -1,0 +1,286 @@
+let ( let* ) = Result.bind
+
+let seq_of_filename path =
+  let base = Filename.basename path in
+  let prefix = "BENCH_PR" in
+  if String.length base > String.length prefix
+     && String.sub base 0 (String.length prefix) = prefix
+  then
+    let rest = String.sub base (String.length prefix)
+        (String.length base - String.length prefix) in
+    let digits = String.to_seq rest
+      |> Seq.take_while (fun c -> c >= '0' && c <= '9')
+      |> String.of_seq
+    in
+    int_of_string_opt digits
+  else None
+
+let num_field j name = Option.bind (Json.member name j) Json.num
+
+let require j name =
+  match num_field j name with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing numeric field %S" name)
+
+(* sum a numeric field over the "workloads" array; [None] when the field
+   is absent from every row *)
+let sum_workloads j name =
+  match Option.bind (Json.member "workloads" j) Json.arr with
+  | None | Some [] -> None
+  | Some rows ->
+    let vals = List.filter_map (fun row -> num_field row name) rows in
+    if vals = [] then None else Some (List.fold_left ( +. ) 0. vals)
+
+(* ------------------------------------------------------------------ *)
+(* Suite matrix shape: PR 1, 2, 4, 5, 6                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Tolerances, in percent.  Wall-derived speedup ratios carry the noise
+   of two wall clocks, so they get a wide band; the reduction
+   percentages are deterministic simulator counts and get a tight one;
+   correctness tallies get zero. *)
+let tol_speedup = 15.
+let tol_reduction = 2.5
+let tol_wall = 25.
+
+let aggregate_reduction j ~orig ~reord =
+  match (sum_workloads j orig, sum_workloads j reord) with
+  | Some o, Some r when o > 0. -> Some (100. *. (r -. o) /. o)
+  | _ -> None
+
+let suite_metrics ~gate_wall j =
+  let m = Record.metric in
+  let wall_metric key name =
+    Option.map
+      (fun v ->
+        m ~unit_:"s" ~dir:Record.Lower ~gate:gate_wall ~floor:0.25
+          ~tolerance:tol_wall name v)
+      (num_field j key)
+  in
+  let backends = Json.member "backends" j in
+  let backend_speedup key name =
+    Option.bind backends (fun b ->
+        Option.map
+          (fun v ->
+            m ~unit_:"x" ~dir:Record.Higher ~gate:true ~floor:0.02
+              ~tolerance:tol_speedup name v)
+          (num_field b key))
+  in
+  let backend_wall key name =
+    Option.bind backends (fun b ->
+        Option.map
+          (fun v ->
+            m ~unit_:"s" ~dir:Record.Lower ~gate:gate_wall ~floor:0.25
+              ~tolerance:tol_wall name v)
+          (num_field b key))
+  in
+  let outcomes = Json.member "outcomes" j in
+  let failed_jobs =
+    Option.bind outcomes (fun o ->
+        let g k = Option.value ~default:0. (num_field o k) in
+        if num_field o "ok" = None then None
+        else
+          Some
+            (m ~dir:Record.Lower ~gate:true ~floor:0. ~tolerance:0.
+               "suite.failed_jobs"
+               (g "trap" +. g "timeout" +. g "crash" +. g "gave_up")))
+  in
+  let reductions =
+    [
+      ( "suite.insn_reduction_pct",
+        aggregate_reduction j ~orig:"orig_insns" ~reord:"reord_insns" );
+      ( "suite.branch_reduction_pct",
+        aggregate_reduction j ~orig:"orig_branches" ~reord:"reord_branches" );
+    ]
+    |> List.filter_map (fun (name, v) ->
+           Option.map
+             (fun v ->
+               m ~unit_:"pct" ~dir:Record.Lower ~gate:true ~floor:0.2
+                 ~tolerance:tol_reduction name v)
+             v)
+  in
+  let detection =
+    match sum_workloads j "extra_facts_seqs" with
+    | None -> []
+    | Some v ->
+      [
+        m ~dir:Record.Higher ~gate:true ~floor:0. ~tolerance:0.
+          "detection.extra_facts_seqs" v;
+      ]
+  in
+  let workload_count =
+    match Option.bind (Json.member "workloads" j) Json.arr with
+    | Some rows when rows <> [] ->
+      [ m "suite.workloads" (float_of_int (List.length rows)) ]
+    | _ -> []
+  in
+  List.filter_map Fun.id
+    [
+      wall_metric "matrix_wall_seconds" "suite.matrix_wall_seconds";
+      wall_metric "harness_wall_seconds" "suite.harness_wall_seconds";
+      backend_speedup "compiled_vs_reference_speedup"
+        "backends.compiled_vs_reference";
+      backend_speedup "compiled_vs_predecoded_speedup"
+        "backends.compiled_vs_predecoded";
+      backend_speedup "native_vs_reference_speedup"
+        "backends.native_vs_reference";
+      backend_wall "reference_measure_seconds" "backends.reference_seconds";
+      backend_wall "predecoded_measure_seconds" "backends.predecoded_seconds";
+      backend_wall "compiled_measure_seconds" "backends.compiled_seconds";
+      backend_wall "native_measure_seconds" "backends.native_seconds";
+      backend_wall "native_codegen_seconds" "backends.native_codegen_seconds";
+      failed_jobs;
+    ]
+  @ reductions @ detection @ workload_count
+
+let import_suite ?seq ?label ?commit ~gate_wall ~source j =
+  let* pr =
+    match (seq, num_field j "pr") with
+    | Some s, _ -> Ok s
+    | None, Some v -> Ok (int_of_float v)
+    | None, None -> Error "no sequence number: payload has no \"pr\" field"
+  in
+  let fast =
+    Option.value ~default:false (Option.bind (Json.member "fast" j) Json.bool)
+  in
+  let context = if fast then "suite-fast" else "suite-full" in
+  let runs =
+    match
+      Option.bind (Json.member "backends" j) (fun b ->
+          num_field b "runs_per_engine")
+    with
+    | Some n -> int_of_float n
+    | None -> 1
+  in
+  let metrics = suite_metrics ~gate_wall j in
+  if metrics = [] then Error "suite snapshot yielded no metrics"
+  else
+    Ok
+      (Record.make ?commit ~source ~runs ~seq:pr
+         ~label:(Option.value ~default:(Printf.sprintf "PR%d" pr) label)
+         ~context metrics)
+
+(* ------------------------------------------------------------------ *)
+(* Serve/replay shape: PR 7                                             *)
+(* ------------------------------------------------------------------ *)
+
+let import_serve ?seq ?label ?commit ~gate_wall ~source j =
+  let* seq =
+    match seq with
+    | Some s -> Ok s
+    | None -> Error "serve snapshot carries no sequence number; pass one"
+  in
+  let m = Record.metric in
+  let g key name ~unit_ ~dir ~gate ~floor ~tolerance =
+    Option.map (fun v -> m ~unit_ ~dir ~gate ~floor ~tolerance name v)
+      (num_field j key)
+  in
+  let hit_pct =
+    match Option.bind (Json.member "caches" j) Json.arr with
+    | None -> None
+    | Some caches ->
+      List.find_opt
+        (fun c -> Option.bind (Json.member "name" c) Json.str = Some "programs")
+        caches
+      |> Option.map (fun c ->
+             let hits = Option.value ~default:0. (num_field c "hits") in
+             let misses = Option.value ~default:0. (num_field c "misses") in
+             let total = hits +. misses in
+             m ~unit_:"pct" ~dir:Record.Higher ~gate:true ~floor:0.5
+               ~tolerance:5. "serve.program_cache_hit_pct"
+               (if total = 0. then 0. else 100. *. hits /. total))
+  in
+  let metrics =
+    List.filter_map Fun.id
+      [
+        g "throughput_rps" "serve.throughput_rps" ~unit_:"rps"
+          ~dir:Record.Higher ~gate:true ~floor:10. ~tolerance:20.;
+        g "p50_ms" "serve.p50_ms" ~unit_:"ms" ~dir:Record.Lower
+          ~gate:false ~floor:0.05 ~tolerance:50.;
+        g "p99_ms" "serve.p99_ms" ~unit_:"ms" ~dir:Record.Lower ~gate:true
+          ~floor:0.5 ~tolerance:25.;
+        g "warm_vs_cold_ratio" "serve.warm_vs_cold" ~unit_:"x"
+          ~dir:Record.Higher ~gate:true ~floor:0.5 ~tolerance:20.;
+        g "cold_ms_per_request" "serve.cold_ms_per_request" ~unit_:"ms"
+          ~dir:Record.Lower ~gate:gate_wall ~floor:1. ~tolerance:tol_wall;
+        g "failed" "serve.failed" ~unit_:"count" ~dir:Record.Lower ~gate:true
+          ~floor:0. ~tolerance:0.;
+        g "mismatches" "serve.oracle_mismatches" ~unit_:"count"
+          ~dir:Record.Lower ~gate:true ~floor:0. ~tolerance:0.;
+        g "requests" "serve.requests" ~unit_:"count" ~dir:Record.Higher
+          ~gate:false ~floor:0. ~tolerance:0.;
+        hit_pct;
+        Option.map
+          (fun reopts ->
+            m ~dir:Record.Higher "serve.reopts" (float_of_int reopts))
+          (Option.bind (Json.member "server" j) (fun s ->
+               Option.map int_of_float (num_field s "reopts")));
+      ]
+  in
+  if metrics = [] then Error "serve snapshot yielded no metrics"
+  else
+    Ok
+      (Record.make ?commit ~source ~runs:1 ~seq
+         ~label:(Option.value ~default:(Printf.sprintf "PR%d" seq) label)
+         ~context:"serve" metrics)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz shape: PR 3                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let import_fuzz ?seq ?label ?commit ~source j =
+  let* pr =
+    match (seq, num_field j "pr") with
+    | Some s, _ -> Ok s
+    | None, Some v -> Ok (int_of_float v)
+    | None, None -> Error "no sequence number: payload has no \"pr\" field"
+  in
+  let m = Record.metric in
+  let* cases = require j "cases" in
+  let* injected = require j "injected" in
+  let* caught = require j "caught" in
+  let failures = Option.value ~default:0. (num_field j "failures") in
+  let metrics =
+    [
+      m "fuzz.cases" cases;
+      m ~dir:Record.Lower ~gate:true ~floor:0. ~tolerance:0. "fuzz.failures"
+        failures;
+      m ~unit_:"pct" ~dir:Record.Higher ~gate:true ~floor:0. ~tolerance:0.
+        "fuzz.injected_caught_pct"
+        (if injected = 0. then 100. else 100. *. caught /. injected);
+    ]
+    @ List.filter_map
+        (fun (key, name) ->
+          Option.map (fun v -> m name v) (num_field j key))
+        [
+          ("reordered", "fuzz.sequences_reordered");
+          ("pieces_certified", "fuzz.pieces_certified");
+          ("lint_verdicts", "fuzz.lint_verdicts");
+        ]
+  in
+  Ok
+    (Record.make ?commit ~source ~runs:1 ~seq:pr
+       ~label:(Option.value ~default:(Printf.sprintf "PR%d" pr) label)
+       ~context:"fuzz" metrics)
+
+(* ------------------------------------------------------------------ *)
+(* Shape dispatch                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let of_json ?seq ?label ?commit ?(gate_wall = false) ~source j =
+  match Option.bind (Json.member "bench" j) Json.str with
+  | Some "serve_replay" -> import_serve ?seq ?label ?commit ~gate_wall ~source j
+  | Some "fuzz" -> import_fuzz ?seq ?label ?commit ~source j
+  | Some other -> Error (Printf.sprintf "unknown bench shape %S" other)
+  | None ->
+    if Json.member "pr" j <> None || Json.member "workloads" j <> None then
+      import_suite ?seq ?label ?commit ~gate_wall ~source j
+    else Error "unrecognized snapshot shape (no \"bench\" or \"pr\" field)"
+
+let of_file ?seq ?label ?commit ?gate_wall path =
+  match Json.parse_file path with
+  | exception Json.Parse_error m -> Error (path ^ ": " ^ m)
+  | exception Sys_error m -> Error m
+  | j ->
+    let seq = match seq with Some s -> Some s | None -> seq_of_filename path in
+    of_json ?seq ?label ?commit ?gate_wall ~source:(Filename.basename path) j

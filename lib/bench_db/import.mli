@@ -1,0 +1,43 @@
+(** Importers lifting every historical [BENCH_PR*.json] shape into the
+    normalized {!Record.t}.
+
+    Three source families are recognized automatically:
+
+    - the {b suite matrix} shape ([{"pr": n, "workloads": [...], ...}],
+      PR 1/2/4/5/6 — with or without the [backends] race, the [outcomes]
+      tally and the per-workload detection counts);
+    - the {b serve/replay} shape ([{"bench": "serve_replay", ...}],
+      PR 7);
+    - the {b fuzz} shape ([{"bench": "fuzz", ...}], PR 3).
+
+    Importer policy for historical snapshots: scale-invariant ratios
+    (backend speedups, instruction/branch reduction percentages, caught
+    ratios, cache hit rates) are imported as {e gated} metrics with
+    per-metric tolerances; raw wall-clock seconds are imported {e
+    ungated} because the snapshots were recorded on different machines
+    and input scales — a fresh same-machine series recorded with
+    [bromc bench record --gate-wall] gates them.  Fast-input and
+    full-input suite runs land in different contexts ([suite-fast] /
+    [suite-full]) so the gate never compares across input scales. *)
+
+val seq_of_filename : string -> int option
+(** [seq_of_filename "path/BENCH_PR6.json"] is [Some 6]. *)
+
+val of_json :
+  ?seq:int ->
+  ?label:string ->
+  ?commit:string ->
+  ?gate_wall:bool ->
+  source:string ->
+  Json.t ->
+  (Record.t, string) result
+(** [seq] defaults to the snapshot's ["pr"] field when present; [label]
+    to ["PR<seq>"].  [gate_wall] (default [false]) marks wall-clock
+    metrics as gated — for fresh records measured in a stable
+    environment. *)
+
+val of_file :
+  ?seq:int -> ?label:string -> ?commit:string -> ?gate_wall:bool ->
+  string -> (Record.t, string) result
+(** {!of_json} on a file, inferring [seq] from the [BENCH_PR<n>]
+    filename when the payload has no ["pr"] field. *)

@@ -1,0 +1,190 @@
+let schema_version = 1
+
+type dir = Higher | Lower
+
+type metric = {
+  m_name : string;
+  m_value : float;
+  m_unit : string;
+  m_dir : dir;
+  m_gate : bool;
+  m_floor : float;
+  m_tolerance : float option;
+}
+
+type t = {
+  r_schema : int;
+  r_seq : int;
+  r_label : string;
+  r_commit : string;
+  r_context : string;
+  r_source : string;
+  r_runs : int;
+  r_metrics : metric list;
+}
+
+let metric ?(unit_ = "count") ?(dir = Higher) ?(gate = false) ?(floor = 0.)
+    ?tolerance name value =
+  {
+    m_name = name;
+    m_value = value;
+    m_unit = unit_;
+    m_dir = dir;
+    m_gate = gate;
+    m_floor = floor;
+    m_tolerance = tolerance;
+  }
+
+let make ?(commit = "") ?(source = "") ?(runs = 1) ~seq ~label ~context metrics =
+  {
+    r_schema = schema_version;
+    r_seq = seq;
+    r_label = label;
+    r_commit = commit;
+    r_context = context;
+    r_source = source;
+    r_runs = runs;
+    r_metrics = metrics;
+  }
+
+let find r name =
+  List.find_opt (fun m -> String.equal m.m_name name) r.r_metrics
+
+let gated r = List.filter (fun m -> m.m_gate) r.r_metrics
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let dir_name = function Higher -> "higher" | Lower -> "lower"
+
+let encode_metric m =
+  Json.Obj
+    ([
+       ("name", Json.Str m.m_name);
+       ("value", Json.Float m.m_value);
+       ("unit", Json.Str m.m_unit);
+       ("dir", Json.Str (dir_name m.m_dir));
+       ("gate", Json.Bool m.m_gate);
+       ("floor", Json.Float m.m_floor);
+     ]
+    @
+    match m.m_tolerance with
+    | Some t -> [ ("tolerance", Json.Float t) ]
+    | None -> [])
+
+let encode r =
+  Json.Obj
+    [
+      ("schema", Json.Int r.r_schema);
+      ("seq", Json.Int r.r_seq);
+      ("label", Json.Str r.r_label);
+      ("commit", Json.Str r.r_commit);
+      ("context", Json.Str r.r_context);
+      ("source", Json.Str r.r_source);
+      ("runs", Json.Int r.r_runs);
+      ("metrics", Json.Arr (List.map encode_metric r.r_metrics));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let field name extract j =
+  match Option.bind (Json.member name j) extract with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or malformed field %S" name)
+
+let decode_metric j =
+  let* name = field "name" Json.str j in
+  let* value = field "value" Json.num j in
+  let* unit_ = field "unit" Json.str j in
+  let* dir_s = field "dir" Json.str j in
+  let* dir =
+    match dir_s with
+    | "higher" -> Ok Higher
+    | "lower" -> Ok Lower
+    | s -> Error (Printf.sprintf "metric %s: unknown dir %S" name s)
+  in
+  let* gate = field "gate" Json.bool j in
+  let* floor = field "floor" Json.num j in
+  let tolerance = Option.bind (Json.member "tolerance" j) Json.num in
+  Ok
+    {
+      m_name = name;
+      m_value = value;
+      m_unit = unit_;
+      m_dir = dir;
+      m_gate = gate;
+      m_floor = floor;
+      m_tolerance = tolerance;
+    }
+
+let decode j =
+  let* schema = field "schema" Json.int j in
+  if schema < 1 || schema > schema_version then
+    Error
+      (Printf.sprintf
+         "record schema v%d not supported (this reader knows 1..%d)" schema
+         schema_version)
+  else
+    let* seq = field "seq" Json.int j in
+    let* label = field "label" Json.str j in
+    let* commit = field "commit" Json.str j in
+    let* context = field "context" Json.str j in
+    let* source = field "source" Json.str j in
+    let* runs = field "runs" Json.int j in
+    let* metrics_json = field "metrics" Json.arr j in
+    let* metrics =
+      List.fold_left
+        (fun acc mj ->
+          let* acc = acc in
+          let* m = decode_metric mj in
+          Ok (m :: acc))
+        (Ok []) metrics_json
+    in
+    Ok
+      {
+        r_schema = schema;
+        r_seq = seq;
+        r_label = label;
+        r_commit = commit;
+        r_context = context;
+        r_source = source;
+        r_runs = runs;
+        r_metrics = List.rev metrics;
+      }
+
+let to_line r = Json.to_string ~compact:true (encode r)
+
+let of_line line =
+  match Json.parse line with
+  | j -> decode j
+  | exception Json.Parse_error m -> Error m
+
+let metric_equal a b =
+  String.equal a.m_name b.m_name
+  && a.m_value = b.m_value
+  && String.equal a.m_unit b.m_unit
+  && a.m_dir = b.m_dir && a.m_gate = b.m_gate && a.m_floor = b.m_floor
+  && a.m_tolerance = b.m_tolerance
+
+let equal a b =
+  a.r_schema = b.r_schema && a.r_seq = b.r_seq
+  && String.equal a.r_label b.r_label
+  && String.equal a.r_commit b.r_commit
+  && String.equal a.r_context b.r_context
+  && String.equal a.r_source b.r_source
+  && a.r_runs = b.r_runs
+  && List.length a.r_metrics = List.length b.r_metrics
+  && List.for_all2 metric_equal a.r_metrics b.r_metrics
+
+let pp ppf r =
+  Format.fprintf ppf "%s [%s] seq %d, %d metric(s), gated: %s" r.r_label
+    r.r_context r.r_seq
+    (List.length r.r_metrics)
+    (match gated r with
+    | [] -> "(none)"
+    | ms -> String.concat ", " (List.map (fun m -> m.m_name) ms))

@@ -1,0 +1,87 @@
+(** The normalized benchmark record: one measurement epoch, one line of
+    the append-only history.
+
+    Seven historical [BENCH_PR*.json] snapshots accumulated seven
+    drifting schemas (suite matrices with and without backend races,
+    outcome tallies, detection counts; a serve/replay shape; a fuzz
+    shape).  This type is the common denominator they are all lifted
+    into: a schema-versioned envelope of {e metrics} — named scalar
+    observations, each carrying its unit, its direction of goodness,
+    whether the regression gate watches it, an absolute noise floor, and
+    an optional per-metric regression tolerance.
+
+    Records are comparable only within a {e context} (e.g. a fast-input
+    suite run is not comparable to a full-input one); the gate's
+    baseline search never crosses contexts. *)
+
+val schema_version : int
+(** Current encoder schema.  {!decode} accepts any version in
+    [1..schema_version] and refuses later ones, so an old binary fails
+    loudly on a future history rather than misreading it. *)
+
+type dir = Higher | Lower  (** which way is better *)
+
+type metric = {
+  m_name : string;  (** dotted path, e.g. ["backends.native_vs_reference"] *)
+  m_value : float;
+  m_unit : string;  (** ["s"], ["x"], ["pct"], ["rps"], ["ms"], ["count"] *)
+  m_dir : dir;
+  m_gate : bool;    (** watched by [bromc bench gate] *)
+  m_floor : float;
+      (** absolute noise floor in the metric's own unit: deltas with
+          [|head - base| <= m_floor] never gate, whatever the
+          percentage — the anti-flap guard for near-zero denominators *)
+  m_tolerance : float option;
+      (** maximum tolerated regression in percent; [None] means the
+          gate's command-line default applies *)
+}
+
+type t = {
+  r_schema : int;
+  r_seq : int;       (** position in the series (PR number / epoch) *)
+  r_label : string;  (** unique name, e.g. ["PR6"] *)
+  r_commit : string; (** git commit hash, [""] when unrecorded *)
+  r_context : string;
+      (** comparability class: ["suite-full"], ["suite-fast"],
+          ["serve"], ["fuzz"], ... *)
+  r_source : string; (** provenance: importing file name or ["live"] *)
+  r_runs : int;      (** best-of-N cycles behind the timing metrics *)
+  r_metrics : metric list;
+}
+
+val metric :
+  ?unit_:string ->
+  ?dir:dir ->
+  ?gate:bool ->
+  ?floor:float ->
+  ?tolerance:float ->
+  string ->
+  float ->
+  metric
+(** Defaults: unit ["count"], dir [Higher], gate [false], floor [0.]. *)
+
+val make :
+  ?commit:string ->
+  ?source:string ->
+  ?runs:int ->
+  seq:int ->
+  label:string ->
+  context:string ->
+  metric list ->
+  t
+
+val find : t -> string -> metric option
+val gated : t -> metric list
+
+val encode : t -> Json.t
+val decode : Json.t -> (t, string) result
+
+val to_line : t -> string
+(** One compact JSON line (no newline). *)
+
+val of_line : string -> (t, string) result
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Human summary: label, context, metric count, gated metric names. *)

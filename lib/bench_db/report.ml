@@ -1,0 +1,213 @@
+let bars = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+              "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+(* up to three decimals, trailing zeros trimmed: 832.37, 1.104, 5, -46.419 *)
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else begin
+    let s = Printf.sprintf "%.3f" v in
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = '0' do decr n done;
+    if !n > 0 && s.[!n - 1] = '.' then decr n;
+    String.sub s 0 !n
+  end
+
+let sparkline values =
+  let present = List.filter_map Fun.id values in
+  let lo = List.fold_left min infinity present in
+  let hi = List.fold_left max neg_infinity present in
+  let cell = function
+    | None -> "\xc2\xb7" (* · *)
+    | Some v ->
+      if hi -. lo < 1e-12 then bars.(3)
+      else
+        let idx =
+          int_of_float (Float.round ((v -. lo) /. (hi -. lo) *. 7.))
+        in
+        bars.(max 0 (min 7 idx))
+  in
+  String.concat "" (List.map cell values)
+
+(* signed pct between the last observation and the previous one *)
+let last_delta values =
+  match List.rev (List.filter_map Fun.id values) with
+  | last :: prev :: _ when Float.abs prev > 1e-12 ->
+    Some (100. *. (last -. prev) /. Float.abs prev)
+  | _ -> None
+
+(* insertion-ordered dedup *)
+let uniq xs =
+  List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs
+  |> List.rev
+
+let contexts records =
+  uniq (List.map (fun (r : Record.t) -> r.Record.r_context) records)
+
+let metric_names records =
+  uniq
+    (List.concat_map
+       (fun (r : Record.t) ->
+         List.map (fun m -> m.Record.m_name) r.Record.r_metrics)
+       records)
+
+let dir_arrow = function
+  | Record.Higher -> "\xe2\x86\x91" (* ↑ *)
+  | Record.Lower -> "\xe2\x86\x93" (* ↓ *)
+
+type row = {
+  row_name : string;
+  row_unit : string;
+  row_dir : Record.dir;
+  row_gated : bool;
+  row_values : float option list;  (* one slot per record column *)
+}
+
+let rows_of_context records =
+  List.filter_map
+    (fun name ->
+      let cells =
+        List.map (fun r -> Option.map (fun m -> m.Record.m_value)
+                     (Record.find r name)) records
+      in
+      match
+        List.find_map (fun r -> Record.find r name) records
+      with
+      | None -> None
+      | Some m ->
+        Some
+          {
+            row_name = name;
+            row_unit = m.Record.m_unit;
+            row_dir = m.Record.m_dir;
+            row_gated = m.Record.m_gate;
+            row_values = cells;
+          })
+    (metric_names records)
+
+(* ------------------------------------------------------------------ *)
+(* Markdown                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let md_context buf records context =
+  let records =
+    List.filter (fun (r : Record.t) -> r.Record.r_context = context) records
+  in
+  Buffer.add_string buf (Printf.sprintf "## Context `%s`\n\n" context);
+  let labels = List.map (fun (r : Record.t) -> r.Record.r_label) records in
+  Buffer.add_string buf
+    ("| metric | unit | better | gate | trend | "
+    ^ String.concat " | " labels
+    ^ " | \xce\x94 last |\n");
+  Buffer.add_string buf
+    ("|---|---|---|---|---|"
+    ^ String.concat "" (List.map (fun _ -> "---|") labels)
+    ^ "---|\n");
+  List.iter
+    (fun row ->
+      let cells =
+        List.map
+          (function None -> "\xc2\xb7" | Some v -> fmt_value v)
+          row.row_values
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %s | %s | %s | %s | %s | %s |\n" row.row_name
+           row.row_unit (dir_arrow row.row_dir)
+           (if row.row_gated then "\xe2\x9c\x93" else "")
+           (sparkline row.row_values)
+           (String.concat " | " cells)
+           (match last_delta row.row_values with
+           | None -> "\xc2\xb7"
+           | Some d -> Printf.sprintf "%+.1f%%" d)))
+    (rows_of_context records);
+  Buffer.add_char buf '\n'
+
+let to_markdown records =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# Benchmark trend report\n\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%d records, schema version %d. Metrics marked \xe2\x9c\x93 are \
+        regression-gated; \xe2\x86\x91 means higher is better. Values are \
+        best-of-N where the record says so; \xc2\xb7 marks snapshots that \
+        did not carry the metric.\n\n"
+       (List.length records) Record.schema_version);
+  List.iter (md_context buf records) (contexts records);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* HTML                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let html_context buf records context =
+  let records =
+    List.filter (fun (r : Record.t) -> r.Record.r_context = context) records
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "<h2>Context <code>%s</code></h2>\n<table>\n<tr>"
+       (html_escape context));
+  Buffer.add_string buf
+    "<th>metric</th><th>unit</th><th>better</th><th>gate</th><th>trend</th>";
+  List.iter
+    (fun (r : Record.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "<th>%s</th>" (html_escape r.Record.r_label)))
+    records;
+  Buffer.add_string buf "<th>\xce\x94 last</th></tr>\n";
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<tr><td class=\"m\">%s</td><td>%s</td><td>%s</td><td>%s</td><td \
+            class=\"spark\">%s</td>"
+           (html_escape row.row_name) (html_escape row.row_unit)
+           (dir_arrow row.row_dir)
+           (if row.row_gated then "\xe2\x9c\x93" else "")
+           (sparkline row.row_values));
+      List.iter
+        (fun v ->
+          Buffer.add_string buf
+            (Printf.sprintf "<td class=\"v\">%s</td>"
+               (match v with None -> "\xc2\xb7" | Some v -> fmt_value v)))
+        row.row_values;
+      Buffer.add_string buf
+        (Printf.sprintf "<td class=\"v\">%s</td></tr>\n"
+           (match last_delta row.row_values with
+           | None -> "\xc2\xb7"
+           | Some d -> Printf.sprintf "%+.1f%%" d)))
+    (rows_of_context records);
+  Buffer.add_string buf "</table>\n"
+
+let to_html records =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+     <title>Benchmark trend report</title>\n<style>\n\
+     body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem; }\n\
+     table { border-collapse: collapse; margin-bottom: 2rem; }\n\
+     th, td { border: 1px solid #ccc; padding: 0.25rem 0.6rem; }\n\
+     th { background: #f2f2f2; text-align: left; }\n\
+     td.v { text-align: right; font-variant-numeric: tabular-nums; }\n\
+     td.m { font-family: monospace; }\n\
+     td.spark { font-family: monospace; letter-spacing: 0.05em; }\n\
+     </style>\n</head>\n<body>\n<h1>Benchmark trend report</h1>\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<p>%d records, schema version %d. Metrics marked \xe2\x9c\x93 are \
+        regression-gated; \xe2\x86\x91 means higher is better.</p>\n"
+       (List.length records) Record.schema_version);
+  List.iter (html_context buf records) (contexts records);
+  Buffer.add_string buf "</body>\n</html>\n";
+  Buffer.contents buf

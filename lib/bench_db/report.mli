@@ -1,0 +1,16 @@
+(** The static trend report: the whole history rendered as per-context
+    sparktables, one row per metric, one column per record.
+
+    Both renderers are deterministic functions of the record list — no
+    timestamps, no environment — so a fixed history fixture produces
+    byte-stable output suitable for golden tests and for committing as a
+    CI artifact. *)
+
+val to_markdown : Record.t list -> string
+(** GitHub-flavored markdown: a heading per context, a table with a
+    unicode sparkline per metric and a signed delta between the last two
+    observations. *)
+
+val to_html : Record.t list -> string
+(** The same tables as a self-contained static HTML page (inline CSS,
+    no scripts, no external fetches). *)

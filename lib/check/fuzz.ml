@@ -86,24 +86,30 @@ let build spec =
 
 (* alternate the coalescing decision so the verifier's jump-table path is
    exercised too *)
+let case_coalesce case = case mod 2 = 1
+let case_facts case = case mod 4 < 2
+
 let coalesce_machine_for case =
-  if case mod 2 = 1 then Some Sim.Cycle_model.sparc_ipc else None
+  if case_coalesce case then Some Sim.Cycle_model.sparc_ipc else None
 
 (* alternate the detector too: even cases use the interval-facts walk
    (the pipeline default), odd cases the syntactic one, so both are
    under the verifier and the backend differential *)
-let transform ?coalesce_machine ?(config = Sim.Machine.default_config) ~facts
-    spec =
-  let base = build spec in
+let transform_built ?coalesce_machine ?(config = Sim.Machine.default_config)
+    ~facts ~train base =
   let seqs = Detect.find_program ~facts base in
   let train_prog = Mir.Clone.program base in
   let table = Reorder.Profiles.instrument train_prog seqs in
   let (_ : Sim.Machine.result) =
-    Sim.Machine.run ~config ~profile:table train_prog ~input:spec.Gen.sp_train
+    Sim.Machine.run ~config ~profile:table train_prog ~input:train
   in
   let reord = Mir.Clone.program base in
   let report = Pass.run ?coalesce_machine reord seqs table in
   (base, reord, report)
+
+let transform ?coalesce_machine ?config ~facts spec =
+  transform_built ?coalesce_machine ?config ~facts ~train:spec.Gen.sp_train
+    (build spec)
 
 (* ------------------------------------------------------------------ *)
 (* Bug injection: wrong default target                                  *)
@@ -380,7 +386,7 @@ let run_case ?config ~backends ~inject ~case spec =
     let base, reord, report =
       transform
         ?coalesce_machine:(coalesce_machine_for case)
-        ?config ~facts:(case mod 4 < 2) spec
+        ?config ~facts:(case_facts case) spec
     in
     let injected =
       if inject then inject_wrong_default ~before:base ~after:reord report
@@ -448,16 +454,7 @@ let run_case ?config ~backends ~inject ~case spec =
       co_injected = false; co_caught = false; co_blocks = None;
       co_lint_diags = 0 }
 
-(* ------------------------------------------------------------------ *)
-(* The driver loop                                                      *)
-(* ------------------------------------------------------------------ *)
-
-let form_name = function
-  | Gen.F_eq _ -> "eq"
-  | Gen.F_ne _ -> "ne"
-  | Gen.F_le _ -> "le"
-  | Gen.F_ge _ -> "ge"
-  | Gen.F_between _ -> "between"
+let spec_of_case ~seed ~case = Gen.spec_of_seed ((seed * 1_000_003) + case)
 
 let default_backends : backend list = [ `Reference; `Predecoded; `Compiled ]
 
@@ -468,6 +465,76 @@ let default_backends : backend list = [ `Reference; `Predecoded; `Compiled ]
 let all_backends () : backend list =
   if Sim.Native.available () then default_backends @ [ `Native ]
   else default_backends
+
+(* ------------------------------------------------------------------ *)
+(* Program-level replay (corpus repros)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The same stages as [run_case], but starting from a parsed program
+   instead of a generated spec — what [bromc bench corpus] feeds saved
+   [.mir] repros through.  The program may still contain [Switch]
+   terminators; it is cloned first, so the caller's copy survives. *)
+let run_program ?config ?(backends = default_backends) ?(facts = true)
+    ?(coalesce = false) ~heuristic ~train ~test prog =
+  let empty =
+    { co_errors = []; co_reordered = 0; co_coalesced = 0; co_unchanged = 0;
+      co_pieces = 0; co_injected = false; co_caught = false; co_blocks = None;
+      co_lint_diags = 0 }
+  in
+  try
+    let built = Mir.Clone.program prog in
+    Mir.Validate.check ~allow_switch:true built;
+    Mopt.Switch_lower.lower_program heuristic built;
+    Mopt.Cleanup.run built;
+    Mir.Validate.check built;
+    let base, reord, report =
+      transform_built
+        ?coalesce_machine:
+          (if coalesce then Some Sim.Cycle_model.sparc_ipc else None)
+        ?config ~facts ~train built
+    in
+    let summary = Verify.certify_report ~before:base ~after:reord report in
+    let reo, coa, unc = count_outcomes report in
+    let pieces =
+      List.fold_left
+        (fun acc r -> acc + r.Verify.v_pieces)
+        0 summary.Verify.seq_results
+    in
+    let out =
+      { empty with co_reordered = reo; co_coalesced = coa; co_unchanged = unc;
+                   co_pieces = pieces }
+    in
+    if not (Verify.ok summary) then
+      { out with co_errors = Verify.all_errors summary }
+    else begin
+      let lint_errors, lint_diags =
+        lint_cross_errors ?config base ~inputs:[ train; test ]
+      in
+      let orig = Mir.Clone.program base in
+      ignore (Mopt.Cleanup.finalize orig);
+      ignore (Mopt.Cleanup.finalize reord);
+      Mir.Validate.check orig;
+      Mir.Validate.check reord;
+      let errors =
+        differential_errors ?config backends ~orig ~reord ~input:test
+      in
+      { out with co_errors = lint_errors @ errors; co_lint_diags = lint_diags }
+    end
+  with
+  | Failure m -> { empty with co_errors = [ "exception: " ^ m ] }
+  | Sim.Machine.Trap m ->
+    { empty with co_errors = [ "trap during training: " ^ m ] }
+
+(* ------------------------------------------------------------------ *)
+(* The driver loop                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let form_name = function
+  | Gen.F_eq _ -> "eq"
+  | Gen.F_ne _ -> "ne"
+  | Gen.F_le _ -> "le"
+  | Gen.F_ge _ -> "ge"
+  | Gen.F_between _ -> "between"
 
 let run ?(backends = default_backends) ?(inject = false) ?(log = ignore)
     ?skip ?on_case ?deadline_ms ~cases ~seed () =
@@ -507,7 +574,7 @@ let run ?(backends = default_backends) ?(inject = false) ?(log = ignore)
         }
   in
   let process case =
-    let spec = Gen.spec_of_seed ((seed * 1_000_003) + case) in
+    let spec = spec_of_case ~seed ~case in
     tally spec;
     let config = case_config () in
     let out = run_case ?config ~backends ~inject ~case spec in

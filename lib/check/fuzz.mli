@@ -74,6 +74,64 @@ val pp_stats : Format.formatter -> stats -> unit
 val pp_failure : Format.formatter -> failure -> unit
 (** The shrunk counterexample, its errors, and the full spec. *)
 
+(** {2 Single-case replay}
+
+    The per-case machinery, exposed for the repro corpus
+    ([Bench_db.Corpus]): minting a repro shrinks a spec under
+    {!run_case} with a caller-chosen predicate, and replaying a saved
+    [.mir] repro feeds the parsed program through {!run_program} — the
+    same stages as a fuzz case, without a generator in the loop. *)
+
+type case_out = {
+  co_errors : string list;  (** empty = the case passed *)
+  co_reordered : int;
+  co_coalesced : int;
+  co_unchanged : int;
+  co_pieces : int;
+  co_injected : bool;  (** inject mode: a bug was planted *)
+  co_caught : bool;    (** inject mode: the verifier rejected it *)
+  co_blocks : int option;
+      (** inject mode: blocks of the function the bug landed in *)
+  co_lint_diags : int;
+}
+
+val spec_of_case : seed:int -> case:int -> Gen.spec
+(** The spec case [case] of a [run ~seed] draws — the seed arithmetic in
+    one place, so repro headers can name [(seed, case)] instead of
+    embedding specs. *)
+
+val case_facts : int -> bool
+val case_coalesce : int -> bool
+(** The per-case detector and coalescing alternation [run] applies, so a
+    replay of case [i] makes the same choices. *)
+
+val run_case :
+  ?config:Sim.Machine.config ->
+  backends:backend list ->
+  inject:bool ->
+  case:int ->
+  Gen.spec ->
+  case_out
+(** One spec through build → lower → train → reorder → certify →
+    (without inject) lint cross-check and backend differential.  [case]
+    only selects the alternating detector and coalescing choices, so a
+    shrink loop must hold it fixed. *)
+
+val run_program :
+  ?config:Sim.Machine.config ->
+  ?backends:backend list ->
+  ?facts:bool ->
+  ?coalesce:bool ->
+  heuristic:Mopt.Switch_lower.heuristic_set ->
+  train:string ->
+  test:string ->
+  Mir.Program.t ->
+  case_out
+(** Like {!run_case} but starting from a program (which may still carry
+    [Switch] terminators; it is cloned, not mutated).  [facts] picks the
+    interval-facts detector (default [true]), [coalesce] the SPARC IPC
+    coalescing model (default [false]). *)
+
 val run :
   ?backends:backend list ->
   ?inject:bool ->

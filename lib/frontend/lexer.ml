@@ -96,11 +96,15 @@ let lex_number st =
     peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X')
   in
   if hex then begin
+    let start_loc = loc st in
     advance st;
     advance st;
+    let digits = st.pos in
     while (match peek st with Some c -> is_hex c | None -> false) do
       advance st
     done;
+    if st.pos = digits then
+      Srcloc.error start_loc "hexadecimal literal with no digits";
     Token.INT (int_of_string (String.sub st.src start (st.pos - start)))
   end
   else begin

@@ -259,6 +259,7 @@ type line_kind =
 let classify lineno raw =
   let s = strip raw in
   if s = "" then Lblank
+  else if s.[0] = ';' then Lblank (* full-line comment *)
   else if starts_with "global " s then begin
     let rest = drop_prefix "global " s in
     let name_part, init =

@@ -1,0 +1,414 @@
+(* The continuous-benchmarking flywheel: record roundtrips, the seven
+   historical snapshot shapes, the golden trend report, the regression
+   gate and the minimized-repro corpus. *)
+
+module R = Bench_db.Record
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let bench_files =
+  List.init 7 (fun i -> Printf.sprintf "../BENCH_PR%d.json" (i + 1))
+
+let history_path = "../bench/history.jsonl"
+
+let load_history () =
+  match Bench_db.History.load history_path with
+  | Ok records -> records
+  | Error m -> Alcotest.fail m
+
+let find_label records label =
+  match
+    List.find_opt (fun (r : R.t) -> String.equal r.R.r_label label) records
+  with
+  | Some r -> r
+  | None -> Alcotest.failf "no record labelled %s" label
+
+let metric_value r name =
+  match R.find r name with
+  | Some m -> m.R.m_value
+  | None -> Alcotest.failf "%s has no metric %s" r.R.r_label name
+
+(* ------------------------------------------------------------------ *)
+(* Record roundtrip property                                           *)
+(* ------------------------------------------------------------------ *)
+
+let gen_name =
+  QCheck2.Gen.(
+    oneof
+      [
+        string_size ~gen:(char_range 'a' 'z') (1 -- 12);
+        oneofl
+          [
+            "suite.branch_reduction_pct"; "backends.compiled_vs_reference";
+            "metric with spaces"; "quote\"backslash\\tab\t";
+          ];
+      ])
+
+let gen_value =
+  QCheck2.Gen.(
+    oneof
+      [
+        map float_of_int (int_range (-1_000_000) 1_000_000);
+        map
+          (fun (num, den) -> float_of_int num /. float_of_int den)
+          (pair (int_range (-1_000_000) 1_000_000) (int_range 1 997));
+      ])
+
+let gen_metric =
+  let open QCheck2.Gen in
+  let* name = gen_name in
+  let* value = gen_value in
+  let* unit_ = oneofl [ "count"; "s"; "x"; "pct"; "rps"; "ms" ] in
+  let* dir = oneofl [ R.Higher; R.Lower ] in
+  let* gate = bool in
+  let* floor = map Float.abs gen_value in
+  let* tolerance = option (map Float.abs gen_value) in
+  pure (R.metric ~unit_ ~dir ~gate ~floor ?tolerance name value)
+
+let gen_record =
+  let open QCheck2.Gen in
+  let* seq = int_range 0 999 in
+  let* label = gen_name in
+  let* commit = oneofl [ ""; "deadbeef"; "5c5d651" ] in
+  let* context = oneofl [ "suite-full"; "suite-fast"; "serve"; "fuzz" ] in
+  let* source = gen_name in
+  let* runs = int_range 1 9 in
+  let* metrics = list_size (0 -- 8) gen_metric in
+  pure (R.make ~commit ~source ~runs ~seq ~label ~context metrics)
+
+let record_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"record JSONL line roundtrips"
+       gen_record (fun r ->
+         match R.of_line (R.to_line r) with
+         | Ok r' -> R.equal r r'
+         | Error m -> QCheck2.Test.fail_reportf "decode failed: %s" m))
+
+let find_sub ~sub s =
+  let n = String.length sub in
+  let rec go i =
+    if i + n > String.length s then None
+    else if String.sub s i n = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let replace_once ~sub ~by s =
+  match find_sub ~sub s with
+  | None -> s
+  | Some i ->
+    String.sub s 0 i ^ by
+    ^ String.sub s
+        (i + String.length sub)
+        (String.length s - i - String.length sub)
+
+let test_schema_refused () =
+  let r = R.make ~seq:1 ~label:"X" ~context:"fuzz" [ R.metric "m" 1. ] in
+  let line =
+    replace_once
+      ~sub:(Printf.sprintf "\"schema\":%d" R.schema_version)
+      ~by:(Printf.sprintf "\"schema\":%d" (R.schema_version + 1))
+      (R.to_line r)
+  in
+  match R.of_line line with
+  | Ok _ -> Alcotest.fail "a future schema version must be refused"
+  | Error m ->
+    Alcotest.(check bool)
+      "error names the version" true
+      (String.length m > 0)
+
+(* ------------------------------------------------------------------ *)
+(* The seven historical snapshot shapes                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_import_all_shapes () =
+  List.iter
+    (fun path ->
+      match Bench_db.Import.of_file path with
+      | Error m -> Alcotest.failf "%s: %s" path m
+      | Ok r ->
+        Alcotest.(check bool)
+          (path ^ " yields metrics") true (r.R.r_metrics <> []);
+        Alcotest.(check bool)
+          (path ^ " yields gated metrics") true (R.gated r <> []))
+    bench_files
+
+(* lifting must not lose or distort the values the gate runs on *)
+let test_import_values () =
+  let imported path = Result.get_ok (Bench_db.Import.of_file path) in
+  let close = Alcotest.float 1e-9 in
+  let pr2 = imported "../BENCH_PR2.json" in
+  Alcotest.check close "PR2 compiled/reference" 1.566
+    (metric_value pr2 "backends.compiled_vs_reference");
+  let pr3 = imported "../BENCH_PR3.json" in
+  Alcotest.check close "PR3 catches all injected bugs" 100.
+    (metric_value pr3 "fuzz.injected_caught_pct");
+  Alcotest.check close "PR3 cases" 500. (metric_value pr3 "fuzz.cases");
+  Alcotest.check close "PR3 failures" 0. (metric_value pr3 "fuzz.failures");
+  let pr6 = imported "../BENCH_PR6.json" in
+  Alcotest.check close "PR6 compiled/reference" 1.48
+    (metric_value pr6 "backends.compiled_vs_reference");
+  Alcotest.check close "PR6 native/reference" 5.838
+    (metric_value pr6 "backends.native_vs_reference");
+  Alcotest.(check int) "PR6 is best-of-3" 3 pr6.R.r_runs;
+  let pr7 = imported "../BENCH_PR7.json" in
+  Alcotest.check close "PR7 throughput" 832.37
+    (metric_value pr7 "serve.throughput_rps");
+  Alcotest.check close "PR7 oracle mismatches" 0.
+    (metric_value pr7 "serve.oracle_mismatches");
+  Alcotest.check close "PR7 program cache hit rate"
+    (100. *. 1063. /. 1081.)
+    (metric_value pr7 "serve.program_cache_hit_pct");
+  Alcotest.(check string) "PR7 context" "serve" pr7.R.r_context;
+  Alcotest.(check string)
+    "PR5 fast input is its own context" "suite-fast"
+    (imported "../BENCH_PR5.json").R.r_context
+
+let test_history_has_all_seven () =
+  let records = load_history () in
+  Alcotest.(check int) "seven records" 7 (List.length records);
+  List.iteri
+    (fun i (r : R.t) ->
+      Alcotest.(check string)
+        (Printf.sprintf "record %d label" i)
+        (Printf.sprintf "PR%d" (i + 1))
+        r.R.r_label)
+    records
+
+(* ------------------------------------------------------------------ *)
+(* Golden trend report                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_golden () =
+  let records =
+    match Bench_db.History.load "bench_history_fixture.jsonl" with
+    | Ok r -> r
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check string)
+    "markdown report is byte-stable"
+    (read_file "bench_report_golden.md")
+    (Bench_db.Report.to_markdown records);
+  (* the html rendering shares the data; just pin its shape *)
+  let html = Bench_db.Report.to_html records in
+  Alcotest.(check bool)
+    "html embeds every context" true
+    (List.for_all
+       (fun ctx ->
+         find_sub ~sub:(Printf.sprintf "<code>%s</code>" ctx) html <> None)
+       [ "suite-full"; "suite-fast"; "serve"; "fuzz" ])
+
+(* ------------------------------------------------------------------ *)
+(* The regression gate                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_gate_true_history_passes () =
+  let records = load_history () in
+  List.iter
+    (fun (head : R.t) ->
+      let verdicts = Bench_db.Gate.check ~head ~history:records () in
+      match Bench_db.Gate.failures verdicts with
+      | [] -> ()
+      | v :: _ ->
+        Alcotest.failf "history gates red at %s: %s regressed %.1f%%"
+          head.R.r_label v.Bench_db.Gate.v_metric v.Bench_db.Gate.v_regress_pct)
+    records
+
+let worsen r name factor =
+  {
+    r with
+    R.r_seq = 99;
+    R.r_label = "HEAD";
+    R.r_metrics =
+      List.map
+        (fun (m : R.metric) ->
+          if String.equal m.R.m_name name then
+            { m with R.m_value = m.R.m_value *. factor }
+          else m)
+        r.R.r_metrics;
+  }
+
+let test_gate_injected_regression_fails () =
+  let records = load_history () in
+  (* -28.07% branch reduction decaying to -25.26% is a 10% regression on
+     a metric whose tolerance is 2.5% *)
+  let head = worsen (find_label records "PR6") "suite.branch_reduction_pct" 0.9 in
+  let verdicts = Bench_db.Gate.check ~head ~history:records () in
+  match Bench_db.Gate.failures verdicts with
+  | [ v ] ->
+    Alcotest.(check string)
+      "the failing metric is named" "suite.branch_reduction_pct"
+      v.Bench_db.Gate.v_metric;
+    Alcotest.(check bool)
+      "regression is ~10%" true
+      (Float.abs (v.Bench_db.Gate.v_regress_pct -. 10.) < 0.5);
+    Alcotest.(check (option string))
+      "baseline is named" (Some "PR6") v.Bench_db.Gate.v_base_label
+  | [] -> Alcotest.fail "a 10% regression must fail the gate"
+  | vs -> Alcotest.failf "expected one failure, got %d" (List.length vs)
+
+let test_gate_unchanged_head_passes () =
+  let records = load_history () in
+  let pr6 = find_label records "PR6" in
+  let head = { pr6 with R.r_seq = 99; R.r_label = "HEAD" } in
+  Alcotest.(check int)
+    "no-change head gates green" 0
+    (List.length
+       (Bench_db.Gate.failures
+          (Bench_db.Gate.check ~head ~history:records ())))
+
+let test_gate_noise_floor () =
+  let base =
+    R.make ~seq:1 ~label:"B" ~context:"serve"
+      [
+        R.metric ~unit_:"ms" ~dir:R.Lower ~gate:true ~floor:0.5 ~tolerance:0.
+          "p99" 0.1;
+      ]
+  in
+  let head value =
+    R.make ~seq:2 ~label:"H" ~context:"serve"
+      [
+        R.metric ~unit_:"ms" ~dir:R.Lower ~gate:true ~floor:0.5 ~tolerance:0.
+          "p99" value;
+      ]
+  in
+  (* +350% of a 0.1 ms baseline, but only +0.35 ms: under the floor, no flap *)
+  (match Bench_db.Gate.check ~head:(head 0.45) ~history:[ base ] () with
+  | [ v ] ->
+    Alcotest.(check bool)
+      "sub-floor delta does not gate" true
+      (v.Bench_db.Gate.v_status = Bench_db.Gate.Below_floor)
+  | _ -> Alcotest.fail "expected one verdict");
+  (* +0.8 ms clears the floor and the zero tolerance: fail *)
+  match Bench_db.Gate.check ~head:(head 0.9) ~history:[ base ] () with
+  | [ v ] ->
+    Alcotest.(check bool)
+      "above-floor regression fails" true
+      (v.Bench_db.Gate.v_status = Bench_db.Gate.Fail)
+  | _ -> Alcotest.fail "expected one verdict"
+
+let test_gate_against_label () =
+  let records = load_history () in
+  let head = { (find_label records "PR6") with R.r_seq = 99; R.r_label = "HEAD" } in
+  let verdicts =
+    Bench_db.Gate.check ~against:"PR4" ~head ~history:records ()
+  in
+  Alcotest.(check int) "pinned baseline gates green" 0
+    (List.length (Bench_db.Gate.failures verdicts));
+  List.iter
+    (fun (v : Bench_db.Gate.verdict) ->
+      match v.Bench_db.Gate.v_base_label with
+      | Some l -> Alcotest.(check string) "baseline pinned to PR4" "PR4" l
+      | None -> ())
+    verdicts
+
+(* ------------------------------------------------------------------ *)
+(* The repro corpus                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_mir_full_line_comments () =
+  let prog =
+    Mir.Parse.program
+      "; a full-line comment\nfunction main():\nmain.entry:\n  ret 0\n"
+  in
+  Alcotest.(check int) "one function" 1 (List.length prog.Mir.Program.funcs)
+
+let test_corpus_roundtrip () =
+  let spec = Check.Fuzz.spec_of_case ~seed:7 ~case:3 in
+  let r =
+    Bench_db.Corpus.of_spec ~name:"roundtrip" ~origin:"unit test"
+      ~facts:(Check.Fuzz.case_facts 3) ~coalesce:(Check.Fuzz.case_coalesce 3)
+      spec
+  in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "bromc-corpus-test" in
+  let path = Bench_db.Corpus.save ~dir r in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Bench_db.Corpus.load_file path with
+      | Error m -> Alcotest.fail m
+      | Ok r' ->
+        Alcotest.(check string) "origin" r.Bench_db.Corpus.rp_origin
+          r'.Bench_db.Corpus.rp_origin;
+        Alcotest.(check int) "heuristic" r.Bench_db.Corpus.rp_heuristic
+          r'.Bench_db.Corpus.rp_heuristic;
+        Alcotest.(check bool) "facts" r.Bench_db.Corpus.rp_facts
+          r'.Bench_db.Corpus.rp_facts;
+        Alcotest.(check bool) "coalesce" r.Bench_db.Corpus.rp_coalesce
+          r'.Bench_db.Corpus.rp_coalesce;
+        Alcotest.(check string) "train" r.Bench_db.Corpus.rp_train
+          r'.Bench_db.Corpus.rp_train;
+        Alcotest.(check string) "test" r.Bench_db.Corpus.rp_test
+          r'.Bench_db.Corpus.rp_test;
+        Alcotest.(check string) "program text"
+          (Format.asprintf "%a" Mir.Program.pp r.Bench_db.Corpus.rp_program)
+          (Format.asprintf "%a" Mir.Program.pp r'.Bench_db.Corpus.rp_program))
+
+(* every committed repro replays green and byte-identical across the
+   backends (native joins the race when the toolchain is present) *)
+let test_corpus_replay () =
+  match Bench_db.Corpus.load_dir "../corpus" with
+  | Error m -> Alcotest.fail m
+  | Ok repros ->
+    Alcotest.(check bool) "the corpus is seeded" true (List.length repros >= 2);
+    let backends = Check.Fuzz.all_backends () in
+    List.iter
+      (fun (r : Bench_db.Corpus.repro) ->
+        let out = Bench_db.Corpus.replay ~backends r in
+        Alcotest.(check (list string))
+          (r.Bench_db.Corpus.rp_name ^ " replays green")
+          [] out.Check.Fuzz.co_errors;
+        Alcotest.(check bool)
+          (r.Bench_db.Corpus.rp_name ^ " still reorders something")
+          true
+          (out.Check.Fuzz.co_reordered + out.Check.Fuzz.co_coalesced > 0))
+      repros
+
+(* a replay is the fuzz case: a planted wrong default on a corpus
+   program must still be caught when run in inject mode *)
+let test_corpus_specs_still_catch_injection () =
+  List.iter
+    (fun case ->
+      let spec =
+        Check.Gen.shrink_spec
+          ~keep:(fun s ->
+            (Check.Fuzz.run_case ~backends:Check.Fuzz.default_backends
+               ~inject:true ~case s)
+              .Check.Fuzz.co_caught)
+          (Check.Fuzz.spec_of_case ~seed:42 ~case)
+      in
+      let out =
+        Check.Fuzz.run_case ~backends:Check.Fuzz.default_backends ~inject:true
+          ~case spec
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d caught after shrinking" case)
+        true out.Check.Fuzz.co_caught)
+    [ 0 ]
+
+let suite =
+  [
+    record_roundtrip;
+    ("future schema refused", `Quick, test_schema_refused);
+    ("all seven snapshot shapes import", `Quick, test_import_all_shapes);
+    ("imported values survive lifting", `Quick, test_import_values);
+    ("history holds PR1..PR7", `Quick, test_history_has_all_seven);
+    ("trend report matches golden file", `Quick, test_report_golden);
+    ("gate: true history passes", `Quick, test_gate_true_history_passes);
+    ( "gate: injected 10% regression fails",
+      `Quick,
+      test_gate_injected_regression_fails );
+    ("gate: unchanged head passes", `Quick, test_gate_unchanged_head_passes);
+    ("gate: noise floor suppresses flap", `Quick, test_gate_noise_floor);
+    ("gate: --against pins the baseline", `Quick, test_gate_against_label);
+    ("mir: full-line comments parse", `Quick, test_mir_full_line_comments);
+    ("corpus: repro file roundtrips", `Quick, test_corpus_roundtrip);
+    ("corpus: committed repros replay green", `Quick, test_corpus_replay);
+    ( "corpus: shrunk specs still catch injection",
+      `Quick,
+      test_corpus_specs_still_catch_injection );
+  ]

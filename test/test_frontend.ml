@@ -46,7 +46,9 @@ let test_lex_errors () =
   expect_srcloc_error (fun () -> toks "\"unterminated");
   expect_srcloc_error (fun () -> toks "/* unterminated");
   expect_srcloc_error (fun () -> toks "a $ b");
-  expect_srcloc_error (fun () -> toks {|"bad \q escape"|})
+  expect_srcloc_error (fun () -> toks {|"bad \q escape"|});
+  expect_srcloc_error (fun () -> toks "0x");
+  expect_srcloc_error (fun () -> toks "0Xg")
 
 let test_lex_locations () =
   let all = Minic.Lexer.tokenize "a\n  b" in

@@ -25,4 +25,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("native", Test_native.suite);
       ("server", Test_server.suite);
+      ("bench-db", Test_bench_db.suite);
     ]
