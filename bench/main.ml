@@ -16,6 +16,8 @@
      dune exec bench/main.exe -- backends     # execution-backend race
      dune exec bench/main.exe -- detection    # syntactic vs facts walk
      dune exec bench/main.exe -- ablations    # design-choice ablations
+     dune exec bench/main.exe -- static       # static vs trained profile
+                                              # (writes BENCH_PR9.json)
      dune exec bench/main.exe -- -j 8         # domain-pool width
      dune exec bench/main.exe -- --seq        # sequential harness
      dune exec bench/main.exe -- --verify     # translation-validate every
@@ -959,6 +961,166 @@ let write_json ~harness_wall () =
     Printf.printf "[bench] wrote %s\n" !json_path
 
 (* ------------------------------------------------------------------ *)
+(* Static profile: heuristic prediction vs the training run             *)
+(* ------------------------------------------------------------------ *)
+
+let static_json_path = ref "BENCH_PR9.json"
+
+(* per workload: (orig branches, reordered branches), [None] for a
+   contained failure *)
+let profile_branch_rows profile =
+  let config =
+    {
+      Driver.Config.default with
+      Driver.Config.heuristic = Mopt.Switch_lower.set_i;
+      Driver.Config.verify = !verify;
+      Driver.Config.profile;
+    }
+  in
+  let jobs = jobs_for config in
+  Printf.eprintf
+    "[bench] running the 17 workloads with --profile=%s (set I)...\n%!"
+    (Driver.Config.profile_name profile);
+  let policy =
+    {
+      Driver.Guard.default with
+      Driver.Guard.timeout_ms = !timeout_ms;
+      retries = !retries;
+      degrade = true;
+    }
+  in
+  let outcomes =
+    Driver.Pipeline.run_jobs_guarded ~domains:(domains ()) ~policy jobs
+  in
+  List.map2
+    (fun (w : Workloads.Spec.t) (o : Driver.Pipeline.job_outcome) ->
+      match o.Driver.Pipeline.o_outcome with
+      | Driver.Pool.Ok result ->
+        let ob =
+          result.Driver.Pipeline.r_original.Driver.Pipeline.v_counters
+            .Sim.Counters.cond_branches
+        in
+        let nb =
+          result.Driver.Pipeline.r_reordered.Driver.Pipeline.v_counters
+            .Sim.Counters.cond_branches
+        in
+        (w.Workloads.Spec.name, Some (ob, nb))
+      | out ->
+        Printf.eprintf
+          "[bench] WARNING: workload %s (--profile=%s) failed (%s: %s)\n%!"
+          w.Workloads.Spec.name
+          (Driver.Config.profile_name profile)
+          (Driver.Pool.outcome_status out)
+          (Driver.Pool.outcome_message out);
+        (w.Workloads.Spec.name, None))
+    Workloads.Registry.all outcomes
+
+(* the paper-style comparison the static-prediction layer is judged by:
+   dynamic conditional-branch reduction with a trained profile, with the
+   pure static prediction, and with training backfilled by prediction —
+   same workloads, same heuristic set, same pipeline *)
+let static_profile_section () =
+  section "Static profile: predicted vs trained branch reduction (set I)";
+  (* `Trained is exactly the set-I matrix every other section uses *)
+  let trained =
+    List.map
+      (fun r ->
+        ( r.workload.Workloads.Spec.name,
+          Some
+            ( (counters_of (orig r)).Sim.Counters.cond_branches,
+              (counters_of (reord r)).Sim.Counters.cond_branches ) ))
+      (rows_for Mopt.Switch_lower.set_i)
+  in
+  let static_rows = profile_branch_rows `Static in
+  let both_rows = profile_branch_rows `Both in
+  let find name rows = Option.join (List.assoc_opt name rows) in
+  let red = function
+    | Some (o, n) when o > 0 -> Some (pct o n)
+    | _ -> None
+  in
+  let cell = function Some r -> Printf.sprintf "%+8.2f%%" r | None -> "       -" in
+  Printf.printf "%-8s %10s %10s %10s %14s\n" "Program" "trained" "static"
+    "both" "static/trained";
+  line 60;
+  let at_half = ref 0 and compared = ref 0 in
+  List.iter
+    (fun (w : Workloads.Spec.t) ->
+      let name = w.Workloads.Spec.name in
+      let t = red (find name trained)
+      and s = red (find name static_rows)
+      and b = red (find name both_rows) in
+      let ratio =
+        match (t, s) with
+        | Some t, Some s when t < 0. ->
+          incr compared;
+          let r = s /. t in
+          if r >= 0.5 then incr at_half;
+          Some r
+        | _ -> None
+      in
+      Printf.printf "%-8s %s %s %s %14s\n" name (cell t) (cell s) (cell b)
+        (match ratio with
+        | Some r -> Printf.sprintf "%.2f" r
+        | None -> "-"))
+    Workloads.Registry.all;
+  line 60;
+  let agg rows =
+    let os, ns =
+      List.fold_left
+        (fun (os, ns) (_, v) ->
+          match v with Some (o, n) -> (os + o, ns + n) | None -> (os, ns))
+        (0, 0) rows
+    in
+    if os > 0 then Some (pct os ns) else None
+  in
+  Printf.printf "%-8s %s %s %s\n" "overall" (cell (agg trained))
+    (cell (agg static_rows)) (cell (agg both_rows));
+  Printf.printf
+    "\n%d of %d workloads reach >= 50%% of the trained reduction statically\n"
+    !at_half !compared;
+  if not !no_json then begin
+    let oc = open_out !static_json_path in
+    let p fmt = Printf.fprintf oc fmt in
+    p "{\n";
+    p "  \"bench\": \"static_profile\",\n";
+    p "  \"pr\": 9,\n";
+    p "  \"heuristic_set\": \"I\",\n";
+    p "  \"fast\": %b,\n" !fast;
+    p "  \"workloads_at_half_trained\": %d,\n" !at_half;
+    p "  \"workloads_compared\": %d,\n" !compared;
+    p "  \"workloads\": [\n";
+    let names = List.map (fun (w : Workloads.Spec.t) -> w.Workloads.Spec.name)
+        Workloads.Registry.all in
+    let nnames = List.length names in
+    List.iteri
+      (fun i name ->
+        let num = function Some v -> Printf.sprintf "%.3f" v | None -> "null" in
+        let count = function Some (_, n) -> string_of_int n | None -> "null" in
+        let t = find name trained
+        and s = find name static_rows
+        and b = find name both_rows in
+        let ob =
+          match (t, s, b) with
+          | Some (o, _), _, _ | _, Some (o, _), _ | _, _, Some (o, _) ->
+            string_of_int o
+          | _ -> "null"
+        in
+        p
+          "    {\"name\": \"%s\", \"orig_branches\": %s, \
+           \"trained_branches\": %s, \"static_branches\": %s, \
+           \"both_branches\": %s, \"trained_reduction_pct\": %s, \
+           \"static_reduction_pct\": %s, \"both_reduction_pct\": %s}%s\n"
+          (json_escape name) ob (count t) (count s) (count b) (num (red t))
+          (num (red s)) (num (red b))
+          (if i = nnames - 1 then "" else ","))
+      names;
+    p "  ]\n";
+    p "}\n";
+    close_out oc;
+    Printf.printf "[bench] wrote %s\n" !static_json_path
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Serving-shaped load: warm artifact caches vs the cold pipeline       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1037,6 +1199,9 @@ let parse_args () =
     | "--json" :: path :: rest ->
       json_path := path;
       go rest
+    | "--static-json" :: path :: rest ->
+      static_json_path := path;
+      go rest
     | s :: rest ->
       sections := s :: !sections;
       go rest
@@ -1058,6 +1223,7 @@ let () =
   if want "backends" then backends_section ();
   if want "speedup" && not !seq then speedup ();
   if want "serve" then serve_section ();
+  if want "static" then static_profile_section ();
   (* ablations are opt-in: they re-run the pipeline many times *)
   if List.mem "ablations" !sections then ablations ();
   let harness_wall = Unix.gettimeofday () -. t0 in

@@ -188,6 +188,34 @@ let backend_arg default =
            via ocamlfind + Dynlink; falls back to compiled when no \
            toolchain is present).  All four are observably identical.")
 
+let profile_conv =
+  let parse s =
+    match Driver.Config.profile_of_name s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown profile source %S (use trained, static or both)" s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Driver.Config.profile_name p)
+  in
+  Arg.conv (parse, print)
+
+let profile_arg =
+  Arg.(
+    value
+    & opt profile_conv `Trained
+    & info [ "profile" ] ~docv:"SOURCE"
+        ~doc:
+          "Where the profile counts come from: $(b,trained) (a training \
+           run over the training input; the paper's baseline), \
+           $(b,static) (no training run — heuristic branch probabilities \
+           propagated into CFG frequencies, Ball-Larus/Wu-Larus style) or \
+           $(b,both) (train, then backfill sequences the training input \
+           never exercised with the static prediction).")
+
 (* native artifact-store options, shared by every command that can select
    --backend=native; applied both process-wide (for Sim.Native callers
    that do not thread a Config) and onto the driver Config *)
@@ -289,7 +317,7 @@ let run_cmd =
 
 let reorder_cmd =
   let run source hs train test exhaustive common_succ coalesce profile_layout
-      backend timings verify ncache_dir no_ncache =
+      profile backend timings verify ncache_dir no_ncache =
     handle_errors (fun () ->
         apply_native_opts ncache_dir no_ncache;
         let backend = resolve_backend backend in
@@ -314,6 +342,7 @@ let reorder_cmd =
             selector = (if exhaustive then `Exhaustive else `Greedy);
             common_succ;
             profile_layout;
+            profile;
             backend;
             native_cache_dir = ncache_dir;
             native_cache = not no_ncache;
@@ -403,7 +432,7 @@ let reorder_cmd =
        ~doc:"Run the full profile-guided reordering pipeline and report.")
     Term.(
       const run $ source_arg "reorder" $ heuristic_arg $ train $ test
-      $ exhaustive $ common_succ $ coalesce $ profile_layout
+      $ exhaustive $ common_succ $ coalesce $ profile_layout $ profile_arg
       $ backend_arg `Compiled $ timings_arg $ verify_arg
       $ native_cache_dir_arg $ no_native_cache_arg)
 
@@ -436,7 +465,7 @@ let failures_json_arg =
            flushed incrementally) recording every job's outcome to $(docv).")
 
 let suite_cmd =
-  let run hs jobs backend verify names fail_fast timeout_ms retries
+  let run hs jobs backend verify profile names fail_fast timeout_ms retries
       failures_json inject_n inject_seed no_degrade ncache_dir no_ncache =
     handle_errors (fun () ->
         apply_native_opts ncache_dir no_ncache;
@@ -453,6 +482,7 @@ let suite_cmd =
             native_cache_dir = ncache_dir;
             native_cache = not no_ncache;
             verify;
+            profile;
           }
         in
         (* force the lazy inputs in this domain before fanning out *)
@@ -688,13 +718,42 @@ let suite_cmd =
           $(b,--inject)).")
     Term.(
       const run $ heuristic_arg $ jobs $ backend_arg `Compiled $ verify_arg
-      $ names $ fail_fast $ timeout_ms_arg $ retries_arg $ failures_json_arg
-      $ inject_n $ inject_seed $ no_degrade $ native_cache_dir_arg
-      $ no_native_cache_arg)
+      $ profile_arg $ names $ fail_fast $ timeout_ms_arg $ retries_arg
+      $ failures_json_arg $ inject_n $ inject_seed $ no_degrade
+      $ native_cache_dir_arg $ no_native_cache_arg)
+
+(* trained/static only: `Both is a pipeline notion (train + backfill);
+   the per-case fuzz and corpus harnesses have exactly one counts
+   source *)
+let profile2_conv =
+  let parse = function
+    | "trained" -> Ok `Trained
+    | "static" -> Ok `Static
+    | s ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown profile source %S (use trained or static)"
+             s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf
+      (match p with `Trained -> "trained" | `Static -> "static")
+  in
+  Arg.conv (parse, print)
+
+let profile2_arg =
+  Arg.(
+    value
+    & opt profile2_conv `Trained
+    & info [ "profile" ] ~docv:"SOURCE"
+        ~doc:
+          "Counts source for every case: $(b,trained) (a training run on \
+           the case's training input) or $(b,static) (profile-free \
+           heuristic prediction; no training run).")
 
 let fuzz_cmd =
-  let run cases seed backend native inject save_failure corpus_dir quiet
-      failures_json resume timeout_ms =
+  let run cases seed backend native inject profile save_failure corpus_dir
+      quiet failures_json resume timeout_ms =
     handle_errors (fun () ->
         let backends =
           match (backend, native) with
@@ -741,7 +800,7 @@ let fuzz_cmd =
             ~finally:(fun () ->
               match writer with Some w -> Driver.Manifest.close w | None -> ())
             (fun () ->
-              Check.Fuzz.run ~backends ~inject ~log ?skip ?on_case
+              Check.Fuzz.run ~backends ~inject ~log ~profile ?skip ?on_case
                 ?deadline_ms:timeout_ms ~cases ~seed ())
         in
         print_string (Format.asprintf "%a" Check.Fuzz.pp_stats stats);
@@ -865,11 +924,12 @@ let fuzz_cmd =
           an earlier manifest already proved green; $(b,--timeout-ms) arms a \
           per-case watchdog.")
     Term.(
-      const run $ cases $ seed $ backend_opt $ native $ inject $ save_failure
-      $ corpus_dir $ quiet $ failures_json_arg $ resume $ timeout_ms_arg)
+      const run $ cases $ seed $ backend_opt $ native $ inject $ profile2_arg
+      $ save_failure $ corpus_dir $ quiet $ failures_json_arg $ resume
+      $ timeout_ms_arg)
 
 let lint_cmd =
-  let run source hs json no_explain facts =
+  let run source hs json no_explain facts divergence input =
     (* exit-code contract: 0 = clean, 1 = diagnostics, 2 = error.  The
        shared [handle_errors] exits 1, which here means "diagnostics
        found", so lint handles its own failures. *)
@@ -892,6 +952,41 @@ let lint_cmd =
         Analysis.Lint.check_program prog
         @ (if no_explain then []
            else Reorder.Explain.explain_program ~facts prog)
+        @
+        if not divergence then []
+        else begin
+          (* measure the branches on a reference run, then flag the ones
+             where the static prediction sits on the wrong side of 0.5 *)
+          let run_input =
+            match input with
+            | Some f -> read_file f
+            | None ->
+              if String.length source > 0 && source.[0] = '@' then
+                Lazy.force
+                  (Workloads.Registry.find
+                     (String.sub source 1 (String.length source - 1)))
+                    .Workloads.Spec.training_input
+              else ""
+          in
+          let sites = Sim.Machine.sites prog in
+          let measured = Hashtbl.create 64 in
+          let on_branch ~site ~taken =
+            let key = sites.(site) in
+            let t, f =
+              Option.value ~default:(0, 0) (Hashtbl.find_opt measured key)
+            in
+            Hashtbl.replace measured key
+              (if taken then (t + 1, f) else (t, f + 1))
+          in
+          (try
+             ignore
+               (Sim.Machine.run ~backend:`Reference ~on_branch prog
+                  ~input:run_input)
+           with Sim.Machine.Trap _ -> ()
+             (* branch counts up to a trap still count *));
+          Analysis.Lint.divergence prog ~observed:(fun ~func ~label ->
+              Hashtbl.find_opt measured (func, label))
+        end
       with Failure msg -> fail msg
     in
     if json then print_string (Analysis.Lint.to_json diags)
@@ -925,6 +1020,27 @@ let lint_cmd =
              (default true), so the reasons reflect what even the \
              strengthened detection cannot admit.")
   in
+  let divergence =
+    Arg.(
+      value & flag
+      & info [ "divergence" ]
+          ~doc:
+            "Also run the program on the reference interpreter and report \
+             every branch whose static heuristic prediction and measured \
+             behaviour sit on opposite sides of 50% — where \
+             $(b,--profile=static) and $(b,--profile=trained) would \
+             reorder differently.  Advisory: predictions are heuristic, \
+             not proved.")
+  in
+  let input =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "input" ; "i" ] ~docv:"FILE"
+          ~doc:
+            "Input for the $(b,--divergence) measurement run (default: the \
+             workload's training input for $(b,@)-sources, else empty).")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
@@ -935,7 +1051,7 @@ let lint_cmd =
           diagnostics reported, 2 = error.")
     Term.(
       const run $ source_arg "lint" $ heuristic_arg $ json $ no_explain
-      $ facts)
+      $ facts $ divergence $ input)
 
 let dot_cmd =
   let run source hs facts =
@@ -990,6 +1106,28 @@ let dot_cmd =
                          (Format.pp_print_list ~pp_sep:Format.pp_print_space
                             Mir.Reg.pp)
                          (Mir.Reg.Set.elements set)))
+          | Some `Freq ->
+            Some
+              (fun (fn : Mir.Func.t) ->
+                let loops = Analysis.Loops.analyze fn in
+                let heur = Analysis.Heur.analyze ~loops fn in
+                let freq = Analysis.Freq.analyze ~heur ~loops fn in
+                fun (b : Mir.Block.t) ->
+                  let label = b.Mir.Block.label in
+                  if not (Analysis.Freq.reached freq label) then
+                    Some "freq: unreached"
+                  else
+                    let parts =
+                      Printf.sprintf "freq %.3g"
+                        (Analysis.Freq.block_freq freq label)
+                      :: List.filter_map
+                           (fun (s, p) ->
+                             (* annotate real splits only; jumps are 1 *)
+                             if p >= 1. then None
+                             else Some (Printf.sprintf "->%s %.2f" s p))
+                           (Analysis.Freq.succ_probs freq label)
+                    in
+                    Some (String.concat " " parts))
         in
         Format.printf "%a" (Mir.Dot.program ?annot) prog)
   in
@@ -999,13 +1137,18 @@ let dot_cmd =
         ( (function
           | "intervals" -> Ok `Intervals
           | "live" -> Ok `Live
+          | "freq" -> Ok `Freq
           | s ->
             Error
               (`Msg
-                (Printf.sprintf "unknown facts %S (use intervals or live)" s))),
+                (Printf.sprintf
+                   "unknown facts %S (use intervals, live or freq)" s))),
           fun ppf f ->
             Format.pp_print_string ppf
-              (match f with `Intervals -> "intervals" | `Live -> "live") )
+              (match f with
+              | `Intervals -> "intervals"
+              | `Live -> "live"
+              | `Freq -> "freq") )
     in
     Arg.(
       value
@@ -1013,8 +1156,10 @@ let dot_cmd =
       & info [ "facts" ] ~docv:"KIND"
           ~doc:
             "Annotate each block with dataflow facts: $(b,intervals) \
-             (value ranges at block entry) or $(b,live) (registers live \
-             at block entry).")
+             (value ranges at block entry), $(b,live) (registers live \
+             at block entry) or $(b,freq) (predicted execution frequency \
+             and heuristic branch probabilities — what \
+             $(b,--profile=static) feeds the reorderer).")
   in
   Cmd.v
     (Cmd.info "dot"
@@ -1215,8 +1360,8 @@ let drift_min_execs_arg default =
            artifact thrash.")
 
 let serve_cmd =
-  let run domains sample_every merge_every drift_min_execs backend ncache_dir
-      no_ncache =
+  let run domains sample_every merge_every drift_min_execs backend profile
+      ncache_dir no_ncache =
     handle_errors (fun () ->
         apply_native_opts ncache_dir no_ncache;
         let backend = resolve_backend backend in
@@ -1224,6 +1369,7 @@ let serve_cmd =
           {
             Driver.Config.default with
             Driver.Config.backend;
+            profile;
             native_cache_dir = ncache_dir;
             native_cache = not no_ncache;
           }
@@ -1336,11 +1482,15 @@ let serve_cmd =
           arrive as they finish, tagged $(b,resp ID ...); the built-in \
           $(b,drift) workload maps even seeds to phase-0 and odd seeds to \
           phase-1 inputs), $(b,sync) (drain, merge shards, run the drift \
-          check), $(b,stats) (one JSON line), $(b,quit).")
+          check), $(b,stats) (one JSON line), $(b,quit).  With \
+          $(b,--profile=static) cold requests skip the first-request \
+          training run and serve on the static prediction; the online \
+          shard profiles and the drift check re-optimize as real counts \
+          diverge from it.")
     Term.(
       const run $ domains_arg $ sample_every_arg $ merge_every_arg
-      $ drift_min_execs_arg 32 $ backend_arg `Compiled $ native_cache_dir_arg
-      $ no_native_cache_arg)
+      $ drift_min_execs_arg 32 $ backend_arg `Compiled $ profile_arg
+      $ native_cache_dir_arg $ no_native_cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* replay: simulated production traffic against a server               *)
@@ -1727,7 +1877,7 @@ let bench_gate_cmd =
       const run $ history_arg $ against $ max_regress $ head_label $ quiet)
 
 let bench_corpus_cmd =
-  let run dir backend native mint_inject seed cases quiet =
+  let run dir backend native profile mint_inject seed cases quiet =
     handle_errors (fun () ->
         let backends =
           match (backend, native) with
@@ -1755,7 +1905,7 @@ let bench_corpus_cmd =
           let failed = ref 0 in
           List.iter
             (fun (r : Bench_db.Corpus.repro) ->
-              let out = Bench_db.Corpus.replay ~backends r in
+              let out = Bench_db.Corpus.replay ~backends ~profile r in
               if out.Check.Fuzz.co_errors <> [] then begin
                 incr failed;
                 Printf.printf "FAIL %s (%s)\n" r.Bench_db.Corpus.rp_name
@@ -1826,10 +1976,12 @@ let bench_corpus_cmd =
           full pipeline — validate, lower under the recorded heuristic set, \
           train, reorder, certify, lint cross-check, backend differential — \
           and fail on any error.  The corpus is the regression suite the \
-          flywheel mints from caught counterexamples.")
+          flywheel mints from caught counterexamples.  With \
+          $(b,--profile=static) the repros replay under the profile-free \
+          prediction instead of their recorded training runs.")
     Term.(
-      const run $ dir $ backend_opt $ native $ mint_inject $ seed $ cases
-      $ quiet)
+      const run $ dir $ backend_opt $ native $ profile2_arg $ mint_inject
+      $ seed $ cases $ quiet)
 
 let bench_cmd =
   Cmd.group

@@ -5,6 +5,7 @@ type kind =
   | Subsumed_arm
   | Overlapping_arms
   | Not_reorderable
+  | Prediction_diverges
 
 type diag = {
   func : string;
@@ -20,6 +21,7 @@ let kind_name = function
   | Subsumed_arm -> "subsumed-arm"
   | Overlapping_arms -> "overlapping-arms"
   | Not_reorderable -> "not-reorderable"
+  | Prediction_diverges -> "prediction-diverges"
 
 (* --- range-test chains ------------------------------------------------- *)
 
@@ -159,6 +161,47 @@ let check_func fn intervals =
 let check_program p =
   List.concat_map
     (fun fn -> check_func fn (Intervals.analyze fn))
+    p.Mir.Program.funcs
+
+(* --- static-vs-trained divergence -------------------------------------- *)
+
+(* Unlike the families above this one is {e advisory}, not proved: the
+   static heuristics predict a direction, a trained profile observed
+   one, and the diagnostic flags two-way branches where they firmly
+   disagree.  It never feeds the fuzzer's trace cross-check. *)
+
+let divergence ?(min_count = 8) ?(margin = 0.1) (p : Mir.Program.t) ~observed =
+  List.concat_map
+    (fun (fn : Mir.Func.t) ->
+      let heur = Heur.analyze fn in
+      let diags = ref [] in
+      Mir.Func.iter_blocks fn (fun b ->
+          match b.Mir.Block.term.Mir.Block.kind with
+          | Mir.Block.Br (_, taken, fall) when not (String.equal taken fall) -> (
+            match observed ~func:fn.Mir.Func.name ~label:b.Mir.Block.label with
+            | Some (t, nt) when t + nt >= min_count ->
+              let predicted = Heur.taken_prob heur b.Mir.Block.label in
+              let measured = float_of_int t /. float_of_int (t + nt) in
+              if
+                predicted -. 0.5 >= margin && 0.5 -. measured >= margin
+                || 0.5 -. predicted >= margin && measured -. 0.5 >= margin
+              then
+                diags :=
+                  {
+                    func = fn.Mir.Func.name;
+                    label = b.Mir.Block.label;
+                    kind = Prediction_diverges;
+                    message =
+                      Printf.sprintf
+                        "static prediction says taken with p=%.2f, but the \
+                         trained profile observed %d taken / %d fall-through \
+                         (%.0f%% taken)"
+                        predicted t nt (100. *. measured);
+                  }
+                  :: !diags
+            | _ -> ())
+          | _ -> ());
+      List.rev !diags)
     p.Mir.Program.funcs
 
 let pp_diag ppf d =

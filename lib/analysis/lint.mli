@@ -25,6 +25,10 @@ type kind =
   | Subsumed_arm
   | Overlapping_arms
   | Not_reorderable
+  | Prediction_diverges
+      (** the static heuristics ({!Heur}) and a supplied trained profile
+          disagree on a branch's likely direction; advisory (produced
+          only by {!divergence}, never by {!check_func}) *)
 
 type diag = {
   func : string;
@@ -41,6 +45,20 @@ val check_func : Mir.Func.t -> Intervals.t -> diag list
 val check_program : Mir.Program.t -> diag list
 (** Runs {!Intervals.analyze} per function; diagnostics in layout
     order. *)
+
+val divergence :
+  ?min_count:int ->
+  ?margin:float ->
+  Mir.Program.t ->
+  observed:(func:string -> label:string -> (int * int) option) ->
+  diag list
+(** [Prediction_diverges] diagnostics: two-way branches where the fused
+    static prediction and an observed (taken, not-taken) count pair
+    firmly point in opposite directions.  [observed] supplies the
+    trained counts per branch block ([None] = unobserved); branches with
+    fewer than [min_count] observations (default 8) are skipped, and
+    both the predicted and the measured probability must sit at least
+    [margin] (default 0.1) away from the coin flip. *)
 
 val pp_diag : Format.formatter -> diag -> unit
 val to_json : diag list -> string

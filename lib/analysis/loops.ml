@@ -1,0 +1,141 @@
+(* Natural loop nests from back edges (an edge t -> h where h dominates
+   t), with the nesting structure the frequency propagation needs:
+   loops carry their depth and parent, blocks answer their innermost
+   enclosing loop. *)
+
+type loop = {
+  l_header : string;
+  l_body : string list;       (* layout order, header included *)
+  l_back_edges : string list; (* tails of the back edges into the header *)
+  l_depth : int;              (* 1 = outermost *)
+  l_parent : string option;   (* header of the enclosing loop *)
+}
+
+type t = {
+  loops : loop list;  (* layout order of the headers *)
+  membership : (string, loop) Hashtbl.t;  (* (body label) -> loop, multi *)
+  back : (string * string, unit) Hashtbl.t;  (* (tail, header) *)
+  headers : (string, loop) Hashtbl.t;
+}
+
+let natural_body fn preds reachable header tails =
+  let in_loop = Hashtbl.create 16 in
+  Hashtbl.replace in_loop header ();
+  let rec pull label =
+    if (not (Hashtbl.mem in_loop label)) && Hashtbl.mem reachable label then begin
+      Hashtbl.replace in_loop label ();
+      match Hashtbl.find_opt preds label with
+      | Some ps -> List.iter pull ps
+      | None -> ()
+    end
+  in
+  List.iter pull tails;
+  List.filter_map
+    (fun (b : Mir.Block.t) ->
+      if Hashtbl.mem in_loop b.Mir.Block.label then Some b.Mir.Block.label
+      else None)
+    fn.Mir.Func.blocks
+
+let analyze fn =
+  let dom = Dom.compute fn in
+  let preds = Mir.Func.predecessors fn in
+  let reachable = Mir.Func.reachable fn in
+  let tails_of = Hashtbl.create 8 in
+  let back = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Mir.Block.t) ->
+      List.iter
+        (fun s ->
+          if Dom.dominates dom s b.Mir.Block.label then begin
+            let tails =
+              Option.value ~default:[] (Hashtbl.find_opt tails_of s)
+            in
+            Hashtbl.replace tails_of s (tails @ [ b.Mir.Block.label ]);
+            Hashtbl.replace back (b.Mir.Block.label, s) ()
+          end)
+        (Mir.Func.successors fn b))
+    fn.Mir.Func.blocks;
+  let bare =
+    List.filter_map
+      (fun (b : Mir.Block.t) ->
+        match Hashtbl.find_opt tails_of b.Mir.Block.label with
+        | Some tails ->
+          Some
+            ( b.Mir.Block.label,
+              natural_body fn preds reachable b.Mir.Block.label tails,
+              tails )
+        | None -> None)
+      fn.Mir.Func.blocks
+  in
+  (* nesting: loop A encloses loop B when A's body contains B's header
+     (natural loops with distinct headers are disjoint or nested) *)
+  let bodies = Hashtbl.create 8 in
+  List.iter
+    (fun (h, body, _) ->
+      let set = Hashtbl.create 16 in
+      List.iter (fun l -> Hashtbl.replace set l ()) body;
+      Hashtbl.replace bodies h set)
+    bare;
+  let enclosing h =
+    List.filter
+      (fun (h', _, _) ->
+        (not (String.equal h h'))
+        && Hashtbl.mem (Hashtbl.find bodies h') h)
+      bare
+  in
+  let loops =
+    List.map
+      (fun (h, body, tails) ->
+        let outer = enclosing h in
+        let parent =
+          (* the enclosing loop with the smallest body is the direct one *)
+          List.fold_left
+            (fun acc (h', body', _) ->
+              match acc with
+              | Some (_, n) when n <= List.length body' -> acc
+              | _ -> Some (h', List.length body'))
+            None outer
+          |> Option.map fst
+        in
+        {
+          l_header = h;
+          l_body = body;
+          l_back_edges = tails;
+          l_depth = 1 + List.length outer;
+          l_parent = parent;
+        })
+      bare
+  in
+  let membership = Hashtbl.create 32 in
+  let headers = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace headers l.l_header l;
+      List.iter (fun b -> Hashtbl.add membership b l) l.l_body)
+    loops;
+  { loops; membership; back; headers }
+
+let loops t = t.loops
+
+let innermost_first t =
+  (* deeper loops first; stable within a depth (layout order) *)
+  List.stable_sort (fun a b -> compare b.l_depth a.l_depth) t.loops
+
+let header t h = Hashtbl.find_opt t.headers h
+
+let is_back_edge t ~src ~dst = Hashtbl.mem t.back (src, dst)
+
+let is_header t label = Hashtbl.mem t.headers label
+
+let depth t label = List.length (Hashtbl.find_all t.membership label)
+
+let innermost t label =
+  List.fold_left
+    (fun acc l ->
+      match acc with
+      | Some best when List.length best.l_body <= List.length l.l_body -> acc
+      | _ -> Some l)
+    None
+    (Hashtbl.find_all t.membership label)
+
+let in_body l label = List.exists (String.equal label) l.l_body

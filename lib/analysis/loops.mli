@@ -1,0 +1,41 @@
+(** Natural loop nests on {!Mir} functions.
+
+    Back edges are edges [t -> h] where [h] dominates [t] (via
+    {!Dom}); each header's natural loop is the predecessor closure of
+    its back-edge tails, restricted to reachable blocks.  On top of the
+    bare loops this records the nesting structure — depth, parent,
+    innermost loop of a block — which {!Heur} (loop branch / loop exit
+    heuristics) and {!Freq} (innermost-first propagation order, one
+    cyclic multiplier per header) both consume. *)
+
+type loop = {
+  l_header : string;
+  l_body : string list;       (** layout order, header included *)
+  l_back_edges : string list; (** tails of the back edges into the header *)
+  l_depth : int;              (** 1 = outermost *)
+  l_parent : string option;   (** header of the directly enclosing loop *)
+}
+
+type t
+
+val analyze : Mir.Func.t -> t
+
+val loops : t -> loop list
+(** Layout order of the headers. *)
+
+val innermost_first : t -> loop list
+(** Deepest first — the propagation order of {!Freq}. *)
+
+val header : t -> string -> loop option
+(** The loop headed at a label, if any. *)
+
+val is_header : t -> string -> bool
+val is_back_edge : t -> src:string -> dst:string -> bool
+
+val depth : t -> string -> int
+(** Number of loops whose body contains the label (0 = not in a loop). *)
+
+val innermost : t -> string -> loop option
+(** Smallest loop containing the label. *)
+
+val in_body : loop -> string -> bool

@@ -173,8 +173,8 @@ let load_dir dir =
 (* Replay and minting                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let replay ?backends r =
-  Check.Fuzz.run_program ?backends
+let replay ?backends ?profile r =
+  Check.Fuzz.run_program ?backends ?profile
     ~facts:r.rp_facts ~coalesce:r.rp_coalesce
     ~heuristic:(heuristic_set r.rp_heuristic)
     ~train:r.rp_train ~test:r.rp_test r.rp_program

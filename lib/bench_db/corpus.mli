@@ -42,9 +42,14 @@ val load_dir : string -> (repro list, string) result
     it. *)
 
 val replay :
-  ?backends:Check.Fuzz.backend list -> repro -> Check.Fuzz.case_out
+  ?backends:Check.Fuzz.backend list ->
+  ?profile:[ `Trained | `Static ] ->
+  repro ->
+  Check.Fuzz.case_out
 (** One repro through {!Check.Fuzz.run_program} under its recorded
-    choices.  [backends] defaults to {!Check.Fuzz.default_backends}. *)
+    choices.  [backends] defaults to {!Check.Fuzz.default_backends};
+    [profile] (default [`Trained]) replays the repro under the static
+    prediction instead of its recorded training run. *)
 
 val mint_from_inject :
   ?backends:Check.Fuzz.backend list ->

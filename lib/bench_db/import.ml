@@ -264,6 +264,54 @@ let import_fuzz ?seq ?label ?commit ~source j =
        ~context:"fuzz" metrics)
 
 (* ------------------------------------------------------------------ *)
+(* Static-profile shape: PR 9                                           *)
+(* ------------------------------------------------------------------ *)
+
+let import_static ?seq ?label ?commit ~source j =
+  let* pr =
+    match (seq, num_field j "pr") with
+    | Some s, _ -> Ok s
+    | None, Some v -> Ok (int_of_float v)
+    | None, None -> Error "no sequence number: payload has no \"pr\" field"
+  in
+  let m = Record.metric in
+  let red name reord =
+    Option.map
+      (fun v ->
+        m ~unit_:"pct" ~dir:Record.Lower ~gate:true ~floor:0.2
+          ~tolerance:tol_reduction name v)
+      (aggregate_reduction j ~orig:"orig_branches" ~reord)
+  in
+  (* the headline claim: on how many workloads does the profile-free
+     prediction buy at least half of what training buys?  One workload
+     of slack (~10% of the 17) keeps harmless reshuffles from tripping
+     the gate while still catching a real prediction regression. *)
+  let at_half =
+    Option.map
+      (fun v ->
+        m ~unit_:"count" ~dir:Record.Higher ~gate:true ~floor:0. ~tolerance:10.
+          "static.workloads_at_half_trained" v)
+      (num_field j "workloads_at_half_trained")
+  in
+  let metrics =
+    List.filter_map Fun.id
+      [
+        red "static.branch_reduction_pct" "static_branches";
+        red "static.trained_branch_reduction_pct" "trained_branches";
+        red "static.both_branch_reduction_pct" "both_branches";
+        at_half;
+        Option.map (fun v -> m "static.workloads_compared" v)
+          (num_field j "workloads_compared");
+      ]
+  in
+  if metrics = [] then Error "static-profile snapshot yielded no metrics"
+  else
+    Ok
+      (Record.make ?commit ~source ~runs:1 ~seq:pr
+         ~label:(Option.value ~default:(Printf.sprintf "PR%d" pr) label)
+         ~context:"static-profile" metrics)
+
+(* ------------------------------------------------------------------ *)
 (* Shape dispatch                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -271,6 +319,7 @@ let of_json ?seq ?label ?commit ?(gate_wall = false) ~source j =
   match Option.bind (Json.member "bench" j) Json.str with
   | Some "serve_replay" -> import_serve ?seq ?label ?commit ~gate_wall ~source j
   | Some "fuzz" -> import_fuzz ?seq ?label ?commit ~source j
+  | Some "static_profile" -> import_static ?seq ?label ?commit ~source j
   | Some other -> Error (Printf.sprintf "unknown bench shape %S" other)
   | None ->
     if Json.member "pr" j <> None || Json.member "workloads" j <> None then

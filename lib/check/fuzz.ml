@@ -96,20 +96,29 @@ let coalesce_machine_for case =
    (the pipeline default), odd cases the syntactic one, so both are
    under the verifier and the backend differential *)
 let transform_built ?coalesce_machine ?(config = Sim.Machine.default_config)
-    ~facts ~train base =
+    ?(profile = `Trained) ~facts ~train base =
   let seqs = Detect.find_program ~facts base in
-  let train_prog = Mir.Clone.program base in
-  let table = Reorder.Profiles.instrument train_prog seqs in
-  let (_ : Sim.Machine.result) =
-    Sim.Machine.run ~config ~profile:table train_prog ~input:train
+  let table =
+    match profile with
+    | `Static ->
+      (* profile-free mode: counts synthesized from the CFG alone, no
+         training run at all *)
+      Reorder.Profiles.of_static base seqs
+    | `Trained ->
+      let train_prog = Mir.Clone.program base in
+      let table = Reorder.Profiles.instrument train_prog seqs in
+      let (_ : Sim.Machine.result) =
+        Sim.Machine.run ~config ~profile:table train_prog ~input:train
+      in
+      table
   in
   let reord = Mir.Clone.program base in
   let report = Pass.run ?coalesce_machine reord seqs table in
   (base, reord, report)
 
-let transform ?coalesce_machine ?config ~facts spec =
-  transform_built ?coalesce_machine ?config ~facts ~train:spec.Gen.sp_train
-    (build spec)
+let transform ?coalesce_machine ?config ?profile ~facts spec =
+  transform_built ?coalesce_machine ?config ?profile ~facts
+    ~train:spec.Gen.sp_train (build spec)
 
 (* ------------------------------------------------------------------ *)
 (* Bug injection: wrong default target                                  *)
@@ -349,7 +358,8 @@ let lint_cross_errors ?(config = Sim.Machine.default_config) prog ~inputs =
             if seen_fall then contradiction "fell through the branch" else None
           | Analysis.Lint.Branch_never_taken | Analysis.Lint.Subsumed_arm ->
             if seen_taken then contradiction "took the branch" else None
-          | Analysis.Lint.Overlapping_arms | Analysis.Lint.Not_reorderable ->
+          | Analysis.Lint.Overlapping_arms | Analysis.Lint.Not_reorderable
+          | Analysis.Lint.Prediction_diverges ->
             None (* not a trace-refutable verdict *))
         diags
     in
@@ -381,12 +391,12 @@ let count_outcomes (report : Pass.report) =
       | Pass.Unchanged _ -> (r, c, u + 1))
     (0, 0, 0) report.Pass.seq_reports
 
-let run_case ?config ~backends ~inject ~case spec =
+let run_case ?config ?profile ~backends ~inject ~case spec =
   try
     let base, reord, report =
       transform
         ?coalesce_machine:(coalesce_machine_for case)
-        ?config ~facts:(case_facts case) spec
+        ?config ?profile ~facts:(case_facts case) spec
     in
     let injected =
       if inject then inject_wrong_default ~before:base ~after:reord report
@@ -475,7 +485,7 @@ let all_backends () : backend list =
    [.mir] repros through.  The program may still contain [Switch]
    terminators; it is cloned first, so the caller's copy survives. *)
 let run_program ?config ?(backends = default_backends) ?(facts = true)
-    ?(coalesce = false) ~heuristic ~train ~test prog =
+    ?(coalesce = false) ?profile ~heuristic ~train ~test prog =
   let empty =
     { co_errors = []; co_reordered = 0; co_coalesced = 0; co_unchanged = 0;
       co_pieces = 0; co_injected = false; co_caught = false; co_blocks = None;
@@ -491,7 +501,7 @@ let run_program ?config ?(backends = default_backends) ?(facts = true)
       transform_built
         ?coalesce_machine:
           (if coalesce then Some Sim.Cycle_model.sparc_ipc else None)
-        ?config ~facts ~train built
+        ?config ?profile ~facts ~train built
     in
     let summary = Verify.certify_report ~before:base ~after:reord report in
     let reo, coa, unc = count_outcomes report in
@@ -537,7 +547,7 @@ let form_name = function
   | Gen.F_between _ -> "between"
 
 let run ?(backends = default_backends) ?(inject = false) ?(log = ignore)
-    ?skip ?on_case ?deadline_ms ~cases ~seed () =
+    ?profile ?skip ?on_case ?deadline_ms ~cases ~seed () =
   let form_tally = Hashtbl.create 8 in
   let tally spec =
     List.iter
@@ -577,7 +587,7 @@ let run ?(backends = default_backends) ?(inject = false) ?(log = ignore)
     let spec = spec_of_case ~seed ~case in
     tally spec;
     let config = case_config () in
-    let out = run_case ?config ~backends ~inject ~case spec in
+    let out = run_case ?config ?profile ~backends ~inject ~case spec in
     reordered := !reordered + out.co_reordered;
     coalesced := !coalesced + out.co_coalesced;
     unchanged := !unchanged + out.co_unchanged;
@@ -589,18 +599,19 @@ let run ?(backends = default_backends) ?(inject = false) ?(log = ignore)
       (* shrink the caught case once, for the smallest demonstration *)
       if !best_blocks = None then begin
         let keep s =
-          (run_case ?config ~backends ~inject:true ~case s).co_caught
+          (run_case ?config ?profile ~backends ~inject:true ~case s).co_caught
         in
         let shrunk = Gen.shrink_spec ~keep spec in
         let blocks =
-          (run_case ?config ~backends ~inject:true ~case shrunk).co_blocks
+          (run_case ?config ?profile ~backends ~inject:true ~case shrunk)
+            .co_blocks
         in
         best_blocks := blocks
       end
     end;
     if out.co_errors <> [] then begin
       let keep s =
-        (run_case ?config ~backends ~inject ~case s).co_errors <> []
+        (run_case ?config ?profile ~backends ~inject ~case s).co_errors <> []
       in
       let shrunk = Gen.shrink_spec ~keep spec in
       let f =

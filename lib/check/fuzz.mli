@@ -107,6 +107,7 @@ val case_coalesce : int -> bool
 
 val run_case :
   ?config:Sim.Machine.config ->
+  ?profile:[ `Trained | `Static ] ->
   backends:backend list ->
   inject:bool ->
   case:int ->
@@ -115,13 +116,17 @@ val run_case :
 (** One spec through build → lower → train → reorder → certify →
     (without inject) lint cross-check and backend differential.  [case]
     only selects the alternating detector and coalescing choices, so a
-    shrink loop must hold it fixed. *)
+    shrink loop must hold it fixed.  [profile:`Static] replaces the
+    training run with {!Reorder.Profiles.of_static} — every downstream
+    stage (selection, apply, verify, differential) runs unchanged on the
+    predicted counts. *)
 
 val run_program :
   ?config:Sim.Machine.config ->
   ?backends:backend list ->
   ?facts:bool ->
   ?coalesce:bool ->
+  ?profile:[ `Trained | `Static ] ->
   heuristic:Mopt.Switch_lower.heuristic_set ->
   train:string ->
   test:string ->
@@ -130,12 +135,14 @@ val run_program :
 (** Like {!run_case} but starting from a program (which may still carry
     [Switch] terminators; it is cloned, not mutated).  [facts] picks the
     interval-facts detector (default [true]), [coalesce] the SPARC IPC
-    coalescing model (default [false]). *)
+    coalescing model (default [false]), [profile] the counts source
+    (default [`Trained]). *)
 
 val run :
   ?backends:backend list ->
   ?inject:bool ->
   ?log:(string -> unit) ->
+  ?profile:[ `Trained | `Static ] ->
   ?skip:(int -> bool) ->
   ?on_case:(int -> string -> unit) ->
   ?deadline_ms:int ->
@@ -150,7 +157,11 @@ val run :
     defaults to the three interpreted/closure engines
     ({!default_backends}); native code generation compiles out of
     process per fresh program, far too slow for a fuzz loop, so
-    four-way differentials are opt-in via {!all_backends}.
+    four-way differentials are opt-in via {!all_backends}.  [profile]
+    (default [`Trained]) selects the counts source for every case; with
+    [`Static] the fuzzer exercises the profile-free prediction path —
+    injection self-tests still apply, since the verifier must reject a
+    planted bug no matter where the counts came from.
 
     [skip case] short-circuits a case without running it (resume from a
     checkpoint manifest); skipped cases count in [st_skipped] and do not

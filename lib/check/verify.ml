@@ -491,11 +491,13 @@ let certify_reordered ~fn_before ~fn_after (seq : Detect.t)
     err "replica chain does not cover the full integer line";
   (* dominator sanity: the only way into the spliced chain is the head *)
   if walk_errors = [] then begin
-    let dom = Mir.Dom.compute fn_after in
+    let dom = Analysis.Dom.compute fn_after in
     List.iter
       (fun label ->
         if
-          not (Mir.Dom.dominates dom applied.Reorder.Apply.replica_entry label)
+          not
+            (Analysis.Dom.dominates dom applied.Reorder.Apply.replica_entry
+               label)
         then err "chain block %s is reachable around the replica entry" label)
       visited_chain
   end;

@@ -20,6 +20,28 @@ val instrument : Mir.Program.t -> Detect.t list -> Sim.Profile.t
 val counts : Sim.Profile.t -> Detect.t -> counts_view
 (** Read back training counts after a profiling run. *)
 
+val of_static : ?scale:int -> Mir.Program.t -> Detect.t list -> Sim.Profile.t
+(** A profile table synthesized from the CFG alone: every sequence's
+    range table is registered (no probes are inserted — there is no
+    training run to feed them) and filled with predicted counts from
+    {!Analysis.Freq} block frequencies and {!Analysis.Heur} branch
+    probabilities.  Each head's predicted frequency (clamped) times
+    [scale] (default 1000) becomes the sequence's execution budget,
+    split over the rows by the normalized geometric mean of two
+    independent static signals: a probability-mass walk of the range
+    conditions under the heuristic branch probabilities, and a uniform
+    prior over the byte-plus-EOF variable domain weighting each row by
+    how much of that domain it covers.  The counts are exactly what
+    {!counts} / {!select_input} expect, so nothing downstream of
+    training changes. *)
+
+val add_static : ?scale:int -> Mir.Program.t -> Detect.t list -> Sim.Profile.t -> unit
+(** Fill predicted counts into every {e registered but unexercised}
+    sequence of an existing table (one whose [executions] is 0) —
+    measured counts always win.  This is the [--profile=both] and
+    serve-cold-start path: train where data exists, predict where it
+    does not. *)
+
 val strip : Mir.Program.t -> unit
 (** Remove all profiling pseudo instructions. *)
 

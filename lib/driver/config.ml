@@ -8,6 +8,12 @@ type t = {
           compare-not-last blocks, facts-constant register compares and
           facts-narrowed ranges that the syntactic walk rejects *)
   common_succ : bool;
+  profile : [ `Trained | `Static | `Both ];
+      (** where the profile counts come from: a training run ([`Trained],
+          the paper's baseline), pure static prediction
+          ({!Reorder.Profiles.of_static}, no training run at all), or
+          training backfilled with predictions for unexercised
+          sequences ([`Both]) *)
   keep_original_default : bool;
   coalesce_machine : Sim.Cycle_model.params option;
   delay_fill_from_target : bool;
@@ -28,6 +34,17 @@ let backend_name = function
   | `Compiled -> "compiled"
   | `Native -> "native"
 
+let profile_name = function
+  | `Trained -> "trained"
+  | `Static -> "static"
+  | `Both -> "both"
+
+let profile_of_name = function
+  | "trained" -> Some `Trained
+  | "static" -> Some `Static
+  | "both" -> Some `Both
+  | _ -> None
+
 let paper_predictors =
   List.concat_map
     (fun entries -> [ (0, 1, entries); (0, 2, entries) ])
@@ -41,6 +58,7 @@ let default =
     reorder_enabled = true;
     analysis_facts = true;
     common_succ = false;
+    profile = `Trained;
     keep_original_default = false;
     coalesce_machine = None;
     delay_fill_from_target = true;

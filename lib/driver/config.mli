@@ -14,6 +14,15 @@ type t = {
           ranges — sequences the syntactic walk rejects (default
           [true]; disable for the purely syntactic paper baseline) *)
   common_succ : bool;       (** also reorder common-successor runs (Sec. 10) *)
+  profile : [ `Trained | `Static | `Both ];
+      (** profile source (default [`Trained], the paper's baseline).
+          [`Static] skips the training run entirely and synthesizes the
+          counts with {!Reorder.Profiles.of_static} (heuristic branch
+          probabilities + frequency propagation); [`Both] trains and
+          then backfills sequences the training input never exercised
+          with the static prediction.  Common-successor profiling needs
+          a training run, so with [`Static] those rewrites degrade to
+          [Unchanged] *)
   keep_original_default : bool;
       (** ablation: restrict the default target to the original one *)
   coalesce_machine : Sim.Cycle_model.params option;
@@ -60,6 +69,12 @@ val backend_name :
   [ `Reference | `Predecoded | `Compiled | `Native ] -> string
 (** Stable machine-readable tag ("reference" / "predecoded" /
     "compiled" / "native") used in manifests and reports. *)
+
+val profile_name : [ `Trained | `Static | `Both ] -> string
+(** Stable machine-readable tag ("trained" / "static" / "both"). *)
+
+val profile_of_name : string -> [ `Trained | `Static | `Both ] option
+(** Inverse of {!profile_name}; [None] on unknown tags. *)
 
 val paper_predictors : (int * int * int) list
 (** The (0,1) and (0,2) predictors with 32..2048 entries of Table 6

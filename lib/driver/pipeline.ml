@@ -239,18 +239,25 @@ let run ?(config = Config.default) ?on_stage ~name ~source ~training_input
         (seqs, combs, pairs))
   in
 
-  (* pass 1: instrument a clone and train *)
+  (* pass 1: profile — a training run over an instrumented clone, a
+     pure static prediction, or training backfilled by prediction *)
   let table =
     stage "train" (fun () ->
-        let train_prog = Mir.Clone.program base in
-        let table = Reorder.Profiles.instrument train_prog seqs in
-        Reorder.Common_succ.instrument train_prog combs table;
-        Reorder.Common_succ.instrument_pairs train_prog pairs table;
-        if config.Config.validate then Mir.Validate.check train_prog;
-        let _ =
-          run_backend config ~profile:table train_prog ~input:training_input
-        in
-        table)
+        match config.Config.profile with
+        | `Static ->
+          (* no training run at all: synthesize the counts from the CFG *)
+          Reorder.Profiles.of_static base seqs
+        | (`Trained | `Both) as mode ->
+          let train_prog = Mir.Clone.program base in
+          let table = Reorder.Profiles.instrument train_prog seqs in
+          Reorder.Common_succ.instrument train_prog combs table;
+          Reorder.Common_succ.instrument_pairs train_prog pairs table;
+          if config.Config.validate then Mir.Validate.check train_prog;
+          let _ =
+            run_backend config ~profile:table train_prog ~input:training_input
+          in
+          if mode = `Both then Reorder.Profiles.add_static base seqs table;
+          table)
   in
 
   (* finalization: with profile layout enabled the frequency-driven

@@ -96,6 +96,7 @@ let config_fingerprint (c : Config.t) =
          c.Config.keep_original_default,
          c.Config.coalesce_machine,
          c.Config.delay_fill_from_target,
+         c.Config.profile,
          c.Config.fuel ))
 
 let content_key t source =
@@ -186,14 +187,22 @@ let build_entry t ~name ~key ~source ~input =
   let seqs = Pipeline.detect_seqs t.config base in
   let train_prog, table = Pipeline.instrument t.config base seqs in
   let train_compiled = Sim.Compiled.compile (Sim.Image.build train_prog) in
-  (* the training run: a trap or fuel exhaustion still leaves usable
-     partial counts, so it is not fatal here — the guarded request
-     itself will surface the failure to the caller *)
-  (try
-     ignore
-       (Sim.Compiled.exec ~config:(sim_config t) ~profile:table train_compiled
-          ~input)
-   with _ -> ());
+  (match t.config.Config.profile with
+  | `Static ->
+    (* cold requests start on the pure static prediction: no training
+       run; the online shard profiles and {!Reorder.Drift} take over as
+       real counts accumulate and diverge from the prediction *)
+    Reorder.Profiles.add_static base seqs table
+  | (`Trained | `Both) as mode ->
+    (* the training run: a trap or fuel exhaustion still leaves usable
+       partial counts, so it is not fatal here — the guarded request
+       itself will surface the failure to the caller *)
+    (try
+       ignore
+         (Sim.Compiled.exec ~config:(sim_config t) ~profile:table
+            train_compiled ~input)
+     with _ -> ());
+    if mode = `Both then Reorder.Profiles.add_static base seqs table);
   let served, _report = Pipeline.reoptimize t.config ~name base seqs table in
   let signature = signature_of t base seqs table in
   let artifact = build_artifact t ~key ~generation:1 ~signature served in

@@ -10,8 +10,11 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* every committed snapshot; PR8 was the gate infrastructure itself and
+   produced no snapshot, so the sequence jumps from 7 to 9 *)
 let bench_files =
   List.init 7 (fun i -> Printf.sprintf "../BENCH_PR%d.json" (i + 1))
+  @ [ "../BENCH_PR9.json" ]
 
 let history_path = "../bench/history.jsonl"
 
@@ -122,7 +125,7 @@ let test_schema_refused () =
       (String.length m > 0)
 
 (* ------------------------------------------------------------------ *)
-(* The seven historical snapshot shapes                                 *)
+(* The historical snapshot shapes                                       *)
 (* ------------------------------------------------------------------ *)
 
 let test_import_all_shapes () =
@@ -166,16 +169,23 @@ let test_import_values () =
   Alcotest.(check string) "PR7 context" "serve" pr7.R.r_context;
   Alcotest.(check string)
     "PR5 fast input is its own context" "suite-fast"
-    (imported "../BENCH_PR5.json").R.r_context
+    (imported "../BENCH_PR5.json").R.r_context;
+  let pr9 = imported "../BENCH_PR9.json" in
+  Alcotest.(check string) "PR9 context" "static-profile" pr9.R.r_context;
+  Alcotest.check close "PR9 workloads at half trained" 11.
+    (metric_value pr9 "static.workloads_at_half_trained");
+  Alcotest.(check bool)
+    "PR9 static reduction is a real reduction" true
+    (metric_value pr9 "static.branch_reduction_pct" < -5.)
 
 let test_history_has_all_seven () =
   let records = load_history () in
-  Alcotest.(check int) "seven records" 7 (List.length records);
+  Alcotest.(check int) "eight records" 8 (List.length records);
   List.iteri
     (fun i (r : R.t) ->
       Alcotest.(check string)
         (Printf.sprintf "record %d label" i)
-        (Printf.sprintf "PR%d" (i + 1))
+        (Printf.sprintf "PR%d" (if i < 7 then i + 1 else 9))
         r.R.r_label)
     records
 
@@ -394,9 +404,9 @@ let suite =
   [
     record_roundtrip;
     ("future schema refused", `Quick, test_schema_refused);
-    ("all seven snapshot shapes import", `Quick, test_import_all_shapes);
+    ("all committed snapshot shapes import", `Quick, test_import_all_shapes);
     ("imported values survive lifting", `Quick, test_import_values);
-    ("history holds PR1..PR7", `Quick, test_history_has_all_seven);
+    ("history holds PR1..PR9", `Quick, test_history_has_all_seven);
     ("trend report matches golden file", `Quick, test_report_golden);
     ("gate: true history passes", `Quick, test_gate_true_history_passes);
     ( "gate: injected 10% regression fails",

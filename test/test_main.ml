@@ -26,4 +26,5 @@ let () =
       ("native", Test_native.suite);
       ("server", Test_server.suite);
       ("bench-db", Test_bench_db.suite);
+      ("static", Test_static.suite);
     ]
