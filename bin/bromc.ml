@@ -1181,12 +1181,30 @@ let workloads_cmd =
     Term.(const run $ const ())
 
 let cache_cmd =
-  let run dir clear evict_stale =
+  let run dir clear evict_stale verify =
     handle_errors (fun () ->
         let dir =
           match dir with Some d -> d | None -> Sim.Native.Cache.default_dir ()
         in
-        if clear then begin
+        if verify then begin
+          let r = Sim.Native.Cache.verify ~dir () in
+          Printf.printf
+            "verified %d artifact(s) in %s: %d ok, %d adopted (checksum \
+             written), %d quarantined\n"
+            r.Sim.Native.Cache.v_checked dir r.Sim.Native.Cache.v_ok
+            r.Sim.Native.Cache.v_healed r.Sim.Native.Cache.v_quarantined;
+          if r.Sim.Native.Cache.v_quarantined > 0 then begin
+            (* corrupted artifacts were moved aside; the next request
+               for them rebuilds from source.  Non-zero exit so CI
+               sweeps notice the store was unhealthy *)
+            Printf.printf
+              "quarantined artifacts moved to %s; they will be rebuilt on \
+               next use\n"
+              (Filename.concat dir "quarantine");
+            exit 1
+          end
+        end
+        else if clear then begin
           let n = Sim.Native.Cache.clear ~dir () in
           Sim.Native.clear_memo ();
           let dropped = Sim.Artifact.clear_registered () in
@@ -1271,12 +1289,22 @@ let cache_cmd =
              than the current toolchain's (left behind by switches or \
              upgrades); the current fingerprint's artifacts are kept.")
   in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Digest every cached artifact against its $(b,.sum) checksum \
+             sidecar; mismatches are quarantined (rebuilt on next use) and \
+             reported with a non-zero exit, artifacts predating checksums \
+             get a sidecar written.")
+  in
   Cmd.v
     (Cmd.info "cache"
        ~doc:
-         "Inspect or prune the native backend's on-disk $(b,.cmxs) artifact \
-          store (default action: print per-fingerprint statistics).")
-    Term.(const run $ dir $ clear $ evict_stale)
+         "Inspect, verify or prune the native backend's on-disk $(b,.cmxs) \
+          artifact store (default action: print per-fingerprint statistics).")
+    Term.(const run $ dir $ clear $ evict_stale $ verify)
 
 (* ------------------------------------------------------------------ *)
 (* serve: the long-running optimization service                        *)
@@ -1321,10 +1349,21 @@ let server_stats_json (st : Driver.Server.stats) =
   Buffer.add_string b
     (Printf.sprintf
        "],\"native\":{\"memo_hits\":%d,\"disk_hits\":%d,\"compiles\":%d,\
-        \"memo_entries\":%d,\"memo_evictions\":%d}}"
+        \"memo_entries\":%d,\"memo_evictions\":%d,\"quarantined\":%d},\
+        \"overloaded\":%d,\"restored\":%d,\"programs\":["
        ns.Sim.Native.memo_hits ns.Sim.Native.disk_hits
        ns.Sim.Native.compiles ns.Sim.Native.memo_entries
-       ns.Sim.Native.memo_evictions);
+       ns.Sim.Native.memo_evictions ns.Sim.Native.quarantined
+       st.Driver.Server.st_overloaded st.Driver.Server.st_restored);
+  List.iteri
+    (fun i (name, gen, execs) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"generation\":%d,\"executions\":%d}"
+           (json_escape name) gen execs))
+    st.Driver.Server.st_programs;
+  Buffer.add_string b "]}";
   Buffer.contents b
 
 let domains_arg =
@@ -1359,9 +1398,36 @@ let drift_min_execs_arg default =
            before the drift check may re-optimize — damping against \
            artifact thrash.")
 
+let state_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:
+          "Durable state directory: journal + snapshots of merged profiles, \
+           predictor tallies and drift generations.  Existing state found \
+           there is restored on startup (crash-safe warm start).")
+
+let queue_cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:
+          "Admission control: shed requests with an $(b,overloaded) \
+           response once N tasks are waiting (default: unbounded).")
+
+let snapshot_every_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:
+          "Journal records between snapshot compactions (with \
+           $(b,--state-dir)).")
+
 let serve_cmd =
   let run domains sample_every merge_every drift_min_execs backend profile
-      ncache_dir no_ncache =
+      ncache_dir no_ncache state_dir queue_cap snapshot_every =
     handle_errors (fun () ->
         apply_native_opts ncache_dir no_ncache;
         let backend = resolve_backend backend in
@@ -1376,7 +1442,7 @@ let serve_cmd =
         in
         let srv =
           Driver.Server.create ~config ?domains ~sample_every ~merge_every
-            ~drift_min_execs ()
+            ~drift_min_execs ?state_dir ?queue_cap ~snapshot_every ()
         in
         let out_lock = Mutex.create () in
         let print_line s =
@@ -1421,10 +1487,14 @@ let serve_cmd =
               r.Driver.Server.rs_status r.Driver.Server.rs_program
               r.Driver.Server.rs_message
         in
+        let restored =
+          (Driver.Server.stats srv).Driver.Server.st_restored
+        in
         print_line
-          (Printf.sprintf "ready domains=%d backend=%s"
+          (Printf.sprintf "ready domains=%d backend=%s restored=%d"
              (Driver.Server.domains srv)
-             (Driver.Config.backend_name backend));
+             (Driver.Config.backend_name backend)
+             restored);
         let next_id = ref 0 in
         let quit = ref false in
         while not !quit do
@@ -1450,6 +1520,15 @@ let serve_cmd =
                 | [] -> 0
                 | s :: _ -> ( try int_of_string s with _ -> 0)
               in
+              (* optional third word: a per-request deadline in ms *)
+              let deadline_ms =
+                match rest with
+                | _ :: d :: _ -> (
+                  match int_of_string_opt d with
+                  | Some ms when ms > 0 -> Some ms
+                  | _ -> None)
+                | _ -> None
+              in
               incr next_id;
               let id = !next_id in
               match request_for name seed with
@@ -1460,7 +1539,8 @@ let serve_cmd =
                 Mutex.lock pend_lock;
                 incr pending;
                 Mutex.unlock pend_lock;
-                Driver.Server.post srv ~name ~source ~input (fun r ->
+                Driver.Server.post ?deadline_ms srv ~name ~source ~input
+                  (fun r ->
                     print_line (render id r);
                     Mutex.lock pend_lock;
                     decr pending;
@@ -1486,11 +1566,16 @@ let serve_cmd =
           $(b,--profile=static) cold requests skip the first-request \
           training run and serve on the static prediction; the online \
           shard profiles and the drift check re-optimize as real counts \
-          diverge from it.")
+          diverge from it.  With $(b,--state-dir) the daemon is crash-safe: \
+          learned profiles, predictor tallies and drift generations are \
+          journaled and snapshotted there, and a restart warm-starts every \
+          persisted program at its learned generation.  $(b,run) accepts an \
+          optional third argument, a per-request deadline in milliseconds.")
     Term.(
       const run $ domains_arg $ sample_every_arg $ merge_every_arg
       $ drift_min_execs_arg 32 $ backend_arg `Compiled $ profile_arg
-      $ native_cache_dir_arg $ no_native_cache_arg)
+      $ native_cache_dir_arg $ no_native_cache_arg $ state_dir_arg
+      $ queue_cap_arg $ snapshot_every_arg)
 
 (* ------------------------------------------------------------------ *)
 (* replay: simulated production traffic against a server               *)
@@ -1499,7 +1584,7 @@ let serve_cmd =
 let replay_cmd =
   let run requests concurrency workloads seed no_drift sample_every
       merge_every drift_min_execs check_every json_path quiet backend
-      ncache_dir no_ncache =
+      ncache_dir no_ncache chaos chaos_seed state_dir =
     handle_errors (fun () ->
         apply_native_opts ncache_dir no_ncache;
         let backend = resolve_backend backend in
@@ -1523,7 +1608,7 @@ let replay_cmd =
         let o =
           Driver.Replay.run ~config ?workloads ~requests ?concurrency ~seed
             ~drift:(not no_drift) ~sample_every ~merge_every ~drift_min_execs
-            ~check_every ?progress ()
+            ~check_every ~chaos ~chaos_seed ?state_dir ?progress ()
         in
         Printf.printf "requests:    %d ok, %d failed (%d domains)\n"
           o.Driver.Replay.ro_ok o.Driver.Replay.ro_failed
@@ -1560,12 +1645,38 @@ let replay_cmd =
         Printf.printf "checked:     %d against the reference oracle, %d \
                        mismatch(es)\n"
           o.Driver.Replay.ro_checked o.Driver.Replay.ro_mismatches;
+        if o.Driver.Replay.ro_chaos_planned > 0 then begin
+          Printf.printf
+            "chaos:       %d fault(s): %d ok, %d failed cleanly, %d \
+             vacuous, %d escape(s)\n"
+            o.Driver.Replay.ro_chaos_planned o.Driver.Replay.ro_chaos_ok
+            o.Driver.Replay.ro_chaos_failed o.Driver.Replay.ro_chaos_vacuous
+            o.Driver.Replay.ro_chaos_escapes;
+          List.iter
+            (fun (f : Driver.Replay.fault_report) ->
+              Printf.printf "  request %d: %s -> %s\n"
+                f.Driver.Replay.rf_request f.Driver.Replay.rf_kind
+                f.Driver.Replay.rf_outcome)
+            o.Driver.Replay.ro_chaos_faults
+        end;
+        if o.Driver.Replay.ro_crash_restarts > 0 then
+          Printf.printf
+            "durability:  %d crash-restart(s), %d program(s) restored, \
+             restore %s\n"
+            o.Driver.Replay.ro_crash_restarts o.Driver.Replay.ro_restored
+            (if o.Driver.Replay.ro_restore_exact then "exact"
+             else "NOT exact");
         (match json_path with
         | Some path ->
           Driver.Replay.write_json ~path o;
           Printf.printf "wrote %s\n" path
         | None -> ());
-        if o.Driver.Replay.ro_mismatches > 0 || o.Driver.Replay.ro_failed > 0
+        if
+          o.Driver.Replay.ro_mismatches > 0
+          || o.Driver.Replay.ro_failed > o.Driver.Replay.ro_chaos_failed
+          || o.Driver.Replay.ro_chaos_escapes > 0
+          || (o.Driver.Replay.ro_crash_restarts > 0
+             && not o.Driver.Replay.ro_restore_exact)
         then exit 1)
   in
   let requests =
@@ -1622,18 +1733,38 @@ let replay_cmd =
       value & flag
       & info [ "quiet"; "q" ] ~doc:"Suppress phase progress on stderr.")
   in
+  let chaos =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos" ] ~docv:"N"
+          ~doc:
+            "Plant N seeded faults across the request stream (worker \
+             kills, stalls, artifact corruption/truncation, journal \
+             tears) and certify containment: every victim is checked \
+             against the oracle and any escape fails the run.")
+  in
+  let chaos_seed =
+    Arg.(
+      value & opt int 7
+      & info [ "chaos-seed" ] ~docv:"N"
+          ~doc:"Deterministic seed for the chaos fault plan.")
+  in
   Cmd.v
     (Cmd.info "replay"
        ~doc:
          "Fire a mixed stream of workload requests at an in-process \
           optimization server and report throughput, p50/p99 latency, \
           cache hit rates and drift re-optimizations (exits nonzero on \
-          any failed request or oracle mismatch).")
+          any unplanned failure, oracle mismatch, chaos escape or \
+          inexact restore).  With $(b,--state-dir) the server is \
+          durable and a crash-restart cycle is certified between the \
+          waves; with $(b,--chaos) seeded faults strike mid-stream.")
     Term.(
       const run $ requests $ concurrency $ workloads $ seed $ no_drift
       $ sample_every_arg $ merge_every_arg $ drift_min_execs_arg 64
       $ check_every $ json_path $ quiet $ backend_arg `Compiled
-      $ native_cache_dir_arg $ no_native_cache_arg)
+      $ native_cache_dir_arg $ no_native_cache_arg $ chaos $ chaos_seed
+      $ state_dir_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench: the continuous benchmarking flywheel                          *)

@@ -215,14 +215,47 @@ let import_serve ?seq ?label ?commit ~gate_wall ~source j =
             m ~dir:Record.Higher "serve.reopts" (float_of_int reopts))
           (Option.bind (Json.member "server" j) (fun s ->
                Option.map int_of_float (num_field s "reopts")));
+        (* PR 10: chaos certification — escapes are a hard-zero gate *)
+        Option.bind (Json.member "chaos" j) (fun c ->
+            Option.map
+              (fun v ->
+                m ~unit_:"count" ~dir:Record.Lower ~gate:true ~floor:0.
+                  ~tolerance:0. "serve.chaos_escapes" v)
+              (num_field c "escapes"));
+        Option.bind (Json.member "chaos" j) (fun c ->
+            Option.map
+              (fun v ->
+                m ~unit_:"count" ~dir:Record.Higher "serve.chaos_faults" v)
+              (num_field c "planned"));
+        (* PR 10: durability — the restore must be byte-exact *)
+        Option.bind (Json.member "durability" j) (fun d ->
+            Option.map
+              (fun v ->
+                m ~unit_:"count" ~dir:Record.Higher "serve.restored" v)
+              (num_field d "restored"));
+        Option.bind (Json.member "durability" j) (fun d ->
+            Option.map
+              (fun b ->
+                m ~unit_:"bool" ~dir:Record.Higher ~gate:true ~floor:0.
+                  ~tolerance:0. "serve.restore_exact"
+                  (if b then 1. else 0.))
+              (Option.bind (Json.member "restore_exact" d) Json.bool));
       ]
+  in
+  (* A chaos run deliberately injects stalls, crashes, and artifact damage,
+     so its latency/throughput numbers are not comparable with a clean serve
+     baseline.  Give it a separate gate context: the correctness gates
+     (escapes, mismatches, restore_exact) still bind, and perf baselines
+     accrue chaos-vs-chaos. *)
+  let context =
+    if Json.member "chaos" j <> None then "serve-chaos" else "serve"
   in
   if metrics = [] then Error "serve snapshot yielded no metrics"
   else
     Ok
       (Record.make ?commit ~source ~runs:1 ~seq
          ~label:(Option.value ~default:(Printf.sprintf "PR%d" seq) label)
-         ~context:"serve" metrics)
+         ~context metrics)
 
 (* ------------------------------------------------------------------ *)
 (* Fuzz shape: PR 3                                                     *)

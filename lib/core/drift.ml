@@ -56,3 +56,39 @@ let signature ?selector ?keep_original_default (p : Mir.Program.t) seqs table =
        seqs)
 
 let drifted ~served ~current = not (String.equal served current)
+
+(* ------------------------------------------------------------------ *)
+(* Durable drift state                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* bumped whenever the signature rendering above changes shape: a
+   persisted state from an older scheme must read back as None so the
+   daemon recomputes instead of comparing apples to oranges *)
+let state_version = 1
+
+let state_to_string ~generation ~executions signature =
+  if generation < 0 || executions < 0 then
+    invalid_arg "Drift.state_to_string: negative field";
+  Printf.sprintf "v%d g%d e%d %s" state_version generation executions signature
+
+let state_of_string s =
+  match String.index_opt s ' ' with
+  | None -> None
+  | Some sp1 -> (
+    match String.index_from_opt s (sp1 + 1) ' ' with
+    | None -> None
+    | Some sp2 -> (
+      match String.index_from_opt s (sp2 + 1) ' ' with
+      | None -> None
+      | Some sp3 ->
+        let field lo hi tag =
+          let w = String.sub s lo (hi - lo) in
+          if String.length w < 2 || w.[0] <> tag then None
+          else int_of_string_opt (String.sub w 1 (String.length w - 1))
+        in
+        let signature = String.sub s (sp3 + 1) (String.length s - sp3 - 1) in
+        (match (field 0 sp1 'v', field (sp1 + 1) sp2 'g', field (sp2 + 1) sp3 'e')
+         with
+        | Some v, Some g, Some e when v = state_version && g >= 0 && e >= 0 ->
+          Some (g, e, signature)
+        | _ -> None)))

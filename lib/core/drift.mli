@@ -34,3 +34,22 @@ val drifted : served:string -> current:string -> bool
     signature the served artifact was built with?  A sequence that
     merely {e gains} its first samples (served ["?"]) also counts as
     drift: the service now has a profile where it had none. *)
+
+(** {2 Durable drift state}
+
+    What a crash-safe daemon persists per program: the generation its
+    served artifact is at, the profile executions when it was last
+    (re-)optimized, and the signature it was built with.  Versioned: a
+    blob written by an older signature-rendering scheme deserializes to
+    [None], forcing the restored daemon to recompute rather than compare
+    incomparable signatures. *)
+
+val state_version : int
+
+val state_to_string : generation:int -> executions:int -> string -> string
+(** Render [(generation, executions, signature)] as one line (the
+    signature may contain any characters except newline). *)
+
+val state_of_string : string -> (int * int * string) option
+(** Inverse of {!state_to_string}; [None] on malformed input or a
+    version mismatch. *)

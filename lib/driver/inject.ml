@@ -70,3 +70,63 @@ let plan ~seed ~jobs ~count =
   end
 
 let find plans ~job = List.find_opt (fun f -> f.i_job = job) plans
+
+(* ------------------------------------------------------------------ *)
+(* Server-level chaos plans                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving counterpart: faults against a {!Server} under replay
+   traffic rather than against one batch job.  The first two strike
+   inside the victim request's guarded closure; the other three damage
+   the environment (artifact store, durability journal) from the
+   driver thread just before the victim request fires, so the
+   self-healing and torn-tail machinery recover under live load. *)
+
+type server_kind =
+  | S_kill_worker  (* exception inside the serving closure *)
+  | S_stall        (* the attempt stalls past the request deadline *)
+  | S_corrupt_artifact   (* flip bytes of a cached .cmxs on disk *)
+  | S_truncate_artifact  (* truncate a cached .cmxs on disk *)
+  | S_tear_journal       (* tear the durability journal's tail *)
+
+let all_server_kinds =
+  [ S_kill_worker; S_stall; S_corrupt_artifact; S_truncate_artifact;
+    S_tear_journal ]
+
+let server_kind_name = function
+  | S_kill_worker -> "kill_worker"
+  | S_stall -> "stall"
+  | S_corrupt_artifact -> "corrupt_artifact"
+  | S_truncate_artifact -> "truncate_artifact"
+  | S_tear_journal -> "tear_journal"
+
+type server_fault = { sv_request : int; sv_kind : server_kind }
+
+let pp_server_fault ppf f =
+  Format.fprintf ppf "request %d: %s" f.sv_request
+    (server_kind_name f.sv_kind)
+
+let server_plan ~seed ~requests ~count =
+  if requests <= 0 then []
+  else begin
+    let count = min count requests in
+    let state = ref (((seed * 2_654_435_761) lxor 0x2545F491) land 0x3FFF_FFFF) in
+    let next () =
+      state := ((!state * 1_103_515_245) + 12345) land 0x3FFF_FFFF;
+      !state
+    in
+    let ids = Array.init requests Fun.id in
+    for i = 0 to count - 1 do
+      let j = i + (next () mod (requests - i)) in
+      let t = ids.(i) in
+      ids.(i) <- ids.(j);
+      ids.(j) <- t
+    done;
+    let kinds = Array.of_list all_server_kinds in
+    List.init count (fun i ->
+        { sv_request = ids.(i); sv_kind = kinds.(i mod Array.length kinds) })
+    |> List.sort (fun a b -> compare a.sv_request b.sv_request)
+  end
+
+let server_find plans ~request =
+  List.find_opt (fun f -> f.sv_request = request) plans

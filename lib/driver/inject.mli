@@ -43,3 +43,40 @@ val plan : seed:int -> jobs:int -> count:int -> fault list
     [count >= 5]. *)
 
 val find : fault list -> job:int -> fault option
+
+(** {1 Server-level chaos plans}
+
+    The serving counterpart of {!plan}: seeded faults against a
+    {!Server} under {!Replay} traffic.  {!S_kill_worker} and {!S_stall}
+    strike {e inside} the victim request's guarded closure (via
+    {!Server.submit}'s [inject] hook), so the retry/degradation ladder
+    recovers them; the other three damage the environment — artifact
+    store bytes, the durability journal's tail — just before the victim
+    request fires, so the self-healing store and the torn-tail-tolerant
+    {!State} reader recover under live load.  The certification bar is
+    the same as for jobs: zero wrong results, zero escapes. *)
+
+type server_kind =
+  | S_kill_worker  (** exception thrown inside the serving closure *)
+  | S_stall  (** the attempt stalls past the per-request deadline *)
+  | S_corrupt_artifact  (** bytes of a cached [.cmxs] flipped on disk *)
+  | S_truncate_artifact  (** a cached [.cmxs] truncated on disk *)
+  | S_tear_journal  (** the durability journal's tail torn mid-record *)
+
+val all_server_kinds : server_kind list
+
+val server_kind_name : server_kind -> string
+(** Stable tag ("kill_worker", "stall", "corrupt_artifact",
+    "truncate_artifact", "tear_journal") used in chaos reports. *)
+
+type server_fault = { sv_request : int; sv_kind : server_kind }
+
+val pp_server_fault : Format.formatter -> server_fault -> unit
+
+val server_plan : seed:int -> requests:int -> count:int -> server_fault list
+(** [min count requests] faults against distinct victim requests,
+    deterministic in [seed], kinds cycled in {!all_server_kinds} order
+    (every class appears whenever [count >= 5]), sorted by request
+    index. *)
+
+val server_find : server_fault list -> request:int -> server_fault option

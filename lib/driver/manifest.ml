@@ -194,16 +194,30 @@ let entry_of_line line =
     e_wall_ms = flo "wall_ms";
   }
 
+(* a manifest is appended line by line and flushed per entry, so the
+   one malformed shape a crash can leave behind is a torn final line
+   (partial write, no trailing newline, or cut mid-string).  [read]
+   tolerates exactly that: a parse failure on the last line drops the
+   line instead of failing the whole load.  A malformed line with valid
+   lines after it is real corruption and still raises. *)
 let read path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let entries = ref [] in
+      let lines = ref [] in
       (try
          while true do
            let line = String.trim (input_line ic) in
-           if line <> "" then entries := entry_of_line line :: !entries
+           if line <> "" then lines := line :: !lines
          done
        with End_of_file -> ());
-      List.rev !entries)
+      let rec parse acc = function
+        | [] -> List.rev acc
+        | [ last ] -> (
+          match entry_of_line last with
+          | e -> List.rev (e :: acc)
+          | exception Parse_error _ -> List.rev acc)
+        | line :: rest -> parse (entry_of_line line :: acc) rest
+      in
+      parse [] (List.rev !lines))

@@ -54,10 +54,26 @@ val write : string -> entry list -> unit
 
 exception Parse_error of string
 
+val parse_object : string -> (string * string) list
+(** Parse one flat JSON object of scalar fields into an assoc list of
+    raw string values (strings unescaped; numbers and booleans
+    verbatim), in field order.  The substrate {!entry_of_line} is built
+    on — also reused by {!State}'s journal records, which share the
+    one-flat-object-per-line discipline.
+    @raise Parse_error on malformed input. *)
+
+val escape : string -> string
+(** JSON string-escape (quotes, backslashes, control characters) — the
+    writer half of {!parse_object}'s string fields. *)
+
 val entry_of_line : string -> entry
 (** @raise Parse_error on malformed input; unknown fields are ignored
     and missing fields default. *)
 
 val read : string -> entry list
-(** Read every non-blank line of a manifest.
-    @raise Parse_error on the first malformed line. *)
+(** Read every non-blank line of a manifest.  A torn {e final} line —
+    the partial write a crash mid-{!add} leaves behind — is skipped
+    rather than failing the load, so a killed run's readable prefix
+    stays consumable ([bromc fuzz --resume], the journal restore path).
+    @raise Parse_error on a malformed line that has valid lines after
+    it (that is corruption, not a torn tail). *)

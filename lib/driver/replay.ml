@@ -1,3 +1,9 @@
+type fault_report = {
+  rf_request : int;
+  rf_kind : string;
+  rf_outcome : string;  (* "ok" | "failed:STATUS" | "vacuous" | "escape" *)
+}
+
 type outcome = {
   ro_requests : int;
   ro_ok : int;
@@ -14,6 +20,15 @@ type outcome = {
   ro_reopts : int;
   ro_events : Server.reopt_event list;
   ro_stats : Server.stats;
+  ro_chaos_planned : int;
+  ro_chaos_ok : int;
+  ro_chaos_failed : int;
+  ro_chaos_vacuous : int;
+  ro_chaos_escapes : int;
+  ro_chaos_faults : fault_report list;
+  ro_crash_restarts : int;
+  ro_restored : int;
+  ro_restore_exact : bool;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -115,9 +130,97 @@ let percentile sorted p =
   let n = Array.length sorted in
   if n = 0 then 0.0 else sorted.(min (n - 1) (n * p / 100))
 
+(* ------------------------------------------------------------------ *)
+(* Chaos: environment fault application                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* where the server's native rung keeps its .cmxs artifacts *)
+let native_store_dir (config : Config.t) =
+  let root =
+    match config.Config.native_cache_dir with
+    | Some d -> d
+    | None -> Sim.Native.Cache.default_dir ()
+  in
+  match Sim.Native.Cache.fingerprint () with
+  | None -> None
+  | Some fpr -> Some (Filename.concat root fpr)
+
+let list_artifacts config =
+  match native_store_dir config with
+  | None -> []
+  | Some dir -> (
+    match Sys.readdir dir with
+    | files ->
+      Array.to_list files
+      |> List.filter (fun f -> Filename.check_suffix f ".cmxs")
+      |> List.sort compare
+      |> List.map (Filename.concat dir)
+    | exception Sys_error _ -> [])
+
+(* Damage an artifact by writing the damaged bytes to a sibling file
+   and renaming it over the original — never in place: the original
+   inode may be dlopen-mmapped by this very process (a loaded plugin),
+   and truncating or rewriting a mapped file raises SIGBUS.  The
+   rename leaves live mappings on the old inode and puts the damage
+   where it belongs: on the store the next load reads. *)
+let replace_with path bytes =
+  let tmp = path ^ ".chaos" in
+  match
+    let oc = open_out_bin tmp in
+    output_string oc bytes;
+    close_out oc;
+    Sys.rename tmp path
+  with
+  | () -> true
+  | exception Sys_error _ -> false
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let b = really_input_string ic n in
+    close_in ic;
+    b
+  with
+  | b -> Some b
+  | exception Sys_error _ -> None
+
+(* flip one byte mid-file, leaving the .sum sidecar stale: the next
+   disk load must fail its checksum and quarantine the artifact *)
+let corrupt_file path =
+  match read_file path with
+  | None | Some "" -> false
+  | Some s ->
+    let b = Bytes.of_string s in
+    let mid = Bytes.length b / 2 in
+    Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0xFF));
+    replace_with path (Bytes.to_string b)
+
+let truncate_file path =
+  match read_file path with
+  | None | Some "" -> false
+  | Some s -> replace_with path (String.sub s 0 (max 1 (String.length s / 2)))
+
+(* pick the victim artifact deterministically, damage it, and drop the
+   in-process memo so the next native request must reload from disk
+   and trip over the damage *)
+let apply_artifact_fault config ~request kind =
+  match list_artifacts config with
+  | [] -> false
+  | artifacts ->
+    let victim = List.nth artifacts (request mod List.length artifacts) in
+    let applied =
+      match kind with
+      | Inject.S_corrupt_artifact -> corrupt_file victim
+      | _ -> truncate_file victim
+    in
+    if applied then Sim.Native.clear_memo ();
+    applied
+
 let run ?(config = Config.default) ?(workloads = []) ?(requests = 1000)
     ?concurrency ?(seed = 42) ?(drift = true) ?(sample_every = 2)
     ?(merge_every = 8) ?(drift_min_execs = 64) ?(check_every = 16)
+    ?(chaos = 0) ?(chaos_seed = 7) ?state_dir
     ?(progress = fun _ -> ()) () =
   let names =
     match workloads with [] -> Workloads.Registry.names | ns -> ns
@@ -183,27 +286,76 @@ let run ?(config = Config.default) ?(workloads = []) ?(requests = 1000)
   let cold_ms = !cold_total /. float_of_int (List.length distinct) *. 1000.0 in
 
   (* warm service: one long-lived server; warm every program up
-     (untimed), then fire the two timed waves with a sync between *)
-  let server =
+     (untimed), then fire the two timed waves with a sync between.
+     With [state_dir] the server is durable, and a crash-restart cycle
+     is certified between the waves. *)
+  let make_server () =
     Server.create ~config ?domains:concurrency ~sample_every ~merge_every
-      ~drift_min_execs ()
+      ~drift_min_execs ?state_dir ()
   in
+  let server = ref (make_server ()) in
   progress
     (Printf.sprintf "warmup (%d programs, %d domains)" (List.length distinct)
-       (Server.domains server));
+       (Server.domains !server));
   List.iter
     (fun (name, source, input) ->
-      ignore (Server.submit server ~name ~source ~input))
+      ignore (Server.submit !server ~name ~source ~input))
     distinct;
+
+  let faults =
+    if chaos > 0 then
+      Inject.server_plan ~seed:chaos_seed ~requests ~count:chaos
+    else []
+  in
+  if faults <> [] then
+    progress
+      (Printf.sprintf "chaos: %d faults planned (%s)" (List.length faults)
+         (String.concat ", "
+            (List.map
+               (fun (f : Inject.server_fault) ->
+                 Printf.sprintf "%d:%s" f.Inject.sv_request
+                   (Inject.server_kind_name f.Inject.sv_kind))
+               faults)));
+  (* environment faults that found nothing to damage (no artifact on
+     disk, no state dir) — reported, never silently counted as ok *)
+  let vacuous : (int, unit) Hashtbl.t = Hashtbl.create 8 in
 
   let responses : Server.response option array = Array.make requests None in
   let fire lo hi =
+    let srv = !server in
     let m = Mutex.create () in
     let c = Condition.create () in
     let pending = ref (hi - lo) in
     for i = lo to hi - 1 do
       let q = reqs.(i) in
-      Server.post server ~name:q.q_name ~source:q.q_source ~input:q.q_input
+      let fault = Inject.server_find faults ~request:i in
+      (* environment faults strike from the driver thread, just before
+         the victim request is posted *)
+      (match fault with
+      | Some { Inject.sv_kind = (Inject.S_corrupt_artifact
+                                | Inject.S_truncate_artifact) as k; _ } ->
+        if not (apply_artifact_fault config ~request:i k) then
+          Hashtbl.replace vacuous i ()
+      | Some { Inject.sv_kind = Inject.S_tear_journal; _ } ->
+        let torn =
+          match state_dir with
+          | Some dir -> State.tear_journal ~dir
+          | None -> false
+        in
+        if not torn then Hashtbl.replace vacuous i ()
+      | _ -> ());
+      let deadline_ms, inject =
+        match fault with
+        | Some { Inject.sv_kind = Inject.S_kill_worker; _ } ->
+          (None, Some (fun () -> raise (Inject.Injected i)))
+        | Some { Inject.sv_kind = Inject.S_stall; _ } ->
+          (* the stall outlives the request deadline, so the watchdog
+             must fire; the retry (the stall fires once) recovers *)
+          (Some 100, Some (fun () -> Unix.sleepf 0.25))
+        | _ -> (None, None)
+      in
+      Server.post ?deadline_ms ?inject srv ~name:q.q_name ~source:q.q_source
+        ~input:q.q_input
         (fun r ->
           responses.(i) <- Some r;
           Mutex.lock m;
@@ -220,38 +372,110 @@ let run ?(config = Config.default) ?(workloads = []) ?(requests = 1000)
   progress (Printf.sprintf "wave 1: requests 0..%d" (half - 1));
   let t0 = Unix.gettimeofday () in
   fire 0 half;
-  Server.sync server;
+  Server.sync !server;
+
+  (* crash-restart-resume: kill the durable server without any final
+     flush (power-loss semantics), restart on the same state dir, and
+     certify the restore against the pre-crash learned state — [sync]
+     journaled an absolute record per program, so the match must be
+     exact even if a tear fault struck the journal earlier *)
+  let crash_restarts = ref 0 and restored = ref 0 in
+  let restore_exact = ref true in
+  let restart_s = ref 0.0 in
+  let pre_crash_events = ref [] in
+  let pre_crash_reopts = ref 0 in
+  (match state_dir with
+  | Some _ ->
+    progress "crash (no final snapshot) and restart from the state dir";
+    let r0 = Unix.gettimeofday () in
+    let pre_stats = Server.stats !server in
+    let pre = List.sort compare pre_stats.Server.st_programs in
+    pre_crash_events := Server.reopt_events !server;
+    pre_crash_reopts := pre_stats.Server.st_reopts;
+    Server.shutdown ~crash:true !server;
+    (* a real restart is a fresh process: drop the in-memory plugin memo *)
+    Sim.Native.clear_memo ();
+    server := make_server ();
+    incr crash_restarts;
+    let st = Server.stats !server in
+    restored := st.Server.st_restored;
+    restore_exact := List.sort compare st.Server.st_programs = pre;
+    restart_s := Unix.gettimeofday () -. r0
+  | None -> ());
+
   progress (Printf.sprintf "wave 2: requests %d..%d" half (requests - 1));
   fire half requests;
-  Server.sync server;
-  let elapsed = Unix.gettimeofday () -. t0 in
+  Server.sync !server;
+  let elapsed = Unix.gettimeofday () -. t0 -. !restart_s in
 
-  (* differential sample against the reference oracle *)
+  (* differential check against the reference oracle: the usual every
+     [check_every]-th sample, plus every chaos victim (a fault must
+     never produce a wrong result) *)
   let checked = ref 0 and mismatches = ref 0 in
-  if check_every > 0 then begin
+  let mis = Array.make requests false in
+  let victim = Array.make requests false in
+  List.iter (fun (f : Inject.server_fault) -> victim.(f.Inject.sv_request) <- true) faults;
+  if check_every > 0 || faults <> [] then begin
     progress "differential check against the reference interpreter";
-    let i = ref 0 in
-    while !i < requests do
-      (match responses.(!i) with
-      | Some r when r.Server.rs_status = "ok" ->
-        let q = reqs.(!i) in
-        let out, code =
-          Server.oracle server ~name:q.q_name ~source:q.q_source
-            ~input:q.q_input
-        in
-        incr checked;
-        if
-          (not (String.equal out r.Server.rs_output))
-          || code <> r.Server.rs_exit_code
-        then incr mismatches
-      | _ -> ());
-      i := !i + check_every
+    for i = 0 to requests - 1 do
+      if (check_every > 0 && i mod check_every = 0) || victim.(i) then
+        match responses.(i) with
+        | Some r when r.Server.rs_status = "ok" ->
+          let q = reqs.(i) in
+          let out, code =
+            Server.oracle !server ~name:q.q_name ~source:q.q_source
+              ~input:q.q_input
+          in
+          incr checked;
+          if
+            (not (String.equal out r.Server.rs_output))
+            || code <> r.Server.rs_exit_code
+          then begin
+            mis.(i) <- true;
+            incr mismatches
+          end
+        | _ -> ()
     done
   end;
 
-  let stats = Server.stats server in
-  let events = Server.reopt_events server in
-  Server.shutdown server;
+  (* chaos verdicts *)
+  let fault_reports =
+    List.map
+      (fun (f : Inject.server_fault) ->
+        let i = f.Inject.sv_request in
+        let verdict =
+          if Hashtbl.mem vacuous i then "vacuous"
+          else
+            match responses.(i) with
+            | None -> "escape"  (* response lost: the fault leaked *)
+            | Some r ->
+              if r.Server.rs_status = "ok" then
+                if mis.(i) then "escape" (* wrong result: worst case *)
+                else "ok"
+              else "failed:" ^ r.Server.rs_status
+        in
+        {
+          rf_request = i;
+          rf_kind = Inject.server_kind_name f.Inject.sv_kind;
+          rf_outcome = verdict;
+        })
+      faults
+  in
+  let tally p = List.length (List.filter p fault_reports) in
+  let chaos_ok = tally (fun r -> r.rf_outcome = "ok") in
+  let chaos_vacuous = tally (fun r -> r.rf_outcome = "vacuous") in
+  let chaos_escapes = tally (fun r -> r.rf_outcome = "escape") in
+  let chaos_failed =
+    tally (fun r -> String.length r.rf_outcome > 7
+                    && String.sub r.rf_outcome 0 7 = "failed:")
+  in
+
+  let stats = Server.stats !server in
+  (* events and reopt counts span the crash: pre-crash history survives
+     in the outcome even though the counters restart from zero *)
+  let events = !pre_crash_events @ Server.reopt_events !server in
+  let reopts = !pre_crash_reopts + stats.Server.st_reopts in
+  Server.shutdown !server;
 
   let ok = ref 0 and failed = ref 0 in
   let lats = ref [] in
@@ -284,9 +508,18 @@ let run ?(config = Config.default) ?(workloads = []) ?(requests = 1000)
     ro_warm_ratio = (if cold_rps > 0.0 then throughput /. cold_rps else 0.0);
     ro_checked = !checked;
     ro_mismatches = !mismatches;
-    ro_reopts = stats.Server.st_reopts;
+    ro_reopts = reopts;
     ro_events = events;
     ro_stats = stats;
+    ro_chaos_planned = List.length faults;
+    ro_chaos_ok = chaos_ok;
+    ro_chaos_failed = chaos_failed;
+    ro_chaos_vacuous = chaos_vacuous;
+    ro_chaos_escapes = chaos_escapes;
+    ro_chaos_faults = fault_reports;
+    ro_crash_restarts = !crash_restarts;
+    ro_restored = !restored;
+    ro_restore_exact = !restore_exact;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -350,10 +583,27 @@ let write_json ~path (o : outcome) =
   p
     "  \"native\": { \"memo_hits\": %d, \"disk_hits\": %d, \"misses\": %d, \
      \"compiles\": %d, \"memo_evictions\": %d, \"memo_entries\": %d, \
-     \"memo_capacity\": %d },\n"
+     \"memo_capacity\": %d, \"quarantined\": %d },\n"
     ns.Sim.Native.memo_hits ns.Sim.Native.disk_hits ns.Sim.Native.misses
     ns.Sim.Native.compiles ns.Sim.Native.memo_evictions
-    ns.Sim.Native.memo_entries ns.Sim.Native.memo_capacity;
+    ns.Sim.Native.memo_entries ns.Sim.Native.memo_capacity
+    ns.Sim.Native.quarantined;
+  p
+    "  \"chaos\": { \"planned\": %d, \"ok\": %d, \"failed\": %d, \
+     \"vacuous\": %d, \"escapes\": %d, \"faults\": [" o.ro_chaos_planned
+    o.ro_chaos_ok o.ro_chaos_failed o.ro_chaos_vacuous o.ro_chaos_escapes;
+  let n_f = List.length o.ro_chaos_faults in
+  List.iteri
+    (fun i f ->
+      p "{ \"request\": %d, \"kind\": \"%s\", \"outcome\": \"%s\" }%s"
+        f.rf_request (json_escape f.rf_kind) (json_escape f.rf_outcome)
+        (if i = n_f - 1 then "" else ", "))
+    o.ro_chaos_faults;
+  p "] },\n";
+  p
+    "  \"durability\": { \"crash_restarts\": %d, \"restored\": %d, \
+     \"restore_exact\": %b },\n"
+    o.ro_crash_restarts o.ro_restored o.ro_restore_exact;
   p "  \"reopt_events\": [\n";
   let n_ev = List.length o.ro_events in
   List.iteri

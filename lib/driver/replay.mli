@@ -21,6 +21,17 @@
     responses against {!Server.oracle} — the reference interpreter on
     the unreordered base — which must match byte for byte. *)
 
+type fault_report = {
+  rf_request : int;  (** victim request index *)
+  rf_kind : string;  (** {!Inject.server_kind_name} tag *)
+  rf_outcome : string;
+      (** ["ok"] (served correctly despite the fault),
+          ["failed:STATUS"] (clean failure response — contained),
+          ["vacuous"] (nothing to damage: no artifact, no state dir),
+          ["escape"] (lost response or wrong result — a certification
+          failure) *)
+}
+
 type outcome = {
   ro_requests : int;  (** timed requests fired *)
   ro_ok : int;
@@ -37,9 +48,20 @@ type outcome = {
   ro_warm_ratio : float;  (** [ro_throughput_rps /. ro_cold_rps] *)
   ro_checked : int;  (** responses differentially checked *)
   ro_mismatches : int;  (** byte differences against the oracle (0!) *)
-  ro_reopts : int;
+  ro_reopts : int;  (** across the crash when one was simulated *)
   ro_events : Server.reopt_event list;
   ro_stats : Server.stats;  (** server counters at shutdown *)
+  ro_chaos_planned : int;  (** faults drawn from the chaos plan *)
+  ro_chaos_ok : int;  (** victims still served correctly *)
+  ro_chaos_failed : int;  (** victims with a clean failure response *)
+  ro_chaos_vacuous : int;  (** faults that found nothing to damage *)
+  ro_chaos_escapes : int;  (** lost responses or wrong results (0!) *)
+  ro_chaos_faults : fault_report list;
+  ro_crash_restarts : int;  (** simulated crash-restart cycles (0 or 1) *)
+  ro_restored : int;  (** programs warm-started after the crash *)
+  ro_restore_exact : bool;
+      (** restored (name, generation, executions) set matched the
+          pre-crash server exactly *)
 }
 
 val drift_name : string
@@ -70,6 +92,9 @@ val run :
   ?merge_every:int ->
   ?drift_min_execs:int ->
   ?check_every:int ->
+  ?chaos:int ->
+  ?chaos_seed:int ->
+  ?state_dir:string ->
   ?progress:(string -> unit) ->
   unit ->
   outcome
@@ -78,9 +103,25 @@ val run :
     [sample_every] 2, [merge_every] 8, [drift_min_execs] 64,
     [check_every] 16 (0 disables the differential sample).
     [progress] receives one-line phase messages.  Raises [Failure] on
-    an unknown workload name. *)
+    an unknown workload name.
+
+    [chaos] (default 0) plants that many {!Inject.server_plan} faults
+    (seeded by [chaos_seed], default 7) across the request stream:
+    worker kills and stalls strike inside the victim's guarded
+    closure; artifact corruption/truncation and journal tears damage
+    the environment just before the victim fires.  Every victim is
+    differentially checked; the certification bar is
+    [ro_chaos_escapes = 0].
+
+    [state_dir] makes the server durable and adds a crash-restart
+    cycle between the waves: after wave 1's sync the server is killed
+    with {e no} final flush, a fresh server restores from the state
+    dir (certified exact in [ro_restore_exact]), and wave 2 resumes on
+    it.  Restart time is excluded from [ro_elapsed_s]. *)
 
 val write_json : path:string -> outcome -> unit
-(** Write the [BENCH_PR7.json] record: parameters, throughput and
-    latency, per-cache hit/miss/build/eviction counters, native store
-    counters, re-optimization events, differential-check tally. *)
+(** Write the bench record ([BENCH_PR7.json], [BENCH_PR10.json]):
+    parameters, throughput and latency, per-cache
+    hit/miss/build/eviction counters, native store counters, chaos and
+    durability verdicts, re-optimization events, differential-check
+    tally. *)

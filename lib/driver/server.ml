@@ -27,6 +27,9 @@ type stats = {
   st_caches : Sim.Artifact.stats list;
   st_native : Sim.Native.stats;
   st_mispredicts : ((int * int * int) * (int * int)) list;
+  st_overloaded : int;
+  st_restored : int;
+  st_programs : (string * int * int) list;
 }
 
 (* the artifacts one generation serves from; swapped atomically as a
@@ -42,6 +45,7 @@ type artifact = {
 type entry = {
   e_key : string;
   e_name : string;
+  e_source : string;  (* verbatim, so durable state can rebuild cold *)
   e_base : Mir.Program.t;  (* optimized base, never transformed *)
   e_seqs : Reorder.Detect.t list;
   e_train_compiled : Sim.Compiled.t;  (* instrumented clone, compiled *)
@@ -78,70 +82,55 @@ type t = {
   reopts : int Atomic.t;
   events : reopt_event list ref;
   events_lock : Mutex.t;
+  (* durable state: a journal appended after every merge plus periodic
+     snapshots.  [None] = ephemeral server (the default) *)
+  state_dir : string option;
+  journal : State.writer option;
+  snapshot_every : int;
+  snap_mark : int Atomic.t;  (* journal records at the last snapshot *)
+  snap_lock : Mutex.t;  (* one snapshot writer at a time *)
+  restored : int Atomic.t;  (* programs warm-started from disk *)
   mutable stopped : bool;
 }
 
 let domains t = Pool.Workers.size t.pool
 
-(* only plain-data config fields may feed the content hash (closures
-   hash by address, which would defeat cross-request sharing) *)
+(* Rendered explicitly from plain data — never [Hashtbl.hash]: the
+   heuristic set carries a closure, and closures hash by code address,
+   which differs between processes.  The fingerprint seeds the content
+   keys persisted by {!State}, so it must be stable across restarts or
+   every restored record would be dropped as a config mismatch. *)
 let config_fingerprint (c : Config.t) =
-  string_of_int
-    (Hashtbl.hash
-       ( c.Config.heuristic,
-         c.Config.selector,
-         c.Config.apply_options,
-         c.Config.reorder_enabled,
-         c.Config.analysis_facts,
-         c.Config.keep_original_default,
-         c.Config.coalesce_machine,
-         c.Config.delay_fill_from_target,
-         c.Config.profile,
-         c.Config.fuel ))
+  let b = function true -> "t" | false -> "f" in
+  let machine =
+    match c.Config.coalesce_machine with
+    | None -> "-"
+    | Some m ->
+        Printf.sprintf "%s:%d:%d:%d:%s" m.Sim.Cycle_model.model_name
+          m.Sim.Cycle_model.mispredict_penalty m.Sim.Cycle_model.indirect_penalty
+          m.Sim.Cycle_model.load_latency
+          (match m.Sim.Cycle_model.predictor with
+          | None -> "-"
+          | Some (h, cbits, e) -> Printf.sprintf "%d.%d.%d" h cbits e)
+  in
+  Printf.sprintf "%s|%s|%d.%s.%s|%s%s%s%s|%s|%s|%s"
+    c.Config.heuristic.Mopt.Switch_lower.hs_name
+    (match c.Config.selector with `Greedy -> "greedy" | `Exhaustive -> "exhaustive")
+    c.Config.apply_options.Reorder.Apply.tail_dup_limit
+    (b c.Config.apply_options.Reorder.Apply.improve_cmp)
+    (b c.Config.apply_options.Reorder.Apply.improve_form4)
+    (b c.Config.reorder_enabled)
+    (b c.Config.analysis_facts)
+    (b c.Config.keep_original_default)
+    (b c.Config.delay_fill_from_target)
+    machine
+    (Config.profile_name c.Config.profile)
+    (string_of_int c.Config.fuel)
 
 let content_key t source =
   Digest.to_hex (Digest.string (config_fingerprint t.config ^ "\x00" ^ source))
 
 let gen_key key gen = Printf.sprintf "%s#g%d" key gen
-
-let create ?(config = Config.default) ?policy ?domains ?(sample_every = 4)
-    ?(merge_every = 8) ?(drift_min_execs = 32) () =
-  if sample_every < 1 then invalid_arg "Server.create: sample_every < 1";
-  if merge_every < 1 then invalid_arg "Server.create: merge_every < 1";
-  let policy =
-    match policy with
-    | Some p -> p
-    | None -> { Guard.default with Guard.degrade = true }
-  in
-  let pool = Pool.Workers.create ?domains () in
-  let n = Pool.Workers.size pool in
-  {
-    config;
-    policy;
-    pool;
-    sample_every;
-    merge_every;
-    drift_min_execs;
-    programs = Sim.Artifact.create ~name:"programs" ();
-    mir_cache = Sim.Artifact.create ~name:"mir" ();
-    image_cache = Sim.Artifact.create ~name:"image" ();
-    closure_cache = Sim.Artifact.create ~name:"closure" ();
-    entries = ref [];
-    entries_lock = Mutex.create ();
-    ticks = Array.make n 0;
-    banks = Array.init n (fun _ -> Sim.Predictor.bank config.Config.predictors);
-    bank_locks = Array.init n (fun _ -> Mutex.create ());
-    bank_global = Sim.Predictor.bank config.Config.predictors;
-    bank_global_lock = Mutex.create ();
-    requests = Atomic.make 0;
-    cold = Atomic.make 0;
-    shadow_runs = Atomic.make 0;
-    merges = Atomic.make 0;
-    reopts = Atomic.make 0;
-    events = ref [];
-    events_lock = Mutex.create ();
-    stopped = false;
-  }
 
 let sim_config ?(cancel = None) t =
   {
@@ -175,6 +164,84 @@ let build_artifact t ~key ~generation ~signature served =
     a_image = image;
     a_compiled = compiled;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Durable state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* one absolute journal/snapshot record for a program entry; the caller
+   must hold [e_merge] (or otherwise know the globals are quiescent) so
+   counters and generation are read consistently *)
+let program_record (e : entry) =
+  let art = Atomic.get e.e_artifact in
+  let ranges, combs = Sim.Profile.counters e.e_global in
+  {
+    State.p_key = e.e_key;
+    p_name = e.e_name;
+    p_source = e.e_source;
+    p_generation = art.a_generation;
+    p_signature = art.a_signature;
+    p_executions = Sim.Profile.total_executions e.e_global;
+    p_last_opt_execs = e.e_last_opt_execs;
+    p_ranges = ranges;
+    p_combs = combs;
+  }
+
+let bank_record t : State.bank =
+  Mutex.lock t.bank_global_lock;
+  let lookups = Sim.Predictor.bank_lookups t.bank_global in
+  let mis = Sim.Predictor.bank_mispredicts t.bank_global in
+  Mutex.unlock t.bank_global_lock;
+  List.map2
+    (fun (k, l) (k', m) ->
+      assert (k = k');
+      (k, (l, m)))
+    lookups mis
+
+(* caller holds [e_merge] *)
+let journal_entry t e =
+  match t.journal with
+  | None -> ()
+  | Some w ->
+    State.journal_program w (program_record e);
+    State.journal_bank w (bank_record t)
+
+let snapshot_due t =
+  match t.journal with
+  | None -> false
+  | Some w -> State.appended w - Atomic.get t.snap_mark >= t.snapshot_every
+
+(* write a full snapshot and truncate the journal.  Takes each entry's
+   [e_merge] one at a time — callers must hold NO [e_merge] (the merge
+   paths signal "due" and snapshot after unlocking), so two concurrent
+   snapshotters cannot deadlock; [snap_lock]'s try_lock makes the loser
+   skip rather than queue.  A merge that lands between record collection
+   and the journal truncation loses only its journal record, and only
+   until that program's next merge re-journals it (records are
+   absolute). *)
+let snapshot t =
+  match (t.state_dir, t.journal) with
+  | Some dir, Some w ->
+    if Mutex.try_lock t.snap_lock then
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.snap_lock)
+        (fun () ->
+          Mutex.lock t.entries_lock;
+          let es = !(t.entries) in
+          Mutex.unlock t.entries_lock;
+          let records =
+            List.map
+              (fun e ->
+                Mutex.lock e.e_merge;
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock e.e_merge)
+                  (fun () -> program_record e))
+              es
+          in
+          State.write_snapshot ~dir records (bank_record t);
+          State.truncate_journal ~dir;
+          Atomic.set t.snap_mark (State.appended w))
+  | _ -> ()
 
 (* cold path, single-flighted by the [programs] cache: parse + optimize
    the base once, detect, instrument and train on this first request's
@@ -210,6 +277,7 @@ let build_entry t ~name ~key ~source ~input =
     {
       e_key = key;
       e_name = name;
+      e_source = source;
       e_base = base;
       e_seqs = seqs;
       e_train_compiled = train_compiled;
@@ -227,7 +295,141 @@ let build_entry t ~name ~key ~source ~input =
   Mutex.lock t.entries_lock;
   t.entries := !(t.entries) @ [ entry ];
   Mutex.unlock t.entries_lock;
+  (* journal the newborn entry: a crash before its first merge must
+     still find the program (training counts included) on restart *)
+  (match t.journal with
+  | None -> ()
+  | Some w -> State.journal_program w (program_record entry));
   entry
+
+(* warm-start one persisted program: recompile the base from its
+   persisted source, restore the merged profile counters verbatim, and
+   re-optimize under them at the persisted generation — no training
+   run, no generation reset.  The selection signature is recomputed
+   from the restored counters; with counters intact it reproduces the
+   persisted one, and it is what future drift checks compare against. *)
+let restore_entry t (p : State.program) =
+  let key = p.State.p_key in
+  let base =
+    Sim.Artifact.find_or_build t.mir_cache key (fun () ->
+        Pipeline.compile_base t.config p.State.p_source)
+  in
+  let seqs = Pipeline.detect_seqs t.config base in
+  let train_prog, table = Pipeline.instrument t.config base seqs in
+  let train_compiled = Sim.Compiled.compile (Sim.Image.build train_prog) in
+  let applied =
+    Sim.Profile.set_counters table ~ranges:p.State.p_ranges
+      ~combs:p.State.p_combs
+  in
+  if applied = 0 && (p.State.p_ranges <> [] || p.State.p_combs <> []) then
+    failwith "restore: persisted counters do not match the program's shape";
+  let served, _report =
+    Pipeline.reoptimize t.config ~name:p.State.p_name base seqs table
+  in
+  let signature = signature_of t base seqs table in
+  let artifact =
+    build_artifact t ~key ~generation:p.State.p_generation ~signature served
+  in
+  {
+    e_key = key;
+    e_name = p.State.p_name;
+    e_source = p.State.p_source;
+    e_base = base;
+    e_seqs = seqs;
+    e_train_compiled = train_compiled;
+    e_global = table;
+    e_shards =
+      Array.init
+        (Pool.Workers.size t.pool)
+        (fun _ -> (Mutex.create (), Sim.Profile.copy_shape table));
+    e_artifact = Atomic.make artifact;
+    e_merge = Mutex.create ();
+    e_last_opt_execs = p.State.p_last_opt_execs;
+    e_pending = Atomic.make 0;
+  }
+
+(* replay persisted state into the caches, drop what no longer matches
+   (config change, unparsable source); never fails the boot *)
+let restore_state t dir =
+  let r = State.load ~dir in
+  List.iter
+    (fun (p : State.program) ->
+      if String.equal (content_key t p.State.p_source) p.State.p_key then
+        match
+          Sim.Artifact.find_or_build t.programs p.State.p_key (fun () ->
+              restore_entry t p)
+        with
+        | entry ->
+          Mutex.lock t.entries_lock;
+          t.entries := !(t.entries) @ [ entry ];
+          Mutex.unlock t.entries_lock;
+          Atomic.incr t.restored
+        | exception _ -> ())
+    r.State.r_programs;
+  (try
+     Mutex.lock t.bank_global_lock;
+     Fun.protect
+       ~finally:(fun () -> Mutex.unlock t.bank_global_lock)
+       (fun () -> Sim.Predictor.bank_add_tallies t.bank_global r.State.r_bank)
+   with Invalid_argument _ -> ())
+
+let create ?(config = Config.default) ?policy ?domains ?(sample_every = 4)
+    ?(merge_every = 8) ?(drift_min_execs = 32) ?state_dir ?queue_cap
+    ?(snapshot_every = 64) () =
+  if sample_every < 1 then invalid_arg "Server.create: sample_every < 1";
+  if merge_every < 1 then invalid_arg "Server.create: merge_every < 1";
+  if snapshot_every < 1 then invalid_arg "Server.create: snapshot_every < 1";
+  let policy =
+    match policy with
+    | Some p -> p
+    | None -> { Guard.default with Guard.degrade = true }
+  in
+  let pool = Pool.Workers.create ?domains ?queue_cap () in
+  let n = Pool.Workers.size pool in
+  let journal =
+    match state_dir with
+    | None -> None
+    | Some dir -> Some (State.open_journal ~dir)
+  in
+  let t =
+    {
+      config;
+      policy;
+      pool;
+      sample_every;
+      merge_every;
+      drift_min_execs;
+      programs = Sim.Artifact.create ~name:"programs" ();
+      mir_cache = Sim.Artifact.create ~name:"mir" ();
+      image_cache = Sim.Artifact.create ~name:"image" ();
+      closure_cache = Sim.Artifact.create ~name:"closure" ();
+      entries = ref [];
+      entries_lock = Mutex.create ();
+      ticks = Array.make n 0;
+      banks = Array.init n (fun _ -> Sim.Predictor.bank config.Config.predictors);
+      bank_locks = Array.init n (fun _ -> Mutex.create ());
+      bank_global = Sim.Predictor.bank config.Config.predictors;
+      bank_global_lock = Mutex.create ();
+      requests = Atomic.make 0;
+      cold = Atomic.make 0;
+      shadow_runs = Atomic.make 0;
+      merges = Atomic.make 0;
+      reopts = Atomic.make 0;
+      events = ref [];
+      events_lock = Mutex.create ();
+      state_dir;
+      journal;
+      snapshot_every;
+      snap_mark = Atomic.make 0;
+      snap_lock = Mutex.create ();
+      restored = Atomic.make 0;
+      stopped = false;
+    }
+  in
+  (match state_dir with
+  | Some dir when State.exists ~dir -> restore_state t dir
+  | _ -> ());
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Merge + drift                                                       *)
@@ -285,13 +487,18 @@ let merge_locked t (e : entry) =
         }
     end;
     e.e_last_opt_execs <- execs
-  end
+  end;
+  (* every merge journals the program's full (absolute) state, so a
+     crash at any point loses at most the samples since this record *)
+  journal_entry t e
 
 let try_merge t e =
   if Mutex.try_lock e.e_merge then begin
     Fun.protect
       ~finally:(fun () -> Mutex.unlock e.e_merge)
-      (fun () -> merge_locked t e)
+      (fun () -> merge_locked t e);
+    (* snapshot with no [e_merge] held — see [snapshot] *)
+    if snapshot_due t then snapshot t
   end
 
 let sync t =
@@ -304,7 +511,8 @@ let sync t =
       Fun.protect
         ~finally:(fun () -> Mutex.unlock e.e_merge)
         (fun () -> merge_locked t e))
-    es
+    es;
+  if snapshot_due t then snapshot t
 
 (* ------------------------------------------------------------------ *)
 (* Request execution                                                   *)
@@ -351,11 +559,34 @@ let shadow_run t (e : entry) ~worker ~input =
     try_merge t e
   end
 
-let handle t ~worker ~name ~source ~input =
+let handle ?deadline_ms ?inject t ~worker ~name ~source ~input =
   let t0 = Unix.gettimeofday () in
   Atomic.incr t.requests;
   let key = content_key t source in
   let requested = t.config.Config.backend in
+  (* a per-request deadline tightens (never loosens) the policy's
+     watchdog; it rides the same {!Sim.Runtime.watchdog} machinery *)
+  let policy =
+    match deadline_ms with
+    | None -> t.policy
+    | Some ms ->
+      let ms =
+        match t.policy.Guard.timeout_ms with
+        | Some p -> min p ms
+        | None -> ms
+      in
+      { t.policy with Guard.timeout_ms = Some ms }
+  in
+  (* chaos hook: fires inside the guarded closure exactly once, on the
+     first attempt of the first rung, so an injected crash exercises
+     the real recovery path (degradation to the next rung) *)
+  let injected = ref false in
+  let fire_inject () =
+    if not !injected then begin
+      injected := true;
+      match inject with Some f -> f () | None -> ()
+    end
+  in
   let built = ref false in
   match
     Sim.Artifact.find_or_build t.programs key (fun () ->
@@ -378,14 +609,15 @@ let handle t ~worker ~name ~source ~input =
   | entry ->
     let art = Atomic.get entry.e_artifact in
     let rungs =
-      if t.policy.Guard.degrade then rungs_of t.config else [ requested ]
+      if policy.Guard.degrade then rungs_of t.config else [ requested ]
     in
     let rec walk rungs =
       match rungs with
       | [] -> assert false
       | backend :: rest -> (
         let outcome, _meta =
-          Guard.protect t.policy (fun ~attempt:_ ~cancel ->
+          Guard.protect policy (fun ~attempt:_ ~cancel ->
+              fire_inject ();
               exec_rung t art backend ~cancel ~input)
         in
         match outcome with
@@ -430,12 +662,43 @@ let handle t ~worker ~name ~source ~input =
      end);
     response
 
-let submit t ~name ~source ~input =
-  Pool.Workers.run t.pool (fun ~worker -> handle t ~worker ~name ~source ~input)
+(* an admission-control rejection is a first-class response, not an
+   exception: the server is healthy, it is just refusing to let the
+   queue (and so tail latency) grow without bound *)
+let overloaded_response ~name (o : Pool.Workers.t) depth cap =
+  {
+    rs_program = name;
+    rs_status = "overloaded";
+    rs_output = "";
+    rs_exit_code = -1;
+    rs_backend = "";
+    rs_generation = 0;
+    rs_cold = false;
+    rs_message =
+      Printf.sprintf "queue at capacity (%d waiting, cap %d, %d shed so far)"
+        depth cap (Pool.Workers.shed o);
+    rs_wall_ms = 0.0;
+  }
 
-let post t ~name ~source ~input k =
-  Pool.Workers.post t.pool (fun ~worker ->
-      k (handle t ~worker ~name ~source ~input))
+let submit ?deadline_ms ?inject t ~name ~source ~input =
+  match
+    Pool.Workers.run t.pool (fun ~worker ->
+        handle ?deadline_ms ?inject t ~worker ~name ~source ~input)
+  with
+  | r -> r
+  | exception Pool.Workers.Overloaded { depth; cap } ->
+    overloaded_response ~name t.pool depth cap
+
+let post ?deadline_ms ?inject t ~name ~source ~input k =
+  match
+    Pool.Workers.post t.pool (fun ~worker ->
+        k (handle ?deadline_ms ?inject t ~worker ~name ~source ~input))
+  with
+  | () -> ()
+  | exception Pool.Workers.Overloaded { depth; cap } ->
+    (* shed on the caller's thread; the callback still fires so drivers
+       tracking in-flight counts never leak a slot *)
+    k (overloaded_response ~name t.pool depth cap)
 
 let oracle t ~name ~source ~input =
   let key = content_key t source in
@@ -464,16 +727,19 @@ let stats t =
         Sim.Artifact.stats t.closure_cache;
       ];
     st_native = Sim.Native.stats ();
-    st_mispredicts =
-      (Mutex.lock t.bank_global_lock;
-       let lookups = Sim.Predictor.bank_lookups t.bank_global in
-       let mis = Sim.Predictor.bank_mispredicts t.bank_global in
-       Mutex.unlock t.bank_global_lock;
-       List.map2
-         (fun (k, l) (k', m) ->
-           assert (k = k');
-           (k, (l, m)))
-         lookups mis);
+    st_mispredicts = bank_record t;
+    st_overloaded = Pool.Workers.shed t.pool;
+    st_restored = Atomic.get t.restored;
+    st_programs =
+      (Mutex.lock t.entries_lock;
+       let es = !(t.entries) in
+       Mutex.unlock t.entries_lock;
+       List.map
+         (fun e ->
+           ( e.e_name,
+             (Atomic.get e.e_artifact).a_generation,
+             Sim.Profile.total_executions e.e_global ))
+         es);
   }
 
 let reopt_events t =
@@ -482,8 +748,46 @@ let reopt_events t =
   Mutex.unlock t.events_lock;
   es
 
-let shutdown t =
+let shutdown ?(crash = false) t =
   if not t.stopped then begin
     t.stopped <- true;
-    Pool.Workers.shutdown t.pool
+    if crash then
+      (* simulated power loss: abandon the pool's queue-drain niceties
+         as far as we safely can, and above all write NOTHING — restart
+         must stand on the journal alone *)
+      Pool.Workers.shutdown t.pool
+    else begin
+      (* graceful drain: stop accepting (the pool refuses new posts
+         once stopping), finish in-flight work, capture every
+         straggling shard, then leave a fresh snapshot and an empty
+         journal for the next boot *)
+      Pool.Workers.shutdown t.pool;
+      Mutex.lock t.entries_lock;
+      let es = !(t.entries) in
+      Mutex.unlock t.entries_lock;
+      List.iter
+        (fun e ->
+          Mutex.lock e.e_merge;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock e.e_merge)
+            (fun () -> merge_locked t e))
+        es;
+      (match t.state_dir with
+      | Some dir when t.journal <> None ->
+        let records =
+          List.map
+            (fun e ->
+              Mutex.lock e.e_merge;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock e.e_merge)
+                (fun () -> program_record e))
+            es
+        in
+        State.write_snapshot ~dir records (bank_record t);
+        State.truncate_journal ~dir
+      | _ -> ())
+    end;
+    match t.journal with
+    | Some w -> State.close_journal w
+    | None -> ()
   end

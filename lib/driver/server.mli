@@ -35,7 +35,23 @@
     ladder: per-attempt watchdog, bounded seeded retries, and backend
     degradation native → compiled → predecoded → reference, each rung
     served from its cached artifact.  One poisoned request cannot take
-    the service down. *)
+    the service down.
+
+    {b Durability.}  With [state_dir] set, everything the online loop
+    learns is persisted through {!State}: every merge appends an
+    absolute per-program journal record (plus the predictor-bank
+    tallies), a snapshot compacts the journal every [snapshot_every]
+    records, and graceful {!shutdown} drains, merges and leaves a
+    fresh snapshot.  A restarting server warm-starts each persisted
+    program at its learned drift generation with its merged profile
+    counters intact — no retraining, no generation reset — and drops
+    records whose content key no longer matches (config change).
+
+    {b Admission control.}  With [queue_cap] set, a request arriving
+    while [queue_cap] tasks wait is shed with an ["overloaded"]
+    response instead of growing the queue (and tail latency) without
+    bound.  Per-request deadlines ([deadline_ms]) tighten the
+    watchdog for that request only. *)
 
 type t
 
@@ -70,6 +86,10 @@ type stats = {
   st_mispredicts : ((int * int * int) * (int * int)) list;
       (** merged shadow-run telemetry per predictor key:
           (lookups, mispredicts) *)
+  st_overloaded : int;  (** requests shed by admission control *)
+  st_restored : int;  (** programs warm-started from [state_dir] *)
+  st_programs : (string * int * int) list;
+      (** per program: (name, served generation, profile executions) *)
 }
 
 val create :
@@ -79,6 +99,9 @@ val create :
   ?sample_every:int ->
   ?merge_every:int ->
   ?drift_min_execs:int ->
+  ?state_dir:string ->
+  ?queue_cap:int ->
+  ?snapshot_every:int ->
   unit ->
   t
 (** Spawn the worker pool and empty caches.  [sample_every] (default
@@ -89,23 +112,48 @@ val create :
     (re-)optimization before the drift check may fire — the damper
     that keeps a handful of unusual requests from thrashing the
     artifacts.  [policy] defaults to {!Guard.default} with degradation
-    enabled. *)
+    enabled.
 
-val submit : t -> name:string -> source:string -> input:string -> response
+    [state_dir] makes the server durable: learned state is journaled
+    and snapshotted there ({!State}), and existing state found in the
+    directory is restored before the first request — each surviving
+    program warm-starts at its persisted drift generation with its
+    merged profile counters.  [queue_cap] (default unbounded) bounds
+    the pool's waiting queue; excess requests are shed with an
+    ["overloaded"] response.  [snapshot_every] (default 64): journal
+    records between snapshot compactions. *)
+
+val submit :
+  ?deadline_ms:int ->
+  ?inject:(unit -> unit) ->
+  t -> name:string -> source:string -> input:string -> response
 (** Serve one request, blocking the calling thread (the work itself
     runs on a pool worker — do not call from inside one).  [name] is a
     display label; caching is keyed by a content hash of [source] and
     the config fingerprint, so equal sources share artifacts whatever
     their names.  A cold program is compiled, trained on this
     request's input, reordered and cached; every later request (any
-    worker) reuses the artifacts. *)
+    worker) reuses the artifacts.
+
+    [deadline_ms] tightens the guard policy's watchdog for this
+    request only (it never loosens a stricter policy timeout); on
+    expiry the response status is ["timeout"].  When admission control
+    sheds the request the response status is ["overloaded"] — no
+    exception escapes.  [inject] is the chaos hook: it runs {e inside}
+    the guarded closure on the first execution attempt, so a raised
+    fault exercises the real recovery path (retry, degradation to the
+    next rung); test/fault-drill use only. *)
 
 val post :
+  ?deadline_ms:int ->
+  ?inject:(unit -> unit) ->
   t -> name:string -> source:string -> input:string ->
   (response -> unit) -> unit
 (** Fire-and-forget {!submit}: enqueue the request and return; the
-    callback runs on the worker that served it.  Replay drivers use
-    this to keep [concurrency] requests in flight. *)
+    callback runs on the worker that served it — except for a shed
+    request, whose ["overloaded"] response is delivered on the
+    {e calling} thread, so drivers tracking in-flight counts never
+    leak a slot. *)
 
 val oracle : t -> name:string -> source:string -> input:string -> string * int
 (** [(output, exit_code)] of the {e reference interpreter} on the
@@ -117,7 +165,9 @@ val oracle : t -> name:string -> source:string -> input:string -> string * int
 val sync : t -> unit
 (** Block until every program's shards are merged and the drift check
     has run (re-optimizing where drifted).  Deterministic alternative
-    to waiting for the opportunistic merge. *)
+    to waiting for the opportunistic merge.  On a durable server every
+    program's state is journaled by the merge, so after [sync] a crash
+    loses nothing learned before it. *)
 
 val stats : t -> stats
 val reopt_events : t -> reopt_event list
@@ -125,5 +175,10 @@ val reopt_events : t -> reopt_event list
 
 val domains : t -> int
 
-val shutdown : t -> unit
-(** Drain the queue, stop the workers, join them.  Idempotent. *)
+val shutdown : ?crash:bool -> t -> unit
+(** Graceful by default: stop accepting, drain the queue, join the
+    workers, merge every straggling shard, and (durable servers) leave
+    a final snapshot and an empty journal.  [~crash:true] simulates
+    power loss for fault drills: the workers are stopped but {e no}
+    final merge or snapshot is written — a restart must stand on the
+    journal alone.  Idempotent. *)

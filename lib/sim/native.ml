@@ -75,6 +75,7 @@ type stats = {
   memo_evictions : int;
   memo_entries : int;
   memo_capacity : int;
+  quarantined : int;
 }
 
 let s_memo_hits = ref 0
@@ -82,13 +83,15 @@ let s_disk_hits = ref 0
 let s_misses = ref 0
 let s_compiles = ref 0
 let s_memo_evictions = ref 0
+let s_quarantined = ref 0
 
 let reset_stats () =
   s_memo_hits := 0;
   s_disk_hits := 0;
   s_misses := 0;
   s_compiles := 0;
-  s_memo_evictions := 0
+  s_memo_evictions := 0;
+  s_quarantined := 0
 
 (* ------------------------------------------------------------------ *)
 (* The host side of the plugin interface                               *)
@@ -772,6 +775,67 @@ let rec mkdirs d =
     try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* ------------------------------------------------------------------ *)
+(* Artifact checksums and quarantine                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* every installed [.cmxs] gets a [.sum] sidecar holding the MD5 of its
+   bytes, verified before every disk-hit load.  Dynlink's own interface
+   CRCs catch ABI skew but happily map a bit-flipped artifact whose
+   tables still parse; the sidecar catches silent disk corruption
+   before the code is executed.  A mismatching artifact is not deleted —
+   it is moved aside into [root/quarantine/] (forensics beat erasure)
+   and rebuilt from source as if it had never existed. *)
+
+let sum_path cmxs = cmxs ^ ".sum"
+
+let file_digest path =
+  try Some (Digest.to_hex (Digest.file path)) with _ -> None
+
+let write_sum cmxs =
+  match file_digest cmxs with
+  | None -> ()
+  | Some d -> (
+    try
+      let oc = open_out_bin (sum_path cmxs) in
+      output_string oc d;
+      close_out oc
+    with _ -> ())
+
+let read_sum cmxs =
+  try
+    let ic = open_in_bin (sum_path cmxs) in
+    let s = try String.trim (input_line ic) with End_of_file -> "" in
+    close_in_noerr ic;
+    if String.length s = 32 then Some s else None
+  with _ -> None
+
+(* [None] = no sidecar (an artifact predating checksums); [Some ok] *)
+let checksum_ok cmxs =
+  match read_sum cmxs with
+  | None -> None
+  | Some expect -> (
+    match file_digest cmxs with
+    | Some actual -> Some (String.equal actual expect)
+    | None -> Some false)
+
+let quarantine_dir_name = "quarantine"
+
+(* move a failed artifact (and its sidecar) aside under
+   [root/quarantine/], renamed so nothing ever loads or lists it as a
+   cache entry again *)
+let quarantine ~root cmxs =
+  let qdir = Filename.concat root quarantine_dir_name in
+  mkdirs qdir;
+  let tag = Filename.basename (Filename.dirname cmxs) in
+  let dest =
+    Filename.concat qdir (tag ^ "-" ^ Filename.basename cmxs ^ ".quarantined")
+  in
+  (try Sys.rename cmxs dest
+   with _ -> ( try Sys.remove cmxs with _ -> ()));
+  (try Sys.remove (sum_path cmxs) with _ -> ());
+  incr s_quarantined
+
 let remove_tree dir =
   let removed = ref 0 in
   let rec go d =
@@ -858,6 +922,7 @@ let stats () =
     memo_evictions = !s_memo_evictions;
     memo_entries = entries;
     memo_capacity = !memo_cap;
+    quarantined = !s_quarantined;
   }
 
 let clear_memo () =
@@ -930,7 +995,11 @@ let compile_and_load tc ~build_dir ~modname ~source ~install =
       | Some dest ->
         mkdirs (Filename.dirname dest);
         (try Sys.rename out dest with _ -> ());
-        if Sys.file_exists dest then dest else out
+        if Sys.file_exists dest then begin
+          write_sum dest;
+          dest
+        end
+        else out
       | None -> out
     in
     let r = load_entry final in
@@ -991,17 +1060,30 @@ let prepare ?cache_dir ?use_cache img : (t, string) Stdlib.result =
               compile_and_load tc ~build_dir ~modname ~source
                 ~install:(if use_cache then Some cached else None)
             in
+            let rebuild_after_quarantine () =
+              quarantine ~root cached;
+              incr s_misses;
+              build ~counted_miss:true
+            in
             let loaded =
               if use_cache && Sys.file_exists cached then begin
-                match load_entry cached with
-                | Ok e ->
-                  incr s_disk_hits;
-                  Ok e
-                | Error _ ->
-                  (* stale or corrupt artifact: rebuild it *)
-                  (try Sys.remove cached with _ -> ());
-                  incr s_misses;
-                  build ~counted_miss:true
+                match checksum_ok cached with
+                | Some false ->
+                  (* bytes do not match the sidecar: the store is
+                     corrupt; move the artifact aside and rebuild *)
+                  rebuild_after_quarantine ()
+                | (Some true | None) as verdict -> (
+                  (* no sidecar = an artifact predating checksums:
+                     adopt it by writing one now *)
+                  if verdict = None then write_sum cached;
+                  match load_entry cached with
+                  | Ok e ->
+                    incr s_disk_hits;
+                    Ok e
+                  | Error _ ->
+                    (* checksum fine but Dynlink rejects it (stale
+                       schema, ABI skew): same remedy *)
+                    rebuild_after_quarantine ())
               end
               else build ~counted_miss:false
             in
@@ -1198,7 +1280,7 @@ module Cache = struct
       Array.to_list entries
       |> List.filter_map (fun name ->
              let d = Filename.concat root name in
-             if not (Sys.is_directory d) then None
+             if name = quarantine_dir_name || not (Sys.is_directory d) then None
              else
                let files = ref 0 and bytes = ref 0 in
                (match Sys.readdir d with
@@ -1249,7 +1331,57 @@ module Cache = struct
         Array.fold_left
           (fun acc name ->
             let d = Filename.concat root name in
-            if Sys.is_directory d && name <> current then acc + remove_tree d
+            if
+              Sys.is_directory d && name <> current
+              && name <> quarantine_dir_name
+            then acc + remove_tree d
             else acc)
           0 entries)
+
+  type verify_report = {
+    v_checked : int;
+    v_ok : int;
+    v_healed : int;  (* legacy artifacts adopted by writing a sidecar *)
+    v_quarantined : int;
+  }
+
+  (* proactive sweep: digest every cached artifact against its sidecar
+     without waiting for a request to trip over the corruption.  Run by
+     [bromc cache --verify] (and the chaos CI job). *)
+  let verify ?dir () =
+    let root = match dir with Some d -> d | None -> default_cache_root () in
+    let checked = ref 0 and ok = ref 0 and healed = ref 0 in
+    let quarantined = ref 0 in
+    (match Sys.readdir root with
+    | exception _ -> ()
+    | entries ->
+      Array.iter
+        (fun name ->
+          let d = Filename.concat root name in
+          if name <> quarantine_dir_name && Sys.is_directory d then
+            match Sys.readdir d with
+            | exception _ -> ()
+            | fs ->
+              Array.iter
+                (fun f ->
+                  if Filename.check_suffix f ".cmxs" then begin
+                    let cmxs = Filename.concat d f in
+                    incr checked;
+                    match checksum_ok cmxs with
+                    | Some true -> incr ok
+                    | None ->
+                      write_sum cmxs;
+                      incr healed
+                    | Some false ->
+                      quarantine ~root cmxs;
+                      incr quarantined
+                  end)
+                fs)
+        entries);
+    {
+      v_checked = !checked;
+      v_ok = !ok;
+      v_healed = !healed;
+      v_quarantined = !quarantined;
+    }
   end

@@ -118,6 +118,8 @@ type stats = {
   memo_evictions : int;  (** entries dropped by the LRU cap *)
   memo_entries : int;  (** entry points currently in the memo table *)
   memo_capacity : int;  (** LRU cap; 0 = unbounded *)
+  quarantined : int;
+      (** artifacts moved aside after a checksum or load failure *)
 }
 
 val stats : unit -> stats
@@ -142,7 +144,12 @@ val clear_memo : unit -> unit
     code has no reason to call this. *)
 
 (** The on-disk artifact store.  Layout: one subdirectory per
-    compiler/ABI fingerprint, one [.cmxs] per image content hash. *)
+    compiler/ABI fingerprint, one [.cmxs] per image content hash with a
+    [.sum] sidecar holding the MD5 of its bytes.  The sidecar is
+    verified before every disk-hit load; an artifact that fails the
+    check (or that [Dynlink] rejects) is moved aside into a
+    [quarantine/] subdirectory — never silently deleted — and rebuilt
+    from source. *)
 module Cache : sig
   val default_dir : unit -> string
 
@@ -166,5 +173,20 @@ module Cache : sig
   val evict_stale : ?dir:string -> unit -> int
   (** Remove artifacts whose fingerprint differs from the running
       toolchain's (requires a working compiler to know which one that
-      is); returns the number of files removed. *)
+      is); returns the number of files removed.  The [quarantine/]
+      subdirectory is preserved. *)
+
+  type verify_report = {
+    v_checked : int;  (** artifacts digested *)
+    v_ok : int;  (** sidecar present and matching *)
+    v_healed : int;  (** pre-checksum artifacts adopted (sidecar written) *)
+    v_quarantined : int;  (** mismatches moved to [quarantine/] *)
+  }
+
+  val verify : ?dir:string -> unit -> verify_report
+  (** Proactive integrity sweep: digest every cached [.cmxs] against
+      its [.sum] sidecar without waiting for a load to trip over the
+      corruption.  Mismatches are quarantined (the next request
+      rebuilds them); artifacts predating checksums get a sidecar
+      written from their current bytes. *)
 end

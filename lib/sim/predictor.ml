@@ -168,6 +168,20 @@ let bank_absorb ~into src =
       sp.mispredicts <- 0)
     src.bank_preds
 
+let bank_add_tallies b tallies =
+  if List.length tallies <> Array.length b.bank_keys then
+    invalid_arg "Predictor.bank_add_tallies: bank shapes differ";
+  List.iteri
+    (fun i (key, (lk, mis)) ->
+      if b.bank_keys.(i) <> key then
+        invalid_arg "Predictor.bank_add_tallies: bank keys differ";
+      if lk < 0 || mis < 0 then
+        invalid_arg "Predictor.bank_add_tallies: negative tally";
+      let p = b.bank_preds.(i) in
+      p.lookups <- p.lookups + lk;
+      p.mispredicts <- p.mispredicts + mis)
+    tallies
+
 let bank_size b = Array.length b.bank_preds
 
 let bank_mispredicts b =

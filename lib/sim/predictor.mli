@@ -57,6 +57,15 @@ val bank_absorb : into:bank -> bank -> unit
     counter tables) stays in the shard: it is inherently per-stream and
     is not transferred.  Raises [Invalid_argument] on shape mismatch. *)
 
+val bank_add_tallies : bank -> ((int * int * int) * (int * int)) list -> unit
+(** [bank_add_tallies b tallies] adds persisted [(lookups, mispredicts)]
+    tallies (as returned by {!bank_lookups} zipped with
+    {!bank_mispredicts}) into [b] — the restore half of durable shadow
+    telemetry: a restarted daemon folds the tallies its predecessor
+    accumulated into its fresh global bank.  The key list must match the
+    bank's exactly.  Raises [Invalid_argument] on shape mismatch or a
+    negative tally. *)
+
 val bank_size : bank -> int
 
 val bank_mispredicts : bank -> ((int * int * int) * int) list

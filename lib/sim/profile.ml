@@ -130,6 +130,48 @@ let total_executions t =
       (fun _ (s : comb_seq) acc -> acc + s.comb_executions)
       t.comb_seqs 0
 
+(* raw counter export/import: the durable-state layer persists counts
+   by sequence id and re-registers descriptors by re-detecting the
+   program, so only the counters travel *)
+let counters t =
+  let ranges =
+    Hashtbl.fold
+      (fun id (s : range_seq) acc ->
+        (id, Array.copy s.counts, s.executions) :: acc)
+      t.range_seqs []
+    |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+  in
+  let combs =
+    Hashtbl.fold
+      (fun id (s : comb_seq) acc ->
+        (id, Array.copy s.comb_counts, s.comb_executions) :: acc)
+      t.comb_seqs []
+    |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+  in
+  (ranges, combs)
+
+let set_counters t ~ranges ~combs =
+  let applied = ref 0 in
+  List.iter
+    (fun (id, counts, executions) ->
+      match Hashtbl.find_opt t.range_seqs id with
+      | Some dst when Array.length dst.counts = Array.length counts ->
+        Array.blit counts 0 dst.counts 0 (Array.length counts);
+        dst.executions <- executions;
+        incr applied
+      | Some _ | None -> ())
+    ranges;
+  List.iter
+    (fun (id, counts, executions) ->
+      match Hashtbl.find_opt t.comb_seqs id with
+      | Some dst when Array.length dst.comb_counts = Array.length counts ->
+        Array.blit counts 0 dst.comb_counts 0 (Array.length counts);
+        dst.comb_executions <- executions;
+        incr applied
+      | Some _ | None -> ())
+    combs;
+  !applied
+
 let eval_operand read_reg = function
   | Mir.Operand.Reg r -> read_reg r
   | Mir.Operand.Imm n -> n

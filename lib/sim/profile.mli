@@ -58,3 +58,21 @@ val absorb : into:t -> t -> int
 val total_executions : t -> int
 (** Sum of [executions] over every registered sequence — a cheap
     "how much profile have we accumulated" gauge. *)
+
+val counters :
+  t -> (int * int array * int) list * (int * int array * int) list
+(** [(ranges, combs)] — every registered sequence's raw counter state as
+    [(id, counts, executions)], sorted by id, counter arrays copied.
+    The durable-state layer persists exactly this: descriptors (bounds,
+    conditions) are redundant with the program the ids were detected on
+    and are rebuilt by re-detection, not stored. *)
+
+val set_counters :
+  t ->
+  ranges:(int * int array * int) list ->
+  combs:(int * int array * int) list ->
+  int
+(** Overwrite the counters of every sequence whose id and counter-array
+    length match (others — e.g. from an incompatible detection — are
+    silently skipped).  Returns how many sequences were applied.  The
+    inverse of {!counters} on a table with the same registered shape. *)

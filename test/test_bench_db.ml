@@ -176,16 +176,26 @@ let test_import_values () =
     (metric_value pr9 "static.workloads_at_half_trained");
   Alcotest.(check bool)
     "PR9 static reduction is a real reduction" true
-    (metric_value pr9 "static.branch_reduction_pct" < -5.)
+    (metric_value pr9 "static.branch_reduction_pct" < -5.);
+  let pr10 = imported "../BENCH_PR10.json" in
+  Alcotest.(check string)
+    "PR10 chaos runs gate in their own context" "serve-chaos"
+    pr10.R.r_context;
+  Alcotest.check close "PR10 chaos escapes" 0.
+    (metric_value pr10 "serve.chaos_escapes");
+  Alcotest.check close "PR10 restore exact" 1.
+    (metric_value pr10 "serve.restore_exact");
+  Alcotest.check close "PR10 oracle mismatches" 0.
+    (metric_value pr10 "serve.oracle_mismatches")
 
 let test_history_has_all_seven () =
   let records = load_history () in
-  Alcotest.(check int) "eight records" 8 (List.length records);
+  Alcotest.(check int) "nine records" 9 (List.length records);
   List.iteri
     (fun i (r : R.t) ->
       Alcotest.(check string)
         (Printf.sprintf "record %d label" i)
-        (Printf.sprintf "PR%d" (if i < 7 then i + 1 else 9))
+        (Printf.sprintf "PR%d" (if i < 7 then i + 1 else i + 2))
         r.R.r_label)
     records
 

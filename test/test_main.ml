@@ -25,6 +25,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("native", Test_native.suite);
       ("server", Test_server.suite);
+      ("state", Test_state.suite);
       ("bench-db", Test_bench_db.suite);
       ("static", Test_static.suite);
     ]

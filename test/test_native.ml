@@ -329,6 +329,83 @@ let test_cache_clear_and_evict () =
            0
            (Sim.Native.Cache.list ~dir ())))
 
+(* Damage an artifact on disk without touching the mapped inode: this
+   process may have the .cmxs dlopened, and truncating or rewriting a
+   mapped file in place raises SIGBUS.  Write-then-rename puts the
+   damage on the store while live mappings keep the old inode. *)
+let damage_in_store path bytes =
+  let tmp = path ^ ".dmg" in
+  let oc = open_out_bin tmp in
+  output_string oc bytes;
+  close_out oc;
+  Sys.rename tmp path
+
+let test_checksum_quarantine () =
+  require_native ();
+  with_temp_store (fun dir ->
+      let img = Sim.Image.build (compile_final "int main() { return 7; }") in
+      Sim.Native.clear_memo ();
+      Sim.Native.reset_stats ();
+      (match Sim.Native.prepare ~cache_dir:dir img with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "prepare: %s" e);
+      let fpr =
+        match Sim.Native.Cache.fingerprint () with
+        | Some fp -> fp
+        | None -> Alcotest.fail "toolchain has no fingerprint"
+      in
+      let store = Filename.concat dir fpr in
+      let cmxs =
+        match
+          Sys.readdir store |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".cmxs")
+        with
+        | [ f ] -> Filename.concat store f
+        | l -> Alcotest.failf "expected one artifact, found %d" (List.length l)
+      in
+      check_bool "install writes the checksum sidecar" true
+        (Sys.file_exists (cmxs ^ ".sum"));
+      let v = Sim.Native.Cache.verify ~dir () in
+      check_int "verify: one artifact checked" 1 v.Sim.Native.Cache.v_checked;
+      check_int "verify: intact artifact passes" 1 v.Sim.Native.Cache.v_ok;
+      (* corrupt the stored bytes; the sidecar is now a witness *)
+      damage_in_store cmxs "not a plugin";
+      let v = Sim.Native.Cache.verify ~dir () in
+      check_int "verify: mismatch quarantined" 1
+        v.Sim.Native.Cache.v_quarantined;
+      check_bool "artifact moved aside, not deleted" true
+        (Sys.file_exists (Filename.concat dir "quarantine")
+        && Sys.readdir (Filename.concat dir "quarantine") <> [||]);
+      check_bool "store slot is free" false (Sys.file_exists cmxs);
+      (* the next prepare rebuilds from source and reinstalls *)
+      Sim.Native.clear_memo ();
+      Sim.Native.reset_stats ();
+      (match Sim.Native.prepare ~cache_dir:dir img with
+      | Ok t ->
+        let r = Sim.Native.exec t ~input:"" in
+        check_int "rebuilt artifact still correct" 7 r.Sim.Machine.exit_code
+      | Error e -> Alcotest.failf "prepare after quarantine: %s" e);
+      check_int "rebuild was a miss + compile" 1
+        (Sim.Native.stats ()).Sim.Native.compiles;
+      (* load-path self-healing: corrupt again, prepare directly *)
+      damage_in_store cmxs "still not a plugin";
+      Sim.Native.clear_memo ();
+      Sim.Native.reset_stats ();
+      (match Sim.Native.prepare ~cache_dir:dir img with
+      | Ok t ->
+        let r = Sim.Native.exec t ~input:"" in
+        check_int "self-healed load still correct" 7 r.Sim.Machine.exit_code
+      | Error e -> Alcotest.failf "self-healing prepare: %s" e);
+      let s = Sim.Native.stats () in
+      check_int "load path quarantined the damage" 1 s.Sim.Native.quarantined;
+      check_int "and recompiled" 1 s.Sim.Native.compiles;
+      (* legacy adoption: strip the sidecar, verify writes one back *)
+      Sys.remove (cmxs ^ ".sum");
+      let v = Sim.Native.Cache.verify ~dir () in
+      check_int "verify: sidecar-less artifact adopted" 1
+        v.Sim.Native.Cache.v_healed;
+      check_bool "sidecar rewritten" true (Sys.file_exists (cmxs ^ ".sum")))
+
 (* ------------------------------------------------------------------ *)
 (* Degradation                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -452,6 +529,8 @@ let suite =
       test_cache_disabled;
     case "cache: list, evict stale fingerprints, clear"
       test_cache_clear_and_evict;
+    case "cache: checksum mismatch quarantined and rebuilt"
+      test_checksum_quarantine;
     case "degrades to compiled when unavailable" test_degrades_to_compiled;
     case "no-degrade policy yields contained crash"
       test_no_degrade_is_contained_crash;

@@ -427,12 +427,246 @@ let test_replay_smoke () =
   check_bool "warm requests dominated" true
     (st.Driver.Server.st_requests > st.Driver.Server.st_cold)
 
+(* Satellite: LRU eviction racing single-flight builds.  Domains hammer
+   a capacity-1 cache with interleaved keys, so entries are evicted
+   while other domains are mid-build or mid-wait on them; every lookup
+   must still come back with its own key's artifact. *)
+let test_artifact_lru_race () =
+  let cache : string Sim.Artifact.t =
+    Sim.Artifact.create ~capacity:1 ~name:"t-lru-race" ()
+  in
+  let keys = [| "a"; "b"; "c"; "d" |] in
+  (* a resident re-request is a deterministic hit before the storm *)
+  ignore (Sim.Artifact.find_or_build cache "a" (fun () -> "v-a"));
+  ignore (Sim.Artifact.find_or_build cache "a" (fun () -> "v-a"));
+  let wrong = Atomic.make 0 in
+  let worker () =
+    for i = 0 to 199 do
+      (* all domains share the schedule, so the same key is requested
+         concurrently (waiters on in-flight builds) while domains that
+         drifted ahead evict it with the next key *)
+      let k = keys.((i / 8) mod Array.length keys) in
+      let v =
+        Sim.Artifact.find_or_build cache k (fun () ->
+            (* widen the in-flight window so evictions land inside it *)
+            if i land 15 = 0 then Domain.cpu_relax ();
+            "v-" ^ k)
+      in
+      if not (String.equal v ("v-" ^ k)) then Atomic.incr wrong
+    done
+  in
+  let doms = List.init 4 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join doms;
+  check_int "every lookup got its own key's artifact" 0 (Atomic.get wrong);
+  let s = Sim.Artifact.stats cache in
+  check_int "capacity held under the race" 1 s.Sim.Artifact.a_entries;
+  check_bool "evictions actually happened" true
+    (s.Sim.Artifact.a_evictions > 0);
+  check_bool "hits and misses both occurred" true
+    (s.Sim.Artifact.a_hits > 0 && s.Sim.Artifact.a_misses > 0)
+
+(* ---------------------------------------------------------------- *)
+(* Durability and admission control                                  *)
+(* ---------------------------------------------------------------- *)
+
+let with_state_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bromc_srv_state_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o755;
+  let rec rm d =
+    if Sys.is_directory d then begin
+      Array.iter (fun e -> rm (Filename.concat d e)) (Sys.readdir d);
+      try Unix.rmdir d with _ -> ()
+    end
+    else try Sys.remove d with _ -> ()
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+(* Tentpole: a crash (no final flush) and restart resumes at the
+   learned generation with the merged profile counters intact, and the
+   restored server's responses stay byte-identical to the oracle. *)
+let test_server_crash_restart_resumes () =
+  with_state_dir (fun dir ->
+      let make () =
+        Driver.Server.create ~domains:2 ~sample_every:1 ~merge_every:1
+          ~drift_min_execs:8 ~state_dir:dir ()
+      in
+      let srv = make () in
+      let input = wc_input () in
+      for _ = 1 to 6 do
+        ignore (Driver.Server.submit srv ~name:"wc" ~source:wc_source ~input)
+      done;
+      (* push drift through a generation bump so the restore has a
+         non-trivial generation to resume *)
+      let d0 = Driver.Replay.drift_input ~phase:0 ~seed:3 in
+      let d1 = Driver.Replay.drift_input ~phase:1 ~seed:4 in
+      for _ = 1 to 4 do
+        ignore
+          (Driver.Server.submit srv ~name:"drift"
+             ~source:Driver.Replay.drift_source ~input:d0)
+      done;
+      Driver.Server.sync srv;
+      for _ = 1 to 8 do
+        ignore
+          (Driver.Server.submit srv ~name:"drift"
+             ~source:Driver.Replay.drift_source ~input:d1)
+      done;
+      Driver.Server.sync srv;
+      let pre = Driver.Server.stats srv in
+      let pre_programs = List.sort compare pre.Driver.Server.st_programs in
+      check_bool "drift advanced a generation before the crash" true
+        (List.exists
+           (fun (n, g, _) -> String.equal n "drift" && g >= 2)
+           pre_programs);
+      (* power loss: no final merge, no snapshot *)
+      Driver.Server.shutdown ~crash:true srv;
+      let srv2 = make () in
+      Fun.protect
+        ~finally:(fun () -> Driver.Server.shutdown srv2)
+        (fun () ->
+          let post = Driver.Server.stats srv2 in
+          check_int "both programs restored" 2
+            post.Driver.Server.st_restored;
+          check_bool "generations and counters resumed exactly" true
+            (List.sort compare post.Driver.Server.st_programs = pre_programs);
+          (* restored artifacts serve, warm, and match the oracle *)
+          let r =
+            Driver.Server.submit srv2 ~name:"wc" ~source:wc_source ~input
+          in
+          check_output "restored program serves" "ok"
+            r.Driver.Server.rs_status;
+          check_bool "restored program is warm (no rebuild)" false
+            r.Driver.Server.rs_cold;
+          let out, code =
+            Driver.Server.oracle srv2 ~name:"wc" ~source:wc_source ~input
+          in
+          check_output "restored response byte-identical to oracle" out
+            r.Driver.Server.rs_output;
+          check_int "restored exit code matches" code
+            r.Driver.Server.rs_exit_code;
+          let rd =
+            Driver.Server.submit srv2 ~name:"drift"
+              ~source:Driver.Replay.drift_source ~input:d1
+          in
+          check_bool "drift serves at its resumed generation" true
+            (rd.Driver.Server.rs_generation >= 2)))
+
+(* a config change must not resurrect stale state: the content key
+   embeds the config fingerprint, so restore drops every record *)
+let test_restore_drops_on_config_change () =
+  with_state_dir (fun dir ->
+      let srv =
+        Driver.Server.create ~domains:1 ~sample_every:1 ~merge_every:1
+          ~state_dir:dir ()
+      in
+      ignore
+        (Driver.Server.submit srv ~name:"wc" ~source:wc_source
+           ~input:(wc_input ()));
+      Driver.Server.sync srv;
+      Driver.Server.shutdown ~crash:true srv;
+      let config =
+        { Driver.Config.default with Driver.Config.reorder_enabled = false }
+      in
+      let srv2 =
+        Driver.Server.create ~config ~domains:1 ~state_dir:dir ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Driver.Server.shutdown srv2)
+        (fun () ->
+          check_int "mismatched config restores nothing" 0
+            (Driver.Server.stats srv2).Driver.Server.st_restored))
+
+(* Tentpole: admission control sheds excess load with an explicit
+   overloaded response instead of queueing without bound. *)
+let test_overload_shedding () =
+  let srv = Driver.Server.create ~domains:1 ~queue_cap:2 () in
+  Fun.protect
+    ~finally:(fun () -> Driver.Server.shutdown srv)
+    (fun () ->
+      let input = wc_input () in
+      (* warm the program so queued requests are pure service time *)
+      ignore (Driver.Server.submit srv ~name:"wc" ~source:wc_source ~input);
+      let n = 16 in
+      let lock = Mutex.create () in
+      let cond = Condition.create () in
+      let pending = ref n in
+      let responses = Array.make n None in
+      for i = 0 to n - 1 do
+        (* each in-flight request stalls 30ms, so the single worker
+           saturates and the queue hits its cap *)
+        Driver.Server.post srv
+          ~inject:(fun () -> Unix.sleepf 0.03)
+          ~name:"wc" ~source:wc_source ~input
+          (fun r ->
+            Mutex.lock lock;
+            responses.(i) <- Some r;
+            decr pending;
+            if !pending = 0 then Condition.broadcast cond;
+            Mutex.unlock lock)
+      done;
+      Mutex.lock lock;
+      while !pending > 0 do
+        Condition.wait cond lock
+      done;
+      Mutex.unlock lock;
+      let shed, served =
+        Array.fold_left
+          (fun (shed, served) r ->
+            match r with
+            | Some r when String.equal r.Driver.Server.rs_status "overloaded"
+              ->
+              check_bool "shed response carries a diagnostic" true
+                (String.length r.Driver.Server.rs_message > 0);
+              (shed + 1, served)
+            | Some r ->
+              check_output "admitted requests still succeed" "ok"
+                r.Driver.Server.rs_status;
+              (shed, served + 1)
+            | None -> Alcotest.fail "response lost")
+          (0, 0) responses
+      in
+      check_bool "some requests were shed" true (shed > 0);
+      check_bool "some requests were served" true (served > 0);
+      let st = Driver.Server.stats srv in
+      check_int "shed count surfaces in stats" shed
+        st.Driver.Server.st_overloaded)
+
 let test_replay_rejects_unknown_workload () =
   match Driver.Replay.run ~workloads:[ "no-such" ] ~requests:1 () with
   | _ -> Alcotest.fail "unknown workload must be rejected"
   | exception Failure m ->
     check_bool "error names the workload" true
       (String.length m > 0 && String.index_opt m 'n' <> None)
+
+(* Tentpole: the chaos matrix end to end — seeded faults of every kind
+   against a durable server, a crash-restart between the waves, zero
+   escapes and an exact restore. *)
+let test_replay_chaos_certification () =
+  with_state_dir (fun dir ->
+      let outcome =
+        Driver.Replay.run
+          ~workloads:[ "wc" ]
+          ~requests:40 ~concurrency:2 ~seed:11 ~drift:true ~sample_every:1
+          ~merge_every:2 ~drift_min_execs:8 ~check_every:8 ~chaos:5
+          ~chaos_seed:13 ~state_dir:dir ()
+      in
+      check_int "five faults planned" 5 outcome.Driver.Replay.ro_chaos_planned;
+      check_int "zero escapes" 0 outcome.Driver.Replay.ro_chaos_escapes;
+      check_int "zero oracle mismatches" 0 outcome.Driver.Replay.ro_mismatches;
+      check_int "one crash-restart cycle" 1
+        outcome.Driver.Replay.ro_crash_restarts;
+      check_bool "programs restored after the crash" true
+        (outcome.Driver.Replay.ro_restored > 0);
+      check_bool "restore matched the pre-crash state exactly" true
+        outcome.Driver.Replay.ro_restore_exact;
+      check_int "every fault has a verdict" 5
+        (List.length outcome.Driver.Replay.ro_chaos_faults);
+      (* unplanned requests must be untouched by the chaos *)
+      check_bool "failures are bounded by the planned faults" true
+        (outcome.Driver.Replay.ro_failed
+        <= outcome.Driver.Replay.ro_chaos_failed))
 
 let test_input_slice () =
   check_output "empty stays empty" "" (Driver.Replay.input_slice ~seed:1 "");
@@ -464,7 +698,17 @@ let suite =
       test_server_drift_reopt;
     case "server: trap contained by the guard ladder"
       test_server_guard_contains_trap;
+    case "artifact: LRU eviction races single-flight builds"
+      test_artifact_lru_race;
+    slow_case "server: crash-restart resumes generation and counters"
+      test_server_crash_restart_resumes;
+    case "server: restore drops state on config change"
+      test_restore_drops_on_config_change;
+    case "server: queue cap sheds load as overloaded"
+      test_overload_shedding;
     slow_case "replay: mixed traffic, oracle-checked" test_replay_smoke;
+    slow_case "replay: chaos matrix certified, zero escapes"
+      test_replay_chaos_certification;
     case "replay: unknown workload rejected" test_replay_rejects_unknown_workload;
     case "replay: input slices" test_input_slice;
   ]

@@ -1,0 +1,274 @@
+(* Durable serving state: CRC framing, journal + snapshot roundtrips,
+   torn-tail tolerance, and the manifest reader's crash hardening. *)
+
+open Helpers
+
+let tmp_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bromc_state_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let rm_rf dir =
+  let rec walk p =
+    if Sys.is_directory p then begin
+      Array.iter (fun f -> walk (Filename.concat p f)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists dir then walk dir
+
+let with_dir f =
+  let dir = tmp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let program ~key ~name ?(generation = 1) ?(executions = 100)
+    ?(last_opt = 50) () =
+  {
+    Driver.State.p_key = key;
+    p_name = name;
+    p_source = "int main() { return 0; }";
+    p_generation = generation;
+    p_signature = Printf.sprintf "sig-g%d" generation;
+    p_executions = executions;
+    p_last_opt_execs = last_opt;
+    p_ranges = [ (0, [| 7; 3 |], executions); (1, [| 1; 2; 3 |], 6) ];
+    p_combs = [ (0, [| 4 |], 4) ];
+  }
+
+let bank : Driver.State.bank =
+  [ ((2, 2, 64), (1000, 37)); ((0, 2, 2048), (1000, 12)) ]
+
+(* ---------------------------------------------------------------- *)
+(* CRC framing                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let test_crc_frame_roundtrip () =
+  (* IEEE 802.3 check value for the classic vector *)
+  Alcotest.(check int)
+    "crc32(\"123456789\") is the standard check value" 0xCBF43926
+    (Driver.State.crc32 "123456789");
+  List.iter
+    (fun payload ->
+      let framed = Driver.State.frame payload in
+      check_bool "frame is a single line" true
+        (not (String.contains framed '\n'));
+      match Driver.State.unframe framed with
+      | Some back -> check_output "unframe restores the payload" payload back
+      | None -> Alcotest.fail "frame/unframe roundtrip failed")
+    [ "x"; "{\"v\":1}"; String.make 4096 'z' ];
+  (* a single flipped byte must fail the CRC, not parse as data *)
+  let framed = Driver.State.frame "{\"v\":1,\"k\":\"abc\"}" in
+  let b = Bytes.of_string framed in
+  Bytes.set b (String.length framed - 2) 'X';
+  check_bool "corrupted frame rejected" true
+    (Driver.State.unframe (Bytes.to_string b) = None);
+  check_bool "short garbage rejected" true (Driver.State.unframe "zzz" = None)
+
+(* ---------------------------------------------------------------- *)
+(* Journal roundtrip and last-record-wins                            *)
+(* ---------------------------------------------------------------- *)
+
+let test_journal_roundtrip () =
+  with_dir (fun dir ->
+      check_bool "no state yet" false (Driver.State.exists ~dir);
+      let w = Driver.State.open_journal ~dir in
+      let p1 = program ~key:"k1" ~name:"alpha" () in
+      let p2 = program ~key:"k2" ~name:"beta" ~generation:3 () in
+      Driver.State.journal_program w p1;
+      Driver.State.journal_program w p2;
+      Driver.State.journal_bank w bank;
+      (* a newer absolute record for k1 supersedes the first *)
+      let p1' = program ~key:"k1" ~name:"alpha" ~generation:2 ~executions:500 () in
+      Driver.State.journal_program w p1';
+      Alcotest.(check int) "appended counts records" 4 (Driver.State.appended w);
+      Driver.State.close_journal w;
+      check_bool "state exists now" true (Driver.State.exists ~dir);
+      let r = Driver.State.load ~dir in
+      Alcotest.(check int) "no frames skipped" 0 r.Driver.State.r_skipped;
+      Alcotest.(check int) "two distinct programs" 2
+        (List.length r.Driver.State.r_programs);
+      check_bool "bank restored" true (r.Driver.State.r_bank = bank);
+      let k1 =
+        List.find
+          (fun p -> p.Driver.State.p_key = "k1")
+          r.Driver.State.r_programs
+      in
+      Alcotest.(check int) "last record wins: generation" 2
+        k1.Driver.State.p_generation;
+      Alcotest.(check int) "last record wins: executions" 500
+        k1.Driver.State.p_executions;
+      check_bool "counters roundtrip" true
+        (k1.Driver.State.p_ranges = p1'.Driver.State.p_ranges
+        && k1.Driver.State.p_combs = p1'.Driver.State.p_combs);
+      let k2 =
+        List.find
+          (fun p -> p.Driver.State.p_key = "k2")
+          r.Driver.State.r_programs
+      in
+      check_bool "untouched program intact" true (k2 = p2))
+
+let test_torn_tail_tolerated () =
+  with_dir (fun dir ->
+      let w = Driver.State.open_journal ~dir in
+      Driver.State.journal_program w (program ~key:"k1" ~name:"alpha" ());
+      Driver.State.journal_program w
+        (program ~key:"k2" ~name:"beta" ~generation:4 ~executions:900 ());
+      Driver.State.close_journal w;
+      check_bool "tear applies" true (Driver.State.tear_journal ~dir);
+      let r = Driver.State.load ~dir in
+      (* the torn final record is dropped; the first survives whole *)
+      Alcotest.(check int) "torn frame counted as skipped" 1
+        r.Driver.State.r_skipped;
+      Alcotest.(check int) "prefix record survives" 1
+        (List.length r.Driver.State.r_programs);
+      check_output "the surviving record is the first" "k1"
+        (List.hd r.Driver.State.r_programs).Driver.State.p_key)
+
+let test_garbage_never_raises () =
+  with_dir (fun dir ->
+      (* hole torn mid-file: garbage between two valid records *)
+      let w = Driver.State.open_journal ~dir in
+      Driver.State.journal_program w (program ~key:"k1" ~name:"alpha" ());
+      Driver.State.close_journal w;
+      let oc =
+        open_out_gen [ Open_append ] 0o644 (Driver.State.journal_path ~dir)
+      in
+      output_string oc "deadbeef {not json}\n\n08x nope\n";
+      close_out oc;
+      let w = Driver.State.open_journal ~dir in
+      Driver.State.journal_program w
+        (program ~key:"k2" ~name:"beta" ~generation:2 ());
+      Driver.State.close_journal w;
+      let r = Driver.State.load ~dir in
+      Alcotest.(check int) "damaged frames skipped, not fatal" 2
+        r.Driver.State.r_skipped;
+      Alcotest.(check int) "records on both sides survive" 2
+        (List.length r.Driver.State.r_programs);
+      (* an unreadable snapshot restores as empty, never raises *)
+      let oc = open_out (Driver.State.snapshot_path ~dir) in
+      output_string oc "\x00\x01\x02 total nonsense";
+      close_out oc;
+      let r = Driver.State.load ~dir in
+      Alcotest.(check int) "journal still restores past a junk snapshot" 2
+        (List.length r.Driver.State.r_programs))
+
+(* ---------------------------------------------------------------- *)
+(* Snapshots                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let test_snapshot_compacts_journal () =
+  with_dir (fun dir ->
+      let w = Driver.State.open_journal ~dir in
+      Driver.State.journal_program w (program ~key:"k1" ~name:"alpha" ());
+      Driver.State.journal_bank w bank;
+      Driver.State.close_journal w;
+      (* snapshot the superseding state, then truncate the journal *)
+      let p1' = program ~key:"k1" ~name:"alpha" ~generation:5 ~executions:777 () in
+      Driver.State.write_snapshot ~dir [ p1' ] bank;
+      (* before the truncate, load sees snapshot then stale journal:
+         the journal's k1 record is older but still *absolute*, so the
+         snapshot must not lose to it only when the journal is empty.
+         Truncate-after-rename is the contract. *)
+      Driver.State.truncate_journal ~dir;
+      let r = Driver.State.load ~dir in
+      Alcotest.(check int) "one program" 1
+        (List.length r.Driver.State.r_programs);
+      let k1 = List.hd r.Driver.State.r_programs in
+      Alcotest.(check int) "snapshot state restored" 5
+        k1.Driver.State.p_generation;
+      Alcotest.(check int) "snapshot executions restored" 777
+        k1.Driver.State.p_executions;
+      check_bool "bank in the snapshot" true (r.Driver.State.r_bank = bank);
+      (* journal records appended after the snapshot win over it *)
+      let w = Driver.State.open_journal ~dir in
+      Driver.State.journal_program w
+        (program ~key:"k1" ~name:"alpha" ~generation:6 ~executions:800 ());
+      Driver.State.close_journal w;
+      let r = Driver.State.load ~dir in
+      Alcotest.(check int) "journal beats snapshot" 6
+        (List.hd r.Driver.State.r_programs).Driver.State.p_generation;
+      (* no tmp file left behind by the atomic rename *)
+      check_bool "no snapshot.tmp residue" false
+        (Sys.file_exists (Driver.State.snapshot_path ~dir ^ ".tmp")))
+
+(* ---------------------------------------------------------------- *)
+(* Satellite: manifest reader skips a torn final line                 *)
+(* ---------------------------------------------------------------- *)
+
+let test_manifest_torn_tail () =
+  let path = Filename.temp_file "bromc_manifest" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let e1 = Driver.Manifest.entry ~id:0 ~status:"ok" () in
+      let e2 =
+        Driver.Manifest.entry ~id:1 ~status:"crash" ~message:"boom" ()
+      in
+      Driver.Manifest.write path [ e1; e2 ];
+      (* a crash mid-append leaves a partial final line *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{ \"id\": 2, \"status\": \"o";
+      close_out oc;
+      let back = Driver.Manifest.read path in
+      Alcotest.(check int) "torn tail dropped, prefix kept" 2
+        (List.length back);
+      check_bool "surviving entries intact" true (back = [ e1; e2 ]);
+      (* a malformed line with valid lines *after* it is corruption *)
+      Driver.Manifest.write path [ e1 ];
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{ garbage }\n";
+      close_out oc;
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{ \"id\": 3, \"status\": \"ok\" }\n";
+      close_out oc;
+      match Driver.Manifest.read path with
+      | _ -> Alcotest.fail "mid-file corruption must raise"
+      | exception Driver.Manifest.Parse_error _ -> ())
+
+(* ---------------------------------------------------------------- *)
+(* Chaos plans                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let test_server_plan () =
+  let p1 = Driver.Inject.server_plan ~seed:9 ~requests:200 ~count:10 in
+  let p2 = Driver.Inject.server_plan ~seed:9 ~requests:200 ~count:10 in
+  check_bool "deterministic in the seed" true (p1 = p2);
+  Alcotest.(check int) "requested count" 10 (List.length p1);
+  let victims = List.map (fun f -> f.Driver.Inject.sv_request) p1 in
+  Alcotest.(check int) "distinct victims" 10
+    (List.length (List.sort_uniq compare victims));
+  check_bool "victims in range" true
+    (List.for_all (fun r -> r >= 0 && r < 200) victims);
+  check_bool "sorted by request index" true
+    (List.sort compare victims = victims);
+  let kinds =
+    List.sort_uniq compare (List.map (fun f -> f.Driver.Inject.sv_kind) p1)
+  in
+  Alcotest.(check int) "all five kinds appear at count 10" 5
+    (List.length kinds);
+  let p3 = Driver.Inject.server_plan ~seed:10 ~requests:200 ~count:10 in
+  check_bool "different seed, different victims" true (p1 <> p3);
+  Alcotest.(check int) "count clamped to the stream" 3
+    (List.length (Driver.Inject.server_plan ~seed:1 ~requests:3 ~count:99));
+  check_bool "empty stream, empty plan" true
+    (Driver.Inject.server_plan ~seed:1 ~requests:0 ~count:5 = [])
+
+let suite =
+  [
+    case "state: CRC-32 framing roundtrip and rejection"
+      test_crc_frame_roundtrip;
+    case "state: journal roundtrip, last record wins" test_journal_roundtrip;
+    case "state: torn tail dropped, prefix survives" test_torn_tail_tolerated;
+    case "state: damaged frames and junk snapshots never raise"
+      test_garbage_never_raises;
+    case "state: snapshot compacts, journal beats snapshot"
+      test_snapshot_compacts_journal;
+    case "manifest: torn final line skipped, mid-file corruption raises"
+      test_manifest_torn_tail;
+    case "inject: server chaos plans are seeded and exhaustive"
+      test_server_plan;
+  ]
